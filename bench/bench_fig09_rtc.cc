@@ -1,0 +1,58 @@
+// Figure 9 — real-time communications (§6.3): Salsify-style call on a lossy wifi-like
+// path; metric = average inter-packet delay at the receiver (paper: MOCC 3.0 ms vs BBR
+// 3.8, Vegas 4.1, CUBIC 7.9 — i.e., proportional to sustained goodput under loss).
+// MOCC registers w=<0.4,0.5,0.1>: throughput AND latency both matter for RTC.
+#include <iostream>
+
+#include "bench/bench_support.h"
+#include "src/apps/rtc.h"
+#include "src/common/table.h"
+
+using namespace mocc;
+
+int main() {
+  LinkParams link;
+  link.bandwidth_bps = 6e6;
+  link.one_way_delay_s = 0.020;
+  link.queue_capacity_pkts = 250;
+  link.random_loss_rate = 0.01;  // interference on the wifi hop
+
+  std::vector<SchemeSpec> schemes;
+  schemes.push_back(MoccScheme(RtcObjective(), "MOCC"));
+  for (auto& s : HandcraftedSchemes()) {
+    if (s.name == "TCP CUBIC" || s.name == "BBR" || s.name == "TCP Vegas") {
+      schemes.push_back(std::move(s));
+    }
+  }
+
+  PrintSection(std::cout, "Fig 9: RTC inter-packet delay (50 s call, MOCC w=<0.4,0.5,0.1>)");
+  TablePrinter t({"scheme", "frame_delay_ms", "inter_pkt_ms", "jitter_ms", "queueing_ms",
+                  "goodput_Mbps"});
+  std::vector<std::pair<std::string, RtcResult>> results;
+  for (const auto& scheme : schemes) {
+    PacketNetwork net(link, 808);
+    FlowOptions options;
+    options.keep_delivery_times = true;
+    const int flow = net.AddFlow(scheme.make(link), options);
+    net.Run(50.0);
+    const RtcResult r = AnalyzeRtcFlow(net, flow, 10.0, 50.0);
+    results.emplace_back(scheme.name, r);
+    t.AddRow({scheme.name, TablePrinter::Num(r.frame_delay_ms, 1),
+              TablePrinter::Num(r.mean_inter_packet_delay_ms, 1),
+              TablePrinter::Num(r.jitter_ms, 1),
+              TablePrinter::Num(r.mean_queueing_delay_ms, 1),
+              TablePrinter::Num(r.goodput_mbps, 2)});
+  }
+  t.Print(std::cout);
+
+  double best_other = 1e9;
+  for (size_t i = 1; i < results.size(); ++i) {
+    best_other = std::min(best_other, results[i].second.frame_delay_ms);
+  }
+  std::cout << "shape check: MOCC frame delay "
+            << TablePrinter::Num(results[0].second.frame_delay_ms, 1)
+            << " ms <= best baseline " << TablePrinter::Num(best_other, 1) << " ms? "
+            << (results[0].second.frame_delay_ms <= best_other * 1.05 ? "yes" : "NO")
+            << " (paper: MOCC's per-packet delay lowest, 21-63% below BBR/Vegas/CUBIC)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 13 — pairwise competition of MOCC variants with different weights (§6.4):
+// two flows on a 20 Mbps / 20 ms RTT / 1xBDP link. A larger w_thr should grab more
+// bandwidth, but no variant starves the other (shared objective framework). Panel (d)
+// shows CUBIC vs Vegas for contrast (delay-based Vegas is starved by loss-based CUBIC).
+#include <iostream>
+
+#include "bench/bench_support.h"
+#include "src/baselines/cubic.h"
+#include "src/baselines/vegas.h"
+#include "src/common/table.h"
+
+using namespace mocc;
+
+int main() {
+  LinkParams link;
+  link.bandwidth_bps = 20e6;
+  link.one_way_delay_s = 0.010;
+  link.queue_capacity_pkts = static_cast<int>(link.BdpPackets());
+
+  const SchemeSpec mocc_thr = MoccScheme(ThroughputObjective(), "MOCC-Throughput");
+  const SchemeSpec mocc_bal = MoccScheme(BalancedObjective(), "MOCC-Balance");
+  const SchemeSpec mocc_lat = MoccScheme(LatencyObjective(), "MOCC-Latency");
+  const SchemeSpec cubic{"TCP CUBIC",
+                         [](const LinkParams&) { return std::make_unique<CubicCc>(); }};
+  const SchemeSpec vegas{"TCP Vegas",
+                         [](const LinkParams&) { return std::make_unique<VegasCc>(); }};
+
+  struct Pair {
+    const char* panel;
+    const SchemeSpec* a;
+    const SchemeSpec* b;
+  };
+  const Pair pairs[] = {{"(a)", &mocc_thr, &mocc_bal},
+                        {"(b)", &mocc_thr, &mocc_lat},
+                        {"(c)", &mocc_lat, &mocc_bal},
+                        {"(d)", &cubic, &vegas}};
+
+  PrintSection(std::cout, "Fig 13: pairwise competition, 2 flows on 20 Mbps / 20 ms");
+  for (const Pair& pair : pairs) {
+    PacketNetwork net(link, 99);
+    const int f1 = net.AddFlow(pair.a->make(link));
+    const int f2 = net.AddFlow(pair.b->make(link));
+    const double duration = 30.0;
+    net.Run(duration);
+
+    std::cout << "\npanel " << pair.panel << ": " << pair.a->name << " vs " << pair.b->name
+              << "\n";
+    TablePrinter t({"time_s", pair.a->name, pair.b->name});
+    const auto s1 = net.record(f1).BinnedThroughputMbps(0.0, duration, 3.0);
+    const auto s2 = net.record(f2).BinnedThroughputMbps(0.0, duration, 3.0);
+    for (size_t bin = 0; bin < s1.size(); ++bin) {
+      t.AddRow({TablePrinter::Num(3.0 * static_cast<double>(bin), 0),
+                TablePrinter::Num(s1[bin], 1), TablePrinter::Num(s2[bin], 1)});
+    }
+    t.Print(std::cout);
+    const double t1 = net.record(f1).AvgThroughputBps(10.0, duration) / 1e6;
+    const double t2 = net.record(f2).AvgThroughputBps(10.0, duration) / 1e6;
+    std::cout << "steady state: " << TablePrinter::Num(t1, 1) << " vs "
+              << TablePrinter::Num(t2, 1) << " Mbps (ratio "
+              << TablePrinter::Num(t1 / std::max(0.01, t2), 2) << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 14 — friendliness among MOCC variants (§6.4): each weight variant competes
+// against the MOCC-Throughput anchor on a 20 Mbps link across RTTs 10-90 ms; reported
+// metric is the throughput ratio (variant / anchor). The paper observes ratios within
+// 0.43-2.04: weightier throughput preferences are more aggressive, but nobody starves.
+#include <iostream>
+
+#include "bench/bench_support.h"
+#include "src/common/table.h"
+
+using namespace mocc;
+
+int main() {
+  const WeightVector variants[] = {{0.8, 0.1, 0.1}, {0.6, 0.3, 0.1}, {0.5, 0.3, 0.2},
+                                   {0.2, 0.4, 0.4}, {0.1, 0.8, 0.1}, {0.1, 0.1, 0.8}};
+  const SchemeSpec anchor = MoccScheme(ThroughputObjective(), "anchor");
+
+  PrintSection(std::cout,
+               "Fig 14: throughput ratio of MOCC weight variants vs MOCC-Throughput");
+  std::vector<std::string> headers = {"rtt_ms"};
+  for (const auto& w : variants) {
+    headers.push_back(w.ToString());
+  }
+  TablePrinter t(headers);
+  double global_min = 1e9;
+  double global_max = 0.0;
+  for (double rtt_ms : {10.0, 30.0, 50.0, 70.0, 90.0}) {
+    LinkParams link;
+    link.bandwidth_bps = 20e6;
+    link.one_way_delay_s = rtt_ms / 2e3;
+    link.queue_capacity_pkts = static_cast<int>(link.BdpPackets());
+    std::vector<std::string> row = {TablePrinter::Num(rtt_ms, 0)};
+    for (const auto& w : variants) {
+      PacketNetwork net(link, 33 + static_cast<uint64_t>(rtt_ms));
+      const int fv = net.AddFlow(MoccScheme(w, "variant").make(link));
+      const int fa = net.AddFlow(anchor.make(link));
+      net.Run(30.0);
+      const double tv = net.record(fv).AvgThroughputBps(10.0, 30.0);
+      const double ta = net.record(fa).AvgThroughputBps(10.0, 30.0);
+      const double ratio = tv / std::max(1.0, ta);
+      global_min = std::min(global_min, ratio);
+      global_max = std::max(global_max, ratio);
+      row.push_back(TablePrinter::Num(ratio, 2));
+    }
+    t.AddRow(row);
+  }
+  t.Print(std::cout);
+  std::cout << "ratio band: " << TablePrinter::Num(global_min, 2) << " - "
+            << TablePrinter::Num(global_max, 2)
+            << " (paper: 0.43 - 2.04; no starvation = min ratio > 0.1? "
+            << (global_min > 0.1 ? "yes" : "NO") << ")\n";
+  return 0;
+}

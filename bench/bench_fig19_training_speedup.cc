@@ -1,0 +1,80 @@
+// Figure 19 — training speedup techniques (§6.5): wall-clock time of
+//  (1) individual training: every landmark objective trained independently;
+//  (2) two-phase training with neighborhood transfer (Algorithm 1);
+//  (3) two-phase + parallel rollout environments.
+// Paper (full scale): 9072 min -> 504 min (18x) -> 126 min (72x). Budgets here are
+// uniformly scaled down; the RATIOS are the result. Note: on a single-core machine the
+// parallel factor shows thread overhead rather than speedup; the mechanism (concurrent
+// rollout collection on model clones) is identical.
+#include <iostream>
+#include <thread>
+
+#include "bench/bench_support.h"
+#include "src/common/table.h"
+
+using namespace mocc;
+
+int main() {
+  // Scaled-down budget: the same model/config across the three strategies.
+  OfflineTrainConfig config = QuickOfflinePreset(7);
+  config.bootstrap_iterations = 12;
+  config.traversal_rounds = 1;
+
+  PrintSection(std::cout, "Fig 19: training time by strategy (scaled budgets)");
+
+  // (1) Individual: omega objectives x full budget each.
+  double individual_s = 0.0;
+  {
+    OfflineTrainConfig ind = config;
+    Rng rng(ind.seed);
+    PreferenceActorCritic model(ind.mocc, &rng);
+    OfflineTrainer trainer(&model, ind);
+    const OfflineTrainResult r = trainer.TrainIndividually();
+    individual_s = r.wall_seconds;
+    std::cout << "individual training:      " << r.total_iterations << " iterations, "
+              << TablePrinter::Num(r.wall_seconds, 1) << " s\n";
+  }
+
+  // (2) Two-phase with neighborhood transfer.
+  double transfer_s = 0.0;
+  {
+    Rng rng(config.seed);
+    PreferenceActorCritic model(config.mocc, &rng);
+    OfflineTrainer trainer(&model, config);
+    const OfflineTrainResult r = trainer.TrainTwoPhase();
+    transfer_s = r.wall_seconds;
+    std::cout << "transfer (two-phase):     " << r.total_iterations << " iterations, "
+              << TablePrinter::Num(r.wall_seconds, 1) << " s\n";
+  }
+
+  // (3) Two-phase + parallel environments.
+  double parallel_s = 0.0;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  {
+    OfflineTrainConfig par = config;
+    par.parallel_envs = static_cast<int>(std::min(4u, std::max(2u, hw)));
+    Rng rng(par.seed);
+    PreferenceActorCritic model(par.mocc, &rng);
+    OfflineTrainer trainer(&model, par);
+    const OfflineTrainResult r = trainer.TrainTwoPhase();
+    parallel_s = r.wall_seconds;
+    std::cout << "transfer + parallel (" << par.parallel_envs << " envs): " << r.total_iterations
+              << " iterations, " << TablePrinter::Num(r.wall_seconds, 1) << " s\n";
+  }
+
+  TablePrinter t({"strategy", "wall_s", "speedup_vs_individual"});
+  t.AddRow({"Individual Training", TablePrinter::Num(individual_s, 1), "1.0x"});
+  t.AddRow({"Transfer Learning", TablePrinter::Num(transfer_s, 1),
+            TablePrinter::Num(individual_s / std::max(0.01, transfer_s), 1) + "x"});
+  t.AddRow({"Transfer & Parallel", TablePrinter::Num(parallel_s, 1),
+            TablePrinter::Num(individual_s / std::max(0.01, parallel_s), 1) + "x"});
+  t.Print(std::cout);
+
+  std::cout << "shape check: transfer learning speeds up training ("
+            << TablePrinter::Num(individual_s / std::max(0.01, transfer_s), 1)
+            << "x; paper: 18x at full scale)? " << (transfer_s < individual_s ? "yes" : "NO")
+            << "\n"
+            << "note: hardware_concurrency=" << hw
+            << "; the paper's extra 4x from parallelism requires multiple cores.\n";
+  return 0;
+}

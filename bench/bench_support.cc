@@ -1,0 +1,132 @@
+#include "bench/bench_support.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/baselines/allegro.h"
+#include "src/baselines/bbr.h"
+#include "src/baselines/copa.h"
+#include "src/baselines/cubic.h"
+#include "src/baselines/orca.h"
+#include "src/baselines/vegas.h"
+#include "src/baselines/vivace.h"
+#include "src/core/reward.h"
+
+namespace mocc {
+
+ModelZoo& BenchZoo() {
+  static ModelZoo zoo("mocc_model_zoo");
+  return zoo;
+}
+
+std::shared_ptr<PreferenceActorCritic> BenchBaseModel() {
+  static std::shared_ptr<PreferenceActorCritic> model = [] {
+    const OfflineTrainConfig config = StandardOfflinePreset(7);
+    std::fprintf(stderr, "[bench] loading/training MOCC base model (omega=%d)...\n",
+                 ObjectiveGridSize(config.mocc.landmark_step_divisor));
+    return GetOrTrainBaseModel(&BenchZoo(), "bench_base_std", config);
+  }();
+  return model;
+}
+
+std::shared_ptr<MlpActorCritic> BenchAuroraModel(const std::string& key,
+                                                 const WeightVector& w, int iterations,
+                                                 uint64_t seed) {
+  return BenchZoo().GetOrTrainAurora(key, AuroraObsDim(10), [&]() {
+    std::fprintf(stderr, "[bench] training Aurora model '%s'...\n", key.c_str());
+    AuroraConfig config;
+    config.reward_weights = w;
+    config.iterations = iterations;
+    config.seed = seed;
+    config.env.stochastic_loss = false;
+    config.ppo.entropy_start = 0.02;
+    config.ppo.entropy_end = 0.002;
+    config.ppo.entropy_decay_iters = iterations;
+    return TrainAurora(config);
+  });
+}
+
+std::shared_ptr<MlpActorCritic> BenchOrcaModel() {
+  return BenchAuroraModel("bench_orca_agent", WeightVector(0.7, 0.2, 0.1), 120, 91);
+}
+
+std::vector<SchemeSpec> HandcraftedSchemes() {
+  std::vector<SchemeSpec> schemes;
+  schemes.push_back({"TCP CUBIC", [](const LinkParams&) { return std::make_unique<CubicCc>(); }});
+  schemes.push_back({"TCP Vegas", [](const LinkParams&) { return std::make_unique<VegasCc>(); }});
+  schemes.push_back({"BBR", [](const LinkParams&) { return std::make_unique<BbrCc>(); }});
+  schemes.push_back({"Copa", [](const LinkParams&) { return std::make_unique<CopaCc>(); }});
+  schemes.push_back(
+      {"PCC Allegro", [](const LinkParams&) { return std::make_unique<AllegroCc>(); }});
+  schemes.push_back(
+      {"PCC Vivace", [](const LinkParams&) { return std::make_unique<VivaceCc>(); }});
+  return schemes;
+}
+
+// Initial pacing rate for deployed RL controllers: a slow-start analogue so ramp time
+// does not dominate large-bandwidth links (Eq. 1 moves the rate ~2.5% per RTT).
+static double RlInitialRate(const LinkParams& link) {
+  return std::max(2e6, 0.25 * link.bandwidth_bps);
+}
+
+std::vector<SchemeSpec> AllBaselineSchemes() {
+  std::vector<SchemeSpec> schemes = HandcraftedSchemes();
+  auto aurora_thr = BenchAuroraModel("bench_aurora_thr", ThroughputObjective());
+  auto aurora_lat = BenchAuroraModel("bench_aurora_lat", LatencyObjective(), 120, 43);
+  auto orca_agent = BenchOrcaModel();
+  schemes.push_back({"Aurora-throughput", [aurora_thr](const LinkParams& link) {
+                       return MakeAuroraCc(aurora_thr, "Aurora-throughput", 10,
+                                           RlInitialRate(link));
+                     }});
+  schemes.push_back({"Aurora-latency", [aurora_lat](const LinkParams& link) {
+                       return MakeAuroraCc(aurora_lat, "Aurora-latency", 10,
+                                           RlInitialRate(link));
+                     }});
+  schemes.push_back({"Orca", [orca_agent](const LinkParams&) {
+                       return std::make_unique<OrcaCc>(orca_agent);
+                     }});
+  return schemes;
+}
+
+SchemeSpec MoccScheme(const WeightVector& w, const std::string& name) {
+  auto model = BenchBaseModel();
+  return {name, [model, w, name](const LinkParams& link) {
+            return MakeMoccCc(model, w, name, RlInitialRate(link));
+          }};
+}
+
+SingleFlowResult RunSingleFlow(const SchemeSpec& scheme, const SingleFlowRunConfig& config) {
+  PacketNetwork net(config.link, config.seed);
+  if (!config.trace.empty()) {
+    net.SetBandwidthTrace(config.trace);
+  }
+  const int flow = net.AddFlow(scheme.make(config.link));
+  double duration = config.duration_s;
+  double warmup = config.warmup_s;
+  const double min_duration = config.min_rtts * config.link.BaseRttS();
+  if (duration < min_duration) {
+    duration = min_duration;
+    warmup = duration / 2.0;
+  }
+  net.Run(duration);
+
+  const FlowRecord& rec = net.record(flow);
+  SingleFlowResult result;
+  const double thr_bps = rec.AvgThroughputBps(warmup, duration);
+  result.throughput_mbps = thr_bps / 1e6;
+  result.utilization = std::min(1.0, thr_bps / config.link.bandwidth_bps);
+  result.avg_rtt_s = rec.AvgRttS();
+  result.latency_ratio =
+      result.avg_rtt_s > 0.0 ? result.avg_rtt_s / config.link.BaseRttS() : 1.0;
+  result.loss_rate = rec.LossRate();
+
+  MonitorReport aggregate;
+  aggregate.throughput_bps = thr_bps;
+  aggregate.avg_rtt_s = result.avg_rtt_s > 0.0 ? result.avg_rtt_s : config.link.BaseRttS();
+  aggregate.loss_rate = result.loss_rate;
+  result.reward = DynamicReward(config.reward_weights, aggregate,
+                                config.link.bandwidth_bps, config.link.BaseRttS());
+  return result;
+}
+
+}  // namespace mocc

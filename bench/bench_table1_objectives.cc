@@ -1,0 +1,74 @@
+// Table 1 — Performance objectives in learning-based CC.
+// Prints each implemented utility/reward function (PCC Allegro, PCC Vivace, Aurora,
+// Orca) evaluated over a grid of operating points, demonstrating the qualitative
+// behaviour each objective encodes (loss knees, latency-gradient penalties, power
+// normalization) that the schemes in this repository optimize.
+#include <iostream>
+
+#include "bench/bench_support.h"
+#include "src/baselines/utility_functions.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace mocc;
+  PrintSection(std::cout, "Table 1: objectives of learning-based CC (implemented forms)");
+
+  std::cout << "PCC Allegro:  u = T(1-L)*sigmoid(100(L-0.05)) - T*L       (T = goodput Mbps)\n"
+            << "PCC Vivace:   u = x^0.9 - 900*x*d(RTT)/dt - 11.35*x*L     (x = rate Mbps)\n"
+            << "Aurora:       r = 10*T - 1000*RTT - 2000*L                (T pkts/s)\n"
+            << "Orca:         r = ((T - 5*L*T)/RTT) / (Tmax/RTTmin)\n";
+
+  PrintSection(std::cout, "Allegro & Vivace utility vs loss rate (rate = 10 Mbps)");
+  {
+    TablePrinter t({"loss", "allegro_u", "vivace_u"});
+    for (double loss : {0.0, 0.01, 0.03, 0.05, 0.08, 0.15, 0.30}) {
+      t.AddRow({TablePrinter::Num(loss, 2), TablePrinter::Num(AllegroUtility(10.0, loss)),
+                TablePrinter::Num(VivaceUtility(10.0, 0.0, loss))});
+    }
+    t.Print(std::cout);
+    std::cout << "shape check: Allegro utility turns negative past the 5% sigmoid knee: "
+              << (AllegroUtility(10.0, 0.15) < 0.0 && AllegroUtility(10.0, 0.01) > 0.0
+                      ? "yes"
+                      : "NO")
+              << "\n";
+  }
+
+  PrintSection(std::cout, "Vivace utility vs RTT gradient (rate = 10 Mbps, no loss)");
+  {
+    TablePrinter t({"dRTT/dt", "vivace_u"});
+    for (double g : {-0.2, 0.0, 0.005, 0.01, 0.02}) {
+      t.AddRow({TablePrinter::Num(g, 3), TablePrinter::Num(VivaceUtility(10.0, g, 0.0))});
+    }
+    t.Print(std::cout);
+  }
+
+  PrintSection(std::cout, "Aurora reward vs throughput/RTT/loss");
+  {
+    TablePrinter t({"thr_pps", "rtt_s", "loss", "aurora_r"});
+    const double cases[][3] = {
+        {400, 0.04, 0.0}, {400, 0.08, 0.0}, {400, 0.04, 0.05}, {800, 0.04, 0.0}};
+    for (const auto& c : cases) {
+      t.AddRow({TablePrinter::Num(c[0], 0), TablePrinter::Num(c[1], 3),
+                TablePrinter::Num(c[2], 2), TablePrinter::Num(AuroraReward(c[0], c[1], c[2]))});
+    }
+    t.Print(std::cout);
+  }
+
+  PrintSection(std::cout, "Orca normalized power (link 10 Mbps, base RTT 40 ms)");
+  {
+    TablePrinter t({"thr_mbps", "rtt_ms", "loss", "orca_r"});
+    const double cases[][3] = {
+        {10, 40, 0.0}, {10, 80, 0.0}, {5, 40, 0.0}, {10, 40, 0.05}};
+    for (const auto& c : cases) {
+      t.AddRow({TablePrinter::Num(c[0], 0), TablePrinter::Num(c[1], 0),
+                TablePrinter::Num(c[2], 2),
+                TablePrinter::Num(OrcaReward(c[0] * 1e6, c[1] / 1e3, c[2], 10e6, 0.04))});
+    }
+    t.Print(std::cout);
+  }
+
+  PrintSection(std::cout, "MOCC dynamic reward (Eq. 2) replaces all of the above");
+  std::cout << "r_t = w_thr*O_thr + w_lat*O_lat + w_loss*O_loss with per-application\n"
+               "weight vectors; see bench_fig06_hundred_objectives for its evaluation.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Tables 2 & 3 — MOCC hyper-parameters and train/test environment ranges.
+// Prints the constants actually compiled into this library next to the paper's values,
+// so any reproduction drift is visible at a glance.
+#include <iostream>
+
+#include "bench/bench_support.h"
+#include "src/common/table.h"
+#include "src/core/mocc_config.h"
+#include "src/netsim/link_params.h"
+
+int main() {
+  using namespace mocc;
+  const MoccConfig config;
+
+  PrintSection(std::cout, "Table 2: parameter settings (paper vs this implementation)");
+  {
+    TablePrinter t({"parameter", "paper", "implemented"});
+    t.AddRow({"discount factor (gamma)", "0.99", TablePrinter::Num(config.discount_gamma, 2)});
+    t.AddRow({"learning rate (Adam)", "0.001", TablePrinter::Num(config.learning_rate, 3)});
+    t.AddRow({"action scale factor (alpha)", "0.025",
+              TablePrinter::Num(config.action_scale_alpha, 3)});
+    t.AddRow({"history length (eta)", "10",
+              std::to_string(config.history_len_eta)});
+    t.AddRow({"landmark objectives (omega)", "36",
+              std::to_string(ObjectiveGridSize(config.landmark_step_divisor))});
+    t.AddRow({"policy network", "MLP 64x32 tanh",
+              "PN(" + std::to_string(config.pn_hidden) + "->" +
+                  std::to_string(config.pn_out) + ") + trunk 64x32 tanh"});
+    t.Print(std::cout);
+  }
+
+  PrintSection(std::cout, "Table 3: training/testing environment parameters");
+  {
+    const LinkParamsRange train = TrainingRange();
+    const LinkParamsRange test = TestingRange();
+    TablePrinter t({"phase", "bandwidth", "one-way latency", "queue", "loss"});
+    auto row = [&](const char* name, const LinkParamsRange& r) {
+      t.AddRow({name,
+                TablePrinter::Num(r.min_bandwidth_bps / 1e6, 0) + "-" +
+                    TablePrinter::Num(r.max_bandwidth_bps / 1e6, 0) + " Mbps",
+                TablePrinter::Num(r.min_one_way_delay_s * 1e3, 0) + "-" +
+                    TablePrinter::Num(r.max_one_way_delay_s * 1e3, 0) + " ms",
+                std::to_string(r.min_queue_pkts) + "-" + std::to_string(r.max_queue_pkts) +
+                    " pkts",
+                TablePrinter::Num(r.min_loss_rate * 100, 0) + "-" +
+                    TablePrinter::Num(r.max_loss_rate * 100, 0) + " %"});
+    };
+    row("training", train);
+    row("testing", test);
+    t.Print(std::cout);
+    std::cout << "paper: training 1-5 Mbps / 10-50 ms / 0-3000 pkts / 0-3%\n"
+              << "paper: testing 10-50 Mbps / 10-200 ms / 500-5000 pkts / 0-10%\n";
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Online adaptation (the paper's §4.3): an application with an UNSEEN requirement
+// arrives; MOCC serves it immediately with a moderate policy from the offline model,
+// then adapts online with requirement replay — improving the new application without
+// forgetting the old one.
+//
+//   $ ./examples/online_adaptation
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/core/model_zoo.h"
+#include "src/core/online_adapter.h"
+#include "src/core/presets.h"
+#include "src/rl/evaluate.h"
+
+int main() {
+  using namespace mocc;
+
+  ModelZoo zoo;
+  auto base = GetOrTrainBaseModel(&zoo, "quickstart_base", QuickOfflinePreset());
+  auto working_owner = base->Clone();  // adapt a copy; the zoo model stays pristine
+  auto* model = static_cast<PreferenceActorCritic*>(working_owner.get());
+
+  const WeightVector old_app = ThroughputObjective();       // a long-running service
+  const WeightVector new_app(0.23, 0.57, 0.20);             // unseen, off the omega grid
+
+  auto evaluate = [&](const WeightVector& w, uint64_t seed) {
+    CcEnvConfig config = base->config().MakeEnvConfig();
+    CcEnv env(config, seed);
+    env.SetObjective(w);
+    return EvaluatePolicy(model, &env, 2).mean_step_reward;
+  };
+
+  CcEnv adapt_env(base->config().MakeEnvConfig(), 31);
+  OnlineAdaptConfig config;
+  config.mocc = base->config();
+  config.rollout_steps = 512;
+  OnlineAdapter adapter(model, &adapt_env, config);
+  adapter.RememberObjective(old_app);
+
+  std::cout << "New application arrives with unseen requirement " << new_app.ToString()
+            << "\n";
+  TablePrinter t({"adaptation_iter", "new app reward", "old app reward"});
+  t.AddRow({"0 (offline model)", TablePrinter::Num(evaluate(new_app, 900)),
+            TablePrinter::Num(evaluate(old_app, 901))});
+  for (int i = 1; i <= 16; ++i) {
+    adapter.AdaptIteration(new_app);
+    if (i % 4 == 0) {
+      t.AddRow({std::to_string(i), TablePrinter::Num(evaluate(new_app, 900)),
+                TablePrinter::Num(evaluate(old_app, 901))});
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "Requirement replay (Eq. 6) keeps the old application's policy intact\n"
+            << "while the new one improves; replay pool now holds "
+            << adapter.replay_pool().size() << " requirements.\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "src/apps/bulk.h"
+
+#include "src/netsim/packet_network.h"
+
+namespace mocc {
+
+double RunBulkTransfer(const BulkConfig& config, std::unique_ptr<CongestionControl> cc,
+                       uint64_t seed) {
+  PacketNetwork net(config.link, seed);
+  const int flow = net.AddFlow(std::move(cc));
+  const int64_t target_bits = static_cast<int64_t>(config.file_mb * 8e6);
+  net.RunUntil([&]() { return net.record(flow).bits_acked >= target_bits; },
+               config.max_time_s);
+  const FlowRecord& record = net.record(flow);
+  if (record.bits_acked < target_bits) {
+    return config.max_time_s;
+  }
+  return record.last_ack_time_s -
+         (record.first_send_time_s >= 0.0 ? record.first_send_time_s : 0.0);
+}
+
+RunningStat RunBulkTransfers(const BulkConfig& config,
+                             const std::function<std::unique_ptr<CongestionControl>()>& make_cc,
+                             int repetitions, uint64_t seed_base) {
+  RunningStat stat;
+  for (int i = 0; i < repetitions; ++i) {
+    stat.Add(RunBulkTransfer(config, make_cc(), seed_base + static_cast<uint64_t>(i) * 7919));
+  }
+  return stat;
+}
+
+}  // namespace mocc

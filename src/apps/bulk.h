@@ -1,0 +1,38 @@
+// Bulk data transfer workload — the paper's third real application (Figure 10, §6.3):
+// repeated 100 MB file transfers over a link with 0.5% random loss emulating background
+// interference; the metric is the flow completion time (FCT) and its stability across
+// repetitions.
+#ifndef MOCC_SRC_APPS_BULK_H_
+#define MOCC_SRC_APPS_BULK_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/common/stats.h"
+#include "src/netsim/cc_interface.h"
+#include "src/netsim/link_params.h"
+
+namespace mocc {
+
+struct BulkConfig {
+  double file_mb = 100.0;
+  LinkParams link{.bandwidth_bps = 100e6,
+                  .one_way_delay_s = 0.005,
+                  .queue_capacity_pkts = 1000,
+                  .random_loss_rate = 0.005};
+  double max_time_s = 600.0;
+};
+
+// One transfer: returns the flow completion time in seconds (or max_time_s on stall).
+double RunBulkTransfer(const BulkConfig& config, std::unique_ptr<CongestionControl> cc,
+                       uint64_t seed);
+
+// `repetitions` transfers with per-run seeds; returns FCT statistics. `make_cc` is
+// invoked once per run (congestion controllers are stateful).
+RunningStat RunBulkTransfers(const BulkConfig& config,
+                             const std::function<std::unique_ptr<CongestionControl>()>& make_cc,
+                             int repetitions, uint64_t seed_base);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_APPS_BULK_H_

@@ -1,0 +1,48 @@
+#include "src/apps/rtc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/stats.h"
+
+namespace mocc {
+
+RtcResult AnalyzeRtcFlow(const PacketNetwork& net, int flow_id, double warmup_s,
+                         double end_s) {
+  RtcResult result;
+  const FlowRecord& record = net.record(flow_id);
+  const auto& deliveries = record.delivery_times();
+
+  std::vector<double> gaps_s;
+  gaps_s.reserve(deliveries.size());
+  for (size_t i = 1; i < deliveries.size(); ++i) {
+    if (deliveries[i] < warmup_s || deliveries[i] > end_s) {
+      continue;
+    }
+    gaps_s.push_back(deliveries[i] - deliveries[i - 1]);
+  }
+  if (!gaps_s.empty()) {
+    RunningStat stat;
+    for (double g : gaps_s) {
+      stat.Add(g * 1e3);
+    }
+    result.mean_inter_packet_delay_ms = stat.Mean();
+    result.jitter_ms = stat.StdDev();
+    result.p95_inter_packet_delay_ms = Percentile(gaps_s, 0.95) * 1e3;
+  }
+
+  // Queueing delay: mean MI RTT in the analysis window minus the flow's min RTT.
+  RunningStat queueing_ms;
+  for (const auto& mi : record.mi_samples()) {
+    if (mi.time_s < warmup_s || mi.time_s > end_s || mi.avg_rtt_s <= 0.0) {
+      continue;
+    }
+    queueing_ms.Add(std::max(0.0, mi.avg_rtt_s - record.min_rtt_s) * 1e3);
+  }
+  result.mean_queueing_delay_ms = queueing_ms.Mean();
+  result.goodput_mbps = record.AvgThroughputBps(warmup_s, end_s) / 1e6;
+  result.frame_delay_ms = result.mean_inter_packet_delay_ms + result.mean_queueing_delay_ms;
+  return result;
+}
+
+}  // namespace mocc

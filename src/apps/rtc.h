@@ -1,0 +1,35 @@
+// Real-time communication workload — the paper's second real application (Figure 9,
+// §6.3: a Salsify-style conference call). The reported metric is the average
+// inter-packet delay at the receiver: the mean gap between consecutive packet
+// deliveries, which is inversely proportional to the goodput the transport sustains on
+// the (lossy, wifi-like) path — schemes that collapse under random loss (e.g. CUBIC)
+// space packets out several-fold wider.
+#ifndef MOCC_SRC_APPS_RTC_H_
+#define MOCC_SRC_APPS_RTC_H_
+
+#include "src/netsim/packet_network.h"
+
+namespace mocc {
+
+struct RtcResult {
+  double mean_inter_packet_delay_ms = 0.0;
+  double p95_inter_packet_delay_ms = 0.0;
+  double jitter_ms = 0.0;  // stddev of delivery gaps
+  double mean_queueing_delay_ms = 0.0;
+  double goodput_mbps = 0.0;
+  // What a real-time frame experiences end to end beyond propagation: the spacing
+  // between deliveries PLUS the standing queueing delay. A scheme that keeps the pipe
+  // full but bloats the queue (e.g. BBR probing) scores badly here, matching the
+  // paper's per-packet delay measurements.
+  double frame_delay_ms = 0.0;
+};
+
+// Analyzes flow `flow_id` of a finished simulation. `warmup_s` of initial deliveries are
+// excluded (slow-start transient). The flow must have been added with
+// keep_delivery_times = true.
+RtcResult AnalyzeRtcFlow(const PacketNetwork& net, int flow_id, double warmup_s,
+                         double end_s);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_APPS_RTC_H_

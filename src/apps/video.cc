@@ -1,0 +1,105 @@
+#include "src/apps/video.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace mocc {
+
+VideoSession::VideoSession(const VideoConfig& config) : config_(config) {
+  assert(!config_.ladder_kbps.empty());
+}
+
+int VideoSession::PickQuality(double predicted_throughput_bps, double buffer_s) const {
+  const double budget_s = std::max(0.5, buffer_s - config_.safety_reserve_s);
+  int pick = 0;
+  for (int level = static_cast<int>(config_.ladder_kbps.size()) - 1; level >= 0; --level) {
+    const double chunk_bits =
+        config_.ladder_kbps[static_cast<size_t>(level)] * 1e3 * config_.chunk_duration_s;
+    const double predicted_download_s =
+        predicted_throughput_bps > 0.0 ? chunk_bits / predicted_throughput_bps : 1e9;
+    if (predicted_download_s <= budget_s) {
+      pick = level;
+      break;
+    }
+  }
+  return pick;
+}
+
+VideoResult VideoSession::Run(PacketNetwork* net, int flow_id) {
+  VideoResult result;
+  result.quality_histogram.assign(config_.ladder_kbps.size(), 0);
+  std::deque<double> recent_throughputs_bps;
+  double buffer_s = 0.0;
+  const double start_s = net->now_s();
+  int64_t target_bits = net->record(flow_id).bits_acked;
+
+  for (int chunk = 0; chunk < config_.num_chunks; ++chunk) {
+    // Harmonic-mean throughput prediction over the recent chunk downloads.
+    double predicted_bps = 0.0;
+    if (!recent_throughputs_bps.empty()) {
+      double inv_sum = 0.0;
+      for (double t : recent_throughputs_bps) {
+        inv_sum += 1.0 / std::max(1.0, t);
+      }
+      predicted_bps = static_cast<double>(recent_throughputs_bps.size()) / inv_sum;
+    }
+    const int level = recent_throughputs_bps.empty() ? 0 : PickQuality(predicted_bps, buffer_s);
+    result.chunk_quality.push_back(level);
+    ++result.quality_histogram[static_cast<size_t>(level)];
+
+    const double chunk_bits =
+        config_.ladder_kbps[static_cast<size_t>(level)] * 1e3 * config_.chunk_duration_s;
+    target_bits += static_cast<int64_t>(chunk_bits);
+
+    const double t0 = net->now_s();
+    net->ResumeFlow(flow_id);
+    net->RunUntil(
+        [&]() { return net->record(flow_id).bits_acked >= target_bits; },
+        t0 + 120.0);
+    const double download_s = std::max(1e-6, net->now_s() - t0);
+
+    // Playback drains the buffer during the download; hitting zero is a rebuffer.
+    // The first chunk fills an empty buffer: that time is startup delay, not a stall.
+    if (chunk == 0) {
+      result.startup_delay_s = download_s;
+    } else if (download_s > buffer_s) {
+      result.rebuffer_s += download_s - buffer_s;
+      buffer_s = 0.0;
+    } else {
+      buffer_s -= download_s;
+    }
+    buffer_s += config_.chunk_duration_s;
+
+    recent_throughputs_bps.push_back(chunk_bits / download_s);
+    while (static_cast<int>(recent_throughputs_bps.size()) > config_.throughput_window_chunks) {
+      recent_throughputs_bps.pop_front();
+    }
+
+    // If the buffer is full, the player idles before requesting the next chunk.
+    if (buffer_s > config_.max_buffer_s - config_.chunk_duration_s) {
+      const double idle_s = buffer_s - (config_.max_buffer_s - config_.chunk_duration_s);
+      net->PauseFlow(flow_id);
+      net->Run(net->now_s() + idle_s);
+      buffer_s -= idle_s;
+    }
+  }
+  net->ResumeFlow(flow_id);
+
+  result.total_time_s = net->now_s() - start_s;
+  double thr_sum = 0.0;
+  for (double t : recent_throughputs_bps) {
+    thr_sum += t;
+  }
+  // Average over the whole session, not just the tail window.
+  double total_bits = 0.0;
+  for (size_t i = 0; i < result.chunk_quality.size(); ++i) {
+    total_bits += config_.ladder_kbps[static_cast<size_t>(result.chunk_quality[i])] * 1e3 *
+                  config_.chunk_duration_s;
+  }
+  result.avg_chunk_throughput_mbps =
+      result.total_time_s > 0.0 ? total_bits / result.total_time_s / 1e6 : 0.0;
+  return result;
+}
+
+}  // namespace mocc

@@ -1,0 +1,60 @@
+// Chunked adaptive-bitrate video streaming over the packet simulator — the paper's first
+// real-application workload (Figure 8, §6.3: a Pensieve-style video server; ABR picks
+// chunk quality from buffer state and throughput predictions, so a better transport
+// yields more high-quality chunks). The ABR here is a robust-MPC-style rule: highest
+// bitrate whose predicted download time fits in the playback buffer minus a safety
+// reserve, with the throughput prediction being the harmonic mean of recent chunks.
+#ifndef MOCC_SRC_APPS_VIDEO_H_
+#define MOCC_SRC_APPS_VIDEO_H_
+
+#include <vector>
+
+#include "src/netsim/packet_network.h"
+
+namespace mocc {
+
+struct VideoConfig {
+  // Pensieve's bitrate ladder (kbps); index = quality level 0..5.
+  std::vector<double> ladder_kbps = {300, 750, 1200, 1850, 2850, 4300};
+  double chunk_duration_s = 4.0;
+  int num_chunks = 30;
+  double max_buffer_s = 30.0;
+  double safety_reserve_s = 2.0;
+  int throughput_window_chunks = 5;
+};
+
+struct VideoResult {
+  std::vector<int> chunk_quality;      // chosen level per chunk
+  std::vector<int> quality_histogram;  // chunk count per level
+  double rebuffer_s = 0.0;      // stalls after playback started
+  double startup_delay_s = 0.0;  // first chunk's download time
+  double avg_chunk_throughput_mbps = 0.0;
+  double total_time_s = 0.0;
+
+  int CountAtLevel(int level) const {
+    return level >= 0 && level < static_cast<int>(quality_histogram.size())
+               ? quality_histogram[static_cast<size_t>(level)]
+               : 0;
+  }
+};
+
+class VideoSession {
+ public:
+  explicit VideoSession(const VideoConfig& config = {});
+
+  // Streams num_chunks chunks over flow `flow_id` of `net` (the flow must already be
+  // added and started; the session pauses/resumes it around downloads). Returns the
+  // per-chunk quality decisions and aggregate QoE statistics.
+  VideoResult Run(PacketNetwork* net, int flow_id);
+
+  // The MPC-style ABR decision exposed for unit testing: highest level whose
+  // size/predicted-throughput download fits the buffer budget.
+  int PickQuality(double predicted_throughput_bps, double buffer_s) const;
+
+ private:
+  VideoConfig config_;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_APPS_VIDEO_H_

@@ -1,0 +1,58 @@
+#include "src/baselines/allegro.h"
+
+#include <algorithm>
+
+#include "src/baselines/utility_functions.h"
+
+namespace mocc {
+
+AllegroCc::AllegroCc(const AllegroConfig& config)
+    : config_(config),
+      base_rate_bps_(config.initial_rate_bps),
+      current_rate_bps_(config.initial_rate_bps) {}
+
+double AllegroCc::Utility(const MonitorReport& report) const {
+  return AllegroUtility(report.send_rate_bps / 1e6, report.loss_rate);
+}
+
+void AllegroCc::OnMonitorInterval(const MonitorReport& report) {
+  const double utility = Utility(report);
+  switch (phase_) {
+    case Phase::kStarting: {
+      // Double the rate each interval while utility keeps improving.
+      if (!have_prev_utility_ || utility > prev_utility_) {
+        prev_utility_ = utility;
+        have_prev_utility_ = true;
+        base_rate_bps_ = std::min(config_.max_rate_bps, base_rate_bps_ * 2.0);
+        current_rate_bps_ = base_rate_bps_;
+        return;
+      }
+      // Utility dropped: revert the last doubling and start micro-experiments.
+      base_rate_bps_ = std::max(config_.min_rate_bps, base_rate_bps_ / 2.0);
+      phase_ = Phase::kTestUp;
+      current_rate_bps_ = base_rate_bps_ * (1.0 + config_.epsilon);
+      return;
+    }
+    case Phase::kTestUp: {
+      up_utility_ = utility;
+      phase_ = Phase::kTestDown;
+      current_rate_bps_ = base_rate_bps_ * (1.0 - config_.epsilon);
+      return;
+    }
+    case Phase::kTestDown: {
+      const int direction = up_utility_ > utility ? 1 : -1;
+      step_multiplier_ = direction == last_direction_
+                             ? std::min(config_.max_step_multiplier, step_multiplier_ + 1)
+                             : 1;
+      last_direction_ = direction;
+      const double step = step_multiplier_ * config_.epsilon * base_rate_bps_;
+      base_rate_bps_ = std::clamp(base_rate_bps_ + direction * step, config_.min_rate_bps,
+                                  config_.max_rate_bps);
+      phase_ = Phase::kTestUp;
+      current_rate_bps_ = base_rate_bps_ * (1.0 + config_.epsilon);
+      return;
+    }
+  }
+}
+
+}  // namespace mocc

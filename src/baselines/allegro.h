@@ -1,0 +1,52 @@
+// PCC Allegro (Dong et al., NSDI'15), simplified: rate-based congestion control that runs
+// micro-experiments — testing rate*(1+ε) and rate*(1-ε) in consecutive monitor intervals —
+// and moves the rate in the direction of higher empirical utility (Table 1). Consecutive
+// moves in the same direction grow the step. One of the paper's learning-based baselines
+// (§6, scheme 3).
+#ifndef MOCC_SRC_BASELINES_ALLEGRO_H_
+#define MOCC_SRC_BASELINES_ALLEGRO_H_
+
+#include "src/netsim/cc_interface.h"
+
+namespace mocc {
+
+struct AllegroConfig {
+  double epsilon = 0.05;        // micro-experiment rate perturbation
+  double initial_rate_bps = 2e6;
+  double min_rate_bps = 0.1e6;
+  double max_rate_bps = 400e6;
+  int max_step_multiplier = 5;  // cap on consecutive-direction acceleration
+};
+
+class AllegroCc : public CongestionControl {
+ public:
+  explicit AllegroCc(const AllegroConfig& config = {});
+
+  CcMode Mode() const override { return CcMode::kRateBased; }
+  std::string Name() const override { return "PCC Allegro"; }
+
+  void OnMonitorInterval(const MonitorReport& report) override;
+
+  double PacingRateBps() const override { return current_rate_bps_; }
+  double base_rate_bps() const { return base_rate_bps_; }
+
+  enum class Phase { kStarting, kTestUp, kTestDown };
+  Phase phase() const { return phase_; }
+
+ private:
+  double Utility(const MonitorReport& report) const;
+
+  AllegroConfig config_;
+  Phase phase_ = Phase::kStarting;
+  double base_rate_bps_;     // decision-making pivot rate
+  double current_rate_bps_;  // rate offered during the current MI
+  double prev_utility_ = 0.0;
+  bool have_prev_utility_ = false;
+  double up_utility_ = 0.0;
+  int last_direction_ = 0;
+  int step_multiplier_ = 1;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_BASELINES_ALLEGRO_H_

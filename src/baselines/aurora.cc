@@ -1,0 +1,36 @@
+#include "src/baselines/aurora.h"
+
+namespace mocc {
+
+std::shared_ptr<MlpActorCritic> TrainAurora(const AuroraConfig& config,
+                                            std::vector<double>* reward_curve) {
+  CcEnvConfig env_config = config.env;
+  env_config.include_weight_in_obs = false;
+  CcEnv env(env_config, config.seed);
+  env.SetObjective(config.reward_weights);
+
+  Rng rng(config.seed);
+  auto model = std::make_shared<MlpActorCritic>(AuroraObsDim(env_config.history_len), &rng);
+  PpoConfig ppo_config = config.ppo;
+  ppo_config.seed = config.seed + 1;
+  PpoTrainer trainer(model.get(), ppo_config);
+  for (int i = 0; i < config.iterations; ++i) {
+    const PpoStats stats = trainer.TrainIteration(&env);
+    if (reward_curve != nullptr) {
+      reward_curve->push_back(stats.mean_step_reward);
+    }
+  }
+  return model;
+}
+
+std::unique_ptr<RlRateController> MakeAuroraCc(std::shared_ptr<ActorCritic> model,
+                                               const std::string& name, size_t history_len,
+                                               double initial_rate_bps) {
+  RlRateController::Options options;
+  options.history_len = history_len;
+  options.name = name;
+  options.initial_rate_bps = initial_rate_bps;
+  return std::make_unique<RlRateController>(std::move(model), std::move(options));
+}
+
+}  // namespace mocc

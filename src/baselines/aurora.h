@@ -1,0 +1,47 @@
+// Aurora (Jay et al., ICML'19): single-objective deep-RL congestion control — the
+// paper's primary learning-based baseline (Figure 2a). An Aurora agent is an MLP
+// actor-critic over the g⃗(t,η) history only (no preference input), trained with PPO on
+// a reward with FIXED weights. Different objectives therefore require separately trained
+// models (Aurora-throughput, Aurora-latency, the 10-model "enhanced Aurora" of Figure 6),
+// which is precisely the limitation MOCC removes.
+#ifndef MOCC_SRC_BASELINES_AURORA_H_
+#define MOCC_SRC_BASELINES_AURORA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/rl_cc.h"
+#include "src/core/weight_vector.h"
+#include "src/envs/cc_env.h"
+#include "src/rl/actor_critic.h"
+#include "src/rl/ppo.h"
+
+namespace mocc {
+
+struct AuroraConfig {
+  // The fixed objective baked into this Aurora model's reward.
+  WeightVector reward_weights = ThroughputObjective();
+  CcEnvConfig env;  // include_weight_in_obs is forced to false
+  PpoConfig ppo;
+  int iterations = 150;
+  uint64_t seed = 42;
+};
+
+// Trains a single-objective Aurora model from scratch. If `reward_curve` is non-null it
+// receives the mean per-step training reward of every iteration (Figure 1c / Figure 7).
+std::shared_ptr<MlpActorCritic> TrainAurora(const AuroraConfig& config,
+                                            std::vector<double>* reward_curve = nullptr);
+
+// Wraps a trained Aurora model as a deployable congestion controller.
+std::unique_ptr<RlRateController> MakeAuroraCc(std::shared_ptr<ActorCritic> model,
+                                               const std::string& name = "Aurora",
+                                               size_t history_len = 10,
+                                               double initial_rate_bps = 2e6);
+
+// Observation dimension of an Aurora model with history length η.
+inline size_t AuroraObsDim(size_t history_len) { return 3 * history_len; }
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_BASELINES_AURORA_H_

@@ -1,0 +1,124 @@
+#include "src/baselines/bbr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocc {
+namespace {
+
+// PROBE_BW gain cycle from the BBR paper: one probing phase, one draining phase, six
+// cruise phases.
+constexpr double kProbeBwGains[] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+constexpr int kProbeBwPhases = 8;
+
+}  // namespace
+
+BbrCc::BbrCc(const BbrConfig& config) : config_(config), pacing_gain_(config.startup_gain) {}
+
+void BbrCc::OnFlowStart(double now_s) {
+  now_s_ = now_s;
+  min_rtt_stamp_s_ = now_s;
+}
+
+double BbrCc::BtlBwBps() const {
+  double best = 0.0;
+  for (double s : bw_samples_bps_) {
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+void BbrCc::OnAck(const AckInfo& ack) {
+  now_s_ = ack.ack_time_s;
+  if (min_rtt_s_ <= 0.0 || ack.rtt_s < min_rtt_s_) {
+    min_rtt_s_ = ack.rtt_s;
+    min_rtt_stamp_s_ = ack.ack_time_s;
+  }
+}
+
+void BbrCc::OnMonitorInterval(const MonitorReport& report) {
+  now_s_ = report.start_time_s + report.duration_s;
+  if (report.throughput_bps > 0.0) {
+    bw_samples_bps_.push_back(report.throughput_bps);
+    while (static_cast<int>(bw_samples_bps_.size()) > config_.bw_window_mis) {
+      bw_samples_bps_.pop_front();
+    }
+  }
+  AdvanceStateMachine(report);
+}
+
+void BbrCc::AdvanceStateMachine(const MonitorReport& report) {
+  const double btl_bw = BtlBwBps();
+  switch (state_) {
+    case State::kStartup: {
+      // Leave startup once the bandwidth estimate stops growing by >= 25% for 3 rounds.
+      if (btl_bw > full_bw_bps_ * 1.25) {
+        full_bw_bps_ = btl_bw;
+        full_bw_rounds_ = 0;
+      } else if (btl_bw > 0.0) {
+        ++full_bw_rounds_;
+        if (full_bw_rounds_ >= 3) {
+          state_ = State::kDrain;
+          pacing_gain_ = config_.drain_gain;
+        }
+      }
+      return;
+    }
+    case State::kDrain: {
+      // Drain until the queue (visible as RTT inflation) has emptied.
+      if (min_rtt_s_ > 0.0 && report.avg_rtt_s <= 1.2 * min_rtt_s_) {
+        state_ = State::kProbeBw;
+        probe_bw_phase_ = 2;  // start in a cruise phase
+        pacing_gain_ = kProbeBwGains[probe_bw_phase_];
+      }
+      return;
+    }
+    case State::kProbeBw: {
+      if (min_rtt_s_ > 0.0 && now_s_ - min_rtt_stamp_s_ > config_.probe_rtt_interval_s) {
+        state_ = State::kProbeRtt;
+        probe_rtt_start_s_ = now_s_;
+        pacing_gain_ = 1.0;
+        return;
+      }
+      probe_bw_phase_ = (probe_bw_phase_ + 1) % kProbeBwPhases;
+      pacing_gain_ = kProbeBwGains[probe_bw_phase_];
+      return;
+    }
+    case State::kProbeRtt: {
+      if (now_s_ - probe_rtt_start_s_ >= config_.probe_rtt_duration_s) {
+        // Accept the RTT observed during the probe as fresh.
+        min_rtt_stamp_s_ = now_s_;
+        if (report.avg_rtt_s > 0.0) {
+          min_rtt_s_ = std::min(min_rtt_s_ > 0.0 ? min_rtt_s_ : report.avg_rtt_s,
+                                report.avg_rtt_s);
+        }
+        state_ = State::kProbeBw;
+        probe_bw_phase_ = 2;
+        pacing_gain_ = kProbeBwGains[probe_bw_phase_];
+      }
+      return;
+    }
+  }
+}
+
+double BbrCc::PacingRateBps() const {
+  const double btl_bw = BtlBwBps();
+  if (btl_bw <= 0.0) {
+    return std::max(config_.min_rate_bps, config_.initial_rate_bps * pacing_gain_);
+  }
+  return std::max(config_.min_rate_bps, pacing_gain_ * btl_bw);
+}
+
+double BbrCc::CwndPackets() const {
+  if (state_ == State::kProbeRtt) {
+    return 4.0;  // BBR's minimal in-flight during PROBE_RTT
+  }
+  const double btl_bw = BtlBwBps();
+  if (btl_bw <= 0.0 || min_rtt_s_ <= 0.0) {
+    return 1e12;
+  }
+  const double bdp_pkts = btl_bw * min_rtt_s_ / static_cast<double>(1500 * 8);
+  return std::max(4.0, config_.cwnd_gain * bdp_pkts);
+}
+
+}  // namespace mocc

@@ -1,0 +1,63 @@
+// BBR (Cardwell et al. 2016), simplified: model-based congestion control that estimates
+// the bottleneck bandwidth (windowed-max delivery rate) and the round-trip propagation
+// delay (windowed-min RTT), and paces at gain-cycled multiples of the estimated
+// bandwidth. Implements STARTUP / DRAIN / PROBE_BW / PROBE_RTT, with inflight capped at
+// cwnd_gain x BDP. One of the paper's handcrafted baselines (§6, scheme 5).
+#ifndef MOCC_SRC_BASELINES_BBR_H_
+#define MOCC_SRC_BASELINES_BBR_H_
+
+#include <deque>
+
+#include "src/netsim/cc_interface.h"
+
+namespace mocc {
+
+struct BbrConfig {
+  double startup_gain = 2.885;
+  double drain_gain = 0.35;
+  double cwnd_gain = 2.0;
+  double probe_rtt_interval_s = 10.0;
+  double probe_rtt_duration_s = 0.2;
+  int bw_window_mis = 10;           // windowed-max filter length (monitor intervals)
+  double initial_rate_bps = 1e6;
+  double min_rate_bps = 1e5;
+};
+
+class BbrCc : public CongestionControl {
+ public:
+  explicit BbrCc(const BbrConfig& config = {});
+
+  CcMode Mode() const override { return CcMode::kRateBased; }
+  std::string Name() const override { return "BBR"; }
+
+  void OnFlowStart(double now_s) override;
+  void OnAck(const AckInfo& ack) override;
+  void OnMonitorInterval(const MonitorReport& report) override;
+
+  double PacingRateBps() const override;
+  double CwndPackets() const override;
+
+  enum class State { kStartup, kDrain, kProbeBw, kProbeRtt };
+  State state() const { return state_; }
+  double BtlBwBps() const;
+  double min_rtt_s() const { return min_rtt_s_; }
+
+ private:
+  void AdvanceStateMachine(const MonitorReport& report);
+
+  BbrConfig config_;
+  State state_ = State::kStartup;
+  std::deque<double> bw_samples_bps_;
+  double min_rtt_s_ = 0.0;
+  double min_rtt_stamp_s_ = 0.0;
+  double pacing_gain_;
+  int probe_bw_phase_ = 0;
+  double full_bw_bps_ = 0.0;
+  int full_bw_rounds_ = 0;
+  double probe_rtt_start_s_ = 0.0;
+  double now_s_ = 0.0;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_BASELINES_BBR_H_

@@ -1,0 +1,61 @@
+#include "src/baselines/copa.h"
+
+#include <algorithm>
+
+namespace mocc {
+
+CopaCc::CopaCc(const CopaConfig& config) : config_(config), cwnd_(config.initial_cwnd) {}
+
+double CopaCc::StandingRttS() const {
+  double standing = 0.0;
+  for (const auto& [t, rtt] : recent_rtts_) {
+    if (standing == 0.0 || rtt < standing) {
+      standing = rtt;
+    }
+  }
+  return standing;
+}
+
+void CopaCc::OnAck(const AckInfo& ack) {
+  srtt_s_ = srtt_s_ <= 0.0 ? ack.rtt_s : 0.875 * srtt_s_ + 0.125 * ack.rtt_s;
+  if (min_rtt_s_ <= 0.0 || ack.rtt_s < min_rtt_s_) {
+    min_rtt_s_ = ack.rtt_s;
+  }
+  recent_rtts_.emplace_back(ack.ack_time_s, ack.rtt_s);
+  const double window_s = std::max(0.002, srtt_s_ / 2.0);
+  while (!recent_rtts_.empty() && recent_rtts_.front().first < ack.ack_time_s - window_s) {
+    recent_rtts_.pop_front();
+  }
+
+  const double standing = StandingRttS();
+  const double queue_delay = std::max(0.0, standing - min_rtt_s_);
+  // Target rate in packets/s; with an empty queue the target is unbounded -> grow.
+  const double current_rate = srtt_s_ > 0.0 ? cwnd_ / srtt_s_ : 0.0;
+  bool increase = true;
+  if (queue_delay > 1e-6) {
+    const double target_rate = 1.0 / (config_.delta * queue_delay);
+    increase = current_rate <= target_rate;
+  }
+  direction_ = increase ? 1 : -1;
+
+  // Velocity doubles when the direction persists across a full RTT, else resets.
+  if (ack.ack_time_s - last_velocity_update_s_ >= std::max(srtt_s_, 1e-3)) {
+    velocity_ = direction_ == last_direction_
+                    ? std::min(config_.max_velocity, velocity_ * 2.0)
+                    : 1.0;
+    last_direction_ = direction_;
+    last_velocity_update_s_ = ack.ack_time_s;
+  }
+
+  const double step = velocity_ / (config_.delta * std::max(1.0, cwnd_));
+  cwnd_ = std::max(config_.min_cwnd, cwnd_ + direction_ * step);
+}
+
+void CopaCc::OnTimeout(double now_s) {
+  cwnd_ = config_.min_cwnd;
+  velocity_ = 1.0;
+  direction_ = 0;
+  last_direction_ = 0;
+}
+
+}  // namespace mocc

@@ -1,0 +1,51 @@
+// Copa (Arun & Balakrishnan, NSDI'18), simplified: delay-based congestion control that
+// targets the rate 1/(δ·d_q), where d_q is the standing queueing delay. The window moves
+// toward the target by v/(δ·cwnd) per ACK, with velocity doubling on consistent
+// direction. One of the paper's handcrafted baselines (§6, scheme 6).
+#ifndef MOCC_SRC_BASELINES_COPA_H_
+#define MOCC_SRC_BASELINES_COPA_H_
+
+#include <deque>
+
+#include "src/netsim/cc_interface.h"
+
+namespace mocc {
+
+struct CopaConfig {
+  double delta = 0.5;          // the δ in 1/(δ·d_q); smaller = more aggressive
+  double initial_cwnd = 10.0;
+  double min_cwnd = 2.0;
+  double max_velocity = 1024.0;
+};
+
+class CopaCc : public CongestionControl {
+ public:
+  explicit CopaCc(const CopaConfig& config = {});
+
+  CcMode Mode() const override { return CcMode::kWindowBased; }
+  std::string Name() const override { return "Copa"; }
+
+  void OnAck(const AckInfo& ack) override;
+  void OnTimeout(double now_s) override;
+
+  double CwndPackets() const override { return cwnd_; }
+  double velocity() const { return velocity_; }
+
+  // Standing RTT: minimum RTT over roughly the last srtt/2 of ACKs.
+  double StandingRttS() const;
+
+ private:
+  CopaConfig config_;
+  double cwnd_;
+  double velocity_ = 1.0;
+  int direction_ = 0;       // +1 growing, -1 shrinking
+  int last_direction_ = 0;
+  double min_rtt_s_ = 0.0;
+  double srtt_s_ = 0.0;
+  std::deque<std::pair<double, double>> recent_rtts_;  // (ack time, rtt)
+  double last_velocity_update_s_ = 0.0;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_BASELINES_COPA_H_

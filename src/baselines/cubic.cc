@@ -1,0 +1,65 @@
+#include "src/baselines/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mocc {
+
+CubicCc::CubicCc(const CubicConfig& config)
+    : config_(config),
+      cwnd_(config.initial_cwnd),
+      ssthresh_(std::numeric_limits<double>::infinity()) {}
+
+void CubicCc::OnFlowStart(double now_s) { epoch_start_s_ = -1.0; }
+
+void CubicCc::OnAck(const AckInfo& ack) {
+  srtt_s_ = srtt_s_ <= 0.0 ? ack.rtt_s : 0.875 * srtt_s_ + 0.125 * ack.rtt_s;
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += 1.0;  // slow start: one packet per ACK
+    return;
+  }
+  if (epoch_start_s_ < 0.0) {
+    EnterCongestionEpoch(ack.ack_time_s);
+  }
+  // W(t) = C*(t-K)^3 + Wmax, evaluated one RTT ahead as the growth target.
+  const double t = ack.ack_time_s - epoch_start_s_ + srtt_s_;
+  const double offs = t - k_;
+  const double target = config_.c * offs * offs * offs + w_max_;
+  if (target > cwnd_) {
+    cwnd_ += (target - cwnd_) / cwnd_;
+  } else {
+    cwnd_ += 0.01 / cwnd_;  // minimal growth in the concave plateau
+  }
+}
+
+void CubicCc::EnterCongestionEpoch(double now_s) {
+  epoch_start_s_ = now_s;
+  if (w_max_ < cwnd_) {
+    w_max_ = cwnd_;
+  }
+  k_ = std::cbrt(w_max_ * (1.0 - config_.beta) / config_.c);
+}
+
+void CubicCc::OnPacketLost(const LossInfo& loss) {
+  // React at most once per RTT so a burst of drops counts as one congestion event.
+  if (last_reduction_s_ >= 0.0 &&
+      loss.detect_time_s - last_reduction_s_ < std::max(srtt_s_, 0.01)) {
+    return;
+  }
+  last_reduction_s_ = loss.detect_time_s;
+  w_max_ = cwnd_;
+  cwnd_ = std::max(config_.min_cwnd, cwnd_ * config_.beta);
+  ssthresh_ = cwnd_;
+  epoch_start_s_ = -1.0;
+}
+
+void CubicCc::OnTimeout(double now_s) {
+  ssthresh_ = std::max(config_.min_cwnd, cwnd_ * config_.beta);
+  w_max_ = cwnd_;
+  cwnd_ = config_.min_cwnd;
+  epoch_start_s_ = -1.0;
+  last_reduction_s_ = now_s;
+}
+
+}  // namespace mocc

@@ -1,0 +1,39 @@
+#include "src/baselines/newreno.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mocc {
+
+NewRenoCc::NewRenoCc(const NewRenoConfig& config)
+    : config_(config),
+      cwnd_(config.initial_cwnd),
+      ssthresh_(std::numeric_limits<double>::infinity()) {}
+
+void NewRenoCc::OnAck(const AckInfo& ack) {
+  srtt_s_ = srtt_s_ <= 0.0 ? ack.rtt_s : 0.875 * srtt_s_ + 0.125 * ack.rtt_s;
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += 1.0;  // slow start: +1 per ACK (doubles per RTT)
+  } else {
+    cwnd_ += 1.0 / cwnd_;  // congestion avoidance: +1 per RTT
+  }
+}
+
+void NewRenoCc::OnPacketLost(const LossInfo& loss) {
+  // One multiplicative decrease per RTT (a loss burst is one congestion event).
+  if (last_reduction_s_ >= 0.0 &&
+      loss.detect_time_s - last_reduction_s_ < std::max(srtt_s_, 0.01)) {
+    return;
+  }
+  last_reduction_s_ = loss.detect_time_s;
+  ssthresh_ = std::max(config_.min_cwnd, cwnd_ / 2.0);
+  cwnd_ = ssthresh_;
+}
+
+void NewRenoCc::OnTimeout(double now_s) {
+  ssthresh_ = std::max(config_.min_cwnd, cwnd_ / 2.0);
+  cwnd_ = config_.min_cwnd;
+  last_reduction_s_ = now_s;
+}
+
+}  // namespace mocc

@@ -1,0 +1,41 @@
+// TCP NewReno (RFC 6582; Floyd et al. 1999): the classic loss-based AIMD baseline the
+// paper cites among hand-crafted CC algorithms (§2.2, [16]). Slow start to ssthresh,
+// +1 MSS per RTT in congestion avoidance, halve on loss.
+#ifndef MOCC_SRC_BASELINES_NEWRENO_H_
+#define MOCC_SRC_BASELINES_NEWRENO_H_
+
+#include "src/netsim/cc_interface.h"
+
+namespace mocc {
+
+struct NewRenoConfig {
+  double initial_cwnd = 10.0;
+  double min_cwnd = 2.0;
+};
+
+class NewRenoCc : public CongestionControl {
+ public:
+  explicit NewRenoCc(const NewRenoConfig& config = {});
+
+  CcMode Mode() const override { return CcMode::kWindowBased; }
+  std::string Name() const override { return "TCP NewReno"; }
+
+  void OnAck(const AckInfo& ack) override;
+  void OnPacketLost(const LossInfo& loss) override;
+  void OnTimeout(double now_s) override;
+
+  double CwndPackets() const override { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  NewRenoConfig config_;
+  double cwnd_;
+  double ssthresh_;
+  double last_reduction_s_ = -1.0;
+  double srtt_s_ = 0.0;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_BASELINES_NEWRENO_H_

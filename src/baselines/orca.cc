@@ -1,0 +1,47 @@
+#include "src/baselines/orca.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mocc {
+
+OrcaCc::OrcaCc(std::shared_ptr<ActorCritic> model, const OrcaConfig& config)
+    : model_(std::move(model)),
+      config_(config),
+      cubic_(config.cubic),
+      history_(config.history_len) {
+  assert(model_ != nullptr);
+  assert(model_->obs_dim() == 3 * config_.history_len);
+}
+
+void OrcaCc::OnFlowStart(double now_s) { cubic_.OnFlowStart(now_s); }
+
+void OrcaCc::OnAck(const AckInfo& ack) { cubic_.OnAck(ack); }
+
+void OrcaCc::OnPacketLost(const LossInfo& loss) { cubic_.OnPacketLost(loss); }
+
+void OrcaCc::OnTimeout(double now_s) {
+  cubic_.OnTimeout(now_s);
+  scale_ = 1.0;
+}
+
+void OrcaCc::OnMonitorInterval(const MonitorReport& report) {
+  history_.Push(report);
+  if (++mi_counter_ % config_.inference_period_mis != 0) {
+    return;
+  }
+  std::vector<double> obs;
+  history_.AppendObservation(&obs);
+  const double action = std::clamp(model_->ActionMean(obs), -1.0, 1.0);
+  ++inference_count_;
+  // 2^(action * aggressiveness): action > 0 scales the window up, < 0 down.
+  const double adjust = std::exp2(action * config_.action_scale);
+  scale_ = std::clamp(scale_ * adjust, config_.min_scale, config_.max_scale);
+}
+
+double OrcaCc::CwndPackets() const {
+  return std::max(2.0, cubic_.CwndPackets() * scale_);
+}
+
+}  // namespace mocc

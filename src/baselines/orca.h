@@ -1,0 +1,60 @@
+// Orca-style hybrid congestion control (Abbasloo et al., SIGCOMM'20), simplified:
+// "classic meets modern" — a CUBIC underlay provides packet-timescale reactions while an
+// RL agent periodically rescales the window at monitor-interval timescale. Our agent is
+// an Aurora-architecture policy (trained via TrainAurora on a throughput-leaning reward);
+// its Eq.(1)-style action drives a bounded multiplicative scale on CUBIC's window, which
+// reproduces Orca's qualitative behaviour: near-Aurora throughput with CUBIC's safety and
+// the low control-loop overhead of infrequent inference (Figure 17).
+#ifndef MOCC_SRC_BASELINES_ORCA_H_
+#define MOCC_SRC_BASELINES_ORCA_H_
+
+#include <memory>
+
+#include "src/baselines/cubic.h"
+#include "src/envs/mi_history.h"
+#include "src/netsim/cc_interface.h"
+#include "src/rl/actor_critic.h"
+
+namespace mocc {
+
+struct OrcaConfig {
+  size_t history_len = 10;
+  double action_scale = 0.5;  // per-MI scale adjustment aggressiveness
+  double min_scale = 0.5;     // RL may at most halve ...
+  double max_scale = 2.0;     // ... or double CUBIC's window
+  CubicConfig cubic;
+  // The RL agent runs every `inference_period_mis` monitor intervals, reflecting Orca's
+  // decoupled (kernel-datapath, CCP-style) control loop.
+  int inference_period_mis = 2;
+};
+
+class OrcaCc : public CongestionControl {
+ public:
+  OrcaCc(std::shared_ptr<ActorCritic> model, const OrcaConfig& config = {});
+
+  CcMode Mode() const override { return CcMode::kWindowBased; }
+  std::string Name() const override { return "Orca"; }
+
+  void OnFlowStart(double now_s) override;
+  void OnAck(const AckInfo& ack) override;
+  void OnPacketLost(const LossInfo& loss) override;
+  void OnTimeout(double now_s) override;
+  void OnMonitorInterval(const MonitorReport& report) override;
+
+  double CwndPackets() const override;
+  double scale() const { return scale_; }
+  int64_t inference_count() const { return inference_count_; }
+
+ private:
+  std::shared_ptr<ActorCritic> model_;
+  OrcaConfig config_;
+  CubicCc cubic_;
+  MiHistoryTracker history_;
+  double scale_ = 1.0;
+  int mi_counter_ = 0;
+  int64_t inference_count_ = 0;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_BASELINES_ORCA_H_

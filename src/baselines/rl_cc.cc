@@ -1,0 +1,35 @@
+#include "src/baselines/rl_cc.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/envs/cc_env.h"
+
+namespace mocc {
+
+RlRateController::RlRateController(std::shared_ptr<ActorCritic> model, Options options)
+    : model_(std::move(model)),
+      options_(std::move(options)),
+      history_(options_.history_len),
+      rate_bps_(options_.initial_rate_bps) {
+  assert(model_ != nullptr);
+  assert(model_->obs_dim() == options_.observation_prefix.size() + 3 * options_.history_len);
+}
+
+void RlRateController::SetObservationPrefix(std::vector<double> prefix) {
+  assert(model_->obs_dim() == prefix.size() + 3 * options_.history_len);
+  options_.observation_prefix = std::move(prefix);
+}
+
+void RlRateController::OnMonitorInterval(const MonitorReport& report) {
+  history_.Push(report);
+  std::vector<double> obs = options_.observation_prefix;
+  history_.AppendObservation(&obs);
+  const double action = model_->ActionMean(obs);
+  ++inference_count_;
+  last_observation_ = std::move(obs);
+  rate_bps_ = CcEnv::ApplyRateAction(rate_bps_, action, options_.action_scale);
+  rate_bps_ = std::clamp(rate_bps_, options_.min_rate_bps, options_.max_rate_bps);
+}
+
+}  // namespace mocc

@@ -1,0 +1,62 @@
+// Deploys a trained Gaussian-policy ActorCritic as a rate-based congestion controller:
+// each monitor interval it rebuilds the observation (optional preference prefix + the
+// g⃗(t,η) history, identical to training) and applies the Eq. (1) multiplicative rate
+// update with the policy's mean action. Used for Aurora (no prefix) and, through the core
+// library, for MOCC (weight-vector prefix).
+#ifndef MOCC_SRC_BASELINES_RL_CC_H_
+#define MOCC_SRC_BASELINES_RL_CC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/envs/mi_history.h"
+#include "src/netsim/cc_interface.h"
+#include "src/rl/actor_critic.h"
+
+namespace mocc {
+
+class RlRateController : public CongestionControl {
+ public:
+  struct Options {
+    size_t history_len = 10;       // η (Table 2)
+    double action_scale = 0.025;   // α (Table 2)
+    double initial_rate_bps = 2e6;
+    double min_rate_bps = 0.1e6;
+    double max_rate_bps = 400e6;
+    std::vector<double> observation_prefix;  // MOCC's weight vector; empty for Aurora
+    std::string name = "RL";
+  };
+
+  // `model` is shared so many flows (and the owning application) can reuse one policy;
+  // the simulator drives flows sequentially so no locking is needed.
+  RlRateController(std::shared_ptr<ActorCritic> model, Options options);
+
+  CcMode Mode() const override { return CcMode::kRateBased; }
+  std::string Name() const override { return options_.name; }
+
+  void OnMonitorInterval(const MonitorReport& report) override;
+  double PacingRateBps() const override { return rate_bps_; }
+
+  // Replaces the observation prefix (e.g. when the registered application changes its
+  // requirement at runtime).
+  void SetObservationPrefix(std::vector<double> prefix);
+
+  // Number of policy inferences performed so far (one per monitor interval) — the
+  // quantity behind the user-space CPU overhead measurements (Figure 17).
+  int64_t inference_count() const { return inference_count_; }
+
+  const std::vector<double>& last_observation() const { return last_observation_; }
+
+ private:
+  std::shared_ptr<ActorCritic> model_;
+  Options options_;
+  MiHistoryTracker history_;
+  double rate_bps_;
+  int64_t inference_count_ = 0;
+  std::vector<double> last_observation_;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_BASELINES_RL_CC_H_

@@ -1,0 +1,38 @@
+#include "src/baselines/utility_functions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocc {
+
+double AllegroUtility(double send_rate_mbps, double loss_rate, double alpha) {
+  loss_rate = std::clamp(loss_rate, 0.0, 1.0);
+  const double goodput = send_rate_mbps * (1.0 - loss_rate);
+  const double sigmoid = 1.0 / (1.0 + std::exp(alpha * (loss_rate - 0.05)));
+  return goodput * sigmoid - send_rate_mbps * loss_rate;
+}
+
+double VivaceUtility(double send_rate_mbps, double rtt_gradient, double loss_rate,
+                     double exponent, double latency_coef, double loss_coef) {
+  loss_rate = std::clamp(loss_rate, 0.0, 1.0);
+  const double rate = std::max(0.0, send_rate_mbps);
+  return std::pow(rate, exponent) - latency_coef * rate * std::max(0.0, rtt_gradient) -
+         loss_coef * rate * loss_rate;
+}
+
+double AuroraReward(double throughput_pps, double rtt_s, double loss_rate, double a,
+                    double b, double c) {
+  return a * throughput_pps - b * rtt_s - c * std::clamp(loss_rate, 0.0, 1.0);
+}
+
+double OrcaReward(double throughput_bps, double rtt_s, double loss_rate, double max_bw_bps,
+                  double min_rtt_s, double loss_penalty) {
+  if (rtt_s <= 0.0 || max_bw_bps <= 0.0 || min_rtt_s <= 0.0) {
+    return 0.0;
+  }
+  const double power = (throughput_bps - loss_penalty * loss_rate * throughput_bps) / rtt_s;
+  const double max_power = max_bw_bps / min_rtt_s;
+  return power / max_power;
+}
+
+}  // namespace mocc

@@ -1,0 +1,32 @@
+// The performance objectives of Table 1: the utility/reward functions that each
+// learning-based comparison scheme optimizes. PCC Allegro and PCC Vivace maximize theirs
+// online (micro-experiments / gradient ascent); Aurora and Orca encode theirs in the RL
+// reward. These are used both by the scheme implementations and by the Table 1 bench.
+#ifndef MOCC_SRC_BASELINES_UTILITY_FUNCTIONS_H_
+#define MOCC_SRC_BASELINES_UTILITY_FUNCTIONS_H_
+
+namespace mocc {
+
+// PCC Allegro (Dong et al., NSDI'15): u = T*(1-L)*sigmoid(alpha*(L-0.05)) - T*L,
+// where T = x*(1-L) is goodput in Mbps and the sigmoid cuts utility sharply once loss
+// exceeds 5%.
+double AllegroUtility(double send_rate_mbps, double loss_rate, double alpha = 100.0);
+
+// PCC Vivace (Dong et al., NSDI'18): u = x^t - b*x*(dRTT/dt) - c*x*L with the paper's
+// default exponents/coefficients t=0.9, b=900, c=11.35 (x in Mbps, dRTT/dt in s/s).
+double VivaceUtility(double send_rate_mbps, double rtt_gradient, double loss_rate,
+                     double exponent = 0.9, double latency_coef = 900.0,
+                     double loss_coef = 11.35);
+
+// Aurora (Jay et al., ICML'19): r = a*T - b*RTT - c*L (T in packets-per-second scale,
+// RTT in seconds); defaults follow the Aurora reference implementation (10, 1000, 2000).
+double AuroraReward(double throughput_pps, double rtt_s, double loss_rate, double a = 10.0,
+                    double b = 1000.0, double c = 2000.0);
+
+// Orca (Abbasloo et al., SIGCOMM'20): r = (T - e*L)/RTT normalized by Tmax/RTTmin.
+double OrcaReward(double throughput_bps, double rtt_s, double loss_rate, double max_bw_bps,
+                  double min_rtt_s, double loss_penalty = 5.0);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_BASELINES_UTILITY_FUNCTIONS_H_

@@ -1,0 +1,64 @@
+#include "src/baselines/vegas.h"
+
+#include <algorithm>
+
+namespace mocc {
+
+VegasCc::VegasCc(const VegasConfig& config) : config_(config), cwnd_(config.initial_cwnd) {}
+
+double VegasCc::QueuedPacketsEstimate() const {
+  if (rtt_count_ == 0 || base_rtt_s_ <= 0.0) {
+    return 0.0;
+  }
+  const double rtt = rtt_sum_s_ / rtt_count_;
+  return rtt > 0.0 ? cwnd_ * (rtt - base_rtt_s_) / rtt : 0.0;
+}
+
+void VegasCc::OnAck(const AckInfo& ack) {
+  if (base_rtt_s_ <= 0.0 || ack.rtt_s < base_rtt_s_) {
+    base_rtt_s_ = ack.rtt_s;
+  }
+  rtt_sum_s_ += ack.rtt_s;
+  ++rtt_count_;
+  ++acks_this_rtt_;
+  if (acks_this_rtt_ >= static_cast<int>(cwnd_)) {
+    PerRttAdjust();
+    acks_this_rtt_ = 0;
+    rtt_sum_s_ = 0.0;
+    rtt_count_ = 0;
+  }
+}
+
+void VegasCc::PerRttAdjust() {
+  const double diff = QueuedPacketsEstimate();
+  if (slow_start_) {
+    if (diff > config_.gamma) {
+      slow_start_ = false;
+      cwnd_ = std::max(config_.min_cwnd, cwnd_ - (diff - config_.gamma));
+      return;
+    }
+    if (grow_this_rtt_) {
+      cwnd_ *= 2.0;  // double every other RTT, per the Vegas paper
+    }
+    grow_this_rtt_ = !grow_this_rtt_;
+    return;
+  }
+  if (diff < config_.alpha) {
+    cwnd_ += 1.0;
+  } else if (diff > config_.beta) {
+    cwnd_ = std::max(config_.min_cwnd, cwnd_ - 1.0);
+  }
+}
+
+void VegasCc::OnPacketLost(const LossInfo& loss) {
+  slow_start_ = false;
+  cwnd_ = std::max(config_.min_cwnd, cwnd_ * 0.75);
+}
+
+void VegasCc::OnTimeout(double now_s) {
+  slow_start_ = true;
+  grow_this_rtt_ = true;
+  cwnd_ = config_.min_cwnd;
+}
+
+}  // namespace mocc

@@ -1,0 +1,52 @@
+// TCP Vegas (Brakmo & Peterson 1994): delay-based congestion control that keeps the
+// estimated number of queued packets between alpha and beta. One of the paper's
+// handcrafted baselines (§6, scheme 8).
+#ifndef MOCC_SRC_BASELINES_VEGAS_H_
+#define MOCC_SRC_BASELINES_VEGAS_H_
+
+#include "src/netsim/cc_interface.h"
+
+namespace mocc {
+
+struct VegasConfig {
+  double alpha = 2.0;  // lower bound on queued packets
+  double beta = 4.0;   // upper bound on queued packets
+  double gamma = 1.0;  // slow-start exit threshold
+  double initial_cwnd = 10.0;
+  double min_cwnd = 2.0;
+};
+
+class VegasCc : public CongestionControl {
+ public:
+  explicit VegasCc(const VegasConfig& config = {});
+
+  CcMode Mode() const override { return CcMode::kWindowBased; }
+  std::string Name() const override { return "TCP Vegas"; }
+
+  void OnAck(const AckInfo& ack) override;
+  void OnPacketLost(const LossInfo& loss) override;
+  void OnTimeout(double now_s) override;
+
+  double CwndPackets() const override { return cwnd_; }
+  double base_rtt_s() const { return base_rtt_s_; }
+  bool in_slow_start() const { return slow_start_; }
+
+  // Vegas' estimate of packets queued at the bottleneck: cwnd * (rtt-base)/rtt.
+  double QueuedPacketsEstimate() const;
+
+ private:
+  void PerRttAdjust();
+
+  VegasConfig config_;
+  double cwnd_;
+  bool slow_start_ = true;
+  double base_rtt_s_ = 0.0;
+  double rtt_sum_s_ = 0.0;
+  int rtt_count_ = 0;
+  int acks_this_rtt_ = 0;
+  bool grow_this_rtt_ = true;  // slow start doubles every other RTT
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_BASELINES_VEGAS_H_

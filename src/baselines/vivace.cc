@@ -1,0 +1,48 @@
+#include "src/baselines/vivace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/baselines/utility_functions.h"
+
+namespace mocc {
+
+VivaceCc::VivaceCc(const VivaceConfig& config)
+    : config_(config), rate_bps_(config.initial_rate_bps) {}
+
+double VivaceCc::Utility(const MonitorReport& report) const {
+  double rtt_gradient = 0.0;
+  if (prev_avg_rtt_s_ > 0.0 && report.duration_s > 0.0) {
+    rtt_gradient = (report.avg_rtt_s - prev_avg_rtt_s_) / report.duration_s;
+  }
+  return VivaceUtility(report.send_rate_bps / 1e6, rtt_gradient, report.loss_rate);
+}
+
+void VivaceCc::OnMonitorInterval(const MonitorReport& report) {
+  const double utility = Utility(report);
+  const double measured_rate = report.send_rate_bps;
+  if (have_prev_ && std::abs(measured_rate - prev_rate_bps_) > 1.0) {
+    const double gradient =
+        (utility - prev_utility_) / ((measured_rate - prev_rate_bps_) / 1e6);
+    const int sign = gradient >= 0.0 ? 1 : -1;
+    confidence_ = sign == last_sign_ ? std::min(config_.max_confidence, confidence_ + 1) : 1;
+    last_sign_ = sign;
+    double change_bps = config_.step_mbps * 1e6 * gradient * confidence_;
+    // Vivace's dynamic change boundary: never move more than a fraction of the rate.
+    const double bound = config_.max_change_fraction * rate_bps_;
+    change_bps = std::clamp(change_bps, -bound, bound);
+    rate_bps_ = std::clamp(rate_bps_ + change_bps, config_.min_rate_bps,
+                           config_.max_rate_bps);
+  } else {
+    // No usable gradient yet: jitter the rate so the next interval provides one.
+    const double jitter = 1.0 + (probe_up_ ? 1.0 : -1.0) * config_.probe_fraction;
+    probe_up_ = !probe_up_;
+    rate_bps_ = std::clamp(rate_bps_ * jitter, config_.min_rate_bps, config_.max_rate_bps);
+  }
+  prev_rate_bps_ = measured_rate;
+  prev_utility_ = utility;
+  prev_avg_rtt_s_ = report.avg_rtt_s;
+  have_prev_ = true;
+}
+
+}  // namespace mocc

@@ -1,0 +1,50 @@
+// PCC Vivace (Dong et al., NSDI'18), simplified: online gradient-ascent congestion
+// control over the Vivace utility u = x^0.9 - 900·x·dRTT/dt - 11.35·x·L (Table 1).
+// Consecutive monitor intervals at (necessarily) different rates provide a finite-
+// difference utility gradient; the rate moves along it with a confidence-amplified,
+// bounded step. One of the paper's learning-based baselines (§6, scheme 4).
+#ifndef MOCC_SRC_BASELINES_VIVACE_H_
+#define MOCC_SRC_BASELINES_VIVACE_H_
+
+#include "src/netsim/cc_interface.h"
+
+namespace mocc {
+
+struct VivaceConfig {
+  double initial_rate_bps = 2e6;
+  double min_rate_bps = 0.1e6;
+  double max_rate_bps = 400e6;
+  double step_mbps = 0.05;            // θ: base conversion from gradient to rate change
+  double probe_fraction = 0.02;       // rate jitter used to keep the gradient estimable
+  double max_change_fraction = 0.25;  // dynamic change boundary ω
+  int max_confidence = 6;             // consecutive same-sign gradient amplification cap
+};
+
+class VivaceCc : public CongestionControl {
+ public:
+  explicit VivaceCc(const VivaceConfig& config = {});
+
+  CcMode Mode() const override { return CcMode::kRateBased; }
+  std::string Name() const override { return "PCC Vivace"; }
+
+  void OnMonitorInterval(const MonitorReport& report) override;
+
+  double PacingRateBps() const override { return rate_bps_; }
+
+ private:
+  double Utility(const MonitorReport& report) const;
+
+  VivaceConfig config_;
+  double rate_bps_;
+  double prev_rate_bps_ = 0.0;
+  double prev_utility_ = 0.0;
+  double prev_avg_rtt_s_ = 0.0;
+  bool have_prev_ = false;
+  int confidence_ = 1;
+  int last_sign_ = 0;
+  bool probe_up_ = true;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_BASELINES_VIVACE_H_

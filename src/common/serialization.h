@@ -1,0 +1,61 @@
+// Minimal binary (de)serialization used to persist trained models and cached benchmark
+// artifacts. The format is a magic tag + version header followed by explicitly written
+// primitives; readers validate the header and fail loudly on mismatch.
+#ifndef MOCC_SRC_COMMON_SERIALIZATION_H_
+#define MOCC_SRC_COMMON_SERIALIZATION_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mocc {
+
+// Streams primitives and vectors to a std::ostream in little-endian host order.
+class BinaryWriter {
+ public:
+  // `magic` identifies the payload type (e.g. "MOCCMODL"); `version` allows evolution.
+  BinaryWriter(std::ostream& out, const std::string& magic, uint32_t version);
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  void WriteDoubleVector(const std::vector<double>& v);
+
+  bool ok() const { return out_.good(); }
+
+ private:
+  std::ostream& out_;
+};
+
+// Mirror of BinaryWriter. Constructor validates magic and version; all accessors return
+// false / report !ok() once any read fails, so callers can check once at the end.
+class BinaryReader {
+ public:
+  BinaryReader(std::istream& in, const std::string& expected_magic, uint32_t expected_version);
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int64_t ReadI64();
+  double ReadDouble();
+  std::string ReadString();
+  std::vector<double> ReadDoubleVector();
+
+  // True iff the header matched and every read so far succeeded.
+  bool ok() const { return ok_ && in_.good(); }
+
+ private:
+  std::istream& in_;
+  bool ok_ = true;
+};
+
+// Convenience file helpers. Return false on I/O failure.
+bool WriteFile(const std::string& path, const std::string& contents);
+bool ReadFile(const std::string& path, std::string* contents);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_COMMON_SERIALIZATION_H_

@@ -1,0 +1,144 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocc {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStat::Variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStat::Min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStat::Max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values) {
+  std::vector<CdfPoint> cdf;
+  if (values.empty()) {
+    return cdf;
+  }
+  std::sort(values.begin(), values.end());
+  cdf.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    cdf.push_back({values[i], static_cast<double>(i + 1) / static_cast<double>(values.size())});
+  }
+  return cdf;
+}
+
+double JainFairnessIndex(const std::vector<double>& allocations) {
+  if (allocations.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  return (sum * sum) / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+double LeastSquaresSlope(const std::vector<double>& x, const std::vector<double>& y) {
+  const size_t n = std::min(x.size(), y.size());
+  if (n < 2) {
+    return 0.0;
+  }
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sxx += (x[i] - mean_x) * (x[i] - mean_x);
+    sxy += (x[i] - mean_x) * (y[i] - mean_y);
+  }
+  if (sxx == 0.0) {
+    return 0.0;
+  }
+  return sxy / sxx;
+}
+
+Gaussian2d FitGaussian2d(const std::vector<double>& x, const std::vector<double>& y) {
+  Gaussian2d g;
+  const size_t n = std::min(x.size(), y.size());
+  if (n == 0) {
+    return g;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    g.mean_x += x[i];
+    g.mean_y += y[i];
+  }
+  g.mean_x /= static_cast<double>(n);
+  g.mean_y /= static_cast<double>(n);
+  if (n < 2) {
+    return g;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - g.mean_x;
+    const double dy = y[i] - g.mean_y;
+    g.var_x += dx * dx;
+    g.var_y += dy * dy;
+    g.cov_xy += dx * dy;
+  }
+  const double denom = static_cast<double>(n - 1);
+  g.var_x /= denom;
+  g.var_y /= denom;
+  g.cov_xy /= denom;
+  // Eigen-decomposition of the 2x2 symmetric covariance matrix.
+  const double trace = g.var_x + g.var_y;
+  const double det = g.var_x * g.var_y - g.cov_xy * g.cov_xy;
+  const double disc = std::sqrt(std::max(0.0, trace * trace / 4.0 - det));
+  const double lambda1 = trace / 2.0 + disc;
+  const double lambda2 = trace / 2.0 - disc;
+  g.ellipse_major = std::sqrt(std::max(0.0, lambda1));
+  g.ellipse_minor = std::sqrt(std::max(0.0, lambda2));
+  if (g.cov_xy == 0.0) {
+    g.ellipse_angle_rad = g.var_x >= g.var_y ? 0.0 : std::acos(-1.0) / 2.0;
+  } else {
+    g.ellipse_angle_rad = std::atan2(lambda1 - g.var_x, g.cov_xy);
+  }
+  return g;
+}
+
+}  // namespace mocc

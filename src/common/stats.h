@@ -1,0 +1,77 @@
+// Statistics helpers shared by the simulator, the RL stack and the benchmark harnesses:
+// running moments, percentiles/CDFs, Jain's fairness index, least-squares slopes and the
+// 2-D Gaussian ellipse fit used by the paper's Figure 1(b).
+#ifndef MOCC_SRC_COMMON_STATS_H_
+#define MOCC_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mocc {
+
+// Incremental mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double Mean() const;
+  // Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double Variance() const;
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+  double Sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Returns the p-quantile (p in [0,1]) of `values` using linear interpolation between
+// order statistics. Returns 0 for an empty input.
+double Percentile(std::vector<double> values, double p);
+
+// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative_probability = 0.0;
+};
+
+// Builds the empirical CDF of `values` (sorted ascending, probability = rank/n).
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values);
+
+// Jain's fairness index: (Σx)² / (n·Σx²). Returns 1.0 for empty/all-zero input
+// (degenerate case: nothing to share unfairly).
+double JainFairnessIndex(const std::vector<double>& allocations);
+
+// Least-squares slope of y against x. Returns 0 when fewer than two points or when all
+// x are identical.
+double LeastSquaresSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+// Maximum-likelihood 2-D Gaussian fit of (x, y) samples, plus the 1-sigma ellipse
+// parameters used in the paper's throughput/latency scatter plot (Figure 1b).
+struct Gaussian2d {
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  double var_x = 0.0;
+  double var_y = 0.0;
+  double cov_xy = 0.0;
+  // 1-sigma ellipse: semi-axes (sqrt of covariance eigenvalues) and orientation of the
+  // major axis in radians.
+  double ellipse_major = 0.0;
+  double ellipse_minor = 0.0;
+  double ellipse_angle_rad = 0.0;
+};
+
+// Fits a 2-D Gaussian to paired samples. Requires x.size() == y.size(); with fewer than
+// two samples the ellipse degenerates to a point.
+Gaussian2d FitGaussian2d(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_COMMON_STATS_H_

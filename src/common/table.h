@@ -1,0 +1,41 @@
+// Aligned-table / CSV printing used by the benchmark harnesses to emit the same rows and
+// series that the paper's tables and figures report.
+#ifndef MOCC_SRC_COMMON_TABLE_H_
+#define MOCC_SRC_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mocc {
+
+// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends a row. Rows shorter than the header are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  // Formats a double with `precision` digits after the decimal point.
+  static std::string Num(double v, int precision = 3);
+
+  // Writes the table (header, rule, rows) to `out`.
+  void Print(std::ostream& out) const;
+
+  // Writes the table as CSV to `out`.
+  void PrintCsv(std::ostream& out) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a boxed section heading, used to delimit figure panels in bench output.
+void PrintSection(std::ostream& out, const std::string& title);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_COMMON_TABLE_H_

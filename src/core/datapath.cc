@@ -1,0 +1,71 @@
+#include "src/core/datapath.h"
+
+#include <cassert>
+
+namespace mocc {
+
+UdtShimDatapath::UdtShimDatapath(std::shared_ptr<MoccApi> api) : api_(std::move(api)) {
+  assert(api_ != nullptr);
+}
+
+void UdtShimDatapath::OnNetworkTick(const MonitorReport& report) {
+  api_->ReportStatus(report);
+}
+
+double UdtShimDatapath::SendingRateBps() const { return api_->GetSendingRate(); }
+
+int64_t UdtShimDatapath::control_invocations() const { return api_->inference_count(); }
+
+CcpShimDatapath::CcpShimDatapath(std::shared_ptr<MoccApi> api, int batch_size)
+    : api_(std::move(api)), batch_size_(batch_size) {
+  assert(api_ != nullptr && batch_size_ >= 1);
+}
+
+MonitorReport CcpShimDatapath::AggregateReports(const MonitorReport* reports, int count) {
+  assert(count >= 1);
+  MonitorReport agg = reports[0];
+  for (int i = 1; i < count; ++i) {
+    const MonitorReport& r = reports[i];
+    agg.duration_s += r.duration_s;
+    agg.packets_sent += r.packets_sent;
+    agg.packets_acked += r.packets_acked;
+    agg.packets_lost += r.packets_lost;
+    agg.min_rtt_s = r.min_rtt_s > 0.0 && (agg.min_rtt_s <= 0.0 || r.min_rtt_s < agg.min_rtt_s)
+                        ? r.min_rtt_s
+                        : agg.min_rtt_s;
+  }
+  if (agg.duration_s > 0.0) {
+    double thr_weighted = 0.0;
+    double rtt_weighted = 0.0;
+    double send_weighted = 0.0;
+    for (int i = 0; i < count; ++i) {
+      thr_weighted += reports[i].throughput_bps * reports[i].duration_s;
+      rtt_weighted += reports[i].avg_rtt_s * reports[i].duration_s;
+      send_weighted += reports[i].send_rate_bps * reports[i].duration_s;
+    }
+    agg.throughput_bps = thr_weighted / agg.duration_s;
+    agg.avg_rtt_s = rtt_weighted / agg.duration_s;
+    agg.send_rate_bps = send_weighted / agg.duration_s;
+  }
+  const int64_t denom = agg.packets_acked + agg.packets_lost;
+  agg.loss_rate =
+      denom > 0 ? static_cast<double>(agg.packets_lost) / static_cast<double>(denom) : 0.0;
+  return agg;
+}
+
+void CcpShimDatapath::OnNetworkTick(const MonitorReport& report) {
+  pending_.push_back(report);
+  if (static_cast<int>(pending_.size()) < batch_size_) {
+    return;  // datapath keeps running at the previously installed rate
+  }
+  const MonitorReport agg =
+      AggregateReports(pending_.data(), static_cast<int>(pending_.size()));
+  pending_.clear();
+  api_->ReportStatus(agg);
+}
+
+double CcpShimDatapath::SendingRateBps() const { return api_->GetSendingRate(); }
+
+int64_t CcpShimDatapath::control_invocations() const { return api_->inference_count(); }
+
+}  // namespace mocc

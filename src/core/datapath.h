@@ -1,0 +1,75 @@
+// Simulated datapath integrations (§5): the paper ships MOCC as one library bound to two
+// datapaths — user-space UDT (the shim-helper queries MOCC every monitor interval) and
+// kernel-space CCP (congestion control outside the datapath: feedback is aggregated and
+// delivered to the algorithm less frequently). The two shims below reproduce exactly that
+// mechanical difference — per-tick inference vs. batched, decoupled feedback — which is
+// what drives the CPU-overhead gap of Figure 17.
+#ifndef MOCC_SRC_CORE_DATAPATH_H_
+#define MOCC_SRC_CORE_DATAPATH_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/mocc_api.h"
+#include "src/netsim/cc_interface.h"
+
+namespace mocc {
+
+// A datapath shim receives one network tick per monitor interval (from the transport)
+// and is responsible for invoking the congestion-control logic.
+class DatapathShim {
+ public:
+  virtual ~DatapathShim() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Called by the transport once per monitor interval.
+  virtual void OnNetworkTick(const MonitorReport& report) = 0;
+
+  // Current sending rate decided by the CC logic behind the shim.
+  virtual double SendingRateBps() const = 0;
+
+  // How many times the (expensive) control logic actually ran.
+  virtual int64_t control_invocations() const = 0;
+};
+
+// User-space (UDT-style) integration: the shim-helper calls into MOCC on every tick —
+// one model inference per monitor interval, like Aurora's deployment.
+class UdtShimDatapath : public DatapathShim {
+ public:
+  explicit UdtShimDatapath(std::shared_ptr<MoccApi> api);
+
+  std::string Name() const override { return "MOCC-UDT (user-space)"; }
+  void OnNetworkTick(const MonitorReport& report) override;
+  double SendingRateBps() const override;
+  int64_t control_invocations() const override;
+
+ private:
+  std::shared_ptr<MoccApi> api_;
+};
+
+// Kernel-space (CCP-style) integration: the datapath aggregates `batch_size` intervals
+// of feedback and reports once, so the algorithm (and its inference cost) runs
+// batch_size times less often while the datapath keeps transmitting at the last rate.
+class CcpShimDatapath : public DatapathShim {
+ public:
+  CcpShimDatapath(std::shared_ptr<MoccApi> api, int batch_size = 4);
+
+  std::string Name() const override { return "MOCC-Kernel (CCP)"; }
+  void OnNetworkTick(const MonitorReport& report) override;
+  double SendingRateBps() const override;
+  int64_t control_invocations() const override;
+
+  // Merges `count` accumulated reports into one aggregate report (throughput and RTT
+  // averaged over the covered span, counters summed).
+  static MonitorReport AggregateReports(const MonitorReport* reports, int count);
+
+ private:
+  std::shared_ptr<MoccApi> api_;
+  int batch_size_;
+  std::vector<MonitorReport> pending_;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_CORE_DATAPATH_H_

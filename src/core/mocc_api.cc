@@ -1,0 +1,39 @@
+#include "src/core/mocc_api.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/envs/cc_env.h"
+
+namespace mocc {
+
+MoccApi::MoccApi(std::shared_ptr<PreferenceActorCritic> model, const Options& options)
+    : model_(std::move(model)),
+      options_(options),
+      history_(options.config.history_len_eta),
+      rate_bps_(options.initial_rate_bps) {
+  assert(model_ != nullptr);
+  assert(model_->obs_dim() == options_.config.ObsDim());
+}
+
+void MoccApi::Register(const WeightVector& w) {
+  weight_ = w.Sanitized();
+  registered_ = true;
+}
+
+void MoccApi::ReportStatus(const MonitorReport& status) {
+  assert(registered_ && "Register(w) must be called before ReportStatus");
+  history_.Push(status);
+  estimator_.Observe(status);
+  last_reward_ = DynamicReward(weight_, status, estimator_.CapacityBps(),
+                               estimator_.BaseRttS());
+
+  std::vector<double> obs = {weight_.thr, weight_.lat, weight_.loss};
+  history_.AppendObservation(&obs);
+  const double action = model_->ActionMean(obs);
+  ++inference_count_;
+  rate_bps_ = CcEnv::ApplyRateAction(rate_bps_, action, options_.config.action_scale_alpha);
+  rate_bps_ = std::clamp(rate_bps_, options_.min_rate_bps, options_.max_rate_bps);
+}
+
+}  // namespace mocc

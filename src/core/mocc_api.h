@@ -1,0 +1,74 @@
+// The deployable MOCC library facade (§5). The paper encapsulates all of MOCC behind
+// three functions so any networking datapath (user-space UDT, kernel-space CCP, ...) can
+// adopt it:
+//   * Register(w)        — declare the application's requirement (weight vector);
+//   * ReportStatus(s_t)  — feed the latest monitor-interval network statistics;
+//   * GetSendingRate()   — read the sending rate MOCC computed for the next interval.
+// The facade runs pure inference on an offline-trained PreferenceActorCritic and uses
+// the online estimators of §4.1 for capacity/base-latency bookkeeping.
+#ifndef MOCC_SRC_CORE_MOCC_API_H_
+#define MOCC_SRC_CORE_MOCC_API_H_
+
+#include <memory>
+
+#include "src/core/mocc_config.h"
+#include "src/core/preference_model.h"
+#include "src/core/reward.h"
+#include "src/core/weight_vector.h"
+#include "src/envs/mi_history.h"
+#include "src/netsim/cc_interface.h"
+
+namespace mocc {
+
+class MoccApi {
+ public:
+  struct Options {
+    MoccConfig config;
+    double initial_rate_bps = 2e6;
+    double min_rate_bps = 0.1e6;
+    double max_rate_bps = 400e6;
+  };
+
+  // `model` must match options.config's architecture. The model is shared: many MoccApi
+  // instances (one per connection) can serve different applications from one model —
+  // the multi-objective property.
+  MoccApi(std::shared_ptr<PreferenceActorCritic> model, const Options& options);
+  explicit MoccApi(std::shared_ptr<PreferenceActorCritic> model)
+      : MoccApi(std::move(model), Options{}) {}
+
+  // Registers the application requirement. May be called again at any time to switch
+  // objectives; rate control picks up the new preference at the next ReportStatus.
+  void Register(const WeightVector& w);
+
+  // Reports the latest network status; MOCC updates its rate decision (Eq. 1).
+  void ReportStatus(const MonitorReport& status);
+
+  // Sending rate (bits/second) for the next time interval.
+  double GetSendingRate() const { return rate_bps_; }
+
+  const WeightVector& registered_weight() const { return weight_; }
+  bool is_registered() const { return registered_; }
+  // Policy inferences performed (one per ReportStatus) — overhead accounting (Fig 17).
+  int64_t inference_count() const { return inference_count_; }
+  // Online estimates (§4.1): observed capacity and base latency.
+  double EstimatedCapacityBps() const { return estimator_.CapacityBps(); }
+  double EstimatedBaseRttS() const { return estimator_.BaseRttS(); }
+  // The dynamic reward (Eq. 2) of the most recent reported interval under the
+  // registered weight — exposed for monitoring/adaptation triggers.
+  double LastReward() const { return last_reward_; }
+
+ private:
+  std::shared_ptr<PreferenceActorCritic> model_;
+  Options options_;
+  WeightVector weight_;
+  bool registered_ = false;
+  MiHistoryTracker history_;
+  OnlineLinkEstimator estimator_;
+  double rate_bps_;
+  double last_reward_ = 0.0;
+  int64_t inference_count_ = 0;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_CORE_MOCC_API_H_

@@ -1,0 +1,18 @@
+#include "src/core/mocc_cc.h"
+
+namespace mocc {
+
+std::unique_ptr<RlRateController> MakeMoccCc(std::shared_ptr<PreferenceActorCritic> model,
+                                             const WeightVector& w, const std::string& name,
+                                             double initial_rate_bps) {
+  const WeightVector sanitized = w.Sanitized();
+  RlRateController::Options options;
+  options.history_len = model->config().history_len_eta;
+  options.action_scale = model->config().action_scale_alpha;
+  options.initial_rate_bps = initial_rate_bps;
+  options.observation_prefix = {sanitized.thr, sanitized.lat, sanitized.loss};
+  options.name = name;
+  return std::make_unique<RlRateController>(std::move(model), std::move(options));
+}
+
+}  // namespace mocc

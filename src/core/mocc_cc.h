@@ -1,0 +1,26 @@
+// MOCC as a simulator congestion controller: wires a shared trained model into the
+// generic CongestionControl interface with the registered weight vector as observation
+// prefix. One model instance serves any number of flows with different objectives —
+// the multi-objective property in deployment form.
+#ifndef MOCC_SRC_CORE_MOCC_CC_H_
+#define MOCC_SRC_CORE_MOCC_CC_H_
+
+#include <memory>
+#include <string>
+
+#include "src/baselines/rl_cc.h"
+#include "src/core/mocc_config.h"
+#include "src/core/preference_model.h"
+#include "src/core/weight_vector.h"
+
+namespace mocc {
+
+// Creates a MOCC congestion controller for one flow with requirement `w`.
+std::unique_ptr<RlRateController> MakeMoccCc(std::shared_ptr<PreferenceActorCritic> model,
+                                             const WeightVector& w,
+                                             const std::string& name = "MOCC",
+                                             double initial_rate_bps = 2e6);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_CORE_MOCC_CC_H_

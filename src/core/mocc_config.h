@@ -1,0 +1,61 @@
+// Central MOCC hyper-parameter configuration — Table 2 of the paper plus the model
+// architecture of Figure 3 (§5: trunk MLP with hidden layers of 64 and 32 tanh units;
+// preference sub-network feature-transforming the weight vector).
+#ifndef MOCC_SRC_CORE_MOCC_CONFIG_H_
+#define MOCC_SRC_CORE_MOCC_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/envs/cc_env.h"
+#include "src/rl/ppo.h"
+
+namespace mocc {
+
+struct MoccConfig {
+  // Table 2.
+  double discount_gamma = 0.99;
+  double learning_rate = 1e-3;
+  double action_scale_alpha = 0.025;
+  size_t history_len_eta = 10;
+  // ω = 36 landmark objectives corresponds to a simplex grid of step 1/10 (§6.5,
+  // Figure 16 legend); ObjectiveGridSize() maps divisor -> ω.
+  int landmark_step_divisor = 10;
+
+  // Figure 3 architecture.
+  size_t pn_hidden = 16;               // preference sub-network hidden width
+  size_t pn_out = 16;                  // preference feature width fed to the trunk
+  std::vector<size_t> trunk_hidden = {64, 32};
+
+  // Derived dimensions.
+  size_t HistoryDim() const { return 3 * history_len_eta; }
+  size_t ObsDim() const { return 3 + HistoryDim(); }
+
+  // PPO configuration consistent with this MoccConfig (Table 2 + §5 defaults).
+  PpoConfig MakePpoConfig(uint64_t seed) const {
+    PpoConfig ppo;
+    ppo.gamma = discount_gamma;
+    ppo.learning_rate = learning_rate;
+    ppo.seed = seed;
+    return ppo;
+  }
+
+  // Training environment configuration consistent with this MoccConfig (Table 3).
+  CcEnvConfig MakeEnvConfig() const {
+    CcEnvConfig env;
+    env.link_range = TrainingRange();
+    env.history_len = history_len_eta;
+    env.action_scale = action_scale_alpha;
+    env.include_weight_in_obs = true;
+    // Expected-value loss keeps the reward's loss term noise-free: random-loss noise is
+    // pure reward noise that would otherwise swamp the small throughput gradient of
+    // latency-leaning objectives at scaled-down training budgets.
+    env.stochastic_loss = false;
+    return env;
+  }
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_CORE_MOCC_CONFIG_H_

@@ -1,0 +1,68 @@
+#include "src/core/model_sharing.h"
+
+#include <algorithm>
+
+namespace mocc {
+
+std::shared_ptr<PreferenceActorCritic> FederatedAverage(
+    const std::vector<ModelContribution>& contributions, const MoccConfig& config) {
+  if (contributions.empty()) {
+    return nullptr;
+  }
+  double total_weight = 0.0;
+  for (const auto& c : contributions) {
+    if (c.model == nullptr || c.model->obs_dim() != config.ObsDim() ||
+        c.experience_weight <= 0.0) {
+      return nullptr;
+    }
+    total_weight += c.experience_weight;
+  }
+
+  Rng scratch(1);
+  auto average = std::make_shared<PreferenceActorCritic>(config, &scratch);
+  auto dst = average->Params();
+  // Zero the destination, then accumulate weighted contributions.
+  for (auto& p : dst) {
+    p.value->Fill(0.0);
+  }
+  for (const auto& c : contributions) {
+    auto src = c.model->Params();
+    if (src.size() != dst.size()) {
+      return nullptr;
+    }
+    const double w = c.experience_weight / total_weight;
+    for (size_t i = 0; i < src.size(); ++i) {
+      if (src[i].value->size() != dst[i].value->size()) {
+        return nullptr;
+      }
+      AddScaled(dst[i].value, *src[i].value, w);
+    }
+  }
+  return average;
+}
+
+bool BlendModel(PreferenceActorCritic* base, const PreferenceActorCritic& update,
+                double tau) {
+  if (base == nullptr || base->obs_dim() != update.obs_dim()) {
+    return false;
+  }
+  tau = std::clamp(tau, 0.0, 1.0);
+  auto dst = base->Params();
+  auto src = const_cast<PreferenceActorCritic&>(update).Params();
+  if (dst.size() != src.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i].value->size() != src[i].value->size()) {
+      return false;
+    }
+    double* d = dst[i].value->data();
+    const double* s = src[i].value->data();
+    for (size_t k = 0; k < dst[i].value->size(); ++k) {
+      d[k] = (1.0 - tau) * d[k] + tau * s[k];
+    }
+  }
+  return true;
+}
+
+}  // namespace mocc

@@ -1,0 +1,39 @@
+// Model sharing (§7, "Model sharing and Federated learning"): the paper's future-work
+// direction where devices that already adapted to an application share their models to
+// cut adaptation time elsewhere. This module implements the federated-averaging
+// primitive: parameter-space averaging of same-architecture PreferenceActorCritic
+// models, optionally weighted by how much experience each contributor accumulated.
+#ifndef MOCC_SRC_CORE_MODEL_SHARING_H_
+#define MOCC_SRC_CORE_MODEL_SHARING_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/preference_model.h"
+
+namespace mocc {
+
+// One contribution to a federated round.
+struct ModelContribution {
+  std::shared_ptr<PreferenceActorCritic> model;
+  // Relative amount of experience behind this model (e.g. training iterations or
+  // samples). Must be > 0.
+  double experience_weight = 1.0;
+};
+
+// Returns the experience-weighted parameter average of the contributions. All models
+// must share the architecture of `config`. Returns nullptr on empty input or
+// architecture mismatch. Averaging in parameter space is the FedAvg primitive; it is
+// meaningful here because all contributors descend from a common offline base model
+// (fine-tuned copies stay in the same loss basin).
+std::shared_ptr<PreferenceActorCritic> FederatedAverage(
+    const std::vector<ModelContribution>& contributions, const MoccConfig& config);
+
+// Blends `update` into `base` with mixing factor tau in [0,1] (tau = 1 adopts the
+// update entirely). In-place on `base`. Returns false on architecture mismatch.
+bool BlendModel(PreferenceActorCritic* base, const PreferenceActorCritic& update,
+                double tau);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_CORE_MODEL_SHARING_H_

@@ -1,0 +1,69 @@
+#include "src/core/model_zoo.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace mocc {
+namespace {
+
+constexpr char kAuroraMagic[] = "MOCCAURA";
+constexpr uint32_t kAuroraVersion = 1;
+
+}  // namespace
+
+ModelZoo::ModelZoo(std::string directory) : directory_(std::move(directory)) {}
+
+void ModelZoo::EnsureDirectory() const {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+}
+
+std::string ModelZoo::PathFor(const std::string& key) const {
+  return directory_ + "/" + key + ".bin";
+}
+
+std::shared_ptr<PreferenceActorCritic> ModelZoo::GetOrTrainMocc(
+    const std::string& key, const MoccConfig& config,
+    const std::function<std::shared_ptr<PreferenceActorCritic>()>& train) {
+  const std::string path = PathFor(key);
+  if (auto cached = PreferenceActorCritic::LoadFromFile(path, config)) {
+    return cached;
+  }
+  auto model = train();
+  if (model != nullptr) {
+    EnsureDirectory();
+    model->SaveToFile(path);
+  }
+  return model;
+}
+
+std::shared_ptr<MlpActorCritic> ModelZoo::GetOrTrainAurora(
+    const std::string& key, size_t obs_dim,
+    const std::function<std::shared_ptr<MlpActorCritic>()>& train) {
+  const std::string path = PathFor(key);
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      BinaryReader reader(in, kAuroraMagic, kAuroraVersion);
+      if (reader.ok()) {
+        Rng scratch(1);
+        auto model = std::make_shared<MlpActorCritic>(obs_dim, &scratch);
+        if (model->Deserialize(&reader)) {
+          return model;
+        }
+      }
+    }
+  }
+  auto model = train();
+  if (model != nullptr) {
+    EnsureDirectory();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (out) {
+      BinaryWriter writer(out, kAuroraMagic, kAuroraVersion);
+      model->Serialize(&writer);
+    }
+  }
+  return model;
+}
+
+}  // namespace mocc

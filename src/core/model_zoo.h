@@ -1,0 +1,46 @@
+// On-disk cache of trained models so the benchmark suite trains each configuration once:
+// the first bench that needs e.g. the ω=36 MOCC base model or an Aurora-throughput model
+// trains and saves it; subsequent benches load it. Files live under a directory relative
+// to the working directory and are keyed by caller-provided names (include the config in
+// the key when it varies).
+#ifndef MOCC_SRC_CORE_MODEL_ZOO_H_
+#define MOCC_SRC_CORE_MODEL_ZOO_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/core/mocc_config.h"
+#include "src/core/preference_model.h"
+#include "src/rl/actor_critic.h"
+
+namespace mocc {
+
+class ModelZoo {
+ public:
+  explicit ModelZoo(std::string directory = "mocc_model_zoo");
+
+  // Loads the MOCC model `key` if cached, otherwise invokes `train` (which must return a
+  // model built from `config`) and caches the result. Never returns nullptr if `train`
+  // doesn't.
+  std::shared_ptr<PreferenceActorCritic> GetOrTrainMocc(
+      const std::string& key, const MoccConfig& config,
+      const std::function<std::shared_ptr<PreferenceActorCritic>()>& train);
+
+  // Same for Aurora-style MlpActorCritic models of observation dimension `obs_dim`.
+  std::shared_ptr<MlpActorCritic> GetOrTrainAurora(
+      const std::string& key, size_t obs_dim,
+      const std::function<std::shared_ptr<MlpActorCritic>()>& train);
+
+  std::string PathFor(const std::string& key) const;
+  const std::string& directory() const { return directory_; }
+
+ private:
+  void EnsureDirectory() const;
+
+  std::string directory_;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_CORE_MODEL_ZOO_H_

@@ -1,0 +1,144 @@
+#include "src/core/objective_space.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mocc {
+
+std::vector<WeightVector> GenerateWeightGrid(int divisor) {
+  assert(divisor >= 3);
+  std::vector<WeightVector> grid;
+  const double step = 1.0 / static_cast<double>(divisor);
+  for (int a = 1; a <= divisor - 2; ++a) {
+    for (int b = 1; b <= divisor - 1 - a; ++b) {
+      const int c = divisor - a - b;
+      grid.emplace_back(a * step, b * step, c * step);
+    }
+  }
+  return grid;
+}
+
+int ObjectiveGridSize(int divisor) { return (divisor - 1) * (divisor - 2) / 2; }
+
+std::vector<WeightVector> DefaultBootstrapObjectives() {
+  return {WeightVector(0.6, 0.3, 0.1), WeightVector(0.1, 0.6, 0.3),
+          WeightVector(0.3, 0.1, 0.6)};
+}
+
+bool AreNeighborObjectives(const WeightVector& a, const WeightVector& b, int divisor) {
+  const double step = 1.0 / static_cast<double>(divisor);
+  const double tol = step * 1e-6;
+  const std::array<double, 3> da = a.ToArray();
+  const std::array<double, 3> db = b.ToArray();
+  int differing = 0;
+  for (int i = 0; i < 3; ++i) {
+    const double diff = std::abs(da[i] - db[i]);
+    if (diff > tol) {
+      if (diff > step + tol) {
+        return false;
+      }
+      ++differing;
+    }
+  }
+  return differing > 0 && differing <= 2;
+}
+
+ObjectiveGraph::ObjectiveGraph(std::vector<WeightVector> vertices, int divisor)
+    : vertices_(std::move(vertices)), divisor_(divisor) {
+  adjacency_.resize(vertices_.size());
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    for (size_t j = i + 1; j < vertices_.size(); ++j) {
+      if (AreNeighborObjectives(vertices_[i], vertices_[j], divisor_)) {
+        adjacency_[i].push_back(static_cast<int>(j));
+        adjacency_[j].push_back(static_cast<int>(i));
+      }
+    }
+  }
+}
+
+int ObjectiveGraph::ClosestVertex(const WeightVector& w) const {
+  int best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const double d = vertices_[i].L1DistanceTo(w);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<int> ObjectiveGraph::SortForTraversal(
+    const std::vector<WeightVector>& bootstraps) const {
+  const size_t n = vertices_.size();
+  const size_t m = std::max<size_t>(1, bootstraps.size());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Map bootstrap objectives onto grid vertices.
+  std::vector<int> sources;
+  sources.reserve(m);
+  for (const auto& b : bootstraps) {
+    sources.push_back(ClosestVertex(b));
+  }
+
+  // Per-source distances, initialized as in Algorithm 1: 0 at the source, 1 at its
+  // direct neighbors, infinity elsewhere (relaxed as vertices are visited).
+  std::vector<std::vector<double>> dist(sources.size(), std::vector<double>(n, kInf));
+  for (size_t i = 0; i < sources.size(); ++i) {
+    dist[i][static_cast<size_t>(sources[i])] = 0.0;
+    for (int nb : adjacency_[static_cast<size_t>(sources[i])]) {
+      dist[i][static_cast<size_t>(nb)] = 1.0;
+    }
+  }
+
+  std::vector<bool> visited(n, false);
+  std::vector<int> order;
+  order.reserve(n);
+
+  const size_t quota = (n + m - 1) / m;  // ceil(|V| / |O|)
+  for (size_t i = 0; i < sources.size() && order.size() < n; ++i) {
+    size_t visits = quota;
+    const size_t src = static_cast<size_t>(sources[i]);
+    if (!visited[src]) {
+      order.push_back(sources[i]);
+      visited[src] = true;
+      --visits;
+    }
+    while (visits > 0 && order.size() < n) {
+      // Extract the nearest unvisited vertex for this source.
+      int u = -1;
+      double best = kInf;
+      for (size_t v = 0; v < n; ++v) {
+        if (!visited[v] && dist[i][v] < best) {
+          best = dist[i][v];
+          u = static_cast<int>(v);
+        }
+      }
+      if (u < 0) {
+        break;  // nothing reachable remains for this source
+      }
+      order.push_back(u);
+      visited[static_cast<size_t>(u)] = true;
+      --visits;
+      for (int nb : adjacency_[static_cast<size_t>(u)]) {
+        if (!visited[static_cast<size_t>(nb)] &&
+            dist[i][static_cast<size_t>(u)] + 1.0 < dist[i][static_cast<size_t>(nb)]) {
+          dist[i][static_cast<size_t>(nb)] = dist[i][static_cast<size_t>(u)] + 1.0;
+        }
+      }
+    }
+  }
+  // Safety net: append anything left (disconnected grids cannot occur for divisor >= 3,
+  // but the function guarantees a permutation regardless).
+  for (size_t v = 0; v < n; ++v) {
+    if (!visited[v]) {
+      order.push_back(static_cast<int>(v));
+    }
+  }
+  return order;
+}
+
+}  // namespace mocc

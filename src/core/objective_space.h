@@ -1,0 +1,57 @@
+// The landmark-objective space used by offline training (§4.2, Appendix B):
+//  * simplex grids of weight vectors at step 1/divisor (ω landmark objectives;
+//    divisor 4,5,6,10,20 -> ω = 3,6,10,36,171 as in Figure 16);
+//  * the neighborhood graph over a grid (two vectors are neighbors iff they differ in at
+//    most two components, each by at most one step);
+//  * Algorithm 1 — the neighborhood-based objective sorting that orders the fast-
+//    traversing phase by interleaved Dijkstra expansion around the bootstrap objectives.
+#ifndef MOCC_SRC_CORE_OBJECTIVE_SPACE_H_
+#define MOCC_SRC_CORE_OBJECTIVE_SPACE_H_
+
+#include <vector>
+
+#include "src/core/weight_vector.h"
+
+namespace mocc {
+
+// All weight vectors with components k/divisor (k >= 1 integer) summing to 1.
+// The grid has C(divisor-1, 2) points.
+std::vector<WeightVector> GenerateWeightGrid(int divisor);
+
+// Number of grid points for a divisor: C(divisor-1, 2).
+int ObjectiveGridSize(int divisor);
+
+// The paper's three bootstrap objectives (Appendix B): <0.6,0.3,0.1>, <0.1,0.6,0.3>,
+// <0.3,0.1,0.6> — chosen to cover the requirement space.
+std::vector<WeightVector> DefaultBootstrapObjectives();
+
+// Neighborhood predicate of Appendix B: at most two components differ, and each
+// difference is within one grid step (1/divisor).
+bool AreNeighborObjectives(const WeightVector& a, const WeightVector& b, int divisor);
+
+// Undirected neighbor graph over a weight grid.
+class ObjectiveGraph {
+ public:
+  ObjectiveGraph(std::vector<WeightVector> vertices, int divisor);
+
+  const std::vector<WeightVector>& vertices() const { return vertices_; }
+  const std::vector<int>& NeighborsOf(int v) const { return adjacency_[v]; }
+  int divisor() const { return divisor_; }
+
+  // Index of the vertex closest (L1) to `w`.
+  int ClosestVertex(const WeightVector& w) const;
+
+  // Algorithm 1: returns all vertex indices ordered for the fast-traversing phase —
+  // bootstrap objectives first within their quota, then nearest-unvisited expansion
+  // around each bootstrap vertex in turn (quota ceil(|V|/|O|) per bootstrap).
+  std::vector<int> SortForTraversal(const std::vector<WeightVector>& bootstraps) const;
+
+ private:
+  std::vector<WeightVector> vertices_;
+  std::vector<std::vector<int>> adjacency_;
+  int divisor_;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_CORE_OBJECTIVE_SPACE_H_

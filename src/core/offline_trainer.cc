@@ -1,0 +1,137 @@
+#include "src/core/offline_trainer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace mocc {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int OfflineTrainConfig::PlannedIterations() const {
+  const int landmarks = ObjectiveGridSize(mocc.landmark_step_divisor);
+  return bootstrap_iterations +
+         traversal_rounds * traversal_iterations_per_objective * landmarks;
+}
+
+OfflineTrainer::OfflineTrainer(PreferenceActorCritic* model, const OfflineTrainConfig& config)
+    : model_(model),
+      config_(config),
+      landmarks_(GenerateWeightGrid(config.mocc.landmark_step_divisor)),
+      graph_(landmarks_, config.mocc.landmark_step_divisor),
+      ppo_(model,
+           [&config] {
+             PpoConfig ppo = config.mocc.MakePpoConfig(config.seed);
+             ppo.entropy_start = config.entropy_start;
+             ppo.entropy_end = config.entropy_end;
+             ppo.entropy_decay_iters = std::max(1, config.PlannedIterations());
+             return ppo;
+           }()),
+      mix_rng_(config.seed * 31 + 5) {
+  assert(model_ != nullptr);
+  const int n_envs = std::max(1, config_.parallel_envs);
+  for (int i = 0; i < n_envs; ++i) {
+    envs_.push_back(std::make_unique<CcEnv>(config_.mocc.MakeEnvConfig(),
+                                            config_.seed * 977 + 13 * i + 1));
+  }
+}
+
+PpoStats OfflineTrainer::RunIteration(const std::vector<WeightVector>& objectives) {
+  assert(!objectives.empty());
+  const int total_steps = ppo_.config().rollout_steps;
+  if (envs_.size() == 1) {
+    const int steps_each =
+        std::max(64, total_steps / static_cast<int>(objectives.size()));
+    std::vector<RolloutBuffer> buffers;
+    buffers.reserve(objectives.size());
+    for (const WeightVector& w : objectives) {
+      envs_[0]->SetObjective(w);
+      buffers.push_back(ppo_.CollectRollout(envs_[0].get(), steps_each));
+    }
+    std::vector<const RolloutBuffer*> ptrs;
+    for (const auto& b : buffers) {
+      ptrs.push_back(&b);
+    }
+    return ppo_.Update(ptrs);
+  }
+  // Parallel rollout collection: objectives are assigned to environments round-robin.
+  std::vector<Env*> raw;
+  raw.reserve(envs_.size());
+  for (size_t i = 0; i < envs_.size(); ++i) {
+    envs_[i]->SetObjective(objectives[i % objectives.size()]);
+    raw.push_back(envs_[i].get());
+  }
+  const int steps_each = std::max(64, total_steps / static_cast<int>(envs_.size()));
+  std::vector<RolloutBuffer> buffers = ppo_.CollectRolloutsParallel(raw, steps_each);
+  std::vector<const RolloutBuffer*> ptrs;
+  for (const auto& b : buffers) {
+    ptrs.push_back(&b);
+  }
+  return ppo_.Update(ptrs);
+}
+
+OfflineTrainResult OfflineTrainer::TrainTwoPhase() {
+  OfflineTrainResult result;
+  const double t0 = NowSeconds();
+
+  // Phase 1 — bootstrapping: the pivot objectives are trained jointly to convergence,
+  // building the base correlation between requirements and policies.
+  for (int i = 0; i < config_.bootstrap_iterations; ++i) {
+    const PpoStats stats = RunIteration(config_.bootstrap_objectives);
+    result.reward_curve.push_back(stats.mean_step_reward);
+    ++result.total_iterations;
+  }
+
+  // Phase 2 — fast traversing: visit the landmarks a few steps each in the Algorithm-1
+  // neighborhood order; each visit transfers from neighboring (already trained)
+  // objectives and mixes in previously visited ones to retain them. The phase refines
+  // the base model, so it runs at a reduced learning rate.
+  ppo_.set_learning_rate(config_.mocc.learning_rate * config_.traversal_lr_factor);
+  result.traversal_order = graph_.SortForTraversal(config_.bootstrap_objectives);
+  std::vector<WeightVector> visited = config_.bootstrap_objectives;
+  for (int round = 0; round < config_.traversal_rounds; ++round) {
+    for (int idx : result.traversal_order) {
+      const WeightVector& current = landmarks_[static_cast<size_t>(idx)];
+      for (int i = 0; i < config_.traversal_iterations_per_objective; ++i) {
+        std::vector<WeightVector> batch = {current};
+        for (int m = 0; m < config_.traversal_mix_objectives && !visited.empty(); ++m) {
+          batch.push_back(visited[static_cast<size_t>(
+              mix_rng_.UniformInt(0, static_cast<int64_t>(visited.size()) - 1))]);
+        }
+        const PpoStats stats = RunIteration(batch);
+        result.reward_curve.push_back(stats.mean_step_reward);
+        ++result.total_iterations;
+      }
+      visited.push_back(current);
+    }
+  }
+
+  ppo_.set_learning_rate(config_.mocc.learning_rate);
+  result.wall_seconds = NowSeconds() - t0;
+  return result;
+}
+
+OfflineTrainResult OfflineTrainer::TrainIndividually() {
+  OfflineTrainResult result;
+  const double t0 = NowSeconds();
+  // No transfer: every landmark objective receives the full bootstrap budget, mimicking
+  // one independent single-objective RL per objective (§6.5, "Individual Training").
+  for (const WeightVector& objective : landmarks_) {
+    for (int i = 0; i < config_.bootstrap_iterations; ++i) {
+      const PpoStats stats = RunIteration({objective});
+      result.reward_curve.push_back(stats.mean_step_reward);
+      ++result.total_iterations;
+    }
+  }
+  result.wall_seconds = NowSeconds() - t0;
+  return result;
+}
+
+}  // namespace mocc

@@ -1,0 +1,94 @@
+// Offline pre-training of the MOCC model (§4.2): the two-phase strategy —
+// bootstrapping (train a small set of pivot objectives to convergence) followed by fast
+// traversing (visit the remaining landmark objectives a few PPO steps each, in the
+// Algorithm-1 neighborhood order, cycling until the round budget is exhausted) — plus the
+// two baselines the paper compares against in Figure 19: per-objective individual
+// training, and two-phase training with parallel (multi-environment, multi-threaded)
+// rollout collection.
+#ifndef MOCC_SRC_CORE_OFFLINE_TRAINER_H_
+#define MOCC_SRC_CORE_OFFLINE_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/mocc_config.h"
+#include "src/core/objective_space.h"
+#include "src/core/preference_model.h"
+#include "src/envs/cc_env.h"
+#include "src/rl/ppo.h"
+
+namespace mocc {
+
+struct OfflineTrainConfig {
+  MoccConfig mocc;
+  // Bootstrap-phase iterations; each jointly trains all bootstrap objectives.
+  int bootstrap_iterations = 40;
+  // PPO iterations per objective visit during fast traversing ("a few steps", §4.2).
+  int traversal_iterations_per_objective = 1;
+  // Cyclic passes over the sorted objective list (phase 2).
+  int traversal_rounds = 2;
+  // Number of parallel rollout environments (1 = serial).
+  int parallel_envs = 1;
+  // Every traversal update mixes the visited objective with this many previously
+  // visited ones (fresh rollouts each). Mixing objectives inside one update batch is
+  // what forces the preference sub-network to condition on w⃗ at small iteration
+  // budgets (the conditioned-network training of Abels et al., Appendix A); 0 disables
+  // (one objective per update, exactly Algorithm 1's schedule).
+  int traversal_mix_objectives = 3;
+  // Entropy-coefficient schedule (overrides the PpoConfig default so exploration decays
+  // over the actual budget of this run, not the paper's 1000 iterations).
+  double entropy_start = 0.05;
+  double entropy_end = 0.0005;
+  // Learning-rate multiplier for the fast-traversing phase: traversal transfers from an
+  // already-trained base model, so it refines rather than re-learns.
+  double traversal_lr_factor = 0.3;
+  std::vector<WeightVector> bootstrap_objectives = DefaultBootstrapObjectives();
+  uint64_t seed = 7;
+
+  // Total PPO iterations this configuration will run.
+  int PlannedIterations() const;
+};
+
+struct OfflineTrainResult {
+  // Mean per-step training reward of every PPO iteration, in order.
+  std::vector<double> reward_curve;
+  int total_iterations = 0;
+  double wall_seconds = 0.0;
+  // The traversal order actually used (indices into the landmark grid).
+  std::vector<int> traversal_order;
+};
+
+class OfflineTrainer {
+ public:
+  // `model` must outlive the trainer and must have been built from config.mocc.
+  OfflineTrainer(PreferenceActorCritic* model, const OfflineTrainConfig& config);
+
+  // The paper's method: bootstrapping + neighborhood-ordered fast traversing.
+  OfflineTrainResult TrainTwoPhase();
+
+  // Figure 19 baseline: every landmark objective trained independently for the full
+  // bootstrap budget (no transfer). Vastly slower; provided for the speedup comparison.
+  OfflineTrainResult TrainIndividually();
+
+  // Landmark grid of this configuration (ω objectives).
+  const std::vector<WeightVector>& landmarks() const { return landmarks_; }
+
+  PpoTrainer& ppo() { return ppo_; }
+
+ private:
+  // One PPO iteration: fresh rollouts for every objective in `objectives` (the total
+  // step budget split evenly), one joint clipped-surrogate update.
+  PpoStats RunIteration(const std::vector<WeightVector>& objectives);
+
+  PreferenceActorCritic* model_;
+  OfflineTrainConfig config_;
+  std::vector<WeightVector> landmarks_;
+  ObjectiveGraph graph_;
+  PpoTrainer ppo_;
+  std::vector<std::unique_ptr<CcEnv>> envs_;
+  Rng mix_rng_;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_CORE_OFFLINE_TRAINER_H_

@@ -1,0 +1,78 @@
+#include "src/core/online_adapter.h"
+
+#include <cassert>
+
+namespace mocc {
+namespace {
+
+PpoConfig MakeOnlinePpoConfig(const OnlineAdaptConfig& config) {
+  PpoConfig ppo = config.mocc.MakePpoConfig(config.seed);
+  ppo.rollout_steps = config.rollout_steps;
+  return ppo;
+}
+
+}  // namespace
+
+OnlineAdapter::OnlineAdapter(PreferenceActorCritic* model, CcEnv* env,
+                             const OnlineAdaptConfig& config)
+    : model_(model),
+      env_(env),
+      config_(config),
+      ppo_(model, MakeOnlinePpoConfig(config)),
+      rng_(config.seed) {
+  assert(model_ != nullptr && env_ != nullptr);
+  // Online adaptation runs with the post-decay entropy coefficient: the offline model
+  // already explored; online we refine.
+  ppo_.set_iteration(ppo_.config().entropy_decay_iters);
+}
+
+void OnlineAdapter::RememberObjective(const WeightVector& w) {
+  const WeightVector sanitized = w.Sanitized();
+  for (const auto& existing : replay_pool_) {
+    if (existing.AlmostEquals(sanitized, 1e-6)) {
+      return;
+    }
+  }
+  if (replay_pool_.size() >= config_.replay_pool_max) {
+    // Uniform eviction keeps the pool an unbiased sample of history.
+    const size_t victim = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(replay_pool_.size()) - 1));
+    replay_pool_[victim] = sanitized;
+    return;
+  }
+  replay_pool_.push_back(sanitized);
+}
+
+PpoStats OnlineAdapter::AdaptIteration(const WeightVector& current) {
+  const WeightVector w_new = current.Sanitized();
+
+  env_->SetObjective(w_new);
+  RolloutBuffer new_buffer = ppo_.CollectRollout(env_, config_.rollout_steps);
+
+  const WeightVector* w_old = nullptr;
+  if (config_.enable_replay && !replay_pool_.empty()) {
+    // Draw uniformly from stored requirements, skipping an exact match with w_new when
+    // an alternative exists.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const size_t pick = static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(replay_pool_.size()) - 1));
+      if (!replay_pool_[pick].AlmostEquals(w_new, 1e-6) || replay_pool_.size() == 1) {
+        w_old = &replay_pool_[pick];
+        break;
+      }
+    }
+  }
+
+  PpoStats stats;
+  if (w_old != nullptr) {
+    env_->SetObjective(*w_old);
+    RolloutBuffer old_buffer = ppo_.CollectRollout(env_, config_.rollout_steps);
+    stats = ppo_.Update({&new_buffer, &old_buffer});
+  } else {
+    stats = ppo_.Update({&new_buffer});
+  }
+  RememberObjective(w_new);
+  return stats;
+}
+
+}  // namespace mocc

@@ -1,0 +1,61 @@
+// Online adaptation with requirement replay (§4.3): starting from the offline-trained
+// correlation model, MOCC adapts to a new (possibly unforeseen) objective with a few PPO
+// iterations — transfer learning — while every step ALSO optimizes a uniformly sampled
+// previously-seen objective, per the Eq. (6) loss
+//     L_online(θ) = ½ [ L_CLIP+E(θ, w_new) + L_CLIP+E(θ, w_old) ],
+// so adapting to new applications does not make the model forget old ones.
+#ifndef MOCC_SRC_CORE_ONLINE_ADAPTER_H_
+#define MOCC_SRC_CORE_ONLINE_ADAPTER_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/mocc_config.h"
+#include "src/core/preference_model.h"
+#include "src/envs/cc_env.h"
+#include "src/rl/ppo.h"
+
+namespace mocc {
+
+struct OnlineAdaptConfig {
+  MoccConfig mocc;
+  // Rollout per online iteration; smaller than offline since reactions must be fast.
+  int rollout_steps = 512;
+  // Maximum stored past requirements (uniform eviction beyond this).
+  size_t replay_pool_max = 256;
+  // Ablation switch: false disables requirement replay (plain fine-tuning), which
+  // reproduces the catastrophic-forgetting behaviour of Figure 7b's Aurora curve.
+  bool enable_replay = true;
+  uint64_t seed = 11;
+};
+
+class OnlineAdapter {
+ public:
+  // `model` and `env` must outlive the adapter. The PPO trainer starts past the entropy
+  // decay horizon so online exploration noise is low.
+  OnlineAdapter(PreferenceActorCritic* model, CcEnv* env, const OnlineAdaptConfig& config);
+
+  // Records an application requirement in the replay pool (deduplicated).
+  void RememberObjective(const WeightVector& w);
+
+  // One online adaptation iteration for `current`: collects a rollout under the current
+  // objective and (if replay is enabled and the pool has another entry) one under a
+  // sampled old objective, then applies the joint Eq. (6) update. `current` is also
+  // remembered. Returns the PPO statistics of the joint update.
+  PpoStats AdaptIteration(const WeightVector& current);
+
+  const std::vector<WeightVector>& replay_pool() const { return replay_pool_; }
+  PpoTrainer& ppo() { return ppo_; }
+
+ private:
+  PreferenceActorCritic* model_;
+  CcEnv* env_;
+  OnlineAdaptConfig config_;
+  PpoTrainer ppo_;
+  Rng rng_;
+  std::vector<WeightVector> replay_pool_;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_CORE_ONLINE_ADAPTER_H_

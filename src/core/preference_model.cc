@@ -1,0 +1,178 @@
+#include "src/core/preference_model.h"
+
+#include <cassert>
+#include <fstream>
+
+namespace mocc {
+namespace {
+
+constexpr char kModelMagic[] = "MOCCMODL";
+constexpr uint32_t kModelVersion = 1;
+
+}  // namespace
+
+PreferenceActorCritic::PreferenceActorCritic(const MoccConfig& config, Rng* rng)
+    : config_(config), obs_dim_(config.ObsDim()) {
+  auto build_head = [&](Head* head) {
+    head->preference_net = Mlp({kWeightDim, config_.pn_hidden, config_.pn_out},
+                               Activation::kTanh, Activation::kTanh, rng);
+    std::vector<size_t> trunk_dims;
+    trunk_dims.push_back(config_.pn_out + config_.HistoryDim());
+    for (size_t h : config_.trunk_hidden) {
+      trunk_dims.push_back(h);
+    }
+    trunk_dims.push_back(1);
+    head->trunk = Mlp(trunk_dims, Activation::kTanh, Activation::kIdentity, rng);
+  };
+  build_head(&actor_);
+  build_head(&critic_);
+  log_std_(0, 0) = -1.0;
+}
+
+Matrix PreferenceActorCritic::ForwardHead(Head* head, const Matrix& obs) {
+  const size_t batch = obs.rows();
+  const size_t hist_dim = config_.HistoryDim();
+  Matrix weights(batch, kWeightDim);
+  Matrix history(batch, hist_dim);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t c = 0; c < kWeightDim; ++c) {
+      weights(b, c) = obs(b, c);
+    }
+    for (size_t c = 0; c < hist_dim; ++c) {
+      history(b, c) = obs(b, kWeightDim + c);
+    }
+  }
+  const Matrix pn_out = head->preference_net.Forward(weights);
+  Matrix concat(batch, config_.pn_out + hist_dim);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t c = 0; c < config_.pn_out; ++c) {
+      concat(b, c) = pn_out(b, c);
+    }
+    for (size_t c = 0; c < hist_dim; ++c) {
+      concat(b, config_.pn_out + c) = history(b, c);
+    }
+  }
+  head->cached_concat = concat;
+  return head->trunk.Forward(concat);
+}
+
+void PreferenceActorCritic::BackwardHead(Head* head, const Matrix& grad_out) {
+  const Matrix dconcat = head->trunk.Backward(grad_out);
+  // Route the preference-feature slice of the gradient into the PN; the history slice
+  // ends at the observation (no upstream parameters).
+  Matrix dpn(dconcat.rows(), config_.pn_out);
+  for (size_t b = 0; b < dconcat.rows(); ++b) {
+    for (size_t c = 0; c < config_.pn_out; ++c) {
+      dpn(b, c) = dconcat(b, c);
+    }
+  }
+  head->preference_net.Backward(dpn);
+}
+
+void PreferenceActorCritic::Forward(const Matrix& obs, Matrix* mean, Matrix* value) {
+  assert(obs.cols() == obs_dim_);
+  *mean = ForwardHead(&actor_, obs);
+  *value = ForwardHead(&critic_, obs);
+}
+
+void PreferenceActorCritic::Backward(const Matrix& dmean, const Matrix& dvalue) {
+  BackwardHead(&actor_, dmean);
+  BackwardHead(&critic_, dvalue);
+}
+
+std::vector<ParamRef> PreferenceActorCritic::Params() {
+  std::vector<ParamRef> params;
+  for (Head* head : {&actor_, &critic_}) {
+    for (auto& p : head->preference_net.Params()) {
+      params.push_back(p);
+    }
+    for (auto& p : head->trunk.Params()) {
+      params.push_back(p);
+    }
+  }
+  params.push_back({&log_std_, &log_std_grad_});
+  return params;
+}
+
+void PreferenceActorCritic::ZeroGrad() {
+  for (Head* head : {&actor_, &critic_}) {
+    head->preference_net.ZeroGrad();
+    head->trunk.ZeroGrad();
+  }
+  log_std_grad_.Fill(0.0);
+}
+
+size_t PreferenceActorCritic::ParameterCount() const {
+  return actor_.preference_net.ParameterCount() + actor_.trunk.ParameterCount() +
+         critic_.preference_net.ParameterCount() + critic_.trunk.ParameterCount() + 1;
+}
+
+std::unique_ptr<ActorCritic> PreferenceActorCritic::Clone() const {
+  Rng scratch(1);
+  auto clone = std::make_unique<PreferenceActorCritic>(config_, &scratch);
+  clone->actor_.preference_net.CopyWeightsFrom(actor_.preference_net);
+  clone->actor_.trunk.CopyWeightsFrom(actor_.trunk);
+  clone->critic_.preference_net.CopyWeightsFrom(critic_.preference_net);
+  clone->critic_.trunk.CopyWeightsFrom(critic_.trunk);
+  clone->log_std_(0, 0) = log_std_(0, 0);
+  return clone;
+}
+
+void PreferenceActorCritic::Serialize(BinaryWriter* w) const {
+  w->WriteU64(obs_dim_);
+  w->WriteU64(config_.history_len_eta);
+  w->WriteU64(config_.pn_hidden);
+  w->WriteU64(config_.pn_out);
+  actor_.preference_net.Serialize(w);
+  actor_.trunk.Serialize(w);
+  critic_.preference_net.Serialize(w);
+  critic_.trunk.Serialize(w);
+  w->WriteDouble(log_std_(0, 0));
+}
+
+bool PreferenceActorCritic::Deserialize(BinaryReader* r) {
+  const uint64_t obs_dim = r->ReadU64();
+  const uint64_t eta = r->ReadU64();
+  const uint64_t pn_hidden = r->ReadU64();
+  const uint64_t pn_out = r->ReadU64();
+  if (!r->ok() || obs_dim != obs_dim_ || eta != config_.history_len_eta ||
+      pn_hidden != config_.pn_hidden || pn_out != config_.pn_out) {
+    return false;
+  }
+  if (!actor_.preference_net.Deserialize(r) || !actor_.trunk.Deserialize(r) ||
+      !critic_.preference_net.Deserialize(r) || !critic_.trunk.Deserialize(r)) {
+    return false;
+  }
+  log_std_(0, 0) = r->ReadDouble();
+  return r->ok();
+}
+
+bool PreferenceActorCritic::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  BinaryWriter writer(out, kModelMagic, kModelVersion);
+  Serialize(&writer);
+  return writer.ok();
+}
+
+std::shared_ptr<PreferenceActorCritic> PreferenceActorCritic::LoadFromFile(
+    const std::string& path, const MoccConfig& config) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return nullptr;
+  }
+  BinaryReader reader(in, kModelMagic, kModelVersion);
+  if (!reader.ok()) {
+    return nullptr;
+  }
+  Rng scratch(1);
+  auto model = std::make_shared<PreferenceActorCritic>(config, &scratch);
+  if (!model->Deserialize(&reader)) {
+    return nullptr;
+  }
+  return model;
+}
+
+}  // namespace mocc

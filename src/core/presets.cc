@@ -1,0 +1,37 @@
+#include "src/core/presets.h"
+
+namespace mocc {
+
+OfflineTrainConfig QuickOfflinePreset(uint64_t seed) {
+  OfflineTrainConfig config;
+  config.seed = seed;
+  config.bootstrap_iterations = 50;
+  config.traversal_iterations_per_objective = 1;
+  config.traversal_rounds = 2;
+  config.entropy_start = 0.02;
+  return config;
+}
+
+OfflineTrainConfig StandardOfflinePreset(uint64_t seed) {
+  OfflineTrainConfig config;
+  config.seed = seed;
+  config.bootstrap_iterations = 100;
+  config.traversal_iterations_per_objective = 1;
+  config.traversal_rounds = 3;
+  config.entropy_start = 0.02;
+  return config;
+}
+
+std::shared_ptr<PreferenceActorCritic> GetOrTrainBaseModel(ModelZoo* zoo,
+                                                           const std::string& key,
+                                                           const OfflineTrainConfig& config) {
+  return zoo->GetOrTrainMocc(key, config.mocc, [&]() {
+    Rng rng(config.seed);
+    auto model = std::make_shared<PreferenceActorCritic>(config.mocc, &rng);
+    OfflineTrainer trainer(model.get(), config);
+    trainer.TrainTwoPhase();
+    return model;
+  });
+}
+
+}  // namespace mocc

@@ -1,0 +1,31 @@
+// Standard training presets. The paper trains for hours on a multi-core Ray cluster;
+// this repository's benches and examples run on small machines, so the presets scale the
+// iteration budgets down while keeping every algorithmic component (two-phase schedule,
+// Algorithm-1 ordering, entropy decay, replay) intact. EXPERIMENTS.md records the scale
+// factor next to each paper-vs-measured comparison.
+#ifndef MOCC_SRC_CORE_PRESETS_H_
+#define MOCC_SRC_CORE_PRESETS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/model_zoo.h"
+#include "src/core/offline_trainer.h"
+
+namespace mocc {
+
+// Small but meaningful budget: bootstraps converge, traversal covers ω=36 landmarks.
+// Roughly a minute of single-core wall time.
+OfflineTrainConfig QuickOfflinePreset(uint64_t seed = 7);
+
+// The budget used by the benchmark suite's shared base model (a few minutes).
+OfflineTrainConfig StandardOfflinePreset(uint64_t seed = 7);
+
+// Trains (or loads from `zoo`) the shared offline base model under `key`.
+std::shared_ptr<PreferenceActorCritic> GetOrTrainBaseModel(ModelZoo* zoo,
+                                                           const std::string& key,
+                                                           const OfflineTrainConfig& config);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_CORE_PRESETS_H_

@@ -1,0 +1,83 @@
+// The dynamic reward function of Eq. (2):
+//     r_t = w_thr * O_thr + w_lat * O_lat + w_loss * O_loss
+// with O_thr = throughput / link capacity, O_lat = base latency / measured latency and
+// O_loss = 1 - lost/total — each normalized to [0,1] so the weights express relative
+// importance fairly (§4.1). During offline training the simulator's ground-truth capacity
+// and base latency are available; in the online phase MOCC estimates them from the
+// maximum observed throughput and minimum observed delay (§4.1), which
+// OnlineLinkEstimator implements. Header-only to keep the env layer link-free of core.
+#ifndef MOCC_SRC_CORE_REWARD_H_
+#define MOCC_SRC_CORE_REWARD_H_
+
+#include <algorithm>
+
+#include "src/core/weight_vector.h"
+#include "src/netsim/cc_interface.h"
+
+namespace mocc {
+
+// The three normalized performance measures of Eq. (2).
+struct RewardComponents {
+  double o_thr = 0.0;
+  double o_lat = 0.0;
+  double o_loss = 0.0;
+};
+
+// Computes O_thr/O_lat/O_loss for a monitor interval given the link capacity and base
+// latency (ground truth or estimates). All components are clamped to [0,1].
+inline RewardComponents ComputeRewardComponents(const MonitorReport& mi, double capacity_bps,
+                                                double base_rtt_s) {
+  RewardComponents c;
+  c.o_thr = capacity_bps > 0.0 ? std::clamp(mi.throughput_bps / capacity_bps, 0.0, 1.0) : 0.0;
+  c.o_lat = mi.avg_rtt_s > 0.0 ? std::clamp(base_rtt_s / mi.avg_rtt_s, 0.0, 1.0) : 0.0;
+  c.o_loss = std::clamp(1.0 - mi.loss_rate, 0.0, 1.0);
+  return c;
+}
+
+// Eq. (2): the weighted scalarization of the reward components.
+inline double DynamicReward(const WeightVector& w, const RewardComponents& c) {
+  return w.thr * c.o_thr + w.lat * c.o_lat + w.loss * c.o_loss;
+}
+
+inline double DynamicReward(const WeightVector& w, const MonitorReport& mi,
+                            double capacity_bps, double base_rtt_s) {
+  return DynamicReward(w, ComputeRewardComponents(mi, capacity_bps, base_rtt_s));
+}
+
+// Online estimator of link capacity (max observed delivery rate) and base latency
+// (min observed RTT), per §4.1's online phase.
+class OnlineLinkEstimator {
+ public:
+  void Observe(const MonitorReport& mi) {
+    if (mi.throughput_bps > capacity_bps_) {
+      capacity_bps_ = mi.throughput_bps;
+    }
+    const double rtt = mi.min_rtt_s > 0.0 ? mi.min_rtt_s : mi.avg_rtt_s;
+    if (rtt > 0.0 && (base_rtt_s_ == 0.0 || rtt < base_rtt_s_)) {
+      base_rtt_s_ = rtt;
+    }
+  }
+
+  // Estimated capacity; `fallback_bps` until any throughput has been observed.
+  double CapacityBps(double fallback_bps = 1e6) const {
+    return capacity_bps_ > 0.0 ? capacity_bps_ : fallback_bps;
+  }
+
+  // Estimated base RTT; `fallback_s` until any RTT has been observed.
+  double BaseRttS(double fallback_s = 0.04) const {
+    return base_rtt_s_ > 0.0 ? base_rtt_s_ : fallback_s;
+  }
+
+  void Reset() {
+    capacity_bps_ = 0.0;
+    base_rtt_s_ = 0.0;
+  }
+
+ private:
+  double capacity_bps_ = 0.0;
+  double base_rtt_s_ = 0.0;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_CORE_REWARD_H_

@@ -1,0 +1,111 @@
+#include "src/core/weight_mapper.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/mocc_api.h"
+#include "src/core/objective_space.h"
+#include "src/netsim/fluid_link.h"
+
+namespace mocc {
+namespace {
+
+struct CandidateOutcome {
+  double throughput_bps = 0.0;
+  double added_delay_s = 0.0;
+  double loss_rate = 0.0;
+};
+
+CandidateOutcome Evaluate(std::shared_ptr<PreferenceActorCritic> model,
+                          const WeightVector& w, const LinkParams& link, int intervals,
+                          uint64_t seed) {
+  MoccApi::Options options;
+  options.config = model->config();
+  options.initial_rate_bps = std::max(2e6, 0.15 * link.bandwidth_bps);
+  MoccApi api(model, options);
+  api.Register(w);
+  FluidLink sim(link, seed);
+  CandidateOutcome outcome;
+  int measured = 0;
+  for (int t = 0; t < intervals; ++t) {
+    const MonitorReport report = sim.Step(api.GetSendingRate(), link.BaseRttS());
+    api.ReportStatus(report);
+    if (t >= intervals / 2) {  // steady-state half
+      outcome.throughput_bps += report.throughput_bps;
+      outcome.added_delay_s += std::max(0.0, report.avg_rtt_s - link.BaseRttS());
+      outcome.loss_rate += report.loss_rate;
+      ++measured;
+    }
+  }
+  if (measured > 0) {
+    outcome.throughput_bps /= measured;
+    outcome.added_delay_s /= measured;
+    outcome.loss_rate /= measured;
+  }
+  return outcome;
+}
+
+// Violation is 0 when the requirement is met; otherwise the relative shortfall.
+double Violation(const AppRequirements& req, const CandidateOutcome& o) {
+  double v = 0.0;
+  if (req.min_throughput_bps > 0.0 && o.throughput_bps < req.min_throughput_bps) {
+    v += (req.min_throughput_bps - o.throughput_bps) / req.min_throughput_bps;
+  }
+  if (req.max_added_delay_s > 0.0 && o.added_delay_s > req.max_added_delay_s) {
+    v += (o.added_delay_s - req.max_added_delay_s) / req.max_added_delay_s;
+  }
+  if (req.max_loss_rate > 0.0 && o.loss_rate > req.max_loss_rate) {
+    v += (o.loss_rate - req.max_loss_rate) / std::max(1e-6, req.max_loss_rate);
+  }
+  return v;
+}
+
+// Margin rewards headroom beyond the requirements (used to break feasible ties).
+double Margin(const AppRequirements& req, const CandidateOutcome& o,
+              const LinkParams& link) {
+  double m = 0.0;
+  if (req.min_throughput_bps > 0.0) {
+    m += (o.throughput_bps - req.min_throughput_bps) / link.bandwidth_bps;
+  }
+  if (req.max_added_delay_s > 0.0) {
+    m += (req.max_added_delay_s - o.added_delay_s) / req.max_added_delay_s;
+  }
+  if (req.max_loss_rate > 0.0) {
+    m += (req.max_loss_rate - o.loss_rate) / std::max(1e-6, req.max_loss_rate);
+  }
+  return m;
+}
+
+}  // namespace
+
+WeightSuggestion SuggestWeights(std::shared_ptr<PreferenceActorCritic> model,
+                                const AppRequirements& requirements,
+                                const LinkParams& reference_link,
+                                const WeightMapperConfig& config) {
+  assert(model != nullptr);
+  const std::vector<WeightVector> candidates = GenerateWeightGrid(config.grid_divisor);
+
+  WeightSuggestion best;
+  double best_violation = 1e18;
+  double best_margin = -1e18;
+  for (const WeightVector& w : candidates) {
+    const CandidateOutcome outcome =
+        Evaluate(model, w, reference_link, config.eval_intervals, config.seed);
+    const double violation = Violation(requirements, outcome);
+    const double margin = Margin(requirements, outcome, reference_link);
+    const bool better = violation < best_violation - 1e-12 ||
+                        (violation <= best_violation + 1e-12 && margin > best_margin);
+    if (better) {
+      best_violation = violation;
+      best_margin = margin;
+      best.weights = w;
+      best.throughput_bps = outcome.throughput_bps;
+      best.added_delay_s = outcome.added_delay_s;
+      best.loss_rate = outcome.loss_rate;
+      best.feasible = violation <= 1e-12;
+    }
+  }
+  return best;
+}
+
+}  // namespace mocc

@@ -1,0 +1,55 @@
+// Expressing application requirements (§7): applications think in application-level
+// objectives — "at least 30 Mbps", "under 20 ms added delay", "below 1% loss" — not in
+// weight vectors, and the paper notes that choosing the weights today takes human
+// expertise. This module implements the envisioned automation: given application-level
+// requirements and a reference link, it searches the weight simplex, evaluates the
+// trained model on each candidate (fluid-link rollouts), and returns the weight vector
+// that best satisfies the requirements.
+#ifndef MOCC_SRC_CORE_WEIGHT_MAPPER_H_
+#define MOCC_SRC_CORE_WEIGHT_MAPPER_H_
+
+#include <memory>
+
+#include "src/core/preference_model.h"
+#include "src/core/weight_vector.h"
+#include "src/netsim/link_params.h"
+
+namespace mocc {
+
+// Application-level requirements. Unset (<= 0) fields are ignored.
+struct AppRequirements {
+  double min_throughput_bps = 0.0;   // e.g. 34 Mbps for HDTV (§2.1)
+  double max_added_delay_s = 0.0;    // queueing delay budget beyond the base RTT
+  double max_loss_rate = 0.0;        // e.g. 0.001 for conferencing audio (§2.1)
+};
+
+struct WeightSuggestion {
+  WeightVector weights;
+  // Achieved metrics on the reference link under the suggested weights.
+  double throughput_bps = 0.0;
+  double added_delay_s = 0.0;
+  double loss_rate = 0.0;
+  // True iff every stated requirement is met on the reference link.
+  bool feasible = false;
+};
+
+struct WeightMapperConfig {
+  // Candidate grid resolution (simplex step 1/divisor).
+  int grid_divisor = 10;
+  // Evaluation horizon per candidate (monitor intervals on the fluid link).
+  int eval_intervals = 300;
+  uint64_t seed = 17;
+};
+
+// Searches the weight simplex for the vector whose deployed behaviour on
+// `reference_link` best satisfies `requirements`. Among feasible candidates the one
+// with the largest requirement margin wins; if none is feasible, the one with the
+// smallest total violation wins (feasible = false in the result).
+WeightSuggestion SuggestWeights(std::shared_ptr<PreferenceActorCritic> model,
+                                const AppRequirements& requirements,
+                                const LinkParams& reference_link,
+                                const WeightMapperConfig& config = {});
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_CORE_WEIGHT_MAPPER_H_

@@ -1,0 +1,75 @@
+// Application requirement vector w⃗ = <w_thr, w_lat, w_loss> (§4.1): the relative weights
+// of throughput, latency and loss that an application registers with MOCC. Weights live on
+// the open probability simplex (w_i ∈ (0,1), Σw_i = 1). Header-only so the environment
+// layer can use it without a link-time dependency on the core library.
+#ifndef MOCC_SRC_CORE_WEIGHT_VECTOR_H_
+#define MOCC_SRC_CORE_WEIGHT_VECTOR_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace mocc {
+
+struct WeightVector {
+  double thr = 1.0 / 3.0;
+  double lat = 1.0 / 3.0;
+  double loss = 1.0 / 3.0;
+
+  constexpr WeightVector() = default;
+  constexpr WeightVector(double w_thr, double w_lat, double w_loss)
+      : thr(w_thr), lat(w_lat), loss(w_loss) {}
+
+  // True iff all weights are strictly inside (0,1) and sum to 1 (within tolerance).
+  bool IsValid(double tol = 1e-6) const {
+    const double sum = thr + lat + loss;
+    return thr > 0.0 && lat > 0.0 && loss > 0.0 && thr < 1.0 && lat < 1.0 && loss < 1.0 &&
+           std::abs(sum - 1.0) <= tol;
+  }
+
+  // Projects onto the open simplex: clamps each weight to at least `floor` and rescales
+  // to sum 1. Used to sanitize user-supplied vectors such as the paper's <1,0,0> bulk
+  // transfer preference. The default floor keeps requirements inside the region covered
+  // by the landmark-objective grid (whose minimum component is 1/divisor), where the
+  // preference sub-network is trained rather than extrapolating.
+  WeightVector Sanitized(double floor = 0.05) const {
+    double t = std::max(thr, floor);
+    double l = std::max(lat, floor);
+    double s = std::max(loss, floor);
+    const double sum = t + l + s;
+    return WeightVector(t / sum, l / sum, s / sum);
+  }
+
+  std::array<double, 3> ToArray() const { return {thr, lat, loss}; }
+
+  double L1DistanceTo(const WeightVector& other) const {
+    return std::abs(thr - other.thr) + std::abs(lat - other.lat) + std::abs(loss - other.loss);
+  }
+
+  bool AlmostEquals(const WeightVector& other, double tol = 1e-9) const {
+    return L1DistanceTo(other) <= tol;
+  }
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "<" << thr << "," << lat << "," << loss << ">";
+    return os.str();
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const WeightVector& w) {
+    return os << w.ToString();
+  }
+};
+
+// The paper's canonical example objectives.
+inline WeightVector ThroughputObjective() { return {0.8, 0.1, 0.1}; }   // Fig 5a-d, video
+inline WeightVector LatencyObjective() { return {0.1, 0.8, 0.1}; }      // Fig 5e-h
+inline WeightVector RtcObjective() { return {0.4, 0.5, 0.1}; }          // Fig 9
+inline WeightVector BalancedObjective() { return {1.0 / 3, 1.0 / 3, 1.0 / 3}; }
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_CORE_WEIGHT_VECTOR_H_

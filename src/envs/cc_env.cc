@@ -1,0 +1,106 @@
+#include "src/envs/cc_env.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mocc {
+
+CcEnv::CcEnv(const CcEnvConfig& config, uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      link_(LinkParams{}, rng_.NextU64(), config.stochastic_loss),
+      history_(config.history_len) {
+  assert(config_.history_len > 0);
+}
+
+double CcEnv::ApplyRateAction(double rate_bps, double action, double alpha) {
+  // Eq. (1): x_t = x_{t-1} * (1 + alpha*a) for a > 0, x_{t-1} / (1 - alpha*a) for a < 0.
+  if (action > 0.0) {
+    return rate_bps * (1.0 + alpha * action);
+  }
+  if (action < 0.0) {
+    return rate_bps / (1.0 - alpha * action);
+  }
+  return rate_bps;
+}
+
+double CcEnv::MiDurationS() const {
+  const double rtt = prev_avg_rtt_s_ > 0.0 ? prev_avg_rtt_s_ : link_.params().BaseRttS();
+  return std::max(config_.mi_min_duration_s, config_.mi_rtt_multiple * rtt);
+}
+
+std::vector<double> CcEnv::Reset() {
+  const LinkParams params =
+      fixed_link_.has_value() ? *fixed_link_ : config_.link_range.Sample(&rng_);
+  link_.Reset(params);
+  if (!trace_.empty()) {
+    link_.SetBandwidthTrace(trace_);
+  }
+  estimator_.Reset();
+  history_.Reset();
+  prev_avg_rtt_s_ = 0.0;
+  step_count_ = 0;
+  // Start near a random fraction of capacity so the policy sees both under- and
+  // over-shoot regimes from the first step.
+  rate_bps_ =
+      std::max(config_.min_rate_bps, params.bandwidth_bps * rng_.Uniform(0.3, 1.5));
+  // Warm the history with one neutral interval measurement.
+  const MonitorReport report = link_.Step(rate_bps_, MiDurationS());
+  last_report_ = report;
+  estimator_.Observe(report);
+  history_.Push(report);
+  prev_avg_rtt_s_ = report.avg_rtt_s;
+  return BuildObservation();
+}
+
+StepResult CcEnv::Step(double action) {
+  action = std::clamp(action, -1e3, 1e3);
+  rate_bps_ = ApplyRateAction(rate_bps_, action, config_.action_scale);
+  const double bw = link_.CurrentBandwidthBps();
+  const double min_rate =
+      std::max(config_.min_rate_bps, config_.min_rate_fraction_of_bw * bw);
+  const double max_rate = std::max(min_rate, bw * config_.max_rate_multiple);
+  rate_bps_ = std::clamp(rate_bps_, min_rate, max_rate);
+
+  const MonitorReport report = link_.Step(rate_bps_, MiDurationS());
+  last_report_ = report;
+  estimator_.Observe(report);
+  history_.Push(report);
+  prev_avg_rtt_s_ = report.avg_rtt_s;
+
+  double capacity = 0.0;
+  double base_rtt = 0.0;
+  if (config_.ground_truth_reward) {
+    capacity = link_.CurrentBandwidthBps();
+    base_rtt = link_.params().BaseRttS();
+  } else {
+    capacity = estimator_.CapacityBps(link_.CurrentBandwidthBps());
+    base_rtt = estimator_.BaseRttS(link_.params().BaseRttS());
+  }
+
+  StepResult result;
+  result.reward = DynamicReward(weight_, report, capacity, base_rtt);
+  ++step_count_;
+  result.done = step_count_ >= config_.max_steps_per_episode;
+  result.observation = BuildObservation();
+  return result;
+}
+
+std::vector<double> CcEnv::BuildObservation() const {
+  std::vector<double> obs;
+  obs.reserve(ObservationDim());
+  if (config_.include_weight_in_obs) {
+    obs.push_back(weight_.thr);
+    obs.push_back(weight_.lat);
+    obs.push_back(weight_.loss);
+  }
+  history_.AppendObservation(&obs);
+  return obs;
+}
+
+size_t CcEnv::ObservationDim() const {
+  return (config_.include_weight_in_obs ? 3 : 0) + 3 * config_.history_len;
+}
+
+}  // namespace mocc

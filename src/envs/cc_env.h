@@ -1,0 +1,98 @@
+// The congestion-control training environment (§3, §4.1 and §5 of the paper).
+//
+// One episode = one randomly sampled bottleneck link (Table 3 ranges) driven at
+// monitor-interval granularity by the fluid link model. The agent observes the weight
+// vector w⃗ plus a length-η history of network statistics g⃗_t = <l_t, p_t, q_t>
+// (sending ratio, latency ratio, latency gradient), acts through the multiplicative rate
+// update of Eq. (1), and receives the dynamic reward of Eq. (2). With
+// include_weight_in_obs = false and a fixed weight this is exactly the single-objective
+// Aurora environment used as the paper's RL baseline.
+#ifndef MOCC_SRC_ENVS_CC_ENV_H_
+#define MOCC_SRC_ENVS_CC_ENV_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/reward.h"
+#include "src/core/weight_vector.h"
+#include "src/envs/env.h"
+#include "src/envs/mi_history.h"
+#include "src/netsim/fluid_link.h"
+#include "src/netsim/link_params.h"
+
+namespace mocc {
+
+struct CcEnvConfig {
+  LinkParamsRange link_range = TrainingRange();
+  size_t history_len = 10;          // η (Table 2)
+  double action_scale = 0.025;      // α (Table 2)
+  double mi_rtt_multiple = 1.0;     // monitor interval = multiple * current RTT
+  double mi_min_duration_s = 0.01;
+  int max_steps_per_episode = 400;
+  bool include_weight_in_obs = true;  // false reproduces single-objective Aurora
+  // true: reward uses the simulator's ground-truth capacity/base latency (offline
+  // training); false: uses OnlineLinkEstimator (the paper's online phase).
+  bool ground_truth_reward = true;
+  bool stochastic_loss = true;
+  double min_rate_bps = 0.05e6;
+  // Training-time floor on the sending rate as a fraction of the (ground-truth) link
+  // bandwidth, as in Aurora's gym environment: it removes the degenerate idle attractor
+  // for latency/loss-leaning objectives so the policy learns to regulate AROUND
+  // capacity. Deployment (MoccApi) uses only the absolute floor.
+  double min_rate_fraction_of_bw = 0.2;
+  // Sending rate is clamped to this multiple of the (ground truth) link bandwidth to
+  // keep the fluid model numerically sane; generous enough to let the agent overshoot.
+  double max_rate_multiple = 8.0;
+};
+
+class CcEnv : public Env {
+ public:
+  CcEnv(const CcEnvConfig& config, uint64_t seed);
+
+  // Sets the objective used in both the observation and the reward. May be changed
+  // between episodes (offline traversal) or between steps (online adaptation).
+  void SetObjective(const WeightVector& w) { weight_ = w.Sanitized(); }
+  const WeightVector& objective() const { return weight_; }
+
+  // Pins the environment to one specific link instead of sampling per episode.
+  void SetFixedLink(const LinkParams& params) { fixed_link_ = params; }
+  void ClearFixedLink() { fixed_link_.reset(); }
+
+  // Installs a bandwidth trace applied after each Reset (for trace-driven evaluation).
+  void SetBandwidthTrace(BandwidthTrace trace) { trace_ = std::move(trace); }
+
+  std::vector<double> Reset() override;
+  StepResult Step(double action) override;
+  size_t ObservationDim() const override;
+
+  // Introspection for evaluation harnesses.
+  const MonitorReport& last_report() const { return last_report_; }
+  const LinkParams& current_link() const { return link_.params(); }
+  double current_rate_bps() const { return rate_bps_; }
+  const CcEnvConfig& config() const { return config_; }
+
+  // Applies Eq. (1): multiplicative rate update with damping factor α.
+  static double ApplyRateAction(double rate_bps, double action, double alpha);
+
+ private:
+  std::vector<double> BuildObservation() const;
+  double MiDurationS() const;
+
+  CcEnvConfig config_;
+  Rng rng_;
+  FluidLink link_;
+  BandwidthTrace trace_;
+  std::optional<LinkParams> fixed_link_;
+  WeightVector weight_;
+  OnlineLinkEstimator estimator_;
+  MiHistoryTracker history_;
+  MonitorReport last_report_;
+  double rate_bps_ = 1e6;
+  double prev_avg_rtt_s_ = 0.0;
+  int step_count_ = 0;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_ENVS_CC_ENV_H_

@@ -1,0 +1,31 @@
+// Minimal reinforcement-learning environment interface (single continuous action),
+// mirroring the OpenAI-Gym contract the paper trains against.
+#ifndef MOCC_SRC_ENVS_ENV_H_
+#define MOCC_SRC_ENVS_ENV_H_
+
+#include <vector>
+
+namespace mocc {
+
+struct StepResult {
+  std::vector<double> observation;
+  double reward = 0.0;
+  bool done = false;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Starts a new episode and returns the initial observation.
+  virtual std::vector<double> Reset() = 0;
+
+  // Applies one action and returns the next observation, reward and done flag.
+  virtual StepResult Step(double action) = 0;
+
+  virtual size_t ObservationDim() const = 0;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_ENVS_ENV_H_

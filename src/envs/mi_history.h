@@ -1,0 +1,91 @@
+// Builds the network-condition state vector g⃗(t,η) of §4.1 from a stream of monitor
+// reports: per-interval <sending ratio l_t, latency ratio p_t, latency gradient q_t>,
+// kept as a fixed-length history. Shared by the training environment and by the deployed
+// RL congestion controllers (Aurora, Orca, MOCC), so observations are identical in
+// training and deployment.
+#ifndef MOCC_SRC_ENVS_MI_HISTORY_H_
+#define MOCC_SRC_ENVS_MI_HISTORY_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/netsim/cc_interface.h"
+
+namespace mocc {
+
+class MiHistoryTracker {
+ public:
+  explicit MiHistoryTracker(size_t history_len) : history_len_(history_len) {}
+
+  void Reset() {
+    history_.clear();
+    prev_avg_rtt_s_ = 0.0;
+    min_rtt_hist_s_ = 0.0;
+  }
+
+  // Ingests one monitor interval's statistics.
+  void Push(const MonitorReport& report) {
+    const double acked = static_cast<double>(std::max<int64_t>(1, report.packets_acked));
+    const double sent = static_cast<double>(report.packets_sent);
+    const double send_ratio = std::clamp(sent / acked, 0.0, kMaxSendRatio);
+
+    if (min_rtt_hist_s_ <= 0.0 ||
+        (report.avg_rtt_s > 0.0 && report.avg_rtt_s < min_rtt_hist_s_)) {
+      min_rtt_hist_s_ = report.avg_rtt_s;
+    }
+    const double latency_ratio =
+        min_rtt_hist_s_ > 0.0 && report.avg_rtt_s > 0.0
+            ? std::clamp(report.avg_rtt_s / min_rtt_hist_s_, 1.0, kMaxLatencyRatio)
+            : 1.0;
+
+    double gradient = 0.0;
+    if (prev_avg_rtt_s_ > 0.0 && report.duration_s > 0.0 && report.avg_rtt_s > 0.0) {
+      gradient = std::clamp((report.avg_rtt_s - prev_avg_rtt_s_) / report.duration_s,
+                            -kMaxLatencyGradient, kMaxLatencyGradient);
+    }
+    if (report.avg_rtt_s > 0.0) {
+      prev_avg_rtt_s_ = report.avg_rtt_s;
+    }
+
+    history_.push_back({send_ratio, latency_ratio, gradient});
+    while (history_.size() > history_len_) {
+      history_.pop_front();
+    }
+  }
+
+  // Appends the flattened history (3η values, oldest first, padded with the neutral
+  // observation <1,1,0>) to `obs`.
+  void AppendObservation(std::vector<double>* obs) const {
+    const size_t missing = history_len_ - history_.size();
+    for (size_t i = 0; i < missing; ++i) {
+      obs->push_back(1.0);
+      obs->push_back(1.0);
+      obs->push_back(0.0);
+    }
+    for (const auto& g : history_) {
+      obs->push_back(g[0]);
+      obs->push_back(g[1]);
+      obs->push_back(g[2]);
+    }
+  }
+
+  size_t history_len() const { return history_len_; }
+  double min_rtt_hist_s() const { return min_rtt_hist_s_; }
+
+  static constexpr double kMaxSendRatio = 10.0;
+  static constexpr double kMaxLatencyRatio = 10.0;
+  static constexpr double kMaxLatencyGradient = 10.0;
+
+ private:
+  size_t history_len_;
+  std::deque<std::array<double, 3>> history_;
+  double prev_avg_rtt_s_ = 0.0;
+  double min_rtt_hist_s_ = 0.0;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_ENVS_MI_HISTORY_H_

@@ -1,0 +1,83 @@
+// The congestion-control plug-in interface shared by every scheme in this repository —
+// handcrafted (CUBIC, Vegas, BBR, Copa), online-learning (PCC Allegro/Vivace) and
+// RL-based (Aurora, Orca, MOCC). Both the packet-level simulator and the fluid training
+// link drive implementations of this interface, so a scheme written once runs everywhere.
+#ifndef MOCC_SRC_NETSIM_CC_INTERFACE_H_
+#define MOCC_SRC_NETSIM_CC_INTERFACE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mocc {
+
+// Per-ACK feedback delivered to the congestion controller.
+struct AckInfo {
+  double send_time_s = 0.0;
+  double ack_time_s = 0.0;
+  double rtt_s = 0.0;
+  int64_t size_bits = 0;
+  int64_t seq = 0;
+};
+
+// Per-loss feedback (delivered after the simulated detection delay).
+struct LossInfo {
+  double detect_time_s = 0.0;
+  int64_t seq = 0;
+};
+
+// Aggregated statistics for one monitor interval (MI). This is the granularity at which
+// PCC-style and RL-based schemes act (§3/§4.1 of the paper): the sender observes MI
+// statistics and picks the rate for the next interval.
+struct MonitorReport {
+  double start_time_s = 0.0;
+  double duration_s = 0.0;
+  int64_t packets_sent = 0;
+  int64_t packets_acked = 0;
+  int64_t packets_lost = 0;
+  double send_rate_bps = 0.0;    // offered rate during the MI
+  double throughput_bps = 0.0;   // delivered (acked) rate during the MI
+  double avg_rtt_s = 0.0;        // mean RTT of ACKs in the MI (0 if none)
+  double min_rtt_s = 0.0;        // historical minimum RTT seen by this flow
+  double loss_rate = 0.0;        // lost / (acked + lost) within the MI
+};
+
+// Whether the sender paces packets at PacingRateBps() or is clocked by CwndPackets().
+enum class CcMode {
+  kRateBased,
+  kWindowBased,
+};
+
+// Congestion-control algorithm. Implementations keep all their state internally; the
+// simulator calls the event hooks and polls PacingRateBps()/CwndPackets() when it needs
+// a send decision. All times are in seconds on the simulation clock.
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual CcMode Mode() const = 0;
+  virtual std::string Name() const = 0;
+
+  // Called once when the flow becomes active.
+  virtual void OnFlowStart(double now_s) {}
+
+  // Per-packet feedback.
+  virtual void OnAck(const AckInfo& ack) {}
+  virtual void OnPacketLost(const LossInfo& loss) {}
+
+  // Retransmission-timeout style stall: no ACK progress for several RTTs.
+  virtual void OnTimeout(double now_s) {}
+
+  // Monitor-interval feedback (PCC / RL schemes act here).
+  virtual void OnMonitorInterval(const MonitorReport& report) {}
+
+  // Target pacing rate in bits/second. Only meaningful for kRateBased schemes.
+  virtual double PacingRateBps() const { return 0.0; }
+
+  // Congestion window in packets. Rate-based schemes may return a cap (e.g. BBR) or
+  // a very large value for "uncapped".
+  virtual double CwndPackets() const { return 1e12; }
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_NETSIM_CC_INTERFACE_H_

@@ -1,0 +1,97 @@
+#include "src/netsim/fluid_link.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mocc {
+
+FluidLink::FluidLink(const LinkParams& params, uint64_t seed, bool stochastic_loss)
+    : params_(params), rng_(seed), stochastic_loss_(stochastic_loss) {
+  min_rtt_seen_s_ = params_.BaseRttS();
+}
+
+void FluidLink::Reset(const LinkParams& params) {
+  params_ = params;
+  trace_ = BandwidthTrace();
+  now_s_ = 0.0;
+  queue_bits_ = 0.0;
+  min_rtt_seen_s_ = params_.BaseRttS();
+}
+
+double FluidLink::CurrentBandwidthBps() const {
+  return trace_.BandwidthAt(now_s_, params_.bandwidth_bps);
+}
+
+MonitorReport FluidLink::Step(double send_rate_bps, double duration_s) {
+  assert(duration_s > 0.0);
+  send_rate_bps = std::max(0.0, send_rate_bps);
+  const double bw = CurrentBandwidthBps();
+  const double pkt_bits = static_cast<double>(kDefaultPacketSizeBits);
+
+  const double sent_bits = send_rate_bps * duration_s;
+  const double sent_pkts = sent_bits / pkt_bits;
+
+  // Random (non-congestion) loss: binomial sampled via a normal approximation, so large
+  // intervals stay cheap while preserving the right mean and variance.
+  double random_lost_pkts = 0.0;
+  const double p = params_.random_loss_rate;
+  if (p > 0.0 && sent_pkts > 0.0) {
+    if (stochastic_loss_) {
+      const double mean = sent_pkts * p;
+      const double sigma = std::sqrt(std::max(0.0, sent_pkts * p * (1.0 - p)));
+      random_lost_pkts = std::clamp(rng_.Normal(mean, sigma), 0.0, sent_pkts);
+    } else {
+      random_lost_pkts = sent_pkts * p;
+    }
+  }
+
+  const double arriving_bits = std::max(0.0, sent_bits - random_lost_pkts * pkt_bits);
+  const double capacity_bits = bw * duration_s;
+  const double queue_cap_bits = static_cast<double>(params_.queue_capacity_pkts) * pkt_bits;
+
+  const double queue_start_bits = queue_bits_;
+  const double total_bits = queue_bits_ + arriving_bits;
+  const double delivered_bits = std::min(total_bits, capacity_bits);
+  double backlog_bits = total_bits - delivered_bits;
+  const double overflow_bits = std::max(0.0, backlog_bits - queue_cap_bits);
+  backlog_bits -= overflow_bits;
+  queue_bits_ = backlog_bits;
+
+  const double congestion_lost_pkts = overflow_bits / pkt_bits;
+  const double lost_pkts = random_lost_pkts + congestion_lost_pkts;
+
+  // Average queueing delay over the interval, approximated from the mean backlog.
+  const double mean_queue_bits = 0.5 * (queue_start_bits + queue_bits_);
+  const double queue_delay_s = bw > 0.0 ? mean_queue_bits / bw : 0.0;
+  const double serialization_s = bw > 0.0 ? pkt_bits / bw : 0.0;
+  // Steady-state M/D/1-style waiting time: stochastic queueing rises smoothly with
+  // utilization even below capacity. The utilization cap and damping factor bound the
+  // term at a small multiple of the serialization time so that low-bandwidth links
+  // (where one packet is a large fraction of the base RTT) are not dominated by it.
+  const double rho =
+      bw > 0.0 ? std::clamp(arriving_bits / duration_s / bw, 0.0, 0.90) : 0.0;
+  const double stochastic_queue_s =
+      0.25 * rho / (2.0 * (1.0 - rho)) * serialization_s;
+  const double avg_rtt_s =
+      params_.BaseRttS() + queue_delay_s + serialization_s + stochastic_queue_s;
+  min_rtt_seen_s_ = std::min(min_rtt_seen_s_, avg_rtt_s);
+
+  MonitorReport report;
+  report.start_time_s = now_s_;
+  report.duration_s = duration_s;
+  report.packets_sent = static_cast<int64_t>(std::llround(sent_pkts));
+  report.packets_lost = static_cast<int64_t>(std::llround(lost_pkts));
+  const double acked_pkts = std::max(0.0, delivered_bits / pkt_bits);
+  report.packets_acked = static_cast<int64_t>(std::llround(acked_pkts));
+  report.send_rate_bps = send_rate_bps;
+  report.throughput_bps = delivered_bits / duration_s;
+  report.avg_rtt_s = avg_rtt_s;
+  report.min_rtt_s = min_rtt_seen_s_;
+  report.loss_rate = sent_pkts > 0.0 ? std::clamp(lost_pkts / sent_pkts, 0.0, 1.0) : 0.0;
+
+  now_s_ += duration_s;
+  return report;
+}
+
+}  // namespace mocc

@@ -1,0 +1,116 @@
+#include "src/netsim/link_params.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace mocc {
+
+LinkParams LinkParamsRange::Sample(Rng* rng) const {
+  LinkParams p;
+  p.bandwidth_bps = rng->Uniform(min_bandwidth_bps, max_bandwidth_bps);
+  p.one_way_delay_s = rng->Uniform(min_one_way_delay_s, max_one_way_delay_s);
+  p.queue_capacity_pkts =
+      static_cast<int>(rng->UniformInt(min_queue_pkts, max_queue_pkts));
+  p.random_loss_rate = rng->Uniform(min_loss_rate, max_loss_rate);
+  return p;
+}
+
+LinkParamsRange TrainingRange() {
+  LinkParamsRange r;
+  r.min_bandwidth_bps = 1e6;
+  r.max_bandwidth_bps = 5e6;
+  r.min_one_way_delay_s = 0.010;
+  r.max_one_way_delay_s = 0.050;
+  r.min_queue_pkts = 1;
+  r.max_queue_pkts = 3000;
+  r.min_loss_rate = 0.0;
+  r.max_loss_rate = 0.03;
+  return r;
+}
+
+LinkParamsRange TestingRange() {
+  LinkParamsRange r;
+  r.min_bandwidth_bps = 10e6;
+  r.max_bandwidth_bps = 50e6;
+  r.min_one_way_delay_s = 0.010;
+  r.max_one_way_delay_s = 0.200;
+  r.min_queue_pkts = 500;
+  r.max_queue_pkts = 5000;
+  r.min_loss_rate = 0.0;
+  r.max_loss_rate = 0.10;
+  return r;
+}
+
+void BandwidthTrace::AddStep(double time_s, double bandwidth_bps) {
+  steps_.push_back({time_s, bandwidth_bps});
+  std::sort(steps_.begin(), steps_.end(),
+            [](const Step& a, const Step& b) { return a.time_s < b.time_s; });
+}
+
+double BandwidthTrace::BandwidthAt(double time_s, double fallback_bps) const {
+  double bw = fallback_bps;
+  for (const auto& step : steps_) {
+    if (step.time_s <= time_s) {
+      bw = step.bandwidth_bps;
+    } else {
+      break;
+    }
+  }
+  return bw;
+}
+
+BandwidthTrace BandwidthTrace::Oscillating(double low_bps, double high_bps, double period_s,
+                                           double duration_s) {
+  BandwidthTrace trace;
+  bool high = true;
+  for (double t = 0.0; t < duration_s; t += period_s) {
+    trace.AddStep(t, high ? high_bps : low_bps);
+    high = !high;
+  }
+  return trace;
+}
+
+BandwidthTrace BandwidthTrace::RandomWalk(double low_bps, double high_bps, double period_s,
+                                          double duration_s, Rng* rng) {
+  BandwidthTrace trace;
+  for (double t = 0.0; t < duration_s; t += period_s) {
+    trace.AddStep(t, rng->Uniform(low_bps, high_bps));
+  }
+  return trace;
+}
+
+BandwidthTrace BandwidthTrace::FromMahimahiTimestamps(
+    const std::vector<double>& timestamps_ms, double window_s) {
+  BandwidthTrace trace;
+  if (timestamps_ms.empty() || window_s <= 0.0) {
+    return trace;
+  }
+  const double window_ms = window_s * 1e3;
+  const double end_ms = *std::max_element(timestamps_ms.begin(), timestamps_ms.end());
+  const size_t windows = static_cast<size_t>(end_ms / window_ms) + 1;
+  std::vector<int> counts(windows, 0);
+  for (double t : timestamps_ms) {
+    const size_t w = std::min(windows - 1, static_cast<size_t>(t / window_ms));
+    ++counts[w];
+  }
+  for (size_t w = 0; w < windows; ++w) {
+    const double bits = static_cast<double>(counts[w]) * kDefaultPacketSizeBits;
+    trace.AddStep(static_cast<double>(w) * window_s, bits / window_s);
+  }
+  return trace;
+}
+
+BandwidthTrace BandwidthTrace::FromMahimahiFile(const std::string& path, double window_s) {
+  std::ifstream in(path);
+  if (!in) {
+    return BandwidthTrace();
+  }
+  std::vector<double> timestamps_ms;
+  double value = 0.0;
+  while (in >> value) {
+    timestamps_ms.push_back(value);
+  }
+  return FromMahimahiTimestamps(timestamps_ms, window_s);
+}
+
+}  // namespace mocc

@@ -1,0 +1,97 @@
+// Bottleneck-link parameterisation shared by the fluid training link and the packet-level
+// simulator, including the train/test ranges from Table 3 of the paper and piecewise-
+// constant bandwidth traces (used e.g. by Figure 1a's 20-30 Mbps varying link).
+#ifndef MOCC_SRC_NETSIM_LINK_PARAMS_H_
+#define MOCC_SRC_NETSIM_LINK_PARAMS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace mocc {
+
+inline constexpr int64_t kDefaultPacketSizeBits = 1500 * 8;
+
+// Static description of a single bottleneck link.
+struct LinkParams {
+  double bandwidth_bps = 12e6;
+  double one_way_delay_s = 0.020;  // propagation delay per direction; min RTT = 2x this
+  int queue_capacity_pkts = 1000;  // droptail buffer
+  double random_loss_rate = 0.0;   // iid non-congestion loss probability per packet
+
+  // Minimum RTT induced by propagation alone.
+  double BaseRttS() const { return 2.0 * one_way_delay_s; }
+
+  // Bandwidth-delay product in packets of `packet_bits`.
+  double BdpPackets(int64_t packet_bits = kDefaultPacketSizeBits) const {
+    return bandwidth_bps * BaseRttS() / static_cast<double>(packet_bits);
+  }
+};
+
+// Uniform ranges over link parameters; Table 3 of the paper.
+struct LinkParamsRange {
+  double min_bandwidth_bps = 1e6;
+  double max_bandwidth_bps = 5e6;
+  double min_one_way_delay_s = 0.010;
+  double max_one_way_delay_s = 0.050;
+  int min_queue_pkts = 1;
+  int max_queue_pkts = 3000;
+  double min_loss_rate = 0.0;
+  double max_loss_rate = 0.03;
+
+  // Draws one LinkParams uniformly from the range.
+  LinkParams Sample(Rng* rng) const;
+};
+
+// Table 3, training row: bw 1-5 Mbps, latency 10-50 ms, queue 0-3000 pkts, loss 0-3%.
+LinkParamsRange TrainingRange();
+
+// Table 3, testing row: bw 10-50 Mbps, latency 10-200 ms, queue 500-5000 pkts, loss 0-10%.
+LinkParamsRange TestingRange();
+
+// Piecewise-constant bandwidth schedule. An empty trace means "constant at the
+// LinkParams bandwidth".
+class BandwidthTrace {
+ public:
+  BandwidthTrace() = default;
+
+  // Adds a step: from `time_s` onward the bandwidth is `bandwidth_bps`.
+  void AddStep(double time_s, double bandwidth_bps);
+
+  // Bandwidth at time t; `fallback_bps` is returned before the first step or when empty.
+  double BandwidthAt(double time_s, double fallback_bps) const;
+
+  bool empty() const { return steps_.empty(); }
+
+  // Builds the Figure 1(a) style oscillating trace: alternates between `low_bps` and
+  // `high_bps` every `period_s`, starting at `high_bps`.
+  static BandwidthTrace Oscillating(double low_bps, double high_bps, double period_s,
+                                    double duration_s);
+
+  // Random-walk trace: every `period_s` the bandwidth is resampled uniformly in
+  // [low_bps, high_bps].
+  static BandwidthTrace RandomWalk(double low_bps, double high_bps, double period_s,
+                                   double duration_s, Rng* rng);
+
+  // Builds a trace from mahimahi-format delivery opportunities: each entry is a
+  // millisecond timestamp at which one MTU (1500 B) packet could be delivered.
+  // Bandwidth is averaged over `window_s` windows.
+  static BandwidthTrace FromMahimahiTimestamps(const std::vector<double>& timestamps_ms,
+                                               double window_s = 1.0);
+
+  // Loads a mahimahi trace file (one integer millisecond timestamp per line).
+  // Returns an empty trace if the file cannot be read or contains no samples.
+  static BandwidthTrace FromMahimahiFile(const std::string& path, double window_s = 1.0);
+
+ private:
+  struct Step {
+    double time_s;
+    double bandwidth_bps;
+  };
+  std::vector<Step> steps_;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_NETSIM_LINK_PARAMS_H_

@@ -1,0 +1,338 @@
+#include "src/netsim/packet_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mocc {
+namespace {
+
+constexpr double kRtoCheckPeriodS = 0.2;
+constexpr double kMinPacingRateBps = 1e4;
+// Caps the packets a rate-based flow may keep in flight, bounding simulator memory when
+// a scheme badly overshoots (PCC-style schemes have no congestion window).
+constexpr int64_t kMaxInflightPkts = 200000;
+
+}  // namespace
+
+PacketNetwork::PacketNetwork(const LinkParams& params, uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+int PacketNetwork::AddFlow(std::unique_ptr<CongestionControl> cc, FlowOptions options) {
+  assert(cc != nullptr);
+  auto flow = std::make_unique<Flow>();
+  flow->cc = std::move(cc);
+  flow->options = options;
+  flow->record.keep_delivery_times = options.keep_delivery_times;
+  flows_.push_back(std::move(flow));
+  const int id = static_cast<int>(flows_.size()) - 1;
+  Schedule(options.start_time_s, EvType::kFlowStart, id);
+  if (std::isfinite(options.stop_time_s)) {
+    Schedule(options.stop_time_s, EvType::kFlowStop, id);
+  }
+  return id;
+}
+
+void PacketNetwork::Run(double until_s) {
+  while (!events_.empty() && events_.top().time_s <= until_s) {
+    const Event ev = events_.top();
+    events_.pop();
+    now_s_ = ev.time_s;
+    Dispatch(ev);
+  }
+  now_s_ = std::max(now_s_, until_s);
+}
+
+void PacketNetwork::RunUntil(const std::function<bool()>& stop, double max_time_s) {
+  int check_countdown = 0;
+  while (!events_.empty() && events_.top().time_s <= max_time_s) {
+    if (check_countdown-- <= 0) {
+      if (stop()) {
+        return;
+      }
+      check_countdown = 32;
+    }
+    const Event ev = events_.top();
+    events_.pop();
+    now_s_ = ev.time_s;
+    Dispatch(ev);
+  }
+  now_s_ = std::max(now_s_, std::min(max_time_s, now_s_));
+}
+
+void PacketNetwork::PauseFlow(int flow_id) { flows_[flow_id]->paused = true; }
+
+void PacketNetwork::ResumeFlow(int flow_id) {
+  Flow& flow = *flows_[flow_id];
+  const bool was_paused = flow.paused;
+  flow.paused = false;
+  if (!was_paused || !flow.active) {
+    return;
+  }
+  if (flow.cc->Mode() == CcMode::kRateBased) {
+    if (!flow.pace_scheduled) {
+      flow.pace_scheduled = true;
+      Schedule(now_s_, EvType::kPacedSend, flow_id);
+    }
+  } else {
+    TrySendWindowed(flow_id, now_s_);
+  }
+}
+
+int PacketNetwork::QueueLengthPkts() const {
+  return static_cast<int>(queue_.size()) + (server_busy_ ? 1 : 0);
+}
+
+void PacketNetwork::Schedule(double time_s, EvType type, int flow_id, int64_t seq,
+                             double send_time_s) {
+  events_.push(Event{time_s, next_order_++, type, flow_id, seq, send_time_s});
+}
+
+void PacketNetwork::Dispatch(const Event& ev) {
+  switch (ev.type) {
+    case EvType::kFlowStart:
+      HandleFlowStart(ev);
+      return;
+    case EvType::kFlowStop:
+      flows_[ev.flow_id]->active = false;
+      return;
+    case EvType::kPacedSend:
+      HandlePacedSend(ev);
+      return;
+    case EvType::kLinkDone:
+      HandleLinkDone(ev);
+      return;
+    case EvType::kDelivery: {
+      Flow& flow = *flows_[ev.flow_id];
+      flow.record.RecordDelivery(now_s_);
+      Schedule(now_s_ + params_.one_way_delay_s + flow.options.extra_one_way_delay_s,
+               EvType::kAck, ev.flow_id, ev.seq, ev.send_time_s);
+      return;
+    }
+    case EvType::kAck:
+      HandleAck(ev);
+      return;
+    case EvType::kLossNotice:
+      HandleLossNotice(ev);
+      return;
+    case EvType::kMonitor:
+      HandleMonitor(ev);
+      return;
+    case EvType::kRtoCheck:
+      HandleRtoCheck(ev);
+      return;
+  }
+}
+
+void PacketNetwork::HandleFlowStart(const Event& ev) {
+  Flow& flow = *flows_[ev.flow_id];
+  flow.started = true;
+  flow.active = true;
+  flow.last_progress_s = now_s_;
+  flow.mi_start_s = now_s_;
+  flow.cc->OnFlowStart(now_s_);
+  if (flow.cc->Mode() == CcMode::kRateBased) {
+    flow.pace_scheduled = true;
+    Schedule(now_s_, EvType::kPacedSend, ev.flow_id);
+  } else {
+    TrySendWindowed(ev.flow_id, now_s_);
+  }
+  Schedule(now_s_ + MiDuration(flow), EvType::kMonitor, ev.flow_id);
+  Schedule(now_s_ + kRtoCheckPeriodS, EvType::kRtoCheck, ev.flow_id);
+}
+
+bool PacketNetwork::FlowMaySend(const Flow& flow) const {
+  return flow.active && !flow.paused;
+}
+
+void PacketNetwork::HandlePacedSend(const Event& ev) {
+  Flow& flow = *flows_[ev.flow_id];
+  if (!flow.active || flow.paused) {
+    flow.pace_scheduled = false;
+    return;
+  }
+  double rate = flow.cc->PacingRateBps();
+  if (rate <= 0.0) {
+    rate = flow.options.initial_rate_bps;
+  }
+  rate = std::max(rate, kMinPacingRateBps);
+  const double cwnd_cap = flow.cc->CwndPackets();
+  if (static_cast<double>(flow.inflight) < cwnd_cap && flow.inflight < kMaxInflightPkts) {
+    SendPacket(ev.flow_id, now_s_);
+  }
+  // Small pacing jitter prevents unrealistic phase locking between identical flows.
+  const double interval = static_cast<double>(kDefaultPacketSizeBits) / rate *
+                          rng_.Uniform(0.98, 1.02);
+  Schedule(now_s_ + interval, EvType::kPacedSend, ev.flow_id);
+}
+
+void PacketNetwork::SendPacket(int flow_id, double now_s) {
+  Flow& flow = *flows_[flow_id];
+  const int64_t seq = flow.next_seq++;
+  ++flow.inflight;
+  ++flow.mi_sent;
+  ++flow.record.total_sent;
+  if (flow.record.first_send_time_s < 0.0) {
+    flow.record.first_send_time_s = now_s;
+  }
+  // Random (non-congestion) wire loss.
+  if (params_.random_loss_rate > 0.0 && rng_.Bernoulli(params_.random_loss_rate)) {
+    Schedule(now_s + LossDetectionDelay(flow), EvType::kLossNotice, flow_id, seq, now_s);
+    return;
+  }
+  // Droptail: the buffer holds packets waiting behind the one in service.
+  if (server_busy_ && static_cast<int>(queue_.size()) >= params_.queue_capacity_pkts) {
+    Schedule(now_s + LossDetectionDelay(flow), EvType::kLossNotice, flow_id, seq, now_s);
+    return;
+  }
+  queue_.push_back(QueuedPacket{flow_id, seq, now_s});
+  if (!server_busy_) {
+    StartService(now_s);
+  }
+}
+
+void PacketNetwork::StartService(double now_s) {
+  assert(!queue_.empty());
+  const QueuedPacket pkt = queue_.front();
+  queue_.pop_front();
+  server_busy_ = true;
+  const double bw = std::max(1.0, BandwidthNow(now_s));
+  const double txn_s = static_cast<double>(kDefaultPacketSizeBits) / bw;
+  Schedule(now_s + txn_s, EvType::kLinkDone, pkt.flow_id, pkt.seq, pkt.send_time_s);
+}
+
+void PacketNetwork::HandleLinkDone(const Event& ev) {
+  Schedule(now_s_ + params_.one_way_delay_s +
+               flows_[ev.flow_id]->options.extra_one_way_delay_s,
+           EvType::kDelivery, ev.flow_id, ev.seq, ev.send_time_s);
+  if (!queue_.empty()) {
+    StartService(now_s_);
+  } else {
+    server_busy_ = false;
+  }
+}
+
+void PacketNetwork::HandleAck(const Event& ev) {
+  Flow& flow = *flows_[ev.flow_id];
+  flow.inflight = std::max<int64_t>(0, flow.inflight - 1);
+  const double rtt = now_s_ - ev.send_time_s;
+  flow.srtt_s = flow.srtt_s <= 0.0 ? rtt : 0.875 * flow.srtt_s + 0.125 * rtt;
+  flow.min_rtt_s = flow.min_rtt_s <= 0.0 ? rtt : std::min(flow.min_rtt_s, rtt);
+  flow.record.min_rtt_s = flow.min_rtt_s;
+  flow.last_progress_s = now_s_;
+  ++flow.record.total_acked;
+  ++flow.mi_acked;
+  flow.mi_rtt_sum_s += rtt;
+  ++flow.mi_rtt_count;
+  flow.record.RecordAck(now_s_, kDefaultPacketSizeBits);
+  AckInfo ack;
+  ack.send_time_s = ev.send_time_s;
+  ack.ack_time_s = now_s_;
+  ack.rtt_s = rtt;
+  ack.size_bits = kDefaultPacketSizeBits;
+  ack.seq = ev.seq;
+  flow.cc->OnAck(ack);
+  if (flow.cc->Mode() == CcMode::kWindowBased && FlowMaySend(flow)) {
+    TrySendWindowed(ev.flow_id, now_s_);
+  }
+}
+
+void PacketNetwork::HandleLossNotice(const Event& ev) {
+  Flow& flow = *flows_[ev.flow_id];
+  flow.inflight = std::max<int64_t>(0, flow.inflight - 1);
+  ++flow.record.total_lost;
+  ++flow.mi_lost;
+  LossInfo loss;
+  loss.detect_time_s = now_s_;
+  loss.seq = ev.seq;
+  flow.cc->OnPacketLost(loss);
+  if (flow.cc->Mode() == CcMode::kWindowBased && FlowMaySend(flow)) {
+    TrySendWindowed(ev.flow_id, now_s_);
+  }
+}
+
+void PacketNetwork::TrySendWindowed(int flow_id, double now_s) {
+  Flow& flow = *flows_[flow_id];
+  // Cap the burst so a pathological window cannot wedge the event loop.
+  int budget = 10000;
+  while (FlowMaySend(flow) &&
+         static_cast<double>(flow.inflight) < std::max(1.0, flow.cc->CwndPackets()) &&
+         budget-- > 0) {
+    SendPacket(flow_id, now_s);
+  }
+}
+
+void PacketNetwork::HandleMonitor(const Event& ev) {
+  Flow& flow = *flows_[ev.flow_id];
+  if (!flow.started) {
+    return;
+  }
+  const double duration = now_s_ - flow.mi_start_s;
+  if (duration > 0.0) {
+    MonitorReport report;
+    report.start_time_s = flow.mi_start_s;
+    report.duration_s = duration;
+    report.packets_sent = flow.mi_sent;
+    report.packets_acked = flow.mi_acked;
+    report.packets_lost = flow.mi_lost;
+    report.send_rate_bps =
+        static_cast<double>(flow.mi_sent * kDefaultPacketSizeBits) / duration;
+    report.throughput_bps =
+        static_cast<double>(flow.mi_acked * kDefaultPacketSizeBits) / duration;
+    report.avg_rtt_s =
+        flow.mi_rtt_count > 0 ? flow.mi_rtt_sum_s / static_cast<double>(flow.mi_rtt_count)
+                              : flow.srtt_s;
+    report.min_rtt_s = flow.min_rtt_s > 0.0 ? flow.min_rtt_s : params_.BaseRttS();
+    const int64_t denom = flow.mi_acked + flow.mi_lost;
+    report.loss_rate =
+        denom > 0 ? static_cast<double>(flow.mi_lost) / static_cast<double>(denom) : 0.0;
+    flow.cc->OnMonitorInterval(report);
+    flow.record.RecordMi(report);
+  }
+  flow.mi_start_s = now_s_;
+  flow.mi_sent = 0;
+  flow.mi_acked = 0;
+  flow.mi_lost = 0;
+  flow.mi_rtt_sum_s = 0.0;
+  flow.mi_rtt_count = 0;
+  if (flow.active) {
+    Schedule(now_s_ + MiDuration(flow), EvType::kMonitor, ev.flow_id);
+  }
+}
+
+void PacketNetwork::HandleRtoCheck(const Event& ev) {
+  Flow& flow = *flows_[ev.flow_id];
+  if (!flow.active) {
+    return;
+  }
+  const double rto = std::max(1.0, 3.0 * std::max(flow.srtt_s, params_.BaseRttS()));
+  if (flow.inflight > 0 && now_s_ - flow.last_progress_s > rto) {
+    // Everything in flight is presumed lost; restart the window from scratch.
+    flow.record.total_lost += flow.inflight;
+    flow.inflight = 0;
+    flow.last_progress_s = now_s_;
+    flow.cc->OnTimeout(now_s_);
+    if (flow.cc->Mode() == CcMode::kWindowBased && FlowMaySend(flow)) {
+      TrySendWindowed(ev.flow_id, now_s_);
+    }
+  }
+  Schedule(now_s_ + kRtoCheckPeriodS, EvType::kRtoCheck, ev.flow_id);
+}
+
+double PacketNetwork::MiDuration(const Flow& flow) const {
+  if (flow.options.mi_fixed_duration_s > 0.0) {
+    return flow.options.mi_fixed_duration_s;
+  }
+  const double rtt = flow.srtt_s > 0.0 ? flow.srtt_s : params_.BaseRttS();
+  return std::max(flow.options.mi_min_duration_s, flow.options.mi_rtt_multiple * rtt);
+}
+
+double PacketNetwork::LossDetectionDelay(const Flow& flow) const {
+  return std::max(flow.srtt_s, params_.BaseRttS());
+}
+
+double PacketNetwork::BandwidthNow(double t) const {
+  return trace_.BandwidthAt(t, params_.bandwidth_bps);
+}
+
+}  // namespace mocc

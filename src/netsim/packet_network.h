@@ -1,0 +1,176 @@
+// Event-driven packet-level simulator of a dumbbell topology: N sender/receiver pairs
+// sharing one droptail bottleneck link with configurable bandwidth (optionally a trace),
+// propagation delay, buffer size and random loss.
+//
+// This is the evaluation substrate standing in for the paper's Pantheon/Mahimahi emulation
+// and real Internet paths: utilization/latency sweeps (Figure 5), fairness dynamics
+// (Figures 11-12), friendliness (Figures 13-15) and the application workloads (Figures
+// 8-10) all run on it. Packets are individually queued, serialized at link rate, delayed
+// by propagation, and acknowledged on an uncongested reverse path. Losses (droptail
+// overflow or random) are reported to the sender after a detection delay of roughly one
+// RTT, emulating duplicate-ACK detection.
+#ifndef MOCC_SRC_NETSIM_PACKET_NETWORK_H_
+#define MOCC_SRC_NETSIM_PACKET_NETWORK_H_
+
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/netsim/cc_interface.h"
+#include "src/netsim/flow_record.h"
+#include "src/netsim/link_params.h"
+
+namespace mocc {
+
+// Per-flow behaviour knobs.
+struct FlowOptions {
+  double start_time_s = 0.0;
+  double stop_time_s = std::numeric_limits<double>::infinity();
+  // Monitor-interval sizing: fixed duration wins if > 0, otherwise
+  // max(mi_min_duration_s, mi_rtt_multiple * srtt).
+  double mi_fixed_duration_s = 0.0;
+  double mi_rtt_multiple = 1.0;
+  double mi_min_duration_s = 0.010;
+  // Fallback pacing rate when a rate-based scheme reports a non-positive rate.
+  double initial_rate_bps = 1e6;
+  // Additional one-way propagation delay for this flow only (both directions), for
+  // heterogeneous-RTT experiments on a shared bottleneck.
+  double extra_one_way_delay_s = 0.0;
+  // Record per-packet delivery timestamps (needed for inter-packet delay analysis).
+  bool keep_delivery_times = false;
+};
+
+class PacketNetwork {
+ public:
+  PacketNetwork(const LinkParams& params, uint64_t seed);
+
+  PacketNetwork(const PacketNetwork&) = delete;
+  PacketNetwork& operator=(const PacketNetwork&) = delete;
+
+  // Installs a piecewise-constant bandwidth schedule.
+  void SetBandwidthTrace(BandwidthTrace trace) { trace_ = std::move(trace); }
+
+  // Registers a flow driven by `cc`. Returns the flow id. Must be called before Run.
+  int AddFlow(std::unique_ptr<CongestionControl> cc, FlowOptions options = {});
+
+  // Runs the simulation until the clock reaches `until_s`.
+  void Run(double until_s);
+
+  // Runs until `stop()` returns true (checked periodically) or the clock reaches
+  // `max_time_s`.
+  void RunUntil(const std::function<bool()>& stop, double max_time_s);
+
+  // Application control: a paused flow stops transmitting new packets but keeps
+  // receiving ACKs (used by the chunked-video workload between downloads).
+  void PauseFlow(int flow_id);
+  void ResumeFlow(int flow_id);
+
+  double now_s() const { return now_s_; }
+  size_t flow_count() const { return flows_.size(); }
+  const FlowRecord& record(int flow_id) const { return flows_[flow_id]->record; }
+  CongestionControl& cc(int flow_id) { return *flows_[flow_id]->cc; }
+  const LinkParams& params() const { return params_; }
+
+  // Instantaneous bottleneck backlog in packets (waiting + in service).
+  int QueueLengthPkts() const;
+
+ private:
+  enum class EvType : uint8_t {
+    kFlowStart,
+    kFlowStop,
+    kPacedSend,
+    kLinkDone,
+    kDelivery,
+    kAck,
+    kLossNotice,
+    kMonitor,
+    kRtoCheck,
+  };
+
+  struct Event {
+    double time_s;
+    uint64_t order;
+    EvType type;
+    int flow_id;
+    int64_t seq;
+    double send_time_s;
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time_s != b.time_s) {
+        return a.time_s > b.time_s;
+      }
+      return a.order > b.order;
+    }
+  };
+
+  struct QueuedPacket {
+    int flow_id;
+    int64_t seq;
+    double send_time_s;
+  };
+
+  struct Flow {
+    std::unique_ptr<CongestionControl> cc;
+    FlowOptions options;
+    FlowRecord record;
+    bool started = false;
+    bool active = false;
+    bool paused = false;
+    bool pace_scheduled = false;
+    int64_t next_seq = 0;
+    int64_t inflight = 0;
+    double srtt_s = 0.0;
+    double min_rtt_s = 0.0;
+    double last_progress_s = 0.0;
+    // Monitor-interval counters.
+    double mi_start_s = 0.0;
+    int64_t mi_sent = 0;
+    int64_t mi_acked = 0;
+    int64_t mi_lost = 0;
+    double mi_rtt_sum_s = 0.0;
+    int64_t mi_rtt_count = 0;
+  };
+
+  void Schedule(double time_s, EvType type, int flow_id, int64_t seq = 0,
+                double send_time_s = 0.0);
+  void Dispatch(const Event& ev);
+
+  void HandleFlowStart(const Event& ev);
+  void HandlePacedSend(const Event& ev);
+  void HandleLinkDone(const Event& ev);
+  void HandleAck(const Event& ev);
+  void HandleLossNotice(const Event& ev);
+  void HandleMonitor(const Event& ev);
+  void HandleRtoCheck(const Event& ev);
+
+  // Emits one packet from `flow_id` into the bottleneck queue at `now_s`.
+  void SendPacket(int flow_id, double now_s);
+  // Ack-clocked transmission for window-based flows.
+  void TrySendWindowed(int flow_id, double now_s);
+  void StartService(double now_s);
+
+  double MiDuration(const Flow& flow) const;
+  double LossDetectionDelay(const Flow& flow) const;
+  double BandwidthNow(double t) const;
+  bool FlowMaySend(const Flow& flow) const;
+
+  LinkParams params_;
+  BandwidthTrace trace_;
+  Rng rng_;
+  double now_s_ = 0.0;
+  uint64_t next_order_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<std::unique_ptr<Flow>> flows_;
+  std::deque<QueuedPacket> queue_;
+  bool server_busy_ = false;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_NETSIM_PACKET_NETWORK_H_

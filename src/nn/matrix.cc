@@ -1,0 +1,134 @@
+#include "src/nn/matrix.h"
+
+#include <cmath>
+
+namespace mocc {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::Fill(double v) {
+  for (auto& x : data_) {
+    x = v;
+  }
+}
+
+void Matrix::FillNormal(Rng* rng, double stddev) {
+  for (auto& x : data_) {
+    x = rng->Normal(0.0, stddev);
+  }
+}
+
+void Matrix::FillXavier(Rng* rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows_ + cols_));
+  for (auto& x : data_) {
+    x = rng->Uniform(-limit, limit);
+  }
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  assert(r < rows_);
+  return std::vector<double>(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
+                             data_.begin() + static_cast<ptrdiff_t>((r + 1) * cols_));
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  assert(r < rows_ && values.size() == cols_);
+  std::copy(values.begin(), values.end(), data_.begin() + static_cast<ptrdiff_t>(r * cols_));
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) {
+        continue;
+      }
+      for (size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.rows(); ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) {
+        sum += a(i, k) * b(j, k);
+      }
+      c(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a(k, i);
+      if (aki == 0.0) {
+        continue;
+      }
+      for (size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aki * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+void AddScaled(Matrix* a, const Matrix& b, double scale) {
+  assert(a->rows() == b.rows() && a->cols() == b.cols());
+  double* pa = a->data();
+  const double* pb = b.data();
+  for (size_t i = 0; i < a->size(); ++i) {
+    pa[i] += scale * pb[i];
+  }
+}
+
+void AddRowBias(Matrix* m, const Matrix& bias) {
+  assert(bias.rows() == 1 && bias.cols() == m->cols());
+  for (size_t r = 0; r < m->rows(); ++r) {
+    for (size_t c = 0; c < m->cols(); ++c) {
+      (*m)(r, c) += bias(0, c);
+    }
+  }
+}
+
+Matrix ColumnSums(const Matrix& m) {
+  Matrix sums(1, m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      sums(0, c) += m(r, c);
+    }
+  }
+  return sums;
+}
+
+void HadamardInPlace(Matrix* a, const Matrix& b) {
+  assert(a->rows() == b.rows() && a->cols() == b.cols());
+  double* pa = a->data();
+  const double* pb = b.data();
+  for (size_t i = 0; i < a->size(); ++i) {
+    pa[i] *= pb[i];
+  }
+}
+
+double FrobeniusNorm(const Matrix& m) {
+  double sum = 0.0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    sum += m.data()[i] * m.data()[i];
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace mocc

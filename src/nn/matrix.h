@@ -1,0 +1,88 @@
+// Dense row-major matrix of doubles — the only tensor type used by the neural-network
+// substrate. Sized for the small MLPs in this project (tens of thousands of parameters),
+// so the implementation favours clarity over cache blocking.
+#ifndef MOCC_SRC_NN_MATRIX_H_
+#define MOCC_SRC_NN_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace mocc {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  // Creates a rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& storage() { return data_; }
+  const std::vector<double>& storage() const { return data_; }
+
+  // Sets every element to `v`.
+  void Fill(double v);
+
+  // Fills with N(0, stddev) draws.
+  void FillNormal(Rng* rng, double stddev);
+
+  // Fills with Xavier/Glorot-uniform draws for a (fan_in, fan_out) weight matrix,
+  // appropriate for tanh activations.
+  void FillXavier(Rng* rng);
+
+  // Returns one row as a vector.
+  std::vector<double> Row(size_t r) const;
+
+  // Copies `values` (size == cols()) into row `r`.
+  void SetRow(size_t r, const std::vector<double>& values);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// C = A * B. Requires A.cols() == B.rows().
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// C = A * B^T. Requires A.cols() == B.cols().
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+// C = A^T * B. Requires A.rows() == B.rows().
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+
+// a += scale * b, elementwise. Requires identical shapes.
+void AddScaled(Matrix* a, const Matrix& b, double scale = 1.0);
+
+// Adds row-vector `bias` (1 x cols) to every row of `m`.
+void AddRowBias(Matrix* m, const Matrix& bias);
+
+// Returns the column sums of `m` as a 1 x cols matrix.
+Matrix ColumnSums(const Matrix& m);
+
+// Elementwise product, in place: a ⊙= b.
+void HadamardInPlace(Matrix* a, const Matrix& b);
+
+// Frobenius norm.
+double FrobeniusNorm(const Matrix& m);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_NN_MATRIX_H_

@@ -1,0 +1,208 @@
+#include "src/nn/mlp.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mocc {
+namespace {
+
+double ActivationDerivativeFromOutput(Activation a, double y) {
+  switch (a) {
+    case Activation::kIdentity:
+      return 1.0;
+    case Activation::kTanh:
+      return 1.0 - y * y;
+    case Activation::kRelu:
+      return y > 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+void ApplyActivation(Activation a, Matrix* m) {
+  switch (a) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kTanh:
+      for (size_t i = 0; i < m->size(); ++i) {
+        m->data()[i] = std::tanh(m->data()[i]);
+      }
+      return;
+    case Activation::kRelu:
+      for (size_t i = 0; i < m->size(); ++i) {
+        if (m->data()[i] < 0.0) {
+          m->data()[i] = 0.0;
+        }
+      }
+      return;
+  }
+}
+
+DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, Activation activation, Rng* rng)
+    : weights_(in_dim, out_dim),
+      bias_(1, out_dim),
+      grad_weights_(in_dim, out_dim),
+      grad_bias_(1, out_dim),
+      activation_(activation) {
+  weights_.FillXavier(rng);
+}
+
+Matrix DenseLayer::Forward(const Matrix& x) {
+  assert(x.cols() == weights_.rows());
+  cached_input_ = x;
+  Matrix y = MatMul(x, weights_);
+  AddRowBias(&y, bias_);
+  ApplyActivation(activation_, &y);
+  cached_output_ = y;
+  return y;
+}
+
+Matrix DenseLayer::Backward(const Matrix& grad_out) {
+  assert(grad_out.rows() == cached_output_.rows() && grad_out.cols() == cached_output_.cols());
+  // Push the gradient through the activation using the cached post-activation output.
+  Matrix grad_pre = grad_out;
+  for (size_t i = 0; i < grad_pre.size(); ++i) {
+    grad_pre.data()[i] *=
+        ActivationDerivativeFromOutput(activation_, cached_output_.data()[i]);
+  }
+  AddScaled(&grad_weights_, MatMulTransposeA(cached_input_, grad_pre));
+  AddScaled(&grad_bias_, ColumnSums(grad_pre));
+  return MatMulTransposeB(grad_pre, weights_);
+}
+
+void DenseLayer::ZeroGrad() {
+  grad_weights_.Fill(0.0);
+  grad_bias_.Fill(0.0);
+}
+
+std::vector<ParamRef> DenseLayer::Params() {
+  return {{&weights_, &grad_weights_}, {&bias_, &grad_bias_}};
+}
+
+void DenseLayer::Serialize(BinaryWriter* w) const {
+  w->WriteU64(weights_.rows());
+  w->WriteU64(weights_.cols());
+  w->WriteU32(static_cast<uint32_t>(activation_));
+  w->WriteDoubleVector(weights_.storage());
+  w->WriteDoubleVector(bias_.storage());
+}
+
+bool DenseLayer::Deserialize(BinaryReader* r) {
+  const uint64_t rows = r->ReadU64();
+  const uint64_t cols = r->ReadU64();
+  const uint32_t act = r->ReadU32();
+  if (!r->ok() || rows != weights_.rows() || cols != weights_.cols() ||
+      act != static_cast<uint32_t>(activation_)) {
+    return false;
+  }
+  std::vector<double> w = r->ReadDoubleVector();
+  std::vector<double> b = r->ReadDoubleVector();
+  if (!r->ok() || w.size() != weights_.size() || b.size() != bias_.size()) {
+    return false;
+  }
+  weights_.storage() = std::move(w);
+  bias_.storage() = std::move(b);
+  return true;
+}
+
+Mlp::Mlp(const std::vector<size_t>& dims, Activation hidden_activation,
+         Activation output_activation, Rng* rng) {
+  assert(dims.size() >= 2);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool last = (i + 2 == dims.size());
+    layers_.emplace_back(dims[i], dims[i + 1], last ? output_activation : hidden_activation,
+                         rng);
+  }
+}
+
+Matrix Mlp::Forward(const Matrix& x) {
+  Matrix y = x;
+  for (auto& layer : layers_) {
+    y = layer.Forward(y);
+  }
+  return y;
+}
+
+Matrix Mlp::Backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = it->Backward(g);
+  }
+  return g;
+}
+
+void Mlp::ZeroGrad() {
+  for (auto& layer : layers_) {
+    layer.ZeroGrad();
+  }
+}
+
+std::vector<ParamRef> Mlp::Params() {
+  std::vector<ParamRef> params;
+  for (auto& layer : layers_) {
+    for (auto& p : layer.Params()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+size_t Mlp::in_dim() const { return layers_.empty() ? 0 : layers_.front().in_dim(); }
+
+size_t Mlp::out_dim() const { return layers_.empty() ? 0 : layers_.back().out_dim(); }
+
+size_t Mlp::ParameterCount() const {
+  size_t count = 0;
+  for (const auto& layer : layers_) {
+    count += layer.in_dim() * layer.out_dim() + layer.out_dim();
+  }
+  return count;
+}
+
+void Mlp::CopyWeightsFrom(const Mlp& other) {
+  assert(layers_.size() == other.layers_.size());
+  auto* self = this;
+  auto src = const_cast<Mlp&>(other).Params();
+  auto dst = self->Params();
+  assert(src.size() == dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    assert(src[i].value->size() == dst[i].value->size());
+    dst[i].value->storage() = src[i].value->storage();
+  }
+}
+
+void Mlp::SoftUpdateFrom(const Mlp& other, double tau) {
+  auto src = const_cast<Mlp&>(other).Params();
+  auto dst = Params();
+  assert(src.size() == dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    double* d = dst[i].value->data();
+    const double* s = src[i].value->data();
+    for (size_t k = 0; k < dst[i].value->size(); ++k) {
+      d[k] = (1.0 - tau) * d[k] + tau * s[k];
+    }
+  }
+}
+
+void Mlp::Serialize(BinaryWriter* w) const {
+  w->WriteU64(layers_.size());
+  for (const auto& layer : layers_) {
+    layer.Serialize(w);
+  }
+}
+
+bool Mlp::Deserialize(BinaryReader* r) {
+  const uint64_t count = r->ReadU64();
+  if (!r->ok() || count != layers_.size()) {
+    return false;
+  }
+  for (auto& layer : layers_) {
+    if (!layer.Deserialize(r)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mocc

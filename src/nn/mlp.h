@@ -1,0 +1,107 @@
+// Multi-layer perceptron with manual backpropagation.
+//
+// The paper's policy and value networks are small fully-connected MLPs (two hidden layers
+// of 64 and 32 units, tanh activations — §5). This module implements exactly that class of
+// network: dense layers, forward/backward over mini-batches, parameter access for
+// optimizers, and binary serialization. Composite models (the preference sub-network that
+// feeds the trunk, Figure 3) chain Mlp::Backward gradients across sub-networks.
+#ifndef MOCC_SRC_NN_MLP_H_
+#define MOCC_SRC_NN_MLP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/serialization.h"
+#include "src/nn/matrix.h"
+
+namespace mocc {
+
+enum class Activation {
+  kIdentity,
+  kTanh,
+  kRelu,
+};
+
+// A trainable tensor together with its gradient accumulator.
+struct ParamRef {
+  Matrix* value = nullptr;
+  Matrix* grad = nullptr;
+};
+
+// One fully-connected layer: Y = act(X * W + b).
+class DenseLayer {
+ public:
+  DenseLayer(size_t in_dim, size_t out_dim, Activation activation, Rng* rng);
+
+  // Forward pass over a batch (rows = samples). Caches inputs/outputs for Backward.
+  Matrix Forward(const Matrix& x);
+
+  // Backward pass: accumulates dW/db and returns dL/dX. Must follow a Forward call with
+  // the matching batch.
+  Matrix Backward(const Matrix& grad_out);
+
+  void ZeroGrad();
+  std::vector<ParamRef> Params();
+
+  size_t in_dim() const { return weights_.rows(); }
+  size_t out_dim() const { return weights_.cols(); }
+  Activation activation() const { return activation_; }
+
+  void Serialize(BinaryWriter* w) const;
+  bool Deserialize(BinaryReader* r);
+
+ private:
+  Matrix weights_;  // in_dim x out_dim
+  Matrix bias_;     // 1 x out_dim
+  Matrix grad_weights_;
+  Matrix grad_bias_;
+  Activation activation_;
+  Matrix cached_input_;
+  Matrix cached_output_;  // post-activation
+};
+
+// Fully-connected network: a stack of DenseLayers.
+class Mlp {
+ public:
+  Mlp() = default;
+
+  // Builds a network with the given layer widths; `dims` = {in, h1, ..., out}. All hidden
+  // layers use `hidden_activation`; the final layer uses `output_activation`.
+  Mlp(const std::vector<size_t>& dims, Activation hidden_activation,
+      Activation output_activation, Rng* rng);
+
+  // Forward pass over a batch (rows = samples, cols = in_dim).
+  Matrix Forward(const Matrix& x);
+
+  // Backward pass from dL/dY; accumulates parameter gradients, returns dL/dX so callers
+  // can chain into upstream sub-networks.
+  Matrix Backward(const Matrix& grad_out);
+
+  void ZeroGrad();
+  std::vector<ParamRef> Params();
+
+  size_t in_dim() const;
+  size_t out_dim() const;
+  size_t ParameterCount() const;
+
+  // Copies all weights from `other`; shapes must match.
+  void CopyWeightsFrom(const Mlp& other);
+
+  // Weights := (1-tau)*weights + tau*other (Polyak averaging; used by DQN target nets).
+  void SoftUpdateFrom(const Mlp& other, double tau);
+
+  void Serialize(BinaryWriter* w) const;
+  bool Deserialize(BinaryReader* r);
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+// Applies the activation elementwise.
+void ApplyActivation(Activation a, Matrix* m);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_NN_MLP_H_

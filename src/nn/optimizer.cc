@@ -1,0 +1,70 @@
+#include "src/nn/optimizer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mocc {
+
+AdamOptimizer::AdamOptimizer(double learning_rate, double beta1, double beta2, double epsilon)
+    : learning_rate_(learning_rate), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+void AdamOptimizer::Step(const std::vector<ParamRef>& params) {
+  if (m_.empty()) {
+    m_.resize(params.size());
+    v_.resize(params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      m_[i].assign(params[i].value->size(), 0.0);
+      v_[i].assign(params[i].value->size(), 0.0);
+    }
+  }
+  assert(m_.size() == params.size());
+  ++step_count_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    double* value = params[i].value->data();
+    const double* grad = params[i].grad->data();
+    const size_t n = params[i].value->size();
+    assert(m_[i].size() == n);
+    for (size_t k = 0; k < n; ++k) {
+      m_[i][k] = beta1_ * m_[i][k] + (1.0 - beta1_) * grad[k];
+      v_[i][k] = beta2_ * v_[i][k] + (1.0 - beta2_) * grad[k] * grad[k];
+      const double m_hat = m_[i][k] / bc1;
+      const double v_hat = v_[i][k] / bc2;
+      value[k] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+void SgdOptimizer::Step(const std::vector<ParamRef>& params) {
+  for (const auto& p : params) {
+    double* value = p.value->data();
+    const double* grad = p.grad->data();
+    for (size_t k = 0; k < p.value->size(); ++k) {
+      value[k] -= learning_rate_ * grad[k];
+    }
+  }
+}
+
+double ClipGradNorm(const std::vector<ParamRef>& params, double max_norm) {
+  double sum_sq = 0.0;
+  for (const auto& p : params) {
+    const double* grad = p.grad->data();
+    for (size_t k = 0; k < p.grad->size(); ++k) {
+      sum_sq += grad[k] * grad[k];
+    }
+  }
+  const double norm = std::sqrt(sum_sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (const auto& p : params) {
+      double* grad = p.grad->data();
+      for (size_t k = 0; k < p.grad->size(); ++k) {
+        grad[k] *= scale;
+      }
+    }
+  }
+  return norm;
+}
+
+}  // namespace mocc

@@ -1,0 +1,57 @@
+// First-order optimizers over ParamRef lists. The paper trains MOCC with Adam
+// (lr = 0.001, Table 2); plain SGD is provided for comparison tests.
+#ifndef MOCC_SRC_NN_OPTIMIZER_H_
+#define MOCC_SRC_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/nn/matrix.h"
+#include "src/nn/mlp.h"
+
+namespace mocc {
+
+// Adam optimizer (Kingma & Ba 2014). State (first/second moments) is allocated lazily on
+// the first Step and keyed by parameter order, so the same parameter list must be passed
+// on every call.
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(double learning_rate, double beta1 = 0.9, double beta2 = 0.999,
+                         double epsilon = 1e-8);
+
+  // Applies one Adam update using the gradients currently accumulated in `params`.
+  void Step(const std::vector<ParamRef>& params);
+
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+  double learning_rate() const { return learning_rate_; }
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<double>> m_;
+  std::vector<std::vector<double>> v_;
+};
+
+// Vanilla stochastic gradient descent.
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(double learning_rate) : learning_rate_(learning_rate) {}
+
+  void Step(const std::vector<ParamRef>& params);
+
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+ private:
+  double learning_rate_;
+};
+
+// Scales gradients so their global L2 norm is at most `max_norm`. Returns the norm
+// before clipping.
+double ClipGradNorm(const std::vector<ParamRef>& params, double max_norm);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_NN_OPTIMIZER_H_

@@ -1,0 +1,86 @@
+// Deep Q-Network trainer over a discretized action space — the value-based alternative
+// the paper evaluates against PPO in Figure 18 (MOCC-DQN). Q-learning must discretize the
+// continuous sending-rate adjustment, which is exactly the handicap the paper's deep-dive
+// demonstrates (§6.5, "Learning algorithm selection").
+#ifndef MOCC_SRC_RL_DQN_H_
+#define MOCC_SRC_RL_DQN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/envs/env.h"
+#include "src/nn/mlp.h"
+#include "src/nn/optimizer.h"
+
+namespace mocc {
+
+struct DqnConfig {
+  int action_bins = 11;  // discretization of [-1, 1]
+  double action_min = -1.0;
+  double action_max = 1.0;
+  double gamma = 0.99;
+  double learning_rate = 1e-3;
+  size_t replay_capacity = 50000;
+  int batch_size = 64;
+  int warmup_steps = 500;
+  int target_update_interval = 500;  // env steps between target-network syncs
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.05;
+  int epsilon_decay_steps = 20000;
+  int steps_per_iteration = 1024;
+  std::vector<size_t> hidden = {64, 32};
+  uint64_t seed = 1;
+};
+
+struct DqnStats {
+  double mean_step_reward = 0.0;
+  double mean_td_loss = 0.0;
+  double epsilon = 0.0;
+  int64_t total_steps = 0;
+};
+
+class DqnTrainer {
+ public:
+  DqnTrainer(size_t obs_dim, const DqnConfig& config);
+
+  // Runs config.steps_per_iteration environment steps with ε-greedy exploration,
+  // learning from replay after warmup.
+  DqnStats TrainIteration(Env* env);
+
+  // Continuous action corresponding to the greedy bin at `obs`.
+  double GreedyAction(const std::vector<double>& obs);
+
+  // Continuous action value of bin `k`.
+  double BinToAction(int k) const;
+
+  double CurrentEpsilon() const;
+  int64_t total_steps() const { return total_steps_; }
+
+ private:
+  struct Sample {
+    std::vector<double> obs;
+    int action_bin;
+    double reward;
+    std::vector<double> next_obs;
+    bool done;
+  };
+
+  int GreedyBin(Mlp* net, const std::vector<double>& obs);
+  void LearnStep();
+
+  size_t obs_dim_;
+  DqnConfig config_;
+  Rng rng_;
+  Mlp q_net_;
+  Mlp target_net_;
+  AdamOptimizer optimizer_;
+  std::vector<Sample> replay_;
+  size_t replay_next_ = 0;
+  int64_t total_steps_ = 0;
+  double last_td_loss_ = 0.0;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_RL_DQN_H_

@@ -1,0 +1,36 @@
+#include "src/rl/evaluate.h"
+
+namespace mocc {
+
+EvalResult EvaluateActionFn(const std::function<double(const std::vector<double>&)>& policy,
+                            Env* env, int episodes) {
+  EvalResult result;
+  double total_reward = 0.0;
+  int64_t total_steps = 0;
+  for (int e = 0; e < episodes; ++e) {
+    std::vector<double> obs = env->Reset();
+    double episode_return = 0.0;
+    bool done = false;
+    while (!done) {
+      const StepResult step = env->Step(policy(obs));
+      episode_return += step.reward;
+      ++total_steps;
+      done = step.done;
+      obs = step.observation;
+    }
+    total_reward += episode_return;
+  }
+  result.episodes = episodes;
+  result.mean_episode_return = episodes > 0 ? total_reward / episodes : 0.0;
+  result.mean_step_reward =
+      total_steps > 0 ? total_reward / static_cast<double>(total_steps) : 0.0;
+  return result;
+}
+
+EvalResult EvaluatePolicy(ActorCritic* model, Env* env, int episodes) {
+  return EvaluateActionFn(
+      [model](const std::vector<double>& obs) { return model->ActionMean(obs); }, env,
+      episodes);
+}
+
+}  // namespace mocc

@@ -1,0 +1,27 @@
+// Policy evaluation helpers used by tests and every benchmark harness.
+#ifndef MOCC_SRC_RL_EVALUATE_H_
+#define MOCC_SRC_RL_EVALUATE_H_
+
+#include <functional>
+
+#include "src/envs/env.h"
+#include "src/rl/actor_critic.h"
+
+namespace mocc {
+
+struct EvalResult {
+  double mean_step_reward = 0.0;
+  double mean_episode_return = 0.0;
+  int episodes = 0;
+};
+
+// Evaluates an arbitrary observation->action policy for `episodes` episodes.
+EvalResult EvaluateActionFn(const std::function<double(const std::vector<double>&)>& policy,
+                            Env* env, int episodes);
+
+// Evaluates the deterministic (mean-action) policy of `model`.
+EvalResult EvaluatePolicy(ActorCritic* model, Env* env, int episodes);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_RL_EVALUATE_H_

@@ -1,0 +1,269 @@
+#include "src/rl/ppo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+namespace mocc {
+
+PpoTrainer::PpoTrainer(ActorCritic* model, const PpoConfig& config)
+    : model_(model), config_(config), optimizer_(config.learning_rate), rng_(config.seed) {
+  assert(model_ != nullptr);
+}
+
+void PpoTrainer::set_learning_rate(double lr) { optimizer_.set_learning_rate(lr); }
+
+double PpoTrainer::EntropyCoef() const {
+  const double frac = std::min(
+      1.0, static_cast<double>(iteration_) / std::max(1, config_.entropy_decay_iters));
+  return config_.entropy_start + frac * (config_.entropy_end - config_.entropy_start);
+}
+
+double PpoTrainer::SampleAction(const std::vector<double>& obs, double* log_prob,
+                                double* value) {
+  Matrix x(1, obs.size());
+  x.SetRow(0, obs);
+  Matrix mean;
+  Matrix v;
+  model_->Forward(x, &mean, &v);
+  const double std = std::exp(model_->log_std());
+  const double action = rng_.Normal(mean(0, 0), std);
+  if (log_prob != nullptr) {
+    *log_prob = GaussianLogProb(action, mean(0, 0), std);
+  }
+  if (value != nullptr) {
+    *value = v(0, 0);
+  }
+  return action;
+}
+
+RolloutBuffer PpoTrainer::CollectWith(ActorCritic* model, Env* env, int steps, Rng* rng) {
+  RolloutBuffer buffer;
+  buffer.transitions.reserve(static_cast<size_t>(steps));
+  std::vector<double> obs = env->Reset();
+  const double std = std::exp(model->log_std());
+  double last_value = 0.0;
+  bool last_done = true;
+  for (int i = 0; i < steps; ++i) {
+    Matrix x(1, obs.size());
+    x.SetRow(0, obs);
+    Matrix mean;
+    Matrix v;
+    model->Forward(x, &mean, &v);
+    const double action = rng->Normal(mean(0, 0), std);
+    const StepResult result = env->Step(action);
+
+    Transition t;
+    t.observation = std::move(obs);
+    t.action = action;
+    t.log_prob = GaussianLogProb(action, mean(0, 0), std);
+    // GAE/critic targets use scaled rewards (see PpoConfig::reward_scale); the raw
+    // reward is kept for reporting.
+    t.reward = result.reward * config_.reward_scale;
+    t.raw_reward = result.reward;
+    t.value = v(0, 0);
+    t.done = result.done;
+    buffer.transitions.push_back(std::move(t));
+
+    last_done = result.done;
+    obs = result.done ? env->Reset() : result.observation;
+  }
+  if (!last_done) {
+    // Bootstrap the value of the truncated trajectory's final state.
+    Matrix x(1, obs.size());
+    x.SetRow(0, obs);
+    Matrix mean;
+    Matrix v;
+    model->Forward(x, &mean, &v);
+    last_value = v(0, 0);
+  }
+  ComputeGae(&buffer, config_.gamma, config_.gae_lambda, last_value);
+  return buffer;
+}
+
+RolloutBuffer PpoTrainer::CollectRollout(Env* env, int steps) {
+  return CollectWith(model_, env, steps, &rng_);
+}
+
+std::vector<RolloutBuffer> PpoTrainer::CollectRolloutsParallel(const std::vector<Env*>& envs,
+                                                               int steps_each) {
+  std::vector<RolloutBuffer> buffers(envs.size());
+  std::vector<std::unique_ptr<ActorCritic>> clones;
+  std::vector<Rng> rngs;
+  clones.reserve(envs.size());
+  rngs.reserve(envs.size());
+  for (size_t i = 0; i < envs.size(); ++i) {
+    clones.push_back(model_->Clone());
+    rngs.emplace_back(rng_.NextU64());
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(envs.size());
+  for (size_t i = 0; i < envs.size(); ++i) {
+    workers.emplace_back([this, &buffers, &clones, &rngs, &envs, steps_each, i]() {
+      buffers[i] = CollectWith(clones[i].get(), envs[i], steps_each, &rngs[i]);
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  return buffers;
+}
+
+PpoStats PpoTrainer::Update(const std::vector<const RolloutBuffer*>& buffers) {
+  // Concatenate the buffers and normalize advantages jointly: objectives whose rewards
+  // are flat within their rollout then contribute (correctly) little policy gradient,
+  // while Eq. (6)'s equal weighting is preserved through equal sample counts.
+  std::vector<Transition> all;
+  std::vector<double> advantages;
+  std::vector<double> returns;
+  double reward_sum = 0.0;
+  double episode_return_sum = 0.0;
+  int episode_count = 0;
+  for (const RolloutBuffer* buffer : buffers) {
+    double episode_return = 0.0;
+    for (size_t i = 0; i < buffer->transitions.size(); ++i) {
+      Transition t = buffer->transitions[i];
+      reward_sum += t.raw_reward;
+      episode_return += t.raw_reward;
+      if (t.done) {
+        episode_return_sum += episode_return;
+        episode_return = 0.0;
+        ++episode_count;
+      }
+      all.push_back(std::move(t));
+      advantages.push_back(buffer->advantages[i]);
+      returns.push_back(buffer->returns[i]);
+    }
+  }
+  // Joint advantage normalization.
+  if (advantages.size() > 1) {
+    double mean = 0.0;
+    for (double a : advantages) {
+      mean += a;
+    }
+    mean /= static_cast<double>(advantages.size());
+    double var = 0.0;
+    for (double a : advantages) {
+      var += (a - mean) * (a - mean);
+    }
+    var /= static_cast<double>(advantages.size());
+    const double denom = std::sqrt(var) + 1e-8;
+    for (double& a : advantages) {
+      a = (a - mean) / denom;
+    }
+  }
+  const size_t n = all.size();
+  PpoStats stats;
+  stats.iteration = iteration_;
+  if (n == 0) {
+    return stats;
+  }
+  stats.mean_step_reward = reward_sum / static_cast<double>(n);
+  stats.mean_episode_return =
+      episode_count > 0 ? episode_return_sum / episode_count : reward_sum;
+  last_mean_step_reward_ = stats.mean_step_reward;
+  last_mean_episode_return_ = stats.mean_episode_return;
+
+  const double entropy_coef = EntropyCoef();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  double total_policy_loss = 0.0;
+  double total_value_loss = 0.0;
+  int update_count = 0;
+
+  const size_t obs_dim = all[0].observation.size();
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (size_t begin = 0; begin < n; begin += static_cast<size_t>(config_.minibatch_size)) {
+      const size_t end = std::min(n, begin + static_cast<size_t>(config_.minibatch_size));
+      const size_t batch = end - begin;
+      Matrix obs(batch, obs_dim);
+      for (size_t b = 0; b < batch; ++b) {
+        obs.SetRow(b, all[order[begin + b]].observation);
+      }
+      Matrix mean;
+      Matrix value;
+      model_->ZeroGrad();
+      model_->Forward(obs, &mean, &value);
+      const double std = std::exp(model_->log_std());
+
+      Matrix dmean(batch, 1);
+      Matrix dvalue(batch, 1);
+      double log_std_grad = 0.0;
+      double policy_loss = 0.0;
+      double value_loss = 0.0;
+      const double inv_batch = 1.0 / static_cast<double>(batch);
+      for (size_t b = 0; b < batch; ++b) {
+        const size_t idx = order[begin + b];
+        const Transition& t = all[idx];
+        const double adv = advantages[idx];
+        const double ret = returns[idx];
+        const double mu = mean(b, 0);
+        const double log_prob = GaussianLogProb(t.action, mu, std);
+        const double ratio = std::exp(std::clamp(log_prob - t.log_prob, -20.0, 20.0));
+        const double clipped =
+            std::clamp(ratio, 1.0 - config_.clip_epsilon, 1.0 + config_.clip_epsilon);
+        const double surr1 = ratio * adv;
+        const double surr2 = clipped * adv;
+        policy_loss += -std::min(surr1, surr2);
+        // Gradient of -min(surr1, surr2) wrt (mu, log_std): nonzero only when the
+        // unclipped branch is active.
+        if (surr1 <= surr2) {
+          const double z = (t.action - mu) / std;
+          const double dlogp_dmu = z / std;
+          const double dlogp_dlogstd = z * z - 1.0;
+          dmean(b, 0) = -adv * ratio * dlogp_dmu * inv_batch;
+          log_std_grad += -adv * ratio * dlogp_dlogstd * inv_batch;
+        } else {
+          dmean(b, 0) = 0.0;
+        }
+        // Entropy bonus: H = log_std + const, so dH/dlog_std = 1.
+        log_std_grad += -entropy_coef * inv_batch;
+        // Value loss: 0.5 * (V - R)^2.
+        const double verr = value(b, 0) - ret;
+        value_loss += 0.5 * verr * verr;
+        dvalue(b, 0) = config_.value_coef * verr * inv_batch;
+      }
+      model_->Backward(dmean, dvalue);
+      model_->AccumulateLogStdGrad(log_std_grad);
+      auto params = model_->Params();
+      ClipGradNorm(params, config_.max_grad_norm);
+      optimizer_.Step(params);
+      model_->set_log_std(
+          std::clamp(model_->log_std(), config_.log_std_min, config_.log_std_max));
+
+      total_policy_loss += policy_loss * inv_batch;
+      total_value_loss += value_loss * inv_batch;
+      ++update_count;
+    }
+  }
+  if (update_count > 0) {
+    stats.policy_loss = total_policy_loss / update_count;
+    stats.value_loss = total_value_loss / update_count;
+  }
+  stats.entropy = GaussianEntropy(std::exp(model_->log_std()));
+  ++iteration_;
+  return stats;
+}
+
+PpoStats PpoTrainer::TrainIteration(Env* env) {
+  RolloutBuffer buffer = CollectRollout(env, config_.rollout_steps);
+  return Update({&buffer});
+}
+
+PpoStats PpoTrainer::TrainIterationParallel(const std::vector<Env*>& envs) {
+  const int steps_each =
+      std::max(1, config_.rollout_steps / std::max<int>(1, static_cast<int>(envs.size())));
+  std::vector<RolloutBuffer> buffers = CollectRolloutsParallel(envs, steps_each);
+  std::vector<const RolloutBuffer*> ptrs;
+  ptrs.reserve(buffers.size());
+  for (const auto& b : buffers) {
+    ptrs.push_back(&b);
+  }
+  return Update(ptrs);
+}
+
+}  // namespace mocc

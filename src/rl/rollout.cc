@@ -1,0 +1,60 @@
+#include "src/rl/rollout.h"
+
+#include <cmath>
+
+namespace mocc {
+
+void RolloutBuffer::Clear() {
+  transitions.clear();
+  advantages.clear();
+  returns.clear();
+}
+
+void ComputeGae(RolloutBuffer* buffer, double gamma, double lam, double bootstrap_value) {
+  const size_t n = buffer->transitions.size();
+  buffer->advantages.assign(n, 0.0);
+  buffer->returns.assign(n, 0.0);
+  double gae = 0.0;
+  double next_value = bootstrap_value;
+  for (size_t i = n; i-- > 0;) {
+    const Transition& t = buffer->transitions[i];
+    const double not_done = t.done ? 0.0 : 1.0;
+    const double delta = t.reward + gamma * next_value * not_done - t.value;
+    gae = delta + gamma * lam * not_done * gae;
+    buffer->advantages[i] = gae;
+    buffer->returns[i] = gae + t.value;
+    next_value = t.value;
+  }
+}
+
+void NormalizeAdvantages(RolloutBuffer* buffer) {
+  const size_t n = buffer->advantages.size();
+  if (n < 2) {
+    return;
+  }
+  double mean = 0.0;
+  for (double a : buffer->advantages) {
+    mean += a;
+  }
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double a : buffer->advantages) {
+    var += (a - mean) * (a - mean);
+  }
+  var /= static_cast<double>(n);
+  const double std = std::sqrt(var) + 1e-8;
+  for (double& a : buffer->advantages) {
+    a = (a - mean) / std;
+  }
+}
+
+double GaussianLogProb(double x, double mean, double std) {
+  const double z = (x - mean) / std;
+  return -0.5 * z * z - std::log(std) - 0.5 * std::log(2.0 * M_PI);
+}
+
+double GaussianEntropy(double std) {
+  return std::log(std) + 0.5 * std::log(2.0 * M_PI * std::exp(1.0));
+}
+
+}  // namespace mocc

@@ -1,0 +1,261 @@
+// Unit tests for the common substrate: RNG determinism and distributions, statistics,
+// binary serialization, and table formatting.
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/serialization.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+
+namespace mocc {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(13);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    stat.Add(rng.Normal(2.0, 3.0));
+  }
+  EXPECT_NEAR(stat.Mean(), 2.0, 0.1);
+  EXPECT_NEAR(stat.StdDev(), 3.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.Fork();
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_NEAR(s.Variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 10.0);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.Min(), 0.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 25.0);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) { EXPECT_EQ(Percentile({}, 0.5), 0.0); }
+
+TEST(CdfTest, MonotoneAndComplete) {
+  auto cdf = EmpiricalCdf({3.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative_probability, 1.0);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LT(cdf[i - 1].cumulative_probability, cdf[i].cumulative_probability);
+  }
+}
+
+TEST(JainTest, EqualSharesGiveOne) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({5, 5, 5}), 1.0);
+}
+
+TEST(JainTest, SingleHogGivesOneOverN) {
+  EXPECT_NEAR(JainFairnessIndex({1, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(JainTest, DegenerateInputsGiveOne) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({0, 0}), 1.0);
+}
+
+TEST(SlopeTest, ExactLine) {
+  EXPECT_NEAR(LeastSquaresSlope({0, 1, 2, 3}, {1, 3, 5, 7}), 2.0, 1e-12);
+}
+
+TEST(SlopeTest, DegenerateInputs) {
+  EXPECT_EQ(LeastSquaresSlope({1}, {2}), 0.0);
+  EXPECT_EQ(LeastSquaresSlope({2, 2, 2}, {1, 5, 9}), 0.0);
+}
+
+TEST(Gaussian2dTest, AxisAlignedCloud) {
+  // x spread 2x wider than y: major axis along x.
+  std::vector<double> x;
+  std::vector<double> y;
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.Normal(1.0, 2.0));
+    y.push_back(rng.Normal(-1.0, 1.0));
+  }
+  const Gaussian2d g = FitGaussian2d(x, y);
+  EXPECT_NEAR(g.mean_x, 1.0, 0.1);
+  EXPECT_NEAR(g.mean_y, -1.0, 0.1);
+  EXPECT_NEAR(g.ellipse_major, 2.0, 0.1);
+  EXPECT_NEAR(g.ellipse_minor, 1.0, 0.1);
+  EXPECT_NEAR(std::abs(std::remainder(g.ellipse_angle_rad, M_PI)), 0.0, 0.1);
+}
+
+TEST(SerializationTest, RoundTripPrimitives) {
+  std::stringstream ss;
+  BinaryWriter w(ss, "TESTMAGC", 3);
+  w.WriteU32(42);
+  w.WriteU64(1ULL << 40);
+  w.WriteI64(-77);
+  w.WriteDouble(3.25);
+  w.WriteString("hello world");
+  w.WriteDoubleVector({1.5, -2.5, 0.0});
+  ASSERT_TRUE(w.ok());
+
+  BinaryReader r(ss, "TESTMAGC", 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ReadU32(), 42u);
+  EXPECT_EQ(r.ReadU64(), 1ULL << 40);
+  EXPECT_EQ(r.ReadI64(), -77);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), 3.25);
+  EXPECT_EQ(r.ReadString(), "hello world");
+  EXPECT_EQ(r.ReadDoubleVector(), (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SerializationTest, WrongMagicFails) {
+  std::stringstream ss;
+  BinaryWriter w(ss, "MAGICAAA", 1);
+  w.WriteU32(1);
+  BinaryReader r(ss, "MAGICBBB", 1);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializationTest, WrongVersionFails) {
+  std::stringstream ss;
+  BinaryWriter w(ss, "MAGICAAA", 1);
+  BinaryReader r(ss, "MAGICAAA", 2);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializationTest, TruncatedStreamReportsFailure) {
+  std::stringstream ss;
+  BinaryWriter w(ss, "MAGICAAA", 1);
+  w.WriteU32(5);
+  BinaryReader r(ss, "MAGICAAA", 1);
+  r.ReadU32();
+  r.ReadDouble();  // past the end
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mocc_serialization_test.bin";
+  ASSERT_TRUE(WriteFile(path, "contents\x00with null" + std::string(1, '\0')));
+  std::string back;
+  ASSERT_TRUE(ReadFile(path, &back));
+  EXPECT_EQ(back.substr(0, 8), "contents");
+}
+
+TEST(TableTest, AlignsAndCounts) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", TablePrinter::Num(1.5, 2)});
+  t.AddRow({"bb"});
+  EXPECT_EQ(t.row_count(), 2u);
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  std::ostringstream csv;
+  t.PrintCsv(csv);
+  EXPECT_NE(csv.str().find("name,value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mocc

@@ -1,0 +1,218 @@
+// Tests for MOCC's training machinery: the two-phase offline trainer (§4.2), the online
+// adapter with requirement replay (§4.3, Eq. 6), and the presets. Training budgets are
+// tiny — these verify mechanics and direction, not final model quality.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/core/offline_trainer.h"
+#include "src/core/online_adapter.h"
+#include "src/core/presets.h"
+#include "src/rl/evaluate.h"
+
+namespace mocc {
+namespace {
+
+MoccConfig TinyConfig() {
+  MoccConfig config;
+  config.history_len_eta = 4;
+  config.pn_hidden = 8;
+  config.pn_out = 8;
+  config.trunk_hidden = {16, 8};
+  config.landmark_step_divisor = 5;  // omega = 6 landmarks
+  return config;
+}
+
+OfflineTrainConfig TinyTrainConfig() {
+  OfflineTrainConfig config;
+  config.mocc = TinyConfig();
+  config.bootstrap_iterations = 3;
+  config.traversal_iterations_per_objective = 1;
+  config.traversal_rounds = 1;
+  config.seed = 7;
+  return config;
+}
+
+TEST(OfflineTrainerTest, PlannedIterationsArithmetic) {
+  OfflineTrainConfig config = TinyTrainConfig();
+  // 3 bootstrap + 1 round x 1 iter x 6 landmarks.
+  EXPECT_EQ(config.PlannedIterations(), 3 + 6);
+  config.traversal_rounds = 2;
+  EXPECT_EQ(config.PlannedIterations(), 3 + 12);
+}
+
+TEST(OfflineTrainerTest, TwoPhaseRunsAllIterationsAndRecordsCurve) {
+  const OfflineTrainConfig config = TinyTrainConfig();
+  Rng rng(config.seed);
+  PreferenceActorCritic model(config.mocc, &rng);
+  OfflineTrainer trainer(&model, config);
+  const OfflineTrainResult result = trainer.TrainTwoPhase();
+  EXPECT_EQ(result.total_iterations, config.PlannedIterations());
+  EXPECT_EQ(result.reward_curve.size(),
+            static_cast<size_t>(config.PlannedIterations()));
+  EXPECT_EQ(result.traversal_order.size(), 6u);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  for (double r : result.reward_curve) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(OfflineTrainerTest, IndividualTrainingCostsOmegaTimesBootstrapBudget) {
+  const OfflineTrainConfig config = TinyTrainConfig();
+  Rng rng(config.seed);
+  PreferenceActorCritic model(config.mocc, &rng);
+  OfflineTrainer trainer(&model, config);
+  const OfflineTrainResult result = trainer.TrainIndividually();
+  EXPECT_EQ(result.total_iterations, 6 * config.bootstrap_iterations);
+}
+
+TEST(OfflineTrainerTest, ParallelEnvsProduceSameIterationCount) {
+  OfflineTrainConfig config = TinyTrainConfig();
+  config.parallel_envs = 3;
+  Rng rng(config.seed);
+  PreferenceActorCritic model(config.mocc, &rng);
+  OfflineTrainer trainer(&model, config);
+  const OfflineTrainResult result = trainer.TrainTwoPhase();
+  EXPECT_EQ(result.total_iterations, config.PlannedIterations());
+}
+
+TEST(OfflineTrainerTest, ModerateBudgetImprovesEvaluationReward) {
+  // Deterministic-policy evaluation on a fixed link, before vs after training: the
+  // trained policy must clearly beat the random initialization.
+  OfflineTrainConfig config = TinyTrainConfig();
+  config.mocc.trunk_hidden = {32, 16};
+  config.bootstrap_iterations = 40;
+  config.traversal_rounds = 1;
+  Rng rng(3);
+  PreferenceActorCritic model(config.mocc, &rng);
+
+  auto evaluate = [&]() {
+    CcEnvConfig eval_config = config.mocc.MakeEnvConfig();
+    CcEnv env(eval_config, 4242);
+    LinkParams link;
+    link.bandwidth_bps = 3e6;
+    link.one_way_delay_s = 0.03;
+    link.queue_capacity_pkts = 500;
+    env.SetFixedLink(link);
+    env.SetObjective(ThroughputObjective());
+    std::vector<double> obs = env.Reset();
+    double total = 0.0;
+    const int steps = 600;
+    for (int i = 0; i < steps; ++i) {
+      const StepResult r = env.Step(model.ActionMean(obs));
+      total += r.reward;
+      obs = r.done ? env.Reset() : r.observation;
+    }
+    return total / steps;
+  };
+
+  const double before = evaluate();
+  OfflineTrainer trainer(&model, config);
+  trainer.TrainTwoPhase();
+  const double after = evaluate();
+  EXPECT_GT(after, before);
+}
+
+TEST(OnlineAdapterTest, ReplayPoolDeduplicatesAndBounds) {
+  const MoccConfig mocc = TinyConfig();
+  Rng rng(5);
+  PreferenceActorCritic model(mocc, &rng);
+  CcEnv env(mocc.MakeEnvConfig(), 77);
+  OnlineAdaptConfig config;
+  config.mocc = mocc;
+  config.replay_pool_max = 4;
+  OnlineAdapter adapter(&model, &env, config);
+  adapter.RememberObjective({0.5, 0.3, 0.2});
+  adapter.RememberObjective({0.5, 0.3, 0.2});  // duplicate
+  EXPECT_EQ(adapter.replay_pool().size(), 1u);
+  adapter.RememberObjective({0.4, 0.4, 0.2});
+  adapter.RememberObjective({0.3, 0.5, 0.2});
+  adapter.RememberObjective({0.2, 0.6, 0.2});
+  adapter.RememberObjective({0.1, 0.7, 0.2});  // pool full: evicts, stays at 4
+  EXPECT_EQ(adapter.replay_pool().size(), 4u);
+}
+
+TEST(OnlineAdapterTest, AdaptIterationRemembersCurrentObjective) {
+  const MoccConfig mocc = TinyConfig();
+  Rng rng(6);
+  PreferenceActorCritic model(mocc, &rng);
+  CcEnv env(mocc.MakeEnvConfig(), 78);
+  OnlineAdaptConfig config;
+  config.mocc = mocc;
+  config.rollout_steps = 128;
+  OnlineAdapter adapter(&model, &env, config);
+  adapter.AdaptIteration({0.25, 0.55, 0.2});
+  ASSERT_EQ(adapter.replay_pool().size(), 1u);
+  EXPECT_TRUE(adapter.replay_pool()[0].AlmostEquals({0.25, 0.55, 0.2}, 1e-9));
+}
+
+TEST(OnlineAdapterTest, AdaptationImprovesNewObjective) {
+  // Train a small base, then adapt to an unseen objective and check the policy's
+  // evaluation reward on it improves.
+  OfflineTrainConfig train = TinyTrainConfig();
+  train.bootstrap_iterations = 20;
+  Rng rng(9);
+  PreferenceActorCritic model(train.mocc, &rng);
+  OfflineTrainer trainer(&model, train);
+  trainer.TrainTwoPhase();
+
+  const WeightVector unseen(0.72, 0.18, 0.10);
+  CcEnvConfig eval_config = train.mocc.MakeEnvConfig();
+  CcEnv eval_env(eval_config, 555);
+  eval_env.SetObjective(unseen);
+  const double before = EvaluatePolicy(&model, &eval_env, 3).mean_step_reward;
+
+  CcEnv adapt_env(train.mocc.MakeEnvConfig(), 556);
+  OnlineAdaptConfig config;
+  config.mocc = train.mocc;
+  config.rollout_steps = 512;
+  OnlineAdapter adapter(&model, &adapt_env, config);
+  for (int i = 0; i < 8; ++i) {
+    adapter.AdaptIteration(unseen);
+  }
+  CcEnv eval_env2(eval_config, 555);
+  eval_env2.SetObjective(unseen);
+  const double after = EvaluatePolicy(&model, &eval_env2, 3).mean_step_reward;
+  EXPECT_GT(after, before - 0.05);  // must not regress materially; typically improves
+}
+
+TEST(OnlineAdapterTest, ReplayDisabledStillTrains) {
+  const MoccConfig mocc = TinyConfig();
+  Rng rng(10);
+  PreferenceActorCritic model(mocc, &rng);
+  CcEnv env(mocc.MakeEnvConfig(), 80);
+  OnlineAdaptConfig config;
+  config.mocc = mocc;
+  config.rollout_steps = 128;
+  config.enable_replay = false;
+  OnlineAdapter adapter(&model, &env, config);
+  adapter.RememberObjective({0.6, 0.3, 0.1});
+  const PpoStats stats = adapter.AdaptIteration({0.2, 0.6, 0.2});
+  EXPECT_GT(stats.mean_step_reward, 0.0);
+}
+
+TEST(PresetsTest, BudgetsAreOrdered) {
+  const OfflineTrainConfig quick = QuickOfflinePreset();
+  const OfflineTrainConfig standard = StandardOfflinePreset();
+  EXPECT_LT(quick.PlannedIterations(), standard.PlannedIterations());
+  EXPECT_EQ(quick.mocc.landmark_step_divisor, 10);  // omega = 36 in both
+}
+
+TEST(PresetsTest, GetOrTrainBaseModelCaches) {
+  const std::string dir = ::testing::TempDir() + "/mocc_presets_zoo";
+  std::filesystem::remove_all(dir);
+  ModelZoo zoo(dir);
+  OfflineTrainConfig config = TinyTrainConfig();
+  config.bootstrap_iterations = 1;
+  config.traversal_rounds = 0;
+  auto first = GetOrTrainBaseModel(&zoo, "tiny", config);
+  ASSERT_NE(first, nullptr);
+  auto second = GetOrTrainBaseModel(&zoo, "tiny", config);
+  ASSERT_NE(second, nullptr);
+  std::vector<double> obs(first->obs_dim(), 0.2);
+  EXPECT_DOUBLE_EQ(first->ActionMean(obs), second->ActionMean(obs));
+}
+
+}  // namespace
+}  // namespace mocc

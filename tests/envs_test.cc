@@ -1,0 +1,305 @@
+// Tests for the RL environment layer: Eq. (1) rate action, Eq. (2) dynamic reward,
+// observation layout (weight prefix + g(t,η) history), the MI history tracker and the
+// online capacity/latency estimator.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/reward.h"
+#include "src/core/weight_vector.h"
+#include "src/envs/cc_env.h"
+#include "src/envs/mi_history.h"
+
+namespace mocc {
+namespace {
+
+TEST(WeightVectorTest, ValidityRules) {
+  EXPECT_TRUE(WeightVector(0.8, 0.1, 0.1).IsValid());
+  EXPECT_TRUE(BalancedObjective().IsValid());
+  EXPECT_FALSE(WeightVector(1.0, 0.0, 0.0).IsValid());   // boundary excluded
+  EXPECT_FALSE(WeightVector(0.5, 0.4, 0.2).IsValid());   // sums to 1.1
+  EXPECT_FALSE(WeightVector(-0.1, 0.6, 0.5).IsValid());  // negative
+}
+
+TEST(WeightVectorTest, SanitizedProjectsToOpenSimplex) {
+  const WeightVector w = WeightVector(1.0, 0.0, 0.0).Sanitized();
+  EXPECT_TRUE(w.IsValid());
+  EXPECT_GT(w.thr, 0.85);  // floored onto the trained interior of the simplex
+  const WeightVector ok = WeightVector(0.8, 0.1, 0.1).Sanitized();
+  EXPECT_TRUE(ok.AlmostEquals(WeightVector(0.8, 0.1, 0.1), 1e-9));
+}
+
+TEST(WeightVectorTest, DistanceAndEquality) {
+  const WeightVector a(0.5, 0.3, 0.2);
+  const WeightVector b(0.4, 0.4, 0.2);
+  EXPECT_NEAR(a.L1DistanceTo(b), 0.2, 1e-12);
+  EXPECT_TRUE(a.AlmostEquals(a));
+  EXPECT_FALSE(a.AlmostEquals(b, 1e-3));
+}
+
+TEST(RewardTest, ComponentsMatchEquation2) {
+  MonitorReport mi;
+  mi.throughput_bps = 5e6;
+  mi.avg_rtt_s = 0.05;
+  mi.loss_rate = 0.1;
+  const RewardComponents c = ComputeRewardComponents(mi, 10e6, 0.04);
+  EXPECT_DOUBLE_EQ(c.o_thr, 0.5);
+  EXPECT_DOUBLE_EQ(c.o_lat, 0.8);
+  EXPECT_DOUBLE_EQ(c.o_loss, 0.9);
+  const double r = DynamicReward(WeightVector(0.5, 0.3, 0.2), c);
+  EXPECT_NEAR(r, 0.5 * 0.5 + 0.3 * 0.8 + 0.2 * 0.9, 1e-12);
+}
+
+TEST(RewardTest, ComponentsClampedToUnitInterval) {
+  MonitorReport mi;
+  mi.throughput_bps = 50e6;  // above "capacity"
+  mi.avg_rtt_s = 0.01;       // below base
+  mi.loss_rate = 0.0;
+  const RewardComponents c = ComputeRewardComponents(mi, 10e6, 0.04);
+  EXPECT_DOUBLE_EQ(c.o_thr, 1.0);
+  EXPECT_DOUBLE_EQ(c.o_lat, 1.0);
+  EXPECT_DOUBLE_EQ(c.o_loss, 1.0);
+}
+
+TEST(RewardTest, RewardIsMonotoneInEachComponent) {
+  // Property: improving any single measure never reduces the reward.
+  const WeightVector w(0.4, 0.4, 0.2);
+  MonitorReport base;
+  base.throughput_bps = 5e6;
+  base.avg_rtt_s = 0.08;
+  base.loss_rate = 0.05;
+  const double r0 = DynamicReward(w, base, 10e6, 0.04);
+  MonitorReport better_thr = base;
+  better_thr.throughput_bps = 6e6;
+  EXPECT_GT(DynamicReward(w, better_thr, 10e6, 0.04), r0);
+  MonitorReport better_lat = base;
+  better_lat.avg_rtt_s = 0.05;
+  EXPECT_GT(DynamicReward(w, better_lat, 10e6, 0.04), r0);
+  MonitorReport better_loss = base;
+  better_loss.loss_rate = 0.01;
+  EXPECT_GT(DynamicReward(w, better_loss, 10e6, 0.04), r0);
+}
+
+TEST(OnlineLinkEstimatorTest, TracksMaxThroughputAndMinRtt) {
+  OnlineLinkEstimator est;
+  EXPECT_DOUBLE_EQ(est.CapacityBps(5e6), 5e6);  // fallback before observations
+  MonitorReport mi;
+  mi.throughput_bps = 3e6;
+  mi.min_rtt_s = 0.05;
+  est.Observe(mi);
+  mi.throughput_bps = 7e6;
+  mi.min_rtt_s = 0.03;
+  est.Observe(mi);
+  mi.throughput_bps = 2e6;
+  mi.min_rtt_s = 0.09;
+  est.Observe(mi);
+  EXPECT_DOUBLE_EQ(est.CapacityBps(), 7e6);
+  EXPECT_DOUBLE_EQ(est.BaseRttS(), 0.03);
+}
+
+TEST(RateActionTest, Equation1Form) {
+  // a > 0: multiply by (1 + alpha a); a < 0: divide by (1 - alpha a).
+  EXPECT_DOUBLE_EQ(CcEnv::ApplyRateAction(1e6, 1.0, 0.025), 1.025e6);
+  EXPECT_DOUBLE_EQ(CcEnv::ApplyRateAction(1e6, -1.0, 0.025), 1e6 / 1.025);
+  EXPECT_DOUBLE_EQ(CcEnv::ApplyRateAction(1e6, 0.0, 0.025), 1e6);
+}
+
+TEST(RateActionTest, UpDownInverseProperty) {
+  // Property: +a then -a returns exactly to the original rate (Eq. 1's symmetric form).
+  for (double a : {0.1, 0.5, 1.0, 2.0}) {
+    const double up = CcEnv::ApplyRateAction(3e6, a, 0.025);
+    const double back = CcEnv::ApplyRateAction(up, -a, 0.025);
+    EXPECT_NEAR(back, 3e6, 1e-6);
+  }
+}
+
+TEST(MiHistoryTrackerTest, NeutralPaddingAndShift) {
+  MiHistoryTracker tracker(3);
+  std::vector<double> obs;
+  tracker.AppendObservation(&obs);
+  ASSERT_EQ(obs.size(), 9u);
+  // All neutral <1,1,0>.
+  for (size_t i = 0; i < 9; i += 3) {
+    EXPECT_DOUBLE_EQ(obs[i], 1.0);
+    EXPECT_DOUBLE_EQ(obs[i + 1], 1.0);
+    EXPECT_DOUBLE_EQ(obs[i + 2], 0.0);
+  }
+  MonitorReport mi;
+  mi.duration_s = 0.1;
+  mi.packets_sent = 20;
+  mi.packets_acked = 10;
+  mi.avg_rtt_s = 0.05;
+  tracker.Push(mi);
+  obs.clear();
+  tracker.AppendObservation(&obs);
+  // Newest entry is at the end: send ratio 2.0.
+  EXPECT_DOUBLE_EQ(obs[6], 2.0);
+  EXPECT_DOUBLE_EQ(obs[0], 1.0);  // padding still at the front
+}
+
+TEST(MiHistoryTrackerTest, LatencyRatioAndGradient) {
+  MiHistoryTracker tracker(2);
+  MonitorReport mi;
+  mi.duration_s = 0.1;
+  mi.packets_sent = 10;
+  mi.packets_acked = 10;
+  mi.avg_rtt_s = 0.04;
+  tracker.Push(mi);
+  mi.avg_rtt_s = 0.08;  // latency doubled
+  tracker.Push(mi);
+  std::vector<double> obs;
+  tracker.AppendObservation(&obs);
+  ASSERT_EQ(obs.size(), 6u);
+  EXPECT_DOUBLE_EQ(obs[3 + 1], 2.0);               // latency ratio vs min history
+  EXPECT_NEAR(obs[3 + 2], (0.08 - 0.04) / 0.1, 1e-12);  // gradient
+}
+
+TEST(MiHistoryTrackerTest, ClampsExtremes) {
+  MiHistoryTracker tracker(1);
+  MonitorReport mi;
+  mi.duration_s = 0.001;
+  mi.packets_sent = 1000;
+  mi.packets_acked = 1;
+  mi.avg_rtt_s = 0.001;
+  tracker.Push(mi);
+  mi.avg_rtt_s = 10.0;
+  tracker.Push(mi);
+  std::vector<double> obs;
+  tracker.AppendObservation(&obs);
+  EXPECT_LE(obs[0], MiHistoryTracker::kMaxSendRatio);
+  EXPECT_LE(obs[1], MiHistoryTracker::kMaxLatencyRatio);
+  EXPECT_LE(std::abs(obs[2]), MiHistoryTracker::kMaxLatencyGradient);
+}
+
+TEST(CcEnvTest, ObservationLayoutWithWeight) {
+  CcEnvConfig config;
+  config.history_len = 5;
+  CcEnv env(config, 3);
+  env.SetObjective(WeightVector(0.7, 0.2, 0.1));
+  const std::vector<double> obs = env.Reset();
+  ASSERT_EQ(obs.size(), env.ObservationDim());
+  ASSERT_EQ(obs.size(), 3u + 15u);
+  EXPECT_DOUBLE_EQ(obs[0], 0.7);
+  EXPECT_DOUBLE_EQ(obs[1], 0.2);
+  EXPECT_DOUBLE_EQ(obs[2], 0.1);
+}
+
+TEST(CcEnvTest, ObservationLayoutWithoutWeightIsAurora) {
+  CcEnvConfig config;
+  config.history_len = 5;
+  config.include_weight_in_obs = false;
+  CcEnv env(config, 3);
+  const std::vector<double> obs = env.Reset();
+  EXPECT_EQ(obs.size(), 15u);
+}
+
+TEST(CcEnvTest, EpisodeTerminatesAtMaxSteps) {
+  CcEnvConfig config;
+  config.max_steps_per_episode = 10;
+  CcEnv env(config, 5);
+  env.Reset();
+  int steps = 0;
+  bool done = false;
+  while (!done) {
+    done = env.Step(0.0).done;
+    ++steps;
+    ASSERT_LE(steps, 10);
+  }
+  EXPECT_EQ(steps, 10);
+}
+
+TEST(CcEnvTest, RewardInUnitIntervalForValidWeights) {
+  CcEnvConfig config;
+  CcEnv env(config, 7);
+  env.SetObjective(WeightVector(0.5, 0.3, 0.2));
+  env.Reset();
+  for (int i = 0; i < 100; ++i) {
+    const StepResult r = env.Step(i % 2 == 0 ? 1.0 : -1.0);
+    EXPECT_GE(r.reward, 0.0);
+    EXPECT_LE(r.reward, 1.0);
+  }
+}
+
+TEST(CcEnvTest, FixedLinkIsRespected) {
+  CcEnvConfig config;
+  CcEnv env(config, 9);
+  LinkParams link;
+  link.bandwidth_bps = 3.3e6;
+  link.one_way_delay_s = 0.025;
+  env.SetFixedLink(link);
+  env.Reset();
+  EXPECT_DOUBLE_EQ(env.current_link().bandwidth_bps, 3.3e6);
+  EXPECT_DOUBLE_EQ(env.current_link().one_way_delay_s, 0.025);
+  env.Reset();
+  EXPECT_DOUBLE_EQ(env.current_link().bandwidth_bps, 3.3e6);  // still fixed
+}
+
+TEST(CcEnvTest, SustainedPositiveActionsSaturateLink) {
+  CcEnvConfig config;
+  CcEnv env(config, 11);
+  LinkParams link;
+  link.bandwidth_bps = 4e6;
+  link.one_way_delay_s = 0.02;
+  link.queue_capacity_pkts = 100;
+  env.SetFixedLink(link);
+  env.SetObjective(ThroughputObjective());
+  env.Reset();
+  for (int i = 0; i < 200; ++i) {
+    env.Step(2.0);
+  }
+  EXPECT_GT(env.last_report().throughput_bps, 0.9 * 4e6);
+  EXPECT_GE(env.current_rate_bps(), 4e6);
+}
+
+TEST(CcEnvTest, SustainedNegativeActionsHitTrainingFloor) {
+  CcEnvConfig config;
+  config.min_rate_fraction_of_bw = 0.2;
+  CcEnv env(config, 13);
+  LinkParams link;
+  link.bandwidth_bps = 4e6;
+  env.SetFixedLink(link);
+  env.Reset();
+  for (int i = 0; i < 400; ++i) {
+    env.Step(-2.0);
+  }
+  EXPECT_NEAR(env.current_rate_bps(), 0.2 * 4e6, 1e3);
+}
+
+TEST(CcEnvTest, GroundTruthVsEstimatedRewardModes) {
+  LinkParams link;
+  link.bandwidth_bps = 4e6;
+  link.one_way_delay_s = 0.02;
+  CcEnvConfig config;
+  config.ground_truth_reward = false;
+  CcEnv env(config, 15);
+  env.SetFixedLink(link);
+  env.SetObjective(ThroughputObjective());
+  env.Reset();
+  // With estimated capacity, the reward's throughput term is relative to the best
+  // observed throughput, so after a long underutilized phase it stays near w_thr-scaled
+  // values without exceeding 1.
+  for (int i = 0; i < 50; ++i) {
+    const StepResult r = env.Step(0.0);
+    EXPECT_GE(r.reward, 0.0);
+    EXPECT_LE(r.reward, 1.0);
+  }
+}
+
+TEST(CcEnvTest, DeterministicEpisodesGivenSeed) {
+  auto run = [](uint64_t seed) {
+    CcEnvConfig config;
+    CcEnv env(config, seed);
+    env.SetObjective(BalancedObjective());
+    env.Reset();
+    double total = 0.0;
+    for (int i = 0; i < 50; ++i) {
+      total += env.Step(0.3).reward;
+    }
+    return total;
+  };
+  EXPECT_DOUBLE_EQ(run(77), run(77));
+  EXPECT_NE(run(77), run(78));
+}
+
+}  // namespace
+}  // namespace mocc

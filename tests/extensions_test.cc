@@ -1,0 +1,339 @@
+// Tests for the extension features: TCP NewReno, heterogeneous-RTT flows,
+// mahimahi-format traces, model sharing (§7 federated averaging) and the
+// application-requirement-to-weight mapper (§7).
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/newreno.h"
+#include "src/core/datapath.h"
+#include "src/core/model_sharing.h"
+#include "src/core/weight_mapper.h"
+#include "src/netsim/fluid_link.h"
+#include "src/netsim/packet_network.h"
+
+namespace mocc {
+namespace {
+
+AckInfo MakeAck(double time_s, double rtt_s) {
+  AckInfo ack;
+  ack.ack_time_s = time_s;
+  ack.send_time_s = time_s - rtt_s;
+  ack.rtt_s = rtt_s;
+  return ack;
+}
+
+TEST(NewRenoTest, SlowStartDoublesThenLinearGrowth) {
+  NewRenoCc reno;
+  EXPECT_TRUE(reno.in_slow_start());
+  const double w0 = reno.CwndPackets();
+  for (int i = 0; i < static_cast<int>(w0); ++i) {
+    reno.OnAck(MakeAck(1.0 + i * 0.001, 0.04));
+  }
+  EXPECT_NEAR(reno.CwndPackets(), 2 * w0, 1.0);
+
+  LossInfo loss;
+  loss.detect_time_s = 2.0;
+  reno.OnPacketLost(loss);
+  EXPECT_FALSE(reno.in_slow_start());
+  const double after_loss = reno.CwndPackets();
+  EXPECT_NEAR(after_loss, w0, 1.0);  // halved
+
+  // Congestion avoidance: ~+1 per RTT.
+  const int cwnd = static_cast<int>(after_loss);
+  for (int i = 0; i < cwnd; ++i) {
+    reno.OnAck(MakeAck(3.0 + i * 0.001, 0.04));
+  }
+  EXPECT_NEAR(reno.CwndPackets(), after_loss + 1.0, 0.2);
+}
+
+TEST(NewRenoTest, LossBurstIsOneEvent) {
+  NewRenoCc reno;
+  for (int i = 0; i < 60; ++i) {
+    reno.OnAck(MakeAck(1.0 + i * 0.001, 0.04));
+  }
+  LossInfo loss;
+  loss.detect_time_s = 2.0;
+  reno.OnPacketLost(loss);
+  const double once = reno.CwndPackets();
+  loss.detect_time_s = 2.005;
+  reno.OnPacketLost(loss);
+  EXPECT_DOUBLE_EQ(reno.CwndPackets(), once);
+}
+
+TEST(NewRenoTest, TimeoutEntersSlowStart) {
+  NewRenoCc reno;
+  for (int i = 0; i < 60; ++i) {
+    reno.OnAck(MakeAck(1.0 + i * 0.001, 0.04));
+  }
+  reno.OnTimeout(3.0);
+  EXPECT_DOUBLE_EQ(reno.CwndPackets(), 2.0);
+  EXPECT_TRUE(reno.in_slow_start());
+}
+
+TEST(NewRenoTest, FillsCleanPipe) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.one_way_delay_s = 0.02;
+  p.queue_capacity_pkts = static_cast<int>(p.BdpPackets()) + 20;
+  PacketNetwork net(p, 3);
+  const int flow = net.AddFlow(std::make_unique<NewRenoCc>());
+  net.Run(20.0);
+  EXPECT_GT(net.record(flow).AvgThroughputBps(5.0, 20.0) / p.bandwidth_bps, 0.6);
+}
+
+TEST(ExtraDelayTest, PerFlowRttDiffers) {
+  LinkParams p;
+  p.bandwidth_bps = 20e6;
+  p.one_way_delay_s = 0.010;
+  PacketNetwork net(p, 5);
+  FlowOptions near_opts;
+  FlowOptions far_opts;
+  far_opts.extra_one_way_delay_s = 0.040;
+  const int near_flow = net.AddFlow(std::make_unique<NewRenoCc>(), near_opts);
+  const int far_flow = net.AddFlow(std::make_unique<NewRenoCc>(), far_opts);
+  net.Run(10.0);
+  EXPECT_NEAR(net.record(near_flow).min_rtt_s, 0.020, 0.005);
+  EXPECT_NEAR(net.record(far_flow).min_rtt_s, 0.100, 0.01);
+}
+
+TEST(MahimahiTest, ConstantRateTimestampsGiveConstantBandwidth) {
+  // One packet per ms = 12 Mbps.
+  std::vector<double> stamps;
+  for (int ms = 0; ms < 3000; ++ms) {
+    stamps.push_back(static_cast<double>(ms));
+  }
+  const BandwidthTrace trace = BandwidthTrace::FromMahimahiTimestamps(stamps, 1.0);
+  EXPECT_NEAR(trace.BandwidthAt(0.5, 0.0), 12e6, 1e4);
+  EXPECT_NEAR(trace.BandwidthAt(2.5, 0.0), 12e6, 1e4);
+}
+
+TEST(MahimahiTest, StepChangeIsCaptured) {
+  std::vector<double> stamps;
+  for (int ms = 0; ms < 1000; ms += 2) {  // 6 Mbps for 1 s
+    stamps.push_back(static_cast<double>(ms));
+  }
+  for (int ms = 1000; ms < 2000; ++ms) {  // 12 Mbps for 1 s
+    stamps.push_back(static_cast<double>(ms));
+  }
+  const BandwidthTrace trace = BandwidthTrace::FromMahimahiTimestamps(stamps, 0.5);
+  EXPECT_NEAR(trace.BandwidthAt(0.25, 0.0), 6e6, 3e5);
+  EXPECT_NEAR(trace.BandwidthAt(1.25, 0.0), 12e6, 3e5);
+}
+
+TEST(MahimahiTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mocc_mahimahi_test.trace";
+  {
+    std::string contents;
+    for (int ms = 0; ms < 2000; ms += 4) {  // 3 Mbps
+      contents += std::to_string(ms) + "\n";
+    }
+    ASSERT_TRUE(WriteFile(path, contents));
+  }
+  const BandwidthTrace trace = BandwidthTrace::FromMahimahiFile(path);
+  EXPECT_NEAR(trace.BandwidthAt(1.0, 0.0), 3e6, 2e5);
+  EXPECT_TRUE(BandwidthTrace::FromMahimahiFile("/nonexistent.trace").empty());
+}
+
+MoccConfig TinyConfig() {
+  MoccConfig config;
+  config.history_len_eta = 4;
+  config.pn_hidden = 8;
+  config.pn_out = 8;
+  config.trunk_hidden = {16, 8};
+  return config;
+}
+
+TEST(ModelSharingTest, AverageOfIdenticalModelsIsIdentity) {
+  const MoccConfig config = TinyConfig();
+  Rng rng(7);
+  auto model = std::make_shared<PreferenceActorCritic>(config, &rng);
+  auto avg = FederatedAverage({{model, 1.0}, {model, 3.0}}, config);
+  ASSERT_NE(avg, nullptr);
+  std::vector<double> obs(model->obs_dim(), 0.2);
+  EXPECT_NEAR(avg->ActionMean(obs), model->ActionMean(obs), 1e-9);
+}
+
+TEST(ModelSharingTest, WeightedAverageInterpolatesParameters) {
+  const MoccConfig config = TinyConfig();
+  Rng r1(1);
+  Rng r2(2);
+  auto a = std::make_shared<PreferenceActorCritic>(config, &r1);
+  auto b = std::make_shared<PreferenceActorCritic>(config, &r2);
+  auto avg = FederatedAverage({{a, 1.0}, {b, 1.0}}, config);
+  ASSERT_NE(avg, nullptr);
+  const double pa = a->Params()[0].value->data()[0];
+  const double pb = b->Params()[0].value->data()[0];
+  EXPECT_NEAR(avg->Params()[0].value->data()[0], 0.5 * (pa + pb), 1e-12);
+  // 3:1 weighting.
+  auto skewed = FederatedAverage({{a, 3.0}, {b, 1.0}}, config);
+  EXPECT_NEAR(skewed->Params()[0].value->data()[0], 0.75 * pa + 0.25 * pb, 1e-12);
+}
+
+TEST(ModelSharingTest, RejectsInvalidInput) {
+  const MoccConfig config = TinyConfig();
+  EXPECT_EQ(FederatedAverage({}, config), nullptr);
+  Rng rng(3);
+  auto model = std::make_shared<PreferenceActorCritic>(config, &rng);
+  EXPECT_EQ(FederatedAverage({{model, 0.0}}, config), nullptr);  // non-positive weight
+  MoccConfig other = config;
+  other.history_len_eta = 6;
+  EXPECT_EQ(FederatedAverage({{model, 1.0}}, other), nullptr);  // architecture mismatch
+}
+
+TEST(ModelSharingTest, BlendTauExtremes) {
+  const MoccConfig config = TinyConfig();
+  Rng r1(1);
+  Rng r2(2);
+  PreferenceActorCritic base(config, &r1);
+  PreferenceActorCritic update(config, &r2);
+  std::vector<double> obs(base.obs_dim(), -0.1);
+  const double base_out = base.ActionMean(obs);
+  const double update_out = update.ActionMean(obs);
+
+  auto clone_owner = base.Clone();
+  auto* tau0 = static_cast<PreferenceActorCritic*>(clone_owner.get());
+  ASSERT_TRUE(BlendModel(tau0, update, 0.0));
+  EXPECT_NEAR(tau0->ActionMean(obs), base_out, 1e-9);
+
+  auto clone_owner2 = base.Clone();
+  auto* tau1 = static_cast<PreferenceActorCritic*>(clone_owner2.get());
+  ASSERT_TRUE(BlendModel(tau1, update, 1.0));
+  EXPECT_NEAR(tau1->ActionMean(obs), update_out, 1e-9);
+}
+
+TEST(WeightMapperTest, ThroughputRequirementPushesWeightToThroughput) {
+  // An untrained model responds to weights arbitrarily but deterministically; use a
+  // trained-ish tiny model so behaviour is monotone enough. Here we verify mechanics:
+  // the mapper returns a valid on-grid weight and coherent achieved metrics.
+  const MoccConfig config = TinyConfig();
+  Rng rng(11);
+  auto model = std::make_shared<PreferenceActorCritic>(config, &rng);
+  AppRequirements req;
+  req.min_throughput_bps = 1e6;
+  LinkParams link;
+  link.bandwidth_bps = 4e6;
+  link.one_way_delay_s = 0.02;
+  WeightMapperConfig mapper_config;
+  mapper_config.grid_divisor = 5;
+  mapper_config.eval_intervals = 60;
+  const WeightSuggestion suggestion = SuggestWeights(model, req, link, mapper_config);
+  EXPECT_TRUE(suggestion.weights.IsValid());
+  EXPECT_GE(suggestion.throughput_bps, 0.0);
+  EXPECT_LE(suggestion.throughput_bps, link.bandwidth_bps * 1.01);
+}
+
+TEST(WeightMapperTest, InfeasibleRequirementsReported) {
+  const MoccConfig config = TinyConfig();
+  Rng rng(13);
+  auto model = std::make_shared<PreferenceActorCritic>(config, &rng);
+  AppRequirements req;
+  req.min_throughput_bps = 1e9;  // impossible on a 4 Mbps link
+  LinkParams link;
+  link.bandwidth_bps = 4e6;
+  WeightMapperConfig mapper_config;
+  mapper_config.grid_divisor = 4;
+  mapper_config.eval_intervals = 40;
+  const WeightSuggestion suggestion = SuggestWeights(model, req, link, mapper_config);
+  EXPECT_FALSE(suggestion.feasible);
+}
+
+TEST(WeightMapperTest, NoRequirementsAnySuggestionFeasible) {
+  const MoccConfig config = TinyConfig();
+  Rng rng(17);
+  auto model = std::make_shared<PreferenceActorCritic>(config, &rng);
+  const WeightSuggestion suggestion =
+      SuggestWeights(model, AppRequirements{}, LinkParams{},
+                     WeightMapperConfig{.grid_divisor = 4, .eval_intervals = 40});
+  EXPECT_TRUE(suggestion.feasible);
+}
+
+// --- Cross-substrate consistency ------------------------------------------------------
+
+class FixedRateProbe : public CongestionControl {
+ public:
+  explicit FixedRateProbe(double rate_bps) : rate_bps_(rate_bps) {}
+  CcMode Mode() const override { return CcMode::kRateBased; }
+  std::string Name() const override { return "probe"; }
+  double PacingRateBps() const override { return rate_bps_; }
+
+ private:
+  double rate_bps_;
+};
+
+struct ConsistencyCase {
+  double rate_bps;
+  double bandwidth_bps;
+};
+
+class SubstrateConsistencyTest : public ::testing::TestWithParam<ConsistencyCase> {};
+
+TEST_P(SubstrateConsistencyTest, FluidAndPacketAgreeOnThroughput) {
+  // The training substrate (fluid) and the evaluation substrate (packet-level) must
+  // agree on first-order behaviour, or policies trained on one would not transfer to
+  // the other.
+  const ConsistencyCase& c = GetParam();
+  LinkParams link;
+  link.bandwidth_bps = c.bandwidth_bps;
+  link.one_way_delay_s = 0.02;
+  link.queue_capacity_pkts = 200;
+
+  FluidLink fluid(link, 1, /*stochastic_loss=*/false);
+  double fluid_thr = 0.0;
+  int n = 0;
+  for (int i = 0; i < 100; ++i) {
+    const MonitorReport r = fluid.Step(c.rate_bps, 0.1);
+    if (i >= 50) {
+      fluid_thr += r.throughput_bps;
+      ++n;
+    }
+  }
+  fluid_thr /= n;
+
+  PacketNetwork net(link, 5);
+  const int flow = net.AddFlow(std::make_unique<FixedRateProbe>(c.rate_bps));
+  net.Run(10.0);
+  const double packet_thr = net.record(flow).AvgThroughputBps(5.0, 10.0);
+
+  EXPECT_NEAR(packet_thr / fluid_thr, 1.0, 0.1)
+      << "fluid " << fluid_thr << " vs packet " << packet_thr;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SubstrateConsistencyTest,
+                         ::testing::Values(ConsistencyCase{2e6, 10e6},   // underload
+                                           ConsistencyCase{8e6, 10e6},   // near capacity
+                                           ConsistencyCase{15e6, 10e6},  // overload
+                                           ConsistencyCase{4e6, 5e6}));
+
+TEST(DatapathEquivalenceTest, CcpBatchOfOneMatchesUdt) {
+  // Property: with batch_size = 1 the kernel-style shim degenerates to the user-space
+  // shim — same inference count and same rate decisions for the same feedback stream.
+  const MoccConfig config = TinyConfig();
+  Rng r1(21);
+  auto model = std::make_shared<PreferenceActorCritic>(config, &r1);
+  MoccApi::Options options;
+  options.config = config;
+  auto api_udt = std::make_shared<MoccApi>(model, options);
+  auto api_ccp = std::make_shared<MoccApi>(model, options);
+  api_udt->Register(ThroughputObjective());
+  api_ccp->Register(ThroughputObjective());
+  UdtShimDatapath udt(api_udt);
+  CcpShimDatapath ccp(api_ccp, /*batch_size=*/1);
+  for (int i = 0; i < 20; ++i) {
+    MonitorReport report;
+    report.duration_s = 0.05;
+    report.throughput_bps = 2e6 + 1e5 * (i % 7);
+    report.send_rate_bps = report.throughput_bps;
+    report.packets_sent = 10;
+    report.packets_acked = 10;
+    report.avg_rtt_s = 0.04 + 0.002 * (i % 3);
+    report.min_rtt_s = 0.04;
+    udt.OnNetworkTick(report);
+    ccp.OnNetworkTick(report);
+    ASSERT_DOUBLE_EQ(udt.SendingRateBps(), ccp.SendingRateBps());
+  }
+  EXPECT_EQ(udt.control_invocations(), ccp.control_invocations());
+}
+
+}  // namespace
+}  // namespace mocc

@@ -1,0 +1,183 @@
+// End-to-end integration tests: a (small-budget) offline-trained MOCC model deployed
+// through MakeMoccCc into the packet-level simulator, exercising the full
+// train -> serialize -> deploy -> simulate pipeline and the paper's headline behaviours
+// at reduced scale.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/mocc_cc.h"
+#include "src/core/offline_trainer.h"
+#include "src/core/online_adapter.h"
+#include "src/netsim/packet_network.h"
+
+namespace mocc {
+namespace {
+
+// One small model shared by all tests in this binary (trained once; ~15 s).
+class MoccIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    OfflineTrainConfig config;
+    config.seed = 7;
+    config.bootstrap_iterations = 60;
+    config.traversal_rounds = 2;
+    Rng rng(config.seed);
+    model_ = std::make_shared<PreferenceActorCritic>(config.mocc, &rng);
+    OfflineTrainer trainer(model_.get(), config);
+    trainer.TrainTwoPhase();
+  }
+
+  static void TearDownTestSuite() { model_.reset(); }
+
+  struct RunResult {
+    double utilization = 0.0;
+    double avg_rtt_s = 0.0;
+    double loss_rate = 0.0;
+  };
+
+  static RunResult RunOnLink(const WeightVector& w, const LinkParams& link,
+                             double duration_s, uint64_t seed) {
+    PacketNetwork net(link, seed);
+    const int flow = net.AddFlow(MakeMoccCc(model_, w));
+    net.Run(duration_s);
+    RunResult result;
+    const FlowRecord& rec = net.record(flow);
+    result.utilization =
+        rec.AvgThroughputBps(duration_s / 2, duration_s) / link.bandwidth_bps;
+    result.avg_rtt_s = rec.AvgRttS();
+    result.loss_rate = rec.LossRate();
+    return result;
+  }
+
+  static std::shared_ptr<PreferenceActorCritic> model_;
+};
+
+std::shared_ptr<PreferenceActorCritic> MoccIntegrationTest::model_;
+
+TEST_F(MoccIntegrationTest, ThroughputObjectiveFillsThePipe) {
+  LinkParams link;
+  link.bandwidth_bps = 12e6;
+  link.one_way_delay_s = 0.02;
+  link.queue_capacity_pkts = 500;
+  const RunResult r = RunOnLink(ThroughputObjective(), link, 40.0, 11);
+  EXPECT_GT(r.utilization, 0.75);
+}
+
+TEST_F(MoccIntegrationTest, LatencyObjectiveKeepsQueueShort) {
+  LinkParams link;
+  link.bandwidth_bps = 12e6;
+  link.one_way_delay_s = 0.02;
+  link.queue_capacity_pkts = 500;
+  const RunResult thr = RunOnLink(ThroughputObjective(), link, 40.0, 13);
+  const RunResult lat = RunOnLink(LatencyObjective(), link, 40.0, 13);
+  // The latency-preferring application must see lower RTT than the
+  // throughput-preferring one — the core multi-objective claim.
+  EXPECT_LT(lat.avg_rtt_s, thr.avg_rtt_s + 1e-9);
+  EXPECT_LT(lat.avg_rtt_s, link.BaseRttS() * 1.5);
+}
+
+TEST_F(MoccIntegrationTest, RobustToRandomLoss) {
+  // Test-range condition (Table 3): loss far beyond anything catastrophic for
+  // loss-based CC; MOCC's throughput objective should still deliver.
+  LinkParams link;
+  link.bandwidth_bps = 12e6;
+  link.one_way_delay_s = 0.02;
+  link.queue_capacity_pkts = 800;
+  link.random_loss_rate = 0.03;
+  const RunResult r = RunOnLink(ThroughputObjective(), link, 40.0, 17);
+  EXPECT_GT(r.utilization, 0.6);
+}
+
+TEST_F(MoccIntegrationTest, SerializationPreservesDeployedBehaviour) {
+  const std::string path = ::testing::TempDir() + "/mocc_integration_model.bin";
+  ASSERT_TRUE(model_->SaveToFile(path));
+  auto loaded = PreferenceActorCritic::LoadFromFile(path, model_->config());
+  ASSERT_NE(loaded, nullptr);
+
+  LinkParams link;
+  link.bandwidth_bps = 8e6;
+  link.one_way_delay_s = 0.015;
+  link.queue_capacity_pkts = 300;
+
+  auto run = [&](std::shared_ptr<PreferenceActorCritic> m) {
+    PacketNetwork net(link, 23);
+    const int flow = net.AddFlow(MakeMoccCc(m, BalancedObjective()));
+    net.Run(15.0);
+    return net.record(flow).total_acked;
+  };
+  EXPECT_EQ(run(model_), run(loaded));
+}
+
+TEST_F(MoccIntegrationTest, TwoMoccFlowsWithSameWeightShareFairly) {
+  LinkParams link;
+  link.bandwidth_bps = 12e6;
+  link.one_way_delay_s = 0.02;
+  link.queue_capacity_pkts = static_cast<int>(link.BdpPackets());
+  PacketNetwork net(link, 29);
+  const int f1 = net.AddFlow(MakeMoccCc(model_, ThroughputObjective(), "MOCC-1"));
+  const int f2 = net.AddFlow(MakeMoccCc(model_, ThroughputObjective(), "MOCC-2"));
+  net.Run(60.0);
+  const double t1 = net.record(f1).AvgThroughputBps(30.0, 60.0);
+  const double t2 = net.record(f2).AvgThroughputBps(30.0, 60.0);
+  const double share = t1 / std::max(1.0, t1 + t2);
+  EXPECT_GT(share, 0.25);
+  EXPECT_LT(share, 0.75);
+}
+
+TEST_F(MoccIntegrationTest, HigherThroughputWeightGrabsMoreBandwidth) {
+  LinkParams link;
+  link.bandwidth_bps = 12e6;
+  link.one_way_delay_s = 0.02;
+  link.queue_capacity_pkts = static_cast<int>(link.BdpPackets());
+  PacketNetwork net(link, 31);
+  const int aggressive = net.AddFlow(MakeMoccCc(model_, ThroughputObjective()));
+  const int polite = net.AddFlow(MakeMoccCc(model_, LatencyObjective()));
+  net.Run(60.0);
+  const double ta = net.record(aggressive).AvgThroughputBps(30.0, 60.0);
+  const double tp = net.record(polite).AvgThroughputBps(30.0, 60.0);
+  EXPECT_GT(ta, tp);
+}
+
+TEST_F(MoccIntegrationTest, OnlineAdaptationDoesNotForgetOldObjective) {
+  // Reduced-scale Figure 7b: adapt a clone to a new objective with requirement replay
+  // and verify the old objective's policy survives.
+  auto clone_base = model_->Clone();
+  auto* clone = static_cast<PreferenceActorCritic*>(clone_base.get());
+
+  const WeightVector old_objective = ThroughputObjective();
+  const WeightVector new_objective(0.15, 0.15, 0.70);
+
+  CcEnvConfig eval_config = model_->config().MakeEnvConfig();
+  CcEnv eval_env(eval_config, 999);
+  eval_env.SetObjective(old_objective);
+  auto eval_old = [&](PreferenceActorCritic* m) {
+    CcEnv env(eval_config, 999);
+    env.SetObjective(old_objective);
+    double total = 0.0;
+    std::vector<double> obs = env.Reset();
+    for (int i = 0; i < 300; ++i) {
+      const StepResult r = env.Step(m->ActionMean(obs));
+      total += r.reward;
+      obs = r.done ? env.Reset() : r.observation;
+    }
+    return total / 300.0;
+  };
+
+  const double before = eval_old(clone);
+  CcEnv adapt_env(model_->config().MakeEnvConfig(), 1000);
+  OnlineAdaptConfig config;
+  config.mocc = model_->config();
+  config.rollout_steps = 512;
+  OnlineAdapter adapter(clone, &adapt_env, config);
+  adapter.RememberObjective(old_objective);
+  for (int i = 0; i < 6; ++i) {
+    adapter.AdaptIteration(new_objective);
+  }
+  const double after = eval_old(clone);
+  // <15% relative regression at this tiny budget (paper: <5% at full budget).
+  EXPECT_GT(after, before * 0.85);
+}
+
+}  // namespace
+}  // namespace mocc

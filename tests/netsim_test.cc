@@ -1,0 +1,430 @@
+// Tests for the network simulation substrate: the fluid training link and the
+// packet-level event simulator, including conservation properties, droptail behaviour,
+// loss accounting, bandwidth traces and failure injection.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/netsim/cc_interface.h"
+#include "src/netsim/fluid_link.h"
+#include "src/netsim/link_params.h"
+#include "src/netsim/packet_network.h"
+
+namespace mocc {
+namespace {
+
+// Fixed-rate congestion control used to probe the simulators.
+class FixedRateCc : public CongestionControl {
+ public:
+  explicit FixedRateCc(double rate_bps) : rate_bps_(rate_bps) {}
+  CcMode Mode() const override { return CcMode::kRateBased; }
+  std::string Name() const override { return "FixedRate"; }
+  double PacingRateBps() const override { return rate_bps_; }
+  void set_rate(double r) { rate_bps_ = r; }
+
+  int monitor_calls = 0;
+  MonitorReport last_report;
+  void OnMonitorInterval(const MonitorReport& report) override {
+    ++monitor_calls;
+    last_report = report;
+  }
+
+ private:
+  double rate_bps_;
+};
+
+// Fixed-window congestion control.
+class FixedWindowCc : public CongestionControl {
+ public:
+  explicit FixedWindowCc(double cwnd) : cwnd_(cwnd) {}
+  CcMode Mode() const override { return CcMode::kWindowBased; }
+  std::string Name() const override { return "FixedWindow"; }
+  double CwndPackets() const override { return cwnd_; }
+  int timeouts = 0;
+  void OnTimeout(double) override { ++timeouts; }
+
+ private:
+  double cwnd_;
+};
+
+TEST(LinkParamsTest, DerivedQuantities) {
+  LinkParams p;
+  p.bandwidth_bps = 12e6;
+  p.one_way_delay_s = 0.02;
+  EXPECT_DOUBLE_EQ(p.BaseRttS(), 0.04);
+  EXPECT_NEAR(p.BdpPackets(), 12e6 * 0.04 / 12000.0, 1e-9);
+}
+
+TEST(LinkParamsTest, RangeSamplingWithinBounds) {
+  Rng rng(5);
+  const LinkParamsRange range = TrainingRange();
+  for (int i = 0; i < 200; ++i) {
+    const LinkParams p = range.Sample(&rng);
+    EXPECT_GE(p.bandwidth_bps, range.min_bandwidth_bps);
+    EXPECT_LE(p.bandwidth_bps, range.max_bandwidth_bps);
+    EXPECT_GE(p.one_way_delay_s, range.min_one_way_delay_s);
+    EXPECT_LE(p.one_way_delay_s, range.max_one_way_delay_s);
+    EXPECT_GE(p.queue_capacity_pkts, range.min_queue_pkts);
+    EXPECT_LE(p.queue_capacity_pkts, range.max_queue_pkts);
+    EXPECT_GE(p.random_loss_rate, range.min_loss_rate);
+    EXPECT_LE(p.random_loss_rate, range.max_loss_rate);
+  }
+}
+
+TEST(BandwidthTraceTest, StepsApplyInOrder) {
+  BandwidthTrace trace;
+  trace.AddStep(10.0, 5e6);
+  trace.AddStep(5.0, 2e6);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(0.0, 1e6), 1e6);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(5.0, 1e6), 2e6);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(7.0, 1e6), 2e6);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(11.0, 1e6), 5e6);
+}
+
+TEST(BandwidthTraceTest, OscillatingAlternates) {
+  const BandwidthTrace t = BandwidthTrace::Oscillating(2e6, 3e6, 5.0, 20.0);
+  EXPECT_DOUBLE_EQ(t.BandwidthAt(1.0, 0.0), 3e6);
+  EXPECT_DOUBLE_EQ(t.BandwidthAt(6.0, 0.0), 2e6);
+  EXPECT_DOUBLE_EQ(t.BandwidthAt(11.0, 0.0), 3e6);
+}
+
+TEST(FluidLinkTest, UnderloadDeliversEverything) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.one_way_delay_s = 0.02;
+  p.random_loss_rate = 0.0;
+  FluidLink link(p, 1);
+  const MonitorReport r = link.Step(5e6, 1.0);
+  EXPECT_NEAR(r.throughput_bps, 5e6, 1e3);
+  EXPECT_EQ(r.packets_lost, 0);
+  EXPECT_NEAR(r.loss_rate, 0.0, 1e-9);
+  EXPECT_GE(r.avg_rtt_s, p.BaseRttS());
+}
+
+TEST(FluidLinkTest, OverloadBuildsQueueAndInflatesRtt) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.one_way_delay_s = 0.02;
+  p.queue_capacity_pkts = 10000;
+  FluidLink link(p, 1);
+  const MonitorReport r1 = link.Step(20e6, 1.0);
+  EXPECT_NEAR(r1.throughput_bps, 10e6, 1e3);  // capped at capacity
+  EXPECT_GT(link.queue_bits(), 0.0);
+  const MonitorReport r2 = link.Step(20e6, 1.0);
+  EXPECT_GT(r2.avg_rtt_s, r1.avg_rtt_s);  // queue keeps growing
+}
+
+TEST(FluidLinkTest, QueueDrainsWhenRateDrops) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.queue_capacity_pkts = 10000;
+  FluidLink link(p, 1);
+  link.Step(20e6, 1.0);
+  const double backlog = link.queue_bits();
+  ASSERT_GT(backlog, 0.0);
+  link.Step(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(link.queue_bits(), 0.0);
+}
+
+TEST(FluidLinkTest, DroptailCapsBacklog) {
+  LinkParams p;
+  p.bandwidth_bps = 1e6;
+  p.queue_capacity_pkts = 100;
+  FluidLink link(p, 1);
+  link.Step(50e6, 1.0);
+  EXPECT_LE(link.queue_bits(), 100.0 * kDefaultPacketSizeBits + 1.0);
+  const MonitorReport r = link.Step(50e6, 1.0);
+  EXPECT_GT(r.loss_rate, 0.9);  // nearly everything dropped
+}
+
+TEST(FluidLinkTest, DeterministicLossMatchesExpectation) {
+  LinkParams p;
+  p.bandwidth_bps = 100e6;
+  p.random_loss_rate = 0.02;
+  FluidLink link(p, 1, /*stochastic_loss=*/false);
+  const MonitorReport r = link.Step(10e6, 1.0);
+  EXPECT_NEAR(r.loss_rate, 0.02, 1e-3);
+}
+
+TEST(FluidLinkTest, StochasticLossHasCorrectMean) {
+  LinkParams p;
+  p.bandwidth_bps = 100e6;
+  p.random_loss_rate = 0.05;
+  FluidLink link(p, 42, /*stochastic_loss=*/true);
+  double lost = 0.0;
+  double sent = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const MonitorReport r = link.Step(10e6, 0.1);
+    lost += static_cast<double>(r.packets_lost);
+    sent += static_cast<double>(r.packets_sent);
+  }
+  EXPECT_NEAR(lost / sent, 0.05, 0.01);
+}
+
+TEST(FluidLinkTest, TraceChangesCapacity) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  FluidLink link(p, 1);
+  BandwidthTrace trace;
+  trace.AddStep(0.0, 2e6);
+  link.SetBandwidthTrace(trace);
+  const MonitorReport r = link.Step(10e6, 1.0);
+  EXPECT_NEAR(r.throughput_bps, 2e6, 1e3);
+}
+
+TEST(FluidLinkTest, MonotoneThroughputInBandwidth) {
+  // Property: more bandwidth never reduces delivered throughput.
+  double prev = 0.0;
+  for (double bw = 2e6; bw <= 20e6; bw += 2e6) {
+    LinkParams p;
+    p.bandwidth_bps = bw;
+    FluidLink link(p, 1, false);
+    const MonitorReport r = link.Step(30e6, 1.0);
+    EXPECT_GE(r.throughput_bps + 1.0, prev);
+    prev = r.throughput_bps;
+  }
+}
+
+TEST(PacketNetworkTest, ConservationSentEqualsAckedPlusLostPlusInflight) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.one_way_delay_s = 0.01;
+  p.queue_capacity_pkts = 50;
+  p.random_loss_rate = 0.01;
+  PacketNetwork net(p, 7);
+  const int flow = net.AddFlow(std::make_unique<FixedRateCc>(12e6));
+  net.Run(10.0);
+  const FlowRecord& rec = net.record(flow);
+  EXPECT_GT(rec.total_sent, 0);
+  // In-flight packets are those sent but not yet acked or declared lost.
+  const int64_t accounted = rec.total_acked + rec.total_lost;
+  EXPECT_LE(accounted, rec.total_sent);
+  // At 10s with ~30ms feedback delay the unaccounted tail is small.
+  EXPECT_LT(rec.total_sent - accounted, 200);
+}
+
+TEST(PacketNetworkTest, UnderloadedFlowSeesBaseRttAndNoLoss) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.one_way_delay_s = 0.02;
+  p.queue_capacity_pkts = 100;
+  PacketNetwork net(p, 7);
+  const int flow = net.AddFlow(std::make_unique<FixedRateCc>(2e6));
+  net.Run(5.0);
+  const FlowRecord& rec = net.record(flow);
+  EXPECT_EQ(rec.total_lost, 0);
+  EXPECT_NEAR(rec.min_rtt_s, p.BaseRttS() + 12000.0 / 10e6, 2e-3);
+  EXPECT_NEAR(rec.AvgThroughputBps(1.0, 5.0), 2e6, 0.1e6);
+}
+
+TEST(PacketNetworkTest, OverloadedFlowSaturatesLinkAndDrops) {
+  LinkParams p;
+  p.bandwidth_bps = 5e6;
+  p.one_way_delay_s = 0.01;
+  p.queue_capacity_pkts = 20;
+  PacketNetwork net(p, 7);
+  const int flow = net.AddFlow(std::make_unique<FixedRateCc>(10e6));
+  net.Run(5.0);
+  const FlowRecord& rec = net.record(flow);
+  EXPECT_NEAR(rec.AvgThroughputBps(1.0, 5.0), 5e6, 0.3e6);
+  EXPECT_GT(rec.total_lost, 0);
+}
+
+TEST(PacketNetworkTest, QueueingInflatesRtt) {
+  LinkParams p;
+  p.bandwidth_bps = 5e6;
+  p.one_way_delay_s = 0.01;
+  p.queue_capacity_pkts = 200;
+  PacketNetwork net(p, 7);
+  auto cc = std::make_unique<FixedRateCc>(6e6);  // 20% overload -> standing queue
+  FixedRateCc* cc_raw = cc.get();
+  const int flow = net.AddFlow(std::move(cc));
+  net.Run(5.0);
+  EXPECT_GT(cc_raw->last_report.avg_rtt_s, 2.0 * p.BaseRttS());
+  EXPECT_GT(net.record(flow).AvgRttS(), p.BaseRttS());
+}
+
+TEST(PacketNetworkTest, RandomLossStatisticsMatchConfig) {
+  LinkParams p;
+  p.bandwidth_bps = 20e6;
+  p.one_way_delay_s = 0.01;
+  p.queue_capacity_pkts = 1000;
+  p.random_loss_rate = 0.03;
+  PacketNetwork net(p, 11);
+  const int flow = net.AddFlow(std::make_unique<FixedRateCc>(5e6));
+  net.Run(20.0);
+  const FlowRecord& rec = net.record(flow);
+  EXPECT_NEAR(rec.LossRate(), 0.03, 0.01);
+}
+
+TEST(PacketNetworkTest, BandwidthTraceChangesDeliveryRate) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.one_way_delay_s = 0.01;
+  p.queue_capacity_pkts = 50;
+  PacketNetwork net(p, 13);
+  BandwidthTrace trace;
+  trace.AddStep(0.0, 10e6);
+  trace.AddStep(5.0, 2e6);
+  net.SetBandwidthTrace(trace);
+  const int flow = net.AddFlow(std::make_unique<FixedRateCc>(20e6));
+  net.Run(10.0);
+  const FlowRecord& rec = net.record(flow);
+  EXPECT_NEAR(rec.AvgThroughputBps(1.0, 5.0), 10e6, 1e6);
+  EXPECT_NEAR(rec.AvgThroughputBps(6.0, 10.0), 2e6, 0.5e6);
+}
+
+TEST(PacketNetworkTest, TwoEqualFlowsShareFairly) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.one_way_delay_s = 0.02;
+  p.queue_capacity_pkts = 60;
+  PacketNetwork net(p, 17);
+  const int f1 = net.AddFlow(std::make_unique<FixedRateCc>(8e6));
+  const int f2 = net.AddFlow(std::make_unique<FixedRateCc>(8e6));
+  net.Run(20.0);
+  const double t1 = net.record(f1).AvgThroughputBps(2.0, 20.0);
+  const double t2 = net.record(f2).AvgThroughputBps(2.0, 20.0);
+  EXPECT_NEAR(t1 / (t1 + t2), 0.5, 0.1);
+  EXPECT_NEAR(t1 + t2, 10e6, 1e6);
+}
+
+TEST(PacketNetworkTest, StaggeredStartAndStopRespected) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.one_way_delay_s = 0.01;
+  PacketNetwork net(p, 19);
+  FlowOptions opts;
+  opts.start_time_s = 2.0;
+  opts.stop_time_s = 4.0;
+  const int flow = net.AddFlow(std::make_unique<FixedRateCc>(2e6), opts);
+  net.Run(8.0);
+  const FlowRecord& rec = net.record(flow);
+  EXPECT_GE(rec.first_send_time_s, 2.0);
+  EXPECT_LE(rec.last_ack_time_s, 4.5);
+}
+
+TEST(PacketNetworkTest, WindowFlowIsAckClocked) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.one_way_delay_s = 0.02;
+  p.queue_capacity_pkts = 500;
+  PacketNetwork net(p, 23);
+  const int flow = net.AddFlow(std::make_unique<FixedWindowCc>(10.0));
+  net.Run(5.0);
+  const FlowRecord& rec = net.record(flow);
+  // Throughput of a fixed window = cwnd / RTT.
+  const double expected = 10.0 * 12000.0 / (p.BaseRttS() + 12000.0 / 10e6);
+  EXPECT_NEAR(rec.AvgThroughputBps(1.0, 5.0), expected, 0.15 * expected);
+}
+
+TEST(PacketNetworkTest, MonitorIntervalsReported) {
+  LinkParams p;
+  p.bandwidth_bps = 5e6;
+  p.one_way_delay_s = 0.02;
+  PacketNetwork net(p, 29);
+  auto cc = std::make_unique<FixedRateCc>(2e6);
+  FixedRateCc* raw = cc.get();
+  net.AddFlow(std::move(cc));
+  net.Run(5.0);
+  EXPECT_GT(raw->monitor_calls, 50);
+  EXPECT_GT(raw->last_report.packets_acked, 0);
+  EXPECT_NEAR(raw->last_report.send_rate_bps, 2e6, 0.4e6);
+}
+
+TEST(PacketNetworkTest, PauseStopsTransmission) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.one_way_delay_s = 0.01;
+  PacketNetwork net(p, 31);
+  const int flow = net.AddFlow(std::make_unique<FixedRateCc>(5e6));
+  net.Run(2.0);
+  const int64_t sent_before = net.record(flow).total_sent;
+  net.PauseFlow(flow);
+  net.Run(4.0);
+  EXPECT_LE(net.record(flow).total_sent - sent_before, 1);
+  net.ResumeFlow(flow);
+  net.Run(6.0);
+  EXPECT_GT(net.record(flow).total_sent, sent_before + 100);
+}
+
+TEST(PacketNetworkTest, RunUntilStopsOnPredicate) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.one_way_delay_s = 0.01;
+  PacketNetwork net(p, 37);
+  const int flow = net.AddFlow(std::make_unique<FixedRateCc>(5e6));
+  net.RunUntil([&]() { return net.record(flow).bits_acked >= 1'000'000; }, 100.0);
+  EXPECT_GE(net.record(flow).bits_acked, 1'000'000);
+  EXPECT_LT(net.now_s(), 10.0);
+}
+
+TEST(PacketNetworkTest, TotalLossBurstTriggersTimeout) {
+  // Failure injection: a window flow whose packets are all lost must recover via RTO
+  // instead of deadlocking.
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.one_way_delay_s = 0.01;
+  p.random_loss_rate = 1.0;  // everything dropped
+  PacketNetwork net(p, 41);
+  auto cc = std::make_unique<FixedWindowCc>(10.0);
+  FixedWindowCc* raw = cc.get();
+  net.AddFlow(std::move(cc));
+  net.Run(10.0);
+  EXPECT_EQ(net.record(0).total_acked, 0);
+  EXPECT_GT(net.record(0).total_sent, 0);
+  (void)raw;
+}
+
+TEST(PacketNetworkTest, ZeroBandwidthDoesNotCrash) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.one_way_delay_s = 0.01;
+  PacketNetwork net(p, 43);
+  BandwidthTrace trace;
+  trace.AddStep(0.0, 0.0);  // dead link
+  net.SetBandwidthTrace(trace);
+  net.AddFlow(std::make_unique<FixedRateCc>(1e6));
+  net.Run(2.0);
+  EXPECT_EQ(net.record(0).total_acked, 0);
+}
+
+TEST(PacketNetworkTest, DeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    LinkParams p;
+    p.bandwidth_bps = 8e6;
+    p.one_way_delay_s = 0.015;
+    p.random_loss_rate = 0.02;
+    p.queue_capacity_pkts = 40;
+    PacketNetwork net(p, seed);
+    const int flow = net.AddFlow(std::make_unique<FixedRateCc>(9e6));
+    net.Run(5.0);
+    return net.record(flow).total_acked;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(FlowRecordTest, BinnedThroughputAndGaps) {
+  FlowRecord rec;
+  rec.keep_delivery_times = true;
+  rec.RecordAck(0.5, 12000);
+  rec.RecordAck(1.5, 12000);
+  rec.RecordAck(1.7, 12000);
+  rec.RecordDelivery(0.4);
+  rec.RecordDelivery(0.6);
+  rec.RecordDelivery(1.0);
+  const auto bins = rec.BinnedThroughputMbps(0.0, 2.0, 1.0);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_NEAR(bins[0], 0.012, 1e-9);
+  EXPECT_NEAR(bins[1], 0.024, 1e-9);
+  const auto gaps = rec.InterDeliveryGapsS();
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_NEAR(gaps[0], 0.2, 1e-9);
+  EXPECT_NEAR(gaps[1], 0.4, 1e-9);
+}
+
+}  // namespace
+}  // namespace mocc

@@ -1,0 +1,292 @@
+// Unit and property tests for the neural-network substrate: matrix algebra, MLP
+// forward/backward (finite-difference gradient checks across architectures), optimizers
+// and serialization.
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/matrix.h"
+#include "src/nn/mlp.h"
+#include "src/nn/optimizer.h"
+
+namespace mocc {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  m(1, 2) = -4.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), -4.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.5);
+}
+
+TEST(MatrixTest, MatMulMatchesHandComputation) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  const Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(MatrixTest, TransposedProductsAgreeWithExplicitTranspose) {
+  Rng rng(3);
+  Matrix a(4, 3);
+  Matrix b(4, 5);
+  a.FillNormal(&rng, 1.0);
+  b.FillNormal(&rng, 1.0);
+  // aT * b via MatMulTransposeA.
+  const Matrix c1 = MatMulTransposeA(a, b);
+  Matrix at(3, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      at(j, i) = a(i, j);
+    }
+  }
+  const Matrix c2 = MatMul(at, b);
+  ASSERT_EQ(c1.size(), c2.size());
+  for (size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1.data()[i], c2.data()[i], 1e-12);
+  }
+  // a * dT via MatMulTransposeB: a(4,3) x d(5,3)T -> (4,5).
+  Matrix d(5, 3);
+  d.FillNormal(&rng, 1.0);
+  Matrix dt(3, 5);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      dt(j, i) = d(i, j);
+    }
+  }
+  const Matrix e1 = MatMulTransposeB(a, d);
+  const Matrix e2 = MatMul(a, dt);
+  ASSERT_EQ(e1.rows(), e2.rows());
+  ASSERT_EQ(e1.cols(), e2.cols());
+  for (size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_NEAR(e1.data()[i], e2.data()[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, RowHelpersAndBias) {
+  Matrix m(2, 2, 0.0);
+  m.SetRow(0, {1.0, 2.0});
+  m.SetRow(1, {3.0, 4.0});
+  EXPECT_EQ(m.Row(1), (std::vector<double>{3.0, 4.0}));
+  Matrix bias(1, 2);
+  bias(0, 0) = 10.0;
+  bias(0, 1) = 20.0;
+  AddRowBias(&m, bias);
+  EXPECT_DOUBLE_EQ(m(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 24.0);
+  const Matrix sums = ColumnSums(m);
+  EXPECT_DOUBLE_EQ(sums(0, 0), 11.0 + 13.0);
+  EXPECT_DOUBLE_EQ(sums(0, 1), 22.0 + 24.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m(1, 2);
+  m(0, 0) = 3.0;
+  m(0, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(m), 5.0);
+}
+
+TEST(ActivationTest, TanhAndRelu) {
+  Matrix m(1, 3);
+  m(0, 0) = -1.0;
+  m(0, 1) = 0.0;
+  m(0, 2) = 2.0;
+  Matrix t = m;
+  ApplyActivation(Activation::kTanh, &t);
+  EXPECT_NEAR(t(0, 0), std::tanh(-1.0), 1e-12);
+  Matrix r = m;
+  ApplyActivation(Activation::kRelu, &r);
+  EXPECT_DOUBLE_EQ(r(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r(0, 2), 2.0);
+}
+
+// Property: analytic MLP gradients match central finite differences for a variety of
+// architectures and activations.
+struct MlpGradCase {
+  std::vector<size_t> dims;
+  Activation hidden;
+  Activation output;
+};
+
+class MlpGradientTest : public ::testing::TestWithParam<MlpGradCase> {};
+
+TEST_P(MlpGradientTest, MatchesFiniteDifference) {
+  const MlpGradCase& param = GetParam();
+  Rng rng(17);
+  Mlp net(param.dims, param.hidden, param.output, &rng);
+  const size_t in = param.dims.front();
+  const size_t out = param.dims.back();
+  Matrix x(3, in);
+  x.FillNormal(&rng, 1.0);
+
+  // Loss: L = sum of 0.5*y^2 so dL/dy = y.
+  auto loss = [&](Mlp* m) {
+    const Matrix y = m->Forward(x);
+    double l = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) {
+      l += 0.5 * y.data()[i] * y.data()[i];
+    }
+    return l;
+  };
+
+  net.ZeroGrad();
+  Matrix y = net.Forward(x);
+  net.Backward(y);
+
+  auto params = net.Params();
+  double max_rel = 0.0;
+  for (auto& p : params) {
+    const size_t stride = std::max<size_t>(1, p.value->size() / 7);
+    for (size_t k = 0; k < p.value->size(); k += stride) {
+      double* w = &p.value->data()[k];
+      const double orig = *w;
+      const double eps = 1e-6;
+      *w = orig + eps;
+      const double lp = loss(&net);
+      *w = orig - eps;
+      const double lm = loss(&net);
+      *w = orig;
+      const double fd = (lp - lm) / (2.0 * eps);
+      const double an = p.grad->data()[k];
+      const double denom = std::max({1e-8, std::abs(fd), std::abs(an)});
+      if (std::abs(fd) > 1e-10 || std::abs(an) > 1e-10) {
+        max_rel = std::max(max_rel, std::abs(fd - an) / denom);
+      }
+    }
+  }
+  EXPECT_LT(max_rel, 1e-5) << "gradient mismatch (out dim " << out << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, MlpGradientTest,
+    ::testing::Values(MlpGradCase{{4, 8, 1}, Activation::kTanh, Activation::kIdentity},
+                      MlpGradCase{{3, 16, 8, 1}, Activation::kTanh, Activation::kIdentity},
+                      MlpGradCase{{5, 8, 4}, Activation::kRelu, Activation::kIdentity},
+                      MlpGradCase{{2, 6, 6, 3}, Activation::kTanh, Activation::kTanh},
+                      MlpGradCase{{7, 12, 2}, Activation::kIdentity, Activation::kIdentity}));
+
+TEST(MlpTest, DimsAndParameterCount) {
+  Rng rng(5);
+  Mlp net({33, 64, 32, 1}, Activation::kTanh, Activation::kIdentity, &rng);
+  EXPECT_EQ(net.in_dim(), 33u);
+  EXPECT_EQ(net.out_dim(), 1u);
+  EXPECT_EQ(net.ParameterCount(), 33u * 64 + 64 + 64 * 32 + 32 + 32 * 1 + 1);
+}
+
+TEST(MlpTest, CopyWeightsMakesForwardIdentical) {
+  Rng r1(1);
+  Rng r2(2);
+  Mlp a({4, 8, 2}, Activation::kTanh, Activation::kIdentity, &r1);
+  Mlp b({4, 8, 2}, Activation::kTanh, Activation::kIdentity, &r2);
+  Matrix x(2, 4);
+  x.FillNormal(&r1, 1.0);
+  b.CopyWeightsFrom(a);
+  const Matrix ya = a.Forward(x);
+  const Matrix yb = b.Forward(x);
+  for (size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ya.data()[i], yb.data()[i]);
+  }
+}
+
+TEST(MlpTest, SoftUpdateInterpolates) {
+  Rng r1(1);
+  Rng r2(2);
+  Mlp a({2, 3, 1}, Activation::kTanh, Activation::kIdentity, &r1);
+  Mlp b({2, 3, 1}, Activation::kTanh, Activation::kIdentity, &r2);
+  auto pa = a.Params();
+  auto pb = b.Params();
+  const double wa = pa[0].value->data()[0];
+  const double wb = pb[0].value->data()[0];
+  a.SoftUpdateFrom(b, 0.25);
+  EXPECT_NEAR(a.Params()[0].value->data()[0], 0.75 * wa + 0.25 * wb, 1e-12);
+}
+
+TEST(MlpTest, SerializationRoundTrip) {
+  Rng r1(1);
+  Rng r2(99);
+  Mlp a({3, 5, 2}, Activation::kTanh, Activation::kIdentity, &r1);
+  Mlp b({3, 5, 2}, Activation::kTanh, Activation::kIdentity, &r2);
+  std::stringstream ss;
+  BinaryWriter w(ss, "NNTEST__", 1);
+  a.Serialize(&w);
+  BinaryReader r(ss, "NNTEST__", 1);
+  ASSERT_TRUE(b.Deserialize(&r));
+  Matrix x(1, 3);
+  x.FillNormal(&r1, 1.0);
+  const Matrix ya = a.Forward(x);
+  const Matrix yb = b.Forward(x);
+  for (size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ya.data()[i], yb.data()[i]);
+  }
+}
+
+TEST(MlpTest, DeserializeRejectsWrongShape) {
+  Rng r1(1);
+  Mlp a({3, 5, 2}, Activation::kTanh, Activation::kIdentity, &r1);
+  Mlp b({3, 4, 2}, Activation::kTanh, Activation::kIdentity, &r1);
+  std::stringstream ss;
+  BinaryWriter w(ss, "NNTEST__", 1);
+  a.Serialize(&w);
+  BinaryReader r(ss, "NNTEST__", 1);
+  EXPECT_FALSE(b.Deserialize(&r));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize f(w) = sum (w_i - target_i)^2.
+  Matrix w(1, 4, 0.0);
+  Matrix g(1, 4, 0.0);
+  const double targets[] = {1.0, -2.0, 0.5, 3.0};
+  AdamOptimizer opt(0.05);
+  std::vector<ParamRef> params = {{&w, &g}};
+  for (int it = 0; it < 600; ++it) {
+    for (size_t i = 0; i < 4; ++i) {
+      g(0, i) = 2.0 * (w(0, i) - targets[i]);
+    }
+    opt.Step(params);
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w(0, i), targets[i], 1e-3);
+  }
+}
+
+TEST(SgdTest, MovesAgainstGradient) {
+  Matrix w(1, 1, 5.0);
+  Matrix g(1, 1, 2.0);
+  SgdOptimizer opt(0.1);
+  opt.Step({{&w, &g}});
+  EXPECT_DOUBLE_EQ(w(0, 0), 4.8);
+}
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  Matrix w(1, 2);
+  Matrix g(1, 2);
+  g(0, 0) = 3.0;
+  g(0, 1) = 4.0;
+  std::vector<ParamRef> params = {{&w, &g}};
+  const double norm = ClipGradNorm(params, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(std::hypot(g(0, 0), g(0, 1)), 1.0, 1e-12);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Matrix w(1, 1);
+  Matrix g(1, 1, 0.5);
+  const double norm = ClipGradNorm({{&w, &g}}, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 0.5);
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.5);
+}
+
+}  // namespace
+}  // namespace mocc

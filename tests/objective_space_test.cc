@@ -1,0 +1,176 @@
+// Tests for the landmark-objective space: simplex grid cardinalities (the ω values of
+// Figure 16), the Appendix-B neighborhood predicate (including the paper's worked
+// examples), and Algorithm 1's sorting invariants.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/objective_space.h"
+
+namespace mocc {
+namespace {
+
+TEST(WeightGridTest, CardinalityMatchesFigure16) {
+  // Step sizes 1/4, 1/5, 1/6, 1/10, 1/20 -> omega = 3, 6, 10, 36, 171.
+  EXPECT_EQ(GenerateWeightGrid(4).size(), 3u);
+  EXPECT_EQ(GenerateWeightGrid(5).size(), 6u);
+  EXPECT_EQ(GenerateWeightGrid(6).size(), 10u);
+  EXPECT_EQ(GenerateWeightGrid(10).size(), 36u);
+  EXPECT_EQ(GenerateWeightGrid(20).size(), 171u);
+}
+
+class GridPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridPropertyTest, AllPointsValidAndUnique) {
+  const int divisor = GetParam();
+  const auto grid = GenerateWeightGrid(divisor);
+  EXPECT_EQ(static_cast<int>(grid.size()), ObjectiveGridSize(divisor));
+  std::set<std::pair<int, int>> seen;
+  for (const auto& w : grid) {
+    EXPECT_TRUE(w.IsValid()) << w;
+    const int a = static_cast<int>(std::lround(w.thr * divisor));
+    const int b = static_cast<int>(std::lround(w.lat * divisor));
+    EXPECT_TRUE(seen.insert({a, b}).second) << "duplicate " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, GridPropertyTest, ::testing::Values(4, 5, 6, 10, 20));
+
+TEST(NeighborTest, PaperExamplesAtStepTenth) {
+  // Appendix B's worked examples at step size 0.1.
+  EXPECT_TRUE(AreNeighborObjectives({0.2, 0.4, 0.4}, {0.2, 0.5, 0.3}, 10));
+  EXPECT_TRUE(AreNeighborObjectives({0.2, 0.4, 0.4}, {0.1, 0.5, 0.4}, 10));
+  EXPECT_FALSE(AreNeighborObjectives({0.2, 0.4, 0.4}, {0.1, 0.3, 0.6}, 10));
+}
+
+TEST(NeighborTest, SelfIsNotNeighbor) {
+  EXPECT_FALSE(AreNeighborObjectives({0.3, 0.3, 0.4}, {0.3, 0.3, 0.4}, 10));
+}
+
+TEST(NeighborTest, TwoStepDifferenceIsNotNeighbor) {
+  EXPECT_FALSE(AreNeighborObjectives({0.2, 0.4, 0.4}, {0.4, 0.2, 0.4}, 10));
+}
+
+TEST(NeighborTest, SymmetricPredicate) {
+  const auto grid = GenerateWeightGrid(6);
+  for (const auto& a : grid) {
+    for (const auto& b : grid) {
+      EXPECT_EQ(AreNeighborObjectives(a, b, 6), AreNeighborObjectives(b, a, 6));
+    }
+  }
+}
+
+TEST(ObjectiveGraphTest, ClosestVertexFindsExactMatches) {
+  const auto grid = GenerateWeightGrid(10);
+  ObjectiveGraph graph(grid, 10);
+  for (size_t i = 0; i < grid.size(); i += 5) {
+    EXPECT_EQ(graph.ClosestVertex(grid[i]), static_cast<int>(i));
+  }
+}
+
+TEST(ObjectiveGraphTest, GridIsConnected) {
+  const auto grid = GenerateWeightGrid(10);
+  ObjectiveGraph graph(grid, 10);
+  // BFS from vertex 0 must reach everything.
+  std::vector<bool> seen(grid.size(), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int nb : graph.NeighborsOf(v)) {
+      if (!seen[static_cast<size_t>(nb)]) {
+        seen[static_cast<size_t>(nb)] = true;
+        ++count;
+        stack.push_back(nb);
+      }
+    }
+  }
+  EXPECT_EQ(count, grid.size());
+}
+
+class TraversalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraversalPropertyTest, Algorithm1ProducesValidOrdering) {
+  const int divisor = GetParam();
+  const auto grid = GenerateWeightGrid(divisor);
+  ObjectiveGraph graph(grid, divisor);
+  const auto bootstraps = DefaultBootstrapObjectives();
+  const std::vector<int> order = graph.SortForTraversal(bootstraps);
+
+  // Invariant 1: a permutation of all vertices.
+  ASSERT_EQ(order.size(), grid.size());
+  std::set<int> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), grid.size());
+
+  // Invariant 2: the first vertex is a bootstrap objective (its closest grid vertex).
+  EXPECT_EQ(order.front(), graph.ClosestVertex(bootstraps.front()));
+
+  // Invariant 3: every vertex (beyond the first of each quota block) is reachable from
+  // some earlier vertex in the order through the neighbor graph — transfer always has a
+  // trained neighbor to start from.
+  std::set<int> placed = {order.front()};
+  int disconnected = 0;
+  for (size_t i = 1; i < order.size(); ++i) {
+    bool has_trained_neighbor = false;
+    for (int nb : graph.NeighborsOf(order[i])) {
+      if (placed.count(nb) > 0) {
+        has_trained_neighbor = true;
+        break;
+      }
+    }
+    // Quota switches (new bootstrap source) may jump; count them.
+    if (!has_trained_neighbor) {
+      ++disconnected;
+    }
+    placed.insert(order[i]);
+  }
+  // At most one jump per bootstrap source.
+  EXPECT_LE(disconnected, static_cast<int>(bootstraps.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, TraversalPropertyTest, ::testing::Values(5, 6, 10, 20));
+
+TEST(TraversalTest, InterleavesAroundBootstrapSources) {
+  const auto grid = GenerateWeightGrid(10);
+  ObjectiveGraph graph(grid, 10);
+  const auto bootstraps = DefaultBootstrapObjectives();
+  const auto order = graph.SortForTraversal(bootstraps);
+  // Each bootstrap's closest vertex appears within the first |quota| positions of its
+  // block; with 36 vertices and 3 sources the quota is 12.
+  const int quota = 12;
+  std::vector<int> srcs;
+  for (const auto& b : bootstraps) {
+    srcs.push_back(graph.ClosestVertex(b));
+  }
+  // Source 0 leads block 0.
+  EXPECT_EQ(order[0], srcs[0]);
+  // Source 1 and 2 lead their own blocks (unless already visited).
+  auto pos = [&](int v) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == v) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  EXPECT_LT(pos(srcs[0]), quota);
+  EXPECT_GE(pos(srcs[1]), 0);
+  EXPECT_GE(pos(srcs[2]), 0);
+}
+
+TEST(BootstrapObjectivesTest, MatchAppendixB) {
+  const auto b = DefaultBootstrapObjectives();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b[0].AlmostEquals({0.6, 0.3, 0.1}, 1e-9));
+  EXPECT_TRUE(b[1].AlmostEquals({0.1, 0.6, 0.3}, 1e-9));
+  EXPECT_TRUE(b[2].AlmostEquals({0.3, 0.1, 0.6}, 1e-9));
+  for (const auto& w : b) {
+    EXPECT_TRUE(w.IsValid());
+  }
+}
+
+}  // namespace
+}  // namespace mocc

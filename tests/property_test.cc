@@ -1,0 +1,168 @@
+// Cross-cutting property tests: randomized packet-simulator invariants, fluid-link
+// latency monotonicity, Algorithm-1/trainer consistency, and serialization fuzzing.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/objective_space.h"
+#include "src/core/offline_trainer.h"
+#include "src/netsim/fluid_link.h"
+#include "src/netsim/packet_network.h"
+
+namespace mocc {
+namespace {
+
+class ProbeCc : public CongestionControl {
+ public:
+  ProbeCc(double rate_bps, double cwnd, CcMode mode)
+      : rate_bps_(rate_bps), cwnd_(cwnd), mode_(mode) {}
+  CcMode Mode() const override { return mode_; }
+  std::string Name() const override { return "probe"; }
+  double PacingRateBps() const override { return rate_bps_; }
+  double CwndPackets() const override { return cwnd_; }
+
+ private:
+  double rate_bps_;
+  double cwnd_;
+  CcMode mode_;
+};
+
+// Property: across random link configurations and flow mixes, the packet simulator
+// conserves packets (acked + lost <= sent, with a bounded in-flight tail) and never
+// delivers more than the link can carry.
+class RandomizedSimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomizedSimTest, ConservationAndCapacity) {
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  LinkParams link;
+  link.bandwidth_bps = rng.Uniform(2e6, 40e6);
+  link.one_way_delay_s = rng.Uniform(0.005, 0.1);
+  link.queue_capacity_pkts = static_cast<int>(rng.UniformInt(10, 2000));
+  link.random_loss_rate = rng.Uniform(0.0, 0.05);
+
+  PacketNetwork net(link, rng.NextU64());
+  const int flows = static_cast<int>(rng.UniformInt(1, 4));
+  for (int f = 0; f < flows; ++f) {
+    const bool rate_based = rng.Bernoulli(0.5);
+    FlowOptions options;
+    options.start_time_s = rng.Uniform(0.0, 2.0);
+    net.AddFlow(std::make_unique<ProbeCc>(rng.Uniform(1e6, 30e6),
+                                          rng.Uniform(4.0, 400.0),
+                                          rate_based ? CcMode::kRateBased
+                                                     : CcMode::kWindowBased),
+                options);
+  }
+  const double duration = 8.0;
+  net.Run(duration);
+
+  int64_t total_acked = 0;
+  for (int f = 0; f < flows; ++f) {
+    const FlowRecord& rec = net.record(f);
+    EXPECT_LE(rec.total_acked + rec.total_lost, rec.total_sent);
+    // The unaccounted tail is bounded by what can be in flight plus queued.
+    const int64_t tail = rec.total_sent - rec.total_acked - rec.total_lost;
+    EXPECT_LE(tail, link.queue_capacity_pkts + 100000);
+    EXPECT_GE(tail, 0);
+    total_acked += rec.total_acked;
+  }
+  // Total delivered bits cannot exceed link capacity x time (+1 queue drain).
+  const double max_bits = link.bandwidth_bps * duration +
+                          static_cast<double>(link.queue_capacity_pkts + 1) * 12000.0;
+  EXPECT_LE(static_cast<double>(total_acked) * 12000.0, max_bits * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedSimTest, ::testing::Range(0, 12));
+
+// Property: in the fluid link, reported latency is non-decreasing in offered rate
+// (M/D/1 term below capacity, backlog term above).
+TEST(FluidLatencyTest, MonotoneInOfferedRate) {
+  LinkParams link;
+  link.bandwidth_bps = 10e6;
+  link.one_way_delay_s = 0.02;
+  link.queue_capacity_pkts = 5000;
+  double prev_rtt = 0.0;
+  for (double frac : {0.1, 0.3, 0.5, 0.7, 0.85, 0.95, 1.1, 1.5}) {
+    FluidLink fluid(link, 1, /*stochastic_loss=*/false);
+    MonitorReport last;
+    for (int i = 0; i < 20; ++i) {
+      last = fluid.Step(frac * link.bandwidth_bps, 0.05);
+    }
+    EXPECT_GE(last.avg_rtt_s + 1e-9, prev_rtt) << "at fraction " << frac;
+    prev_rtt = last.avg_rtt_s;
+  }
+}
+
+// Property: the traversal order the trainer reports is exactly Algorithm 1's output
+// for the same grid and bootstraps.
+TEST(TrainerConsistencyTest, TraversalOrderMatchesAlgorithm1) {
+  OfflineTrainConfig config;
+  config.mocc.landmark_step_divisor = 5;
+  config.mocc.history_len_eta = 4;
+  config.mocc.pn_hidden = 8;
+  config.mocc.pn_out = 8;
+  config.mocc.trunk_hidden = {8};
+  config.bootstrap_iterations = 1;
+  config.traversal_rounds = 1;
+  config.traversal_iterations_per_objective = 1;
+  Rng rng(5);
+  PreferenceActorCritic model(config.mocc, &rng);
+  OfflineTrainer trainer(&model, config);
+  const OfflineTrainResult result = trainer.TrainTwoPhase();
+
+  const auto grid = GenerateWeightGrid(5);
+  const ObjectiveGraph graph(grid, 5);
+  EXPECT_EQ(result.traversal_order, graph.SortForTraversal(config.bootstrap_objectives));
+}
+
+// Property: model deserialization never crashes on corrupted bytes (flip bytes at
+// several offsets and expect clean failure or clean success, never UB/crash).
+TEST(SerializationFuzzTest, CorruptedModelFilesFailCleanly) {
+  MoccConfig config;
+  config.history_len_eta = 4;
+  config.pn_hidden = 8;
+  config.pn_out = 8;
+  config.trunk_hidden = {8};
+  Rng rng(9);
+  PreferenceActorCritic model(config, &rng);
+  const std::string path = ::testing::TempDir() + "/mocc_fuzz_model.bin";
+  ASSERT_TRUE(model.SaveToFile(path));
+  std::string blob;
+  ASSERT_TRUE(ReadFile(path, &blob));
+
+  Rng fuzz(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string corrupted = blob;
+    const size_t pos =
+        static_cast<size_t>(fuzz.UniformInt(0, static_cast<int64_t>(blob.size()) - 1));
+    corrupted[pos] = static_cast<char>(fuzz.UniformInt(0, 255));
+    const std::string fuzz_path = ::testing::TempDir() + "/mocc_fuzz_corrupt.bin";
+    ASSERT_TRUE(WriteFile(fuzz_path, corrupted));
+    // Must not crash; may load (benign flip in a weight) or fail (header/shape flip).
+    auto loaded = PreferenceActorCritic::LoadFromFile(fuzz_path, config);
+    if (loaded != nullptr) {
+      std::vector<double> obs(loaded->obs_dim(), 0.1);
+      loaded->ActionMean(obs);  // usable if it loaded
+    }
+  }
+  // Truncations must fail cleanly.
+  for (size_t keep : {size_t{0}, size_t{4}, blob.size() / 2, blob.size() - 1}) {
+    const std::string trunc_path = ::testing::TempDir() + "/mocc_fuzz_trunc.bin";
+    ASSERT_TRUE(WriteFile(trunc_path, blob.substr(0, keep)));
+    EXPECT_EQ(PreferenceActorCritic::LoadFromFile(trunc_path, config), nullptr);
+  }
+}
+
+// Property: weight-grid membership — every landmark's closest grid vertex is itself.
+TEST(ObjectiveSpaceProperty, GridIsClosedUnderClosestVertex) {
+  for (int divisor : {5, 10}) {
+    const auto grid = GenerateWeightGrid(divisor);
+    const ObjectiveGraph graph(grid, divisor);
+    for (size_t i = 0; i < grid.size(); ++i) {
+      EXPECT_EQ(graph.ClosestVertex(grid[i]), static_cast<int>(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mocc

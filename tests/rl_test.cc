@@ -1,0 +1,316 @@
+// Tests for the RL substrate: GAE on hand-computed traces, Gaussian policy math, the
+// PPO trainer (including learning a trivial control problem and the two-buffer Eq. 6
+// update path), parallel rollout collection, and DQN.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/envs/env.h"
+#include "src/rl/actor_critic.h"
+#include "src/rl/dqn.h"
+#include "src/rl/evaluate.h"
+#include "src/rl/ppo.h"
+#include "src/rl/rollout.h"
+
+namespace mocc {
+namespace {
+
+// Reward = 1 - (a - target)^2 / 10 with a constant observation; optimum a = target.
+class QuadEnv : public Env {
+ public:
+  explicit QuadEnv(double target, std::vector<double> obs = {0.5, -0.5})
+      : target_(target), obs_(std::move(obs)) {}
+  std::vector<double> Reset() override {
+    steps_ = 0;
+    return obs_;
+  }
+  StepResult Step(double a) override {
+    StepResult r;
+    r.reward = 1.0 - (a - target_) * (a - target_) / 10.0;
+    r.done = ++steps_ >= 64;
+    r.observation = obs_;
+    return r;
+  }
+  size_t ObservationDim() const override { return obs_.size(); }
+
+ private:
+  double target_;
+  std::vector<double> obs_;
+  int steps_ = 0;
+};
+
+TEST(GaussianMathTest, LogProbMatchesClosedForm) {
+  const double lp = GaussianLogProb(1.0, 0.0, 2.0);
+  const double expected = -0.5 * 0.25 - std::log(2.0) - 0.5 * std::log(2.0 * M_PI);
+  EXPECT_NEAR(lp, expected, 1e-12);
+}
+
+TEST(GaussianMathTest, EntropyIncreasesWithStd) {
+  EXPECT_LT(GaussianEntropy(0.5), GaussianEntropy(1.0));
+  EXPECT_NEAR(GaussianEntropy(1.0), 0.5 * std::log(2.0 * M_PI * std::exp(1.0)), 1e-12);
+}
+
+TEST(GaeTest, SingleStepEpisode) {
+  RolloutBuffer buf;
+  Transition t;
+  t.reward = 1.0;
+  t.value = 0.4;
+  t.done = true;
+  buf.transitions.push_back(t);
+  ComputeGae(&buf, 0.9, 0.95, /*bootstrap=*/123.0);  // bootstrap ignored: done
+  ASSERT_EQ(buf.advantages.size(), 1u);
+  EXPECT_NEAR(buf.advantages[0], 1.0 - 0.4, 1e-12);
+  EXPECT_NEAR(buf.returns[0], 1.0, 1e-12);
+}
+
+TEST(GaeTest, HandComputedTwoSteps) {
+  // gamma=0.5, lambda=1.0 (monte carlo): adv_t = G_t - V_t.
+  RolloutBuffer buf;
+  Transition t0;
+  t0.reward = 1.0;
+  t0.value = 0.0;
+  t0.done = false;
+  Transition t1;
+  t1.reward = 2.0;
+  t1.value = 0.0;
+  t1.done = true;
+  buf.transitions = {t0, t1};
+  ComputeGae(&buf, 0.5, 1.0, 0.0);
+  EXPECT_NEAR(buf.advantages[1], 2.0, 1e-12);
+  EXPECT_NEAR(buf.advantages[0], 1.0 + 0.5 * 2.0, 1e-12);
+}
+
+TEST(GaeTest, BootstrapUsedWhenTruncated) {
+  RolloutBuffer buf;
+  Transition t;
+  t.reward = 0.0;
+  t.value = 0.0;
+  t.done = false;  // truncated, not terminal
+  buf.transitions.push_back(t);
+  ComputeGae(&buf, 0.9, 1.0, /*bootstrap=*/10.0);
+  EXPECT_NEAR(buf.advantages[0], 0.9 * 10.0, 1e-12);
+}
+
+TEST(GaeTest, DoneBlocksCreditAcrossEpisodes) {
+  RolloutBuffer buf;
+  Transition t0;
+  t0.reward = 0.0;
+  t0.value = 0.0;
+  t0.done = true;  // episode boundary
+  Transition t1;
+  t1.reward = 100.0;
+  t1.value = 0.0;
+  t1.done = true;
+  buf.transitions = {t0, t1};
+  ComputeGae(&buf, 0.99, 0.95, 0.0);
+  EXPECT_NEAR(buf.advantages[0], 0.0, 1e-12);  // no leak from the next episode
+}
+
+TEST(NormalizeAdvantagesTest, ZeroMeanUnitVariance) {
+  RolloutBuffer buf;
+  buf.advantages = {1.0, 2.0, 3.0, 4.0};
+  buf.transitions.resize(4);
+  buf.returns.resize(4);
+  NormalizeAdvantages(&buf);
+  double mean = 0.0;
+  for (double a : buf.advantages) {
+    mean += a;
+  }
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+}
+
+TEST(ActorCriticTest, ForwardShapes) {
+  Rng rng(1);
+  MlpActorCritic model(6, &rng);
+  Matrix obs(5, 6);
+  obs.FillNormal(&rng, 1.0);
+  Matrix mean;
+  Matrix value;
+  model.Forward(obs, &mean, &value);
+  EXPECT_EQ(mean.rows(), 5u);
+  EXPECT_EQ(mean.cols(), 1u);
+  EXPECT_EQ(value.rows(), 5u);
+  EXPECT_EQ(value.cols(), 1u);
+}
+
+TEST(ActorCriticTest, CloneIsIndependentDeepCopy) {
+  Rng rng(2);
+  MlpActorCritic model(4, &rng);
+  auto clone = model.Clone();
+  const std::vector<double> obs = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(model.ActionMean(obs), clone->ActionMean(obs));
+  // Mutate the original; clone must not change.
+  model.Params()[0].value->data()[0] += 1.0;
+  EXPECT_NE(model.ActionMean(obs), clone->ActionMean(obs));
+}
+
+TEST(ActorCriticTest, SerializationRoundTrip) {
+  Rng r1(3);
+  Rng r2(4);
+  MlpActorCritic a(4, &r1);
+  MlpActorCritic b(4, &r2);
+  std::stringstream ss;
+  BinaryWriter w(ss, "ACTEST__", 1);
+  a.Serialize(&w);
+  BinaryReader r(ss, "ACTEST__", 1);
+  ASSERT_TRUE(b.Deserialize(&r));
+  const std::vector<double> obs = {1.0, -1.0, 0.5, 0.0};
+  EXPECT_DOUBLE_EQ(a.ActionMean(obs), b.ActionMean(obs));
+  EXPECT_DOUBLE_EQ(a.log_std(), b.log_std());
+}
+
+TEST(PpoTest, LearnsQuadraticTarget) {
+  Rng rng(3);
+  MlpActorCritic model(2, &rng, {16, 16});
+  PpoConfig config;
+  config.rollout_steps = 512;
+  config.entropy_start = 0.05;
+  config.entropy_end = 0.02;
+  config.entropy_decay_iters = 100;
+  config.seed = 5;
+  PpoTrainer trainer(&model, config);
+  QuadEnv env(1.5);
+  for (int i = 0; i < 150; ++i) {
+    trainer.TrainIteration(&env);
+  }
+  EXPECT_NEAR(model.ActionMean({0.5, -0.5}), 1.5, 0.7);
+}
+
+TEST(PpoTest, RewardImprovesOverTraining) {
+  Rng rng(6);
+  MlpActorCritic model(2, &rng, {16, 16});
+  PpoConfig config;
+  config.rollout_steps = 512;
+  config.entropy_start = 0.03;
+  config.entropy_decay_iters = 20;
+  config.seed = 10;
+  PpoTrainer trainer(&model, config);
+  QuadEnv env(-2.0);
+  const double first = trainer.TrainIteration(&env).mean_step_reward;
+  double last = first;
+  for (int i = 0; i < 30; ++i) {
+    last = trainer.TrainIteration(&env).mean_step_reward;
+  }
+  EXPECT_GT(last, first);
+}
+
+TEST(PpoTest, EntropyCoefDecaysLinearly) {
+  Rng rng(7);
+  MlpActorCritic model(2, &rng, {8});
+  PpoConfig config;
+  config.entropy_start = 1.0;
+  config.entropy_end = 0.1;
+  config.entropy_decay_iters = 10;
+  PpoTrainer trainer(&model, config);
+  EXPECT_DOUBLE_EQ(trainer.EntropyCoef(), 1.0);
+  trainer.set_iteration(5);
+  EXPECT_NEAR(trainer.EntropyCoef(), 0.55, 1e-9);
+  trainer.set_iteration(100);
+  EXPECT_DOUBLE_EQ(trainer.EntropyCoef(), 0.1);
+}
+
+TEST(PpoTest, TwoBufferUpdateImplementsJointObjective) {
+  // Eq. (6): training jointly on two quad targets lands the policy between them when
+  // the observation cannot distinguish the tasks.
+  Rng rng(8);
+  MlpActorCritic model(2, &rng, {16, 16});
+  PpoConfig config;
+  config.rollout_steps = 256;
+  config.entropy_start = 0.05;
+  config.entropy_end = 0.01;
+  config.entropy_decay_iters = 30;
+  config.seed = 11;
+  PpoTrainer trainer(&model, config);
+  QuadEnv env_a(1.0);
+  QuadEnv env_b(3.0);
+  for (int i = 0; i < 150; ++i) {
+    RolloutBuffer a = trainer.CollectRollout(&env_a, 256);
+    RolloutBuffer b = trainer.CollectRollout(&env_b, 256);
+    trainer.Update({&a, &b});
+  }
+  // The tasks are indistinguishable from the observation, so the policy must settle
+  // strictly between the two targets (pulled by both).
+  const double mean = model.ActionMean({0.5, -0.5});
+  EXPECT_GT(mean, 0.3);
+  EXPECT_LT(mean, 3.7);
+}
+
+TEST(PpoTest, ParallelRolloutsMatchConfiguredSizes) {
+  Rng rng(9);
+  MlpActorCritic model(2, &rng, {8});
+  PpoConfig config;
+  config.seed = 12;
+  PpoTrainer trainer(&model, config);
+  QuadEnv e1(0.0);
+  QuadEnv e2(1.0);
+  QuadEnv e3(2.0);
+  auto buffers = trainer.CollectRolloutsParallel({&e1, &e2, &e3}, 100);
+  ASSERT_EQ(buffers.size(), 3u);
+  for (const auto& b : buffers) {
+    EXPECT_EQ(b.size(), 100u);
+    EXPECT_EQ(b.advantages.size(), 100u);
+  }
+}
+
+TEST(PpoTest, LogStdStaysWithinBounds) {
+  Rng rng(10);
+  MlpActorCritic model(2, &rng, {8});
+  PpoConfig config;
+  config.rollout_steps = 128;
+  config.entropy_start = 50.0;  // absurdly strong entropy push
+  config.entropy_end = 50.0;
+  config.seed = 13;
+  PpoTrainer trainer(&model, config);
+  QuadEnv env(0.0);
+  for (int i = 0; i < 5; ++i) {
+    trainer.TrainIteration(&env);
+  }
+  EXPECT_LE(model.log_std(), config.log_std_max + 1e-12);
+  EXPECT_GE(model.log_std(), config.log_std_min - 1e-12);
+}
+
+TEST(EvaluateTest, CountsEpisodesAndAveratesReward) {
+  QuadEnv env(1.0);
+  const EvalResult res =
+      EvaluateActionFn([](const std::vector<double>&) { return 1.0; }, &env, 3);
+  EXPECT_EQ(res.episodes, 3);
+  EXPECT_NEAR(res.mean_step_reward, 1.0, 1e-9);  // perfect action
+  EXPECT_NEAR(res.mean_episode_return, 64.0, 1e-9);
+}
+
+TEST(DqnTest, BinToActionCoversRange) {
+  DqnConfig config;
+  config.action_bins = 5;
+  DqnTrainer trainer(2, config);
+  EXPECT_DOUBLE_EQ(trainer.BinToAction(0), -1.0);
+  EXPECT_DOUBLE_EQ(trainer.BinToAction(4), 1.0);
+  EXPECT_DOUBLE_EQ(trainer.BinToAction(2), 0.0);
+}
+
+TEST(DqnTest, EpsilonDecays) {
+  DqnConfig config;
+  config.epsilon_decay_steps = 100;
+  config.steps_per_iteration = 50;
+  DqnTrainer trainer(2, config);
+  EXPECT_DOUBLE_EQ(trainer.CurrentEpsilon(), 1.0);
+  QuadEnv env(0.0);
+  trainer.TrainIteration(&env);
+  EXPECT_LT(trainer.CurrentEpsilon(), 1.0);
+}
+
+TEST(DqnTest, LearnsQuadraticTargetWithinDiscretization) {
+  DqnConfig config;
+  config.action_bins = 9;
+  config.steps_per_iteration = 512;
+  config.epsilon_decay_steps = 4000;
+  config.seed = 21;
+  DqnTrainer trainer(2, config);
+  QuadEnv env(0.5);  // representable: bins at 0.25 spacing
+  for (int i = 0; i < 12; ++i) {
+    trainer.TrainIteration(&env);
+  }
+  EXPECT_NEAR(trainer.GreedyAction({0.5, -0.5}), 0.5, 0.3);
+}
+
+}  // namespace
+}  // namespace mocc

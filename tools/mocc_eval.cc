@@ -1,0 +1,102 @@
+// mocc_eval — evaluates a trained MOCC model across objectives and link conditions,
+// printing the achieved operating points (the multi-objective tradeoff curve).
+//
+// Usage:
+//   mocc_eval [--model PATH] [--bw MBPS] [--owd MS] [--queue PKTS] [--loss FRAC]
+//             [--intervals N]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/core/mocc_api.h"
+#include "src/core/preference_model.h"
+#include "src/netsim/fluid_link.h"
+
+int main(int argc, char** argv) {
+  using namespace mocc;
+  std::string model_path = "mocc_model.bin";
+  LinkParams link;
+  link.bandwidth_bps = 20e6;
+  link.one_way_delay_s = 0.020;
+  link.queue_capacity_pkts = 700;
+  link.random_loss_rate = 0.0;
+  int intervals = 600;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--model") {
+      model_path = next();
+    } else if (arg == "--bw") {
+      link.bandwidth_bps = std::atof(next()) * 1e6;
+    } else if (arg == "--owd") {
+      link.one_way_delay_s = std::atof(next()) / 1e3;
+    } else if (arg == "--queue") {
+      link.queue_capacity_pkts = std::atoi(next());
+    } else if (arg == "--loss") {
+      link.random_loss_rate = std::atof(next());
+    } else if (arg == "--intervals") {
+      intervals = std::atoi(next());
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: mocc_eval [--model PATH] [--bw MBPS] [--owd MS] [--queue PKTS]\n"
+                  "                 [--loss FRAC] [--intervals N]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  auto model = PreferenceActorCritic::LoadFromFile(model_path, MoccConfig{});
+  if (model == nullptr) {
+    std::fprintf(stderr,
+                 "cannot load %s (missing or architecture mismatch); train one with "
+                 "tools/mocc_train\n",
+                 model_path.c_str());
+    return 1;
+  }
+
+  std::printf("model: %s | link: %.0f Mbps, %.0f ms base RTT, %d pkt queue, %.2f%% loss\n",
+              model_path.c_str(), link.bandwidth_bps / 1e6, link.BaseRttS() * 1e3,
+              link.queue_capacity_pkts, link.random_loss_rate * 100);
+  TablePrinter t({"weight <thr,lat,loss>", "util", "avg_rtt_ms", "loss_%", "reward"});
+  const WeightVector sweep[] = {{0.8, 0.1, 0.1}, {0.6, 0.3, 0.1}, {1.0 / 3, 1.0 / 3, 1.0 / 3},
+                                {0.4, 0.5, 0.1}, {0.1, 0.8, 0.1}, {0.1, 0.1, 0.8}};
+  for (const WeightVector& w : sweep) {
+    MoccApi::Options options;
+    options.initial_rate_bps = std::max(2e6, 0.25 * link.bandwidth_bps);
+    MoccApi api(model, options);
+    api.Register(w);
+    FluidLink sim(link, 42);
+    double thr = 0.0;
+    double rtt = 0.0;
+    double loss = 0.0;
+    double reward = 0.0;
+    int measured = 0;
+    for (int i = 0; i < intervals; ++i) {
+      const MonitorReport report = sim.Step(api.GetSendingRate(), link.BaseRttS());
+      api.ReportStatus(report);
+      if (i >= intervals / 2) {
+        thr += report.throughput_bps;
+        rtt += report.avg_rtt_s;
+        loss += report.loss_rate;
+        reward += DynamicReward(w, report, link.bandwidth_bps, link.BaseRttS());
+        ++measured;
+      }
+    }
+    t.AddRow({w.ToString(), TablePrinter::Num(thr / measured / link.bandwidth_bps, 2),
+              TablePrinter::Num(rtt / measured * 1e3, 1),
+              TablePrinter::Num(loss / measured * 100, 2),
+              TablePrinter::Num(reward / measured, 3)});
+  }
+  t.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,153 @@
+// mocc_simulate — runs one congestion-control scheme on a configured bottleneck link in
+// the packet-level simulator and prints a per-second CSV timeline (throughput, RTT,
+// loss), suitable for plotting.
+//
+// Usage:
+//   mocc_simulate --scheme NAME [--model PATH] [--weights T,L,S] [--bw MBPS] [--owd MS]
+//                 [--queue PKTS] [--loss FRAC] [--duration S] [--seed N]
+//                 [--mahimahi TRACE]
+//
+//   NAME in {mocc, cubic, newreno, vegas, bbr, copa, allegro, vivace}
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/baselines/allegro.h"
+#include "src/baselines/bbr.h"
+#include "src/baselines/copa.h"
+#include "src/baselines/cubic.h"
+#include "src/baselines/newreno.h"
+#include "src/baselines/vegas.h"
+#include "src/baselines/vivace.h"
+#include "src/core/mocc_cc.h"
+#include "src/core/preference_model.h"
+#include "src/netsim/packet_network.h"
+
+int main(int argc, char** argv) {
+  using namespace mocc;
+  std::string scheme = "mocc";
+  std::string model_path = "mocc_model.bin";
+  std::string mahimahi_path;
+  WeightVector weights = ThroughputObjective();
+  LinkParams link;
+  link.bandwidth_bps = 20e6;
+  link.one_way_delay_s = 0.020;
+  link.queue_capacity_pkts = 700;
+  double duration = 60.0;
+  uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scheme") {
+      scheme = next();
+    } else if (arg == "--model") {
+      model_path = next();
+    } else if (arg == "--weights") {
+      double t = 0.0;
+      double l = 0.0;
+      double s = 0.0;
+      if (std::sscanf(next(), "%lf,%lf,%lf", &t, &l, &s) != 3) {
+        std::fprintf(stderr, "--weights expects T,L,S\n");
+        return 2;
+      }
+      weights = WeightVector(t, l, s);
+    } else if (arg == "--bw") {
+      link.bandwidth_bps = std::atof(next()) * 1e6;
+    } else if (arg == "--owd") {
+      link.one_way_delay_s = std::atof(next()) / 1e3;
+    } else if (arg == "--queue") {
+      link.queue_capacity_pkts = std::atoi(next());
+    } else if (arg == "--loss") {
+      link.random_loss_rate = std::atof(next());
+    } else if (arg == "--duration") {
+      duration = std::atof(next());
+    } else if (arg == "--seed") {
+      seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--mahimahi") {
+      mahimahi_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: mocc_simulate --scheme NAME [--model PATH] [--weights T,L,S]\n"
+          "                     [--bw MBPS] [--owd MS] [--queue PKTS] [--loss FRAC]\n"
+          "                     [--duration S] [--seed N] [--mahimahi TRACE]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<CongestionControl> cc;
+  if (scheme == "mocc") {
+    auto model = PreferenceActorCritic::LoadFromFile(model_path, MoccConfig{});
+    if (model == nullptr) {
+      std::fprintf(stderr, "cannot load %s; train one with tools/mocc_train\n",
+                   model_path.c_str());
+      return 1;
+    }
+    cc = MakeMoccCc(model, weights, "MOCC", std::max(2e6, 0.25 * link.bandwidth_bps));
+  } else if (scheme == "cubic") {
+    cc = std::make_unique<CubicCc>();
+  } else if (scheme == "newreno") {
+    cc = std::make_unique<NewRenoCc>();
+  } else if (scheme == "vegas") {
+    cc = std::make_unique<VegasCc>();
+  } else if (scheme == "bbr") {
+    cc = std::make_unique<BbrCc>();
+  } else if (scheme == "copa") {
+    cc = std::make_unique<CopaCc>();
+  } else if (scheme == "allegro") {
+    cc = std::make_unique<AllegroCc>();
+  } else if (scheme == "vivace") {
+    cc = std::make_unique<VivaceCc>();
+  } else {
+    std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
+    return 2;
+  }
+
+  PacketNetwork net(link, seed);
+  if (!mahimahi_path.empty()) {
+    BandwidthTrace trace = BandwidthTrace::FromMahimahiFile(mahimahi_path);
+    if (trace.empty()) {
+      std::fprintf(stderr, "cannot read mahimahi trace %s\n", mahimahi_path.c_str());
+      return 1;
+    }
+    net.SetBandwidthTrace(std::move(trace));
+  }
+  const int flow = net.AddFlow(std::move(cc));
+  net.Run(duration);
+
+  const FlowRecord& rec = net.record(flow);
+  std::printf("time_s,throughput_mbps,avg_rtt_ms,loss_rate\n");
+  const auto bins = rec.BinnedThroughputMbps(0.0, duration, 1.0);
+  // Per-second RTT/loss from the monitor-interval samples.
+  for (size_t s = 0; s < bins.size(); ++s) {
+    double rtt_sum = 0.0;
+    double loss_sum = 0.0;
+    int count = 0;
+    for (const auto& mi : rec.mi_samples()) {
+      if (mi.time_s >= static_cast<double>(s) && mi.time_s < static_cast<double>(s + 1)) {
+        rtt_sum += mi.avg_rtt_s;
+        loss_sum += mi.loss_rate;
+        ++count;
+      }
+    }
+    std::printf("%zu,%.3f,%.2f,%.4f\n", s, bins[s],
+                count > 0 ? rtt_sum / count * 1e3 : 0.0,
+                count > 0 ? loss_sum / count : 0.0);
+  }
+  std::fprintf(stderr, "totals: sent=%lld acked=%lld lost=%lld avg_rtt=%.1fms\n",
+               static_cast<long long>(rec.total_sent),
+               static_cast<long long>(rec.total_acked),
+               static_cast<long long>(rec.total_lost), rec.AvgRttS() * 1e3);
+  return 0;
+}
