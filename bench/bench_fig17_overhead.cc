@@ -12,8 +12,12 @@
 #include "src/baselines/bbr.h"
 #include "src/baselines/cubic.h"
 #include "src/baselines/vegas.h"
+#include "src/common/rng.h"
 #include "src/core/datapath.h"
 #include "src/core/mocc_api.h"
+#include "src/core/mocc_config.h"
+#include "src/core/preference_model.h"
+#include "src/nn/mlp.h"
 
 namespace mocc {
 namespace {
@@ -114,7 +118,95 @@ void BM_BbrTick(benchmark::State& state) {
 }
 BENCHMARK(BM_BbrTick);
 
+// ---------------------------------------------------------------------------
+// Policy-inference paths, before/after: the seed's batched single-observation
+// path (fresh allocations per layer) vs. the allocation-free batched path vs.
+// the fused single-row fast path. Inference cost does not depend on the weight
+// values, so these run on untrained models (no zoo required).
+// ---------------------------------------------------------------------------
+
+std::vector<double> InferenceObservation(size_t dim) {
+  std::vector<double> obs(dim);
+  Rng rng(99);
+  for (auto& x : obs) {
+    x = rng.Uniform(-1.0, 1.0);
+  }
+  return obs;
+}
+
+void BM_MoccInferenceSeedBatchedPath(benchmark::State& state) {
+  MoccConfig config;
+  SeedModelReplica replica(config);
+  const std::vector<double> obs = InferenceObservation(config.ObsDim());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replica.ForwardSeedStyle(obs));
+  }
+}
+BENCHMARK(BM_MoccInferenceSeedBatchedPath);
+
+void BM_MoccInferenceBatchedPath(benchmark::State& state) {
+  MoccConfig config;
+  Rng rng(1);
+  PreferenceActorCritic model(config, &rng);
+  const std::vector<double> obs = InferenceObservation(config.ObsDim());
+  Matrix x(1, obs.size());
+  Matrix mean;
+  Matrix value;
+  for (auto _ : state) {
+    x.SetRow(0, obs);
+    model.Forward(x, &mean, &value);
+    benchmark::DoNotOptimize(mean(0, 0) + value(0, 0));
+  }
+}
+BENCHMARK(BM_MoccInferenceBatchedPath);
+
+void BM_MoccInferenceFastRow(benchmark::State& state) {
+  MoccConfig config;
+  Rng rng(1);
+  PreferenceActorCritic model(config, &rng);
+  const std::vector<double> obs = InferenceObservation(config.ObsDim());
+  double mean = 0.0;
+  double value = 0.0;
+  for (auto _ : state) {
+    model.ForwardRow(obs, &mean, &value);
+    benchmark::DoNotOptimize(mean + value);
+  }
+}
+BENCHMARK(BM_MoccInferenceFastRow);
+
+// Measures the three inference paths with plain wall-clock loops and emits
+// BENCH_fig17_overhead.json so the perf trajectory is tracked across PRs.
+void EmitOverheadJson() {
+  MoccConfig config;
+  const InferencePathRates rates = MeasureInferencePaths(config);
+  const double seed_ops = rates.seed_batched_ops_per_sec;
+  const double row_ops = rates.fast_row_ops_per_sec;
+
+  BenchJson json("fig17_overhead");
+  json.Add("inference_seed_batched_ops_per_sec", seed_ops);
+  json.Add("inference_batched_ops_per_sec", rates.batched_ops_per_sec);
+  json.Add("inference_fast_row_ops_per_sec", row_ops);
+  json.Add("fast_row_speedup_vs_seed_batched", seed_ops > 0.0 ? row_ops / seed_ops : 0.0);
+  json.Add("fast_row_speedup_vs_batched",
+           rates.batched_ops_per_sec > 0.0 ? row_ops / rates.batched_ops_per_sec : 0.0);
+  json.Write();
+  std::fprintf(stderr,
+               "[fig17] single-obs inference ops/sec: seed batched %.0f, batched %.0f, "
+               "fast row %.0f (row vs seed: %.1fx)\n",
+               seed_ops, rates.batched_ops_per_sec, row_ops,
+               seed_ops > 0.0 ? row_ops / seed_ops : 0.0);
+}
+
 }  // namespace
 }  // namespace mocc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  mocc::EmitOverheadJson();
+  return 0;
+}

@@ -76,5 +76,15 @@ int main() {
             << "\n"
             << "note: hardware_concurrency=" << hw
             << "; the paper's extra 4x from parallelism requires multiple cores.\n";
+
+  BenchJson json("fig19_training_speedup");
+  json.Add("hardware_concurrency", static_cast<double>(hw));
+  json.Add("individual_wall_s", individual_s);
+  json.Add("transfer_wall_s", transfer_s);
+  json.Add("transfer_parallel_wall_s", parallel_s);
+  json.Add("transfer_speedup_vs_individual", individual_s / std::max(0.01, transfer_s));
+  json.Add("parallel_speedup_vs_individual", individual_s / std::max(0.01, parallel_s));
+  json.Add("parallel_speedup_vs_transfer", transfer_s / std::max(0.01, parallel_s));
+  json.Write();
   return 0;
 }

@@ -1,7 +1,10 @@
 #include "bench/bench_support.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "src/baselines/allegro.h"
 #include "src/baselines/bbr.h"
@@ -127,6 +130,189 @@ SingleFlowResult RunSingleFlow(const SchemeSpec& scheme, const SingleFlowRunConf
   result.reward = DynamicReward(config.reward_weights, aggregate,
                                 config.link.bandwidth_bps, config.link.BaseRttS());
   return result;
+}
+
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {}
+
+void BenchJson::Add(const std::string& key, double value) {
+  std::ostringstream out;
+  out.precision(12);
+  out << value;
+  entries_.emplace_back(key, out.str());
+}
+
+void BenchJson::AddString(const std::string& key, const std::string& value) {
+  std::string escaped = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      escaped.push_back('\\');
+    }
+    escaped.push_back(c);
+  }
+  escaped.push_back('"');
+  entries_.emplace_back(key, escaped);
+}
+
+bool BenchJson::Write() const {
+  std::ofstream out(path(), std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << "{\n  \"bench\": \"" << name_ << "\"";
+  for (const auto& [key, value] : entries_) {
+    out << ",\n  \"" << key << "\": " << value;
+  }
+  out << "\n}\n";
+  out.flush();
+  if (out.good()) {
+    std::fprintf(stderr, "[bench] wrote %s\n", path().c_str());
+    return true;
+  }
+  return false;
+}
+
+double MeasureOpsPerSec(const std::function<void()>& fn, double min_seconds) {
+  using Clock = std::chrono::steady_clock;
+  // Untimed warmup so one-time workspace growth is excluded from steady state.
+  fn();
+  int64_t calls = 0;
+  int64_t batch = 1;
+  const Clock::time_point start = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < min_seconds) {
+    for (int64_t i = 0; i < batch; ++i) {
+      fn();
+    }
+    calls += batch;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    // Grow the batch so the clock is read ~logarithmically often.
+    batch = std::min<int64_t>(batch * 2, 1 << 16);
+  }
+  return elapsed > 0.0 ? static_cast<double>(calls) / elapsed : 0.0;
+}
+
+Matrix SeedStyleMlpForward(Mlp* net, const Matrix& x, Activation output_activation) {
+  // Seed MatMul: triple loop with the aik == 0.0 skip branch.
+  const auto seed_matmul = [](const Matrix& a, const Matrix& b) {
+    Matrix c(a.rows(), b.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+      for (size_t k = 0; k < a.cols(); ++k) {
+        const double aik = a(i, k);
+        if (aik == 0.0) {
+          continue;
+        }
+        for (size_t j = 0; j < b.cols(); ++j) {
+          c(i, j) += aik * b(k, j);
+        }
+      }
+    }
+    return c;
+  };
+  auto params = net->Params();
+  const size_t layers = params.size() / 2;
+  Matrix y = x;
+  for (size_t l = 0; l < layers; ++l) {
+    const Matrix cached_input = y;  // seed DenseLayer::Forward cached a copy
+    Matrix out = seed_matmul(cached_input, *params[2 * l].value);
+    AddRowBias(&out, *params[2 * l + 1].value);
+    const Activation act = l + 1 < layers ? Activation::kTanh : output_activation;
+    if (act == Activation::kTanh) {
+      // Seed ApplyActivation: scalar libm tanh (the current one is vectorized).
+      for (size_t i = 0; i < out.size(); ++i) {
+        out.data()[i] = std::tanh(out.data()[i]);
+      }
+    }
+    const Matrix cached_output = out;  // ... and cached the post-activation output
+    y = cached_output;
+  }
+  return y;
+}
+
+Matrix SeedStylePreferenceHeadForward(Mlp* pn, Mlp* trunk, const Matrix& obs,
+                                      size_t weight_dim, size_t pn_out_dim) {
+  // Replicates the seed PreferenceActorCritic::ForwardHead: fresh slice matrices
+  // for the weight vector and the history, PN forward, fresh concat matrix, a
+  // cached copy of it, then the trunk forward.
+  const size_t batch = obs.rows();
+  const size_t hist_dim = obs.cols() - weight_dim;
+  Matrix weights(batch, weight_dim);
+  Matrix history(batch, hist_dim);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t c = 0; c < weight_dim; ++c) {
+      weights(b, c) = obs(b, c);
+    }
+    for (size_t c = 0; c < hist_dim; ++c) {
+      history(b, c) = obs(b, weight_dim + c);
+    }
+  }
+  const Matrix pn_out = SeedStyleMlpForward(pn, weights, Activation::kTanh);
+  Matrix concat(batch, pn_out_dim + hist_dim);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t c = 0; c < pn_out_dim; ++c) {
+      concat(b, c) = pn_out(b, c);
+    }
+    for (size_t c = 0; c < hist_dim; ++c) {
+      concat(b, pn_out_dim + c) = history(b, c);
+    }
+  }
+  const Matrix cached_concat = concat;  // seed kept a copy for the backward pass
+  (void)cached_concat;
+  return SeedStyleMlpForward(trunk, concat);
+}
+
+SeedModelReplica::SeedModelReplica(const MoccConfig& config)
+    : rng(1),
+      actor_pn({PreferenceActorCritic::kWeightDim, config.pn_hidden, config.pn_out},
+               Activation::kTanh, Activation::kTanh, &rng),
+      actor_trunk({config.pn_out + config.HistoryDim(), 64, 32, 1}, Activation::kTanh,
+                  Activation::kIdentity, &rng),
+      critic_pn({PreferenceActorCritic::kWeightDim, config.pn_hidden, config.pn_out},
+                Activation::kTanh, Activation::kTanh, &rng),
+      critic_trunk({config.pn_out + config.HistoryDim(), 64, 32, 1}, Activation::kTanh,
+                   Activation::kIdentity, &rng),
+      weight_dim(PreferenceActorCritic::kWeightDim),
+      pn_out(config.pn_out) {}
+
+double SeedModelReplica::ForwardSeedStyle(const std::vector<double>& obs) {
+  Matrix x(1, obs.size());
+  x.SetRow(0, obs);
+  const Matrix mean =
+      SeedStylePreferenceHeadForward(&actor_pn, &actor_trunk, x, weight_dim, pn_out);
+  const Matrix value =
+      SeedStylePreferenceHeadForward(&critic_pn, &critic_trunk, x, weight_dim, pn_out);
+  return mean(0, 0) + value(0, 0);
+}
+
+InferencePathRates MeasureInferencePaths(const MoccConfig& config) {
+  Rng rng(1);
+  SeedModelReplica replica(config);
+  PreferenceActorCritic model(config, &rng);
+  std::vector<double> obs(config.ObsDim());
+  Rng obs_rng(99);
+  for (auto& v : obs) {
+    v = obs_rng.Uniform(-1.0, 1.0);
+  }
+
+  InferencePathRates rates;
+  volatile double sink = 0.0;
+  rates.seed_batched_ops_per_sec =
+      MeasureOpsPerSec([&] { sink = replica.ForwardSeedStyle(obs); });
+  Matrix x(1, obs.size());
+  Matrix mean;
+  Matrix value;
+  rates.batched_ops_per_sec = MeasureOpsPerSec([&] {
+    x.SetRow(0, obs);
+    model.Forward(x, &mean, &value);
+    sink = mean(0, 0) + value(0, 0);
+  });
+  double m = 0.0;
+  double v = 0.0;
+  rates.fast_row_ops_per_sec = MeasureOpsPerSec([&] {
+    model.ForwardRow(obs, &m, &v);
+    sink = m + v;
+  });
+  (void)sink;
+  return rates;
 }
 
 }  // namespace mocc

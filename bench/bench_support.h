@@ -77,6 +77,73 @@ struct SingleFlowRunConfig {
 // Runs one flow of `scheme` on the configured link and aggregates steady-state metrics.
 SingleFlowResult RunSingleFlow(const SchemeSpec& scheme, const SingleFlowRunConfig& config);
 
+// ---------------------------------------------------------------------------
+// Machine-readable benchmark output. Each bench can emit a flat JSON object of
+// numeric metrics to BENCH_<name>.json in the working directory so the perf
+// trajectory is tracked across PRs.
+// ---------------------------------------------------------------------------
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name);
+
+  void Add(const std::string& key, double value);
+  void AddString(const std::string& key, const std::string& value);
+
+  // Writes BENCH_<name>.json (and logs the path to stderr). False on I/O error.
+  bool Write() const;
+  std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;  // key -> rendered value
+};
+
+// Calls `fn` repeatedly for at least `min_seconds` of wall time and returns the
+// measured calls/second.
+double MeasureOpsPerSec(const std::function<void()>& fn, double min_seconds = 0.2);
+
+// Faithful re-implementation of the seed's batched forward chain — fresh matrix
+// allocations per layer, cached input/output copies, scalar libm tanh, and the
+// branchy triple-loop matmul — used as the "before" reference in the overhead
+// benches. Hidden layers are tanh; the output layer uses `output_activation`
+// (the §5 policy architecture).
+Matrix SeedStyleMlpForward(Mlp* net, const Matrix& x,
+                           Activation output_activation = Activation::kIdentity);
+
+// Seed PreferenceActorCritic::ForwardHead emulation over replica PN/trunk nets:
+// fresh slice/concat matrices per call plus the seed-style per-layer forwards.
+Matrix SeedStylePreferenceHeadForward(Mlp* pn, Mlp* trunk, const Matrix& obs,
+                                      size_t weight_dim, size_t pn_out_dim);
+
+// Replica of the Figure-3 model as raw PN/trunk MLPs, for the seed-path emulation
+// (the real model's sub-networks are private; inference cost is weight-independent,
+// so untrained replicas measure the same thing).
+struct SeedModelReplica {
+  explicit SeedModelReplica(const MoccConfig& config);
+
+  // Full seed-style actor+critic single-observation forward; returns mean+value.
+  double ForwardSeedStyle(const std::vector<double>& obs);
+
+  Rng rng;
+  Mlp actor_pn;
+  Mlp actor_trunk;
+  Mlp critic_pn;
+  Mlp critic_trunk;
+  size_t weight_dim;
+  size_t pn_out;
+};
+
+// Single-observation inference throughput of the three policy-inference paths:
+// the emulated seed batched path, the current allocation-free batched path, and
+// the fused single-row fast path. Used by bench_fig17_overhead and bench_report
+// so the cross-PR JSON metrics stay comparable.
+struct InferencePathRates {
+  double seed_batched_ops_per_sec = 0.0;
+  double batched_ops_per_sec = 0.0;
+  double fast_row_ops_per_sec = 0.0;
+};
+InferencePathRates MeasureInferencePaths(const MoccConfig& config);
+
 }  // namespace mocc
 
 #endif  // MOCC_BENCH_BENCH_SUPPORT_H_

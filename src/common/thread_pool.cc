@@ -1,0 +1,114 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace mocc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = std::max(1, num_threads) - 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) {
+      return;
+    }
+    // Adopt the current job under the lock. A job that has already been retired
+    // (fn_ reset by the submitting thread before it returned) must be skipped
+    // WITHOUT touching next_: by then next_/completed_ may belong to a newer job.
+    seen_epoch = epoch_;
+    const std::function<void(int)>* fn = fn_;
+    const int n = n_;
+    if (fn == nullptr) {
+      continue;
+    }
+    ++active_;
+    lk.unlock();
+    int done = 0;
+    while (true) {
+      const int i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        break;
+      }
+      (*fn)(i);
+      ++done;
+    }
+    lk.lock();
+    completed_ += done;
+    --active_;
+    if (completed_ == n_ && active_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (workers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    n_ = n;
+    completed_ = 0;
+    active_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  // The caller participates in the job, then waits until every task is done AND
+  // no worker still holds a reference to this job (a woken worker that adopted
+  // the epoch but has not claimed an index yet counts as active, so returning —
+  // and destroying `fn` — before it finishes is impossible).
+  int done = 0;
+  while (true) {
+    const int i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) {
+      break;
+    }
+    fn(i);
+    ++done;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  completed_ += done;
+  if (completed_ == n_ && active_ == 0) {
+    done_cv_.notify_all();
+  }
+  done_cv_.wait(lk, [&] { return completed_ == n_ && active_ == 0; });
+  // Retire the job before releasing the lock so late-waking workers skip it.
+  fn_ = nullptr;
+  n_ = 0;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency())));
+  return pool;
+}
+
+}  // namespace mocc

@@ -38,6 +38,7 @@ std::shared_ptr<PreferenceActorCritic> FederatedAverage(
       AddScaled(dst[i].value, *src[i].value, w);
     }
   }
+  average->InvalidatePnCache();
   return average;
 }
 
@@ -62,6 +63,8 @@ bool BlendModel(PreferenceActorCritic* base, const PreferenceActorCritic& update
       d[k] = (1.0 - tau) * d[k] + tau * s[k];
     }
   }
+  // In-place parameter mutation outside the training loop: drop cached PN features.
+  base->InvalidatePnCache();
   return true;
 }
 

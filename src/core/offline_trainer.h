@@ -5,6 +5,13 @@
 // two baselines the paper compares against in Figure 19: per-objective individual
 // training, and two-phase training with parallel (multi-environment, multi-threaded)
 // rollout collection.
+//
+// With parallel_envs > 1, rollouts are collected concurrently on the shared
+// ThreadPool through PpoTrainer::CollectRolloutsParallel. Every environment is
+// constructed with its own deterministic seed and every collection round derives
+// per-env Rng streams on the trainer thread (determinism contract in
+// src/common/thread_pool.h), so a training run's reward curve and final weights
+// are bit-reproducible for a fixed config.seed, regardless of core count.
 #ifndef MOCC_SRC_CORE_OFFLINE_TRAINER_H_
 #define MOCC_SRC_CORE_OFFLINE_TRAINER_H_
 

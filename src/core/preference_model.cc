@@ -1,5 +1,6 @@
 #include "src/core/preference_model.h"
 
+#include <algorithm>
 #include <cassert>
 #include <fstream>
 
@@ -23,56 +24,89 @@ PreferenceActorCritic::PreferenceActorCritic(const MoccConfig& config, Rng* rng)
     }
     trunk_dims.push_back(1);
     head->trunk = Mlp(trunk_dims, Activation::kTanh, Activation::kIdentity, rng);
+    head->concat_row.resize(config_.pn_out + config_.HistoryDim());
   };
   build_head(&actor_);
   build_head(&critic_);
   log_std_(0, 0) = -1.0;
 }
 
-Matrix PreferenceActorCritic::ForwardHead(Head* head, const Matrix& obs) {
+void PreferenceActorCritic::ForwardHeadInto(Head* head, const Matrix& obs, Matrix* out) {
   const size_t batch = obs.rows();
   const size_t hist_dim = config_.HistoryDim();
-  Matrix weights(batch, kWeightDim);
-  Matrix history(batch, hist_dim);
+  head->weights_in.Resize(batch, kWeightDim);
   for (size_t b = 0; b < batch; ++b) {
+    const double* src = obs.RowPtr(b);
+    double* dst = head->weights_in.RowPtr(b);
     for (size_t c = 0; c < kWeightDim; ++c) {
-      weights(b, c) = obs(b, c);
-    }
-    for (size_t c = 0; c < hist_dim; ++c) {
-      history(b, c) = obs(b, kWeightDim + c);
+      dst[c] = src[c];
     }
   }
-  const Matrix pn_out = head->preference_net.Forward(weights);
-  Matrix concat(batch, config_.pn_out + hist_dim);
+  head->preference_net.ForwardInto(head->weights_in, &head->pn_out);
+  head->concat.Resize(batch, config_.pn_out + hist_dim);
   for (size_t b = 0; b < batch; ++b) {
+    double* dst = head->concat.RowPtr(b);
+    const double* pn = head->pn_out.RowPtr(b);
+    const double* hist = obs.RowPtr(b) + kWeightDim;
     for (size_t c = 0; c < config_.pn_out; ++c) {
-      concat(b, c) = pn_out(b, c);
+      dst[c] = pn[c];
     }
     for (size_t c = 0; c < hist_dim; ++c) {
-      concat(b, config_.pn_out + c) = history(b, c);
+      dst[config_.pn_out + c] = hist[c];
     }
   }
-  head->cached_concat = concat;
-  return head->trunk.Forward(concat);
+  head->trunk.ForwardInto(head->concat, out);
+}
+
+void PreferenceActorCritic::ForwardHeadRow(Head* head, const std::vector<double>& obs,
+                                           double* out) {
+  // concat_row is pre-sized (constructor); the PN writes its features straight
+  // into the concat prefix and only the history slice is copied per call. The
+  // weight vector is the contiguous obs prefix, so the PN reads obs directly —
+  // and since the PN depends only on that prefix, its features are reused across
+  // calls as long as w⃗ (and the parameters) are unchanged, which is the steady
+  // state of per-MI deployment inference.
+  double* concat = head->concat_row.data();
+  const bool pn_hit =
+      head->pn_cache_valid &&
+      std::equal(obs.begin(), obs.begin() + kWeightDim, head->pn_cache_w);
+  if (!pn_hit) {
+    head->preference_net.ForwardRow(obs.data(), concat);
+    std::copy(obs.begin(), obs.begin() + kWeightDim, head->pn_cache_w);
+    head->pn_cache_valid = true;
+  }
+  std::copy(obs.begin() + kWeightDim, obs.end(),
+            head->concat_row.begin() + static_cast<ptrdiff_t>(config_.pn_out));
+  head->trunk.ForwardRow(concat, out);
 }
 
 void PreferenceActorCritic::BackwardHead(Head* head, const Matrix& grad_out) {
-  const Matrix dconcat = head->trunk.Backward(grad_out);
+  head->trunk.BackwardInto(grad_out, &head->dconcat);
   // Route the preference-feature slice of the gradient into the PN; the history slice
   // ends at the observation (no upstream parameters).
-  Matrix dpn(dconcat.rows(), config_.pn_out);
-  for (size_t b = 0; b < dconcat.rows(); ++b) {
+  const size_t batch = head->dconcat.rows();
+  head->dpn.Resize(batch, config_.pn_out);
+  for (size_t b = 0; b < batch; ++b) {
+    const double* src = head->dconcat.RowPtr(b);
+    double* dst = head->dpn.RowPtr(b);
     for (size_t c = 0; c < config_.pn_out; ++c) {
-      dpn(b, c) = dconcat(b, c);
+      dst[c] = src[c];
     }
   }
-  head->preference_net.Backward(dpn);
+  head->preference_net.BackwardInto(head->dpn, &dpn_in_scratch_);
 }
 
 void PreferenceActorCritic::Forward(const Matrix& obs, Matrix* mean, Matrix* value) {
   assert(obs.cols() == obs_dim_);
-  *mean = ForwardHead(&actor_, obs);
-  *value = ForwardHead(&critic_, obs);
+  ForwardHeadInto(&actor_, obs, mean);
+  ForwardHeadInto(&critic_, obs, value);
+}
+
+void PreferenceActorCritic::ForwardRow(const std::vector<double>& obs, double* mean,
+                                       double* value) {
+  assert(obs.size() == obs_dim_);
+  ForwardHeadRow(&actor_, obs, mean);
+  ForwardHeadRow(&critic_, obs, value);
 }
 
 void PreferenceActorCritic::Backward(const Matrix& dmean, const Matrix& dvalue) {
@@ -81,6 +115,9 @@ void PreferenceActorCritic::Backward(const Matrix& dmean, const Matrix& dvalue) 
 }
 
 std::vector<ParamRef> PreferenceActorCritic::Params() {
+  // The returned refs are mutable handles to the parameters (optimizers, model
+  // blending, tests); assume the caller will write through them.
+  InvalidatePnCache();
   std::vector<ParamRef> params;
   for (Head* head : {&actor_, &critic_}) {
     for (auto& p : head->preference_net.Params()) {
@@ -94,12 +131,20 @@ std::vector<ParamRef> PreferenceActorCritic::Params() {
   return params;
 }
 
+void PreferenceActorCritic::InvalidatePnCache() {
+  actor_.pn_cache_valid = false;
+  critic_.pn_cache_valid = false;
+}
+
 void PreferenceActorCritic::ZeroGrad() {
   for (Head* head : {&actor_, &critic_}) {
     head->preference_net.ZeroGrad();
     head->trunk.ZeroGrad();
   }
   log_std_grad_.Fill(0.0);
+  // The training loop zeroes gradients before every optimizer step, so this is
+  // the hook that keeps the PN feature cache coherent with parameter updates.
+  InvalidatePnCache();
 }
 
 size_t PreferenceActorCritic::ParameterCount() const {
@@ -144,6 +189,7 @@ bool PreferenceActorCritic::Deserialize(BinaryReader* r) {
     return false;
   }
   log_std_(0, 0) = r->ReadDouble();
+  InvalidatePnCache();
   return r->ok();
 }
 

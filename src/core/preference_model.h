@@ -27,6 +27,19 @@ class PreferenceActorCritic : public ActorCritic {
 
   void Forward(const Matrix& obs, Matrix* mean, Matrix* value) override;
   void Backward(const Matrix& dmean, const Matrix& dvalue) override;
+  // Fused single-observation inference (PN row pass + concat + trunk row pass);
+  // zero allocation in steady state, bit-for-bit equal to a 1-row Forward. The PN
+  // features depend only on the leading weight vector, which is constant across
+  // monitor intervals in deployment, so they are cached per head and recomputed
+  // only when w⃗ or the parameters change (see InvalidatePnCache).
+  void ForwardRow(const std::vector<double>& obs, double* mean, double* value) override;
+
+  // Drops the cached PN features. Called internally by ZeroGrad, Deserialize and
+  // (conservatively) Params() — the returned refs are mutable parameter handles —
+  // so every parameter-mutation path invalidates automatically. Only code that
+  // stashes ParamRefs and writes through them later, after an intervening
+  // ForwardRow, would need to call this explicitly.
+  void InvalidatePnCache();
 
   double log_std() const override { return log_std_(0, 0); }
   void set_log_std(double v) override { log_std_(0, 0) = v; }
@@ -53,10 +66,21 @@ class PreferenceActorCritic : public ActorCritic {
   struct Head {
     Mlp preference_net;  // kWeightDim -> pn_hidden -> pn_out (tanh)
     Mlp trunk;           // (pn_out + history_dim) -> 64 -> 32 -> 1
-    Matrix cached_concat;
+    // Batched-pass workspaces (capacity reused across calls).
+    Matrix weights_in;  // batch x kWeightDim slice of obs
+    Matrix pn_out;
+    Matrix concat;
+    Matrix dconcat;
+    Matrix dpn;
+    // Single-row workspace: [PN features | history], pre-sized at construction.
+    // The PN-feature prefix doubles as the cache for pn_cache_w.
+    std::vector<double> concat_row;
+    double pn_cache_w[kWeightDim] = {};
+    bool pn_cache_valid = false;
   };
 
-  Matrix ForwardHead(Head* head, const Matrix& obs);
+  void ForwardHeadInto(Head* head, const Matrix& obs, Matrix* out);
+  void ForwardHeadRow(Head* head, const std::vector<double>& obs, double* out);
   void BackwardHead(Head* head, const Matrix& grad_out);
 
   MoccConfig config_;
@@ -65,6 +89,7 @@ class PreferenceActorCritic : public ActorCritic {
   Head critic_;
   Matrix log_std_{1, 1};
   Matrix log_std_grad_{1, 1};
+  Matrix dpn_in_scratch_;  // discarded dL/dw of the PN backward
 };
 
 }  // namespace mocc

@@ -1,11 +1,34 @@
 #include "src/nn/matrix.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace mocc {
+namespace {
+
+// Reduction-dimension block size: a 64x64 double tile of B (32 KiB) stays in L1
+// alongside the accumulator row.
+constexpr size_t kBlock = 64;
+
+}  // namespace
 
 Matrix::Matrix(size_t rows, size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+void Matrix::CopyFrom(const Matrix& other) {
+  if (this == &other) {
+    return;
+  }
+  Resize(other.rows_, other.cols_);
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+}
 
 void Matrix::Fill(double v) {
   for (auto& x : data_) {
@@ -37,53 +60,218 @@ void Matrix::SetRow(size_t r, const std::vector<double>& values) {
   std::copy(values.begin(), values.end(), data_.begin() + static_cast<ptrdiff_t>(r * cols_));
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.rows());
-  Matrix c(a.rows(), b.cols());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) {
-        continue;
-      }
-      for (size_t j = 0; j < b.cols(); ++j) {
-        c(i, j) += aik * b(k, j);
+void Matrix::SetRow(size_t r, const double* values) {
+  assert(r < rows_);
+  std::copy(values, values + cols_, data_.begin() + static_cast<ptrdiff_t>(r * cols_));
+}
+
+namespace {
+
+// One register-tiled column block of y = x·W + b: TILE accumulators live in SIMD
+// registers across the whole k loop (a runtime-bound accumulator block would be
+// stored and reloaded every iteration).
+template <size_t TILE>
+inline void RowMatVecTile(const double* x, const double* w, const double* b, double* y,
+                          size_t in, size_t out, size_t j0) {
+  // Zero-init then bias after the reduction: the seed's MatMul + AddRowBias
+  // summation order, kept so results stay reproducible against it; the bias add
+  // happens while the accumulators are still in registers, so it costs nothing.
+  double acc[TILE] = {0.0};
+  const double* wp = w + j0;
+  for (size_t k = 0; k < in; ++k, wp += out) {
+    const double xk = x[k];
+    for (size_t t = 0; t < TILE; ++t) {
+      acc[t] += xk * wp[t];
+    }
+  }
+  for (size_t t = 0; t < TILE; ++t) {
+    y[j0 + t] = acc[t] + b[j0 + t];
+  }
+}
+
+}  // namespace
+
+void RowMatVecBias(const double* x, const double* w, const double* b, double* y,
+                   size_t in, size_t out) {
+  size_t j0 = 0;
+  // 32 is the widest tile: gcc keeps its 4 SIMD accumulators in registers and
+  // unrolls the reduction; a 64-wide tile spills and scalarizes.
+  for (; j0 + 32 <= out; j0 += 32) {
+    RowMatVecTile<32>(x, w, b, y, in, out, j0);
+  }
+  for (; j0 + 16 <= out; j0 += 16) {
+    RowMatVecTile<16>(x, w, b, y, in, out, j0);
+  }
+  for (; j0 + 8 <= out; j0 += 8) {
+    RowMatVecTile<8>(x, w, b, y, in, out, j0);
+  }
+  for (; j0 < out; ++j0) {
+    double acc = 0.0;
+    const double* wp = w + j0;
+    for (size_t k = 0; k < in; ++k, wp += out) {
+      acc += x[k] * *wp;
+    }
+    y[j0] = acc + b[j0];
+  }
+}
+
+namespace {
+
+// Shared inner kernel for MatMulInto/MatMulBiasInto: C (already initialized)
+// += A * B, cache-blocked over the reduction dimension.
+void MatMulAccumulateRaw(const double* ad, const double* bd, double* cd, size_t m,
+                         size_t k_dim, size_t n) {
+  for (size_t k0 = 0; k0 < k_dim; k0 += kBlock) {
+    const size_t k1 = std::min(k_dim, k0 + kBlock);
+    for (size_t i = 0; i < m; ++i) {
+      const double* arow = ad + i * k_dim;
+      double* crow = cd + i * n;
+      for (size_t k = k0; k < k1; ++k) {
+        const double aik = arow[k];
+        const double* brow = bd + k * n;
+        for (size_t j = 0; j < n; ++j) {
+          crow[j] += aik * brow[j];
+        }
       }
     }
   }
+}
+
+}  // namespace
+
+void MatMulBiasInto(const Matrix& a, const Matrix& b, const Matrix& bias, Matrix* c) {
+  assert(a.cols() == b.rows());
+  assert(bias.rows() == 1 && bias.cols() == b.cols());
+  assert(c != &a && c != &b && c != &bias);
+  const size_t m = a.rows();
+  const size_t k_dim = a.cols();
+  const size_t n = b.cols();
+  c->Resize(m, n);
+  const double* ad = a.data();
+  const double* bd = b.data();
+  const double* biasd = bias.data();
+  double* cd = c->data();
+  for (size_t i = 0; i < m; ++i) {
+    RowMatVecBias(ad + i * k_dim, bd, biasd, cd + i * n, k_dim, n);
+  }
+}
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  assert(a.cols() == b.rows());
+  assert(c != &a && c != &b);
+  const size_t m = a.rows();
+  const size_t k_dim = a.cols();
+  const size_t n = b.cols();
+  c->Resize(m, n);
+  double* cd = c->data();
+  const double* ad = a.data();
+  const double* bd = b.data();
+  std::fill(cd, cd + m * n, 0.0);
+  MatMulAccumulateRaw(ad, bd, cd, m, k_dim, n);
+}
+
+void MatMulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  assert(a.cols() == b.cols());
+  assert(c != &a && c != &b);
+  const size_t m = a.rows();
+  const size_t k_dim = a.cols();
+  const size_t n = b.rows();
+  c->Resize(m, n);
+  double* cd = c->data();
+  const double* ad = a.data();
+  const double* bd = b.data();
+  // Both operands are traversed along contiguous rows (B is already the transposed
+  // layout), so each output is a unit-stride dot product.
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = ad + i * k_dim;
+    double* crow = cd + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const double* brow = bd + j * k_dim;
+      double sum = 0.0;
+      for (size_t k = 0; k < k_dim; ++k) {
+        sum += arow[k] * brow[k];
+      }
+      crow[j] = sum;
+    }
+  }
+}
+
+void MatMulTransposeAInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  assert(a.rows() == b.rows());
+  assert(c != &a && c != &b);
+  c->Resize(a.cols(), b.cols());
+  std::fill(c->data(), c->data() + c->size(), 0.0);
+  MatMulTransposeAAccumulate(a, b, c);
+}
+
+void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
+  assert(a.rows() == b.rows());
+  assert(c->rows() == a.cols() && c->cols() == b.cols());
+  assert(c != &a && c != &b);
+  const size_t r_dim = a.rows();
+  const size_t m = a.cols();
+  const size_t n = b.cols();
+  double* cd = c->data();
+  const double* ad = a.data();
+  const double* bd = b.data();
+  for (size_t r0 = 0; r0 < r_dim; r0 += kBlock) {
+    const size_t r1 = std::min(r_dim, r0 + kBlock);
+    for (size_t r = r0; r < r1; ++r) {
+      const double* arow = ad + r * m;
+      const double* brow = bd + r * n;
+      for (size_t i = 0; i < m; ++i) {
+        const double ari = arow[i];
+        double* crow = cd + i * n;
+        for (size_t j = 0; j < n; ++j) {
+          crow[j] += ari * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void ColumnSumsInto(const Matrix& m, Matrix* sums) {
+  assert(sums != &m);
+  sums->Resize(1, m.cols());
+  std::fill(sums->data(), sums->data() + m.cols(), 0.0);
+  ColumnSumsAccumulate(m, sums);
+}
+
+void ColumnSumsAccumulate(const Matrix& m, Matrix* sums) {
+  assert(sums->rows() == 1 && sums->cols() == m.cols());
+  double* s = sums->data();
+  const double* d = m.data();
+  const size_t cols = m.cols();
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = d + r * cols;
+    for (size_t c = 0; c < cols; ++c) {
+      s[c] += row[c];
+    }
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MatMulInto(a, b, &c);
   return c;
 }
 
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.cols());
-  Matrix c(a.rows(), b.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t j = 0; j < b.rows(); ++j) {
-      double sum = 0.0;
-      for (size_t k = 0; k < a.cols(); ++k) {
-        sum += a(i, k) * b(j, k);
-      }
-      c(i, j) = sum;
-    }
-  }
+  Matrix c;
+  MatMulTransposeBInto(a, b, &c);
   return c;
 }
 
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
-  assert(a.rows() == b.rows());
-  Matrix c(a.cols(), b.cols());
-  for (size_t k = 0; k < a.rows(); ++k) {
-    for (size_t i = 0; i < a.cols(); ++i) {
-      const double aki = a(k, i);
-      if (aki == 0.0) {
-        continue;
-      }
-      for (size_t j = 0; j < b.cols(); ++j) {
-        c(i, j) += aki * b(k, j);
-      }
-    }
-  }
+  Matrix c;
+  MatMulTransposeAInto(a, b, &c);
   return c;
+}
+
+Matrix ColumnSums(const Matrix& m) {
+  Matrix sums;
+  ColumnSumsInto(m, &sums);
+  return sums;
 }
 
 void AddScaled(Matrix* a, const Matrix& b, double scale) {
@@ -97,21 +285,14 @@ void AddScaled(Matrix* a, const Matrix& b, double scale) {
 
 void AddRowBias(Matrix* m, const Matrix& bias) {
   assert(bias.rows() == 1 && bias.cols() == m->cols());
+  const size_t cols = m->cols();
+  const double* b = bias.data();
   for (size_t r = 0; r < m->rows(); ++r) {
-    for (size_t c = 0; c < m->cols(); ++c) {
-      (*m)(r, c) += bias(0, c);
+    double* row = m->RowPtr(r);
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] += b[c];
     }
   }
-}
-
-Matrix ColumnSums(const Matrix& m) {
-  Matrix sums(1, m.cols());
-  for (size_t r = 0; r < m.rows(); ++r) {
-    for (size_t c = 0; c < m.cols(); ++c) {
-      sums(0, c) += m(r, c);
-    }
-  }
-  return sums;
 }
 
 void HadamardInPlace(Matrix* a, const Matrix& b) {

@@ -1,6 +1,8 @@
 // Dense row-major matrix of doubles — the only tensor type used by the neural-network
-// substrate. Sized for the small MLPs in this project (tens of thousands of parameters),
-// so the implementation favours clarity over cache blocking.
+// substrate. Sized for the small MLPs in this project (tens of thousands of parameters).
+// The multiply kernels are cache-blocked over the reduction dimension and every kernel
+// has an out-parameter ("Into") variant so hot loops can run allocation-free in steady
+// state: a Matrix resized to a shape it has held before reuses its storage.
 #ifndef MOCC_SRC_NN_MATRIX_H_
 #define MOCC_SRC_NN_MATRIX_H_
 
@@ -37,6 +39,15 @@ class Matrix {
   std::vector<double>& storage() { return data_; }
   const std::vector<double>& storage() const { return data_; }
 
+  // Reshapes to rows x cols. Storage capacity is reused and never shrinks, so
+  // resizing a workspace back to a previously-held shape allocates nothing.
+  // Element values are unspecified after a shape change.
+  void Resize(size_t rows, size_t cols);
+
+  // Becomes an element-wise copy of `other` (Resize + copy; no allocation when
+  // capacity suffices).
+  void CopyFrom(const Matrix& other);
+
   // Sets every element to `v`.
   void Fill(double v);
 
@@ -53,29 +64,75 @@ class Matrix {
   // Copies `values` (size == cols()) into row `r`.
   void SetRow(size_t r, const std::vector<double>& values);
 
+  // Copies `values[0..cols())` into row `r`.
+  void SetRow(size_t r, const double* values);
+
+  // Pointer to the start of row `r`.
+  double* RowPtr(size_t r) {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* RowPtr(size_t r) const {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
   std::vector<double> data_;
 };
 
+// Allocation-free kernels: the output is resized in place (capacity reuse) and the
+// output must not alias either input. For a fixed output element, every kernel
+// accumulates contributions in ascending reduction order, so results are
+// bit-for-bit identical across batch sizes and blocking factors.
+
 // C = A * B. Requires A.cols() == B.rows().
-Matrix MatMul(const Matrix& a, const Matrix& b);
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c);
+
+// C = A * B + 1·bias (every output row is initialized with the 1 x B.cols() row
+// vector `bias`, then accumulated): the fused dense-layer kernel, saving a
+// separate bias pass over C. Implemented as RowMatVecBias over every row of A, so
+// batched and single-row forwards run the exact same compiled kernel and produce
+// bit-identical values (FMA contraction is a per-loop compiler choice; sharing
+// the kernel removes it as a divergence source).
+void MatMulBiasInto(const Matrix& a, const Matrix& b, const Matrix& bias, Matrix* c);
+
+// y[0..out) = x[0..in) · w (in x out, row-major) + b[0..out), register-tiled:
+// fixed-size accumulator blocks stay in SIMD registers across the reduction.
+// Per output j the accumulation order is ascending k, then the bias (the seed's
+// MatMul + AddRowBias order).
+void RowMatVecBias(const double* x, const double* w, const double* b, double* y,
+                   size_t in, size_t out);
 
 // C = A * B^T. Requires A.cols() == B.cols().
-Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+void MatMulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* c);
 
 // C = A^T * B. Requires A.rows() == B.rows().
+void MatMulTransposeAInto(const Matrix& a, const Matrix& b, Matrix* c);
+
+// C += A^T * B without materializing the product (gradient accumulation).
+// C must already be A.cols() x B.cols().
+void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b, Matrix* c);
+
+// sums = column sums of `m` as a 1 x cols matrix.
+void ColumnSumsInto(const Matrix& m, Matrix* sums);
+
+// sums += column sums of `m`. `sums` must already be 1 x m.cols().
+void ColumnSumsAccumulate(const Matrix& m, Matrix* sums);
+
+// Allocating convenience wrappers around the Into kernels.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+Matrix ColumnSums(const Matrix& m);
 
 // a += scale * b, elementwise. Requires identical shapes.
 void AddScaled(Matrix* a, const Matrix& b, double scale = 1.0);
 
 // Adds row-vector `bias` (1 x cols) to every row of `m`.
 void AddRowBias(Matrix* m, const Matrix& bias);
-
-// Returns the column sums of `m` as a 1 x cols matrix.
-Matrix ColumnSums(const Matrix& m);
 
 // Elementwise product, in place: a ⊙= b.
 void HadamardInPlace(Matrix* a, const Matrix& b);

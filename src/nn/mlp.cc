@@ -1,7 +1,10 @@
 #include "src/nn/mlp.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "src/nn/fast_math.h"
 
 namespace mocc {
 namespace {
@@ -20,24 +23,48 @@ double ActivationDerivativeFromOutput(Activation a, double y) {
 
 }  // namespace
 
-void ApplyActivation(Activation a, Matrix* m) {
+namespace {
+
+// Fixed-width tanh block: both the bulk loop and the padded tail run this one
+// compiled loop, so every element goes through identical instructions (FMA
+// contraction is per-loop; two differently-shaped loops could round differently).
+inline void Tanh8(double* data) {
+  for (size_t t = 0; t < 8; ++t) {
+    data[t] = FastTanh(data[t]);
+  }
+}
+
+}  // namespace
+
+void ApplyActivation(Activation a, double* data, size_t n) {
   switch (a) {
     case Activation::kIdentity:
       return;
-    case Activation::kTanh:
-      for (size_t i = 0; i < m->size(); ++i) {
-        m->data()[i] = std::tanh(m->data()[i]);
+    case Activation::kTanh: {
+      // FastTanh is branch-free, so Tanh8 auto-vectorizes (libm tanh doesn't).
+      size_t i = 0;
+      for (; i + 8 <= n; i += 8) {
+        Tanh8(data + i);
+      }
+      if (i < n) {
+        double tail[8] = {0.0};
+        std::copy(data + i, data + n, tail);
+        Tanh8(tail);
+        std::copy(tail, tail + (n - i), data + i);
       }
       return;
+    }
     case Activation::kRelu:
-      for (size_t i = 0; i < m->size(); ++i) {
-        if (m->data()[i] < 0.0) {
-          m->data()[i] = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (data[i] < 0.0) {
+          data[i] = 0.0;
         }
       }
       return;
   }
 }
+
+void ApplyActivation(Activation a, Matrix* m) { ApplyActivation(a, m->data(), m->size()); }
 
 DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, Activation activation, Rng* rng)
     : weights_(in_dim, out_dim),
@@ -48,27 +75,47 @@ DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, Activation activation, Rng
   weights_.FillXavier(rng);
 }
 
-Matrix DenseLayer::Forward(const Matrix& x) {
+void DenseLayer::ForwardInto(const Matrix& x, Matrix* y) {
   assert(x.cols() == weights_.rows());
-  cached_input_ = x;
-  Matrix y = MatMul(x, weights_);
-  AddRowBias(&y, bias_);
-  ApplyActivation(activation_, &y);
-  cached_output_ = y;
-  return y;
+  assert(y != &x);
+  MatMulBiasInto(x, weights_, bias_, y);
+  ApplyActivation(activation_, y);
+  fwd_input_ = &x;
+  fwd_output_ = y;
+}
+
+void DenseLayer::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
+  assert(fwd_input_ != nullptr && fwd_output_ != nullptr);
+  assert(grad_out.rows() == fwd_output_->rows() && grad_out.cols() == fwd_output_->cols());
+  assert(grad_in != &grad_out);
+  // Push the gradient through the activation using the cached post-activation output.
+  dpre_.CopyFrom(grad_out);
+  const double* out = fwd_output_->data();
+  double* g = dpre_.data();
+  for (size_t i = 0; i < dpre_.size(); ++i) {
+    g[i] *= ActivationDerivativeFromOutput(activation_, out[i]);
+  }
+  MatMulTransposeAAccumulate(*fwd_input_, dpre_, &grad_weights_);
+  ColumnSumsAccumulate(dpre_, &grad_bias_);
+  MatMulTransposeBInto(dpre_, weights_, grad_in);
+}
+
+void DenseLayer::ForwardRow(const double* x, double* y) const {
+  // The exact kernel the batched path runs per row (bit-for-bit identical).
+  RowMatVecBias(x, weights_.data(), bias_.data(), y, weights_.rows(), weights_.cols());
+  ApplyActivation(activation_, y, weights_.cols());
+}
+
+Matrix DenseLayer::Forward(const Matrix& x) {
+  cached_input_.CopyFrom(x);
+  ForwardInto(cached_input_, &cached_output_);
+  return cached_output_;
 }
 
 Matrix DenseLayer::Backward(const Matrix& grad_out) {
-  assert(grad_out.rows() == cached_output_.rows() && grad_out.cols() == cached_output_.cols());
-  // Push the gradient through the activation using the cached post-activation output.
-  Matrix grad_pre = grad_out;
-  for (size_t i = 0; i < grad_pre.size(); ++i) {
-    grad_pre.data()[i] *=
-        ActivationDerivativeFromOutput(activation_, cached_output_.data()[i]);
-  }
-  AddScaled(&grad_weights_, MatMulTransposeA(cached_input_, grad_pre));
-  AddScaled(&grad_bias_, ColumnSums(grad_pre));
-  return MatMulTransposeB(grad_pre, weights_);
+  Matrix grad_in;
+  BackwardInto(grad_out, &grad_in);
+  return grad_in;
 }
 
 void DenseLayer::ZeroGrad() {
@@ -116,19 +163,84 @@ Mlp::Mlp(const std::vector<size_t>& dims, Activation hidden_activation,
   }
 }
 
-Matrix Mlp::Forward(const Matrix& x) {
-  Matrix y = x;
-  for (auto& layer : layers_) {
-    y = layer.Forward(y);
+void Mlp::ForwardInto(const Matrix& x, Matrix* y) {
+  if (layers_.empty()) {
+    y->CopyFrom(x);
+    return;
   }
+  // Stage the input so BackwardInto can reference it after the caller's `x` dies.
+  input_cache_.CopyFrom(x);
+  if (acts_.size() != layers_.size()) {
+    acts_.resize(layers_.size());
+  }
+  const Matrix* cur = &input_cache_;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].ForwardInto(*cur, &acts_[i]);
+    cur = &acts_[i];
+  }
+  y->CopyFrom(*cur);
+}
+
+void Mlp::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
+  if (layers_.empty()) {
+    grad_in->CopyFrom(grad_out);
+    return;
+  }
+  if (layers_.size() == 1) {
+    layers_[0].BackwardInto(grad_out, grad_in);
+    return;
+  }
+  // Ping-pong the inter-layer gradient through two workspaces; the final dL/dX
+  // goes straight into the caller's matrix.
+  Matrix* cur = &grad_ping_;
+  Matrix* next = &grad_pong_;
+  layers_.back().BackwardInto(grad_out, cur);
+  for (size_t i = layers_.size() - 1; i-- > 0;) {
+    Matrix* dst = (i == 0) ? grad_in : next;
+    layers_[i].BackwardInto(*cur, dst);
+    next = cur;
+    cur = dst;
+  }
+}
+
+#if defined(__GNUC__)
+__attribute__((flatten))
+#endif
+void Mlp::ForwardRow(const double* in, double* out) const {
+  assert(!layers_.empty());
+  if (row_ping_.empty()) {
+    // Layer shapes are fixed after construction/deserialization, so the scratch
+    // rows are sized exactly once.
+    const size_t scratch = MaxDim();
+    row_ping_.resize(scratch);
+    row_pong_.resize(scratch);
+  }
+  const double* cur = in;
+  double* ping = row_ping_.data();
+  double* pong = row_pong_.data();
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    double* dst = (i + 1 == layers_.size()) ? out : ping;
+    layers_[i].ForwardRow(cur, dst);
+    cur = dst;
+    std::swap(ping, pong);
+  }
+}
+
+void Mlp::ForwardRow(const std::vector<double>& in, std::vector<double>* out) const {
+  assert(in.size() == in_dim());
+  out->resize(out_dim());
+  ForwardRow(in.data(), out->data());
+}
+
+Matrix Mlp::Forward(const Matrix& x) {
+  Matrix y;
+  ForwardInto(x, &y);
   return y;
 }
 
 Matrix Mlp::Backward(const Matrix& grad_out) {
-  Matrix g = grad_out;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = it->Backward(g);
-  }
+  Matrix g;
+  BackwardInto(grad_out, &g);
   return g;
 }
 
@@ -158,6 +270,14 @@ size_t Mlp::ParameterCount() const {
     count += layer.in_dim() * layer.out_dim() + layer.out_dim();
   }
   return count;
+}
+
+size_t Mlp::MaxDim() const {
+  size_t max_dim = 0;
+  for (const auto& layer : layers_) {
+    max_dim = std::max({max_dim, layer.in_dim(), layer.out_dim()});
+  }
+  return max_dim;
 }
 
 void Mlp::CopyWeightsFrom(const Mlp& other) {

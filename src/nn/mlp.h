@@ -5,6 +5,20 @@
 // network: dense layers, forward/backward over mini-batches, parameter access for
 // optimizers, and binary serialization. Composite models (the preference sub-network that
 // feeds the trunk, Figure 3) chain Mlp::Backward gradients across sub-networks.
+//
+// Two execution paths are provided:
+//  * Batched, allocation-free: ForwardInto/BackwardInto write into caller-owned
+//    matrices and stage activations in per-network workspace buffers, so steady-state
+//    training touches the allocator zero times. The legacy Forward/Backward wrappers
+//    (which return fresh matrices) remain for convenience and tests.
+//  * Fused single-row inference: ForwardRow evaluates one observation with plain
+//    dot-product loops, skipping all batch machinery. This is the per-packet/per-MI
+//    policy-inference fast path (Figure 17's overhead budget). Its result is
+//    bit-for-bit identical to a 1-row batched Forward.
+//
+// Thread safety: one Mlp instance must not be used from two threads at once (the
+// workspaces, including ForwardRow's scratch rows, are per-instance). Parallel rollout
+// collection clones the network per thread instead (ActorCritic::Clone).
 #ifndef MOCC_SRC_NN_MLP_H_
 #define MOCC_SRC_NN_MLP_H_
 
@@ -35,11 +49,22 @@ class DenseLayer {
  public:
   DenseLayer(size_t in_dim, size_t out_dim, Activation activation, Rng* rng);
 
-  // Forward pass over a batch (rows = samples). Caches inputs/outputs for Backward.
-  Matrix Forward(const Matrix& x);
+  // Allocation-free forward pass over a batch (rows = samples) into `y` (resized,
+  // capacity reused). Keeps pointers to `x` and `y` for the following BackwardInto,
+  // so both must stay alive and unmodified until then.
+  void ForwardInto(const Matrix& x, Matrix* y);
 
-  // Backward pass: accumulates dW/db and returns dL/dX. Must follow a Forward call with
-  // the matching batch.
+  // Allocation-free backward pass: accumulates dW/db and writes dL/dX into
+  // `grad_in` (which must not alias `grad_out`). Must follow a ForwardInto with the
+  // matching batch.
+  void BackwardInto(const Matrix& grad_out, Matrix* grad_in);
+
+  // Fused single-row inference: y[0..out_dim()) = act(x · W + b), where x has
+  // in_dim() elements. Pure (no caching); bit-for-bit equal to a 1-row ForwardInto.
+  void ForwardRow(const double* x, double* y) const;
+
+  // Legacy allocating wrappers around the Into paths.
+  Matrix Forward(const Matrix& x);
   Matrix Backward(const Matrix& grad_out);
 
   void ZeroGrad();
@@ -58,8 +83,13 @@ class DenseLayer {
   Matrix grad_weights_;
   Matrix grad_bias_;
   Activation activation_;
-  Matrix cached_input_;
-  Matrix cached_output_;  // post-activation
+  // Forward state for BackwardInto (non-owning; set by ForwardInto).
+  const Matrix* fwd_input_ = nullptr;
+  const Matrix* fwd_output_ = nullptr;
+  // Workspaces (capacity reused across calls).
+  Matrix dpre_;          // grad wrt pre-activation
+  Matrix cached_input_;  // legacy Forward staging
+  Matrix cached_output_;
 };
 
 // Fully-connected network: a stack of DenseLayers.
@@ -72,11 +102,23 @@ class Mlp {
   Mlp(const std::vector<size_t>& dims, Activation hidden_activation,
       Activation output_activation, Rng* rng);
 
-  // Forward pass over a batch (rows = samples, cols = in_dim).
-  Matrix Forward(const Matrix& x);
+  // Allocation-free batched forward pass (rows = samples, cols = in_dim) into `y`.
+  // The input is staged into a per-network buffer, so `x` need not outlive the call.
+  void ForwardInto(const Matrix& x, Matrix* y);
 
-  // Backward pass from dL/dY; accumulates parameter gradients, returns dL/dX so callers
-  // can chain into upstream sub-networks.
+  // Allocation-free batched backward pass from dL/dY; accumulates parameter
+  // gradients and writes dL/dX into `grad_in` so callers can chain into upstream
+  // sub-networks. Must follow a ForwardInto with the matching batch.
+  void BackwardInto(const Matrix& grad_out, Matrix* grad_in);
+
+  // Fused single-row inference: out[0..out_dim()) from in[0..in_dim()). Uses
+  // per-network scratch rows (zero allocation in steady state); bit-for-bit equal
+  // to a 1-row batched forward. Does NOT cache activations for BackwardInto.
+  void ForwardRow(const double* in, double* out) const;
+  void ForwardRow(const std::vector<double>& in, std::vector<double>* out) const;
+
+  // Legacy allocating wrappers around the Into paths.
+  Matrix Forward(const Matrix& x);
   Matrix Backward(const Matrix& grad_out);
 
   void ZeroGrad();
@@ -85,6 +127,9 @@ class Mlp {
   size_t in_dim() const;
   size_t out_dim() const;
   size_t ParameterCount() const;
+
+  // Widest layer boundary (max over in/out dims); sizes ForwardRow scratch.
+  size_t MaxDim() const;
 
   // Copies all weights from `other`; shapes must match.
   void CopyWeightsFrom(const Mlp& other);
@@ -97,10 +142,18 @@ class Mlp {
 
  private:
   std::vector<DenseLayer> layers_;
+  // Workspaces (capacity reused across calls; see thread-safety note above).
+  Matrix input_cache_;
+  std::vector<Matrix> acts_;  // per-layer outputs of the last ForwardInto
+  Matrix grad_ping_;
+  Matrix grad_pong_;
+  mutable std::vector<double> row_ping_;
+  mutable std::vector<double> row_pong_;
 };
 
 // Applies the activation elementwise.
 void ApplyActivation(Activation a, Matrix* m);
+void ApplyActivation(Activation a, double* data, size_t n);
 
 }  // namespace mocc
 

@@ -4,22 +4,28 @@
 
 namespace mocc {
 
-double ActorCritic::ActionMean(const std::vector<double>& obs) {
+void ActorCritic::ForwardRow(const std::vector<double>& obs, double* mean, double* value) {
   Matrix x(1, obs.size());
   x.SetRow(0, obs);
-  Matrix mean;
-  Matrix value;
-  Forward(x, &mean, &value);
-  return mean(0, 0);
+  Matrix m;
+  Matrix v;
+  Forward(x, &m, &v);
+  *mean = m(0, 0);
+  *value = v(0, 0);
+}
+
+double ActorCritic::ActionMean(const std::vector<double>& obs) {
+  double mean = 0.0;
+  double value = 0.0;
+  ForwardRow(obs, &mean, &value);
+  return mean;
 }
 
 double ActorCritic::Value(const std::vector<double>& obs) {
-  Matrix x(1, obs.size());
-  x.SetRow(0, obs);
-  Matrix mean;
-  Matrix value;
-  Forward(x, &mean, &value);
-  return value(0, 0);
+  double mean = 0.0;
+  double value = 0.0;
+  ForwardRow(obs, &mean, &value);
+  return value;
 }
 
 MlpActorCritic::MlpActorCritic(size_t obs_dim, Rng* rng, std::vector<size_t> hidden,
@@ -38,13 +44,19 @@ MlpActorCritic::MlpActorCritic(size_t obs_dim, Rng* rng, std::vector<size_t> hid
 
 void MlpActorCritic::Forward(const Matrix& obs, Matrix* mean, Matrix* value) {
   assert(obs.cols() == obs_dim_);
-  *mean = actor_.Forward(obs);
-  *value = critic_.Forward(obs);
+  actor_.ForwardInto(obs, mean);
+  critic_.ForwardInto(obs, value);
 }
 
 void MlpActorCritic::Backward(const Matrix& dmean, const Matrix& dvalue) {
-  actor_.Backward(dmean);
-  critic_.Backward(dvalue);
+  actor_.BackwardInto(dmean, &dx_scratch_);
+  critic_.BackwardInto(dvalue, &dx_scratch_);
+}
+
+void MlpActorCritic::ForwardRow(const std::vector<double>& obs, double* mean, double* value) {
+  assert(obs.size() == obs_dim_);
+  actor_.ForwardRow(obs.data(), mean);
+  critic_.ForwardRow(obs.data(), value);
 }
 
 std::vector<ParamRef> MlpActorCritic::Params() {

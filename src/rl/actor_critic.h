@@ -41,7 +41,14 @@ class ActorCritic {
   // Deep copy (weights included) for lock-free parallel rollout collection.
   virtual std::unique_ptr<ActorCritic> Clone() const = 0;
 
-  // Convenience single-observation helpers built on Forward.
+  // Single-observation inference fast path: fills π-mean and V for one observation
+  // without batch matrices (zero allocation in steady state). Unlike Forward it does
+  // NOT cache activations for Backward. Bit-for-bit identical to a 1-row batched
+  // Forward. The base implementation falls back to the batched path; concrete
+  // models override it with a fused single-row pass.
+  virtual void ForwardRow(const std::vector<double>& obs, double* mean, double* value);
+
+  // Convenience single-observation helpers built on ForwardRow.
   double ActionMean(const std::vector<double>& obs);
   double Value(const std::vector<double>& obs);
 };
@@ -55,6 +62,7 @@ class MlpActorCritic : public ActorCritic {
 
   void Forward(const Matrix& obs, Matrix* mean, Matrix* value) override;
   void Backward(const Matrix& dmean, const Matrix& dvalue) override;
+  void ForwardRow(const std::vector<double>& obs, double* mean, double* value) override;
 
   double log_std() const override { return log_std_(0, 0); }
   void set_log_std(double v) override { log_std_(0, 0) = v; }
@@ -75,6 +83,7 @@ class MlpActorCritic : public ActorCritic {
   Mlp critic_;
   Matrix log_std_{1, 1};
   Matrix log_std_grad_{1, 1};
+  Matrix dx_scratch_;  // discarded dL/dX of Backward (capacity reused)
 };
 
 }  // namespace mocc

@@ -36,12 +36,11 @@ double DqnTrainer::CurrentEpsilon() const {
 }
 
 int DqnTrainer::GreedyBin(Mlp* net, const std::vector<double>& obs) {
-  Matrix x(1, obs.size());
-  x.SetRow(0, obs);
-  const Matrix q = net->Forward(x);
+  // Single-row inference fast path: per-step action selection allocates nothing.
+  net->ForwardRow(obs, &q_row_);
   int best = 0;
   for (int k = 1; k < config_.action_bins; ++k) {
-    if (q(0, static_cast<size_t>(k)) > q(0, static_cast<size_t>(best))) {
+    if (q_row_[static_cast<size_t>(k)] > q_row_[static_cast<size_t>(best)]) {
       best = k;
     }
   }
@@ -101,19 +100,27 @@ DqnStats DqnTrainer::TrainIteration(Env* env) {
 
 void DqnTrainer::LearnStep() {
   const size_t batch = std::min<size_t>(replay_.size(), config_.batch_size);
-  Matrix obs(batch, obs_dim_);
-  Matrix next_obs(batch, obs_dim_);
-  std::vector<const Sample*> samples(batch);
+  // Member workspaces: steady-state learning is allocation-free.
+  Matrix& obs = batch_obs_;
+  Matrix& next_obs = batch_next_obs_;
+  Matrix& q = batch_q_;
+  Matrix& next_q = batch_next_q_;
+  Matrix& dq = batch_dq_;
+  obs.Resize(batch, obs_dim_);
+  next_obs.Resize(batch, obs_dim_);
+  samples_.resize(batch);
+  std::vector<const Sample*>& samples = samples_;
   for (size_t b = 0; b < batch; ++b) {
     samples[b] = &replay_[static_cast<size_t>(
         rng_.UniformInt(0, static_cast<int64_t>(replay_.size()) - 1))];
     obs.SetRow(b, samples[b]->obs);
     next_obs.SetRow(b, samples[b]->next_obs);
   }
-  const Matrix next_q = target_net_.Forward(next_obs);
+  target_net_.ForwardInto(next_obs, &next_q);
   q_net_.ZeroGrad();
-  const Matrix q = q_net_.Forward(obs);
-  Matrix dq(batch, static_cast<size_t>(config_.action_bins));
+  q_net_.ForwardInto(obs, &q);
+  dq.Resize(batch, static_cast<size_t>(config_.action_bins));
+  dq.Fill(0.0);
   double loss = 0.0;
   const double inv_batch = 1.0 / static_cast<double>(batch);
   for (size_t b = 0; b < batch; ++b) {

@@ -79,6 +79,14 @@ class DqnTrainer {
   size_t replay_next_ = 0;
   int64_t total_steps_ = 0;
   double last_td_loss_ = 0.0;
+  // Workspaces (capacity reused): single-row Q values and LearnStep minibatches.
+  std::vector<double> q_row_;
+  Matrix batch_obs_;
+  Matrix batch_next_obs_;
+  Matrix batch_q_;
+  Matrix batch_next_q_;
+  Matrix batch_dq_;
+  std::vector<const Sample*> samples_;
 };
 
 }  // namespace mocc

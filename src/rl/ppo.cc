@@ -4,7 +4,8 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
-#include <thread>
+
+#include "src/common/thread_pool.h"
 
 namespace mocc {
 
@@ -23,47 +24,44 @@ double PpoTrainer::EntropyCoef() const {
 
 double PpoTrainer::SampleAction(const std::vector<double>& obs, double* log_prob,
                                 double* value) {
-  Matrix x(1, obs.size());
-  x.SetRow(0, obs);
-  Matrix mean;
-  Matrix v;
-  model_->Forward(x, &mean, &v);
+  double mean = 0.0;
+  double v = 0.0;
+  model_->ForwardRow(obs, &mean, &v);
   const double std = std::exp(model_->log_std());
-  const double action = rng_.Normal(mean(0, 0), std);
+  const double action = rng_.Normal(mean, std);
   if (log_prob != nullptr) {
-    *log_prob = GaussianLogProb(action, mean(0, 0), std);
+    *log_prob = GaussianLogProb(action, mean, std);
   }
   if (value != nullptr) {
-    *value = v(0, 0);
+    *value = v;
   }
   return action;
 }
 
 RolloutBuffer PpoTrainer::CollectWith(ActorCritic* model, Env* env, int steps, Rng* rng) {
   RolloutBuffer buffer;
-  buffer.transitions.reserve(static_cast<size_t>(steps));
+  buffer.Reserve(static_cast<size_t>(steps));
   std::vector<double> obs = env->Reset();
   const double std = std::exp(model->log_std());
   double last_value = 0.0;
   bool last_done = true;
   for (int i = 0; i < steps; ++i) {
-    Matrix x(1, obs.size());
-    x.SetRow(0, obs);
-    Matrix mean;
-    Matrix v;
-    model->Forward(x, &mean, &v);
-    const double action = rng->Normal(mean(0, 0), std);
+    // Single-row inference fast path: no batch matrices, no allocation.
+    double mean = 0.0;
+    double v = 0.0;
+    model->ForwardRow(obs, &mean, &v);
+    const double action = rng->Normal(mean, std);
     const StepResult result = env->Step(action);
 
     Transition t;
     t.observation = std::move(obs);
     t.action = action;
-    t.log_prob = GaussianLogProb(action, mean(0, 0), std);
+    t.log_prob = GaussianLogProb(action, mean, std);
     // GAE/critic targets use scaled rewards (see PpoConfig::reward_scale); the raw
     // reward is kept for reporting.
     t.reward = result.reward * config_.reward_scale;
     t.raw_reward = result.reward;
-    t.value = v(0, 0);
+    t.value = v;
     t.done = result.done;
     buffer.transitions.push_back(std::move(t));
 
@@ -72,12 +70,10 @@ RolloutBuffer PpoTrainer::CollectWith(ActorCritic* model, Env* env, int steps, R
   }
   if (!last_done) {
     // Bootstrap the value of the truncated trajectory's final state.
-    Matrix x(1, obs.size());
-    x.SetRow(0, obs);
-    Matrix mean;
-    Matrix v;
-    model->Forward(x, &mean, &v);
-    last_value = v(0, 0);
+    double mean = 0.0;
+    double v = 0.0;
+    model->ForwardRow(obs, &mean, &v);
+    last_value = v;
   }
   ComputeGae(&buffer, config_.gamma, config_.gae_lambda, last_value);
   return buffer;
@@ -94,19 +90,24 @@ std::vector<RolloutBuffer> PpoTrainer::CollectRolloutsParallel(const std::vector
   std::vector<Rng> rngs;
   clones.reserve(envs.size());
   rngs.reserve(envs.size());
+  // Clones and Rng streams are derived here, on the calling thread, in env order:
+  // this is what makes the collected data independent of worker scheduling (see the
+  // determinism contract in src/common/thread_pool.h).
   for (size_t i = 0; i < envs.size(); ++i) {
     clones.push_back(model_->Clone());
     rngs.emplace_back(rng_.NextU64());
   }
-  std::vector<std::thread> workers;
-  workers.reserve(envs.size());
-  for (size_t i = 0; i < envs.size(); ++i) {
-    workers.emplace_back([this, &buffers, &clones, &rngs, &envs, steps_each, i]() {
-      buffers[i] = CollectWith(clones[i].get(), envs[i], steps_each, &rngs[i]);
-    });
-  }
-  for (auto& w : workers) {
-    w.join();
+  auto collect_one = [&](int i) {
+    buffers[static_cast<size_t>(i)] =
+        CollectWith(clones[static_cast<size_t>(i)].get(), envs[static_cast<size_t>(i)],
+                    steps_each, &rngs[static_cast<size_t>(i)]);
+  };
+  if (parallel_collection_) {
+    ThreadPool::Shared().ParallelFor(static_cast<int>(envs.size()), collect_one);
+  } else {
+    for (int i = 0; i < static_cast<int>(envs.size()); ++i) {
+      collect_one(i);
+    }
   }
   return buffers;
 }
@@ -175,23 +176,28 @@ PpoStats PpoTrainer::Update(const std::vector<const RolloutBuffer*>& buffers) {
   int update_count = 0;
 
   const size_t obs_dim = all[0].observation.size();
+  // Minibatch matrices are member workspaces: steady-state updates are
+  // allocation-free (Resize reuses capacity).
+  Matrix& obs = batch_obs_;
+  Matrix& mean = batch_mean_;
+  Matrix& value = batch_value_;
+  Matrix& dmean = batch_dmean_;
+  Matrix& dvalue = batch_dvalue_;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     rng_.Shuffle(&order);
     for (size_t begin = 0; begin < n; begin += static_cast<size_t>(config_.minibatch_size)) {
       const size_t end = std::min(n, begin + static_cast<size_t>(config_.minibatch_size));
       const size_t batch = end - begin;
-      Matrix obs(batch, obs_dim);
+      obs.Resize(batch, obs_dim);
       for (size_t b = 0; b < batch; ++b) {
         obs.SetRow(b, all[order[begin + b]].observation);
       }
-      Matrix mean;
-      Matrix value;
       model_->ZeroGrad();
       model_->Forward(obs, &mean, &value);
       const double std = std::exp(model_->log_std());
 
-      Matrix dmean(batch, 1);
-      Matrix dvalue(batch, 1);
+      dmean.Resize(batch, 1);
+      dvalue.Resize(batch, 1);
       double log_std_grad = 0.0;
       double policy_loss = 0.0;
       double value_loss = 0.0;

@@ -62,10 +62,19 @@ class PpoTrainer {
   // resetting the environment at the start and on episode end. GAE targets are filled.
   RolloutBuffer CollectRollout(Env* env, int steps);
 
-  // Collects one rollout from each environment concurrently (one thread per env, each
-  // acting on a cloned model — this is the paper's Ray/RLlib-style parallel training).
+  // Collects one rollout from each environment concurrently on the shared
+  // ThreadPool, each worker acting on a cloned model with its own Rng stream (the
+  // paper's Ray/RLlib-style parallel training). Streams are seeded on the calling
+  // thread in env order, so the result is bit-identical to serial collection over
+  // the same envs and independent of thread count/scheduling (the determinism
+  // contract of src/common/thread_pool.h).
   std::vector<RolloutBuffer> CollectRolloutsParallel(const std::vector<Env*>& envs,
                                                      int steps_each);
+
+  // When false, CollectRolloutsParallel runs its per-env tasks sequentially on the
+  // calling thread instead of the pool (same results; used to verify determinism).
+  void set_parallel_collection(bool enabled) { parallel_collection_ = enabled; }
+  bool parallel_collection() const { return parallel_collection_; }
 
   // Runs the clipped-surrogate update over the union of `buffers`. Passing two buffers
   // of equal size implements the online-adaptation objective of Eq. (6).
@@ -99,8 +108,15 @@ class PpoTrainer {
   AdamOptimizer optimizer_;
   Rng rng_;
   int iteration_ = 0;
+  bool parallel_collection_ = true;
   double last_mean_step_reward_ = 0.0;
   double last_mean_episode_return_ = 0.0;
+  // Update() minibatch workspaces (capacity reused across minibatches/iterations).
+  Matrix batch_obs_;
+  Matrix batch_mean_;
+  Matrix batch_value_;
+  Matrix batch_dmean_;
+  Matrix batch_dvalue_;
 };
 
 }  // namespace mocc

@@ -3,11 +3,23 @@
 #include <cmath>
 
 namespace mocc {
+namespace {
+
+// M_PI is a POSIX extension, not standard C++.
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
 
 void RolloutBuffer::Clear() {
   transitions.clear();
   advantages.clear();
   returns.clear();
+}
+
+void RolloutBuffer::Reserve(size_t steps) {
+  transitions.reserve(steps);
+  advantages.reserve(steps);
+  returns.reserve(steps);
 }
 
 void ComputeGae(RolloutBuffer* buffer, double gamma, double lam, double bootstrap_value) {
@@ -50,11 +62,11 @@ void NormalizeAdvantages(RolloutBuffer* buffer) {
 
 double GaussianLogProb(double x, double mean, double std) {
   const double z = (x - mean) / std;
-  return -0.5 * z * z - std::log(std) - 0.5 * std::log(2.0 * M_PI);
+  return -0.5 * z * z - std::log(std) - 0.5 * std::log(2.0 * kPi);
 }
 
 double GaussianEntropy(double std) {
-  return std::log(std) + 0.5 * std::log(2.0 * M_PI * std::exp(1.0));
+  return std::log(std) + 0.5 * std::log(2.0 * kPi * std::exp(1.0));
 }
 
 }  // namespace mocc

@@ -25,6 +25,9 @@ struct RolloutBuffer {
   std::vector<double> returns;
 
   void Clear();
+  // Preallocates storage for `steps` transitions and their GAE targets so
+  // collection and ComputeGae never reallocate mid-rollout.
+  void Reserve(size_t steps);
   size_t size() const { return transitions.size(); }
 };
 

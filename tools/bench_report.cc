@@ -1,0 +1,101 @@
+// Quick machine-readable performance report for the two hot loops behind the
+// paper's Figure 17 (per-MI policy-inference overhead) and Figure 19 (rollout
+// collection throughput for offline training). Runs in seconds — no model zoo,
+// no long training — and writes BENCH_report.json so the perf trajectory is
+// tracked across PRs. Human-readable numbers go to stdout.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/core/mocc_config.h"
+#include "src/core/preference_model.h"
+#include "src/envs/cc_env.h"
+#include "src/nn/mlp.h"
+#include "src/rl/actor_critic.h"
+#include "src/rl/ppo.h"
+
+using namespace mocc;
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Wall seconds to collect `total_steps` transitions split across `n_envs`
+// environments (the offline trainer's per-iteration collection pattern).
+double TimeRolloutCollection(int n_envs, int total_steps, bool parallel) {
+  MoccConfig config;
+  Rng rng(17);
+  PreferenceActorCritic model(config, &rng);
+  PpoConfig ppo_config = config.MakePpoConfig(/*seed=*/5);
+  PpoTrainer trainer(&model, ppo_config);
+  trainer.set_parallel_collection(parallel);
+  std::vector<std::unique_ptr<CcEnv>> envs;
+  std::vector<Env*> raw;
+  for (int i = 0; i < n_envs; ++i) {
+    envs.push_back(std::make_unique<CcEnv>(config.MakeEnvConfig(), 1000 + 13 * i));
+    raw.push_back(envs.back().get());
+  }
+  const int steps_each = total_steps / n_envs;
+  const double t0 = NowSeconds();
+  trainer.CollectRolloutsParallel(raw, steps_each);
+  return NowSeconds() - t0;
+}
+
+}  // namespace
+
+int main() {
+  MoccConfig config;
+
+  BenchJson json("report");
+  json.Add("hardware_concurrency",
+           static_cast<double>(ThreadPool::Shared().size()));
+
+  // --- Single-observation inference throughput (Figure 17's budget). ---
+  const InferencePathRates rates = MeasureInferencePaths(config);
+  const double seed_ops = rates.seed_batched_ops_per_sec;
+  const double batched_ops = rates.batched_ops_per_sec;
+  const double row_ops = rates.fast_row_ops_per_sec;
+
+  json.Add("inference_seed_batched_ops_per_sec", seed_ops);
+  json.Add("inference_batched_ops_per_sec", batched_ops);
+  json.Add("inference_fast_row_ops_per_sec", row_ops);
+  json.Add("fast_row_speedup_vs_seed_batched", seed_ops > 0.0 ? row_ops / seed_ops : 0.0);
+  json.Add("fast_row_speedup_vs_batched", batched_ops > 0.0 ? row_ops / batched_ops : 0.0);
+  std::printf("single-obs inference ops/sec:\n");
+  std::printf("  seed batched path      %12.0f\n", seed_ops);
+  std::printf("  batched (alloc-free)   %12.0f\n", batched_ops);
+  std::printf("  fused single-row       %12.0f  (%.1fx vs seed batched)\n", row_ops,
+              seed_ops > 0.0 ? row_ops / seed_ops : 0.0);
+
+  // --- Rollout collection scaling (Figure 19's mechanism). ---
+  const int total_steps = 4096;
+  const double serial_1env_s = TimeRolloutCollection(1, total_steps, /*parallel=*/false);
+  const double serial_4env_s = TimeRolloutCollection(4, total_steps, /*parallel=*/false);
+  const double pool_4env_s = TimeRolloutCollection(4, total_steps, /*parallel=*/true);
+  json.Add("rollout_steps_total", total_steps);
+  json.Add("rollout_1env_serial_wall_s", serial_1env_s);
+  json.Add("rollout_4env_serial_wall_s", serial_4env_s);
+  json.Add("rollout_4env_pool_wall_s", pool_4env_s);
+  json.Add("rollout_4env_pool_speedup_vs_serial",
+           pool_4env_s > 0.0 ? serial_4env_s / pool_4env_s : 0.0);
+  std::printf("rollout collection, %d total steps:\n", total_steps);
+  std::printf("  1 env, serial          %8.3f s\n", serial_1env_s);
+  std::printf("  4 envs, serial         %8.3f s\n", serial_4env_s);
+  std::printf("  4 envs, thread pool    %8.3f s  (%.2fx vs 4-env serial; %d-wide pool)\n",
+              pool_4env_s, pool_4env_s > 0.0 ? serial_4env_s / pool_4env_s : 0.0,
+              ThreadPool::Shared().size());
+
+  if (!json.Write()) {
+    std::fprintf(stderr, "failed to write %s\n", json.path().c_str());
+    return 1;
+  }
+  return 0;
+}
