@@ -1,0 +1,85 @@
+// Scenario-suite throughput: environment steps/second for every catalog scenario
+// (policy inference included, untrained Figure-3 model — inference cost is
+// weight-independent). This is the training-side capacity number for each workload:
+// multi-flow scenarios pay for the packet-level shared bottleneck and report both
+// env steps (all agents advance together) and per-agent transition throughput.
+// Writes BENCH_scenarios.json so the per-scenario perf trajectory is tracked per PR.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "src/common/rng.h"
+#include "src/core/mocc_config.h"
+#include "src/core/preference_model.h"
+#include "src/envs/scenario.h"
+
+using namespace mocc;
+
+namespace {
+
+std::string JsonKey(std::string name) {
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+int main() {
+  MoccConfig config;
+  Rng rng(17);
+  PreferenceActorCritic model(config, &rng);
+
+  BenchJson json("scenarios");
+  std::printf("%-14s %7s %14s %16s\n", "scenario", "agents", "env_steps/s",
+              "agent_steps/s");
+
+  for (const Scenario& scenario : ScenarioRegistry::Global().scenarios()) {
+    double env_steps_per_sec = 0.0;
+    int agents = scenario.num_agents;
+    if (scenario.IsMultiFlow()) {
+      auto env = scenario.MakeMultiFlowEnv(config.MakeEnvConfig(), /*seed=*/101);
+      env->SetObjective(BalancedObjective());
+      std::vector<std::vector<double>> obs = env->Reset();
+      std::vector<double> actions(static_cast<size_t>(env->NumAgents()), 0.0);
+      env_steps_per_sec = MeasureOpsPerSec(
+          [&] {
+            for (int i = 0; i < env->NumAgents(); ++i) {
+              actions[static_cast<size_t>(i)] =
+                  model.ActionMean(obs[static_cast<size_t>(i)]);
+            }
+            VectorStepResult r = env->Step(actions);
+            obs = r.done ? env->Reset() : std::move(r.observations);
+          },
+          /*min_seconds=*/0.3);
+    } else {
+      auto env = scenario.MakeSingleFlowEnv(config.MakeEnvConfig(), /*seed=*/101);
+      env->SetObjective(BalancedObjective());
+      std::vector<double> obs = env->Reset();
+      env_steps_per_sec = MeasureOpsPerSec(
+          [&] {
+            StepResult r = env->Step(model.ActionMean(obs));
+            obs = r.done ? env->Reset() : std::move(r.observation);
+          },
+          /*min_seconds=*/0.3);
+    }
+    const double agent_steps_per_sec = env_steps_per_sec * agents;
+    std::printf("%-14s %7d %14.0f %16.0f\n", scenario.name.c_str(), agents,
+                env_steps_per_sec, agent_steps_per_sec);
+    const std::string key = JsonKey(scenario.name);
+    json.Add(key + "_env_steps_per_sec", env_steps_per_sec);
+    json.Add(key + "_agent_steps_per_sec", agent_steps_per_sec);
+    json.Add(key + "_agents", agents);
+  }
+
+  if (!json.Write()) {
+    std::fprintf(stderr, "failed to write %s\n", json.path().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -51,7 +51,7 @@ void CopaCc::OnAck(const AckInfo& ack) {
   cwnd_ = std::max(config_.min_cwnd, cwnd_ + direction_ * step);
 }
 
-void CopaCc::OnTimeout(double now_s) {
+void CopaCc::OnTimeout(double /*now_s*/) {
   cwnd_ = config_.min_cwnd;
   velocity_ = 1.0;
   direction_ = 0;

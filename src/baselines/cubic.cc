@@ -11,7 +11,7 @@ CubicCc::CubicCc(const CubicConfig& config)
       cwnd_(config.initial_cwnd),
       ssthresh_(std::numeric_limits<double>::infinity()) {}
 
-void CubicCc::OnFlowStart(double now_s) { epoch_start_s_ = -1.0; }
+void CubicCc::OnFlowStart(double /*now_s*/) { epoch_start_s_ = -1.0; }
 
 void CubicCc::OnAck(const AckInfo& ack) {
   srtt_s_ = srtt_s_ <= 0.0 ? ack.rtt_s : 0.875 * srtt_s_ + 0.125 * ack.rtt_s;

@@ -50,12 +50,12 @@ void VegasCc::PerRttAdjust() {
   }
 }
 
-void VegasCc::OnPacketLost(const LossInfo& loss) {
+void VegasCc::OnPacketLost(const LossInfo& /*loss*/) {
   slow_start_ = false;
   cwnd_ = std::max(config_.min_cwnd, cwnd_ * 0.75);
 }
 
-void VegasCc::OnTimeout(double now_s) {
+void VegasCc::OnTimeout(double /*now_s*/) {
   slow_start_ = true;
   grow_this_rtt_ = true;
   cwnd_ = config_.min_cwnd;

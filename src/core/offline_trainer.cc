@@ -37,14 +37,95 @@ OfflineTrainer::OfflineTrainer(PreferenceActorCritic* model, const OfflineTrainC
       mix_rng_(config.seed * 31 + 5) {
   assert(model_ != nullptr);
   const int n_envs = std::max(1, config_.parallel_envs);
-  for (int i = 0; i < n_envs; ++i) {
-    envs_.push_back(std::make_unique<CcEnv>(config_.mocc.MakeEnvConfig(),
-                                            config_.seed * 977 + 13 * i + 1));
+  if (config_.scenarios.empty()) {
+    for (int i = 0; i < n_envs; ++i) {
+      envs_.push_back(std::make_unique<CcEnv>(config_.mocc.MakeEnvConfig(),
+                                              config_.seed * 977 + 13 * i + 1));
+    }
+    return;
   }
+  // Scenario-sampled training: slot i runs scenarios[i % S]; every slot gets its own
+  // deterministic seed so collection is reproducible in any execution order. At least
+  // one slot per scenario, so a scenario list longer than parallel_envs is never
+  // silently truncated.
+  const int n_slots =
+      std::max(n_envs, static_cast<int>(config_.scenarios.size()));
+  for (int i = 0; i < n_slots; ++i) {
+    const Scenario& scenario =
+        config_.scenarios[static_cast<size_t>(i) % config_.scenarios.size()];
+    const uint64_t seed = config_.seed * 977 + 13 * i + 1;
+    EnvSlot slot;
+    if (scenario.IsMultiFlow()) {
+      multi_envs_.push_back(
+          scenario.MakeMultiFlowEnv(config_.mocc.MakeEnvConfig(), seed));
+      slot.multi = multi_envs_.back().get();
+    } else {
+      envs_.push_back(scenario.MakeSingleFlowEnv(config_.mocc.MakeEnvConfig(), seed));
+      slot.single = envs_.back().get();
+    }
+    slots_.push_back(slot);
+  }
+}
+
+void OfflineTrainer::SetSlotObjective(const EnvSlot& slot, const WeightVector& w) {
+  if (slot.multi != nullptr) {
+    slot.multi->SetObjective(w);
+  } else {
+    slot.single->SetObjective(w);
+  }
+}
+
+PpoStats OfflineTrainer::RunScenarioIteration(const std::vector<WeightVector>& objectives) {
+  assert(!objectives.empty());
+  // Every objective in the batch must be collected (the legacy single-env path loops
+  // over all of them; dropping the tail would e.g. disable the traversal phase's
+  // retention mixing). With fewer slots than objectives, collection runs in waves —
+  // each wave re-assigns objectives round-robin and collects all slots in parallel —
+  // and one joint update consumes every wave's buffers.
+  std::vector<PpoTrainer::RolloutSource> sources;
+  sources.reserve(slots_.size());
+  int trajectories_per_wave = 0;
+  for (const EnvSlot& slot : slots_) {
+    PpoTrainer::RolloutSource source;
+    if (slot.multi != nullptr) {
+      source.vec = slot.multi;
+      trajectories_per_wave += slot.multi->NumAgents();
+    } else {
+      source.env = slot.single;
+      trajectories_per_wave += 1;
+    }
+    sources.push_back(source);
+  }
+  const size_t waves =
+      (objectives.size() + slots_.size() - 1) / slots_.size();  // ceil
+  const int steps_each =
+      std::max(64, ppo_.config().rollout_steps /
+                       std::max(1, static_cast<int>(waves) * trajectories_per_wave));
+  std::vector<RolloutBuffer> buffers;
+  for (size_t wave = 0; wave < waves; ++wave) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      SetSlotObjective(slots_[i],
+                       objectives[(wave * slots_.size() + i) % objectives.size()]);
+    }
+    std::vector<RolloutBuffer> wave_buffers =
+        ppo_.CollectSourcesParallel(sources, steps_each);
+    for (RolloutBuffer& buffer : wave_buffers) {
+      buffers.push_back(std::move(buffer));
+    }
+  }
+  std::vector<const RolloutBuffer*> ptrs;
+  ptrs.reserve(buffers.size());
+  for (const auto& b : buffers) {
+    ptrs.push_back(&b);
+  }
+  return ppo_.Update(ptrs);
 }
 
 PpoStats OfflineTrainer::RunIteration(const std::vector<WeightVector>& objectives) {
   assert(!objectives.empty());
+  if (!slots_.empty()) {
+    return RunScenarioIteration(objectives);
+  }
   const int total_steps = ppo_.config().rollout_steps;
   if (envs_.size() == 1) {
     const int steps_each =

@@ -22,6 +22,7 @@
 #include "src/core/objective_space.h"
 #include "src/core/preference_model.h"
 #include "src/envs/cc_env.h"
+#include "src/envs/scenario.h"
 #include "src/rl/ppo.h"
 
 namespace mocc {
@@ -50,6 +51,14 @@ struct OfflineTrainConfig {
   // already-trained base model, so it refines rather than re-learns.
   double traversal_lr_factor = 0.3;
   std::vector<WeightVector> bootstrap_objectives = DefaultBootstrapObjectives();
+  // Scenario-sampled training: when non-empty, environment slot i runs
+  // scenarios[i % scenarios.size()] — single-flow scenarios as CcEnv episodes,
+  // multi-flow scenarios as shared-bottleneck MultiFlowCcEnv episodes whose per-agent
+  // trajectories all feed the joint PPO update. The trainer allocates
+  // max(parallel_envs, scenarios.size()) slots so every listed scenario trains even
+  // when parallel_envs is smaller. Empty keeps the paper's single-flow sampled-link
+  // training. Resolve names via ScenarioRegistry::Global().
+  std::vector<Scenario> scenarios;
   uint64_t seed = 7;
 
   // Total PPO iterations this configuration will run.
@@ -80,6 +89,12 @@ class OfflineTrainer {
   // Landmark grid of this configuration (ω objectives).
   const std::vector<WeightVector>& landmarks() const { return landmarks_; }
 
+  // Environment slots actually allocated: max(parallel_envs, scenarios.size()) under
+  // scenario training, parallel_envs otherwise.
+  int slot_count() const {
+    return static_cast<int>(slots_.empty() ? envs_.size() : slots_.size());
+  }
+
   PpoTrainer& ppo() { return ppo_; }
 
  private:
@@ -87,12 +102,26 @@ class OfflineTrainer {
   // step budget split evenly), one joint clipped-surrogate update.
   PpoStats RunIteration(const std::vector<WeightVector>& objectives);
 
+  // One training environment slot — exactly one pointer set, depending on whether the
+  // slot's scenario is single- or multi-flow.
+  struct EnvSlot {
+    CcEnv* single = nullptr;
+    MultiFlowCcEnv* multi = nullptr;
+  };
+
+  void SetSlotObjective(const EnvSlot& slot, const WeightVector& w);
+  // The scenario-training iteration: every slot collects (in parallel, deterministic)
+  // and all per-flow buffers join one update.
+  PpoStats RunScenarioIteration(const std::vector<WeightVector>& objectives);
+
   PreferenceActorCritic* model_;
   OfflineTrainConfig config_;
   std::vector<WeightVector> landmarks_;
   ObjectiveGraph graph_;
   PpoTrainer ppo_;
   std::vector<std::unique_ptr<CcEnv>> envs_;
+  std::vector<std::unique_ptr<MultiFlowCcEnv>> multi_envs_;
+  std::vector<EnvSlot> slots_;  // non-empty iff config_.scenarios is non-empty
   Rng mix_rng_;
 };
 

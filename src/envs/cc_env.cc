@@ -33,8 +33,15 @@ double CcEnv::MiDurationS() const {
 std::vector<double> CcEnv::Reset() {
   const LinkParams params =
       fixed_link_.has_value() ? *fixed_link_ : config_.link_range.Sample(&rng_);
+  // FluidLink::Reset clears any previously installed trace, so an episode only sees a
+  // trace when one is (re)installed below. Precedence (see SetBandwidthTrace): a
+  // per-episode generator wins over a fixed trace, and any trace wins over the
+  // fixed/sampled link's constant bandwidth — LinkParams keeps supplying the delay,
+  // queue, loss rate and the pre-first-step fallback bandwidth.
   link_.Reset(params);
-  if (!trace_.empty()) {
+  if (trace_generator_) {
+    link_.SetBandwidthTrace(trace_generator_(params, &rng_));
+  } else if (!trace_.empty()) {
     link_.SetBandwidthTrace(trace_);
   }
   estimator_.Reset();
@@ -42,9 +49,12 @@ std::vector<double> CcEnv::Reset() {
   prev_avg_rtt_s_ = 0.0;
   step_count_ = 0;
   // Start near a random fraction of capacity so the policy sees both under- and
-  // over-shoot regimes from the first step.
-  rate_bps_ =
-      std::max(config_.min_rate_bps, params.bandwidth_bps * rng_.Uniform(0.3, 1.5));
+  // over-shoot regimes from the first step. Capacity is the effective (trace-aware)
+  // bandwidth: on a trace-driven episode the LinkParams bandwidth may be far from the
+  // trace's starting rate, and anchoring the initial rate to the wrong one would push
+  // every trace episode into a pure over- or under-shoot regime.
+  rate_bps_ = std::max(config_.min_rate_bps,
+                       link_.CurrentBandwidthBps() * rng_.Uniform(0.3, 1.5));
   // Warm the history with one neutral interval measurement.
   const MonitorReport report = link_.Step(rate_bps_, MiDurationS());
   last_report_ = report;

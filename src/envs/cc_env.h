@@ -10,6 +10,7 @@
 #ifndef MOCC_SRC_ENVS_CC_ENV_H_
 #define MOCC_SRC_ENVS_CC_ENV_H_
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -59,8 +60,23 @@ class CcEnv : public Env {
   void SetFixedLink(const LinkParams& params) { fixed_link_ = params; }
   void ClearFixedLink() { fixed_link_.reset(); }
 
-  // Installs a bandwidth trace applied after each Reset (for trace-driven evaluation).
+  // Installs a bandwidth trace applied after each Reset (for trace-driven workloads).
+  //
+  // Precedence when combined with SetFixedLink (or the sampled per-episode link): the
+  // trace wins for bandwidth. The LinkParams still supply the propagation delay, queue
+  // capacity, random-loss rate, and the fallback bandwidth before the trace's first
+  // step. Everything bandwidth-dependent — the initial rate draw, the rate clamps and
+  // the reward's capacity term — follows the trace, not LinkParams::bandwidth_bps.
   void SetBandwidthTrace(BandwidthTrace trace) { trace_ = std::move(trace); }
+  void ClearBandwidthTrace() { trace_ = BandwidthTrace(); }
+
+  // Installs a per-episode trace generator, invoked at each Reset with the episode's
+  // link and the environment Rng (scenario-sampled workloads, e.g. a fresh random-walk
+  // trace every episode). Wins over SetBandwidthTrace; pass nullptr to remove.
+  using TraceGenerator = std::function<BandwidthTrace(const LinkParams&, Rng*)>;
+  void SetTraceGenerator(TraceGenerator generator) {
+    trace_generator_ = std::move(generator);
+  }
 
   std::vector<double> Reset() override;
   StepResult Step(double action) override;
@@ -69,6 +85,9 @@ class CcEnv : public Env {
   // Introspection for evaluation harnesses.
   const MonitorReport& last_report() const { return last_report_; }
   const LinkParams& current_link() const { return link_.params(); }
+  // Effective bottleneck bandwidth right now — honours the installed trace, unlike
+  // current_link().bandwidth_bps which is the LinkParams fallback.
+  double current_bandwidth_bps() const { return link_.CurrentBandwidthBps(); }
   double current_rate_bps() const { return rate_bps_; }
   const CcEnvConfig& config() const { return config_; }
 
@@ -83,6 +102,7 @@ class CcEnv : public Env {
   Rng rng_;
   FluidLink link_;
   BandwidthTrace trace_;
+  TraceGenerator trace_generator_;
   std::optional<LinkParams> fixed_link_;
   WeightVector weight_;
   OnlineLinkEstimator estimator_;

@@ -26,6 +26,38 @@ class Env {
   virtual size_t ObservationDim() const = 0;
 };
 
+// One synchronized step of a multi-agent environment: per-agent observations and
+// rewards, one shared episode-termination flag (all agents live in one simulation).
+struct VectorStepResult {
+  std::vector<std::vector<double>> observations;
+  std::vector<double> rewards;
+  bool done = false;
+};
+
+// Synchronized multi-agent environment: every agent submits one action per step and
+// all actions are applied to a single shared simulation (the shared-bottleneck
+// training scenarios). Observation layout per agent matches Env.
+class VectorEnv {
+ public:
+  virtual ~VectorEnv() = default;
+
+  // Starts a new episode and returns one initial observation per agent.
+  virtual std::vector<std::vector<double>> Reset() = 0;
+
+  // Applies actions[i] as agent i's action and advances the shared simulation by
+  // one monitor interval. Requires actions.size() == NumAgents().
+  virtual VectorStepResult Step(const std::vector<double>& actions) = 0;
+
+  // Whether agent i's next action will actually be applied (e.g. its flow has
+  // arrived in a staggered schedule). Rollout collectors skip inactive agents so
+  // no fictitious transitions enter training. Activity may only turn on between
+  // Reset boundaries (flows arrive; they never leave mid-episode).
+  virtual bool AgentActive(int /*agent*/) const { return true; }
+
+  virtual int NumAgents() const = 0;
+  virtual size_t ObservationDim() const = 0;
+};
+
 }  // namespace mocc
 
 #endif  // MOCC_SRC_ENVS_ENV_H_

@@ -1,0 +1,239 @@
+#include "src/envs/multi_flow_cc_env.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/stats.h"
+#include "src/core/reward.h"
+#include "src/envs/cc_env.h"
+
+namespace mocc {
+namespace {
+
+// Environment step boundaries and flow monitor events land on the same time grid but
+// accumulate floating-point error in different summation orders; running a hair past
+// the boundary keeps every boundary-aligned event inside its intended step.
+constexpr double kBoundarySlopS = 1e-9;
+
+}  // namespace
+
+MultiFlowCcEnv::MultiFlowCcEnv(const MultiFlowCcEnvConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  assert(config_.num_agents >= 1);
+  assert(config_.history_len > 0);
+  for (int i = 0; i < config_.num_agents; ++i) {
+    weights_.emplace_back();
+    histories_.emplace_back(config_.history_len);
+  }
+}
+
+void MultiFlowCcEnv::SetObjective(const WeightVector& w) {
+  for (WeightVector& weight : weights_) {
+    weight = w.Sanitized();
+  }
+}
+
+void MultiFlowCcEnv::SetAgentObjective(int agent, const WeightVector& w) {
+  weights_[static_cast<size_t>(agent)] = w.Sanitized();
+}
+
+size_t MultiFlowCcEnv::ObservationDim() const {
+  return (config_.include_weight_in_obs ? 3 : 0) + 3 * config_.history_len;
+}
+
+double MultiFlowCcEnv::current_bandwidth_bps() const {
+  return net_ != nullptr ? net_->CurrentBandwidthBps() : link_.bandwidth_bps;
+}
+
+bool MultiFlowCcEnv::AgentStarted(int agent) const {
+  return agent_start_s_[static_cast<size_t>(agent)] <= env_time_s_ + kBoundarySlopS;
+}
+
+int MultiFlowCcEnv::ActiveFlowCount() const {
+  int active = 0;
+  for (double start : agent_start_s_) {
+    if (start <= env_time_s_ + kBoundarySlopS) {
+      ++active;
+    }
+  }
+  for (const CompetitorFlow& competitor : config_.competitors) {
+    if (competitor.start_time_s <= env_time_s_ + kBoundarySlopS &&
+        env_time_s_ < competitor.stop_time_s) {
+      ++active;
+    }
+  }
+  return std::max(1, active);
+}
+
+double MultiFlowCcEnv::FairShareBps() const {
+  return current_bandwidth_bps() / static_cast<double>(ActiveFlowCount());
+}
+
+double MultiFlowCcEnv::agent_rate_bps(int agent) const {
+  return agent_ccs_[static_cast<size_t>(agent)]->rate_bps();
+}
+
+const MonitorReport& MultiFlowCcEnv::agent_last_report(int agent) const {
+  return agent_ccs_[static_cast<size_t>(agent)]->last_report();
+}
+
+std::vector<std::vector<double>> MultiFlowCcEnv::Reset() {
+  link_ = config_.fixed_link.has_value() ? *config_.fixed_link
+                                         : config_.link_range.Sample(&rng_);
+  // Same trace precedence as CcEnv: generator > fixed trace > constant bandwidth.
+  BandwidthTrace trace;
+  if (config_.trace_generator) {
+    trace = config_.trace_generator(link_, &rng_);
+  } else if (!config_.trace.empty()) {
+    trace = config_.trace;
+  }
+
+  net_ = std::make_unique<PacketNetwork>(link_, rng_.NextU64());
+  if (!trace.empty()) {
+    net_->SetBandwidthTrace(std::move(trace));
+  }
+
+  step_s_ = std::max(config_.step_min_duration_s,
+                     config_.step_rtt_multiple * link_.BaseRttS());
+  env_time_s_ = 0.0;
+  step_count_ = 0;
+
+  const double bw0 = net_->CurrentBandwidthBps();
+  const int total_flows =
+      config_.num_agents + static_cast<int>(config_.competitors.size());
+  const double share0 = bw0 / static_cast<double>(std::max(1, total_flows));
+
+  agent_ccs_.clear();
+  agent_flow_ids_.clear();
+  agent_start_s_.clear();
+  competitor_flow_ids_.clear();
+  for (int i = 0; i < config_.num_agents; ++i) {
+    histories_[static_cast<size_t>(i)].Reset();
+    // Flow arrivals snap to the step grid so every flow's monitor intervals stay
+    // aligned with the synchronized environment step.
+    const double start_s =
+        std::round(static_cast<double>(i) * config_.agent_stagger_s / step_s_) * step_s_;
+    // Start near a random fraction of the fair share so agents see both under- and
+    // over-shoot regimes from the first step (the CcEnv initialisation, per flow).
+    const double jitter = std::clamp(config_.initial_rate_jitter, 0.0, 1.0);
+    const double initial_rate = std::max(
+        config_.min_rate_bps, share0 * rng_.Uniform(1.0 - jitter, 1.0 + jitter));
+    auto cc = std::make_unique<ExternalRateCc>(initial_rate);
+    agent_ccs_.push_back(cc.get());
+    FlowOptions options;
+    options.start_time_s = start_s;
+    options.mi_fixed_duration_s = step_s_;
+    options.initial_rate_bps = initial_rate;
+    agent_flow_ids_.push_back(net_->AddFlow(std::move(cc), options));
+    agent_start_s_.push_back(start_s);
+  }
+  for (const CompetitorFlow& competitor : config_.competitors) {
+    assert(competitor.make != nullptr);
+    FlowOptions options;
+    options.start_time_s = competitor.start_time_s;
+    options.stop_time_s = competitor.stop_time_s;
+    competitor_flow_ids_.push_back(net_->AddFlow(competitor.make(), options));
+  }
+
+  // Warm the histories with one neutral interval, as in CcEnv::Reset.
+  env_time_s_ = step_s_;
+  net_->Run(env_time_s_ + kBoundarySlopS);
+  std::vector<std::vector<double>> observations;
+  observations.reserve(static_cast<size_t>(config_.num_agents));
+  for (int i = 0; i < config_.num_agents; ++i) {
+    ExternalRateCc* cc = agent_ccs_[static_cast<size_t>(i)];
+    if (cc->has_report()) {
+      histories_[static_cast<size_t>(i)].Push(cc->last_report());
+    }
+    observations.push_back(BuildObservation(i));
+  }
+  return observations;
+}
+
+VectorStepResult MultiFlowCcEnv::Step(const std::vector<double>& actions) {
+  assert(net_ != nullptr && "Step before Reset");
+  assert(static_cast<int>(actions.size()) == config_.num_agents);
+  const double bw_before = current_bandwidth_bps();
+  const double share = bw_before / static_cast<double>(ActiveFlowCount());
+  const double min_rate =
+      std::max(config_.min_rate_bps, config_.min_rate_fraction_of_share * share);
+  const double max_rate = std::max(min_rate, bw_before * config_.max_rate_multiple);
+  for (int i = 0; i < config_.num_agents; ++i) {
+    if (!AgentStarted(i)) {
+      continue;  // the action of a not-yet-arrived flow is ignored
+    }
+    ExternalRateCc* cc = agent_ccs_[static_cast<size_t>(i)];
+    const double action = std::clamp(actions[static_cast<size_t>(i)], -1e3, 1e3);
+    double rate = CcEnv::ApplyRateAction(cc->rate_bps(), action, config_.action_scale);
+    cc->set_rate_bps(std::clamp(rate, min_rate, max_rate));
+  }
+
+  env_time_s_ += step_s_;
+  net_->Run(env_time_s_ + kBoundarySlopS);
+
+  const double bw = current_bandwidth_bps();
+  const double capacity =
+      config_.fair_share_reward ? bw / static_cast<double>(ActiveFlowCount()) : bw;
+  const double base_rtt = link_.BaseRttS();
+
+  VectorStepResult result;
+  result.observations.reserve(static_cast<size_t>(config_.num_agents));
+  result.rewards.resize(static_cast<size_t>(config_.num_agents), 0.0);
+  for (int i = 0; i < config_.num_agents; ++i) {
+    ExternalRateCc* cc = agent_ccs_[static_cast<size_t>(i)];
+    if (AgentStarted(i) && cc->has_report()) {
+      histories_[static_cast<size_t>(i)].Push(cc->last_report());
+      result.rewards[static_cast<size_t>(i)] =
+          DynamicReward(weights_[static_cast<size_t>(i)], cc->last_report(), capacity,
+                        base_rtt);
+    }
+    result.observations.push_back(BuildObservation(i));
+  }
+  ++step_count_;
+  result.done = step_count_ >= config_.max_steps_per_episode;
+  return result;
+}
+
+std::vector<double> MultiFlowCcEnv::BuildObservation(int agent) const {
+  std::vector<double> obs;
+  obs.reserve(ObservationDim());
+  if (config_.include_weight_in_obs) {
+    const WeightVector& w = weights_[static_cast<size_t>(agent)];
+    obs.push_back(w.thr);
+    obs.push_back(w.lat);
+    obs.push_back(w.loss);
+  }
+  histories_[static_cast<size_t>(agent)].AppendObservation(&obs);
+  return obs;
+}
+
+double MultiFlowCcEnv::LastStepJainIndex() const {
+  std::vector<double> throughputs;
+  for (int i = 0; i < config_.num_agents; ++i) {
+    const ExternalRateCc* cc = agent_ccs_[static_cast<size_t>(i)];
+    if (AgentStarted(i) && cc->has_report()) {
+      throughputs.push_back(cc->last_report().throughput_bps);
+    }
+  }
+  return JainFairnessIndex(throughputs);
+}
+
+std::vector<double> MultiFlowCcEnv::AgentAvgThroughputsBps(double from_s,
+                                                           double to_s) const {
+  std::vector<double> throughputs;
+  if (net_ == nullptr) {
+    return throughputs;
+  }
+  throughputs.reserve(agent_flow_ids_.size());
+  for (int flow_id : agent_flow_ids_) {
+    throughputs.push_back(net_->record(flow_id).AvgThroughputBps(from_s, to_s));
+  }
+  return throughputs;
+}
+
+double MultiFlowCcEnv::JainIndex(double from_s, double to_s) const {
+  return JainFairnessIndex(AgentAvgThroughputsBps(from_s, to_s));
+}
+
+}  // namespace mocc

@@ -1,0 +1,163 @@
+// Shared-bottleneck multi-flow training environment (the paper's competing-flow
+// evaluations — fairness/TCP-friendliness, Figs. 11-15 — turned into a training
+// scenario). N MOCC agents, optionally mixed with handcrafted competitor flows
+// (CUBIC, BBR, ...), share one droptail bottleneck simulated by the packet-level
+// PacketNetwork. All agents act synchronously once per monitor interval: the
+// environment advances the event-driven simulation by one fixed-duration MI,
+// aggregates per-flow statistics, and hands every agent its own observation
+// (weight prefix + g⃗(t,η) history, identical to the single-flow CcEnv layout)
+// and its own Eq. (2) reward. Fairness is first-class: the reward's capacity
+// term can use the per-flow fair share (bandwidth / active flows), and Jain's
+// index over the competing flows is exposed for introspection.
+#ifndef MOCC_SRC_ENVS_MULTI_FLOW_CC_ENV_H_
+#define MOCC_SRC_ENVS_MULTI_FLOW_CC_ENV_H_
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/weight_vector.h"
+#include "src/envs/env.h"
+#include "src/envs/mi_history.h"
+#include "src/netsim/packet_network.h"
+
+namespace mocc {
+
+// A rate-based congestion controller whose pacing rate is set externally — the bridge
+// between the action-driven RL environment and the event-driven PacketNetwork. The
+// simulator's monitor mechanism (FlowOptions::mi_fixed_duration_s) aggregates the MI
+// statistics the environment reads back after each step.
+class ExternalRateCc : public CongestionControl {
+ public:
+  explicit ExternalRateCc(double initial_rate_bps) : rate_bps_(initial_rate_bps) {}
+
+  CcMode Mode() const override { return CcMode::kRateBased; }
+  std::string Name() const override { return "external-rate"; }
+  void OnMonitorInterval(const MonitorReport& report) override {
+    last_report_ = report;
+    has_report_ = true;
+  }
+  double PacingRateBps() const override { return rate_bps_; }
+
+  void set_rate_bps(double rate_bps) { rate_bps_ = rate_bps; }
+  double rate_bps() const { return rate_bps_; }
+  bool has_report() const { return has_report_; }
+  const MonitorReport& last_report() const { return last_report_; }
+
+ private:
+  double rate_bps_;
+  MonitorReport last_report_;
+  bool has_report_ = false;
+};
+
+// One non-agent flow sharing the bottleneck (a handcrafted/online-learning baseline
+// driving itself through the generic CongestionControl interface).
+struct CompetitorFlow {
+  std::string name;
+  std::function<std::unique_ptr<CongestionControl>()> make;
+  double start_time_s = 0.0;
+  double stop_time_s = std::numeric_limits<double>::infinity();
+};
+
+struct MultiFlowCcEnvConfig {
+  int num_agents = 2;
+  // Link selection per episode: the fixed link if set, otherwise sampled from the range.
+  LinkParamsRange link_range = TrainingRange();
+  std::optional<LinkParams> fixed_link;
+  // Bandwidth schedule, same precedence as CcEnv: the per-episode generator wins over
+  // the fixed trace; any trace wins over the link's constant bandwidth.
+  BandwidthTrace trace;
+  std::function<BandwidthTrace(const LinkParams&, Rng*)> trace_generator;
+  std::vector<CompetitorFlow> competitors;
+  // Agent i's flow starts at i * agent_stagger_s (snapped to the step grid), modelling
+  // flow-arrival dynamics; 0 starts everyone together.
+  double agent_stagger_s = 0.0;
+  size_t history_len = 10;        // η (Table 2)
+  double action_scale = 0.025;    // α (Table 2)
+  // Synchronized environment step = one monitor interval for every flow:
+  // max(step_min_duration_s, step_rtt_multiple * base RTT), fixed per episode.
+  double step_rtt_multiple = 1.0;
+  double step_min_duration_s = 0.010;
+  int max_steps_per_episode = 400;
+  bool include_weight_in_obs = true;
+  // true: the reward's capacity term is the fair share (bandwidth / active flows), so
+  // each agent is rewarded for regulating around its share rather than the whole pipe;
+  // false: full bandwidth, as in the single-flow CcEnv.
+  bool fair_share_reward = true;
+  double min_rate_bps = 0.05e6;
+  // Training floor as a fraction of the fair share (the CcEnv floor rationale, scaled
+  // to contention: it removes the idle attractor without forcing overload when N is
+  // large). The ceiling stays a multiple of the FULL bandwidth so fairness must be
+  // learned, not enforced by the clamp.
+  double min_rate_fraction_of_share = 0.2;
+  double max_rate_multiple = 8.0;
+  // Each agent's initial rate is fair_share * Uniform(1 - jitter, 1 + jitter), so
+  // training episodes start off the symmetric fixed point (agents must cope with both
+  // under- and over-shoot, as in CcEnv). Evaluation harnesses probing fairness
+  // maintenance can set 0 for exact fair-share starts.
+  double initial_rate_jitter = 0.6;
+};
+
+class MultiFlowCcEnv : public VectorEnv {
+ public:
+  MultiFlowCcEnv(const MultiFlowCcEnvConfig& config, uint64_t seed);
+
+  // Sets every agent's objective (per-agent variants for heterogeneous-requirement
+  // scenarios). May be changed between episodes.
+  void SetObjective(const WeightVector& w);
+  void SetAgentObjective(int agent, const WeightVector& w);
+  const WeightVector& agent_objective(int agent) const {
+    return weights_[static_cast<size_t>(agent)];
+  }
+
+  std::vector<std::vector<double>> Reset() override;
+  VectorStepResult Step(const std::vector<double>& actions) override;
+  int NumAgents() const override { return config_.num_agents; }
+  bool AgentActive(int agent) const override { return AgentStarted(agent); }
+  size_t ObservationDim() const override;
+
+  // --- Introspection for tests/benchmarks/evaluation harnesses. ---
+  const MultiFlowCcEnvConfig& config() const { return config_; }
+  const LinkParams& current_link() const { return link_; }
+  double current_bandwidth_bps() const;
+  double now_s() const { return env_time_s_; }
+  double step_duration_s() const { return step_s_; }
+  // Flows currently sharing the bottleneck (started agents + scheduled competitors).
+  int ActiveFlowCount() const;
+  bool AgentStarted(int agent) const;
+  double agent_rate_bps(int agent) const;
+  const MonitorReport& agent_last_report(int agent) const;
+  // Jain's fairness index over the started agents' last-MI delivered throughputs.
+  double LastStepJainIndex() const;
+  // Per-agent mean delivered throughput (bps) over [from_s, to_s) of the current
+  // episode, from the simulator's ACK log — the steady-state fairness metric.
+  std::vector<double> AgentAvgThroughputsBps(double from_s, double to_s) const;
+  // Jain's index over AgentAvgThroughputsBps — the paper's Fig. 12 metric.
+  double JainIndex(double from_s, double to_s) const;
+
+ private:
+  std::vector<double> BuildObservation(int agent) const;
+  double FairShareBps() const;
+
+  MultiFlowCcEnvConfig config_;
+  Rng rng_;
+  std::vector<WeightVector> weights_;
+  std::vector<MiHistoryTracker> histories_;
+  LinkParams link_;
+  std::unique_ptr<PacketNetwork> net_;
+  std::vector<ExternalRateCc*> agent_ccs_;  // owned by net_
+  std::vector<int> agent_flow_ids_;
+  std::vector<double> agent_start_s_;
+  std::vector<int> competitor_flow_ids_;
+  double step_s_ = 0.0;
+  double env_time_s_ = 0.0;
+  int step_count_ = 0;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_ENVS_MULTI_FLOW_CC_ENV_H_

@@ -1,0 +1,304 @@
+#include "src/envs/scenario.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/baselines/allegro.h"
+#include "src/baselines/bbr.h"
+#include "src/baselines/copa.h"
+#include "src/baselines/cubic.h"
+#include "src/baselines/newreno.h"
+#include "src/baselines/vegas.h"
+#include "src/baselines/vivace.h"
+
+namespace mocc {
+namespace {
+
+// Long enough to cover any episode (400 steps x <=0.1 s plus warm-up).
+constexpr double kTraceHorizonS = 120.0;
+
+// The catalog's fixed mid-range training link (Table 3 training row midpoint).
+LinkParams StaticTrainingLink() {
+  LinkParams link;
+  link.bandwidth_bps = 3e6;
+  link.one_way_delay_s = 0.020;
+  link.queue_capacity_pkts = 500;
+  link.random_loss_rate = 0.0;
+  return link;
+}
+
+// Synthetic cellular-style delivery schedule in mahimahi format: per-second delivery
+// rate follows a jittered sinusoid around the link bandwidth, then each second emits
+// that many evenly spaced MTU delivery opportunities. Exercises the same
+// FromMahimahiTimestamps path as a real trace file, with no file dependency.
+BandwidthTrace SyntheticCellularTrace(const LinkParams& link, Rng* rng) {
+  std::vector<double> timestamps_ms;
+  const double phase = rng->Uniform(0.0, 2.0 * 3.14159265358979323846);
+  for (int second = 0; second < static_cast<int>(kTraceHorizonS); ++second) {
+    const double swing = 0.5 * std::sin(0.35 * static_cast<double>(second) + phase);
+    const double jitter = rng->Uniform(-0.1, 0.1);
+    const double rate_bps = link.bandwidth_bps * std::max(0.15, 1.0 + swing + jitter);
+    const int packets = std::max(
+        1, static_cast<int>(rate_bps / static_cast<double>(kDefaultPacketSizeBits)));
+    for (int p = 0; p < packets; ++p) {
+      timestamps_ms.push_back(
+          (static_cast<double>(second) + static_cast<double>(p) / packets) * 1e3);
+    }
+  }
+  return BandwidthTrace::FromMahimahiTimestamps(timestamps_ms, /*window_s=*/1.0);
+}
+
+std::vector<Scenario> BuildCatalog() {
+  std::vector<Scenario> catalog;
+
+  {
+    Scenario s;
+    s.name = "static";
+    s.description = "single flow, fixed mid-range training link, constant bandwidth";
+    s.fixed_link = StaticTrainingLink();
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "sampled-link";
+    s.description = "single flow, per-episode link sampled from the Table-3 training row";
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "oscillating";
+    s.description =
+        "single flow, bandwidth oscillating between 0.5x and 1.5x the sampled link "
+        "every 5 s (Fig 1a-style varying link)";
+    s.trace_generator = [](const LinkParams& link, Rng*) {
+      return BandwidthTrace::Oscillating(0.5 * link.bandwidth_bps,
+                                         1.5 * link.bandwidth_bps, 5.0, kTraceHorizonS);
+    };
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "random-walk";
+    s.description =
+        "single flow, bandwidth resampled uniformly in [0.5x, 1.5x] of the sampled "
+        "link every 2 s — a fresh walk every episode";
+    s.trace_generator = [](const LinkParams& link, Rng* rng) {
+      return BandwidthTrace::RandomWalk(0.5 * link.bandwidth_bps,
+                                        1.5 * link.bandwidth_bps, 2.0, kTraceHorizonS,
+                                        rng);
+    };
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "cellular";
+    s.description =
+        "single flow on a synthetic mahimahi-style cellular schedule (sinusoid-"
+        "modulated per-second delivery opportunities)";
+    s.trace_generator = SyntheticCellularTrace;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "flow-arrival";
+    s.description =
+        "3 agents arriving 4 s apart plus a CUBIC flow joining at 8 s and departing "
+        "at 20 s — arrival/departure dynamics on one bottleneck";
+    s.num_agents = 3;
+    s.agent_stagger_s = 4.0;
+    s.competitor_schemes = {"cubic"};
+    s.competitor_start_s = 8.0;
+    s.competitor_stop_s = 20.0;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "many-flow";
+    s.description = "8 agents contending for one sampled bottleneck, fair-share reward";
+    s.num_agents = 8;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "vs-cubic";
+    s.description = "2 agents sharing the bottleneck with 2 CUBIC flows (friendliness)";
+    s.num_agents = 2;
+    s.competitor_schemes = {"cubic", "cubic"};
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "vs-bbr";
+    s.description = "2 agents sharing the bottleneck with 2 BBR flows (friendliness)";
+    s.num_agents = 2;
+    s.competitor_schemes = {"bbr", "bbr"};
+    catalog.push_back(std::move(s));
+  }
+  return catalog;
+}
+
+}  // namespace
+
+std::unique_ptr<CongestionControl> MakeBaselineCc(const std::string& scheme) {
+  if (scheme == "cubic") {
+    return std::make_unique<CubicCc>();
+  }
+  if (scheme == "newreno") {
+    return std::make_unique<NewRenoCc>();
+  }
+  if (scheme == "vegas") {
+    return std::make_unique<VegasCc>();
+  }
+  if (scheme == "bbr") {
+    return std::make_unique<BbrCc>();
+  }
+  if (scheme == "copa") {
+    return std::make_unique<CopaCc>();
+  }
+  if (scheme == "allegro") {
+    return std::make_unique<AllegroCc>();
+  }
+  if (scheme == "vivace") {
+    return std::make_unique<VivaceCc>();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<CcEnv> Scenario::MakeSingleFlowEnv(const CcEnvConfig& base,
+                                                   uint64_t seed) const {
+  CcEnvConfig config = base;
+  if (link_range.has_value()) {
+    config.link_range = *link_range;
+  }
+  auto env = std::make_unique<CcEnv>(config, seed);
+  if (fixed_link.has_value()) {
+    env->SetFixedLink(*fixed_link);
+  }
+  if (trace_generator) {
+    env->SetTraceGenerator(trace_generator);
+  }
+  return env;
+}
+
+std::unique_ptr<MultiFlowCcEnv> Scenario::MakeMultiFlowEnv(const CcEnvConfig& base,
+                                                           uint64_t seed) const {
+  MultiFlowCcEnvConfig config;
+  config.num_agents = num_agents;
+  config.link_range = link_range.has_value() ? *link_range : base.link_range;
+  config.fixed_link = fixed_link;
+  config.trace_generator = trace_generator;
+  for (const std::string& scheme : competitor_schemes) {
+    CompetitorFlow competitor;
+    competitor.name = scheme;
+    competitor.make = [scheme]() { return MakeBaselineCc(scheme); };
+    competitor.start_time_s = competitor_start_s;
+    competitor.stop_time_s = competitor_stop_s;
+    config.competitors.push_back(std::move(competitor));
+  }
+  config.agent_stagger_s = agent_stagger_s;
+  config.history_len = base.history_len;
+  config.action_scale = base.action_scale;
+  config.step_rtt_multiple = base.mi_rtt_multiple;
+  config.step_min_duration_s = base.mi_min_duration_s;
+  config.max_steps_per_episode = base.max_steps_per_episode;
+  config.include_weight_in_obs = base.include_weight_in_obs;
+  config.fair_share_reward = fair_share_reward;
+  config.min_rate_bps = base.min_rate_bps;
+  config.min_rate_fraction_of_share = base.min_rate_fraction_of_bw;
+  config.max_rate_multiple = base.max_rate_multiple;
+  return std::make_unique<MultiFlowCcEnv>(config, seed);
+}
+
+ScenarioRegistry::ScenarioRegistry() : scenarios_(BuildCatalog()) {}
+
+const ScenarioRegistry& ScenarioRegistry::Global() {
+  static const ScenarioRegistry* registry = new ScenarioRegistry();
+  return *registry;
+}
+
+const Scenario* ScenarioRegistry::Find(const std::string& name) const {
+  for (const Scenario& scenario : scenarios_) {
+    if (scenario.name == name) {
+      return &scenario;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ScenarioRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(scenarios_.size());
+  for (const Scenario& scenario : scenarios_) {
+    names.push_back(scenario.name);
+  }
+  return names;
+}
+
+std::optional<Scenario> ScenarioRegistry::Resolve(const std::string& name,
+                                                  std::string* error) const {
+  if (const Scenario* found = Find(name)) {
+    return *found;
+  }
+  constexpr const char kMahimahiPrefix[] = "mahimahi:";
+  if (name.rfind(kMahimahiPrefix, 0) == 0) {
+    const std::string path = name.substr(sizeof(kMahimahiPrefix) - 1);
+    BandwidthTrace trace = BandwidthTrace::FromMahimahiFile(path);
+    if (trace.empty()) {
+      if (error != nullptr) {
+        *error = "cannot read mahimahi trace '" + path + "'";
+      }
+      return std::nullopt;
+    }
+    Scenario s;
+    s.name = name;
+    s.description = "single flow driven by the mahimahi trace " + path;
+    s.fixed_link = StaticTrainingLink();
+    // Shared ownership keeps Scenario copies cheap and the per-episode cost at one
+    // trace copy (the install into the link), independent of trace length.
+    auto shared = std::make_shared<const BandwidthTrace>(std::move(trace));
+    s.trace_generator = [shared](const LinkParams&, Rng*) { return *shared; };
+    return s;
+  }
+  if (error != nullptr) {
+    *error = "unknown scenario '" + name + "'";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<Scenario>> ScenarioRegistry::ResolveList(
+    const std::string& csv, std::string* error) const {
+  std::vector<Scenario> scenarios;
+  size_t begin = 0;
+  while (begin <= csv.size()) {
+    size_t end = csv.find(',', begin);
+    if (end == std::string::npos) {
+      end = csv.size();
+    }
+    const std::string name = csv.substr(begin, end - begin);
+    if (!name.empty()) {
+      std::optional<Scenario> scenario = Resolve(name, error);
+      if (!scenario.has_value()) {
+        return std::nullopt;
+      }
+      scenarios.push_back(std::move(*scenario));
+    }
+    begin = end + 1;
+  }
+  if (scenarios.empty()) {
+    if (error != nullptr) {
+      *error = "empty scenario list";
+    }
+    return std::nullopt;
+  }
+  return scenarios;
+}
+
+void PrintScenarioCatalog(std::FILE* out) {
+  for (const Scenario& s : ScenarioRegistry::Global().scenarios()) {
+    std::fprintf(out, "%-14s %s\n", s.name.c_str(), s.description.c_str());
+  }
+  std::fprintf(out, "%-14s %s\n", "mahimahi:PATH",
+               "single flow driven by the mahimahi trace file at PATH");
+}
+
+}  // namespace mocc

@@ -1,0 +1,96 @@
+// Named, reproducible training/evaluation workloads — the scenario subsystem. A
+// Scenario describes everything that varies between workloads (link selection,
+// bandwidth trace, number of competing agents, competitor schemes, flow
+// arrival/departure schedule) and knows how to build the matching environment:
+// single-flow CcEnv scenarios train exactly like the paper's §5 setup, multi-flow
+// scenarios train N agents against a shared PacketNetwork bottleneck
+// (MultiFlowCcEnv). The global ScenarioRegistry names the built-in catalog (static
+// link, oscillating / random-walk traces, mahimahi-style cellular traces, flow
+// arrival/departure, many-flow contention, MOCC-vs-CUBIC/BBR) so trainers, tools
+// and benchmarks can select workloads by name; "mahimahi:<path>" resolves a
+// trace file on disk into a trace-driven scenario.
+#ifndef MOCC_SRC_ENVS_SCENARIO_H_
+#define MOCC_SRC_ENVS_SCENARIO_H_
+
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/envs/cc_env.h"
+#include "src/envs/multi_flow_cc_env.h"
+#include "src/netsim/link_params.h"
+
+namespace mocc {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  // 1 with no competitors = single-flow CcEnv scenario; otherwise MultiFlowCcEnv.
+  int num_agents = 1;
+  // Link selection per episode: fixed_link if set, else link_range if set, else the
+  // environment's default sampling range (Table 3 training row).
+  std::optional<LinkParams> fixed_link;
+  std::optional<LinkParamsRange> link_range;
+  // Per-episode bandwidth schedule; null = constant bandwidth.
+  std::function<BandwidthTrace(const LinkParams&, Rng*)> trace_generator;
+  // Competitor flows sharing the bottleneck, by baseline scheme name (see
+  // MakeBaselineCc), with one shared arrival/departure schedule.
+  std::vector<std::string> competitor_schemes;
+  double competitor_start_s = 0.0;
+  double competitor_stop_s = std::numeric_limits<double>::infinity();
+  // Agent i arrives at i * agent_stagger_s (multi-flow scenarios).
+  double agent_stagger_s = 0.0;
+  // Multi-flow reward capacity: fair share (bandwidth / active flows) vs full pipe.
+  bool fair_share_reward = true;
+
+  bool IsMultiFlow() const { return num_agents > 1 || !competitor_schemes.empty(); }
+
+  // Builds the scenario's environment, inheriting the non-scenario knobs (history
+  // length, action scale, reward mode, ...) from `base`. Exactly one of these is
+  // valid per scenario, according to IsMultiFlow().
+  std::unique_ptr<CcEnv> MakeSingleFlowEnv(const CcEnvConfig& base, uint64_t seed) const;
+  std::unique_ptr<MultiFlowCcEnv> MakeMultiFlowEnv(const CcEnvConfig& base,
+                                                   uint64_t seed) const;
+};
+
+// Creates a handcrafted/online-learning baseline congestion controller by name:
+// cubic, newreno, vegas, bbr, copa, allegro, vivace. Returns nullptr for unknown
+// names.
+std::unique_ptr<CongestionControl> MakeBaselineCc(const std::string& scheme);
+
+// The process-wide catalog of named scenarios.
+class ScenarioRegistry {
+ public:
+  static const ScenarioRegistry& Global();
+
+  // Looks up a built-in scenario; nullptr when unknown.
+  const Scenario* Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+  const std::vector<Scenario>& scenarios() const { return scenarios_; }
+
+  // Resolves one name: built-in scenarios by name, plus the dynamic form
+  // "mahimahi:<path>" (a single-flow scenario driven by the mahimahi trace file).
+  // Returns nullopt and fills *error when the name is unknown or the file is
+  // unreadable.
+  std::optional<Scenario> Resolve(const std::string& name, std::string* error) const;
+
+  // Resolves a comma-separated scenario list (for --scenario a,b,c).
+  std::optional<std::vector<Scenario>> ResolveList(const std::string& csv,
+                                                   std::string* error) const;
+
+ private:
+  ScenarioRegistry();
+  std::vector<Scenario> scenarios_;
+};
+
+// Prints the catalog (one "name  description" line per scenario, plus the dynamic
+// mahimahi:PATH form) — the --list-scenarios output shared by the CLI tools.
+void PrintScenarioCatalog(std::FILE* out);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_ENVS_SCENARIO_H_

@@ -58,17 +58,17 @@ class CongestionControl {
   virtual std::string Name() const = 0;
 
   // Called once when the flow becomes active.
-  virtual void OnFlowStart(double now_s) {}
+  virtual void OnFlowStart(double /*now_s*/) {}
 
   // Per-packet feedback.
-  virtual void OnAck(const AckInfo& ack) {}
-  virtual void OnPacketLost(const LossInfo& loss) {}
+  virtual void OnAck(const AckInfo& /*ack*/) {}
+  virtual void OnPacketLost(const LossInfo& /*loss*/) {}
 
   // Retransmission-timeout style stall: no ACK progress for several RTTs.
-  virtual void OnTimeout(double now_s) {}
+  virtual void OnTimeout(double /*now_s*/) {}
 
   // Monitor-interval feedback (PCC / RL schemes act here).
-  virtual void OnMonitorInterval(const MonitorReport& report) {}
+  virtual void OnMonitorInterval(const MonitorReport& /*report*/) {}
 
   // Target pacing rate in bits/second. Only meaningful for kRateBased schemes.
   virtual double PacingRateBps() const { return 0.0; }

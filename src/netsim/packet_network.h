@@ -70,6 +70,8 @@ class PacketNetwork {
   void ResumeFlow(int flow_id);
 
   double now_s() const { return now_s_; }
+  // Effective bottleneck bandwidth at the current clock, honouring the trace.
+  double CurrentBandwidthBps() const { return BandwidthNow(now_s_); }
   size_t flow_count() const { return flows_.size(); }
   const FlowRecord& record(int flow_id) const { return flows_[flow_id]->record; }
   CongestionControl& cc(int flow_id) { return *flows_[flow_id]->cc; }

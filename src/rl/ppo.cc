@@ -83,6 +83,112 @@ RolloutBuffer PpoTrainer::CollectRollout(Env* env, int steps) {
   return CollectWith(model_, env, steps, &rng_);
 }
 
+std::vector<RolloutBuffer> PpoTrainer::CollectVectorWith(ActorCritic* model,
+                                                         VectorEnv* env, int env_steps,
+                                                         Rng* rng) {
+  const int n = env->NumAgents();
+  std::vector<RolloutBuffer> buffers(static_cast<size_t>(n));
+  for (RolloutBuffer& buffer : buffers) {
+    buffer.Reserve(static_cast<size_t>(env_steps));
+  }
+  std::vector<std::vector<double>> obs = env->Reset();
+  const double std = std::exp(model->log_std());
+  std::vector<double> actions(static_cast<size_t>(n), 0.0);
+  std::vector<double> means(static_cast<size_t>(n), 0.0);
+  std::vector<double> values(static_cast<size_t>(n), 0.0);
+  std::vector<bool> active(static_cast<size_t>(n), false);
+  bool last_done = true;
+  for (int step = 0; step < env_steps; ++step) {
+    // Agent order is fixed and the arrival schedule is deterministic, so the shared
+    // Rng stream draws deterministically. Agents whose flow has not arrived yet take
+    // no action and record no transition — a staggered schedule must not feed
+    // fictitious data into the update.
+    for (int i = 0; i < n; ++i) {
+      const size_t a = static_cast<size_t>(i);
+      active[a] = env->AgentActive(i);
+      if (!active[a]) {
+        actions[a] = 0.0;
+        continue;
+      }
+      model->ForwardRow(obs[a], &means[a], &values[a]);
+      actions[a] = rng->Normal(means[a], std);
+    }
+    VectorStepResult result = env->Step(actions);
+
+    for (int i = 0; i < n; ++i) {
+      const size_t a = static_cast<size_t>(i);
+      if (!active[a]) {
+        continue;
+      }
+      Transition t;
+      t.observation = std::move(obs[a]);
+      t.action = actions[a];
+      t.log_prob = GaussianLogProb(actions[a], means[a], std);
+      t.reward = result.rewards[a] * config_.reward_scale;
+      t.raw_reward = result.rewards[a];
+      t.value = values[a];
+      t.done = result.done;
+      buffers[a].transitions.push_back(std::move(t));
+    }
+    last_done = result.done;
+    obs = result.done ? env->Reset() : std::move(result.observations);
+  }
+  for (int i = 0; i < n; ++i) {
+    RolloutBuffer& buffer = buffers[static_cast<size_t>(i)];
+    double last_value = 0.0;
+    if (!last_done && !buffer.transitions.empty() && !buffer.transitions.back().done) {
+      // Bootstrap the value of this agent's truncated trajectory's final state.
+      double mean = 0.0;
+      model->ForwardRow(obs[static_cast<size_t>(i)], &mean, &last_value);
+    }
+    ComputeGae(&buffer, config_.gamma, config_.gae_lambda, last_value);
+  }
+  return buffers;
+}
+
+std::vector<RolloutBuffer> PpoTrainer::CollectVectorRollout(VectorEnv* env,
+                                                            int env_steps) {
+  return CollectVectorWith(model_, env, env_steps, &rng_);
+}
+
+std::vector<RolloutBuffer> PpoTrainer::CollectSourcesParallel(
+    const std::vector<RolloutSource>& sources, int steps_each) {
+  std::vector<std::vector<RolloutBuffer>> per_source(sources.size());
+  std::vector<std::unique_ptr<ActorCritic>> clones;
+  std::vector<Rng> rngs;
+  clones.reserve(sources.size());
+  rngs.reserve(sources.size());
+  // As in CollectRolloutsParallel: clones and Rng streams derived on the calling
+  // thread, in source order (determinism contract of src/common/thread_pool.h).
+  for (size_t i = 0; i < sources.size(); ++i) {
+    clones.push_back(model_->Clone());
+    rngs.emplace_back(rng_.NextU64());
+  }
+  auto collect_one = [&](int i) {
+    const size_t s = static_cast<size_t>(i);
+    const RolloutSource& source = sources[s];
+    if (source.vec != nullptr) {
+      per_source[s] = CollectVectorWith(clones[s].get(), source.vec, steps_each, &rngs[s]);
+    } else {
+      per_source[s].push_back(CollectWith(clones[s].get(), source.env, steps_each, &rngs[s]));
+    }
+  };
+  if (parallel_collection_) {
+    ThreadPool::Shared().ParallelFor(static_cast<int>(sources.size()), collect_one);
+  } else {
+    for (int i = 0; i < static_cast<int>(sources.size()); ++i) {
+      collect_one(i);
+    }
+  }
+  std::vector<RolloutBuffer> buffers;
+  for (std::vector<RolloutBuffer>& group : per_source) {
+    for (RolloutBuffer& buffer : group) {
+      buffers.push_back(std::move(buffer));
+    }
+  }
+  return buffers;
+}
+
 std::vector<RolloutBuffer> PpoTrainer::CollectRolloutsParallel(const std::vector<Env*>& envs,
                                                                int steps_each) {
   std::vector<RolloutBuffer> buffers(envs.size());

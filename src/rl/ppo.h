@@ -71,6 +71,30 @@ class PpoTrainer {
   std::vector<RolloutBuffer> CollectRolloutsParallel(const std::vector<Env*>& envs,
                                                      int steps_each);
 
+  // Collects per-agent rollouts from one synchronized multi-agent environment: every
+  // env step, the current policy acts once per ACTIVE agent (agent-order draws from
+  // one Rng stream; agents whose flow has not arrived in a staggered schedule are
+  // skipped entirely) and each agent's transition lands in its own buffer, so GAE
+  // stays per-trajectory. Returns NumAgents() buffers of up to `env_steps`
+  // transitions each.
+  std::vector<RolloutBuffer> CollectVectorRollout(VectorEnv* env, int env_steps);
+
+  // One unit of mixed rollout collection: exactly one of the two pointers is set.
+  struct RolloutSource {
+    Env* env = nullptr;
+    VectorEnv* vec = nullptr;
+  };
+
+  // Collects one rollout per source concurrently on the shared ThreadPool (scenario
+  // training mixes single-flow and shared-bottleneck environments in one iteration).
+  // Follows the same determinism contract as CollectRolloutsParallel: per-source
+  // model clones and Rng streams are derived on the calling thread in source order,
+  // so the result is bit-identical to serial collection. Returns the buffers
+  // flattened in source order — one per Env source, NumAgents() per VectorEnv
+  // source.
+  std::vector<RolloutBuffer> CollectSourcesParallel(
+      const std::vector<RolloutSource>& sources, int steps_each);
+
   // When false, CollectRolloutsParallel runs its per-env tasks sequentially on the
   // calling thread instead of the pool (same results; used to verify determinism).
   void set_parallel_collection(bool enabled) { parallel_collection_ = enabled; }
@@ -102,6 +126,8 @@ class PpoTrainer {
 
  private:
   RolloutBuffer CollectWith(ActorCritic* model, Env* env, int steps, Rng* rng);
+  std::vector<RolloutBuffer> CollectVectorWith(ActorCritic* model, VectorEnv* env,
+                                               int env_steps, Rng* rng);
 
   ActorCritic* model_;
   PpoConfig config_;

@@ -285,6 +285,87 @@ TEST(CcEnvTest, GroundTruthVsEstimatedRewardModes) {
   }
 }
 
+TEST(CcEnvTest, TraceWinsOverFixedLinkBandwidth) {
+  // Regression test for the SetFixedLink + SetBandwidthTrace interaction: the trace
+  // wins for bandwidth, while the fixed link keeps supplying delay/queue/loss and the
+  // pre-first-step fallback (documented on SetBandwidthTrace).
+  CcEnvConfig config;
+  CcEnv env(config, 21);
+  LinkParams link;
+  link.bandwidth_bps = 3e6;
+  link.one_way_delay_s = 0.02;
+  env.SetFixedLink(link);
+  BandwidthTrace trace;
+  trace.AddStep(0.0, 9e6);
+  env.SetBandwidthTrace(trace);
+  env.Reset();
+  EXPECT_DOUBLE_EQ(env.current_link().bandwidth_bps, 3e6);  // LinkParams untouched
+  EXPECT_DOUBLE_EQ(env.current_bandwidth_bps(), 9e6);       // effective bw = trace
+  // The initial rate is drawn against the trace bandwidth, not the stale 3 Mbps.
+  EXPECT_GE(env.current_rate_bps(), 0.3 * 9e6 - 1e-6);
+  EXPECT_LE(env.current_rate_bps(), 1.5 * 9e6 + 1e-6);
+  // Clearing the trace restores the fixed link's constant bandwidth on next Reset.
+  env.ClearBandwidthTrace();
+  env.Reset();
+  EXPECT_DOUBLE_EQ(env.current_bandwidth_bps(), 3e6);
+}
+
+TEST(CcEnvTest, TraceGeneratorWinsAndResamplesPerEpisode) {
+  CcEnvConfig config;
+  CcEnv env(config, 23);
+  LinkParams link;
+  link.bandwidth_bps = 2e6;
+  env.SetFixedLink(link);
+  BandwidthTrace fixed_trace;
+  fixed_trace.AddStep(0.0, 4e6);
+  env.SetBandwidthTrace(fixed_trace);
+  env.SetTraceGenerator([](const LinkParams& params, Rng* rng) {
+    BandwidthTrace t;
+    t.AddStep(0.0, params.bandwidth_bps * rng->Uniform(2.0, 3.0));
+    return t;
+  });
+  env.Reset();
+  const double bw1 = env.current_bandwidth_bps();
+  EXPECT_GE(bw1, 2.0 * 2e6);  // generator won over the 4 Mbps fixed trace
+  EXPECT_LE(bw1, 3.0 * 2e6);
+  env.Reset();
+  EXPECT_NE(env.current_bandwidth_bps(), bw1);  // fresh draw per episode
+  env.SetTraceGenerator(nullptr);
+  env.Reset();
+  EXPECT_DOUBLE_EQ(env.current_bandwidth_bps(), 4e6);  // back to the fixed trace
+}
+
+TEST(CcEnvTest, TraceDrivenEpisodesAreBitIdenticalGivenSeed) {
+  // Same seed + same trace => the full episode (observations and rewards) is
+  // bit-identical, the determinism contract trace-driven scenario training relies on.
+  auto run = [](uint64_t seed) {
+    CcEnvConfig config;
+    config.max_steps_per_episode = 120;
+    CcEnv env(config, seed);
+    env.SetObjective(BalancedObjective());
+    env.SetBandwidthTrace(BandwidthTrace::Oscillating(1e6, 4e6, 3.0, 60.0));
+    std::vector<double> all;
+    std::vector<double> obs = env.Reset();
+    all.insert(all.end(), obs.begin(), obs.end());
+    for (int i = 0; i < 120; ++i) {
+      const StepResult r = env.Step(i % 3 == 0 ? 0.7 : -0.4);
+      all.push_back(r.reward);
+      all.insert(all.end(), r.observation.begin(), r.observation.end());
+      if (r.done) {
+        break;
+      }
+    }
+    return all;
+  };
+  const std::vector<double> a = run(91);
+  const std::vector<double> b = run(91);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "episode diverged at element " << i;
+  }
+  EXPECT_NE(run(91), run(92));
+}
+
 TEST(CcEnvTest, DeterministicEpisodesGivenSeed) {
   auto run = [](uint64_t seed) {
     CcEnvConfig config;

@@ -2,13 +2,17 @@
 // through MakeMoccCc into the packet-level simulator, exercising the full
 // train -> serialize -> deploy -> simulate pipeline and the paper's headline behaviours
 // at reduced scale.
+#include <algorithm>
+#include <iostream>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/core/mocc_cc.h"
 #include "src/core/offline_trainer.h"
 #include "src/core/online_adapter.h"
+#include "src/envs/multi_flow_cc_env.h"
 #include "src/netsim/packet_network.h"
 
 namespace mocc {
@@ -123,6 +127,50 @@ TEST_F(MoccIntegrationTest, TwoMoccFlowsWithSameWeightShareFairly) {
   const double share = t1 / std::max(1.0, t1 + t2);
   EXPECT_GT(share, 0.25);
   EXPECT_LT(share, 0.75);
+}
+
+TEST_F(MoccIntegrationTest, FourMoccFlowsOnSharedBottleneckReachJainFairness) {
+  // The multi-flow acceptance property (paper Figs. 11-12): 4 MOCC flows with the
+  // same objective arriving 5 s apart on one bottleneck reach a fair allocation —
+  // Jain index of the steady-state per-flow throughputs >= 0.9. Arrival dynamics make
+  // this non-trivial: each newcomer joins at the fair-share estimate while the
+  // incumbents have already ramped to fill the pipe, so the flows must re-converge.
+  // The index is the median over three seeded runs (per-run fairness fluctuates with
+  // the loss/phase realisation; the median is what "steady state" claims).
+  auto run_jain = [&](uint64_t seed) {
+    MultiFlowCcEnvConfig config;
+    LinkParams link;
+    link.bandwidth_bps = 12e6;
+    link.one_way_delay_s = 0.02;
+    link.queue_capacity_pkts = static_cast<int>(link.BdpPackets());
+    config.num_agents = 4;
+    config.fixed_link = link;
+    config.agent_stagger_s = 5.0;
+    config.initial_rate_jitter = 0.0;  // every arrival starts at its fair share
+    config.max_steps_per_episode = 1 << 20;  // run by wall clock below, not step count
+    MultiFlowCcEnv env(config, seed);
+    env.SetObjective(BalancedObjective());
+    std::vector<std::vector<double>> obs = env.Reset();
+    std::vector<double> actions(4, 0.0);
+    while (env.now_s() < 120.0) {
+      for (int i = 0; i < 4; ++i) {
+        actions[static_cast<size_t>(i)] =
+            model_->ActionMean(obs[static_cast<size_t>(i)]);
+      }
+      VectorStepResult r = env.Step(actions);
+      obs = std::move(r.observations);
+    }
+    // Every flow must be carrying real traffic (fairness over idle flows is vacuous).
+    for (double throughput : env.AgentAvgThroughputsBps(40.0, 120.0)) {
+      EXPECT_GT(throughput, 0.1 * link.bandwidth_bps / 4.0);
+    }
+    return env.JainIndex(40.0, 120.0);  // all flows active from 15 s; settled by 40 s
+  };
+  std::vector<double> jains = {run_jain(37), run_jain(41), run_jain(43)};
+  std::sort(jains.begin(), jains.end());
+  std::cout << "[ fairness ] steady-state Jain indices: " << jains[0] << " "
+            << jains[1] << " " << jains[2] << "\n";
+  EXPECT_GE(jains[1], 0.9) << "median steady-state Jain index over 4 MOCC flows";
 }
 
 TEST_F(MoccIntegrationTest, HigherThroughputWeightGrabsMoreBandwidth) {

@@ -3,7 +3,11 @@
 // loss accounting, bandwidth traces and failure injection.
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -88,6 +92,70 @@ TEST(BandwidthTraceTest, OscillatingAlternates) {
   EXPECT_DOUBLE_EQ(t.BandwidthAt(1.0, 0.0), 3e6);
   EXPECT_DOUBLE_EQ(t.BandwidthAt(6.0, 0.0), 2e6);
   EXPECT_DOUBLE_EQ(t.BandwidthAt(11.0, 0.0), 3e6);
+}
+
+TEST(BandwidthTraceTest, OscillatingCoversFullDurationAndStartsHigh) {
+  const BandwidthTrace t = BandwidthTrace::Oscillating(1e6, 4e6, 2.0, 10.0);
+  EXPECT_DOUBLE_EQ(t.BandwidthAt(0.0, 0.0), 4e6);   // starts at high_bps
+  EXPECT_DOUBLE_EQ(t.BandwidthAt(3.0, 0.0), 1e6);   // 2nd period is low
+  EXPECT_DOUBLE_EQ(t.BandwidthAt(9.5, 0.0), 4e6);   // 5th period (even) is high again
+  EXPECT_DOUBLE_EQ(t.BandwidthAt(99.0, 0.0), 4e6);  // last step persists past duration
+}
+
+TEST(BandwidthTraceTest, RandomWalkStaysInRangeAndIsSeedDeterministic) {
+  Rng rng_a(42);
+  Rng rng_b(42);
+  const BandwidthTrace a = BandwidthTrace::RandomWalk(1e6, 5e6, 2.0, 30.0, &rng_a);
+  const BandwidthTrace b = BandwidthTrace::RandomWalk(1e6, 5e6, 2.0, 30.0, &rng_b);
+  for (double t = 0.0; t < 30.0; t += 0.5) {
+    const double bw = a.BandwidthAt(t, 0.0);
+    EXPECT_GE(bw, 1e6);
+    EXPECT_LE(bw, 5e6);
+    EXPECT_DOUBLE_EQ(bw, b.BandwidthAt(t, 0.0));  // same seed, same walk
+  }
+  // Distinct seeds must give a distinct walk somewhere.
+  Rng rng_c(43);
+  const BandwidthTrace c = BandwidthTrace::RandomWalk(1e6, 5e6, 2.0, 30.0, &rng_c);
+  bool differs = false;
+  for (double t = 0.0; t < 30.0 && !differs; t += 2.0) {
+    differs = a.BandwidthAt(t, 0.0) != c.BandwidthAt(t, 0.0);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BandwidthTraceTest, FromMahimahiTimestampsAveragesWindows) {
+  // 4 packets in second 0, 8 packets in second 1 (mahimahi: one MTU per timestamp).
+  std::vector<double> ts_ms;
+  for (int i = 0; i < 4; ++i) {
+    ts_ms.push_back(i * 250.0);
+  }
+  for (int i = 0; i < 8; ++i) {
+    ts_ms.push_back(1000.0 + i * 125.0);
+  }
+  const BandwidthTrace t = BandwidthTrace::FromMahimahiTimestamps(ts_ms, 1.0);
+  EXPECT_DOUBLE_EQ(t.BandwidthAt(0.5, 0.0), 4.0 * kDefaultPacketSizeBits);
+  EXPECT_DOUBLE_EQ(t.BandwidthAt(1.5, 0.0), 8.0 * kDefaultPacketSizeBits);
+}
+
+TEST(BandwidthTraceTest, FromMahimahiDegenerateInputsYieldEmptyTrace) {
+  EXPECT_TRUE(BandwidthTrace::FromMahimahiTimestamps({}, 1.0).empty());
+  EXPECT_TRUE(BandwidthTrace::FromMahimahiTimestamps({1.0, 2.0}, 0.0).empty());
+  EXPECT_TRUE(
+      BandwidthTrace::FromMahimahiFile("/nonexistent/path/to/trace.txt").empty());
+}
+
+TEST(BandwidthTraceTest, FromMahimahiFileParsesTimestampsPerLine) {
+  const std::string path = ::testing::TempDir() + "/mahimahi_trace_test.txt";
+  {
+    std::ofstream out(path);
+    // 2 packets in second 0, 6 packets in second 1.
+    out << "100\n900\n1100\n1200\n1300\n1400\n1500\n1600\n";
+  }
+  const BandwidthTrace t = BandwidthTrace::FromMahimahiFile(path, 1.0);
+  ASSERT_FALSE(t.empty());
+  EXPECT_DOUBLE_EQ(t.BandwidthAt(0.5, 0.0), 2.0 * kDefaultPacketSizeBits);
+  EXPECT_DOUBLE_EQ(t.BandwidthAt(1.5, 0.0), 6.0 * kDefaultPacketSizeBits);
+  std::remove(path.c_str());
 }
 
 TEST(FluidLinkTest, UnderloadDeliversEverything) {

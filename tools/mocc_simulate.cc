@@ -1,28 +1,27 @@
 // mocc_simulate — runs one congestion-control scheme on a configured bottleneck link in
 // the packet-level simulator and prints a per-second CSV timeline (throughput, RTT,
-// loss), suitable for plotting.
+// loss), suitable for plotting. With --scenario, the link, trace, flow count and
+// competitor flows come from the named scenario instead (the scheme drives every
+// agent flow), and per-flow totals plus the agents' Jain index are reported.
 //
 // Usage:
 //   mocc_simulate --scheme NAME [--model PATH] [--weights T,L,S] [--bw MBPS] [--owd MS]
 //                 [--queue PKTS] [--loss FRAC] [--duration S] [--seed N]
-//                 [--mahimahi TRACE]
+//                 [--mahimahi TRACE] [--scenario NAME] [--list-scenarios]
 //
 //   NAME in {mocc, cubic, newreno, vegas, bbr, copa, allegro, vivace}
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
-#include "src/baselines/allegro.h"
-#include "src/baselines/bbr.h"
-#include "src/baselines/copa.h"
-#include "src/baselines/cubic.h"
-#include "src/baselines/newreno.h"
-#include "src/baselines/vegas.h"
-#include "src/baselines/vivace.h"
+#include "src/common/stats.h"
 #include "src/core/mocc_cc.h"
 #include "src/core/preference_model.h"
+#include "src/envs/scenario.h"
 #include "src/netsim/packet_network.h"
 
 int main(int argc, char** argv) {
@@ -30,6 +29,7 @@ int main(int argc, char** argv) {
   std::string scheme = "mocc";
   std::string model_path = "mocc_model.bin";
   std::string mahimahi_path;
+  std::string scenario_name;
   WeightVector weights = ThroughputObjective();
   LinkParams link;
   link.bandwidth_bps = 20e6;
@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   link.queue_capacity_pkts = 700;
   double duration = 60.0;
   uint64_t seed = 1;
+  bool link_flags_given = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -62,23 +63,33 @@ int main(int argc, char** argv) {
       weights = WeightVector(t, l, s);
     } else if (arg == "--bw") {
       link.bandwidth_bps = std::atof(next()) * 1e6;
+      link_flags_given = true;
     } else if (arg == "--owd") {
       link.one_way_delay_s = std::atof(next()) / 1e3;
+      link_flags_given = true;
     } else if (arg == "--queue") {
       link.queue_capacity_pkts = std::atoi(next());
+      link_flags_given = true;
     } else if (arg == "--loss") {
       link.random_loss_rate = std::atof(next());
+      link_flags_given = true;
     } else if (arg == "--duration") {
       duration = std::atof(next());
     } else if (arg == "--seed") {
       seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--mahimahi") {
       mahimahi_path = next();
+    } else if (arg == "--scenario") {
+      scenario_name = next();
+    } else if (arg == "--list-scenarios") {
+      PrintScenarioCatalog(stdout);
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: mocc_simulate --scheme NAME [--model PATH] [--weights T,L,S]\n"
           "                     [--bw MBPS] [--owd MS] [--queue PKTS] [--loss FRAC]\n"
-          "                     [--duration S] [--seed N] [--mahimahi TRACE]\n");
+          "                     [--duration S] [--seed N] [--mahimahi TRACE]\n"
+          "                     [--scenario NAME] [--list-scenarios]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());
@@ -86,33 +97,52 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::unique_ptr<CongestionControl> cc;
+  // Scenario selection (link/trace/flow schedule come from the catalog).
+  std::optional<Scenario> scenario;
+  if (!scenario_name.empty()) {
+    std::string error;
+    scenario = ScenarioRegistry::Global().Resolve(scenario_name, &error);
+    if (!scenario.has_value()) {
+      std::fprintf(stderr, "--scenario: %s (try --list-scenarios)\n", error.c_str());
+      return 2;
+    }
+  }
+
+  Rng rng(seed);
+  if (scenario.has_value()) {
+    if (link_flags_given) {
+      std::fprintf(stderr,
+                   "warning: --scenario defines the link; ignoring --bw/--owd/"
+                   "--queue/--loss\n");
+    }
+    link = scenario->fixed_link.has_value()
+               ? *scenario->fixed_link
+               : (scenario->link_range.has_value() ? *scenario->link_range
+                                                   : TrainingRange())
+                     .Sample(&rng);
+  }
+
+  // The agent-scheme factory: one controller per agent flow (MOCC flows share one
+  // loaded model).
+  std::shared_ptr<PreferenceActorCritic> model;
   if (scheme == "mocc") {
-    auto model = PreferenceActorCritic::LoadFromFile(model_path, MoccConfig{});
+    model = PreferenceActorCritic::LoadFromFile(model_path, MoccConfig{});
     if (model == nullptr) {
       std::fprintf(stderr, "cannot load %s; train one with tools/mocc_train\n",
                    model_path.c_str());
       return 1;
     }
-    cc = MakeMoccCc(model, weights, "MOCC", std::max(2e6, 0.25 * link.bandwidth_bps));
-  } else if (scheme == "cubic") {
-    cc = std::make_unique<CubicCc>();
-  } else if (scheme == "newreno") {
-    cc = std::make_unique<NewRenoCc>();
-  } else if (scheme == "vegas") {
-    cc = std::make_unique<VegasCc>();
-  } else if (scheme == "bbr") {
-    cc = std::make_unique<BbrCc>();
-  } else if (scheme == "copa") {
-    cc = std::make_unique<CopaCc>();
-  } else if (scheme == "allegro") {
-    cc = std::make_unique<AllegroCc>();
-  } else if (scheme == "vivace") {
-    cc = std::make_unique<VivaceCc>();
-  } else {
+  }
+  if (scheme != "mocc" && MakeBaselineCc(scheme) == nullptr) {
     std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
     return 2;
   }
+  auto make_scheme = [&]() -> std::unique_ptr<CongestionControl> {
+    if (scheme == "mocc") {
+      return MakeMoccCc(model, weights, "MOCC", std::max(2e6, 0.25 * link.bandwidth_bps));
+    }
+    return MakeBaselineCc(scheme);
+  };
 
   PacketNetwork net(link, seed);
   if (!mahimahi_path.empty()) {
@@ -122,8 +152,28 @@ int main(int argc, char** argv) {
       return 1;
     }
     net.SetBandwidthTrace(std::move(trace));
+  } else if (scenario.has_value() && scenario->trace_generator) {
+    net.SetBandwidthTrace(scenario->trace_generator(link, &rng));
   }
-  const int flow = net.AddFlow(std::move(cc));
+
+  std::vector<int> agent_flows;
+  std::vector<int> competitor_flows;
+  const int num_agents = scenario.has_value() ? scenario->num_agents : 1;
+  for (int i = 0; i < num_agents; ++i) {
+    FlowOptions options;
+    options.start_time_s =
+        scenario.has_value() ? static_cast<double>(i) * scenario->agent_stagger_s : 0.0;
+    agent_flows.push_back(net.AddFlow(make_scheme(), options));
+  }
+  if (scenario.has_value()) {
+    for (const std::string& competitor : scenario->competitor_schemes) {
+      FlowOptions options;
+      options.start_time_s = scenario->competitor_start_s;
+      options.stop_time_s = scenario->competitor_stop_s;
+      competitor_flows.push_back(net.AddFlow(MakeBaselineCc(competitor), options));
+    }
+  }
+  const int flow = agent_flows.front();
   net.Run(duration);
 
   const FlowRecord& rec = net.record(flow);
@@ -149,5 +199,24 @@ int main(int argc, char** argv) {
                static_cast<long long>(rec.total_sent),
                static_cast<long long>(rec.total_acked),
                static_cast<long long>(rec.total_lost), rec.AvgRttS() * 1e3);
+  if (agent_flows.size() + competitor_flows.size() > 1) {
+    // Steady-state per-flow summary (second half of the run) plus the agents' Jain
+    // fairness index — the scenario's multi-flow report.
+    std::vector<double> agent_throughputs;
+    for (int f : agent_flows) {
+      const double bps = net.record(f).AvgThroughputBps(duration / 2, duration);
+      agent_throughputs.push_back(bps);
+      std::fprintf(stderr, "agent flow %d: %.3f Mbps (steady state), avg_rtt=%.1fms\n", f,
+                   bps / 1e6, net.record(f).AvgRttS() * 1e3);
+    }
+    for (int f : competitor_flows) {
+      std::fprintf(stderr, "competitor flow %d: %.3f Mbps (steady state)\n", f,
+                   net.record(f).AvgThroughputBps(duration / 2, duration) / 1e6);
+    }
+    if (agent_throughputs.size() > 1) {
+      std::fprintf(stderr, "agent Jain fairness index (steady state): %.3f\n",
+                   JainFairnessIndex(agent_throughputs));
+    }
+  }
   return 0;
 }

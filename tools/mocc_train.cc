@@ -2,7 +2,7 @@
 //
 // Usage:
 //   mocc_train [--out PATH] [--bootstrap N] [--rounds N] [--divisor D] [--seed S]
-//              [--parallel-envs K] [--individual]
+//              [--parallel-envs K] [--scenario LIST] [--list-scenarios] [--individual]
 //
 //   --out PATH         output model file (default mocc_model.bin)
 //   --bootstrap N      bootstrap-phase iterations (default 100)
@@ -10,6 +10,10 @@
 //   --divisor D        simplex step divisor; omega = (D-1)(D-2)/2 (default 10 -> 36)
 //   --seed S           RNG seed (default 7)
 //   --parallel-envs K  parallel rollout environments (default 1)
+//   --scenario LIST    comma-separated scenario names (see --list-scenarios); env
+//                      slot i trains on LIST[i % |LIST|]. Multi-flow scenarios train
+//                      the shared policy on a shared-bottleneck PacketNetwork.
+//   --list-scenarios   print the scenario catalog and exit
 //   --individual       train each landmark independently instead (Fig 19 baseline)
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +22,7 @@
 
 #include "src/core/offline_trainer.h"
 #include "src/core/presets.h"
+#include "src/envs/scenario.h"
 
 int main(int argc, char** argv) {
   using namespace mocc;
@@ -46,11 +51,23 @@ int main(int argc, char** argv) {
       config.seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--parallel-envs") {
       config.parallel_envs = std::atoi(next());
+    } else if (arg == "--scenario") {
+      std::string error;
+      auto scenarios = ScenarioRegistry::Global().ResolveList(next(), &error);
+      if (!scenarios.has_value()) {
+        std::fprintf(stderr, "--scenario: %s (try --list-scenarios)\n", error.c_str());
+        return 2;
+      }
+      config.scenarios = std::move(*scenarios);
+    } else if (arg == "--list-scenarios") {
+      PrintScenarioCatalog(stdout);
+      return 0;
     } else if (arg == "--individual") {
       individual = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: mocc_train [--out PATH] [--bootstrap N] [--rounds N]\n"
                   "                  [--divisor D] [--seed S] [--parallel-envs K]\n"
+                  "                  [--scenario LIST] [--list-scenarios]\n"
                   "                  [--individual]\n");
       return 0;
     } else {
@@ -66,6 +83,13 @@ int main(int argc, char** argv) {
   Rng rng(config.seed);
   PreferenceActorCritic model(config.mocc, &rng);
   OfflineTrainer trainer(&model, config);
+  if (!config.scenarios.empty()) {
+    std::printf("scenarios (%d env slots):", trainer.slot_count());
+    for (const Scenario& s : config.scenarios) {
+      std::printf(" %s", s.name.c_str());
+    }
+    std::printf("\n");
+  }
   const OfflineTrainResult result =
       individual ? trainer.TrainIndividually() : trainer.TrainTwoPhase();
   std::printf("done: %d iterations in %.1f s; training reward %.3f -> %.3f\n",
