@@ -18,6 +18,7 @@
 #include "src/core/mocc_config.h"
 #include "src/core/preference_model.h"
 #include "src/nn/mlp.h"
+#include "src/rl/inference_policy.h"
 
 namespace mocc {
 namespace {
@@ -174,6 +175,21 @@ void BM_MoccInferenceFastRow(benchmark::State& state) {
 }
 BENCHMARK(BM_MoccInferenceFastRow);
 
+void BM_MoccInferenceFastRowFloat32(benchmark::State& state) {
+  MoccConfig config;
+  Rng rng(1);
+  PreferenceActorCritic model(config, &rng);
+  auto policy = model.MakeFloat32Policy();
+  const std::vector<double> obs = InferenceObservation(config.ObsDim());
+  double mean = 0.0;
+  double value = 0.0;
+  for (auto _ : state) {
+    policy->ForwardRow(obs, &mean, &value);
+    benchmark::DoNotOptimize(mean + value);
+  }
+}
+BENCHMARK(BM_MoccInferenceFastRowFloat32);
+
 // Measures the three inference paths with plain wall-clock loops and emits
 // BENCH_fig17_overhead.json so the perf trajectory is tracked across PRs.
 void EmitOverheadJson() {
@@ -181,20 +197,24 @@ void EmitOverheadJson() {
   const InferencePathRates rates = MeasureInferencePaths(config);
   const double seed_ops = rates.seed_batched_ops_per_sec;
   const double row_ops = rates.fast_row_ops_per_sec;
+  const double f32_ops = rates.fast_row_f32_ops_per_sec;
 
   BenchJson json("fig17_overhead");
   json.Add("inference_seed_batched_ops_per_sec", seed_ops);
   json.Add("inference_batched_ops_per_sec", rates.batched_ops_per_sec);
   json.Add("inference_fast_row_ops_per_sec", row_ops);
+  json.Add("inference_fast_row_f32_ops_per_sec", f32_ops);
   json.Add("fast_row_speedup_vs_seed_batched", seed_ops > 0.0 ? row_ops / seed_ops : 0.0);
   json.Add("fast_row_speedup_vs_batched",
            rates.batched_ops_per_sec > 0.0 ? row_ops / rates.batched_ops_per_sec : 0.0);
+  json.Add("f32_row_speedup_vs_double_row", row_ops > 0.0 ? f32_ops / row_ops : 0.0);
   json.Write();
   std::fprintf(stderr,
                "[fig17] single-obs inference ops/sec: seed batched %.0f, batched %.0f, "
-               "fast row %.0f (row vs seed: %.1fx)\n",
-               seed_ops, rates.batched_ops_per_sec, row_ops,
-               seed_ops > 0.0 ? row_ops / seed_ops : 0.0);
+               "fast row %.0f, fast row f32 %.0f (row vs seed: %.1fx; f32 vs row: %.2fx)\n",
+               seed_ops, rates.batched_ops_per_sec, row_ops, f32_ops,
+               seed_ops > 0.0 ? row_ops / seed_ops : 0.0,
+               row_ops > 0.0 ? f32_ops / row_ops : 0.0);
 }
 
 }  // namespace

@@ -3,7 +3,12 @@
 // weight-independent). This is the training-side capacity number for each workload:
 // multi-flow scenarios pay for the packet-level shared bottleneck and report both
 // env steps (all agents advance together) and per-agent transition throughput.
-// Writes BENCH_scenarios.json so the per-scenario perf trajectory is tracked per PR.
+// Single-flow scenarios are additionally measured with the float32 deployment
+// replica driving the policy (the *_f32 keys) — the evaluation-side precision
+// comparison. Writes BENCH_scenarios.json so the per-scenario perf trajectory is
+// tracked per PR, and FAILS (exit 1) if the cellular scenario falls below 1/1.3 of
+// the static scenario's throughput (the regression this suite caught once: the
+// cellular trace being rebuilt every episode).
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -14,6 +19,15 @@
 #include "src/core/mocc_config.h"
 #include "src/core/preference_model.h"
 #include "src/envs/scenario.h"
+#include "src/rl/inference_policy.h"
+
+// ASan detection across compilers: gcc defines __SANITIZE_ADDRESS__, clang
+// reports it through __has_feature.
+#if defined(__has_feature)
+#define MOCC_ASAN_FEATURE __has_feature(address_sanitizer)
+#else
+#define MOCC_ASAN_FEATURE 0
+#endif
 
 using namespace mocc;
 
@@ -34,13 +48,34 @@ int main() {
   MoccConfig config;
   Rng rng(17);
   PreferenceActorCritic model(config, &rng);
+  std::unique_ptr<InferencePolicy> f32_policy = model.MakeFloat32Policy();
 
   BenchJson json("scenarios");
-  std::printf("%-14s %7s %14s %16s\n", "scenario", "agents", "env_steps/s",
-              "agent_steps/s");
+  std::printf("%-14s %7s %14s %16s %14s\n", "scenario", "agents", "env_steps/s",
+              "agent_steps/s", "f32_steps/s");
 
+  // Measures one single-flow scenario's env-step rate with either precision
+  // driving the policy (fresh env per call so every measurement sees the same
+  // episode schedule).
+  auto measure_single_flow = [&](const Scenario& scenario, double min_seconds,
+                                 bool use_f32) {
+    auto env = scenario.MakeSingleFlowEnv(config.MakeEnvConfig(), /*seed=*/101);
+    env->SetObjective(BalancedObjective());
+    std::vector<double> obs = env->Reset();
+    return MeasureOpsPerSec(
+        [&] {
+          StepResult r = env->Step(use_f32 ? f32_policy->ActionMean(obs)
+                                           : model.ActionMean(obs));
+          obs = r.done ? env->Reset() : std::move(r.observation);
+        },
+        min_seconds);
+  };
+
+  double static_env_steps = 0.0;
+  double cellular_env_steps = 0.0;
   for (const Scenario& scenario : ScenarioRegistry::Global().scenarios()) {
     double env_steps_per_sec = 0.0;
+    double f32_env_steps_per_sec = 0.0;
     int agents = scenario.num_agents;
     if (scenario.IsMultiFlow()) {
       auto env = scenario.MakeMultiFlowEnv(config.MakeEnvConfig(), /*seed=*/101);
@@ -58,28 +93,73 @@ int main() {
           },
           /*min_seconds=*/0.3);
     } else {
-      auto env = scenario.MakeSingleFlowEnv(config.MakeEnvConfig(), /*seed=*/101);
-      env->SetObjective(BalancedObjective());
-      std::vector<double> obs = env->Reset();
-      env_steps_per_sec = MeasureOpsPerSec(
-          [&] {
-            StepResult r = env->Step(model.ActionMean(obs));
-            obs = r.done ? env->Reset() : std::move(r.observation);
-          },
-          /*min_seconds=*/0.3);
+      env_steps_per_sec = measure_single_flow(scenario, /*min_seconds=*/0.3,
+                                              /*use_f32=*/false);
+      f32_env_steps_per_sec = measure_single_flow(scenario, /*min_seconds=*/0.3,
+                                                  /*use_f32=*/true);
     }
     const double agent_steps_per_sec = env_steps_per_sec * agents;
-    std::printf("%-14s %7d %14.0f %16.0f\n", scenario.name.c_str(), agents,
-                env_steps_per_sec, agent_steps_per_sec);
+    std::printf("%-14s %7d %14.0f %16.0f %14.0f\n", scenario.name.c_str(), agents,
+                env_steps_per_sec, agent_steps_per_sec, f32_env_steps_per_sec);
     const std::string key = JsonKey(scenario.name);
     json.Add(key + "_env_steps_per_sec", env_steps_per_sec);
     json.Add(key + "_agent_steps_per_sec", agent_steps_per_sec);
     json.Add(key + "_agents", agents);
+    if (!scenario.IsMultiFlow()) {
+      json.Add(key + "_f32_env_steps_per_sec", f32_env_steps_per_sec);
+    }
+    if (scenario.name == "static") {
+      static_env_steps = env_steps_per_sec;
+    } else if (scenario.name == "cellular") {
+      cellular_env_steps = env_steps_per_sec;
+    }
   }
+
+  // Regression gate: the cellular scenario must stay within 1.3x of the static
+  // scenario's throughput. Before the per-env trace cache it sat at ~1.5x below
+  // (the schedule was re-expanded into per-packet delivery opportunities every
+  // episode; the cached schedule itself is a ~120-step aggregate whose per-episode
+  // install copy is negligible). The structural guard for the same regression
+  // (generator call counts) lives in tests/scenario_test.cc; this is the
+  // throughput-level backstop. A failing first sample is remeasured once with
+  // 2x windows before the verdict, so a noisy-neighbor spike in one 0.3 s window
+  // cannot fail the gate on its own.
+  double cellular_ratio =
+      cellular_env_steps > 0.0 ? static_env_steps / cellular_env_steps : 0.0;
+  if (cellular_ratio <= 0.0 || cellular_ratio > 1.3) {
+    const Scenario* s = ScenarioRegistry::Global().Find("static");
+    const Scenario* c = ScenarioRegistry::Global().Find("cellular");
+    if (s != nullptr && c != nullptr) {
+      static_env_steps = measure_single_flow(*s, /*min_seconds=*/0.6, false);
+      cellular_env_steps = measure_single_flow(*c, /*min_seconds=*/0.6, false);
+      cellular_ratio =
+          cellular_env_steps > 0.0 ? static_env_steps / cellular_env_steps : 0.0;
+      std::fprintf(stderr, "[bench] cellular gate remeasured: ratio %.2f\n",
+                   cellular_ratio);
+    }
+  }
+  json.Add("static_over_cellular_env_steps_ratio", cellular_ratio);
 
   if (!json.Write()) {
     std::fprintf(stderr, "failed to write %s\n", json.path().c_str());
     return 1;
+  }
+  if (cellular_ratio <= 0.0 || cellular_ratio > 1.3) {
+#if defined(__SANITIZE_ADDRESS__) || MOCC_ASAN_FEATURE
+    // Instrumentation skews the two timing windows and sanitizer CI shares
+    // runners; record the ratio but leave the hard exit to uninstrumented builds
+    // (the build-test CI job) and the deterministic scenario_test guard.
+    std::fprintf(stderr,
+                 "WARN: cellular env-step rate is %.2fx below static (limit 1.3x); "
+                 "sanitizer build, gate not enforced\n",
+                 cellular_ratio);
+#else
+    std::fprintf(stderr,
+                 "FAIL: cellular env-step rate is %.2fx below static (limit 1.3x) — "
+                 "is the cellular trace being rebuilt per episode again?\n",
+                 cellular_ratio);
+    return 1;
+#endif
   }
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "src/baselines/vegas.h"
 #include "src/baselines/vivace.h"
 #include "src/core/reward.h"
+#include "src/rl/inference_policy.h"
 
 namespace mocc {
 
@@ -309,6 +310,11 @@ InferencePathRates MeasureInferencePaths(const MoccConfig& config) {
   double v = 0.0;
   rates.fast_row_ops_per_sec = MeasureOpsPerSec([&] {
     model.ForwardRow(obs, &m, &v);
+    sink = m + v;
+  });
+  std::unique_ptr<InferencePolicy> f32 = model.MakeFloat32Policy();
+  rates.fast_row_f32_ops_per_sec = MeasureOpsPerSec([&] {
+    f32->ForwardRow(obs, &m, &v);
     sink = m + v;
   });
   (void)sink;

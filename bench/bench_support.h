@@ -133,14 +133,16 @@ struct SeedModelReplica {
   size_t pn_out;
 };
 
-// Single-observation inference throughput of the three policy-inference paths:
-// the emulated seed batched path, the current allocation-free batched path, and
-// the fused single-row fast path. Used by bench_fig17_overhead and bench_report
-// so the cross-PR JSON metrics stay comparable.
+// Single-observation inference throughput of the four policy-inference paths:
+// the emulated seed batched path, the current allocation-free batched path, the
+// fused single-row fast path, and the float32 deployment replica of the same
+// single-row pass (src/rl/inference_policy.h). Used by bench_fig17_overhead and
+// bench_report so the cross-PR JSON metrics stay comparable.
 struct InferencePathRates {
   double seed_batched_ops_per_sec = 0.0;
   double batched_ops_per_sec = 0.0;
   double fast_row_ops_per_sec = 0.0;
+  double fast_row_f32_ops_per_sec = 0.0;
 };
 InferencePathRates MeasureInferencePaths(const MoccConfig& config);
 

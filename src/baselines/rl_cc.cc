@@ -14,6 +14,9 @@ RlRateController::RlRateController(std::shared_ptr<ActorCritic> model, Options o
       rate_bps_(options_.initial_rate_bps) {
   assert(model_ != nullptr);
   assert(model_->obs_dim() == options_.observation_prefix.size() + 3 * options_.history_len);
+  if (options_.float32_inference) {
+    float32_policy_ = model_->MakeFloat32Policy();
+  }
 }
 
 void RlRateController::SetObservationPrefix(std::vector<double> prefix) {
@@ -25,7 +28,8 @@ void RlRateController::OnMonitorInterval(const MonitorReport& report) {
   history_.Push(report);
   std::vector<double> obs = options_.observation_prefix;
   history_.AppendObservation(&obs);
-  const double action = model_->ActionMean(obs);
+  const double action =
+      float32_policy_ != nullptr ? float32_policy_->ActionMean(obs) : model_->ActionMean(obs);
   ++inference_count_;
   last_observation_ = std::move(obs);
   rate_bps_ = CcEnv::ApplyRateAction(rate_bps_, action, options_.action_scale);

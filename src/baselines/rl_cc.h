@@ -13,6 +13,7 @@
 #include "src/envs/mi_history.h"
 #include "src/netsim/cc_interface.h"
 #include "src/rl/actor_critic.h"
+#include "src/rl/inference_policy.h"
 
 namespace mocc {
 
@@ -26,6 +27,12 @@ class RlRateController : public CongestionControl {
     double max_rate_bps = 400e6;
     std::vector<double> observation_prefix;  // MOCC's weight vector; empty for Aurora
     std::string name = "RL";
+    // Run per-MI inference through the model's frozen float32 replica
+    // (ActorCritic::MakeFloat32Policy) instead of the double-precision path —
+    // the deployment fast path. Ignored (double path kept) when the model does
+    // not provide a replica. The replica is per-controller, so flows sharing one
+    // model do not share inference scratch state.
+    bool float32_inference = false;
   };
 
   // `model` is shared so many flows (and the owning application) can reuse one policy;
@@ -46,10 +53,14 @@ class RlRateController : public CongestionControl {
   // quantity behind the user-space CPU overhead measurements (Figure 17).
   int64_t inference_count() const { return inference_count_; }
 
+  // True when per-MI inference runs through the float32 replica.
+  bool float32_active() const { return float32_policy_ != nullptr; }
+
   const std::vector<double>& last_observation() const { return last_observation_; }
 
  private:
   std::shared_ptr<ActorCritic> model_;
+  std::unique_ptr<InferencePolicy> float32_policy_;  // null = double path
   Options options_;
   MiHistoryTracker history_;
   double rate_bps_;

@@ -4,7 +4,8 @@ namespace mocc {
 
 std::unique_ptr<RlRateController> MakeMoccCc(std::shared_ptr<PreferenceActorCritic> model,
                                              const WeightVector& w, const std::string& name,
-                                             double initial_rate_bps) {
+                                             double initial_rate_bps,
+                                             bool float32_inference) {
   const WeightVector sanitized = w.Sanitized();
   RlRateController::Options options;
   options.history_len = model->config().history_len_eta;
@@ -12,6 +13,7 @@ std::unique_ptr<RlRateController> MakeMoccCc(std::shared_ptr<PreferenceActorCrit
   options.initial_rate_bps = initial_rate_bps;
   options.observation_prefix = {sanitized.thr, sanitized.lat, sanitized.loss};
   options.name = name;
+  options.float32_inference = float32_inference;
   return std::make_unique<RlRateController>(std::move(model), std::move(options));
 }
 

@@ -15,11 +15,15 @@
 
 namespace mocc {
 
-// Creates a MOCC congestion controller for one flow with requirement `w`.
+// Creates a MOCC congestion controller for one flow with requirement `w`. With
+// `float32_inference`, the per-MI policy forward runs through the model's frozen
+// float32 deployment replica (see src/rl/inference_policy.h) instead of the
+// double-precision path; the replica is built per controller at call time.
 std::unique_ptr<RlRateController> MakeMoccCc(std::shared_ptr<PreferenceActorCritic> model,
                                              const WeightVector& w,
                                              const std::string& name = "MOCC",
-                                             double initial_rate_bps = 2e6);
+                                             double initial_rate_bps = 2e6,
+                                             bool float32_inference = false);
 
 }  // namespace mocc
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <fstream>
 
+#include "src/rl/inference_policy.h"
+
 namespace mocc {
 namespace {
 
@@ -129,6 +131,12 @@ std::vector<ParamRef> PreferenceActorCritic::Params() {
   }
   params.push_back({&log_std_, &log_std_grad_});
   return params;
+}
+
+std::unique_ptr<InferencePolicy> PreferenceActorCritic::MakeFloat32Policy() const {
+  return std::make_unique<PreferenceFloat32Policy>(
+      actor_.preference_net, actor_.trunk, critic_.preference_net, critic_.trunk,
+      kWeightDim, config_.HistoryDim(), log_std_(0, 0));
 }
 
 void PreferenceActorCritic::InvalidatePnCache() {

@@ -41,6 +41,10 @@ class PreferenceActorCritic : public ActorCritic {
   // ForwardRow, would need to call this explicitly.
   void InvalidatePnCache();
 
+  // Frozen float32 deployment replica (PreferenceFloat32Policy, including its own
+  // PN feature cache). See ActorCritic::MakeFloat32Policy.
+  std::unique_ptr<InferencePolicy> MakeFloat32Policy() const override;
+
   double log_std() const override { return log_std_(0, 0); }
   void set_log_std(double v) override { log_std_(0, 0) = v; }
   void AccumulateLogStdGrad(double g) override { log_std_grad_(0, 0) += g; }

@@ -39,10 +39,11 @@ std::vector<double> CcEnv::Reset() {
   // fixed/sampled link's constant bandwidth — LinkParams keeps supplying the delay,
   // queue, loss rate and the pre-first-step fallback bandwidth.
   link_.Reset(params);
-  if (trace_generator_) {
-    link_.SetBandwidthTrace(trace_generator_(params, &rng_));
-  } else if (!trace_.empty()) {
-    link_.SetBandwidthTrace(trace_);
+  BandwidthTrace episode_trace =
+      ResolveEpisodeTrace(trace_generator_, trace_cache_per_env_, &cached_trace_valid_,
+                          &cached_trace_, trace_, params, &rng_);
+  if (!episode_trace.empty()) {
+    link_.SetBandwidthTrace(std::move(episode_trace));
   }
   estimator_.Reset();
   history_.Reset();

@@ -73,9 +73,19 @@ class CcEnv : public Env {
   // Installs a per-episode trace generator, invoked at each Reset with the episode's
   // link and the environment Rng (scenario-sampled workloads, e.g. a fresh random-walk
   // trace every episode). Wins over SetBandwidthTrace; pass nullptr to remove.
+  //
+  // With cache_per_env, the generator runs exactly once — on the env's first Reset,
+  // with that episode's link and the env Rng — and every later episode reuses the
+  // constructed schedule (the link's delay/queue/loss still resample per episode;
+  // bandwidth follows the cached trace either way). This is for generators whose
+  // construction cost rivals an episode (e.g. the synthetic cellular schedule, which
+  // expands to per-second delivery opportunities): envs differ by seed, episodes
+  // within one env share the schedule.
   using TraceGenerator = std::function<BandwidthTrace(const LinkParams&, Rng*)>;
-  void SetTraceGenerator(TraceGenerator generator) {
+  void SetTraceGenerator(TraceGenerator generator, bool cache_per_env = false) {
     trace_generator_ = std::move(generator);
+    trace_cache_per_env_ = cache_per_env;
+    cached_trace_valid_ = false;
   }
 
   std::vector<double> Reset() override;
@@ -103,6 +113,9 @@ class CcEnv : public Env {
   FluidLink link_;
   BandwidthTrace trace_;
   TraceGenerator trace_generator_;
+  bool trace_cache_per_env_ = false;
+  bool cached_trace_valid_ = false;
+  BandwidthTrace cached_trace_;
   std::optional<LinkParams> fixed_link_;
   WeightVector weight_;
   OnlineLinkEstimator estimator_;

@@ -81,13 +81,12 @@ const MonitorReport& MultiFlowCcEnv::agent_last_report(int agent) const {
 std::vector<std::vector<double>> MultiFlowCcEnv::Reset() {
   link_ = config_.fixed_link.has_value() ? *config_.fixed_link
                                          : config_.link_range.Sample(&rng_);
-  // Same trace precedence as CcEnv: generator > fixed trace > constant bandwidth.
-  BandwidthTrace trace;
-  if (config_.trace_generator) {
-    trace = config_.trace_generator(link_, &rng_);
-  } else if (!config_.trace.empty()) {
-    trace = config_.trace;
-  }
+  // Same trace precedence as CcEnv: generator > fixed trace > constant bandwidth
+  // (one shared ladder — ResolveEpisodeTrace — so the two envs cannot diverge).
+  BandwidthTrace trace =
+      ResolveEpisodeTrace(config_.trace_generator, config_.cache_trace_per_env,
+                          &cached_trace_valid_, &cached_trace_, config_.trace, link_,
+                          &rng_);
 
   net_ = std::make_unique<PacketNetwork>(link_, rng_.NextU64());
   if (!trace.empty()) {

@@ -72,6 +72,9 @@ struct MultiFlowCcEnvConfig {
   // the fixed trace; any trace wins over the link's constant bandwidth.
   BandwidthTrace trace;
   std::function<BandwidthTrace(const LinkParams&, Rng*)> trace_generator;
+  // Run the generator once on the first Reset and reuse its schedule for every later
+  // episode of this env (see CcEnv::SetTraceGenerator for the semantics/rationale).
+  bool cache_trace_per_env = false;
   std::vector<CompetitorFlow> competitors;
   // Agent i's flow starts at i * agent_stagger_s (snapped to the step grid), modelling
   // flow-arrival dynamics; 0 starts everyone together.
@@ -145,6 +148,8 @@ class MultiFlowCcEnv : public VectorEnv {
 
   MultiFlowCcEnvConfig config_;
   Rng rng_;
+  bool cached_trace_valid_ = false;
+  BandwidthTrace cached_trace_;
   std::vector<WeightVector> weights_;
   std::vector<MiHistoryTracker> histories_;
   LinkParams link_;

@@ -96,6 +96,10 @@ std::vector<Scenario> BuildCatalog() {
         "single flow on a synthetic mahimahi-style cellular schedule (sinusoid-"
         "modulated per-second delivery opportunities)";
     s.trace_generator = SyntheticCellularTrace;
+    // Expanding the schedule to per-packet delivery opportunities costs as much as a
+    // whole episode; one schedule per env (fresh per seed) keeps the env-step rate at
+    // the other single-flow scenarios' level — bench_scenarios asserts the ratio.
+    s.cache_trace_per_env = true;
     catalog.push_back(std::move(s));
   }
   {
@@ -175,7 +179,7 @@ std::unique_ptr<CcEnv> Scenario::MakeSingleFlowEnv(const CcEnvConfig& base,
     env->SetFixedLink(*fixed_link);
   }
   if (trace_generator) {
-    env->SetTraceGenerator(trace_generator);
+    env->SetTraceGenerator(trace_generator, cache_trace_per_env);
   }
   return env;
 }
@@ -187,6 +191,7 @@ std::unique_ptr<MultiFlowCcEnv> Scenario::MakeMultiFlowEnv(const CcEnvConfig& ba
   config.link_range = link_range.has_value() ? *link_range : base.link_range;
   config.fixed_link = fixed_link;
   config.trace_generator = trace_generator;
+  config.cache_trace_per_env = cache_trace_per_env;
   for (const std::string& scheme : competitor_schemes) {
     CompetitorFlow competitor;
     competitor.name = scheme;

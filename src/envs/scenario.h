@@ -37,6 +37,10 @@ struct Scenario {
   std::optional<LinkParamsRange> link_range;
   // Per-episode bandwidth schedule; null = constant bandwidth.
   std::function<BandwidthTrace(const LinkParams&, Rng*)> trace_generator;
+  // Build the trace once per env instead of once per episode (for generators whose
+  // construction cost rivals an episode — the synthetic cellular schedule). See
+  // CcEnv::SetTraceGenerator for the exact semantics.
+  bool cache_trace_per_env = false;
   // Competitor flows sharing the bottleneck, by baseline scheme name (see
   // MakeBaselineCc), with one shared arrival/departure schedule.
   std::vector<std::string> competitor_schemes;

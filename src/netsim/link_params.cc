@@ -100,6 +100,23 @@ BandwidthTrace BandwidthTrace::FromMahimahiTimestamps(
   return trace;
 }
 
+BandwidthTrace ResolveEpisodeTrace(
+    const std::function<BandwidthTrace(const LinkParams&, Rng*)>& generator,
+    bool cache_per_env, bool* cached_valid, BandwidthTrace* cached,
+    const BandwidthTrace& fixed_trace, const LinkParams& link, Rng* rng) {
+  if (generator) {
+    if (cache_per_env) {
+      if (!*cached_valid) {
+        *cached = generator(link, rng);
+        *cached_valid = true;
+      }
+      return *cached;
+    }
+    return generator(link, rng);
+  }
+  return fixed_trace;
+}
+
 BandwidthTrace BandwidthTrace::FromMahimahiFile(const std::string& path, double window_s) {
   std::ifstream in(path);
   if (!in) {

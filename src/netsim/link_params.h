@@ -4,6 +4,7 @@
 #ifndef MOCC_SRC_NETSIM_LINK_PARAMS_H_
 #define MOCC_SRC_NETSIM_LINK_PARAMS_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,17 @@ class BandwidthTrace {
   };
   std::vector<Step> steps_;
 };
+
+// One step of the trace-precedence ladder shared by CcEnv and MultiFlowCcEnv
+// (per-episode generator > fixed trace > constant bandwidth): returns the trace
+// to install for this episode, empty meaning "constant at the link bandwidth".
+// With cache_per_env, the generator runs only when *cached_valid is false (the
+// env's first episode, or after a reconfiguration cleared it) and its schedule is
+// stored in *cached for reuse by every later episode of the same env.
+BandwidthTrace ResolveEpisodeTrace(
+    const std::function<BandwidthTrace(const LinkParams&, Rng*)>& generator,
+    bool cache_per_env, bool* cached_valid, BandwidthTrace* cached,
+    const BandwidthTrace& fixed_trace, const LinkParams& link, Rng* rng);
 
 }  // namespace mocc
 

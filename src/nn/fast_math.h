@@ -1,14 +1,21 @@
 // Fast elementwise math for the NN hot paths.
 //
-// FastTanh is a branch-free double-precision tanh built on a Cody–Waite
-// range-reduced exp: tanh(x) = sign(x) * (1 - e) / (1 + e) with e = exp(-2|x|),
-// and a Taylor series for |x| below a crossover where the (1 - e) form would
-// cancel. Absolute error is < 1e-14 over the whole real line, the output is
-// strictly inside (-1, 1), and FastTanh(0) == 0 — so the backward pass's
-// output-based derivative 1 - y² stays consistent (the finite-difference
-// gradient checks in tests/nn_test.cc pass unchanged). Being branch-free, the
-// activation loops auto-vectorize, which is worth ~5x over libm's scalar tanh
-// on the batched and single-row inference paths alike.
+// FastTanh is a branch-free tanh built on a Cody–Waite range-reduced exp:
+// tanh(x) = sign(x) * (1 - e) / (1 + e) with e = exp(-2|x|), and a Taylor
+// series for |x| below a crossover where the (1 - e) form would cancel. Two
+// overloads share the algorithm at their native precision:
+//  * double (training + reference inference): absolute error < 1e-14 over the
+//    whole real line;
+//  * float (the float32 deployment-inference path): absolute error < 1e-6,
+//    characterized exactly in tests/nn_float32_test.cc, with a shorter
+//    polynomial and float-width range-reduction constants.
+// Both overloads keep the invariants the rest of the stack relies on: |output|
+// never exceeds 1 (at saturation it equals the correctly rounded ±1 exactly as
+// libm does), FastTanh(0) == 0 — so the backward pass's output-based derivative
+// 1 - y² stays consistent and non-negative (the finite-difference gradient
+// checks in tests/nn_test.cc pass unchanged) — and NaN propagation.
+// Being branch-free, the activation loops auto-vectorize, which is worth ~5x
+// over libm's scalar tanh on the batched and single-row inference paths alike.
 #ifndef MOCC_SRC_NN_FAST_MATH_H_
 #define MOCC_SRC_NN_FAST_MATH_H_
 
@@ -65,6 +72,55 @@ inline double FastTanh(double x) {
   const double result = ax < 1e-4 ? small : signed_z;
   // Propagate NaN like std::tanh (divergence must stay visible, not become a
   // plausible in-range value).
+  return x != x ? x : result;
+}
+
+inline float FastTanh(float x) {
+  const float ax = std::fabs(x);
+  // Saturate: 1 - tanh(10) ≈ 4e-9, below float resolution next to 1. The negated
+  // comparison also routes NaN through the defined clamped path (the int32 cast
+  // below would be UB on NaN); the final select restores NaN.
+  const float t = !(ax < 10.0f) ? 10.0f : ax;
+
+  // e = exp(y), y = -2t in [-20, 0]: y = n*ln2 + r with |r| <= ln2/2.
+  constexpr float kInvLn2F = 1.44269504088896340736f;
+  // Cody–Waite split of ln2 in float: the hi part is exact in 12 bits, so
+  // n*kLn2HiF is exact for |n| <= 2^11 and the subtraction cancels cleanly.
+  constexpr float kLn2HiF = 0.693359375f;
+  constexpr float kLn2LoF = -2.12194440e-4f;
+  const float y = -2.0f * t;
+  // Round y/ln2 to the nearest integer. y <= 0 always, so truncation after
+  // subtracting 0.5 rounds half-away — libm floor/nearbyint would block
+  // auto-vectorization under strict FP semantics.
+  const int32_t n = static_cast<int32_t>(y * kInvLn2F - 0.5f);
+  const float fn = static_cast<float>(n);
+  const float r = (y - fn * kLn2HiF) - fn * kLn2LoF;
+  // exp(r) by Taylor to r^8: remainder < 6e-9 for |r| <= ln2/2, below float
+  // resolution of e in [1/sqrt(2), sqrt(2)].
+  float p = 1.0f / 40320.0f;  // 1/8!
+  p = p * r + 1.0f / 5040.0f;
+  p = p * r + 1.0f / 720.0f;
+  p = p * r + 1.0f / 120.0f;
+  p = p * r + 1.0f / 24.0f;
+  p = p * r + 1.0f / 6.0f;
+  p = p * r + 0.5f;
+  p = p * r + 1.0f;
+  p = p * r + 1.0f;
+  // Scale by 2^n through the exponent bits; n in [-29, 0] stays normal.
+  const uint32_t scale_bits = static_cast<uint32_t>(n + 127) << 23;
+  float scale;
+  std::memcpy(&scale, &scale_bits, sizeof(scale));
+  const float e = p * scale;
+
+  const float z = 1.0f - 2.0f * e / (1.0f + e);
+  // Small |x|: (1 - e) cancels (e is only accurate to float eps absolutely, which
+  // would be a large RELATIVE error on tanh(x) ≈ x), so use
+  // tanh(x) = x - x³/3 + O(x⁵); at the 0.04 crossover the x⁵ term is ~1.4e-8,
+  // below float resolution of the result.
+  const float small = x * (1.0f - x * x * (1.0f / 3.0f));
+  const float signed_z = x < 0.0f ? -z : z;
+  const float result = ax < 0.04f ? small : signed_z;
+  // Propagate NaN like std::tanh.
   return x != x ? x : result;
 }
 

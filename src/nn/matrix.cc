@@ -8,21 +8,24 @@ namespace mocc {
 namespace {
 
 // Reduction-dimension block size: a 64x64 double tile of B (32 KiB) stays in L1
-// alongside the accumulator row.
+// alongside the accumulator row (a float tile is half that).
 constexpr size_t kBlock = 64;
 
 }  // namespace
 
-Matrix::Matrix(size_t rows, size_t cols, double fill)
+template <typename T>
+MatrixT<T>::MatrixT(size_t rows, size_t cols, T fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
-void Matrix::Resize(size_t rows, size_t cols) {
+template <typename T>
+void MatrixT<T>::Resize(size_t rows, size_t cols) {
   rows_ = rows;
   cols_ = cols;
   data_.resize(rows * cols);
 }
 
-void Matrix::CopyFrom(const Matrix& other) {
+template <typename T>
+void MatrixT<T>::CopyFrom(const MatrixT& other) {
   if (this == &other) {
     return;
   }
@@ -30,37 +33,43 @@ void Matrix::CopyFrom(const Matrix& other) {
   std::copy(other.data_.begin(), other.data_.end(), data_.begin());
 }
 
-void Matrix::Fill(double v) {
+template <typename T>
+void MatrixT<T>::Fill(T v) {
   for (auto& x : data_) {
     x = v;
   }
 }
 
-void Matrix::FillNormal(Rng* rng, double stddev) {
+template <typename T>
+void MatrixT<T>::FillNormal(Rng* rng, double stddev) {
   for (auto& x : data_) {
-    x = rng->Normal(0.0, stddev);
+    x = static_cast<T>(rng->Normal(0.0, stddev));
   }
 }
 
-void Matrix::FillXavier(Rng* rng) {
+template <typename T>
+void MatrixT<T>::FillXavier(Rng* rng) {
   const double limit = std::sqrt(6.0 / static_cast<double>(rows_ + cols_));
   for (auto& x : data_) {
-    x = rng->Uniform(-limit, limit);
+    x = static_cast<T>(rng->Uniform(-limit, limit));
   }
 }
 
-std::vector<double> Matrix::Row(size_t r) const {
+template <typename T>
+std::vector<T> MatrixT<T>::Row(size_t r) const {
   assert(r < rows_);
-  return std::vector<double>(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
-                             data_.begin() + static_cast<ptrdiff_t>((r + 1) * cols_));
+  return std::vector<T>(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
+                        data_.begin() + static_cast<ptrdiff_t>((r + 1) * cols_));
 }
 
-void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+template <typename T>
+void MatrixT<T>::SetRow(size_t r, const std::vector<T>& values) {
   assert(r < rows_ && values.size() == cols_);
   std::copy(values.begin(), values.end(), data_.begin() + static_cast<ptrdiff_t>(r * cols_));
 }
 
-void Matrix::SetRow(size_t r, const double* values) {
+template <typename T>
+void MatrixT<T>::SetRow(size_t r, const T* values) {
   assert(r < rows_);
   std::copy(values, values + cols_, data_.begin() + static_cast<ptrdiff_t>(r * cols_));
 }
@@ -70,16 +79,16 @@ namespace {
 // One register-tiled column block of y = x·W + b: TILE accumulators live in SIMD
 // registers across the whole k loop (a runtime-bound accumulator block would be
 // stored and reloaded every iteration).
-template <size_t TILE>
-inline void RowMatVecTile(const double* x, const double* w, const double* b, double* y,
-                          size_t in, size_t out, size_t j0) {
+template <size_t TILE, typename T>
+inline void RowMatVecTile(const T* x, const T* w, const T* b, T* y, size_t in,
+                          size_t out, size_t j0) {
   // Zero-init then bias after the reduction: the seed's MatMul + AddRowBias
   // summation order, kept so results stay reproducible against it; the bias add
   // happens while the accumulators are still in registers, so it costs nothing.
-  double acc[TILE] = {0.0};
-  const double* wp = w + j0;
+  T acc[TILE] = {T(0)};
+  const T* wp = w + j0;
   for (size_t k = 0; k < in; ++k, wp += out) {
-    const double xk = x[k];
+    const T xk = x[k];
     for (size_t t = 0; t < TILE; ++t) {
       acc[t] += xk * wp[t];
     }
@@ -91,11 +100,13 @@ inline void RowMatVecTile(const double* x, const double* w, const double* b, dou
 
 }  // namespace
 
-void RowMatVecBias(const double* x, const double* w, const double* b, double* y,
-                   size_t in, size_t out) {
+template <typename T>
+void RowMatVecBias(const T* x, const T* w, const T* b, T* y, size_t in, size_t out) {
   size_t j0 = 0;
-  // 32 is the widest tile: gcc keeps its 4 SIMD accumulators in registers and
-  // unrolls the reduction; a 64-wide tile spills and scalarizes.
+  // 32 is the widest tile: gcc keeps its SIMD accumulators in registers and
+  // unrolls the reduction; a 64-wide tile spills and scalarizes for doubles.
+  // The same tiling is kept for float so both precisions run structurally
+  // identical kernels (float simply packs twice the lanes per register).
   for (; j0 + 32 <= out; j0 += 32) {
     RowMatVecTile<32>(x, w, b, y, in, out, j0);
   }
@@ -106,8 +117,8 @@ void RowMatVecBias(const double* x, const double* w, const double* b, double* y,
     RowMatVecTile<8>(x, w, b, y, in, out, j0);
   }
   for (; j0 < out; ++j0) {
-    double acc = 0.0;
-    const double* wp = w + j0;
+    T acc = T(0);
+    const T* wp = w + j0;
     for (size_t k = 0; k < in; ++k, wp += out) {
       acc += x[k] * *wp;
     }
@@ -119,16 +130,17 @@ namespace {
 
 // Shared inner kernel for MatMulInto/MatMulBiasInto: C (already initialized)
 // += A * B, cache-blocked over the reduction dimension.
-void MatMulAccumulateRaw(const double* ad, const double* bd, double* cd, size_t m,
-                         size_t k_dim, size_t n) {
+template <typename T>
+void MatMulAccumulateRaw(const T* ad, const T* bd, T* cd, size_t m, size_t k_dim,
+                         size_t n) {
   for (size_t k0 = 0; k0 < k_dim; k0 += kBlock) {
     const size_t k1 = std::min(k_dim, k0 + kBlock);
     for (size_t i = 0; i < m; ++i) {
-      const double* arow = ad + i * k_dim;
-      double* crow = cd + i * n;
+      const T* arow = ad + i * k_dim;
+      T* crow = cd + i * n;
       for (size_t k = k0; k < k1; ++k) {
-        const double aik = arow[k];
-        const double* brow = bd + k * n;
+        const T aik = arow[k];
+        const T* brow = bd + k * n;
         for (size_t j = 0; j < n; ++j) {
           crow[j] += aik * brow[j];
         }
@@ -139,7 +151,9 @@ void MatMulAccumulateRaw(const double* ad, const double* bd, double* cd, size_t 
 
 }  // namespace
 
-void MatMulBiasInto(const Matrix& a, const Matrix& b, const Matrix& bias, Matrix* c) {
+template <typename T>
+void MatMulBiasInto(const MatrixT<T>& a, const MatrixT<T>& b, const MatrixT<T>& bias,
+                    MatrixT<T>* c) {
   assert(a.cols() == b.rows());
   assert(bias.rows() == 1 && bias.cols() == b.cols());
   assert(c != &a && c != &b && c != &bias);
@@ -147,47 +161,49 @@ void MatMulBiasInto(const Matrix& a, const Matrix& b, const Matrix& bias, Matrix
   const size_t k_dim = a.cols();
   const size_t n = b.cols();
   c->Resize(m, n);
-  const double* ad = a.data();
-  const double* bd = b.data();
-  const double* biasd = bias.data();
-  double* cd = c->data();
+  const T* ad = a.data();
+  const T* bd = b.data();
+  const T* biasd = bias.data();
+  T* cd = c->data();
   for (size_t i = 0; i < m; ++i) {
     RowMatVecBias(ad + i * k_dim, bd, biasd, cd + i * n, k_dim, n);
   }
 }
 
-void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c) {
+template <typename T>
+void MatMulInto(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>* c) {
   assert(a.cols() == b.rows());
   assert(c != &a && c != &b);
   const size_t m = a.rows();
   const size_t k_dim = a.cols();
   const size_t n = b.cols();
   c->Resize(m, n);
-  double* cd = c->data();
-  const double* ad = a.data();
-  const double* bd = b.data();
-  std::fill(cd, cd + m * n, 0.0);
+  T* cd = c->data();
+  const T* ad = a.data();
+  const T* bd = b.data();
+  std::fill(cd, cd + m * n, T(0));
   MatMulAccumulateRaw(ad, bd, cd, m, k_dim, n);
 }
 
-void MatMulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* c) {
+template <typename T>
+void MatMulTransposeBInto(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>* c) {
   assert(a.cols() == b.cols());
   assert(c != &a && c != &b);
   const size_t m = a.rows();
   const size_t k_dim = a.cols();
   const size_t n = b.rows();
   c->Resize(m, n);
-  double* cd = c->data();
-  const double* ad = a.data();
-  const double* bd = b.data();
+  T* cd = c->data();
+  const T* ad = a.data();
+  const T* bd = b.data();
   // Both operands are traversed along contiguous rows (B is already the transposed
   // layout), so each output is a unit-stride dot product.
   for (size_t i = 0; i < m; ++i) {
-    const double* arow = ad + i * k_dim;
-    double* crow = cd + i * n;
+    const T* arow = ad + i * k_dim;
+    T* crow = cd + i * n;
     for (size_t j = 0; j < n; ++j) {
-      const double* brow = bd + j * k_dim;
-      double sum = 0.0;
+      const T* brow = bd + j * k_dim;
+      T sum = T(0);
       for (size_t k = 0; k < k_dim; ++k) {
         sum += arow[k] * brow[k];
       }
@@ -196,32 +212,34 @@ void MatMulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* c) {
   }
 }
 
-void MatMulTransposeAInto(const Matrix& a, const Matrix& b, Matrix* c) {
+template <typename T>
+void MatMulTransposeAInto(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>* c) {
   assert(a.rows() == b.rows());
   assert(c != &a && c != &b);
   c->Resize(a.cols(), b.cols());
-  std::fill(c->data(), c->data() + c->size(), 0.0);
+  std::fill(c->data(), c->data() + c->size(), T(0));
   MatMulTransposeAAccumulate(a, b, c);
 }
 
-void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
+template <typename T>
+void MatMulTransposeAAccumulate(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>* c) {
   assert(a.rows() == b.rows());
   assert(c->rows() == a.cols() && c->cols() == b.cols());
   assert(c != &a && c != &b);
   const size_t r_dim = a.rows();
   const size_t m = a.cols();
   const size_t n = b.cols();
-  double* cd = c->data();
-  const double* ad = a.data();
-  const double* bd = b.data();
+  T* cd = c->data();
+  const T* ad = a.data();
+  const T* bd = b.data();
   for (size_t r0 = 0; r0 < r_dim; r0 += kBlock) {
     const size_t r1 = std::min(r_dim, r0 + kBlock);
     for (size_t r = r0; r < r1; ++r) {
-      const double* arow = ad + r * m;
-      const double* brow = bd + r * n;
+      const T* arow = ad + r * m;
+      const T* brow = bd + r * n;
       for (size_t i = 0; i < m; ++i) {
-        const double ari = arow[i];
-        double* crow = cd + i * n;
+        const T ari = arow[i];
+        T* crow = cd + i * n;
         for (size_t j = 0; j < n; ++j) {
           crow[j] += ari * brow[j];
         }
@@ -230,86 +248,129 @@ void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
   }
 }
 
-void ColumnSumsInto(const Matrix& m, Matrix* sums) {
+template <typename T>
+void ColumnSumsInto(const MatrixT<T>& m, MatrixT<T>* sums) {
   assert(sums != &m);
   sums->Resize(1, m.cols());
-  std::fill(sums->data(), sums->data() + m.cols(), 0.0);
+  std::fill(sums->data(), sums->data() + m.cols(), T(0));
   ColumnSumsAccumulate(m, sums);
 }
 
-void ColumnSumsAccumulate(const Matrix& m, Matrix* sums) {
+template <typename T>
+void ColumnSumsAccumulate(const MatrixT<T>& m, MatrixT<T>* sums) {
   assert(sums->rows() == 1 && sums->cols() == m.cols());
-  double* s = sums->data();
-  const double* d = m.data();
+  T* s = sums->data();
+  const T* d = m.data();
   const size_t cols = m.cols();
   for (size_t r = 0; r < m.rows(); ++r) {
-    const double* row = d + r * cols;
+    const T* row = d + r * cols;
     for (size_t c = 0; c < cols; ++c) {
       s[c] += row[c];
     }
   }
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
-  Matrix c;
+template <typename T>
+MatrixT<T> MatMul(const MatrixT<T>& a, const MatrixT<T>& b) {
+  MatrixT<T> c;
   MatMulInto(a, b, &c);
   return c;
 }
 
-Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
-  Matrix c;
+template <typename T>
+MatrixT<T> MatMulTransposeB(const MatrixT<T>& a, const MatrixT<T>& b) {
+  MatrixT<T> c;
   MatMulTransposeBInto(a, b, &c);
   return c;
 }
 
-Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
-  Matrix c;
+template <typename T>
+MatrixT<T> MatMulTransposeA(const MatrixT<T>& a, const MatrixT<T>& b) {
+  MatrixT<T> c;
   MatMulTransposeAInto(a, b, &c);
   return c;
 }
 
-Matrix ColumnSums(const Matrix& m) {
-  Matrix sums;
+template <typename T>
+MatrixT<T> ColumnSums(const MatrixT<T>& m) {
+  MatrixT<T> sums;
   ColumnSumsInto(m, &sums);
   return sums;
 }
 
-void AddScaled(Matrix* a, const Matrix& b, double scale) {
+template <typename T>
+void AddScaled(MatrixT<T>* a, const MatrixT<T>& b, T scale) {
   assert(a->rows() == b.rows() && a->cols() == b.cols());
-  double* pa = a->data();
-  const double* pb = b.data();
+  T* pa = a->data();
+  const T* pb = b.data();
   for (size_t i = 0; i < a->size(); ++i) {
     pa[i] += scale * pb[i];
   }
 }
 
-void AddRowBias(Matrix* m, const Matrix& bias) {
+template <typename T>
+void AddRowBias(MatrixT<T>* m, const MatrixT<T>& bias) {
   assert(bias.rows() == 1 && bias.cols() == m->cols());
   const size_t cols = m->cols();
-  const double* b = bias.data();
+  const T* b = bias.data();
   for (size_t r = 0; r < m->rows(); ++r) {
-    double* row = m->RowPtr(r);
+    T* row = m->RowPtr(r);
     for (size_t c = 0; c < cols; ++c) {
       row[c] += b[c];
     }
   }
 }
 
-void HadamardInPlace(Matrix* a, const Matrix& b) {
+template <typename T>
+void HadamardInPlace(MatrixT<T>* a, const MatrixT<T>& b) {
   assert(a->rows() == b.rows() && a->cols() == b.cols());
-  double* pa = a->data();
-  const double* pb = b.data();
+  T* pa = a->data();
+  const T* pb = b.data();
   for (size_t i = 0; i < a->size(); ++i) {
     pa[i] *= pb[i];
   }
 }
 
-double FrobeniusNorm(const Matrix& m) {
+template <typename T>
+double FrobeniusNorm(const MatrixT<T>& m) {
   double sum = 0.0;
   for (size_t i = 0; i < m.size(); ++i) {
-    sum += m.data()[i] * m.data()[i];
+    const double v = static_cast<double>(m.data()[i]);
+    sum += v * v;
   }
   return std::sqrt(sum);
 }
+
+// ---------------------------------------------------------------------------
+// Explicit instantiations: the NN substrate supports exactly double (training)
+// and float (deployment inference).
+// ---------------------------------------------------------------------------
+#define MOCC_INSTANTIATE_MATRIX(T)                                                     \
+  template class MatrixT<T>;                                                           \
+  template void MatMulInto<T>(const MatrixT<T>&, const MatrixT<T>&, MatrixT<T>*);      \
+  template void MatMulBiasInto<T>(const MatrixT<T>&, const MatrixT<T>&,                \
+                                  const MatrixT<T>&, MatrixT<T>*);                     \
+  template void RowMatVecBias<T>(const T*, const T*, const T*, T*, size_t, size_t);    \
+  template void MatMulTransposeBInto<T>(const MatrixT<T>&, const MatrixT<T>&,          \
+                                        MatrixT<T>*);                                  \
+  template void MatMulTransposeAInto<T>(const MatrixT<T>&, const MatrixT<T>&,          \
+                                        MatrixT<T>*);                                  \
+  template void MatMulTransposeAAccumulate<T>(const MatrixT<T>&, const MatrixT<T>&,    \
+                                              MatrixT<T>*);                            \
+  template void ColumnSumsInto<T>(const MatrixT<T>&, MatrixT<T>*);                     \
+  template void ColumnSumsAccumulate<T>(const MatrixT<T>&, MatrixT<T>*);               \
+  template MatrixT<T> MatMul<T>(const MatrixT<T>&, const MatrixT<T>&);                 \
+  template MatrixT<T> MatMulTransposeB<T>(const MatrixT<T>&, const MatrixT<T>&);       \
+  template MatrixT<T> MatMulTransposeA<T>(const MatrixT<T>&, const MatrixT<T>&);       \
+  template MatrixT<T> ColumnSums<T>(const MatrixT<T>&);                                \
+  template void AddScaled<T>(MatrixT<T>*, const MatrixT<T>&, T);                       \
+  template void AddRowBias<T>(MatrixT<T>*, const MatrixT<T>&);                         \
+  template void HadamardInPlace<T>(MatrixT<T>*, const MatrixT<T>&);                    \
+  template double FrobeniusNorm<T>(const MatrixT<T>&);
+
+MOCC_INSTANTIATE_MATRIX(double)
+MOCC_INSTANTIATE_MATRIX(float)
+
+#undef MOCC_INSTANTIATE_MATRIX
 
 }  // namespace mocc

@@ -1,8 +1,13 @@
-// Dense row-major matrix of doubles — the only tensor type used by the neural-network
-// substrate. Sized for the small MLPs in this project (tens of thousands of parameters).
+// Dense row-major matrix — the only tensor type used by the neural-network substrate.
+// Sized for the small MLPs in this project (tens of thousands of parameters). The
+// matrix is templated on its scalar type: training runs entirely on MatrixT<double>
+// (aliased as Matrix, the historical name), while the float32 deployment-inference
+// path (src/rl/inference_policy.h) runs the same kernels on MatrixT<float> — halving
+// the weight bytes per inference and doubling the SIMD lanes without a second kernel
+// implementation. Only these two scalar types are instantiated (see matrix.cc).
 // The multiply kernels are cache-blocked over the reduction dimension and every kernel
 // has an out-parameter ("Into") variant so hot loops can run allocation-free in steady
-// state: a Matrix resized to a shape it has held before reuses its storage.
+// state: a matrix resized to a shape it has held before reuses its storage.
 #ifndef MOCC_SRC_NN_MATRIX_H_
 #define MOCC_SRC_NN_MATRIX_H_
 
@@ -14,30 +19,33 @@
 
 namespace mocc {
 
-class Matrix {
+template <typename T>
+class MatrixT {
  public:
-  Matrix() = default;
+  using Scalar = T;
+
+  MatrixT() = default;
   // Creates a rows x cols matrix filled with `fill`.
-  Matrix(size_t rows, size_t cols, double fill = 0.0);
+  MatrixT(size_t rows, size_t cols, T fill = T(0));
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  double& operator()(size_t r, size_t c) {
+  T& operator()(size_t r, size_t c) {
     assert(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
-  double operator()(size_t r, size_t c) const {
+  T operator()(size_t r, size_t c) const {
     assert(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
 
-  double* data() { return data_.data(); }
-  const double* data() const { return data_.data(); }
-  std::vector<double>& storage() { return data_; }
-  const std::vector<double>& storage() const { return data_; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::vector<T>& storage() { return data_; }
+  const std::vector<T>& storage() const { return data_; }
 
   // Reshapes to rows x cols. Storage capacity is reused and never shrinks, so
   // resizing a workspace back to a previously-held shape allocates nothing.
@@ -46,10 +54,21 @@ class Matrix {
 
   // Becomes an element-wise copy of `other` (Resize + copy; no allocation when
   // capacity suffices).
-  void CopyFrom(const Matrix& other);
+  void CopyFrom(const MatrixT& other);
+
+  // Becomes an element-wise static_cast copy of a matrix with a different scalar
+  // type — the double->float conversion behind the deployment inference path.
+  template <typename U>
+  void CastFrom(const MatrixT<U>& other) {
+    Resize(other.rows(), other.cols());
+    const U* src = other.data();
+    for (size_t i = 0; i < data_.size(); ++i) {
+      data_[i] = static_cast<T>(src[i]);
+    }
+  }
 
   // Sets every element to `v`.
-  void Fill(double v);
+  void Fill(T v);
 
   // Fills with N(0, stddev) draws.
   void FillNormal(Rng* rng, double stddev);
@@ -59,20 +78,20 @@ class Matrix {
   void FillXavier(Rng* rng);
 
   // Returns one row as a vector.
-  std::vector<double> Row(size_t r) const;
+  std::vector<T> Row(size_t r) const;
 
   // Copies `values` (size == cols()) into row `r`.
-  void SetRow(size_t r, const std::vector<double>& values);
+  void SetRow(size_t r, const std::vector<T>& values);
 
   // Copies `values[0..cols())` into row `r`.
-  void SetRow(size_t r, const double* values);
+  void SetRow(size_t r, const T* values);
 
   // Pointer to the start of row `r`.
-  double* RowPtr(size_t r) {
+  T* RowPtr(size_t r) {
     assert(r < rows_);
     return data_.data() + r * cols_;
   }
-  const double* RowPtr(size_t r) const {
+  const T* RowPtr(size_t r) const {
     assert(r < rows_);
     return data_.data() + r * cols_;
   }
@@ -80,16 +99,22 @@ class Matrix {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<double> data_;
+  std::vector<T> data_;
 };
+
+// The historical name: the double-precision training matrix.
+using Matrix = MatrixT<double>;
 
 // Allocation-free kernels: the output is resized in place (capacity reuse) and the
 // output must not alias either input. For a fixed output element, every kernel
 // accumulates contributions in ascending reduction order, so results are
-// bit-for-bit identical across batch sizes and blocking factors.
+// bit-for-bit identical across batch sizes and blocking factors (per scalar type;
+// float and double results differ by rounding, which the precision test harness
+// bounds — tests/nn_float32_test.cc).
 
 // C = A * B. Requires A.cols() == B.rows().
-void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c);
+template <typename T>
+void MatMulInto(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>* c);
 
 // C = A * B + 1·bias (every output row is initialized with the 1 x B.cols() row
 // vector `bias`, then accumulated): the fused dense-layer kernel, saving a
@@ -97,48 +122,67 @@ void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c);
 // batched and single-row forwards run the exact same compiled kernel and produce
 // bit-identical values (FMA contraction is a per-loop compiler choice; sharing
 // the kernel removes it as a divergence source).
-void MatMulBiasInto(const Matrix& a, const Matrix& b, const Matrix& bias, Matrix* c);
+template <typename T>
+void MatMulBiasInto(const MatrixT<T>& a, const MatrixT<T>& b, const MatrixT<T>& bias,
+                    MatrixT<T>* c);
 
 // y[0..out) = x[0..in) · w (in x out, row-major) + b[0..out), register-tiled:
 // fixed-size accumulator blocks stay in SIMD registers across the reduction.
 // Per output j the accumulation order is ascending k, then the bias (the seed's
 // MatMul + AddRowBias order).
-void RowMatVecBias(const double* x, const double* w, const double* b, double* y,
-                   size_t in, size_t out);
+template <typename T>
+void RowMatVecBias(const T* x, const T* w, const T* b, T* y, size_t in, size_t out);
 
 // C = A * B^T. Requires A.cols() == B.cols().
-void MatMulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* c);
+template <typename T>
+void MatMulTransposeBInto(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>* c);
 
 // C = A^T * B. Requires A.rows() == B.rows().
-void MatMulTransposeAInto(const Matrix& a, const Matrix& b, Matrix* c);
+template <typename T>
+void MatMulTransposeAInto(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>* c);
 
 // C += A^T * B without materializing the product (gradient accumulation).
 // C must already be A.cols() x B.cols().
-void MatMulTransposeAAccumulate(const Matrix& a, const Matrix& b, Matrix* c);
+template <typename T>
+void MatMulTransposeAAccumulate(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>* c);
 
 // sums = column sums of `m` as a 1 x cols matrix.
-void ColumnSumsInto(const Matrix& m, Matrix* sums);
+template <typename T>
+void ColumnSumsInto(const MatrixT<T>& m, MatrixT<T>* sums);
 
 // sums += column sums of `m`. `sums` must already be 1 x m.cols().
-void ColumnSumsAccumulate(const Matrix& m, Matrix* sums);
+template <typename T>
+void ColumnSumsAccumulate(const MatrixT<T>& m, MatrixT<T>* sums);
 
 // Allocating convenience wrappers around the Into kernels.
-Matrix MatMul(const Matrix& a, const Matrix& b);
-Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
-Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
-Matrix ColumnSums(const Matrix& m);
+template <typename T>
+MatrixT<T> MatMul(const MatrixT<T>& a, const MatrixT<T>& b);
+template <typename T>
+MatrixT<T> MatMulTransposeB(const MatrixT<T>& a, const MatrixT<T>& b);
+template <typename T>
+MatrixT<T> MatMulTransposeA(const MatrixT<T>& a, const MatrixT<T>& b);
+template <typename T>
+MatrixT<T> ColumnSums(const MatrixT<T>& m);
 
 // a += scale * b, elementwise. Requires identical shapes.
-void AddScaled(Matrix* a, const Matrix& b, double scale = 1.0);
+template <typename T>
+void AddScaled(MatrixT<T>* a, const MatrixT<T>& b, T scale = T(1));
 
 // Adds row-vector `bias` (1 x cols) to every row of `m`.
-void AddRowBias(Matrix* m, const Matrix& bias);
+template <typename T>
+void AddRowBias(MatrixT<T>* m, const MatrixT<T>& bias);
 
 // Elementwise product, in place: a ⊙= b.
-void HadamardInPlace(Matrix* a, const Matrix& b);
+template <typename T>
+void HadamardInPlace(MatrixT<T>* a, const MatrixT<T>& b);
 
-// Frobenius norm.
-double FrobeniusNorm(const Matrix& m);
+// Frobenius norm (accumulated in double regardless of T).
+template <typename T>
+double FrobeniusNorm(const MatrixT<T>& m);
+
+// The kernels are instantiated for exactly these scalar types in matrix.cc.
+extern template class MatrixT<double>;
+extern template class MatrixT<float>;
 
 }  // namespace mocc
 

@@ -3,22 +3,24 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <type_traits>
 
 #include "src/nn/fast_math.h"
 
 namespace mocc {
 namespace {
 
-double ActivationDerivativeFromOutput(Activation a, double y) {
+template <typename T>
+T ActivationDerivativeFromOutput(Activation a, T y) {
   switch (a) {
     case Activation::kIdentity:
-      return 1.0;
+      return T(1);
     case Activation::kTanh:
-      return 1.0 - y * y;
+      return T(1) - y * y;
     case Activation::kRelu:
-      return y > 0.0 ? 1.0 : 0.0;
+      return y > T(0) ? T(1) : T(0);
   }
-  return 1.0;
+  return T(1);
 }
 
 }  // namespace
@@ -28,7 +30,8 @@ namespace {
 // Fixed-width tanh block: both the bulk loop and the padded tail run this one
 // compiled loop, so every element goes through identical instructions (FMA
 // contraction is per-loop; two differently-shaped loops could round differently).
-inline void Tanh8(double* data) {
+template <typename T>
+inline void Tanh8(T* data) {
   for (size_t t = 0; t < 8; ++t) {
     data[t] = FastTanh(data[t]);
   }
@@ -36,7 +39,8 @@ inline void Tanh8(double* data) {
 
 }  // namespace
 
-void ApplyActivation(Activation a, double* data, size_t n) {
+template <typename T>
+void ApplyActivation(Activation a, T* data, size_t n) {
   switch (a) {
     case Activation::kIdentity:
       return;
@@ -47,7 +51,7 @@ void ApplyActivation(Activation a, double* data, size_t n) {
         Tanh8(data + i);
       }
       if (i < n) {
-        double tail[8] = {0.0};
+        T tail[8] = {T(0)};
         std::copy(data + i, data + n, tail);
         Tanh8(tail);
         std::copy(tail, tail + (n - i), data + i);
@@ -56,17 +60,21 @@ void ApplyActivation(Activation a, double* data, size_t n) {
     }
     case Activation::kRelu:
       for (size_t i = 0; i < n; ++i) {
-        if (data[i] < 0.0) {
-          data[i] = 0.0;
+        if (data[i] < T(0)) {
+          data[i] = T(0);
         }
       }
       return;
   }
 }
 
-void ApplyActivation(Activation a, Matrix* m) { ApplyActivation(a, m->data(), m->size()); }
+template <typename T>
+void ApplyActivation(Activation a, MatrixT<T>* m) {
+  ApplyActivation(a, m->data(), m->size());
+}
 
-DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, Activation activation, Rng* rng)
+template <typename T>
+DenseLayerT<T>::DenseLayerT(size_t in_dim, size_t out_dim, Activation activation, Rng* rng)
     : weights_(in_dim, out_dim),
       bias_(1, out_dim),
       grad_weights_(in_dim, out_dim),
@@ -75,7 +83,8 @@ DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, Activation activation, Rng
   weights_.FillXavier(rng);
 }
 
-void DenseLayer::ForwardInto(const Matrix& x, Matrix* y) {
+template <typename T>
+void DenseLayerT<T>::ForwardInto(const MatrixT<T>& x, MatrixT<T>* y) {
   assert(x.cols() == weights_.rows());
   assert(y != &x);
   MatMulBiasInto(x, weights_, bias_, y);
@@ -84,14 +93,15 @@ void DenseLayer::ForwardInto(const Matrix& x, Matrix* y) {
   fwd_output_ = y;
 }
 
-void DenseLayer::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
+template <typename T>
+void DenseLayerT<T>::BackwardInto(const MatrixT<T>& grad_out, MatrixT<T>* grad_in) {
   assert(fwd_input_ != nullptr && fwd_output_ != nullptr);
   assert(grad_out.rows() == fwd_output_->rows() && grad_out.cols() == fwd_output_->cols());
   assert(grad_in != &grad_out);
   // Push the gradient through the activation using the cached post-activation output.
   dpre_.CopyFrom(grad_out);
-  const double* out = fwd_output_->data();
-  double* g = dpre_.data();
+  const T* out = fwd_output_->data();
+  T* g = dpre_.data();
   for (size_t i = 0; i < dpre_.size(); ++i) {
     g[i] *= ActivationDerivativeFromOutput(activation_, out[i]);
   }
@@ -100,42 +110,59 @@ void DenseLayer::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
   MatMulTransposeBInto(dpre_, weights_, grad_in);
 }
 
-void DenseLayer::ForwardRow(const double* x, double* y) const {
+template <typename T>
+void DenseLayerT<T>::ForwardRow(const T* x, T* y) const {
   // The exact kernel the batched path runs per row (bit-for-bit identical).
   RowMatVecBias(x, weights_.data(), bias_.data(), y, weights_.rows(), weights_.cols());
   ApplyActivation(activation_, y, weights_.cols());
 }
 
-Matrix DenseLayer::Forward(const Matrix& x) {
+template <typename T>
+MatrixT<T> DenseLayerT<T>::Forward(const MatrixT<T>& x) {
   cached_input_.CopyFrom(x);
   ForwardInto(cached_input_, &cached_output_);
   return cached_output_;
 }
 
-Matrix DenseLayer::Backward(const Matrix& grad_out) {
-  Matrix grad_in;
+template <typename T>
+MatrixT<T> DenseLayerT<T>::Backward(const MatrixT<T>& grad_out) {
+  MatrixT<T> grad_in;
   BackwardInto(grad_out, &grad_in);
   return grad_in;
 }
 
-void DenseLayer::ZeroGrad() {
-  grad_weights_.Fill(0.0);
-  grad_bias_.Fill(0.0);
+template <typename T>
+void DenseLayerT<T>::ZeroGrad() {
+  grad_weights_.Fill(T(0));
+  grad_bias_.Fill(T(0));
 }
 
-std::vector<ParamRef> DenseLayer::Params() {
+template <typename T>
+std::vector<ParamRefT<T>> DenseLayerT<T>::Params() {
   return {{&weights_, &grad_weights_}, {&bias_, &grad_bias_}};
 }
 
-void DenseLayer::Serialize(BinaryWriter* w) const {
+template <typename T>
+void DenseLayerT<T>::Serialize(BinaryWriter* w) const {
   w->WriteU64(weights_.rows());
   w->WriteU64(weights_.cols());
   w->WriteU32(static_cast<uint32_t>(activation_));
-  w->WriteDoubleVector(weights_.storage());
-  w->WriteDoubleVector(bias_.storage());
+  // The on-disk format is scalar-type independent: always double. The training
+  // (double) instantiation writes its storage directly; float widens through a
+  // temporary (serialization is cold for the inference replica anyway).
+  if constexpr (std::is_same_v<T, double>) {
+    w->WriteDoubleVector(weights_.storage());
+    w->WriteDoubleVector(bias_.storage());
+  } else {
+    w->WriteDoubleVector(
+        std::vector<double>(weights_.storage().begin(), weights_.storage().end()));
+    w->WriteDoubleVector(
+        std::vector<double>(bias_.storage().begin(), bias_.storage().end()));
+  }
 }
 
-bool DenseLayer::Deserialize(BinaryReader* r) {
+template <typename T>
+bool DenseLayerT<T>::Deserialize(BinaryReader* r) {
   const uint64_t rows = r->ReadU64();
   const uint64_t cols = r->ReadU64();
   const uint32_t act = r->ReadU32();
@@ -148,13 +175,21 @@ bool DenseLayer::Deserialize(BinaryReader* r) {
   if (!r->ok() || w.size() != weights_.size() || b.size() != bias_.size()) {
     return false;
   }
-  weights_.storage() = std::move(w);
-  bias_.storage() = std::move(b);
+  if constexpr (std::is_same_v<T, double>) {
+    weights_.storage() = std::move(w);
+    bias_.storage() = std::move(b);
+  } else {
+    std::transform(w.begin(), w.end(), weights_.storage().begin(),
+                   [](double v) { return static_cast<T>(v); });
+    std::transform(b.begin(), b.end(), bias_.storage().begin(),
+                   [](double v) { return static_cast<T>(v); });
+  }
   return true;
 }
 
-Mlp::Mlp(const std::vector<size_t>& dims, Activation hidden_activation,
-         Activation output_activation, Rng* rng) {
+template <typename T>
+MlpT<T>::MlpT(const std::vector<size_t>& dims, Activation hidden_activation,
+              Activation output_activation, Rng* rng) {
   assert(dims.size() >= 2);
   for (size_t i = 0; i + 1 < dims.size(); ++i) {
     const bool last = (i + 2 == dims.size());
@@ -163,7 +198,8 @@ Mlp::Mlp(const std::vector<size_t>& dims, Activation hidden_activation,
   }
 }
 
-void Mlp::ForwardInto(const Matrix& x, Matrix* y) {
+template <typename T>
+void MlpT<T>::ForwardInto(const MatrixT<T>& x, MatrixT<T>* y) {
   if (layers_.empty()) {
     y->CopyFrom(x);
     return;
@@ -173,7 +209,7 @@ void Mlp::ForwardInto(const Matrix& x, Matrix* y) {
   if (acts_.size() != layers_.size()) {
     acts_.resize(layers_.size());
   }
-  const Matrix* cur = &input_cache_;
+  const MatrixT<T>* cur = &input_cache_;
   for (size_t i = 0; i < layers_.size(); ++i) {
     layers_[i].ForwardInto(*cur, &acts_[i]);
     cur = &acts_[i];
@@ -181,7 +217,8 @@ void Mlp::ForwardInto(const Matrix& x, Matrix* y) {
   y->CopyFrom(*cur);
 }
 
-void Mlp::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
+template <typename T>
+void MlpT<T>::BackwardInto(const MatrixT<T>& grad_out, MatrixT<T>* grad_in) {
   if (layers_.empty()) {
     grad_in->CopyFrom(grad_out);
     return;
@@ -192,21 +229,22 @@ void Mlp::BackwardInto(const Matrix& grad_out, Matrix* grad_in) {
   }
   // Ping-pong the inter-layer gradient through two workspaces; the final dL/dX
   // goes straight into the caller's matrix.
-  Matrix* cur = &grad_ping_;
-  Matrix* next = &grad_pong_;
+  MatrixT<T>* cur = &grad_ping_;
+  MatrixT<T>* next = &grad_pong_;
   layers_.back().BackwardInto(grad_out, cur);
   for (size_t i = layers_.size() - 1; i-- > 0;) {
-    Matrix* dst = (i == 0) ? grad_in : next;
+    MatrixT<T>* dst = (i == 0) ? grad_in : next;
     layers_[i].BackwardInto(*cur, dst);
     next = cur;
     cur = dst;
   }
 }
 
+template <typename T>
 #if defined(__GNUC__)
 __attribute__((flatten))
 #endif
-void Mlp::ForwardRow(const double* in, double* out) const {
+void MlpT<T>::ForwardRow(const T* in, T* out) const {
   assert(!layers_.empty());
   if (row_ping_.empty()) {
     // Layer shapes are fixed after construction/deserialization, so the scratch
@@ -215,43 +253,48 @@ void Mlp::ForwardRow(const double* in, double* out) const {
     row_ping_.resize(scratch);
     row_pong_.resize(scratch);
   }
-  const double* cur = in;
-  double* ping = row_ping_.data();
-  double* pong = row_pong_.data();
+  const T* cur = in;
+  T* ping = row_ping_.data();
+  T* pong = row_pong_.data();
   for (size_t i = 0; i < layers_.size(); ++i) {
-    double* dst = (i + 1 == layers_.size()) ? out : ping;
+    T* dst = (i + 1 == layers_.size()) ? out : ping;
     layers_[i].ForwardRow(cur, dst);
     cur = dst;
     std::swap(ping, pong);
   }
 }
 
-void Mlp::ForwardRow(const std::vector<double>& in, std::vector<double>* out) const {
+template <typename T>
+void MlpT<T>::ForwardRow(const std::vector<T>& in, std::vector<T>* out) const {
   assert(in.size() == in_dim());
   out->resize(out_dim());
   ForwardRow(in.data(), out->data());
 }
 
-Matrix Mlp::Forward(const Matrix& x) {
-  Matrix y;
+template <typename T>
+MatrixT<T> MlpT<T>::Forward(const MatrixT<T>& x) {
+  MatrixT<T> y;
   ForwardInto(x, &y);
   return y;
 }
 
-Matrix Mlp::Backward(const Matrix& grad_out) {
-  Matrix g;
+template <typename T>
+MatrixT<T> MlpT<T>::Backward(const MatrixT<T>& grad_out) {
+  MatrixT<T> g;
   BackwardInto(grad_out, &g);
   return g;
 }
 
-void Mlp::ZeroGrad() {
+template <typename T>
+void MlpT<T>::ZeroGrad() {
   for (auto& layer : layers_) {
     layer.ZeroGrad();
   }
 }
 
-std::vector<ParamRef> Mlp::Params() {
-  std::vector<ParamRef> params;
+template <typename T>
+std::vector<ParamRefT<T>> MlpT<T>::Params() {
+  std::vector<ParamRefT<T>> params;
   for (auto& layer : layers_) {
     for (auto& p : layer.Params()) {
       params.push_back(p);
@@ -260,11 +303,18 @@ std::vector<ParamRef> Mlp::Params() {
   return params;
 }
 
-size_t Mlp::in_dim() const { return layers_.empty() ? 0 : layers_.front().in_dim(); }
+template <typename T>
+size_t MlpT<T>::in_dim() const {
+  return layers_.empty() ? 0 : layers_.front().in_dim();
+}
 
-size_t Mlp::out_dim() const { return layers_.empty() ? 0 : layers_.back().out_dim(); }
+template <typename T>
+size_t MlpT<T>::out_dim() const {
+  return layers_.empty() ? 0 : layers_.back().out_dim();
+}
 
-size_t Mlp::ParameterCount() const {
+template <typename T>
+size_t MlpT<T>::ParameterCount() const {
   size_t count = 0;
   for (const auto& layer : layers_) {
     count += layer.in_dim() * layer.out_dim() + layer.out_dim();
@@ -272,7 +322,8 @@ size_t Mlp::ParameterCount() const {
   return count;
 }
 
-size_t Mlp::MaxDim() const {
+template <typename T>
+size_t MlpT<T>::MaxDim() const {
   size_t max_dim = 0;
   for (const auto& layer : layers_) {
     max_dim = std::max({max_dim, layer.in_dim(), layer.out_dim()});
@@ -280,10 +331,11 @@ size_t Mlp::MaxDim() const {
   return max_dim;
 }
 
-void Mlp::CopyWeightsFrom(const Mlp& other) {
+template <typename T>
+void MlpT<T>::CopyWeightsFrom(const MlpT& other) {
   assert(layers_.size() == other.layers_.size());
   auto* self = this;
-  auto src = const_cast<Mlp&>(other).Params();
+  auto src = const_cast<MlpT&>(other).Params();
   auto dst = self->Params();
   assert(src.size() == dst.size());
   for (size_t i = 0; i < src.size(); ++i) {
@@ -292,27 +344,30 @@ void Mlp::CopyWeightsFrom(const Mlp& other) {
   }
 }
 
-void Mlp::SoftUpdateFrom(const Mlp& other, double tau) {
-  auto src = const_cast<Mlp&>(other).Params();
+template <typename T>
+void MlpT<T>::SoftUpdateFrom(const MlpT& other, double tau) {
+  auto src = const_cast<MlpT&>(other).Params();
   auto dst = Params();
   assert(src.size() == dst.size());
   for (size_t i = 0; i < src.size(); ++i) {
-    double* d = dst[i].value->data();
-    const double* s = src[i].value->data();
+    T* d = dst[i].value->data();
+    const T* s = src[i].value->data();
     for (size_t k = 0; k < dst[i].value->size(); ++k) {
-      d[k] = (1.0 - tau) * d[k] + tau * s[k];
+      d[k] = static_cast<T>((1.0 - tau) * d[k] + tau * s[k]);
     }
   }
 }
 
-void Mlp::Serialize(BinaryWriter* w) const {
+template <typename T>
+void MlpT<T>::Serialize(BinaryWriter* w) const {
   w->WriteU64(layers_.size());
   for (const auto& layer : layers_) {
     layer.Serialize(w);
   }
 }
 
-bool Mlp::Deserialize(BinaryReader* r) {
+template <typename T>
+bool MlpT<T>::Deserialize(BinaryReader* r) {
   const uint64_t count = r->ReadU64();
   if (!r->ok() || count != layers_.size()) {
     return false;
@@ -324,5 +379,17 @@ bool Mlp::Deserialize(BinaryReader* r) {
   }
   return true;
 }
+
+// ---------------------------------------------------------------------------
+// Explicit instantiations: double for training, float for deployment inference.
+// ---------------------------------------------------------------------------
+template class DenseLayerT<double>;
+template class DenseLayerT<float>;
+template class MlpT<double>;
+template class MlpT<float>;
+template void ApplyActivation<double>(Activation, double*, size_t);
+template void ApplyActivation<float>(Activation, float*, size_t);
+template void ApplyActivation<double>(Activation, MatrixT<double>*);
+template void ApplyActivation<float>(Activation, MatrixT<float>*);
 
 }  // namespace mocc

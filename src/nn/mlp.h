@@ -6,6 +6,12 @@
 // optimizers, and binary serialization. Composite models (the preference sub-network that
 // feeds the trunk, Figure 3) chain Mlp::Backward gradients across sub-networks.
 //
+// The network is templated on its scalar type. Training runs on MlpT<double> (aliased
+// as Mlp, the historical name); the float32 deployment-inference path runs MlpT<float>
+// replicas built with CastFrom (src/rl/inference_policy.h). Both instantiations share
+// every kernel, workspace-reuse strategy and activation implementation; serialization
+// always stores double on disk, so a float network can round-trip the same files.
+//
 // Two execution paths are provided:
 //  * Batched, allocation-free: ForwardInto/BackwardInto write into caller-owned
 //    matrices and stage activations in per-network workspace buffers, so steady-state
@@ -39,90 +45,135 @@ enum class Activation {
 };
 
 // A trainable tensor together with its gradient accumulator.
-struct ParamRef {
-  Matrix* value = nullptr;
-  Matrix* grad = nullptr;
+template <typename T>
+struct ParamRefT {
+  MatrixT<T>* value = nullptr;
+  MatrixT<T>* grad = nullptr;
 };
 
+// The historical name: the double-precision parameter handle (optimizers train in
+// double only).
+using ParamRef = ParamRefT<double>;
+
 // One fully-connected layer: Y = act(X * W + b).
-class DenseLayer {
+template <typename T>
+class DenseLayerT {
  public:
-  DenseLayer(size_t in_dim, size_t out_dim, Activation activation, Rng* rng);
+  DenseLayerT(size_t in_dim, size_t out_dim, Activation activation, Rng* rng);
+
+  // Builds a layer whose weights are a static_cast copy of `other` (gradients are
+  // zeroed) — the double->float conversion behind the deployment inference path.
+  template <typename U>
+  static DenseLayerT CastFrom(const DenseLayerT<U>& other) {
+    DenseLayerT layer;
+    layer.activation_ = other.activation();
+    layer.weights_.CastFrom(other.weights());
+    layer.bias_.CastFrom(other.bias());
+    layer.grad_weights_.Resize(layer.weights_.rows(), layer.weights_.cols());
+    layer.grad_bias_.Resize(1, layer.bias_.cols());
+    layer.grad_weights_.Fill(T(0));
+    layer.grad_bias_.Fill(T(0));
+    return layer;
+  }
 
   // Allocation-free forward pass over a batch (rows = samples) into `y` (resized,
   // capacity reused). Keeps pointers to `x` and `y` for the following BackwardInto,
   // so both must stay alive and unmodified until then.
-  void ForwardInto(const Matrix& x, Matrix* y);
+  void ForwardInto(const MatrixT<T>& x, MatrixT<T>* y);
 
   // Allocation-free backward pass: accumulates dW/db and writes dL/dX into
   // `grad_in` (which must not alias `grad_out`). Must follow a ForwardInto with the
   // matching batch.
-  void BackwardInto(const Matrix& grad_out, Matrix* grad_in);
+  void BackwardInto(const MatrixT<T>& grad_out, MatrixT<T>* grad_in);
 
   // Fused single-row inference: y[0..out_dim()) = act(x · W + b), where x has
   // in_dim() elements. Pure (no caching); bit-for-bit equal to a 1-row ForwardInto.
-  void ForwardRow(const double* x, double* y) const;
+  void ForwardRow(const T* x, T* y) const;
 
   // Legacy allocating wrappers around the Into paths.
-  Matrix Forward(const Matrix& x);
-  Matrix Backward(const Matrix& grad_out);
+  MatrixT<T> Forward(const MatrixT<T>& x);
+  MatrixT<T> Backward(const MatrixT<T>& grad_out);
 
   void ZeroGrad();
-  std::vector<ParamRef> Params();
+  std::vector<ParamRefT<T>> Params();
 
   size_t in_dim() const { return weights_.rows(); }
   size_t out_dim() const { return weights_.cols(); }
   Activation activation() const { return activation_; }
+  const MatrixT<T>& weights() const { return weights_; }
+  const MatrixT<T>& bias() const { return bias_; }
 
+  // On-disk layout stores doubles regardless of T, so float replicas read/write the
+  // exact files the double training path produces (values are narrowed on read).
   void Serialize(BinaryWriter* w) const;
   bool Deserialize(BinaryReader* r);
 
  private:
-  Matrix weights_;  // in_dim x out_dim
-  Matrix bias_;     // 1 x out_dim
-  Matrix grad_weights_;
-  Matrix grad_bias_;
-  Activation activation_;
+  DenseLayerT() = default;  // for CastFrom
+  template <typename U>
+  friend class DenseLayerT;
+
+  MatrixT<T> weights_;  // in_dim x out_dim
+  MatrixT<T> bias_;     // 1 x out_dim
+  MatrixT<T> grad_weights_;
+  MatrixT<T> grad_bias_;
+  Activation activation_ = Activation::kIdentity;
   // Forward state for BackwardInto (non-owning; set by ForwardInto).
-  const Matrix* fwd_input_ = nullptr;
-  const Matrix* fwd_output_ = nullptr;
+  const MatrixT<T>* fwd_input_ = nullptr;
+  const MatrixT<T>* fwd_output_ = nullptr;
   // Workspaces (capacity reused across calls).
-  Matrix dpre_;          // grad wrt pre-activation
-  Matrix cached_input_;  // legacy Forward staging
-  Matrix cached_output_;
+  MatrixT<T> dpre_;          // grad wrt pre-activation
+  MatrixT<T> cached_input_;  // legacy Forward staging
+  MatrixT<T> cached_output_;
 };
 
 // Fully-connected network: a stack of DenseLayers.
-class Mlp {
+template <typename T>
+class MlpT {
  public:
-  Mlp() = default;
+  MlpT() = default;
 
   // Builds a network with the given layer widths; `dims` = {in, h1, ..., out}. All hidden
   // layers use `hidden_activation`; the final layer uses `output_activation`.
-  Mlp(const std::vector<size_t>& dims, Activation hidden_activation,
-      Activation output_activation, Rng* rng);
+  MlpT(const std::vector<size_t>& dims, Activation hidden_activation,
+       Activation output_activation, Rng* rng);
+
+  // Rebuilds this network as a static_cast copy of a network with a different scalar
+  // type (same architecture, converted weights, zeroed gradients and workspaces) —
+  // MlpT<float>().CastFrom(trained_double_net) is the deployment conversion.
+  template <typename U>
+  void CastFrom(const MlpT<U>& other) {
+    layers_.clear();
+    layers_.reserve(other.layers_.size());
+    for (const auto& layer : other.layers_) {
+      layers_.push_back(DenseLayerT<T>::CastFrom(layer));
+    }
+    acts_.clear();
+    row_ping_.clear();
+    row_pong_.clear();
+  }
 
   // Allocation-free batched forward pass (rows = samples, cols = in_dim) into `y`.
   // The input is staged into a per-network buffer, so `x` need not outlive the call.
-  void ForwardInto(const Matrix& x, Matrix* y);
+  void ForwardInto(const MatrixT<T>& x, MatrixT<T>* y);
 
   // Allocation-free batched backward pass from dL/dY; accumulates parameter
   // gradients and writes dL/dX into `grad_in` so callers can chain into upstream
   // sub-networks. Must follow a ForwardInto with the matching batch.
-  void BackwardInto(const Matrix& grad_out, Matrix* grad_in);
+  void BackwardInto(const MatrixT<T>& grad_out, MatrixT<T>* grad_in);
 
   // Fused single-row inference: out[0..out_dim()) from in[0..in_dim()). Uses
   // per-network scratch rows (zero allocation in steady state); bit-for-bit equal
   // to a 1-row batched forward. Does NOT cache activations for BackwardInto.
-  void ForwardRow(const double* in, double* out) const;
-  void ForwardRow(const std::vector<double>& in, std::vector<double>* out) const;
+  void ForwardRow(const T* in, T* out) const;
+  void ForwardRow(const std::vector<T>& in, std::vector<T>* out) const;
 
   // Legacy allocating wrappers around the Into paths.
-  Matrix Forward(const Matrix& x);
-  Matrix Backward(const Matrix& grad_out);
+  MatrixT<T> Forward(const MatrixT<T>& x);
+  MatrixT<T> Backward(const MatrixT<T>& grad_out);
 
   void ZeroGrad();
-  std::vector<ParamRef> Params();
+  std::vector<ParamRefT<T>> Params();
 
   size_t in_dim() const;
   size_t out_dim() const;
@@ -132,28 +183,44 @@ class Mlp {
   size_t MaxDim() const;
 
   // Copies all weights from `other`; shapes must match.
-  void CopyWeightsFrom(const Mlp& other);
+  void CopyWeightsFrom(const MlpT& other);
 
   // Weights := (1-tau)*weights + tau*other (Polyak averaging; used by DQN target nets).
-  void SoftUpdateFrom(const Mlp& other, double tau);
+  void SoftUpdateFrom(const MlpT& other, double tau);
 
+  // On-disk layout stores doubles regardless of T (see DenseLayerT).
   void Serialize(BinaryWriter* w) const;
   bool Deserialize(BinaryReader* r);
 
  private:
-  std::vector<DenseLayer> layers_;
+  template <typename U>
+  friend class MlpT;
+
+  std::vector<DenseLayerT<T>> layers_;
   // Workspaces (capacity reused across calls; see thread-safety note above).
-  Matrix input_cache_;
-  std::vector<Matrix> acts_;  // per-layer outputs of the last ForwardInto
-  Matrix grad_ping_;
-  Matrix grad_pong_;
-  mutable std::vector<double> row_ping_;
-  mutable std::vector<double> row_pong_;
+  MatrixT<T> input_cache_;
+  std::vector<MatrixT<T>> acts_;  // per-layer outputs of the last ForwardInto
+  MatrixT<T> grad_ping_;
+  MatrixT<T> grad_pong_;
+  mutable std::vector<T> row_ping_;
+  mutable std::vector<T> row_pong_;
 };
 
+// The historical names: the double-precision training network.
+using DenseLayer = DenseLayerT<double>;
+using Mlp = MlpT<double>;
+
 // Applies the activation elementwise.
-void ApplyActivation(Activation a, Matrix* m);
-void ApplyActivation(Activation a, double* data, size_t n);
+template <typename T>
+void ApplyActivation(Activation a, T* data, size_t n);
+template <typename T>
+void ApplyActivation(Activation a, MatrixT<T>* m);
+
+// Instantiated for exactly double (training) and float (inference) in mlp.cc.
+extern template class DenseLayerT<double>;
+extern template class DenseLayerT<float>;
+extern template class MlpT<double>;
+extern template class MlpT<float>;
 
 }  // namespace mocc
 

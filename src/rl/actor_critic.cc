@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/rl/inference_policy.h"
+
 namespace mocc {
 
 void ActorCritic::ForwardRow(const std::vector<double>& obs, double* mean, double* value) {
@@ -27,6 +29,8 @@ double ActorCritic::Value(const std::vector<double>& obs) {
   ForwardRow(obs, &mean, &value);
   return value;
 }
+
+std::unique_ptr<InferencePolicy> ActorCritic::MakeFloat32Policy() const { return nullptr; }
 
 MlpActorCritic::MlpActorCritic(size_t obs_dim, Rng* rng, std::vector<size_t> hidden,
                                double init_log_std)
@@ -72,6 +76,10 @@ void MlpActorCritic::ZeroGrad() {
   actor_.ZeroGrad();
   critic_.ZeroGrad();
   log_std_grad_.Fill(0.0);
+}
+
+std::unique_ptr<InferencePolicy> MlpActorCritic::MakeFloat32Policy() const {
+  return std::make_unique<MlpFloat32Policy>(actor_, critic_, log_std_(0, 0));
 }
 
 std::unique_ptr<ActorCritic> MlpActorCritic::Clone() const {

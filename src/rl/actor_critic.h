@@ -15,6 +15,8 @@
 
 namespace mocc {
 
+class InferencePolicy;  // src/rl/inference_policy.h
+
 // A policy π(a|s) = N(mean(s), exp(log_std)²) together with a value estimate V(s).
 // The action is one-dimensional (the rate-adjustment a_t of Eq. 1).
 class ActorCritic {
@@ -51,6 +53,12 @@ class ActorCritic {
   // Convenience single-observation helpers built on ForwardRow.
   double ActionMean(const std::vector<double>& obs);
   double Value(const std::vector<double>& obs);
+
+  // Builds a frozen float32 deployment replica of this model (weights converted
+  // once; later training steps do NOT propagate). Returns nullptr for models
+  // without a reduced-precision path; concrete models override. The replica is
+  // independent, so callers may build one per flow/thread.
+  virtual std::unique_ptr<InferencePolicy> MakeFloat32Policy() const;
 };
 
 // Aurora-style model: two independent MLPs (actor, critic), two hidden layers of 64 and
@@ -63,6 +71,7 @@ class MlpActorCritic : public ActorCritic {
   void Forward(const Matrix& obs, Matrix* mean, Matrix* value) override;
   void Backward(const Matrix& dmean, const Matrix& dvalue) override;
   void ForwardRow(const std::vector<double>& obs, double* mean, double* value) override;
+  std::unique_ptr<InferencePolicy> MakeFloat32Policy() const override;
 
   double log_std() const override { return log_std_(0, 0); }
   void set_log_std(double v) override { log_std_(0, 0) = v; }

@@ -1,5 +1,9 @@
 #include "src/rl/evaluate.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
 namespace mocc {
 
 EvalResult EvaluateActionFn(const std::function<double(const std::vector<double>&)>& policy,
@@ -31,6 +35,24 @@ EvalResult EvaluatePolicy(ActorCritic* model, Env* env, int episodes) {
   return EvaluateActionFn(
       [model](const std::vector<double>& obs) { return model->ActionMean(obs); }, env,
       episodes);
+}
+
+EvalResult EvaluatePolicy(InferencePolicy* policy, Env* env, int episodes) {
+  return EvaluateActionFn(
+      [policy](const std::vector<double>& obs) { return policy->ActionMean(obs); }, env,
+      episodes);
+}
+
+EvalResult EvaluatePolicyFloat32(const ActorCritic& model, Env* env, int episodes) {
+  std::unique_ptr<InferencePolicy> policy = model.MakeFloat32Policy();
+  if (policy == nullptr) {
+    // MakeFloat32Policy is documented-nullable; fail loudly in every build type
+    // rather than dereferencing null in NDEBUG.
+    std::fprintf(stderr,
+                 "EvaluatePolicyFloat32: model provides no float32 inference path\n");
+    std::abort();
+  }
+  return EvaluatePolicy(policy.get(), env, episodes);
 }
 
 }  // namespace mocc

@@ -6,6 +6,7 @@
 
 #include "src/envs/env.h"
 #include "src/rl/actor_critic.h"
+#include "src/rl/inference_policy.h"
 
 namespace mocc {
 
@@ -21,6 +22,14 @@ EvalResult EvaluateActionFn(const std::function<double(const std::vector<double>
 
 // Evaluates the deterministic (mean-action) policy of `model`.
 EvalResult EvaluatePolicy(ActorCritic* model, Env* env, int episodes);
+
+// Evaluates the deterministic policy of a float32 deployment replica.
+EvalResult EvaluatePolicy(InferencePolicy* policy, Env* env, int episodes);
+
+// Builds `model`'s frozen float32 replica and evaluates it — the deployment-
+// precision counterpart of EvaluatePolicy(model, ...). Requires the model to
+// provide a float32 path (MakeFloat32Policy() != nullptr).
+EvalResult EvaluatePolicyFloat32(const ActorCritic& model, Env* env, int episodes);
 
 }  // namespace mocc
 

@@ -1,0 +1,94 @@
+#include "src/rl/inference_policy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mocc {
+
+void InferencePolicy::ForwardRow(const std::vector<double>& obs, double* mean,
+                                 double* value) {
+  assert(obs.size() == obs_dim());
+  obs_f32_.resize(obs.size());
+  for (size_t i = 0; i < obs.size(); ++i) {
+    obs_f32_[i] = static_cast<float>(obs[i]);
+  }
+  float m = 0.0f;
+  float v = 0.0f;
+  ForwardRowF32(obs_f32_.data(), &m, &v);
+  *mean = static_cast<double>(m);
+  *value = static_cast<double>(v);
+}
+
+double InferencePolicy::ActionMean(const std::vector<double>& obs) {
+  double mean = 0.0;
+  double value = 0.0;
+  ForwardRow(obs, &mean, &value);
+  return mean;
+}
+
+MlpFloat32Policy::MlpFloat32Policy(const MlpT<double>& actor, const MlpT<double>& critic,
+                                   double log_std)
+    : InferencePolicy(log_std) {
+  actor_.CastFrom(actor);
+  critic_.CastFrom(critic);
+}
+
+void MlpFloat32Policy::ForwardRowF32(const float* obs, float* mean, float* value) {
+  actor_.ForwardRow(obs, mean);
+  critic_.ForwardRow(obs, value);
+}
+
+PreferenceFloat32Policy::PreferenceFloat32Policy(
+    const MlpT<double>& actor_pn, const MlpT<double>& actor_trunk,
+    const MlpT<double>& critic_pn, const MlpT<double>& critic_trunk, size_t weight_dim,
+    size_t hist_dim, double log_std)
+    : InferencePolicy(log_std),
+      weight_dim_(weight_dim),
+      pn_out_(actor_pn.out_dim()),
+      hist_dim_(hist_dim) {
+  assert(actor_pn.in_dim() == weight_dim && critic_pn.in_dim() == weight_dim);
+  assert(actor_trunk.in_dim() == pn_out_ + hist_dim);
+  // Both heads share pn_out_ as the history-copy offset in ForwardHeadRow, so the
+  // critic's shapes must match the actor's too (not just its own concat sizing).
+  assert(critic_pn.out_dim() == pn_out_);
+  assert(critic_trunk.in_dim() == pn_out_ + hist_dim);
+  auto build_head = [&](Head* head, const MlpT<double>& pn, const MlpT<double>& trunk) {
+    head->pn.CastFrom(pn);
+    head->trunk.CastFrom(trunk);
+    head->concat_row.resize(pn.out_dim() + hist_dim);
+    head->pn_cache_w.resize(weight_dim);
+  };
+  build_head(&actor_, actor_pn, actor_trunk);
+  build_head(&critic_, critic_pn, critic_trunk);
+}
+
+void PreferenceFloat32Policy::InvalidatePnCache() {
+  actor_.pn_cache_valid = false;
+  critic_.pn_cache_valid = false;
+}
+
+void PreferenceFloat32Policy::ForwardHeadRow(Head* head, const float* obs, float* out) {
+  // Mirrors PreferenceActorCritic::ForwardHeadRow: the PN writes its features
+  // straight into the concat prefix and only the history slice is copied per
+  // call; the features are reused across calls as long as the leading weight
+  // vector is unchanged (the steady state of per-MI deployment inference).
+  float* concat = head->concat_row.data();
+  const bool pn_hit =
+      head->pn_cache_valid &&
+      std::equal(obs, obs + weight_dim_, head->pn_cache_w.begin());
+  if (!pn_hit) {
+    head->pn.ForwardRow(obs, concat);
+    std::copy(obs, obs + weight_dim_, head->pn_cache_w.begin());
+    head->pn_cache_valid = true;
+  }
+  std::copy(obs + weight_dim_, obs + weight_dim_ + hist_dim_,
+            head->concat_row.begin() + static_cast<ptrdiff_t>(pn_out_));
+  head->trunk.ForwardRow(concat, out);
+}
+
+void PreferenceFloat32Policy::ForwardRowF32(const float* obs, float* mean, float* value) {
+  ForwardHeadRow(&actor_, obs, mean);
+  ForwardHeadRow(&critic_, obs, value);
+}
+
+}  // namespace mocc

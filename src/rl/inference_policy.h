@@ -1,0 +1,123 @@
+// Float32 deployment-side policy inference.
+//
+// Training is double-precision end to end (gradients through FastTanh need the
+// headroom), but the deployed per-MI control loop only ever runs single-row
+// forward passes — Figure 17's overhead budget. An InferencePolicy is a frozen
+// float32 replica of a trained ActorCritic: half the weight bytes per inference
+// (the whole Figure-3 model drops under L1 size) and twice the SIMD lanes through
+// the identical RowMatVecBias/FastTanh kernels, at the cost of float rounding that
+// the precision test harness bounds (tests/nn_float32_test.cc, tests/rl_test.cc
+// parity suite, tests/golden_inference_test.cc).
+//
+// Concrete backends exist for both model families: MlpFloat32Policy mirrors
+// MlpActorCritic (two independent MLPs), PreferenceFloat32Policy mirrors the
+// Figure-3 preference model including its PN feature cache (the PN features depend
+// only on the leading weight vector, which is constant across monitor intervals in
+// deployment). Models hand out their replica through ActorCritic::MakeFloat32Policy.
+//
+// Thread safety: one InferencePolicy must not be used from two threads at once
+// (scratch rows and the PN cache are per-instance); build one per flow/thread —
+// the replica conversion is cheap next to a single rollout.
+#ifndef MOCC_SRC_RL_INFERENCE_POLICY_H_
+#define MOCC_SRC_RL_INFERENCE_POLICY_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/nn/mlp.h"
+
+namespace mocc {
+
+// A frozen float32 single-observation policy: the deployment counterpart of
+// ActorCritic::ForwardRow. Observations arrive as double (the env/controller
+// representation); they are narrowed once into a per-instance scratch row, the
+// whole network then runs in float32, and the two scalar heads are widened back.
+class InferencePolicy {
+ public:
+  virtual ~InferencePolicy() = default;
+
+  // Single-observation fused inference through the float32 replica. Zero
+  // allocation in steady state.
+  void ForwardRow(const std::vector<double>& obs, double* mean, double* value);
+
+  // Deterministic (mean-action) policy — the deployment control signal.
+  double ActionMean(const std::vector<double>& obs);
+
+  virtual size_t obs_dim() const = 0;
+
+  // The trained global log standard deviation, carried over for consumers that
+  // sample (kept in double; it is not on the per-inference fast path).
+  double log_std() const { return log_std_; }
+
+ protected:
+  explicit InferencePolicy(double log_std) : log_std_(log_std) {}
+
+  // The float32 fast path; `obs` has obs_dim() narrowed elements.
+  virtual void ForwardRowF32(const float* obs, float* mean, float* value) = 0;
+
+ private:
+  double log_std_;
+  std::vector<float> obs_f32_;  // narrowing scratch (capacity reused)
+};
+
+// Float32 replica of MlpActorCritic: two independent MLPs (actor, critic).
+class MlpFloat32Policy : public InferencePolicy {
+ public:
+  // Builds the replica by casting the trained double networks.
+  MlpFloat32Policy(const MlpT<double>& actor, const MlpT<double>& critic, double log_std);
+
+  size_t obs_dim() const override { return actor_.in_dim(); }
+
+ protected:
+  void ForwardRowF32(const float* obs, float* mean, float* value) override;
+
+ private:
+  MlpT<float> actor_;
+  MlpT<float> critic_;
+};
+
+// Float32 replica of the Figure-3 preference model: per head a PN + trunk pair
+// plus the PN feature cache keyed on the leading weight vector, mirroring
+// PreferenceActorCritic::ForwardRow. The cache needs no invalidation hook: the
+// replica's weights are frozen at construction, so the features only change when
+// w⃗ changes.
+class PreferenceFloat32Policy : public InferencePolicy {
+ public:
+  // (pn, trunk) per head, cast from the trained double networks. `weight_dim` is
+  // the w⃗ prefix length of the observation; `hist_dim` the g⃗(t,η) suffix length.
+  PreferenceFloat32Policy(const MlpT<double>& actor_pn, const MlpT<double>& actor_trunk,
+                          const MlpT<double>& critic_pn, const MlpT<double>& critic_trunk,
+                          size_t weight_dim, size_t hist_dim, double log_std);
+
+  size_t obs_dim() const override { return weight_dim_ + hist_dim_; }
+
+  // Drops the cached PN features (testing hook; deployment never needs it).
+  void InvalidatePnCache();
+
+ protected:
+  void ForwardRowF32(const float* obs, float* mean, float* value) override;
+
+ private:
+  struct Head {
+    MlpT<float> pn;
+    MlpT<float> trunk;
+    // Single-row workspace: [PN features | history]. The PN-feature prefix
+    // doubles as the cache for pn_cache_w.
+    std::vector<float> concat_row;
+    std::vector<float> pn_cache_w;
+    bool pn_cache_valid = false;
+  };
+
+  void ForwardHeadRow(Head* head, const float* obs, float* out);
+
+  size_t weight_dim_;
+  size_t pn_out_;
+  size_t hist_dim_;
+  Head actor_;
+  Head critic_;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_RL_INFERENCE_POLICY_H_

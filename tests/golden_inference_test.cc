@@ -1,0 +1,159 @@
+// Golden-file regression test for deployment inference.
+//
+// tests/data/ holds a small fixed-seed Figure-3 model (golden_model.bin, the
+// standard MOCCMODL container) plus the expected ForwardRow outputs of both
+// precision paths on a fixed observation set (golden_forward.txt, hex floats).
+// Future kernel refactors — retiling RowMatVecBias, a new FastTanh polynomial,
+// SIMD intrinsics — are diffable against these committed values: a change that
+// moves outputs past the tolerances below is a behavioural change, not a
+// refactor, and must regenerate the goldens deliberately.
+//
+// Tolerances, not bit-equality: CI builds this suite with gcc, clang and
+// ASan/UBSan at -DMOCC_NATIVE_ARCH=OFF while developers run -march=native, so
+// FMA contraction legitimately differs between binaries. The double path is
+// allowed 1e-9 absolute drift (vs ~1e-13 expected from contraction alone), the
+// float32 path 1e-4 (vs ~1e-5 expected); both margins are far below any
+// control-relevant difference and far above compiler noise.
+//
+// Regenerate with: MOCC_REGEN_GOLDENS=1 ./golden_inference_test
+// (writes into the source tree's tests/data/; commit the result).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/mocc_config.h"
+#include "src/core/preference_model.h"
+#include "src/rl/inference_policy.h"
+
+#ifndef MOCC_TEST_DATA_DIR
+#define MOCC_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace mocc {
+namespace {
+
+constexpr uint64_t kModelSeed = 20260731;
+constexpr uint64_t kObsSeed = 123;
+constexpr int kNumObservations = 16;
+constexpr double kDoubleTol = 1e-9;
+constexpr double kFloat32Tol = 1e-4;
+
+std::string DataPath(const std::string& file) {
+  return std::string(MOCC_TEST_DATA_DIR) + "/" + file;
+}
+
+// The fixed observation set: a spread of weight vectors (normalized prefix) over
+// histories drawn uniform in [-1, 1]. Deterministic given kObsSeed.
+std::vector<std::vector<double>> GoldenObservations(const MoccConfig& config) {
+  Rng rng(kObsSeed);
+  std::vector<std::vector<double>> observations;
+  for (int i = 0; i < kNumObservations; ++i) {
+    std::vector<double> obs(config.ObsDim());
+    const double thr = rng.Uniform(0.0, 1.0);
+    const double lat = rng.Uniform(0.0, 1.0 - thr);
+    obs[0] = thr;
+    obs[1] = lat;
+    obs[2] = 1.0 - thr - lat;
+    for (size_t c = 3; c < obs.size(); ++c) {
+      obs[c] = rng.Uniform(-1.0, 1.0);
+    }
+    observations.push_back(std::move(obs));
+  }
+  return observations;
+}
+
+struct GoldenRow {
+  double mean_d, value_d, mean_f, value_f;
+};
+
+std::vector<GoldenRow> ComputeRows(PreferenceActorCritic* model) {
+  std::unique_ptr<InferencePolicy> policy = model->MakeFloat32Policy();
+  std::vector<GoldenRow> rows;
+  for (const auto& obs : GoldenObservations(model->config())) {
+    GoldenRow row;
+    model->ForwardRow(obs, &row.mean_d, &row.value_d);
+    policy->ForwardRow(obs, &row.mean_f, &row.value_f);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+bool WriteGoldenOutputs(const std::string& path, const std::vector<GoldenRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f, "# ForwardRow goldens: index mean_double value_double mean_f32 "
+                  "value_f32 (hex floats)\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "%zu %a %a %a %a\n", i, rows[i].mean_d, rows[i].value_d,
+                 rows[i].mean_f, rows[i].value_f);
+  }
+  const bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool ReadGoldenOutputs(const std::string& path, std::vector<GoldenRow>* rows) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return false;
+  }
+  char header[256];
+  if (std::fgets(header, sizeof(header), f) == nullptr) {
+    std::fclose(f);
+    return false;
+  }
+  rows->clear();
+  size_t index = 0;
+  GoldenRow row;
+  while (std::fscanf(f, "%zu %la %la %la %la", &index, &row.mean_d, &row.value_d,
+                     &row.mean_f, &row.value_f) == 5) {
+    rows->push_back(row);
+  }
+  std::fclose(f);
+  return !rows->empty();
+}
+
+TEST(GoldenInferenceTest, ForwardRowMatchesCommittedGoldens) {
+  MoccConfig config;
+  const std::string model_path = DataPath("golden_model.bin");
+  const std::string outputs_path = DataPath("golden_forward.txt");
+
+  if (std::getenv("MOCC_REGEN_GOLDENS") != nullptr) {
+    Rng rng(kModelSeed);
+    PreferenceActorCritic model(config, &rng);
+    ASSERT_TRUE(model.SaveToFile(model_path)) << model_path;
+    ASSERT_TRUE(WriteGoldenOutputs(outputs_path, ComputeRows(&model))) << outputs_path;
+    GTEST_SKIP() << "regenerated goldens in " << MOCC_TEST_DATA_DIR;
+  }
+
+  // Loading the committed file also pins the MOCCMODL serialization format.
+  std::shared_ptr<PreferenceActorCritic> model =
+      PreferenceActorCritic::LoadFromFile(model_path, config);
+  ASSERT_NE(model, nullptr) << "cannot load " << model_path
+                            << " (regenerate with MOCC_REGEN_GOLDENS=1)";
+  std::vector<GoldenRow> expected;
+  ASSERT_TRUE(ReadGoldenOutputs(outputs_path, &expected)) << outputs_path;
+  ASSERT_EQ(expected.size(), static_cast<size_t>(kNumObservations));
+
+  const std::vector<GoldenRow> actual = ComputeRows(model.get());
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual[i].mean_d, expected[i].mean_d, kDoubleTol) << "obs " << i;
+    EXPECT_NEAR(actual[i].value_d, expected[i].value_d, kDoubleTol) << "obs " << i;
+    EXPECT_NEAR(actual[i].mean_f, expected[i].mean_f, kFloat32Tol) << "obs " << i;
+    EXPECT_NEAR(actual[i].value_f, expected[i].value_f, kFloat32Tol) << "obs " << i;
+    // The committed goldens themselves certify the two precisions agree.
+    EXPECT_NEAR(expected[i].mean_f, expected[i].mean_d, 1e-3) << "obs " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mocc

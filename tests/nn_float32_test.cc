@@ -1,0 +1,345 @@
+// Precision harness for the float32 NN substrate (the deployment-inference path).
+//
+// Every MatrixT<float> kernel is checked elementwise against the MatrixT<double>
+// reference on the same values, with explicit tolerance bounds derived from the
+// reduction length: a length-K ascending-order float accumulation of values bounded
+// by M carries worst-case error ~ K * eps_f32 * M (eps_f32 = 2^-24), and casting the
+// double reference to float adds at most 0.5 ulp per element. The bounds below use a
+// small constant slack on top of that model rather than hiding behind loose absolute
+// epsilons, so a kernel that silently reorders its accumulation or drops to a less
+// accurate algorithm fails the suite. FastTanh<float> gets a dense max-error
+// characterization against libm's double tanh.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/fast_math.h"
+#include "src/nn/matrix.h"
+#include "src/nn/mlp.h"
+
+namespace mocc {
+namespace {
+
+constexpr double kEpsF32 = 1.1920928955078125e-7;  // 2^-24 * 2 = std eps of float
+
+// Elementwise |f32 - f64| <= bound, reported with the offending index.
+void ExpectClose(const MatrixT<float>& f32, const MatrixT<double>& f64, double bound) {
+  ASSERT_EQ(f32.rows(), f64.rows());
+  ASSERT_EQ(f32.cols(), f64.cols());
+  for (size_t i = 0; i < f64.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(f32.data()[i]), f64.data()[i], bound)
+        << "element " << i;
+  }
+}
+
+// Max |value| of a matrix (for scaling error bounds).
+double MaxAbs(const MatrixT<double>& m) {
+  double max_abs = 0.0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(m.data()[i]));
+  }
+  return max_abs;
+}
+
+// Accumulation error model: K float fused-multiply-adds of products bounded by M,
+// plus the 0.5-ulp input casts. The factor 4 covers the products' own rounding and
+// the possibility of FMA/non-FMA codegen differences between the two kernels.
+double ReductionBound(size_t k, double max_abs_product) {
+  return 4.0 * static_cast<double>(k) * kEpsF32 * max_abs_product;
+}
+
+TEST(MatrixFloat32Test, MatMulMatchesDoubleWithinReductionBound) {
+  Rng rng(11);
+  Matrix a64(9, 33);
+  Matrix b64(33, 17);
+  a64.FillNormal(&rng, 1.0);
+  b64.FillNormal(&rng, 1.0);
+  MatrixT<float> a32;
+  MatrixT<float> b32;
+  a32.CastFrom(a64);
+  b32.CastFrom(b64);
+
+  Matrix c64;
+  MatMulInto(a64, b64, &c64);
+  MatrixT<float> c32;
+  MatMulInto(a32, b32, &c32);
+  const double bound = ReductionBound(33, MaxAbs(a64) * MaxAbs(b64));
+  ExpectClose(c32, c64, bound);
+}
+
+TEST(MatrixFloat32Test, MatMulBiasMatchesDoubleWithinReductionBound) {
+  Rng rng(12);
+  Matrix a64(6, 64);
+  Matrix b64(64, 32);
+  Matrix bias64(1, 32);
+  a64.FillNormal(&rng, 1.0);
+  b64.FillNormal(&rng, 1.0);
+  bias64.FillNormal(&rng, 1.0);
+  MatrixT<float> a32;
+  MatrixT<float> b32;
+  MatrixT<float> bias32;
+  a32.CastFrom(a64);
+  b32.CastFrom(b64);
+  bias32.CastFrom(bias64);
+
+  Matrix c64;
+  MatMulBiasInto(a64, b64, bias64, &c64);
+  MatrixT<float> c32;
+  MatMulBiasInto(a32, b32, bias32, &c32);
+  const double bound = ReductionBound(64 + 1, MaxAbs(a64) * MaxAbs(b64) + MaxAbs(bias64));
+  ExpectClose(c32, c64, bound);
+}
+
+TEST(MatrixFloat32Test, RowMatVecBiasIsBitIdenticalToBatchedFloatKernel) {
+  // The single-row kernel and the batched MatMulBiasInto must stay the SAME kernel
+  // in float exactly as they are in double: bit-for-bit, not just close.
+  Rng rng(13);
+  Matrix w64(48, 32);
+  Matrix b64(1, 32);
+  Matrix x64(1, 48);
+  w64.FillNormal(&rng, 0.7);
+  b64.FillNormal(&rng, 0.7);
+  x64.FillNormal(&rng, 0.7);
+  MatrixT<float> w32;
+  MatrixT<float> b32;
+  MatrixT<float> x32;
+  w32.CastFrom(w64);
+  b32.CastFrom(b64);
+  x32.CastFrom(x64);
+
+  MatrixT<float> batched;
+  MatMulBiasInto(x32, w32, b32, &batched);
+  std::vector<float> row(32);
+  RowMatVecBias(x32.data(), w32.data(), b32.data(), row.data(), 48, 32);
+  for (size_t j = 0; j < row.size(); ++j) {
+    EXPECT_EQ(row[j], batched(0, j)) << "output " << j;
+  }
+}
+
+TEST(MatrixFloat32Test, TransposedProductsMatchDoubleWithinReductionBound) {
+  Rng rng(14);
+  Matrix a64(21, 13);
+  Matrix b64(21, 19);
+  a64.FillNormal(&rng, 1.0);
+  b64.FillNormal(&rng, 1.0);
+  MatrixT<float> a32;
+  MatrixT<float> b32;
+  a32.CastFrom(a64);
+  b32.CastFrom(b64);
+
+  // A^T * B reduces over rows (21).
+  Matrix ta64;
+  MatMulTransposeAInto(a64, b64, &ta64);
+  MatrixT<float> ta32;
+  MatMulTransposeAInto(a32, b32, &ta32);
+  ExpectClose(ta32, ta64, ReductionBound(21, MaxAbs(a64) * MaxAbs(b64)));
+
+  // A * D^T reduces over cols (13).
+  Matrix d64(19, 13);
+  d64.FillNormal(&rng, 1.0);
+  MatrixT<float> d32;
+  d32.CastFrom(d64);
+  Matrix tb64;
+  MatMulTransposeBInto(a64, d64, &tb64);
+  MatrixT<float> tb32;
+  MatMulTransposeBInto(a32, d32, &tb32);
+  ExpectClose(tb32, tb64, ReductionBound(13, MaxAbs(a64) * MaxAbs(d64)));
+}
+
+TEST(MatrixFloat32Test, AccumulateKernelsMatchDoubleWithinReductionBound) {
+  Rng rng(15);
+  Matrix a64(16, 9);
+  Matrix b64(16, 11);
+  a64.FillNormal(&rng, 1.0);
+  b64.FillNormal(&rng, 1.0);
+  MatrixT<float> a32;
+  MatrixT<float> b32;
+  a32.CastFrom(a64);
+  b32.CastFrom(b64);
+
+  // Two accumulation rounds on a non-zero base (the gradient-accumulation pattern).
+  Matrix acc64(9, 11, 0.25);
+  MatrixT<float> acc32(9, 11, 0.25f);
+  MatMulTransposeAAccumulate(a64, b64, &acc64);
+  MatMulTransposeAAccumulate(a64, b64, &acc64);
+  MatMulTransposeAAccumulate(a32, b32, &acc32);
+  MatMulTransposeAAccumulate(a32, b32, &acc32);
+  ExpectClose(acc32, acc64, ReductionBound(2 * 16 + 1, MaxAbs(a64) * MaxAbs(b64) + 0.25));
+
+  Matrix sums64(1, 11, 1.0);
+  MatrixT<float> sums32(1, 11, 1.0f);
+  ColumnSumsAccumulate(b64, &sums64);
+  ColumnSumsAccumulate(b32, &sums32);
+  ExpectClose(sums32, sums64, ReductionBound(16 + 1, MaxAbs(b64) + 1.0));
+}
+
+TEST(MatrixFloat32Test, CastFromRoundTripPreservesFloatValues) {
+  // double -> float loses precision once; float -> double -> float must not lose
+  // any more (float values are exactly representable as doubles).
+  Rng rng(16);
+  Matrix m64(7, 7);
+  m64.FillNormal(&rng, 2.0);
+  MatrixT<float> m32;
+  m32.CastFrom(m64);
+  Matrix back64;
+  back64.CastFrom(m32);
+  MatrixT<float> back32;
+  back32.CastFrom(back64);
+  for (size_t i = 0; i < m32.size(); ++i) {
+    EXPECT_EQ(m32.data()[i], back32.data()[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FastTanh<float> characterization.
+// ---------------------------------------------------------------------------
+
+TEST(FastTanhFloat32Test, MaxAbsoluteErrorBelowBoundOnDenseSweep) {
+  // Dense uniform sweep across the interesting range plus the saturation edges.
+  // The implementation's design error budget is ~a few float ulps of the result;
+  // 1e-6 absolute is the asserted contract (documented in fast_math.h).
+  double max_err = 0.0;
+  float worst = 0.0f;
+  for (int i = -1200000; i <= 1200000; ++i) {
+    const float x = static_cast<float>(i) * 1e-5f;  // [-12, 12] at 1e-5 spacing
+    const double err =
+        std::fabs(static_cast<double>(FastTanh(x)) - std::tanh(static_cast<double>(x)));
+    if (err > max_err) {
+      max_err = err;
+      worst = x;
+    }
+  }
+  EXPECT_LT(max_err, 1e-6) << "worst x = " << worst;
+}
+
+TEST(FastTanhFloat32Test, InvariantsZeroSymmetryRangeAndNan) {
+  EXPECT_EQ(FastTanh(0.0f), 0.0f);
+  // Never exceeds ±1 — at saturation the correctly rounded float tanh IS ±1.0f
+  // (std::tanh(10.0f) == 1.0f), and the backward pass's 1 - y² derivative only
+  // needs |y| <= 1, not strict interiority.
+  for (const float x : {0.5f, 5.0f, 9.99f, 10.0f, 50.0f, 1e30f,
+                        std::numeric_limits<float>::infinity()}) {
+    EXPECT_LE(FastTanh(x), 1.0f) << x;
+    EXPECT_GE(FastTanh(-x), -1.0f) << x;
+    // Odd symmetry is exact: the sign is applied after the magnitude computation.
+    EXPECT_EQ(FastTanh(-x), -FastTanh(x)) << x;
+  }
+  // Below saturation the output is strictly interior.
+  for (const float x : {0.5f, 2.0f, 5.0f, 8.0f}) {
+    EXPECT_LT(FastTanh(x), 1.0f) << x;
+    EXPECT_GT(FastTanh(-x), -1.0f) << x;
+  }
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(FastTanh(nan)));
+}
+
+TEST(FastTanhFloat32Test, CrossoverIsSeamAndDerivativeConsistent) {
+  // No discontinuity at the small-x crossover (0.04): neighbouring values on both
+  // sides must stay within a few result-ulps of each other.
+  const float below = FastTanh(0.0399999f);
+  const float above = FastTanh(0.0400001f);
+  EXPECT_NEAR(static_cast<double>(above) - static_cast<double>(below), 0.0, 1e-6);
+  // The backward pass derives d/dx from the output as 1 - y^2; outputs strictly
+  // inside (-1,1) keep that derivative in (0, 1].
+  for (const float x : {-8.0f, -1.0f, -0.01f, 0.0f, 0.01f, 1.0f, 8.0f}) {
+    const float y = FastTanh(x);
+    const float deriv = 1.0f - y * y;
+    EXPECT_GT(deriv, 0.0f) << x;
+    EXPECT_LE(deriv, 1.0f) << x;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MlpT<float> end-to-end: the cast replica against the double network.
+// ---------------------------------------------------------------------------
+
+TEST(MlpFloat32Test, CastReplicaForwardRowTracksDoubleNetwork) {
+  Rng rng(21);
+  Mlp net64({33, 64, 32, 1}, Activation::kTanh, Activation::kIdentity, &rng);
+  MlpT<float> net32;
+  net32.CastFrom(net64);
+  ASSERT_EQ(net32.in_dim(), net64.in_dim());
+  ASSERT_EQ(net32.out_dim(), net64.out_dim());
+  ASSERT_EQ(net32.ParameterCount(), net64.ParameterCount());
+
+  Rng obs_rng(22);
+  double max_err = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> obs64(33);
+    std::vector<float> obs32(33);
+    for (size_t i = 0; i < obs64.size(); ++i) {
+      obs64[i] = obs_rng.Uniform(-1.5, 1.5);
+      obs32[i] = static_cast<float>(obs64[i]);
+    }
+    double out64 = 0.0;
+    float out32 = 0.0f;
+    net64.ForwardRow(obs64.data(), &out64);
+    net32.ForwardRow(obs32.data(), &out32);
+    max_err = std::max(max_err, std::fabs(static_cast<double>(out32) - out64));
+  }
+  // Three layers of reduction (<=64 wide) and tanh squashing: per-layer float
+  // error stays ~ReductionBound(64, ~1) and tanh contracts it; 1e-4 on the head
+  // is a generous but non-vacuous contract for this architecture.
+  EXPECT_LT(max_err, 1e-4);
+}
+
+TEST(MlpFloat32Test, FloatForwardRowBitMatchesFloatBatchedForward) {
+  // The f32 fast path must keep the double path's internal-consistency contract:
+  // ForwardRow == 1-row batched Forward, bit-for-bit, within the same precision.
+  Rng rng(23);
+  Mlp net64({10, 16, 8, 2}, Activation::kTanh, Activation::kTanh, &rng);
+  MlpT<float> net32;
+  net32.CastFrom(net64);
+  Rng obs_rng(24);
+  MatrixT<float> x(1, 10);
+  for (size_t i = 0; i < 10; ++i) {
+    x(0, i) = static_cast<float>(obs_rng.Uniform(-2.0, 2.0));
+  }
+  MatrixT<float> batched;
+  net32.ForwardInto(x, &batched);
+  std::vector<float> row_in = x.Row(0);
+  std::vector<float> row_out;
+  net32.ForwardRow(row_in, &row_out);
+  ASSERT_EQ(row_out.size(), batched.cols());
+  for (size_t j = 0; j < row_out.size(); ++j) {
+    EXPECT_EQ(row_out[j], batched(0, j)) << "output " << j;
+  }
+}
+
+TEST(MlpFloat32Test, SerializationRoundTripsThroughDoubleFormat) {
+  // Float networks read/write the double on-disk format; a float->disk->float
+  // round trip must be value-exact (float widens losslessly to double).
+  Rng rng(25);
+  Mlp net64({5, 8, 3}, Activation::kTanh, Activation::kIdentity, &rng);
+  MlpT<float> net32;
+  net32.CastFrom(net64);
+  std::stringstream ss;
+  BinaryWriter w(ss, "NNF32T__", 1);
+  net32.Serialize(&w);
+  ASSERT_TRUE(w.ok());
+
+  Rng rng2(26);
+  Mlp other64({5, 8, 3}, Activation::kTanh, Activation::kIdentity, &rng2);
+  MlpT<float> restored;
+  restored.CastFrom(other64);
+  BinaryReader r(ss, "NNF32T__", 1);
+  ASSERT_TRUE(restored.Deserialize(&r));
+
+  std::vector<float> obs = {0.3f, -1.2f, 0.0f, 2.5f, -0.7f};
+  std::vector<float> out_a;
+  std::vector<float> out_b;
+  net32.ForwardRow(obs, &out_a);
+  restored.ForwardRow(obs, &out_b);
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(out_a[i], out_b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mocc

@@ -1,14 +1,19 @@
 // Tests for the RL substrate: GAE on hand-computed traces, Gaussian policy math, the
 // PPO trainer (including learning a trivial control problem and the two-buffer Eq. 6
-// update path), parallel rollout collection, and DQN.
+// update path), parallel rollout collection, DQN, and the float32 deployment
+// inference parity suite (InferencePolicy vs the double path on trained models).
 #include <cmath>
 
 #include <gtest/gtest.h>
 
+#include "src/core/mocc_config.h"
+#include "src/core/preference_model.h"
 #include "src/envs/env.h"
+#include "src/envs/scenario.h"
 #include "src/rl/actor_critic.h"
 #include "src/rl/dqn.h"
 #include "src/rl/evaluate.h"
+#include "src/rl/inference_policy.h"
 #include "src/rl/ppo.h"
 #include "src/rl/rollout.h"
 
@@ -296,6 +301,175 @@ TEST(DqnTest, EpsilonDecays) {
   QuadEnv env(0.0);
   trainer.TrainIteration(&env);
   EXPECT_LT(trainer.CurrentEpsilon(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Float32 deployment-inference parity (the `precision` suite).
+//
+// A trained model's float32 replica must make the same control decisions as the
+// double path: the per-MI decision is the mean action fed to Eq. (1) with
+// α = 0.025, where an action difference of 1e-3 moves the rate by 0.0025% — far
+// below every other noise source in the loop. "Agreement" on one observation is
+// therefore |mean_f32 - mean_d| <= 1e-3; the suite requires >= 99% agreement
+// across a scenario sweep of on-policy observations and bounds the worst-case
+// drift of both heads.
+// ---------------------------------------------------------------------------
+
+constexpr double kActionAgreementTol = 1e-3;
+
+// Collects on-policy observations by running the double policy through `env`.
+std::vector<std::vector<double>> CollectObservations(ActorCritic* model, Env* env,
+                                                     int steps) {
+  std::vector<std::vector<double>> observations;
+  observations.reserve(static_cast<size_t>(steps));
+  std::vector<double> obs = env->Reset();
+  for (int i = 0; i < steps; ++i) {
+    observations.push_back(obs);
+    const StepResult r = env->Step(model->ActionMean(obs));
+    obs = r.done ? env->Reset() : r.observation;
+  }
+  return observations;
+}
+
+struct ParityStats {
+  double agreement = 0.0;      // fraction of observations within kActionAgreementTol
+  double max_mean_drift = 0.0;  // worst |mean_f32 - mean_d|
+  double max_value_drift = 0.0;  // worst |value_f32 - value_d|
+};
+
+ParityStats MeasureParity(ActorCritic* model, InferencePolicy* policy,
+                          const std::vector<std::vector<double>>& observations) {
+  ParityStats stats;
+  int agree = 0;
+  for (const auto& obs : observations) {
+    double mean_d = 0.0;
+    double value_d = 0.0;
+    model->ForwardRow(obs, &mean_d, &value_d);
+    double mean_f = 0.0;
+    double value_f = 0.0;
+    policy->ForwardRow(obs, &mean_f, &value_f);
+    const double mean_drift = std::fabs(mean_f - mean_d);
+    stats.max_mean_drift = std::max(stats.max_mean_drift, mean_drift);
+    stats.max_value_drift = std::max(stats.max_value_drift, std::fabs(value_f - value_d));
+    if (mean_drift <= kActionAgreementTol) {
+      ++agree;
+    }
+  }
+  stats.agreement = observations.empty()
+                        ? 0.0
+                        : static_cast<double>(agree) / observations.size();
+  return stats;
+}
+
+TEST(Float32ParityTest, TrainedMlpActorCriticAgreesAcrossQuadEnv) {
+  // A genuinely trained checkpoint (not random init): weights have moved into the
+  // regime the deployment path will see.
+  Rng rng(31);
+  MlpActorCritic model(2, &rng, {16, 16});
+  PpoConfig config;
+  config.rollout_steps = 256;
+  config.seed = 7;
+  PpoTrainer trainer(&model, config);
+  QuadEnv env(1.0);
+  for (int i = 0; i < 20; ++i) {
+    trainer.TrainIteration(&env);
+  }
+
+  auto policy = model.MakeFloat32Policy();
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->obs_dim(), model.obs_dim());
+  EXPECT_DOUBLE_EQ(policy->log_std(), model.log_std());
+
+  const auto observations = CollectObservations(&model, &env, 512);
+  const ParityStats stats = MeasureParity(&model, policy.get(), observations);
+  EXPECT_GE(stats.agreement, 0.99) << "max mean drift " << stats.max_mean_drift;
+  EXPECT_LT(stats.max_mean_drift, kActionAgreementTol);
+  EXPECT_LT(stats.max_value_drift, 1e-2);  // the critic head is unsquashed
+}
+
+TEST(Float32ParityTest, TrainedPreferenceModelAgreesAcrossScenarioSweep) {
+  // Train the Figure-3 model briefly on the training env, then sweep the
+  // single-flow scenario catalog collecting on-policy observations and require
+  // >= 99% action agreement with bounded per-head drift on every scenario.
+  MoccConfig mocc_config;
+  Rng rng(32);
+  PreferenceActorCritic model(mocc_config, &rng);
+  PpoConfig ppo = mocc_config.MakePpoConfig(/*seed=*/9);
+  ppo.rollout_steps = 256;
+  PpoTrainer trainer(&model, ppo);
+  CcEnv train_env(mocc_config.MakeEnvConfig(), /*seed=*/41);
+  train_env.SetObjective(WeightVector(0.6, 0.3, 0.1));
+  for (int i = 0; i < 3; ++i) {
+    trainer.TrainIteration(&train_env);
+  }
+
+  auto policy = model.MakeFloat32Policy();
+  ASSERT_NE(policy, nullptr);
+  for (const char* name : {"static", "oscillating", "random-walk", "cellular"}) {
+    const Scenario* scenario = ScenarioRegistry::Global().Find(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    auto env = scenario->MakeSingleFlowEnv(mocc_config.MakeEnvConfig(), /*seed=*/77);
+    env->SetObjective(WeightVector(0.3, 0.5, 0.2));
+    const auto observations = CollectObservations(&model, env.get(), 400);
+    const ParityStats stats = MeasureParity(&model, policy.get(), observations);
+    EXPECT_GE(stats.agreement, 0.99)
+        << name << ": max mean drift " << stats.max_mean_drift;
+    EXPECT_LT(stats.max_mean_drift, 1e-2) << name;
+    EXPECT_LT(stats.max_value_drift, 5e-2) << name;
+  }
+}
+
+TEST(Float32ParityTest, PreferencePolicyPnCacheIsCoherent) {
+  // The f32 wrapper caches PN features keyed on the leading weight vector. Runs
+  // through a w-change/revert sequence must be bit-identical to a cache-cold
+  // replica evaluating each observation fresh.
+  MoccConfig config;
+  Rng rng(33);
+  PreferenceActorCritic model(config, &rng);
+  auto cached = model.MakeFloat32Policy();
+  ASSERT_NE(cached, nullptr);
+
+  Rng obs_rng(34);
+  auto make_obs = [&](double w_thr, double w_lat, double w_loss) {
+    std::vector<double> obs(config.ObsDim());
+    obs[0] = w_thr;
+    obs[1] = w_lat;
+    obs[2] = w_loss;
+    for (size_t i = 3; i < obs.size(); ++i) {
+      obs[i] = obs_rng.Uniform(-1.0, 1.0);
+    }
+    return obs;
+  };
+  // Same w twice (cache hit), a different w (miss + refill), then the first w
+  // again (miss — the cache holds only the last w).
+  const std::vector<std::vector<double>> sequence = {
+      make_obs(0.6, 0.3, 0.1), make_obs(0.6, 0.3, 0.1), make_obs(0.1, 0.8, 0.1),
+      make_obs(0.6, 0.3, 0.1)};
+  for (const auto& obs : sequence) {
+    double mean_cached = 0.0;
+    double value_cached = 0.0;
+    cached->ForwardRow(obs, &mean_cached, &value_cached);
+    // Cache-cold reference: a fresh replica of the same model.
+    auto fresh = model.MakeFloat32Policy();
+    double mean_fresh = 0.0;
+    double value_fresh = 0.0;
+    fresh->ForwardRow(obs, &mean_fresh, &value_fresh);
+    EXPECT_EQ(mean_cached, mean_fresh);
+    EXPECT_EQ(value_cached, value_fresh);
+  }
+}
+
+TEST(Float32ParityTest, EvaluatePolicyFloat32MatchesDoubleEvaluationClosely) {
+  // End-to-end episode divergence bound: on the deterministic QuadEnv the f32
+  // and double policies must earn nearly identical returns.
+  Rng rng(35);
+  MlpActorCritic model(2, &rng, {16, 16});
+  QuadEnv env(0.5);
+  const EvalResult d = EvaluatePolicy(&model, &env, 3);
+  const EvalResult f = EvaluatePolicyFloat32(model, &env, 3);
+  EXPECT_EQ(f.episodes, d.episodes);
+  EXPECT_NEAR(f.mean_episode_return, d.mean_episode_return, 1e-4);
+  EXPECT_NEAR(f.mean_step_reward, d.mean_step_reward, 1e-6);
 }
 
 TEST(DqnTest, LearnsQuadraticTargetWithinDiscretization) {

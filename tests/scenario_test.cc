@@ -40,6 +40,70 @@ TEST(ScenarioRegistryTest, CatalogNamesAreResolvableAndDescribed) {
   EXPECT_TRUE(registry.Find("vs-cubic")->IsMultiFlow());
 }
 
+TEST(ScenarioTraceCacheTest, CachedGeneratorRunsOncePerEnv) {
+  // cache_per_env: the generator runs exactly once, on the first Reset, and its
+  // schedule is reused by every later episode of the same env.
+  auto make_counting_generator = [](int* calls) {
+    return [calls](const LinkParams& link, Rng*) {
+      ++*calls;
+      return BandwidthTrace::Oscillating(0.5 * link.bandwidth_bps, 1.5 * link.bandwidth_bps,
+                                         5.0, 60.0);
+    };
+  };
+  int cached_calls = 0;
+  CcEnv cached_env(BaseEnvConfig(), /*seed=*/5);
+  cached_env.SetTraceGenerator(make_counting_generator(&cached_calls),
+                               /*cache_per_env=*/true);
+  for (int episode = 0; episode < 3; ++episode) {
+    cached_env.Reset();
+  }
+  EXPECT_EQ(cached_calls, 1);
+
+  int fresh_calls = 0;
+  CcEnv fresh_env(BaseEnvConfig(), /*seed=*/5);
+  fresh_env.SetTraceGenerator(make_counting_generator(&fresh_calls));
+  for (int episode = 0; episode < 3; ++episode) {
+    fresh_env.Reset();
+  }
+  EXPECT_EQ(fresh_calls, 3);
+
+  // Re-installing a generator drops the cached schedule.
+  cached_env.SetTraceGenerator(make_counting_generator(&cached_calls),
+                               /*cache_per_env=*/true);
+  cached_env.Reset();
+  EXPECT_EQ(cached_calls, 2);
+
+  // Same contract on the multi-flow env.
+  int multi_calls = 0;
+  MultiFlowCcEnvConfig multi_config;
+  multi_config.num_agents = 2;
+  multi_config.trace_generator = make_counting_generator(&multi_calls);
+  multi_config.cache_trace_per_env = true;
+  MultiFlowCcEnv multi_env(multi_config, /*seed=*/6);
+  for (int episode = 0; episode < 3; ++episode) {
+    multi_env.Reset();
+  }
+  EXPECT_EQ(multi_calls, 1);
+}
+
+TEST(ScenarioTraceCacheTest, CellularScenarioCachesItsTracePerEnv) {
+  // The catalog opts cellular in (its schedule expansion costs as much as an
+  // episode — the BENCH_scenarios 0.43 M env-steps/s floor before caching), and
+  // envs built from it still differ by seed on the first episode's draw.
+  const Scenario* cellular = ScenarioRegistry::Global().Find("cellular");
+  ASSERT_NE(cellular, nullptr);
+  EXPECT_TRUE(cellular->cache_trace_per_env);
+  EXPECT_FALSE(ScenarioRegistry::Global().Find("random-walk")->cache_trace_per_env);
+
+  auto env_a = cellular->MakeSingleFlowEnv(BaseEnvConfig(), /*seed=*/1);
+  auto env_b = cellular->MakeSingleFlowEnv(BaseEnvConfig(), /*seed=*/2);
+  env_a->Reset();
+  env_b->Reset();
+  // Different seeds sample different links and phases, so the effective starting
+  // bandwidths should differ (equality would mean the envs share one schedule).
+  EXPECT_NE(env_a->current_bandwidth_bps(), env_b->current_bandwidth_bps());
+}
+
 TEST(ScenarioRegistryTest, UnknownNamesAndEmptyListsAreErrors) {
   const ScenarioRegistry& registry = ScenarioRegistry::Global();
   std::string error;

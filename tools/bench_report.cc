@@ -63,17 +63,22 @@ int main() {
   const double seed_ops = rates.seed_batched_ops_per_sec;
   const double batched_ops = rates.batched_ops_per_sec;
   const double row_ops = rates.fast_row_ops_per_sec;
+  const double f32_ops = rates.fast_row_f32_ops_per_sec;
 
   json.Add("inference_seed_batched_ops_per_sec", seed_ops);
   json.Add("inference_batched_ops_per_sec", batched_ops);
   json.Add("inference_fast_row_ops_per_sec", row_ops);
+  json.Add("inference_fast_row_f32_ops_per_sec", f32_ops);
   json.Add("fast_row_speedup_vs_seed_batched", seed_ops > 0.0 ? row_ops / seed_ops : 0.0);
   json.Add("fast_row_speedup_vs_batched", batched_ops > 0.0 ? row_ops / batched_ops : 0.0);
+  json.Add("f32_row_speedup_vs_double_row", row_ops > 0.0 ? f32_ops / row_ops : 0.0);
   std::printf("single-obs inference ops/sec:\n");
   std::printf("  seed batched path      %12.0f\n", seed_ops);
   std::printf("  batched (alloc-free)   %12.0f\n", batched_ops);
   std::printf("  fused single-row       %12.0f  (%.1fx vs seed batched)\n", row_ops,
               seed_ops > 0.0 ? row_ops / seed_ops : 0.0);
+  std::printf("  fused single-row f32   %12.0f  (%.2fx vs double row)\n", f32_ops,
+              row_ops > 0.0 ? f32_ops / row_ops : 0.0);
 
   // --- Rollout collection scaling (Figure 19's mechanism). ---
   const int total_steps = 4096;

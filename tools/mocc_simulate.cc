@@ -8,8 +8,11 @@
 //   mocc_simulate --scheme NAME [--model PATH] [--weights T,L,S] [--bw MBPS] [--owd MS]
 //                 [--queue PKTS] [--loss FRAC] [--duration S] [--seed N]
 //                 [--mahimahi TRACE] [--scenario NAME] [--list-scenarios]
+//                 [--precision double|float32]
 //
 //   NAME in {mocc, cubic, newreno, vegas, bbr, copa, allegro, vivace}
+//   --precision float32 runs MOCC's per-MI inference through the frozen float32
+//   deployment replica (src/rl/inference_policy.h) instead of the double path.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +41,7 @@ int main(int argc, char** argv) {
   double duration = 60.0;
   uint64_t seed = 1;
   bool link_flags_given = false;
+  bool float32_inference = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -81,6 +85,14 @@ int main(int argc, char** argv) {
       mahimahi_path = next();
     } else if (arg == "--scenario") {
       scenario_name = next();
+    } else if (arg == "--precision") {
+      const std::string precision = next();
+      if (precision == "float32") {
+        float32_inference = true;
+      } else if (precision != "double") {
+        std::fprintf(stderr, "--precision expects double or float32\n");
+        return 2;
+      }
     } else if (arg == "--list-scenarios") {
       PrintScenarioCatalog(stdout);
       return 0;
@@ -89,7 +101,8 @@ int main(int argc, char** argv) {
           "usage: mocc_simulate --scheme NAME [--model PATH] [--weights T,L,S]\n"
           "                     [--bw MBPS] [--owd MS] [--queue PKTS] [--loss FRAC]\n"
           "                     [--duration S] [--seed N] [--mahimahi TRACE]\n"
-          "                     [--scenario NAME] [--list-scenarios]\n");
+          "                     [--scenario NAME] [--list-scenarios]\n"
+          "                     [--precision double|float32]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());
@@ -137,15 +150,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
     return 2;
   }
+  if (float32_inference && scheme != "mocc") {
+    std::fprintf(stderr, "warning: --precision float32 only affects --scheme mocc\n");
+  }
   auto make_scheme = [&]() -> std::unique_ptr<CongestionControl> {
     if (scheme == "mocc") {
-      return MakeMoccCc(model, weights, "MOCC", std::max(2e6, 0.25 * link.bandwidth_bps));
+      return MakeMoccCc(model, weights, "MOCC", std::max(2e6, 0.25 * link.bandwidth_bps),
+                        float32_inference);
     }
     return MakeBaselineCc(scheme);
   };
 
   PacketNetwork net(link, seed);
   if (!mahimahi_path.empty()) {
+    if (scenario.has_value() && scenario->trace_generator) {
+      std::fprintf(stderr,
+                   "warning: --mahimahi overrides the scenario's bandwidth schedule\n");
+    }
     BandwidthTrace trace = BandwidthTrace::FromMahimahiFile(mahimahi_path);
     if (trace.empty()) {
       std::fprintf(stderr, "cannot read mahimahi trace %s\n", mahimahi_path.c_str());
