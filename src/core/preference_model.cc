@@ -111,6 +111,12 @@ void PreferenceActorCritic::ForwardRow(const std::vector<double>& obs, double* m
   ForwardHeadRow(&critic_, obs, value);
 }
 
+void PreferenceActorCritic::ForwardRowActor(const std::vector<double>& obs,
+                                            double* mean) {
+  assert(obs.size() == obs_dim_);
+  ForwardHeadRow(&actor_, obs, mean);
+}
+
 void PreferenceActorCritic::Backward(const Matrix& dmean, const Matrix& dvalue) {
   BackwardHead(&actor_, dmean);
   BackwardHead(&critic_, dvalue);

@@ -33,6 +33,7 @@ class PreferenceActorCritic : public ActorCritic {
   // monitor intervals in deployment, so they are cached per head and recomputed
   // only when w⃗ or the parameters change (see InvalidatePnCache).
   void ForwardRow(const std::vector<double>& obs, double* mean, double* value) override;
+  void ForwardRowActor(const std::vector<double>& obs, double* mean) override;
 
   // Drops the cached PN features. Called internally by ZeroGrad, Deserialize and
   // (conservatively) Params() — the returned refs are mutable parameter handles —

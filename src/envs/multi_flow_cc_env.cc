@@ -88,13 +88,39 @@ std::vector<std::vector<double>> MultiFlowCcEnv::Reset() {
                           &cached_trace_valid_, &cached_trace_, config_.trace, link_,
                           &rng_);
 
-  net_ = std::make_unique<PacketNetwork>(link_, rng_.NextU64());
+  net_ = std::make_unique<PacketNetwork>(BuildTopology(config_.topology, link_),
+                                         rng_.NextU64());
   if (!trace.empty()) {
     net_->SetBandwidthTrace(std::move(trace));
   }
 
+  // Per-agent propagation RTT: path hops both ways plus the agent's extra
+  // delay. (hops * BaseRttS() and + 0.0 are exact for the dumbbell default, so
+  // homogeneous scenarios are bit-identical to the pre-topology env.)
+  const FlowPathSpec agent_paths = AgentPath(config_.topology);
+  const double path_rtt_s =
+      static_cast<double>(agent_paths.path.size()) * link_.BaseRttS();
+  // One cyclic expansion of the configured extra-delay ladder, reused for both
+  // the reward's RTT reference and the wire's FlowOptions so they cannot
+  // disagree.
+  std::vector<double> agent_extras(static_cast<size_t>(config_.num_agents), 0.0);
+  agent_base_rtt_s_.clear();
+  double max_agent_rtt_s = 0.0;
+  for (int i = 0; i < config_.num_agents; ++i) {
+    if (!config_.agent_extra_delay_s.empty()) {
+      agent_extras[static_cast<size_t>(i)] =
+          config_.agent_extra_delay_s[static_cast<size_t>(i) %
+                                      config_.agent_extra_delay_s.size()];
+    }
+    const double rtt = path_rtt_s + 2.0 * agent_extras[static_cast<size_t>(i)];
+    agent_base_rtt_s_.push_back(rtt);
+    max_agent_rtt_s = std::max(max_agent_rtt_s, rtt);
+  }
+
+  // The synchronized step covers the slowest agent's propagation RTT, so every
+  // flow's monitor interval spans at least one of its own round trips.
   step_s_ = std::max(config_.step_min_duration_s,
-                     config_.step_rtt_multiple * link_.BaseRttS());
+                     config_.step_rtt_multiple * max_agent_rtt_s);
   env_time_s_ = 0.0;
   step_count_ = 0;
 
@@ -124,14 +150,21 @@ std::vector<std::vector<double>> MultiFlowCcEnv::Reset() {
     options.start_time_s = start_s;
     options.mi_fixed_duration_s = step_s_;
     options.initial_rate_bps = initial_rate;
+    options.path = agent_paths.path;
+    options.ack_path = agent_paths.ack_path;
+    options.extra_one_way_delay_s = agent_extras[static_cast<size_t>(i)];
     agent_flow_ids_.push_back(net_->AddFlow(std::move(cc), options));
     agent_start_s_.push_back(start_s);
   }
+  int competitor_index = 0;
   for (const CompetitorFlow& competitor : config_.competitors) {
     assert(competitor.make != nullptr);
+    const FlowPathSpec paths = CompetitorPath(config_.topology, competitor_index++);
     FlowOptions options;
     options.start_time_s = competitor.start_time_s;
     options.stop_time_s = competitor.stop_time_s;
+    options.path = paths.path;
+    options.ack_path = paths.ack_path;
     competitor_flow_ids_.push_back(net_->AddFlow(competitor.make(), options));
   }
 
@@ -172,9 +205,11 @@ VectorStepResult MultiFlowCcEnv::Step(const std::vector<double>& actions) {
   net_->Run(env_time_s_ + kBoundarySlopS);
 
   const double bw = current_bandwidth_bps();
+  // Fair-share capacity approximates each flow's entitlement as bottleneck
+  // bandwidth over active flows; on the parking lot (where cross traffic loads
+  // individual hops) it is the hop-capacity split, a deliberate simplification.
   const double capacity =
       config_.fair_share_reward ? bw / static_cast<double>(ActiveFlowCount()) : bw;
-  const double base_rtt = link_.BaseRttS();
 
   VectorStepResult result;
   result.observations.reserve(static_cast<size_t>(config_.num_agents));
@@ -185,7 +220,7 @@ VectorStepResult MultiFlowCcEnv::Step(const std::vector<double>& actions) {
       histories_[static_cast<size_t>(i)].Push(cc->last_report());
       result.rewards[static_cast<size_t>(i)] =
           DynamicReward(weights_[static_cast<size_t>(i)], cc->last_report(), capacity,
-                        base_rtt);
+                        AgentBaseRttS(i));
     }
     result.observations.push_back(BuildObservation(i));
   }

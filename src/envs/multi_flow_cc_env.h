@@ -37,6 +37,10 @@ class ExternalRateCc : public CongestionControl {
 
   CcMode Mode() const override { return CcMode::kRateBased; }
   std::string Name() const override { return "external-rate"; }
+  // The externally set rate is the only transmission control; individual ACKs
+  // are pure bookkeeping, so the simulator may coalesce them off its event
+  // heap (see CongestionControl::NeedsPerAckEvents).
+  bool NeedsPerAckEvents() const override { return false; }
   void OnMonitorInterval(const MonitorReport& report) override {
     last_report_ = report;
     has_report_ = true;
@@ -68,6 +72,14 @@ struct MultiFlowCcEnvConfig {
   // Link selection per episode: the fixed link if set, otherwise sampled from the range.
   LinkParamsRange link_range = TrainingRange();
   std::optional<LinkParams> fixed_link;
+  // Episode topology built from the (sampled or fixed) link: the dumbbell
+  // default, a multi-hop parking lot (agents traverse every hop, competitor i
+  // is cross traffic on hop i), or a congested reverse path (agents' ACKs share
+  // a reverse link that competitors drive in their data direction).
+  TopologySpec topology;
+  // Per-agent extra one-way propagation delay (cycled when shorter than
+  // num_agents; empty = none) — heterogeneous-RTT contention on one bottleneck.
+  std::vector<double> agent_extra_delay_s;
   // Bandwidth schedule, same precedence as CcEnv: the per-episode generator wins over
   // the fixed trace; any trace wins over the link's constant bandwidth.
   BandwidthTrace trace;
@@ -132,6 +144,12 @@ class MultiFlowCcEnv : public VectorEnv {
   // Flows currently sharing the bottleneck (started agents + scheduled competitors).
   int ActiveFlowCount() const;
   bool AgentStarted(int agent) const;
+  // Propagation-only RTT of agent i's path (hops both ways + its extra delay);
+  // the reward's latency reference, so heterogeneous-RTT and multi-hop flows
+  // are scored against their own floor rather than the one-hop base.
+  double AgentBaseRttS(int agent) const {
+    return agent_base_rtt_s_[static_cast<size_t>(agent)];
+  }
   double agent_rate_bps(int agent) const;
   const MonitorReport& agent_last_report(int agent) const;
   // Jain's fairness index over the started agents' last-MI delivered throughputs.
@@ -157,6 +175,7 @@ class MultiFlowCcEnv : public VectorEnv {
   std::vector<ExternalRateCc*> agent_ccs_;  // owned by net_
   std::vector<int> agent_flow_ids_;
   std::vector<double> agent_start_s_;
+  std::vector<double> agent_base_rtt_s_;
   std::vector<int> competitor_flow_ids_;
   double step_s_ = 0.0;
   double env_time_s_ = 0.0;

@@ -138,6 +138,39 @@ std::vector<Scenario> BuildCatalog() {
     s.competitor_schemes = {"bbr", "bbr"};
     catalog.push_back(std::move(s));
   }
+  {
+    Scenario s;
+    s.name = "hetero-rtt";
+    s.description =
+        "4 agents on one bottleneck with per-flow extra one-way delay 0/10/25/50 ms "
+        "— RTT-unfairness contention (fair-share reward vs each flow's own base RTT)";
+    s.num_agents = 4;
+    s.agent_extra_delay_s = {0.0, 0.010, 0.025, 0.050};
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "parking-lot";
+    s.description =
+        "3 agents crossing a 3-hop parking lot end to end, with one CUBIC cross "
+        "flow loading each hop — multi-bottleneck contention";
+    s.num_agents = 3;
+    s.topology.kind = TopologyKind::kParkingLot;
+    s.topology.hops = 3;
+    s.competitor_schemes = {"cubic", "cubic", "cubic"};
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "reverse-path";
+    s.description =
+        "2 agents whose ACKs share a reverse link that 2 CUBIC flows drive in "
+        "their data direction — ACK queueing behind reverse-path congestion";
+    s.num_agents = 2;
+    s.topology.kind = TopologyKind::kReversePath;
+    s.competitor_schemes = {"cubic", "cubic"};
+    catalog.push_back(std::move(s));
+  }
   return catalog;
 }
 
@@ -190,6 +223,8 @@ std::unique_ptr<MultiFlowCcEnv> Scenario::MakeMultiFlowEnv(const CcEnvConfig& ba
   config.num_agents = num_agents;
   config.link_range = link_range.has_value() ? *link_range : base.link_range;
   config.fixed_link = fixed_link;
+  config.topology = topology;
+  config.agent_extra_delay_s = agent_extra_delay_s;
   config.trace_generator = trace_generator;
   config.cache_trace_per_env = cache_trace_per_env;
   for (const std::string& scheme : competitor_schemes) {

@@ -41,6 +41,13 @@ struct Scenario {
   // construction cost rivals an episode — the synthetic cellular schedule). See
   // CcEnv::SetTraceGenerator for the exact semantics.
   bool cache_trace_per_env = false;
+  // Episode topology (dumbbell / parking-lot / congested reverse path) built
+  // from the sampled or fixed link; see src/netsim/topology.h for the shapes
+  // and the agent/competitor path-assignment rules.
+  TopologySpec topology;
+  // Per-agent extra one-way delay, cycled over agents (heterogeneous-RTT
+  // scenarios); empty = homogeneous.
+  std::vector<double> agent_extra_delay_s;
   // Competitor flows sharing the bottleneck, by baseline scheme name (see
   // MakeBaselineCc), with one shared arrival/departure schedule.
   std::vector<std::string> competitor_schemes;

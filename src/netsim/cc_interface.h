@@ -76,6 +76,17 @@ class CongestionControl {
   // Congestion window in packets. Rate-based schemes may return a cap (e.g. BBR) or
   // a very large value for "uncapped".
   virtual double CwndPackets() const { return 1e12; }
+
+  // Whether the scheme needs its OnAck callbacks delivered as individual
+  // simulator events at the exact ACK instant. Schemes for which individual
+  // ACKs never influence transmission — pure monitor-interval raters with no
+  // binding congestion window, like the external-rate bridge the RL
+  // environments drive — may return false: the simulator then applies ACK
+  // bookkeeping lazily in per-flow FIFO order at the flow's next event (same
+  // timestamps, same per-flow order, identical MI statistics), removing the
+  // per-ACK event from the global scheduler's hot path. Window-based schemes
+  // and rate-based schemes whose CwndPackets() can bind must return true.
+  virtual bool NeedsPerAckEvents() const { return true; }
 };
 
 }  // namespace mocc

@@ -1,0 +1,92 @@
+#include "src/netsim/topology.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mocc {
+namespace {
+
+LinkSpec FromParams(const LinkParams& params) {
+  LinkSpec link;
+  link.bandwidth_bps = params.bandwidth_bps;
+  link.prop_delay_s = params.one_way_delay_s;
+  link.queue_capacity_pkts = params.queue_capacity_pkts;
+  link.random_loss_rate = params.random_loss_rate;
+  return link;
+}
+
+}  // namespace
+
+NetworkTopology NetworkTopology::SingleBottleneck(const LinkParams& params) {
+  NetworkTopology topology;
+  topology.links.push_back(FromParams(params));
+  return topology;
+}
+
+NetworkTopology NetworkTopology::ParkingLot(const LinkParams& params, int hops) {
+  assert(hops >= 1 && hops <= kMaxPathHops);
+  NetworkTopology topology;
+  for (int i = 0; i < std::clamp(hops, 1, kMaxPathHops); ++i) {
+    topology.links.push_back(FromParams(params));
+  }
+  return topology;
+}
+
+NetworkTopology NetworkTopology::WithReversePath(const LinkParams& params) {
+  NetworkTopology topology;
+  topology.links.push_back(FromParams(params));  // forward bottleneck
+  topology.links.push_back(FromParams(params));  // reverse-direction link
+  return topology;
+}
+
+NetworkTopology BuildTopology(const TopologySpec& spec, const LinkParams& base) {
+  switch (spec.kind) {
+    case TopologyKind::kDumbbell:
+      return NetworkTopology::SingleBottleneck(base);
+    case TopologyKind::kParkingLot:
+      return NetworkTopology::ParkingLot(base, spec.hops);
+    case TopologyKind::kReversePath:
+      return NetworkTopology::WithReversePath(base);
+  }
+  return NetworkTopology::SingleBottleneck(base);
+}
+
+FlowPathSpec AgentPath(const TopologySpec& spec) {
+  FlowPathSpec paths;
+  switch (spec.kind) {
+    case TopologyKind::kDumbbell:
+      paths.path = {0};
+      break;
+    case TopologyKind::kParkingLot:
+      for (int i = 0; i < std::clamp(spec.hops, 1, kMaxPathHops); ++i) {
+        paths.path.push_back(i);
+      }
+      break;
+    case TopologyKind::kReversePath:
+      paths.path = {0};
+      paths.ack_path = {1};
+      break;
+  }
+  return paths;
+}
+
+FlowPathSpec CompetitorPath(const TopologySpec& spec, int competitor_index) {
+  FlowPathSpec paths;
+  switch (spec.kind) {
+    case TopologyKind::kDumbbell:
+      paths.path = {0};
+      break;
+    case TopologyKind::kParkingLot:
+      paths.path = {competitor_index % std::clamp(spec.hops, 1, kMaxPathHops)};
+      break;
+    case TopologyKind::kReversePath:
+      // Competitors drive the reverse link in its data direction (their own
+      // ACKs return uncongested), which is exactly what queues the agents'
+      // ACKs behind data packets.
+      paths.path = {1};
+      break;
+  }
+  return paths;
+}
+
+}  // namespace mocc

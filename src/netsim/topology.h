@@ -1,0 +1,101 @@
+// Topology descriptions for the packet-level simulator. A NetworkTopology is a
+// set of unidirectional droptail links; each flow follows a path of one or more
+// of them (its data direction) and optionally a reverse path its ACKs must queue
+// through. The classic single-bottleneck dumbbell is the trivial one-link
+// instance; the builders below add the two canonical multi-link evaluation
+// shapes plus the spec type the scenario catalog uses to name them:
+//
+//   dumbbell      S ──▶[ L0 ]──▶ R        (ACKs return on an uncongested path)
+//
+//   parking-lot   S ──▶[ L0 ]──▶[ L1 ]──▶[ L2 ]──▶ R
+//                 (agents traverse every hop; cross-traffic flow i loads hop i,
+//                  so end-to-end flows compete at several bottlenecks at once)
+//
+//   reverse-path  S ──▶[ L0 ]──▶ R       data direction
+//                 S ◀──[ L1 ]◀── R       agents' ACKs share L1 with competitor
+//                                        data flowing R→S, so ACKs queue behind
+//                                        reverse-direction congestion
+//
+// TopologySpec is the catalog-facing description: enough to rebuild the episode
+// topology from a sampled LinkParams, and to assign each agent/competitor flow
+// its data and ACK paths consistently across MultiFlowCcEnv and mocc_simulate.
+#ifndef MOCC_SRC_NETSIM_TOPOLOGY_H_
+#define MOCC_SRC_NETSIM_TOPOLOGY_H_
+
+#include <vector>
+
+#include "src/netsim/link_params.h"
+
+namespace mocc {
+
+// ACK packets on a congested reverse path serialize at this size (a 40-byte
+// TCP ACK), so a loaded reverse link delays ACKs mostly by queueing, not by
+// serialization of the ACKs themselves.
+inline constexpr int64_t kAckPacketSizeBits = 40 * 8;
+
+// Longest supported link path per direction (the simulator compiles paths into
+// fixed per-flow arrays of this size; builders clamp to it).
+inline constexpr int kMaxPathHops = 8;
+
+// One unidirectional droptail link.
+struct LinkSpec {
+  double bandwidth_bps = 12e6;
+  double prop_delay_s = 0.020;
+  int queue_capacity_pkts = 1000;
+  double random_loss_rate = 0.0;  // iid per-packet wire loss at this link
+  BandwidthTrace trace;           // empty = constant at bandwidth_bps
+
+  // Effective bandwidth at time t, honouring the trace.
+  double BandwidthAt(double t) const { return trace.BandwidthAt(t, bandwidth_bps); }
+};
+
+struct NetworkTopology {
+  std::vector<LinkSpec> links;
+
+  // The dumbbell: one droptail bottleneck carrying every flow's data direction.
+  static NetworkTopology SingleBottleneck(const LinkParams& params);
+
+  // `hops` equal links in series (all inherit the base link's parameters), for
+  // end-to-end flows crossing several potential bottlenecks.
+  static NetworkTopology ParkingLot(const LinkParams& params, int hops);
+
+  // Two links: link 0 is the forward bottleneck, link 1 the reverse-direction
+  // link that agents' ACKs share with reverse-direction data traffic.
+  static NetworkTopology WithReversePath(const LinkParams& params);
+};
+
+// Catalog-facing topology naming (Scenario / MultiFlowCcEnvConfig).
+enum class TopologyKind {
+  kDumbbell,
+  kParkingLot,
+  kReversePath,
+};
+
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kDumbbell;
+  int hops = 3;  // parking-lot path length
+};
+
+// Per-flow path assignment derived from the spec.
+struct FlowPathSpec {
+  std::vector<int> path;      // forward (data) link ids
+  std::vector<int> ack_path;  // reverse link ids; empty = uncongested pure delay
+};
+
+// Builds the episode topology from the sampled base link. Every link inherits
+// the base link's bandwidth/delay/queue/loss; the parking lot replicates it
+// per hop, the reverse-path shape mirrors it into the opposite direction.
+NetworkTopology BuildTopology(const TopologySpec& spec, const LinkParams& base);
+
+// Agents take the full forward path (and, under kReversePath, return their ACKs
+// through the congested reverse link).
+FlowPathSpec AgentPath(const TopologySpec& spec);
+
+// Competitor placement: dumbbell competitors share the bottleneck; parking-lot
+// competitor i is cross traffic on hop i (mod hops); reverse-path competitors
+// send their data over the reverse link, loading the agents' ACK direction.
+FlowPathSpec CompetitorPath(const TopologySpec& spec, int competitor_index);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_NETSIM_TOPOLOGY_H_

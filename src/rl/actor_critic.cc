@@ -16,10 +16,14 @@ void ActorCritic::ForwardRow(const std::vector<double>& obs, double* mean, doubl
   *value = v(0, 0);
 }
 
+void ActorCritic::ForwardRowActor(const std::vector<double>& obs, double* mean) {
+  double value = 0.0;
+  ForwardRow(obs, mean, &value);
+}
+
 double ActorCritic::ActionMean(const std::vector<double>& obs) {
   double mean = 0.0;
-  double value = 0.0;
-  ForwardRow(obs, &mean, &value);
+  ForwardRowActor(obs, &mean);
   return mean;
 }
 
@@ -61,6 +65,11 @@ void MlpActorCritic::ForwardRow(const std::vector<double>& obs, double* mean, do
   assert(obs.size() == obs_dim_);
   actor_.ForwardRow(obs.data(), mean);
   critic_.ForwardRow(obs.data(), value);
+}
+
+void MlpActorCritic::ForwardRowActor(const std::vector<double>& obs, double* mean) {
+  assert(obs.size() == obs_dim_);
+  actor_.ForwardRow(obs.data(), mean);
 }
 
 std::vector<ParamRef> MlpActorCritic::Params() {

@@ -50,7 +50,16 @@ class ActorCritic {
   // models override it with a fused single-row pass.
   virtual void ForwardRow(const std::vector<double>& obs, double* mean, double* value);
 
-  // Convenience single-observation helpers built on ForwardRow.
+  // Actor-head-only single-observation inference: fills π-mean without touching
+  // the critic. Evaluation/deployment control loops only consume the mean, and
+  // the two heads are independent networks in every model here, so skipping the
+  // critic halves the per-step inference cost. Bit-identical mean to ForwardRow.
+  // The base implementation falls back to ForwardRow (computing and discarding
+  // V); concrete models override it.
+  virtual void ForwardRowActor(const std::vector<double>& obs, double* mean);
+
+  // Convenience single-observation helpers. ActionMean runs the actor head only
+  // (ForwardRowActor); Value runs both heads via ForwardRow.
   double ActionMean(const std::vector<double>& obs);
   double Value(const std::vector<double>& obs);
 
@@ -71,6 +80,7 @@ class MlpActorCritic : public ActorCritic {
   void Forward(const Matrix& obs, Matrix* mean, Matrix* value) override;
   void Backward(const Matrix& dmean, const Matrix& dvalue) override;
   void ForwardRow(const std::vector<double>& obs, double* mean, double* value) override;
+  void ForwardRowActor(const std::vector<double>& obs, double* mean) override;
   std::unique_ptr<InferencePolicy> MakeFloat32Policy() const override;
 
   double log_std() const override { return log_std_(0, 0); }

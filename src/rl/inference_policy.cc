@@ -5,25 +5,28 @@
 
 namespace mocc {
 
-void InferencePolicy::ForwardRow(const std::vector<double>& obs, double* mean,
-                                 double* value) {
+const float* InferencePolicy::NarrowObs(const std::vector<double>& obs) {
   assert(obs.size() == obs_dim());
   obs_f32_.resize(obs.size());
   for (size_t i = 0; i < obs.size(); ++i) {
     obs_f32_[i] = static_cast<float>(obs[i]);
   }
+  return obs_f32_.data();
+}
+
+void InferencePolicy::ForwardRow(const std::vector<double>& obs, double* mean,
+                                 double* value) {
   float m = 0.0f;
   float v = 0.0f;
-  ForwardRowF32(obs_f32_.data(), &m, &v);
+  ForwardRowF32(NarrowObs(obs), &m, &v);
   *mean = static_cast<double>(m);
   *value = static_cast<double>(v);
 }
 
 double InferencePolicy::ActionMean(const std::vector<double>& obs) {
-  double mean = 0.0;
-  double value = 0.0;
-  ForwardRow(obs, &mean, &value);
-  return mean;
+  float mean = 0.0f;
+  ForwardRowF32Actor(NarrowObs(obs), &mean);
+  return static_cast<double>(mean);
 }
 
 MlpFloat32Policy::MlpFloat32Policy(const MlpT<double>& actor, const MlpT<double>& critic,
@@ -36,6 +39,10 @@ MlpFloat32Policy::MlpFloat32Policy(const MlpT<double>& actor, const MlpT<double>
 void MlpFloat32Policy::ForwardRowF32(const float* obs, float* mean, float* value) {
   actor_.ForwardRow(obs, mean);
   critic_.ForwardRow(obs, value);
+}
+
+void MlpFloat32Policy::ForwardRowF32Actor(const float* obs, float* mean) {
+  actor_.ForwardRow(obs, mean);
 }
 
 PreferenceFloat32Policy::PreferenceFloat32Policy(
@@ -89,6 +96,10 @@ void PreferenceFloat32Policy::ForwardHeadRow(Head* head, const float* obs, float
 void PreferenceFloat32Policy::ForwardRowF32(const float* obs, float* mean, float* value) {
   ForwardHeadRow(&actor_, obs, mean);
   ForwardHeadRow(&critic_, obs, value);
+}
+
+void PreferenceFloat32Policy::ForwardRowF32Actor(const float* obs, float* mean) {
+  ForwardHeadRow(&actor_, obs, mean);
 }
 
 }  // namespace mocc

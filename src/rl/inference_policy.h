@@ -41,7 +41,9 @@ class InferencePolicy {
   // allocation in steady state.
   void ForwardRow(const std::vector<double>& obs, double* mean, double* value);
 
-  // Deterministic (mean-action) policy — the deployment control signal.
+  // Deterministic (mean-action) policy — the deployment control signal. Runs
+  // the actor head only (the critic is dead weight in a control loop), halving
+  // the per-step cost; the mean is bit-identical to ForwardRow's.
   double ActionMean(const std::vector<double>& obs);
 
   virtual size_t obs_dim() const = 0;
@@ -56,7 +58,16 @@ class InferencePolicy {
   // The float32 fast path; `obs` has obs_dim() narrowed elements.
   virtual void ForwardRowF32(const float* obs, float* mean, float* value) = 0;
 
+  // Actor-only float32 fast path; the default computes and discards the value.
+  virtual void ForwardRowF32Actor(const float* obs, float* mean) {
+    float value = 0.0f;
+    ForwardRowF32(obs, mean, &value);
+  }
+
  private:
+  // Narrows `obs` into the per-instance scratch row and returns it.
+  const float* NarrowObs(const std::vector<double>& obs);
+
   double log_std_;
   std::vector<float> obs_f32_;  // narrowing scratch (capacity reused)
 };
@@ -71,6 +82,7 @@ class MlpFloat32Policy : public InferencePolicy {
 
  protected:
   void ForwardRowF32(const float* obs, float* mean, float* value) override;
+  void ForwardRowF32Actor(const float* obs, float* mean) override;
 
  private:
   MlpT<float> actor_;
@@ -97,6 +109,7 @@ class PreferenceFloat32Policy : public InferencePolicy {
 
  protected:
   void ForwardRowF32(const float* obs, float* mean, float* value) override;
+  void ForwardRowF32Actor(const float* obs, float* mean) override;
 
  private:
   struct Head {

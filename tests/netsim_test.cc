@@ -475,6 +475,194 @@ TEST(PacketNetworkTest, DeterministicGivenSeed) {
   EXPECT_NE(run(99), run(100));
 }
 
+TEST(TopologyTest, BuildersMatchSpecShapes) {
+  LinkParams p;
+  p.bandwidth_bps = 5e6;
+  p.one_way_delay_s = 0.010;
+  EXPECT_EQ(NetworkTopology::SingleBottleneck(p).links.size(), 1u);
+  EXPECT_EQ(NetworkTopology::ParkingLot(p, 3).links.size(), 3u);
+  EXPECT_EQ(NetworkTopology::WithReversePath(p).links.size(), 2u);
+
+  TopologySpec parking;
+  parking.kind = TopologyKind::kParkingLot;
+  parking.hops = 3;
+  const FlowPathSpec agent = AgentPath(parking);
+  EXPECT_EQ(agent.path, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(agent.ack_path.empty());
+  EXPECT_EQ(CompetitorPath(parking, 0).path, (std::vector<int>{0}));
+  EXPECT_EQ(CompetitorPath(parking, 2).path, (std::vector<int>{2}));
+  EXPECT_EQ(CompetitorPath(parking, 4).path, (std::vector<int>{1}));  // wraps
+
+  TopologySpec reverse;
+  reverse.kind = TopologyKind::kReversePath;
+  EXPECT_EQ(AgentPath(reverse).ack_path, (std::vector<int>{1}));
+  EXPECT_EQ(CompetitorPath(reverse, 0).path, (std::vector<int>{1}));
+  EXPECT_TRUE(CompetitorPath(reverse, 0).ack_path.empty());
+}
+
+TEST(PacketNetworkTopologyTest, MultiHopPathConservesAndStretchesRtt) {
+  LinkParams p;
+  p.bandwidth_bps = 10e6;
+  p.one_way_delay_s = 0.010;
+  p.queue_capacity_pkts = 200;
+  PacketNetwork net(NetworkTopology::ParkingLot(p, 3), 7);
+  FlowOptions opts;
+  opts.path = {0, 1, 2};
+  const int flow = net.AddFlow(std::make_unique<FixedRateCc>(4e6), opts);
+  net.Run(10.0);
+  const FlowRecord& rec = net.record(flow);
+  EXPECT_GT(rec.total_acked, 0);
+  EXPECT_EQ(rec.total_lost, 0);  // underloaded everywhere
+  EXPECT_LE(rec.total_acked, rec.total_sent);
+  // Base RTT = 3 hops of propagation each way plus 3 serializations.
+  const double expected_rtt = 6.0 * p.one_way_delay_s + 3.0 * 12000.0 / 10e6;
+  EXPECT_NEAR(rec.min_rtt_s, expected_rtt, 2e-3);
+  EXPECT_NEAR(rec.AvgThroughputBps(2.0, 10.0), 4e6, 0.4e6);
+}
+
+TEST(PacketNetworkTopologyTest, CrossTrafficCongestsEveryParkingLotHop) {
+  // The end-to-end flow crosses three hops each loaded by its own cross flow;
+  // it must end up with less than a single-hop fair share, and losses can
+  // happen at any hop (mid-path drops feed back as loss notices).
+  LinkParams p;
+  p.bandwidth_bps = 6e6;
+  p.one_way_delay_s = 0.010;
+  p.queue_capacity_pkts = 50;
+  PacketNetwork net(NetworkTopology::ParkingLot(p, 3), 11);
+  FlowOptions e2e;
+  e2e.path = {0, 1, 2};
+  const int through = net.AddFlow(std::make_unique<FixedRateCc>(6e6), e2e);
+  std::vector<int> cross;
+  for (int hop = 0; hop < 3; ++hop) {
+    FlowOptions opts;
+    opts.path = {hop};
+    cross.push_back(net.AddFlow(std::make_unique<FixedRateCc>(5e6), opts));
+  }
+  net.Run(15.0);
+  const double through_bps = net.record(through).AvgThroughputBps(3.0, 15.0);
+  EXPECT_GT(through_bps, 0.5e6);
+  EXPECT_LT(through_bps, 0.6 * 6e6);  // squeezed below a 2-flow single-hop share
+  for (int id : cross) {
+    EXPECT_GT(net.record(id).AvgThroughputBps(3.0, 15.0), through_bps);
+  }
+  EXPECT_GT(net.record(through).total_lost, 0);
+}
+
+TEST(PacketNetworkTopologyTest, ReversePathCongestionDelaysAcks) {
+  // The same forward flow, with and without data traffic loading the link its
+  // ACKs return through: reverse congestion must inflate the measured RTT
+  // without costing forward deliveries (ACKs are never dropped).
+  auto run = [](bool load_reverse) {
+    LinkParams p;
+    p.bandwidth_bps = 8e6;
+    p.one_way_delay_s = 0.015;
+    p.queue_capacity_pkts = 100;
+    PacketNetwork net(NetworkTopology::WithReversePath(p), 13);
+    FlowOptions agent;
+    agent.path = {0};
+    agent.ack_path = {1};
+    const int flow = net.AddFlow(std::make_unique<FixedRateCc>(3e6), agent);
+    if (load_reverse) {
+      FlowOptions rev;
+      rev.path = {1};
+      net.AddFlow(std::make_unique<FixedRateCc>(10e6), rev);  // overdrives link 1
+    }
+    net.Run(10.0);
+    struct Out {
+      double rtt;
+      int64_t acked;
+      int64_t lost;
+    };
+    return Out{net.record(flow).AvgRttS(), net.record(flow).total_acked,
+               net.record(flow).total_lost};
+  };
+  const auto quiet = run(false);
+  const auto loaded = run(true);
+  EXPECT_GT(quiet.acked, 0);
+  EXPECT_GT(loaded.acked, 0);
+  EXPECT_GT(loaded.rtt, quiet.rtt + 0.005);  // >=5 ms of reverse queueing
+  EXPECT_EQ(quiet.lost, 0);
+  EXPECT_EQ(loaded.lost, 0);  // forward path stayed underloaded; ACKs not dropped
+}
+
+TEST(PacketNetworkTopologyTest, TopologyRunsAreBitDeterministic) {
+  auto run = [](TopologyKind kind, uint64_t seed) {
+    LinkParams p;
+    p.bandwidth_bps = 6e6;
+    p.one_way_delay_s = 0.012;
+    p.queue_capacity_pkts = 60;
+    p.random_loss_rate = 0.01;
+    TopologySpec spec;
+    spec.kind = kind;
+    PacketNetwork net(BuildTopology(spec, p), seed);
+    FlowOptions agent;
+    const FlowPathSpec agent_paths = AgentPath(spec);
+    agent.path = agent_paths.path;
+    agent.ack_path = agent_paths.ack_path;
+    const int a = net.AddFlow(std::make_unique<FixedRateCc>(4e6), agent);
+    FlowOptions comp;
+    const FlowPathSpec comp_paths = CompetitorPath(spec, 0);
+    comp.path = comp_paths.path;
+    comp.ack_path = comp_paths.ack_path;
+    const int c = net.AddFlow(std::make_unique<FixedWindowCc>(20.0), comp);
+    net.Run(8.0);
+    std::vector<double> digest = {
+        static_cast<double>(net.record(a).total_sent),
+        static_cast<double>(net.record(a).total_acked),
+        static_cast<double>(net.record(a).total_lost),
+        net.record(a).min_rtt_s,
+        net.record(a).last_ack_time_s,
+        static_cast<double>(net.record(c).total_acked),
+        net.record(c).last_ack_time_s,
+    };
+    return digest;
+  };
+  for (TopologyKind kind :
+       {TopologyKind::kDumbbell, TopologyKind::kParkingLot, TopologyKind::kReversePath}) {
+    const auto a = run(kind, 99);
+    const auto b = run(kind, 99);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "kind " << static_cast<int>(kind) << " element " << i;
+    }
+    EXPECT_NE(run(kind, 99), run(kind, 100));
+  }
+}
+
+TEST(PacketNetworkTest, DeferredAckCoalescingMatchesPerAckEvents) {
+  // A scheme that opts out of per-ACK events must produce the exact same record
+  // as an identical scheme that keeps them (the lazy drain applies the same
+  // values in the same per-flow order).
+  class OptOutFixedRateCc : public FixedRateCc {
+   public:
+    using FixedRateCc::FixedRateCc;
+    bool NeedsPerAckEvents() const override { return false; }
+  };
+  auto run = [](bool opt_out) {
+    LinkParams p;
+    p.bandwidth_bps = 8e6;
+    p.one_way_delay_s = 0.02;
+    p.queue_capacity_pkts = 40;
+    p.random_loss_rate = 0.01;
+    PacketNetwork net(p, 51);
+    const int flow =
+        opt_out ? net.AddFlow(std::make_unique<OptOutFixedRateCc>(9e6))
+                : net.AddFlow(std::make_unique<FixedRateCc>(9e6));
+    net.Run(10.0);
+    const FlowRecord& rec = net.record(flow);
+    return std::vector<double>{
+        static_cast<double>(rec.total_sent), static_cast<double>(rec.total_acked),
+        static_cast<double>(rec.total_lost), rec.min_rtt_s, rec.last_ack_time_s,
+        rec.AvgThroughputBps(1.0, 10.0), rec.AvgRttS()};
+  };
+  const auto with_events = run(false);
+  const auto coalesced = run(true);
+  ASSERT_EQ(with_events.size(), coalesced.size());
+  for (size_t i = 0; i < with_events.size(); ++i) {
+    EXPECT_EQ(with_events[i], coalesced[i]) << "element " << i;
+  }
+}
+
 TEST(FlowRecordTest, BinnedThroughputAndGaps) {
   FlowRecord rec;
   rec.keep_delivery_times = true;

@@ -38,6 +38,99 @@ TEST(ScenarioRegistryTest, CatalogNamesAreResolvableAndDescribed) {
   EXPECT_FALSE(registry.Find("static")->IsMultiFlow());
   EXPECT_TRUE(registry.Find("many-flow")->IsMultiFlow());
   EXPECT_TRUE(registry.Find("vs-cubic")->IsMultiFlow());
+  // ... and the topology-general entries.
+  ASSERT_NE(registry.Find("hetero-rtt"), nullptr);
+  EXPECT_EQ(registry.Find("hetero-rtt")->agent_extra_delay_s.size(), 4u);
+  ASSERT_NE(registry.Find("parking-lot"), nullptr);
+  EXPECT_EQ(registry.Find("parking-lot")->topology.kind, TopologyKind::kParkingLot);
+  ASSERT_NE(registry.Find("reverse-path"), nullptr);
+  EXPECT_EQ(registry.Find("reverse-path")->topology.kind, TopologyKind::kReversePath);
+}
+
+TEST(ScenarioTopologyTest, HeteroRttAgentsSeeTheirOwnBaseRtt) {
+  const Scenario* scenario = ScenarioRegistry::Global().Find("hetero-rtt");
+  ASSERT_NE(scenario, nullptr);
+  auto env = scenario->MakeMultiFlowEnv(BaseEnvConfig(), 5);
+  env->SetObjective(BalancedObjective());
+  env->Reset();
+  // Base RTTs follow the configured 0/10/25/50 ms extra-delay ladder.
+  const double base = env->current_link().BaseRttS();
+  EXPECT_DOUBLE_EQ(env->AgentBaseRttS(0), base);
+  EXPECT_DOUBLE_EQ(env->AgentBaseRttS(1), base + 0.020);
+  EXPECT_DOUBLE_EQ(env->AgentBaseRttS(2), base + 0.050);
+  EXPECT_DOUBLE_EQ(env->AgentBaseRttS(3), base + 0.100);
+  // The synchronized step covers the slowest flow's propagation RTT.
+  EXPECT_GE(env->step_duration_s(), env->AgentBaseRttS(3));
+  // Flows with longer RTT really measure longer minimum RTTs on the wire.
+  std::vector<double> actions(4, 0.0);
+  for (int step = 0; step < 40; ++step) {
+    env->Step(actions);
+  }
+  double prev_rtt = 0.0;
+  for (int agent = 0; agent < 4; ++agent) {
+    const MonitorReport& report = env->agent_last_report(agent);
+    EXPECT_GT(report.min_rtt_s, prev_rtt) << "agent " << agent;
+    prev_rtt = report.min_rtt_s;
+  }
+}
+
+TEST(ScenarioTopologyTest, NewTopologyScenariosRunEpisodesEndToEnd) {
+  for (const char* name : {"hetero-rtt", "parking-lot", "reverse-path"}) {
+    const Scenario* scenario = ScenarioRegistry::Global().Find(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    ASSERT_TRUE(scenario->IsMultiFlow()) << name;
+    auto env = scenario->MakeMultiFlowEnv(BaseEnvConfig(), 17);
+    env->SetObjective(BalancedObjective());
+    std::vector<std::vector<double>> obs = env->Reset();
+    ASSERT_EQ(obs.size(), static_cast<size_t>(scenario->num_agents)) << name;
+    std::vector<double> actions(static_cast<size_t>(scenario->num_agents), 0.0);
+    int64_t acked = 0;
+    for (int step = 0; step < 60; ++step) {
+      for (size_t i = 0; i < actions.size(); ++i) {
+        actions[i] = (step % 3 == 0) ? 0.4 : -0.2;
+      }
+      const VectorStepResult r = env->Step(actions);
+      ASSERT_EQ(r.rewards.size(), actions.size()) << name;
+      for (double reward : r.rewards) {
+        EXPECT_TRUE(std::isfinite(reward)) << name;
+      }
+    }
+    for (double throughput : env->AgentAvgThroughputsBps(0.0, env->now_s())) {
+      EXPECT_GE(throughput, 0.0) << name;
+      acked += throughput > 0.0 ? 1 : 0;
+    }
+    EXPECT_GT(acked, 0) << name << ": no agent delivered anything";
+    EXPECT_GT(env->LastStepJainIndex(), 0.0) << name;
+  }
+}
+
+TEST(ScenarioTopologyTest, NewScenarioEpisodesAreBitIdenticalGivenSeed) {
+  for (const char* name : {"hetero-rtt", "parking-lot", "reverse-path"}) {
+    const Scenario* scenario = ScenarioRegistry::Global().Find(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    auto run = [&](uint64_t seed) {
+      auto env = scenario->MakeMultiFlowEnv(BaseEnvConfig(), seed);
+      env->SetObjective(BalancedObjective());
+      std::vector<double> digest;
+      auto obs = env->Reset();
+      std::vector<double> actions(static_cast<size_t>(scenario->num_agents), 0.0);
+      for (int step = 0; step < 30; ++step) {
+        for (size_t i = 0; i < actions.size(); ++i) {
+          actions[i] = ((step + static_cast<int>(i)) % 2 == 0) ? 0.5 : -0.5;
+        }
+        const VectorStepResult r = env->Step(actions);
+        digest.insert(digest.end(), r.rewards.begin(), r.rewards.end());
+      }
+      return digest;
+    };
+    const auto a = run(77);
+    const auto b = run(77);
+    ASSERT_EQ(a.size(), b.size()) << name;
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << name << " diverged at " << i;
+    }
+    EXPECT_NE(run(77), run(78)) << name;
+  }
 }
 
 TEST(ScenarioTraceCacheTest, CachedGeneratorRunsOncePerEnv) {
@@ -447,6 +540,74 @@ TEST(ScenarioRolloutTest, MixedScenarioCollectionSerialVsPoolBitIdentical) {
       ASSERT_EQ(pool[b].advantages[i], serial[b].advantages[i]);
       ASSERT_EQ(pool[b].returns[i], serial[b].returns[i]);
     }
+  }
+}
+
+// Same determinism contract for the topology-general scenarios: parking-lot,
+// reverse-path and hetero-rtt rollouts are bit-identical whether collected
+// serially or on the shared ThreadPool.
+TEST(ScenarioRolloutTest, TopologyScenarioCollectionSerialVsPoolBitIdentical) {
+  auto collect = [](bool parallel) {
+    MoccConfig mocc;
+    Rng rng(19);
+    PreferenceActorCritic model(mocc, &rng);
+    PpoTrainer trainer(&model, mocc.MakePpoConfig(23));
+    trainer.set_parallel_collection(parallel);
+
+    std::string error;
+    const auto scenarios = ScenarioRegistry::Global().ResolveList(
+        "hetero-rtt,parking-lot,reverse-path", &error);
+    EXPECT_TRUE(scenarios.has_value()) << error;
+    std::vector<std::unique_ptr<MultiFlowCcEnv>> envs;
+    std::vector<PpoTrainer::RolloutSource> sources;
+    uint64_t seed = 200;
+    for (const Scenario& scenario : *scenarios) {
+      envs.push_back(scenario.MakeMultiFlowEnv(BaseEnvConfig(), seed++));
+      envs.back()->SetObjective(BalancedObjective());
+      PpoTrainer::RolloutSource source;
+      source.vec = envs.back().get();
+      sources.push_back(source);
+    }
+    return trainer.CollectSourcesParallel(sources, 48);
+  };
+  const auto pool = collect(true);
+  const auto serial = collect(false);
+  ASSERT_EQ(pool.size(), serial.size());
+  ASSERT_EQ(pool.size(), 4u + 3u + 2u);  // hetero-rtt + parking-lot + reverse-path
+  for (size_t b = 0; b < pool.size(); ++b) {
+    ASSERT_EQ(pool[b].size(), serial[b].size());
+    for (size_t i = 0; i < pool[b].size(); ++i) {
+      ASSERT_EQ(pool[b].transitions[i].action, serial[b].transitions[i].action);
+      ASSERT_EQ(pool[b].transitions[i].reward, serial[b].transitions[i].reward);
+      ASSERT_EQ(pool[b].advantages[i], serial[b].advantages[i]);
+      ASSERT_EQ(pool[b].returns[i], serial[b].returns[i]);
+    }
+  }
+}
+
+TEST(ScenarioTrainingTest, OfflineTrainerRunsTopologyScenariosEndToEnd) {
+  // The acceptance path for the new catalog entries: OfflineTrainer --scenario
+  // hetero-rtt,parking-lot,reverse-path must train (small budget) without NaNs,
+  // proving the whole trainer->env->topology->event-engine stack end to end.
+  OfflineTrainConfig config;
+  config.seed = 47;
+  config.bootstrap_iterations = 1;
+  config.traversal_rounds = 0;
+  config.parallel_envs = 3;
+  config.mocc.landmark_step_divisor = 3;
+  std::string error;
+  const auto scenarios = ScenarioRegistry::Global().ResolveList(
+      "hetero-rtt,parking-lot,reverse-path", &error);
+  ASSERT_TRUE(scenarios.has_value()) << error;
+  config.scenarios = *scenarios;
+
+  Rng rng(config.seed);
+  PreferenceActorCritic model(config.mocc, &rng);
+  OfflineTrainer trainer(&model, config);
+  const OfflineTrainResult result = trainer.TrainTwoPhase();
+  EXPECT_EQ(result.total_iterations, 1);
+  for (double reward : result.reward_curve) {
+    EXPECT_TRUE(std::isfinite(reward));
   }
 }
 

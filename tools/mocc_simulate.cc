@@ -161,7 +161,12 @@ int main(int argc, char** argv) {
     return MakeBaselineCc(scheme);
   };
 
-  PacketNetwork net(link, seed);
+  // The scenario's topology (dumbbell unless it names a parking lot or a
+  // congested reverse path) built from the resolved link, with the same path
+  // assignment MultiFlowCcEnv uses in training.
+  const TopologySpec topology_spec =
+      scenario.has_value() ? scenario->topology : TopologySpec{};
+  PacketNetwork net(BuildTopology(topology_spec, link), seed);
   if (!mahimahi_path.empty()) {
     if (scenario.has_value() && scenario->trace_generator) {
       std::fprintf(stderr,
@@ -180,17 +185,29 @@ int main(int argc, char** argv) {
   std::vector<int> agent_flows;
   std::vector<int> competitor_flows;
   const int num_agents = scenario.has_value() ? scenario->num_agents : 1;
+  const FlowPathSpec agent_paths = AgentPath(topology_spec);
   for (int i = 0; i < num_agents; ++i) {
     FlowOptions options;
     options.start_time_s =
         scenario.has_value() ? static_cast<double>(i) * scenario->agent_stagger_s : 0.0;
+    options.path = agent_paths.path;
+    options.ack_path = agent_paths.ack_path;
+    if (scenario.has_value() && !scenario->agent_extra_delay_s.empty()) {
+      options.extra_one_way_delay_s =
+          scenario->agent_extra_delay_s[static_cast<size_t>(i) %
+                                        scenario->agent_extra_delay_s.size()];
+    }
     agent_flows.push_back(net.AddFlow(make_scheme(), options));
   }
   if (scenario.has_value()) {
+    int competitor_index = 0;
     for (const std::string& competitor : scenario->competitor_schemes) {
+      const FlowPathSpec paths = CompetitorPath(topology_spec, competitor_index++);
       FlowOptions options;
       options.start_time_s = scenario->competitor_start_s;
       options.stop_time_s = scenario->competitor_stop_s;
+      options.path = paths.path;
+      options.ack_path = paths.ack_path;
       competitor_flows.push_back(net.AddFlow(MakeBaselineCc(competitor), options));
     }
   }
