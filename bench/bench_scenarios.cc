@@ -55,7 +55,7 @@ int main() {
   std::unique_ptr<InferencePolicy> f32_policy = model.MakeFloat32Policy();
 
   BenchJson json("scenarios");
-  std::printf("%-14s %7s %14s %16s %14s\n", "scenario", "agents", "env_steps/s",
+  std::printf("%-28s %7s %14s %16s %14s\n", "scenario", "agents", "env_steps/s",
               "agent_steps/s", "f32_steps/s");
 
   // Measures one single-flow scenario's env-step rate with either precision
@@ -77,6 +77,9 @@ int main() {
 
   // Multi-flow counterpart: every agent's per-MI action comes from the chosen
   // precision path, as in training (double) vs deployment evaluation (f32).
+  // Heterogeneous-objective scenarios re-apply their own per-agent plan on Reset
+  // (overriding the SetObjective below), so they are measured exactly as they
+  // train; inference cost is weight-independent either way.
   auto measure_multi_flow = [&](const Scenario& scenario, double min_seconds,
                                 bool use_f32) {
     auto env = scenario.MakeMultiFlowEnv(config.MakeEnvConfig(), /*seed=*/101);
@@ -115,7 +118,7 @@ int main() {
                                                   /*use_f32=*/true);
     }
     const double agent_steps_per_sec = env_steps_per_sec * agents;
-    std::printf("%-14s %7d %14.0f %16.0f %14.0f\n", scenario.name.c_str(), agents,
+    std::printf("%-28s %7d %14.0f %16.0f %14.0f\n", scenario.name.c_str(), agents,
                 env_steps_per_sec, agent_steps_per_sec, f32_env_steps_per_sec);
     const std::string key = JsonKey(scenario.name);
     json.Add(key + "_env_steps_per_sec", env_steps_per_sec);

@@ -69,7 +69,15 @@ OfflineTrainer::OfflineTrainer(PreferenceActorCritic* model, const OfflineTrainC
 
 void OfflineTrainer::SetSlotObjective(const EnvSlot& slot, const WeightVector& w) {
   if (slot.multi != nullptr) {
-    slot.multi->SetObjective(w);
+    // Heterogeneous-objective scenarios own their per-agent weights: fixed mixes and
+    // per-episode samples are re-applied on every Reset (the first thing rollout
+    // collection does), so assigning the traversal objective here would only be
+    // overridden — and would corrupt agent_objective() introspection in between.
+    // Switch-only plans keep the traversal objective as the episode base and overlay
+    // the scheduled change mid-episode.
+    if (!slot.multi->config().objectives.OverridesEpisodeWeights()) {
+      slot.multi->SetObjective(w);
+    }
   } else {
     slot.single->SetObjective(w);
   }

@@ -58,6 +58,11 @@ struct OfflineTrainConfig {
   // max(parallel_envs, scenarios.size()) slots so every listed scenario trains even
   // when parallel_envs is smaller. Empty keeps the paper's single-flow sampled-link
   // training. Resolve names via ScenarioRegistry::Global().
+  //
+  // Scenarios with an ObjectivePlan (mixed-objective, sampled-objective, ...) assign
+  // per-agent weights themselves: the trainer leaves those slots' objectives alone
+  // and their heterogeneous trajectories join the same joint update, which is what
+  // trains the preference sub-network to serve different objectives at once.
   std::vector<Scenario> scenarios;
   uint64_t seed = 7;
 

@@ -11,8 +11,18 @@
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace mocc {
+
+// The trained preference region's floor: every weight component the system accepts at
+// runtime must be at least this large. The landmark-objective grid that offline
+// training visits has minimum component 1/divisor (0.1 at the default divisor 10), so
+// below ~0.05 the preference sub-network extrapolates instead of interpolating.
+// Sanitized() projects onto this region; user entry points (--weights/--objectives
+// parsing) REJECT vectors outside it instead of silently clamping, so an application
+// never believes it registered <1,0,0> while the policy actually serves <0.9,0.05,0.05>.
+inline constexpr double kWeightVectorFloor = 0.05;
 
 struct WeightVector {
   double thr = 1.0 / 3.0;
@@ -30,17 +40,45 @@ struct WeightVector {
            std::abs(sum - 1.0) <= tol;
   }
 
+  // True iff the vector is a valid simplex point with every component at least `floor`
+  // (within tolerance) — i.e. inside the trained preference region. This is the
+  // predicate user entry points assert before accepting a weight vector.
+  bool IsWithinFloor(double floor = kWeightVectorFloor, double tol = 1e-9) const {
+    return IsValid() && thr >= floor - tol && lat >= floor - tol && loss >= floor - tol;
+  }
+
   // Projects onto the open simplex: clamps each weight to at least `floor` and rescales
   // to sum 1. Used to sanitize user-supplied vectors such as the paper's <1,0,0> bulk
   // transfer preference. The default floor keeps requirements inside the region covered
   // by the landmark-objective grid (whose minimum component is 1/divisor), where the
-  // preference sub-network is trained rather than extrapolating.
-  WeightVector Sanitized(double floor = 0.05) const {
+  // preference sub-network is trained rather than extrapolating. Library-internal
+  // call sites sanitize; user-facing parsers reject instead (see ParseWeightVector).
+  WeightVector Sanitized(double floor = kWeightVectorFloor) const {
     double t = std::max(thr, floor);
     double l = std::max(lat, floor);
     double s = std::max(loss, floor);
     const double sum = t + l + s;
-    return WeightVector(t / sum, l / sum, s / sum);
+    const WeightVector projected(t / sum, l / sum, s / sum);
+    if (projected.thr >= floor && projected.lat >= floor && projected.loss >= floor) {
+      // The historical one-pass projection — bit-identical whenever it already lands
+      // inside the region (every weight the catalog or the landmark grid produces).
+      return projected;
+    }
+    // A component pinned at the floor was diluted below it by the rescale (e.g.
+    // <1,0,0> -> <0.909,0.045,0.045>). Distribute only the free mass above the floor
+    // instead: pinned components sit exactly at the floor, so the result is always
+    // within the region IsWithinFloor accepts.
+    const double excess_t = std::max(thr - floor, 0.0);
+    const double excess_l = std::max(lat - floor, 0.0);
+    const double excess_s = std::max(loss - floor, 0.0);
+    const double excess_sum = excess_t + excess_l + excess_s;
+    if (excess_sum <= 0.0) {
+      return WeightVector(1.0 / 3, 1.0 / 3, 1.0 / 3);
+    }
+    const double free = 1.0 - 3.0 * floor;
+    return WeightVector(floor + free * excess_t / excess_sum,
+                        floor + free * excess_l / excess_sum,
+                        floor + free * excess_s / excess_sum);
   }
 
   std::array<double, 3> ToArray() const { return {thr, lat, loss}; }
@@ -69,6 +107,67 @@ inline WeightVector ThroughputObjective() { return {0.8, 0.1, 0.1}; }   // Fig 5
 inline WeightVector LatencyObjective() { return {0.1, 0.8, 0.1}; }      // Fig 5e-h
 inline WeightVector RtcObjective() { return {0.4, 0.5, 0.1}; }          // Fig 9
 inline WeightVector BalancedObjective() { return {1.0 / 3, 1.0 / 3, 1.0 / 3}; }
+
+// Uniform draw over the floored simplex {w : w_i >= floor, Σ w_i = 1}: a stick-breaking
+// uniform sample on the unit simplex mapped affinely into the floored region, so every
+// sampled requirement stays inside the trained preference region. Exactly two rng draws
+// in fixed order — per-episode objective sampling's reproducibility (and the thread-pool
+// bit-identity contract above it) depends on the draw count being schedule-independent.
+// Templated on the generator so this header stays link-free of src/common.
+template <typename RngT>
+WeightVector SampleWeightVector(RngT* rng, double floor = kWeightVectorFloor) {
+  double a = rng->Uniform(0.0, 1.0);
+  double b = rng->Uniform(0.0, 1.0);
+  if (a > b) {
+    std::swap(a, b);
+  }
+  const double scale = 1.0 - 3.0 * floor;
+  return WeightVector(floor + scale * a, floor + scale * (b - a),
+                      floor + scale * (1.0 - b));
+}
+
+// Strict parsing of a user-supplied "T,L,S" weight triple. Returns false and fills
+// *error (when non-null) if the text is malformed, the weights do not sum to 1, or any
+// component is below the floor — the entry-point contract is to REJECT out-of-region
+// requirements with an actionable message rather than silently projecting them (the
+// policy would otherwise serve a different objective than the one the user asked for).
+inline bool ParseWeightVector(const std::string& text, WeightVector* out,
+                              std::string* error, double floor = kWeightVectorFloor) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  std::istringstream in(text);
+  double t = 0.0;
+  double l = 0.0;
+  double s = 0.0;
+  char c1 = 0;
+  char c2 = 0;
+  if (!(in >> t >> c1 >> l >> c2 >> s) || c1 != ',' || c2 != ',' ||
+      !(in >> std::ws).eof()) {
+    return fail("'" + text + "' is not a T,L,S weight triple");
+  }
+  const WeightVector w(t, l, s);
+  const double sum = t + l + s;
+  if (std::abs(sum - 1.0) > 1e-6) {
+    std::ostringstream os;
+    os << "weights " << w << " sum to " << sum << ", not 1";
+    return fail(os.str());
+  }
+  if (!w.IsWithinFloor(floor)) {
+    std::ostringstream os;
+    os << "weights " << w << " leave the trained preference region (every component "
+       << "must be >= " << floor << "); pick weights inside it, e.g. <0.9,0.05,0.05> "
+       << "instead of <1,0,0>";
+    return fail(os.str());
+  }
+  if (out != nullptr) {
+    *out = w;
+  }
+  return true;
+}
 
 }  // namespace mocc
 

@@ -26,16 +26,73 @@ MultiFlowCcEnv::MultiFlowCcEnv(const MultiFlowCcEnvConfig& config, uint64_t seed
     weights_.emplace_back();
     histories_.emplace_back(config_.history_len);
   }
+  // Plan-fixed mixes seed the weights so the heterogeneous assignment holds even
+  // before the first Reset (e.g. for agent_objective probes). No rng: sampling
+  // before the first episode would shift the env's draw stream.
+  weights_ = config_.objectives.EpisodeWeights(config_.num_agents,
+                                               std::move(weights_), nullptr);
+  base_weights_ = weights_;
+  // The switch schedule is applied by scanning forward in time; episode events must
+  // not depend on the order switches were listed in the config.
+  switches_ = config_.objectives.switches;
+  std::stable_sort(switches_.begin(), switches_.end(),
+                   [](const PreferenceSwitch& a, const PreferenceSwitch& b) {
+                     return a.time_s < b.time_s;
+                   });
 }
 
 void MultiFlowCcEnv::SetObjective(const WeightVector& w) {
-  for (WeightVector& weight : weights_) {
-    weight = w.Sanitized();
+  for (int i = 0; i < config_.num_agents; ++i) {
+    SetAgentObjective(i, w);
   }
 }
 
 void MultiFlowCcEnv::SetAgentObjective(int agent, const WeightVector& w) {
   weights_[static_cast<size_t>(agent)] = w.Sanitized();
+  // External objective control also moves the per-episode base, so the assignment
+  // survives episode boundaries (unless an objective plan overrides it at Reset).
+  base_weights_[static_cast<size_t>(agent)] = weights_[static_cast<size_t>(agent)];
+}
+
+std::vector<WeightVector> ObjectivePlan::EpisodeWeights(
+    int num_agents, std::vector<WeightVector> base, Rng* rng) const {
+  assert(static_cast<int>(base.size()) == num_agents);
+  if (!fixed.empty()) {
+    for (int i = 0; i < num_agents; ++i) {
+      base[static_cast<size_t>(i)] =
+          fixed[static_cast<size_t>(i) % fixed.size()].Sanitized();
+    }
+  }
+  if (sample_per_episode && rng != nullptr) {
+    // Drawn in agent order: two draws per agent, every episode, so the draw
+    // stream — and with it pool-vs-serial bit-identity — is independent of who
+    // else is collecting.
+    for (int i = 0; i < num_agents; ++i) {
+      base[static_cast<size_t>(i)] = SampleWeightVector(rng);
+    }
+  }
+  return base;
+}
+
+void MultiFlowCcEnv::ApplyObjectivePlanForEpisode() {
+  weights_ =
+      config_.objectives.EpisodeWeights(config_.num_agents, base_weights_, &rng_);
+  next_switch_ = 0;
+}
+
+void MultiFlowCcEnv::ApplyDuePreferenceSwitches() {
+  while (next_switch_ < switches_.size() &&
+         switches_[next_switch_].time_s <= env_time_s_ + kBoundarySlopS) {
+    const PreferenceSwitch& sw = switches_[next_switch_];
+    if (sw.agent < 0) {
+      for (WeightVector& weight : weights_) {
+        weight = sw.to.Sanitized();
+      }
+    } else if (sw.agent < config_.num_agents) {
+      weights_[static_cast<size_t>(sw.agent)] = sw.to.Sanitized();
+    }
+    ++next_switch_;
+  }
 }
 
 size_t MultiFlowCcEnv::ObservationDim() const {
@@ -79,6 +136,11 @@ const MonitorReport& MultiFlowCcEnv::agent_last_report(int agent) const {
 }
 
 std::vector<std::vector<double>> MultiFlowCcEnv::Reset() {
+  // Episode weights first: the plan's fixed/sampled assignment (or the external
+  // base) must be in place before the warm-up observations are built below. Plan
+  // sampling draws from rng_ ahead of the link sample, so the weight draws are a
+  // fixed-length prefix of the episode stream.
+  ApplyObjectivePlanForEpisode();
   link_ = config_.fixed_link.has_value() ? *config_.fixed_link
                                          : config_.link_range.Sample(&rng_);
   // Same trace precedence as CcEnv: generator > fixed trace > constant bandwidth
@@ -186,6 +248,11 @@ std::vector<std::vector<double>> MultiFlowCcEnv::Reset() {
 VectorStepResult MultiFlowCcEnv::Step(const std::vector<double>& actions) {
   assert(net_ != nullptr && "Step before Reset");
   assert(static_cast<int>(actions.size()) == config_.num_agents);
+  // A switch scheduled at t takes effect for the monitor interval starting now
+  // (env_time_s_): this step's reward and the observation returned from it both see
+  // the new preference, while the action being applied was still chosen under the
+  // old one — the deployed SetObservationPrefix semantics.
+  ApplyDuePreferenceSwitches();
   const double bw_before = current_bandwidth_bps();
   const double share = bw_before / static_cast<double>(ActiveFlowCount());
   const double min_rate =

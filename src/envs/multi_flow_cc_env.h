@@ -67,8 +67,61 @@ struct CompetitorFlow {
   double stop_time_s = std::numeric_limits<double>::infinity();
 };
 
+// One scheduled mid-episode preference change (the paper's online objective
+// adjustment, §4.3, as a training/evaluation event): starting with the environment
+// step whose monitor interval begins at or after `time_s`, `agent` (every agent when
+// agent < 0) is rewarded — and observed, through the weight prefix — under `to`.
+// The action taken on the switching step still comes from the pre-switch
+// observation; the policy reads the new preference from the next observation, which
+// is exactly how a deployed flow experiences SetObservationPrefix.
+struct PreferenceSwitch {
+  double time_s = 0.0;
+  int agent = -1;  // -1 = all agents
+  WeightVector to;
+};
+
+// Per-agent objective assignment for heterogeneous-requirement scenarios (MOCC's
+// central claim: one preference-conditioned policy serving different objectives at
+// once). All weights pass through WeightVector::Sanitized, so the plan can never
+// push an agent outside the trained preference region.
+struct ObjectivePlan {
+  // Fixed mixes, cycled over agents (agent i gets fixed[i % size]); re-applied on
+  // every Reset, overriding any external SetObjective/SetAgentObjective call. Empty
+  // leaves episode weights under external control.
+  std::vector<WeightVector> fixed;
+  // Resample every agent's weight vector per episode, uniformly over the floored
+  // simplex (SampleWeightVector), from the env's own Rng — seed-reproducible and
+  // independent of collection scheduling. Applied after `fixed`, so it wins.
+  bool sample_per_episode = false;
+  // Scheduled mid-episode switches, applied in time order within each episode.
+  std::vector<PreferenceSwitch> switches;
+
+  // True when Reset re-derives episode weights from the plan (external SetObjective
+  // calls are overridden) — trainers skip their per-iteration objective assignment
+  // for such environments.
+  bool OverridesEpisodeWeights() const { return !fixed.empty() || sample_per_episode; }
+  bool Empty() const {
+    return fixed.empty() && !sample_per_episode && switches.empty();
+  }
+
+  // The single source of truth for deriving an episode's per-agent weights: starts
+  // from `base` (one entry per agent), cycles the fixed mixes over it, then — when
+  // `rng` is non-null — draws the per-episode samples (two draws per agent, agent
+  // order). Pass rng = nullptr to apply only the deterministic part (construction
+  // time, where consuming env draws would shift the episode stream). Training
+  // (MultiFlowCcEnv::Reset) and evaluation (mocc_simulate) both call this, so the
+  // weights a simulation reports are provably the weights training used.
+  std::vector<WeightVector> EpisodeWeights(int num_agents,
+                                           std::vector<WeightVector> base,
+                                           Rng* rng) const;
+};
+
 struct MultiFlowCcEnvConfig {
   int num_agents = 2;
+  // Heterogeneous per-agent objectives: fixed mixes, per-episode sampling, scheduled
+  // mid-episode preference switches. Empty = all agents share whatever SetObjective
+  // installs (the homogeneous pre-plan behaviour, bit-identical).
+  ObjectivePlan objectives;
   // Link selection per episode: the fixed link if set, otherwise sampled from the range.
   LinkParamsRange link_range = TrainingRange();
   std::optional<LinkParams> fixed_link;
@@ -122,7 +175,11 @@ class MultiFlowCcEnv : public VectorEnv {
   MultiFlowCcEnv(const MultiFlowCcEnvConfig& config, uint64_t seed);
 
   // Sets every agent's objective (per-agent variants for heterogeneous-requirement
-  // scenarios). May be changed between episodes.
+  // scenarios). May be changed between episodes. When the config carries an
+  // ObjectivePlan with fixed mixes or per-episode sampling, Reset re-derives the
+  // episode weights from the plan, overriding these calls (the scenario owns its
+  // objective assignment); scheduled switches always overlay whatever base weights
+  // the episode started with.
   void SetObjective(const WeightVector& w);
   void SetAgentObjective(int agent, const WeightVector& w);
   const WeightVector& agent_objective(int agent) const {
@@ -152,6 +209,9 @@ class MultiFlowCcEnv : public VectorEnv {
   }
   double agent_rate_bps(int agent) const;
   const MonitorReport& agent_last_report(int agent) const;
+  // Scheduled preference switches already applied this episode (resets to 0 on
+  // Reset) — lets tests and harnesses pin the switching step exactly.
+  int applied_switch_count() const { return static_cast<int>(next_switch_); }
   // Jain's fairness index over the started agents' last-MI delivered throughputs.
   double LastStepJainIndex() const;
   // Per-agent mean delivered throughput (bps) over [from_s, to_s) of the current
@@ -163,12 +223,24 @@ class MultiFlowCcEnv : public VectorEnv {
  private:
   std::vector<double> BuildObservation(int agent) const;
   double FairShareBps() const;
+  // Applies the plan's fixed/sampled weights for a fresh episode and rewinds the
+  // switch schedule.
+  void ApplyObjectivePlanForEpisode();
+  // Applies every scheduled switch due at the monitor interval starting now.
+  void ApplyDuePreferenceSwitches();
 
   MultiFlowCcEnvConfig config_;
   Rng rng_;
   bool cached_trace_valid_ = false;
   BandwidthTrace cached_trace_;
+  // Episode weights (what rewards and observations use) and the externally set base
+  // they rewind to each Reset — a mid-episode switch must not leak into the next
+  // episode, and plan-less envs must keep the historical "sticky SetObjective"
+  // behaviour.
   std::vector<WeightVector> weights_;
+  std::vector<WeightVector> base_weights_;
+  std::vector<PreferenceSwitch> switches_;  // config_.objectives.switches, time-sorted
+  size_t next_switch_ = 0;
   std::vector<MiHistoryTracker> histories_;
   LinkParams link_;
   std::unique_ptr<PacketNetwork> net_;

@@ -171,6 +171,70 @@ std::vector<Scenario> BuildCatalog() {
     s.competitor_schemes = {"cubic", "cubic"};
     catalog.push_back(std::move(s));
   }
+  // --- Heterogeneous-objective scenarios: different agents on ONE bottleneck want
+  // different throughput/latency/loss trade-offs, and preferences can change
+  // mid-episode — the multi-objective training counterpart of the paper's online
+  // adjustment story (§4.3) and DeepCC's application-driven case.
+  {
+    Scenario s;
+    s.name = "mixed-objective";
+    s.description =
+        "4 agents on one sampled bottleneck, alternating throughput-seekers "
+        "<0.8,0.1,0.1> and latency-seekers <0.1,0.8,0.1> — heterogeneous objectives "
+        "in contention";
+    s.num_agents = 4;
+    s.objectives.fixed = {ThroughputObjective(), LatencyObjective()};
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "sampled-objective";
+    s.description =
+        "3 agents whose weight vectors are resampled per episode, uniformly over "
+        "the floored simplex — preference-conditioning coverage under contention";
+    s.num_agents = 3;
+    s.objectives.sample_per_episode = true;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "preference-switch";
+    s.description =
+        "2 agents starting throughput-weighted; at t=8 s every agent switches to "
+        "the latency objective mid-episode — online preference adjustment";
+    s.num_agents = 2;
+    s.objectives.fixed = {ThroughputObjective()};
+    s.objectives.switches = {{/*time_s=*/8.0, /*agent=*/-1, LatencyObjective()}};
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "mixed-objective-rtt";
+    s.description =
+        "hetero-rtt ladder (0/10/25/50 ms) where the short-RTT flows seek "
+        "throughput and the long-RTT flows seek latency — objective and RTT "
+        "heterogeneity combined";
+    s.num_agents = 4;
+    s.agent_extra_delay_s = {0.0, 0.010, 0.025, 0.050};
+    s.objectives.fixed = {ThroughputObjective(), ThroughputObjective(),
+                          LatencyObjective(), LatencyObjective()};
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "mixed-objective-parking-lot";
+    s.description =
+        "3 agents crossing the 3-hop parking lot with throughput/latency/balanced "
+        "objectives and one CUBIC cross flow per hop — heterogeneous objectives on "
+        "a multi-bottleneck path";
+    s.num_agents = 3;
+    s.topology.kind = TopologyKind::kParkingLot;
+    s.topology.hops = 3;
+    s.competitor_schemes = {"cubic", "cubic", "cubic"};
+    s.objectives.fixed = {ThroughputObjective(), LatencyObjective(),
+                          BalancedObjective()};
+    catalog.push_back(std::move(s));
+  }
   return catalog;
 }
 
@@ -236,6 +300,7 @@ std::unique_ptr<MultiFlowCcEnv> Scenario::MakeMultiFlowEnv(const CcEnvConfig& ba
     config.competitors.push_back(std::move(competitor));
   }
   config.agent_stagger_s = agent_stagger_s;
+  config.objectives = objectives;
   config.history_len = base.history_len;
   config.action_scale = base.action_scale;
   config.step_rtt_multiple = base.mi_rtt_multiple;
@@ -335,9 +400,9 @@ std::optional<std::vector<Scenario>> ScenarioRegistry::ResolveList(
 
 void PrintScenarioCatalog(std::FILE* out) {
   for (const Scenario& s : ScenarioRegistry::Global().scenarios()) {
-    std::fprintf(out, "%-14s %s\n", s.name.c_str(), s.description.c_str());
+    std::fprintf(out, "%-28s %s\n", s.name.c_str(), s.description.c_str());
   }
-  std::fprintf(out, "%-14s %s\n", "mahimahi:PATH",
+  std::fprintf(out, "%-28s %s\n", "mahimahi:PATH",
                "single flow driven by the mahimahi trace file at PATH");
 }
 

@@ -1,7 +1,8 @@
 // Named, reproducible training/evaluation workloads — the scenario subsystem. A
 // Scenario describes everything that varies between workloads (link selection,
 // bandwidth trace, number of competing agents, competitor schemes, flow
-// arrival/departure schedule) and knows how to build the matching environment:
+// arrival/departure schedule, per-agent objective assignment) and knows how to
+// build the matching environment:
 // single-flow CcEnv scenarios train exactly like the paper's §5 setup, multi-flow
 // scenarios train N agents against a shared PacketNetwork bottleneck
 // (MultiFlowCcEnv). The global ScenarioRegistry names the built-in catalog (static
@@ -57,8 +58,16 @@ struct Scenario {
   double agent_stagger_s = 0.0;
   // Multi-flow reward capacity: fair share (bandwidth / active flows) vs full pipe.
   bool fair_share_reward = true;
+  // Heterogeneous per-agent objectives (multi-flow scenarios only): fixed mixes
+  // cycled over agents, per-episode sampled weight vectors (uniform over the
+  // floored simplex, from the env's seed-deterministic Rng), and scheduled
+  // mid-episode preference switches. See ObjectivePlan in multi_flow_cc_env.h.
+  ObjectivePlan objectives;
 
   bool IsMultiFlow() const { return num_agents > 1 || !competitor_schemes.empty(); }
+  // True when the scenario assigns objectives itself (trainers then skip their
+  // per-iteration SetObjective for its environments — the plan wins at Reset).
+  bool HasObjectivePlan() const { return !objectives.Empty(); }
 
   // Builds the scenario's environment, inheriting the non-scenario knobs (history
   // length, action scale, reward mode, ...) from `base`. Exactly one of these is

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "src/core/reward.h"
 #include "src/core/weight_vector.h"
 #include "src/envs/cc_env.h"
@@ -27,6 +28,63 @@ TEST(WeightVectorTest, SanitizedProjectsToOpenSimplex) {
   EXPECT_GT(w.thr, 0.85);  // floored onto the trained interior of the simplex
   const WeightVector ok = WeightVector(0.8, 0.1, 0.1).Sanitized();
   EXPECT_TRUE(ok.AlmostEquals(WeightVector(0.8, 0.1, 0.1), 1e-9));
+}
+
+TEST(WeightVectorTest, FloorPredicateMatchesTrainedRegion) {
+  EXPECT_TRUE(ThroughputObjective().IsWithinFloor());
+  EXPECT_TRUE(WeightVector(0.9, 0.05, 0.05).IsWithinFloor());
+  EXPECT_FALSE(WeightVector(0.98, 0.01, 0.01).IsWithinFloor());  // below the floor
+  EXPECT_FALSE(WeightVector(1.0, 0.0, 0.0).IsWithinFloor());     // boundary
+  EXPECT_FALSE(WeightVector(0.5, 0.4, 0.2).IsWithinFloor());     // not a simplex point
+  // Sanitized output always lands inside the region the predicate accepts.
+  EXPECT_TRUE(WeightVector(1.0, 0.0, 0.0).Sanitized().IsWithinFloor());
+}
+
+TEST(WeightVectorTest, ParseRejectsOutOfRegionWeightsWithClearError) {
+  WeightVector w;
+  std::string error;
+  // In-region triples parse exactly.
+  ASSERT_TRUE(ParseWeightVector("0.8,0.1,0.1", &w, &error)) << error;
+  EXPECT_DOUBLE_EQ(w.thr, 0.8);
+  EXPECT_DOUBLE_EQ(w.lat, 0.1);
+  EXPECT_DOUBLE_EQ(w.loss, 0.1);
+  ASSERT_TRUE(ParseWeightVector("0.05,0.05,0.9", &w, &error)) << error;
+  // Malformed text names the input.
+  EXPECT_FALSE(ParseWeightVector("0.8,0.1", &w, &error));
+  EXPECT_NE(error.find("0.8,0.1"), std::string::npos);
+  EXPECT_FALSE(ParseWeightVector("a,b,c", &w, &error));
+  EXPECT_FALSE(ParseWeightVector("0.8,0.1,0.1,0.0", &w, &error));
+  // Not summing to 1 is named as such.
+  EXPECT_FALSE(ParseWeightVector("0.5,0.1,0.1", &w, &error));
+  EXPECT_NE(error.find("sum"), std::string::npos);
+  // The paper's <1,0,0> is rejected — with guidance — rather than silently
+  // projected to <0.9,0.05,0.05>.
+  EXPECT_FALSE(ParseWeightVector("1,0,0", &w, &error));
+  EXPECT_NE(error.find("preference region"), std::string::npos);
+  EXPECT_NE(error.find("0.05"), std::string::npos);
+  EXPECT_FALSE(ParseWeightVector("0.98,0.01,0.01", &w, &error));
+  // Rejection leaves the output untouched.
+  const WeightVector before = w;
+  EXPECT_FALSE(ParseWeightVector("1,0,0", &w, &error));
+  EXPECT_TRUE(w.AlmostEquals(before));
+}
+
+TEST(WeightVectorTest, SampledWeightsAreFlooredSimplexPointsAndDeterministic) {
+  Rng rng_a(123);
+  Rng rng_b(123);
+  Rng rng_c(124);
+  bool c_differs = false;
+  for (int i = 0; i < 200; ++i) {
+    const WeightVector a = SampleWeightVector(&rng_a);
+    const WeightVector b = SampleWeightVector(&rng_b);
+    const WeightVector c = SampleWeightVector(&rng_c);
+    EXPECT_EQ(a.thr, b.thr);
+    EXPECT_EQ(a.lat, b.lat);
+    EXPECT_EQ(a.loss, b.loss);
+    EXPECT_TRUE(a.IsWithinFloor()) << a;
+    c_differs = c_differs || !a.AlmostEquals(c);
+  }
+  EXPECT_TRUE(c_differs) << "different seeds must produce different samples";
 }
 
 TEST(WeightVectorTest, DistanceAndEquality) {

@@ -230,6 +230,154 @@ TEST_F(MoccIntegrationTest, HigherThroughputWeightGrabsMoreBandwidth) {
   EXPECT_GT(ta, tp);
 }
 
+TEST_F(MoccIntegrationTest, LatencySeekersSeeLowerRttThanThroughputSeekersSharedLink) {
+  // The heterogeneous-objective acceptance gate: on ONE shared bottleneck, agents
+  // registered for latency must end up with a lower packet-weighted mean RTT than
+  // agents registered for throughput, and the throughput seekers must carry more
+  // traffic. The bandwidth oscillates (the Fig. 1a varying-link regime): on a
+  // constant link the shared droptail queue reaches a standing level every packet
+  // of every flow traverses alike, so per-flow delay CANNOT differ — the latency
+  // seekers earn their lower mean RTT by backing off during the queue-building
+  // phases, so their packets sample the queue when it is shallow. Median over
+  // three seeds, like the fairness gates.
+  struct ClassStats {
+    double thr_rtt_s = 0.0;
+    double lat_rtt_s = 0.0;
+    double thr_bps = 0.0;
+    double lat_bps = 0.0;
+  };
+  auto run_classes = [&](uint64_t seed) {
+    MultiFlowCcEnvConfig config;
+    LinkParams link;
+    link.bandwidth_bps = 12e6;
+    link.one_way_delay_s = 0.02;
+    link.queue_capacity_pkts = static_cast<int>(link.BdpPackets());
+    config.num_agents = 4;
+    config.fixed_link = link;
+    config.initial_rate_jitter = 0.0;
+    config.max_steps_per_episode = 1 << 20;
+    config.trace_generator = [](const LinkParams& l, Rng*) {
+      return BandwidthTrace::Oscillating(0.5 * l.bandwidth_bps, 1.5 * l.bandwidth_bps,
+                                         /*period_s=*/5.0, /*duration_s=*/130.0);
+    };
+    // Agents 0/2 seek throughput, agents 1/3 seek latency — the mixed-objective
+    // scenario shape pinned to a fixed oscillating link.
+    config.objectives.fixed = {ThroughputObjective(), LatencyObjective()};
+    MultiFlowCcEnv env(config, seed);
+    std::vector<std::vector<double>> obs = env.Reset();
+    std::vector<double> actions(4, 0.0);
+    std::vector<double> rtt_sum(4, 0.0);
+    std::vector<int> rtt_count(4, 0);
+    while (env.now_s() < 120.0) {
+      for (int i = 0; i < 4; ++i) {
+        actions[static_cast<size_t>(i)] = model_->ActionMean(obs[static_cast<size_t>(i)]);
+      }
+      VectorStepResult r = env.Step(actions);
+      obs = std::move(r.observations);
+      if (env.now_s() >= 40.0) {
+        for (int i = 0; i < 4; ++i) {
+          const MonitorReport& report = env.agent_last_report(i);
+          if (report.avg_rtt_s > 0.0) {
+            rtt_sum[static_cast<size_t>(i)] += report.avg_rtt_s;
+            rtt_count[static_cast<size_t>(i)] += 1;
+          }
+        }
+      }
+    }
+    const std::vector<double> throughputs = env.AgentAvgThroughputsBps(40.0, 120.0);
+    ClassStats stats;
+    for (int i = 0; i < 4; ++i) {
+      const size_t a = static_cast<size_t>(i);
+      const double rtt = rtt_count[a] > 0 ? rtt_sum[a] / rtt_count[a] : 0.0;
+      if (i % 2 == 0) {
+        stats.thr_rtt_s += rtt / 2.0;
+        stats.thr_bps += throughputs[a] / 2.0;
+      } else {
+        stats.lat_rtt_s += rtt / 2.0;
+        stats.lat_bps += throughputs[a] / 2.0;
+      }
+    }
+    return stats;
+  };
+  std::vector<ClassStats> runs = {run_classes(67), run_classes(71), run_classes(73)};
+  std::vector<double> rtt_gaps;
+  std::vector<double> thr_gaps;
+  for (const ClassStats& s : runs) {
+    std::cout << "[ hetero-objective ] thr-class " << s.thr_bps / 1e6 << " Mbps @ "
+              << s.thr_rtt_s * 1e3 << " ms, lat-class " << s.lat_bps / 1e6
+              << " Mbps @ " << s.lat_rtt_s * 1e3 << " ms\n";
+    rtt_gaps.push_back(s.thr_rtt_s - s.lat_rtt_s);
+    thr_gaps.push_back(s.thr_bps - s.lat_bps);
+  }
+  std::sort(rtt_gaps.begin(), rtt_gaps.end());
+  std::sort(thr_gaps.begin(), thr_gaps.end());
+  EXPECT_GT(rtt_gaps[1], 0.0)
+      << "latency-weighted agents must see lower mean RTT than throughput-weighted "
+         "agents on the shared bottleneck (median over seeds)";
+  EXPECT_GT(thr_gaps[1], 0.0)
+      << "throughput-weighted agents must carry more traffic (median over seeds)";
+}
+
+TEST_F(MoccIntegrationTest, PreferenceSwitchMovesTradeoffWithinOneEpisode) {
+  // The online-adjustment acceptance gate: a scheduled mid-episode switch from the
+  // throughput to the latency objective must measurably move the rate/RTT
+  // trade-off within the SAME episode — rate down AND RTT down after the switch,
+  // with no retraining and no environment reset.
+  MultiFlowCcEnvConfig config;
+  LinkParams link;
+  link.bandwidth_bps = 12e6;
+  link.one_way_delay_s = 0.02;
+  link.queue_capacity_pkts = static_cast<int>(link.BdpPackets());
+  config.num_agents = 2;
+  config.fixed_link = link;
+  config.initial_rate_jitter = 0.0;
+  config.max_steps_per_episode = 1 << 20;
+  config.objectives.fixed = {ThroughputObjective()};
+  config.objectives.switches = {{/*time_s=*/40.0, /*agent=*/-1, LatencyObjective()}};
+  MultiFlowCcEnv env(config, 83);
+  std::vector<std::vector<double>> obs = env.Reset();
+  std::vector<double> actions(2, 0.0);
+  // Windows clear of the switch transient: [20,40) throughput regime, [60,80)
+  // latency regime.
+  double pre_rtt = 0.0, post_rtt = 0.0;
+  int pre_n = 0, post_n = 0;
+  while (env.now_s() < 80.0) {
+    for (int i = 0; i < 2; ++i) {
+      actions[static_cast<size_t>(i)] = model_->ActionMean(obs[static_cast<size_t>(i)]);
+    }
+    VectorStepResult r = env.Step(actions);
+    obs = std::move(r.observations);
+    for (int i = 0; i < 2; ++i) {
+      const MonitorReport& report = env.agent_last_report(i);
+      if (report.avg_rtt_s <= 0.0) {
+        continue;
+      }
+      if (env.now_s() >= 20.0 && env.now_s() < 40.0) {
+        pre_rtt += report.avg_rtt_s;
+        ++pre_n;
+      } else if (env.now_s() >= 60.0) {
+        post_rtt += report.avg_rtt_s;
+        ++post_n;
+      }
+    }
+  }
+  ASSERT_GT(pre_n, 0);
+  ASSERT_GT(post_n, 0);
+  pre_rtt /= pre_n;
+  post_rtt /= post_n;
+  const std::vector<double> pre_window = env.AgentAvgThroughputsBps(20.0, 40.0);
+  const std::vector<double> post_window = env.AgentAvgThroughputsBps(60.0, 80.0);
+  const double pre_bps = pre_window[0] + pre_window[1];
+  const double post_bps = post_window[0] + post_window[1];
+  std::cout << "[ preference-switch ] pre " << pre_bps / 1e6 << " Mbps @ "
+            << pre_rtt * 1e3 << " ms -> post " << post_bps / 1e6 << " Mbps @ "
+            << post_rtt * 1e3 << " ms\n";
+  EXPECT_EQ(env.applied_switch_count(), 1);
+  EXPECT_LT(post_rtt, pre_rtt) << "switching to the latency objective must drain queueing";
+  EXPECT_LT(post_bps, pre_bps)
+      << "the latency objective trades rate for delay (Eq. 2 weighting)";
+}
+
 TEST_F(MoccIntegrationTest, OnlineAdaptationDoesNotForgetOldObjective) {
   // Reduced-scale Figure 7b: adapt a clone to a new objective with requirement replay
   // and verify the old objective's policy survives.

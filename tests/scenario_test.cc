@@ -644,6 +644,248 @@ TEST(ScenarioTrainingTest, SingleSlotStillTrainsEveryObjectiveViaWaves) {
   EXPECT_EQ(trainer2.slot_count(), 3);
 }
 
+TEST(HeterogeneousObjectiveTest, CatalogCarriesObjectivePlans) {
+  const ScenarioRegistry& registry = ScenarioRegistry::Global();
+  const Scenario* mixed = registry.Find("mixed-objective");
+  ASSERT_NE(mixed, nullptr);
+  EXPECT_TRUE(mixed->IsMultiFlow());
+  EXPECT_TRUE(mixed->HasObjectivePlan());
+  EXPECT_EQ(mixed->objectives.fixed.size(), 2u);
+  EXPECT_TRUE(mixed->objectives.OverridesEpisodeWeights());
+
+  const Scenario* sampled = registry.Find("sampled-objective");
+  ASSERT_NE(sampled, nullptr);
+  EXPECT_TRUE(sampled->objectives.sample_per_episode);
+  EXPECT_TRUE(sampled->objectives.OverridesEpisodeWeights());
+
+  const Scenario* sw = registry.Find("preference-switch");
+  ASSERT_NE(sw, nullptr);
+  ASSERT_EQ(sw->objectives.switches.size(), 1u);
+  EXPECT_DOUBLE_EQ(sw->objectives.switches[0].time_s, 8.0);
+  EXPECT_LT(sw->objectives.switches[0].agent, 0);  // every agent
+  EXPECT_TRUE(sw->objectives.switches[0].to.AlmostEquals(LatencyObjective()));
+
+  const Scenario* rtt = registry.Find("mixed-objective-rtt");
+  ASSERT_NE(rtt, nullptr);
+  EXPECT_EQ(rtt->agent_extra_delay_s.size(), 4u);
+  EXPECT_EQ(rtt->objectives.fixed.size(), 4u);
+
+  const Scenario* lot = registry.Find("mixed-objective-parking-lot");
+  ASSERT_NE(lot, nullptr);
+  EXPECT_EQ(lot->topology.kind, TopologyKind::kParkingLot);
+  EXPECT_EQ(lot->objectives.fixed.size(), 3u);
+
+  // Plan-less scenarios keep reporting no plan (the homogeneous default).
+  EXPECT_FALSE(registry.Find("many-flow")->HasObjectivePlan());
+}
+
+TEST(HeterogeneousObjectiveTest, FixedMixesCycleOverAgentsAndOverrideSetObjective) {
+  const Scenario* mixed = ScenarioRegistry::Global().Find("mixed-objective");
+  ASSERT_NE(mixed, nullptr);
+  auto env = mixed->MakeMultiFlowEnv(BaseEnvConfig(), 33);
+  // The scenario owns its objectives: an external SetObjective call is overridden
+  // by the plan on the next Reset.
+  env->SetObjective(BalancedObjective());
+  const auto obs = env->Reset();
+  const WeightVector thr = ThroughputObjective().Sanitized();
+  const WeightVector lat = LatencyObjective().Sanitized();
+  ASSERT_EQ(obs.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const WeightVector& expected = (i % 2 == 0) ? thr : lat;
+    EXPECT_TRUE(env->agent_objective(i).AlmostEquals(expected)) << "agent " << i;
+    // The preference prefix in the observation is the per-agent weight vector.
+    EXPECT_DOUBLE_EQ(obs[static_cast<size_t>(i)][0], expected.thr) << "agent " << i;
+    EXPECT_DOUBLE_EQ(obs[static_cast<size_t>(i)][1], expected.lat) << "agent " << i;
+    EXPECT_DOUBLE_EQ(obs[static_cast<size_t>(i)][2], expected.loss) << "agent " << i;
+  }
+}
+
+TEST(HeterogeneousObjectiveTest, PerEpisodeSamplingIsSeedReproducibleAndFloored) {
+  const Scenario* sampled = ScenarioRegistry::Global().Find("sampled-objective");
+  ASSERT_NE(sampled, nullptr);
+  auto weights_of = [](MultiFlowCcEnv* env) {
+    std::vector<WeightVector> weights;
+    for (int i = 0; i < env->NumAgents(); ++i) {
+      weights.push_back(env->agent_objective(i));
+    }
+    return weights;
+  };
+  auto env_a = sampled->MakeMultiFlowEnv(BaseEnvConfig(), 71);
+  auto env_b = sampled->MakeMultiFlowEnv(BaseEnvConfig(), 71);
+  auto env_c = sampled->MakeMultiFlowEnv(BaseEnvConfig(), 72);
+  env_a->Reset();
+  env_b->Reset();
+  env_c->Reset();
+  const auto first_a = weights_of(env_a.get());
+  const auto first_b = weights_of(env_b.get());
+  const auto first_c = weights_of(env_c.get());
+  ASSERT_EQ(first_a.size(), 3u);
+  bool all_equal_c = true;
+  for (size_t i = 0; i < first_a.size(); ++i) {
+    // Same seed -> bit-identical sampled objectives; they are real simplex points
+    // inside the trained preference region.
+    EXPECT_EQ(first_a[i].thr, first_b[i].thr) << i;
+    EXPECT_EQ(first_a[i].lat, first_b[i].lat) << i;
+    EXPECT_EQ(first_a[i].loss, first_b[i].loss) << i;
+    EXPECT_TRUE(first_a[i].IsWithinFloor()) << first_a[i];
+    all_equal_c = all_equal_c && first_a[i].AlmostEquals(first_c[i]);
+  }
+  EXPECT_FALSE(all_equal_c) << "different seeds must sample different objectives";
+  // Every episode resamples (fresh preferences, still from the env's own stream).
+  env_a->Reset();
+  const auto second_a = weights_of(env_a.get());
+  bool resampled = false;
+  for (size_t i = 0; i < first_a.size(); ++i) {
+    resampled = resampled || !first_a[i].AlmostEquals(second_a[i]);
+  }
+  EXPECT_TRUE(resampled) << "second episode must draw fresh objectives";
+}
+
+TEST(HeterogeneousObjectiveTest, ScheduledSwitchFlipsRewardWeightsAndObsPrefix) {
+  const Scenario* scenario = ScenarioRegistry::Global().Find("preference-switch");
+  ASSERT_NE(scenario, nullptr);
+  auto env = scenario->MakeMultiFlowEnv(BaseEnvConfig(), 41);
+  env->Reset();
+  const WeightVector thr = ThroughputObjective().Sanitized();
+  const WeightVector lat = LatencyObjective().Sanitized();
+  const double switch_time_s = scenario->objectives.switches[0].time_s;
+  std::vector<double> actions(2, 0.0);
+  bool saw_pre_switch_step = false;
+  while (env->now_s() < switch_time_s + 5.0 * env->step_duration_s()) {
+    const bool pre_switch = env->now_s() < switch_time_s;
+    if (pre_switch) {
+      saw_pre_switch_step = true;
+      EXPECT_EQ(env->applied_switch_count(), 0);
+      EXPECT_TRUE(env->agent_objective(0).AlmostEquals(thr));
+    }
+    const VectorStepResult r = env->Step(actions);
+    if (!pre_switch) {
+      // The step whose monitor interval starts at/after the scheduled time — and
+      // every later one — rewards and observes under the new preference.
+      EXPECT_EQ(env->applied_switch_count(), 1);
+      for (int i = 0; i < 2; ++i) {
+        EXPECT_TRUE(env->agent_objective(i).AlmostEquals(lat)) << "agent " << i;
+        EXPECT_DOUBLE_EQ(r.observations[static_cast<size_t>(i)][0], lat.thr);
+        EXPECT_DOUBLE_EQ(r.observations[static_cast<size_t>(i)][1], lat.lat);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_pre_switch_step);
+  // The switch does not leak across episodes: Reset rewinds to the plan's base.
+  env->Reset();
+  EXPECT_EQ(env->applied_switch_count(), 0);
+  EXPECT_TRUE(env->agent_objective(0).AlmostEquals(thr));
+  EXPECT_TRUE(env->agent_objective(1).AlmostEquals(thr));
+}
+
+// The heterogeneous-objective determinism property: mixed-objective, scheduled-
+// switch and per-episode-sampled scenarios collect bit-identically whether the
+// per-source tasks run serially on the calling thread or on the shared ThreadPool
+// (per-episode sampling draws from each env's own Rng, so scheduling cannot
+// reorder the draws).
+TEST(HeterogeneousObjectiveTest, MixedObjectiveCollectionSerialVsPoolBitIdentical) {
+  auto collect = [](bool parallel) {
+    MoccConfig mocc;
+    Rng rng(29);
+    PreferenceActorCritic model(mocc, &rng);
+    PpoTrainer trainer(&model, mocc.MakePpoConfig(31));
+    trainer.set_parallel_collection(parallel);
+
+    std::string error;
+    const auto scenarios = ScenarioRegistry::Global().ResolveList(
+        "mixed-objective,preference-switch,sampled-objective", &error);
+    EXPECT_TRUE(scenarios.has_value()) << error;
+    std::vector<std::unique_ptr<MultiFlowCcEnv>> envs;
+    std::vector<PpoTrainer::RolloutSource> sources;
+    uint64_t seed = 300;
+    for (const Scenario& scenario : *scenarios) {
+      envs.push_back(scenario.MakeMultiFlowEnv(BaseEnvConfig(), seed++));
+      PpoTrainer::RolloutSource source;
+      source.vec = envs.back().get();
+      sources.push_back(source);
+    }
+    return trainer.CollectSourcesParallel(sources, 48);
+  };
+  const auto pool = collect(true);
+  const auto serial = collect(false);
+  ASSERT_EQ(pool.size(), serial.size());
+  ASSERT_EQ(pool.size(), 4u + 2u + 3u);  // mixed + switch + sampled
+  for (size_t b = 0; b < pool.size(); ++b) {
+    ASSERT_EQ(pool[b].size(), serial[b].size());
+    for (size_t i = 0; i < pool[b].size(); ++i) {
+      ASSERT_EQ(pool[b].transitions[i].action, serial[b].transitions[i].action);
+      ASSERT_EQ(pool[b].transitions[i].reward, serial[b].transitions[i].reward);
+      ASSERT_EQ(pool[b].advantages[i], serial[b].advantages[i]);
+      ASSERT_EQ(pool[b].returns[i], serial[b].returns[i]);
+      // The collected observations carry per-agent preference prefixes.
+      ASSERT_EQ(pool[b].transitions[i].observation[0],
+                serial[b].transitions[i].observation[0]);
+    }
+  }
+}
+
+TEST(HeterogeneousObjectiveTest, ObjectivePlanEnvsKeepDistinctPrefixesInRollouts) {
+  // The trajectories feeding the joint PPO update really are heterogeneous: the
+  // mixed-objective env's buffers carry each agent's own weight prefix.
+  MoccConfig mocc;
+  Rng rng(37);
+  PreferenceActorCritic model(mocc, &rng);
+  PpoTrainer trainer(&model, mocc.MakePpoConfig(39));
+  const Scenario* mixed = ScenarioRegistry::Global().Find("mixed-objective");
+  ASSERT_NE(mixed, nullptr);
+  auto env = mixed->MakeMultiFlowEnv(BaseEnvConfig(), 43);
+  const auto buffers = trainer.CollectVectorRollout(env.get(), 32);
+  ASSERT_EQ(buffers.size(), 4u);
+  const WeightVector thr = ThroughputObjective().Sanitized();
+  const WeightVector lat = LatencyObjective().Sanitized();
+  for (int i = 0; i < 4; ++i) {
+    const WeightVector& expected = (i % 2 == 0) ? thr : lat;
+    for (const Transition& t : buffers[static_cast<size_t>(i)].transitions) {
+      ASSERT_DOUBLE_EQ(t.observation[0], expected.thr) << "agent " << i;
+      ASSERT_DOUBLE_EQ(t.observation[1], expected.lat) << "agent " << i;
+    }
+  }
+}
+
+TEST(HeterogeneousObjectiveTest, OfflineTrainerRunsMixedObjectiveScenarios) {
+  // The acceptance path: OfflineTrainer --scenario mixed-objective trains (small
+  // budget), reproducibly, with the plan's heterogeneous weights intact — the
+  // trainer's per-iteration objective assignment must not clobber the plan.
+  OfflineTrainConfig config;
+  config.seed = 61;
+  config.bootstrap_iterations = 2;
+  config.traversal_rounds = 0;
+  config.parallel_envs = 2;
+  config.mocc.landmark_step_divisor = 3;
+  std::string error;
+  const auto scenarios = ScenarioRegistry::Global().ResolveList(
+      "mixed-objective,preference-switch", &error);
+  ASSERT_TRUE(scenarios.has_value()) << error;
+  config.scenarios = *scenarios;
+
+  auto run = [&config] {
+    Rng rng(config.seed);
+    auto model = std::make_shared<PreferenceActorCritic>(config.mocc, &rng);
+    OfflineTrainer trainer(model.get(), config);
+    const OfflineTrainResult result = trainer.TrainTwoPhase();
+    return std::make_pair(result, model);
+  };
+  const auto [result, model] = run();
+  EXPECT_EQ(result.total_iterations, 2);
+  for (double reward : result.reward_curve) {
+    EXPECT_TRUE(std::isfinite(reward));
+    EXPECT_GE(reward, 0.0);
+    EXPECT_LE(reward, 1.0);
+  }
+  const auto [result2, model2] = run();
+  ASSERT_EQ(result.reward_curve.size(), result2.reward_curve.size());
+  for (size_t i = 0; i < result.reward_curve.size(); ++i) {
+    EXPECT_EQ(result.reward_curve[i], result2.reward_curve[i]) << "iteration " << i;
+  }
+  std::vector<double> obs(config.mocc.ObsDim(), 0.2);
+  EXPECT_EQ(model->ActionMean(obs), model2->ActionMean(obs));
+}
+
 TEST(ScenarioTrainingTest, OfflineTrainerRunsScenarioSampledIterations) {
   OfflineTrainConfig config;
   config.seed = 19;

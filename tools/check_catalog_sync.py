@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Checks that the README scenario-catalog table and the built binary agree.
+
+The README documents the scenario catalog as a markdown table and the binary
+prints it via `mocc_simulate --list-scenarios`; both are edited by hand in
+different PR hunks, so they drift unless a machine compares them. This script
+extracts the scenario names from each side and fails (exit 1) listing any
+name present in only one of them.
+
+Usage:
+  tools/check_catalog_sync.py --binary build/mocc_simulate [--readme README.md]
+
+No dependencies beyond the standard library; wired into the CI build-test job.
+"""
+import argparse
+import re
+import subprocess
+import sys
+
+
+def readme_scenario_names(readme_path):
+    """Scenario names from the catalog table: rows whose first cell is `name`."""
+    names = set()
+    in_catalog = False
+    with open(readme_path, encoding="utf-8") as readme:
+        for line in readme:
+            if line.startswith("## "):
+                in_catalog = line.strip() == "## Scenario catalog"
+                continue
+            if not in_catalog:
+                continue
+            match = re.match(r"\|\s*`([^`]+)`\s*\|", line)
+            if match:
+                names.add(match.group(1))
+    return names
+
+
+def catalog_scenario_names(binary_path):
+    """Scenario names from `--list-scenarios`: first token of every line."""
+    result = subprocess.run(
+        [binary_path, "--list-scenarios"],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    names = set()
+    for line in result.stdout.splitlines():
+        fields = line.split()
+        if fields:
+            names.add(fields[0])
+    return names
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True,
+                        help="path to the built mocc_simulate")
+    parser.add_argument("--readme", default="README.md",
+                        help="path to the README with the catalog table")
+    args = parser.parse_args()
+
+    documented = readme_scenario_names(args.readme)
+    built = catalog_scenario_names(args.binary)
+    if not documented:
+        print(f"error: no catalog table rows found in {args.readme} "
+              "(is the '## Scenario catalog' section intact?)", file=sys.stderr)
+        return 1
+    if not built:
+        print("error: --list-scenarios printed no scenarios", file=sys.stderr)
+        return 1
+
+    missing_from_readme = sorted(built - documented)
+    missing_from_binary = sorted(documented - built)
+    if missing_from_readme:
+        print("scenarios in --list-scenarios but missing from the README "
+              f"catalog table: {', '.join(missing_from_readme)}", file=sys.stderr)
+    if missing_from_binary:
+        print("scenarios documented in the README catalog table but unknown to "
+              f"--list-scenarios: {', '.join(missing_from_binary)}", file=sys.stderr)
+    if missing_from_readme or missing_from_binary:
+        print("fix: update the '## Scenario catalog' table in README.md and/or "
+              "the catalog in src/envs/scenario.cc", file=sys.stderr)
+        return 1
+    print(f"catalog in sync: {len(built)} scenarios documented and built")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

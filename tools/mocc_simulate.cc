@@ -1,22 +1,40 @@
 // mocc_simulate — runs one congestion-control scheme on a configured bottleneck link in
 // the packet-level simulator and prints a per-second CSV timeline (throughput, RTT,
-// loss), suitable for plotting. With --scenario, the link, trace, flow count and
-// competitor flows come from the named scenario instead (the scheme drives every
-// agent flow), and per-flow totals plus the agents' Jain index are reported.
+// loss), suitable for plotting. With --scenario, the link, trace, topology, flow count,
+// competitor flows and per-agent objective assignment come from the named scenario
+// instead (the scheme drives every agent flow), and per-flow totals plus the agents'
+// Jain index are reported.
+//
+// Heterogeneous objectives & online preference switching (MOCC flows only):
+//   --objectives assigns a different weight vector to each agent flow (cycled),
+//   overriding the scenario's objective plan; --switch schedules mid-run preference
+//   changes applied to the live controllers through SetObservationPrefix — the
+//   paper's online adjustment, no retraining or restart. The final report decomposes
+//   each agent's steady-state behaviour into the Eq. (2) reward components
+//   (O_thr/O_lat/O_loss) under its own weight vector and prints Jain fairness within
+//   each objective class (flows wanting the same trade-off should share fairly;
+//   flows wanting different trade-offs deliberately should not).
+//
+// Weight vectors are validated strictly at this entry point: components must sum to 1
+// and each must be at least kWeightVectorFloor (0.05) — out-of-region requirements are
+// rejected with an error instead of silently projected (see src/core/weight_vector.h).
 //
 // Usage:
 //   mocc_simulate --scheme NAME [--model PATH] [--weights T,L,S] [--bw MBPS] [--owd MS]
 //                 [--queue PKTS] [--loss FRAC] [--duration S] [--seed N]
 //                 [--mahimahi TRACE] [--scenario NAME] [--list-scenarios]
-//                 [--precision double|float32]
+//                 [--precision double|float32] [--objectives T,L,S[;T,L,S...]]
+//                 [--switch TIME:T,L,S]...
 //
 //   NAME in {mocc, cubic, newreno, vegas, bbr, copa, allegro, vivace}
 //   --precision float32 runs MOCC's per-MI inference through the frozen float32
 //   deployment replica (src/rl/inference_policy.h) instead of the double path.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,8 +42,54 @@
 #include "src/common/stats.h"
 #include "src/core/mocc_cc.h"
 #include "src/core/preference_model.h"
+#include "src/core/reward.h"
 #include "src/envs/scenario.h"
 #include "src/netsim/packet_network.h"
+
+namespace {
+
+using namespace mocc;
+
+// One scheduled mid-run preference change (flow < 0 = every agent flow).
+struct SwitchEvent {
+  double time_s = 0.0;
+  int flow = -1;
+  WeightVector to;
+};
+
+// Steady-state aggregates of one flow over [from_s, to_s).
+struct WindowStats {
+  double throughput_bps = 0.0;
+  double avg_rtt_s = 0.0;
+  double loss_rate = 0.0;
+};
+
+WindowStats MeasureWindow(const FlowRecord& rec, double from_s, double to_s) {
+  WindowStats stats;
+  stats.throughput_bps = rec.AvgThroughputBps(from_s, to_s);
+  double rtt_sum = 0.0;
+  double loss_sum = 0.0;
+  int count = 0;
+  for (const auto& mi : rec.mi_samples()) {
+    if (mi.time_s >= from_s && mi.time_s < to_s) {
+      rtt_sum += mi.avg_rtt_s;
+      loss_sum += mi.loss_rate;
+      ++count;
+    }
+  }
+  if (count > 0) {
+    stats.avg_rtt_s = rtt_sum / count;
+    stats.loss_rate = loss_sum / count;
+  } else {
+    // No monitor interval completed inside the window (long-RTT flows stretch their
+    // MIs); fall back to the whole-run mean rather than reporting a 0 ms RTT.
+    stats.avg_rtt_s = rec.AvgRttS();
+    stats.loss_rate = rec.LossRate();
+  }
+  return stats;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mocc;
@@ -34,6 +98,8 @@ int main(int argc, char** argv) {
   std::string mahimahi_path;
   std::string scenario_name;
   WeightVector weights = ThroughputObjective();
+  std::vector<WeightVector> objective_list;  // --objectives, cycled over agent flows
+  std::vector<SwitchEvent> switches;         // --switch plus the scenario's plan
   LinkParams link;
   link.bandwidth_bps = 20e6;
   link.one_way_delay_s = 0.020;
@@ -57,14 +123,56 @@ int main(int argc, char** argv) {
     } else if (arg == "--model") {
       model_path = next();
     } else if (arg == "--weights") {
-      double t = 0.0;
-      double l = 0.0;
-      double s = 0.0;
-      if (std::sscanf(next(), "%lf,%lf,%lf", &t, &l, &s) != 3) {
-        std::fprintf(stderr, "--weights expects T,L,S\n");
+      std::string error;
+      if (!ParseWeightVector(next(), &weights, &error)) {
+        std::fprintf(stderr, "--weights: %s\n", error.c_str());
         return 2;
       }
-      weights = WeightVector(t, l, s);
+    } else if (arg == "--objectives") {
+      // Semicolon-separated weight triples; agent flow i gets entry i % size.
+      const std::string spec = next();
+      size_t begin = 0;
+      while (begin <= spec.size()) {
+        size_t end = spec.find(';', begin);
+        if (end == std::string::npos) {
+          end = spec.size();
+        }
+        const std::string triple = spec.substr(begin, end - begin);
+        if (!triple.empty()) {
+          WeightVector w;
+          std::string error;
+          if (!ParseWeightVector(triple, &w, &error)) {
+            std::fprintf(stderr, "--objectives: %s\n", error.c_str());
+            return 2;
+          }
+          objective_list.push_back(w);
+        }
+        begin = end + 1;
+      }
+      if (objective_list.empty()) {
+        std::fprintf(stderr, "--objectives: empty objective list\n");
+        return 2;
+      }
+    } else if (arg == "--switch") {
+      // TIME:T,L,S — at TIME seconds, every agent flow switches to <T,L,S>.
+      const std::string spec = next();
+      const size_t colon = spec.find(':');
+      SwitchEvent sw;
+      bool time_ok = false;
+      if (colon != std::string::npos && colon > 0) {
+        const std::string time_text = spec.substr(0, colon);
+        char* time_end = nullptr;
+        sw.time_s = std::strtod(time_text.c_str(), &time_end);
+        time_ok = time_end != nullptr && *time_end == '\0';
+      }
+      std::string error;
+      if (!time_ok ||
+          !ParseWeightVector(spec.substr(colon + 1), &sw.to, &error)) {
+        std::fprintf(stderr, "--switch expects TIME:T,L,S%s%s\n",
+                     error.empty() ? "" : " — ", error.c_str());
+        return 2;
+      }
+      switches.push_back(sw);
     } else if (arg == "--bw") {
       link.bandwidth_bps = std::atof(next()) * 1e6;
       link_flags_given = true;
@@ -102,7 +210,14 @@ int main(int argc, char** argv) {
           "                     [--bw MBPS] [--owd MS] [--queue PKTS] [--loss FRAC]\n"
           "                     [--duration S] [--seed N] [--mahimahi TRACE]\n"
           "                     [--scenario NAME] [--list-scenarios]\n"
-          "                     [--precision double|float32]\n");
+          "                     [--precision double|float32]\n"
+          "                     [--objectives T,L,S[;T,L,S...]] [--switch TIME:T,L,S]\n"
+          "\n"
+          "  --objectives assigns agent flow i the i%%N-th weight triple (MOCC only),\n"
+          "  overriding the scenario's objective plan; --switch (repeatable)\n"
+          "  schedules an online preference change for every agent flow at TIME s.\n"
+          "  Weight triples must sum to 1 with every component >= 0.05 (the trained\n"
+          "  preference region); out-of-region triples are rejected, not clamped.\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());
@@ -110,7 +225,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Scenario selection (link/trace/flow schedule come from the catalog).
+  // Scenario selection (link/trace/flow schedule/objective plan come from the catalog).
   std::optional<Scenario> scenario;
   if (!scenario_name.empty()) {
     std::string error;
@@ -153,13 +268,47 @@ int main(int argc, char** argv) {
   if (float32_inference && scheme != "mocc") {
     std::fprintf(stderr, "warning: --precision float32 only affects --scheme mocc\n");
   }
-  auto make_scheme = [&]() -> std::unique_ptr<CongestionControl> {
-    if (scheme == "mocc") {
-      return MakeMoccCc(model, weights, "MOCC", std::max(2e6, 0.25 * link.bandwidth_bps),
-                        float32_inference);
+
+  const int num_agents = scenario.has_value() ? scenario->num_agents : 1;
+
+  // Per-agent objective assignment, in override order: --weights for everyone, then
+  // the scenario's objective plan (fixed mixes cycled / per-episode sample), then an
+  // explicit --objectives list. Only MOCC consumes weights; other schemes warn.
+  std::vector<WeightVector> agent_weights(static_cast<size_t>(num_agents), weights);
+  if (scenario.has_value() && scenario->HasObjectivePlan()) {
+    const ObjectivePlan& plan = scenario->objectives;
+    // The env's own episode-weight derivation, so the weights this report prints
+    // are provably the weights the scenario trains with.
+    agent_weights =
+        plan.EpisodeWeights(num_agents, std::move(agent_weights), &rng);
+    // An explicit --objectives overrides the WHOLE plan, scheduled switches
+    // included — otherwise the plan would silently discard the user's requested
+    // weights mid-run. The user's own --switch flags still apply.
+    if (objective_list.empty()) {
+      for (const PreferenceSwitch& sw : plan.switches) {
+        switches.push_back({sw.time_s, sw.agent, sw.to});
+      }
     }
-    return MakeBaselineCc(scheme);
-  };
+  }
+  if (!objective_list.empty()) {
+    if (scenario.has_value() && scenario->HasObjectivePlan()) {
+      std::fprintf(stderr,
+                   "warning: --objectives overrides the scenario's objective plan\n");
+    }
+    for (int i = 0; i < num_agents; ++i) {
+      agent_weights[static_cast<size_t>(i)] =
+          objective_list[static_cast<size_t>(i) % objective_list.size()];
+    }
+  }
+  if (scheme != "mocc" && (!objective_list.empty() || !switches.empty())) {
+    std::fprintf(stderr,
+                 "warning: --objectives/--switch only affect --scheme mocc\n");
+    switches.clear();
+  }
+  std::stable_sort(switches.begin(), switches.end(),
+                   [](const SwitchEvent& a, const SwitchEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
 
   // The scenario's topology (dumbbell unless it names a parking lot or a
   // congested reverse path) built from the resolved link, with the same path
@@ -184,8 +333,22 @@ int main(int argc, char** argv) {
 
   std::vector<int> agent_flows;
   std::vector<int> competitor_flows;
-  const int num_agents = scenario.has_value() ? scenario->num_agents : 1;
+  // MOCC controllers stay addressable for online preference switching (owned by net).
+  std::vector<RlRateController*> agent_controllers;
+  std::vector<double> agent_extra_delay(static_cast<size_t>(num_agents), 0.0);
   const FlowPathSpec agent_paths = AgentPath(topology_spec);
+  // Initial rate, the Eq. (1) update's slow-start analogue: a quarter of the pipe for
+  // a lone flow (the historical heuristic), but a conservative half of the per-flow
+  // fair share under contention — N flows each starting at 0.25x of a slow training
+  // link would bury a 3000-packet queue seconds deep before the first MI completes.
+  const int scenario_flow_count =
+      num_agents + static_cast<int>(
+                       scenario.has_value() ? scenario->competitor_schemes.size() : 0);
+  const double initial_rate_bps =
+      scenario_flow_count > 1
+          ? std::max(0.1e6, 0.5 * link.bandwidth_bps /
+                                static_cast<double>(scenario_flow_count))
+          : std::max(2e6, 0.25 * link.bandwidth_bps);
   for (int i = 0; i < num_agents; ++i) {
     FlowOptions options;
     options.start_time_s =
@@ -196,8 +359,18 @@ int main(int argc, char** argv) {
       options.extra_one_way_delay_s =
           scenario->agent_extra_delay_s[static_cast<size_t>(i) %
                                         scenario->agent_extra_delay_s.size()];
+      agent_extra_delay[static_cast<size_t>(i)] = options.extra_one_way_delay_s;
     }
-    agent_flows.push_back(net.AddFlow(make_scheme(), options));
+    std::unique_ptr<CongestionControl> cc;
+    if (scheme == "mocc") {
+      auto controller = MakeMoccCc(model, agent_weights[static_cast<size_t>(i)], "MOCC",
+                                   initial_rate_bps, float32_inference);
+      agent_controllers.push_back(controller.get());
+      cc = std::move(controller);
+    } else {
+      cc = MakeBaselineCc(scheme);
+    }
+    agent_flows.push_back(net.AddFlow(std::move(cc), options));
   }
   if (scenario.has_value()) {
     int competitor_index = 0;
@@ -212,6 +385,36 @@ int main(int argc, char** argv) {
     }
   }
   const int flow = agent_flows.front();
+
+  // Segmented run: advance to each scheduled switch, apply the new preference to the
+  // live controllers (SetObservationPrefix — the online adjustment, no restart),
+  // then continue. Phase boundaries are kept for the phase report below.
+  std::vector<double> phase_boundaries;
+  for (const SwitchEvent& sw : switches) {
+    if (sw.time_s <= 0.0 || sw.time_s >= duration) {
+      std::fprintf(stderr,
+                   "warning: switch @ %.1fs -> %s is outside (0, %.1fs) and will "
+                   "not fire\n",
+                   sw.time_s, sw.to.ToString().c_str(), duration);
+      continue;
+    }
+    net.Run(sw.time_s);
+    for (int i = 0; i < num_agents; ++i) {
+      if (sw.flow >= 0 && sw.flow != i) {
+        continue;
+      }
+      const WeightVector to = sw.to.Sanitized();
+      agent_controllers[static_cast<size_t>(i)]->SetObservationPrefix(
+          {to.thr, to.lat, to.loss});
+      agent_weights[static_cast<size_t>(i)] = to;
+    }
+    std::fprintf(stderr, "switch @ %.1fs: %s -> %s\n", sw.time_s,
+                 sw.flow < 0 ? "all agent flows" : "agent flow",
+                 sw.to.ToString().c_str());
+    if (phase_boundaries.empty() || phase_boundaries.back() != sw.time_s) {
+      phase_boundaries.push_back(sw.time_s);
+    }
+  }
   net.Run(duration);
 
   const FlowRecord& rec = net.record(flow);
@@ -237,23 +440,90 @@ int main(int argc, char** argv) {
                static_cast<long long>(rec.total_sent),
                static_cast<long long>(rec.total_acked),
                static_cast<long long>(rec.total_lost), rec.AvgRttS() * 1e3);
-  if (agent_flows.size() + competitor_flows.size() > 1) {
-    // Steady-state per-flow summary (second half of the run) plus the agents' Jain
-    // fairness index — the scenario's multi-flow report.
+
+  // Phase report (only when switches fired): per-flow throughput/RTT in each phase,
+  // so a preference switch's rate/RTT movement is visible within one run.
+  if (!phase_boundaries.empty()) {
+    std::vector<double> edges = {0.0};
+    edges.insert(edges.end(), phase_boundaries.begin(), phase_boundaries.end());
+    edges.push_back(duration);
+    for (size_t p = 0; p + 1 < edges.size(); ++p) {
+      std::fprintf(stderr, "phase [%.1fs, %.1fs):\n", edges[p], edges[p + 1]);
+      for (size_t i = 0; i < agent_flows.size(); ++i) {
+        const WindowStats stats =
+            MeasureWindow(net.record(agent_flows[i]), edges[p], edges[p + 1]);
+        std::fprintf(stderr, "  agent flow %d: %.3f Mbps, avg_rtt=%.1fms\n",
+                     agent_flows[i], stats.throughput_bps / 1e6,
+                     stats.avg_rtt_s * 1e3);
+      }
+    }
+  }
+
+  // Steady-state per-flow report (second half of the run). MOCC agent flows get the
+  // Eq. (2) decomposition under their own weight vector: the capacity reference is
+  // the per-flow fair share of the configured bottleneck (bandwidth over all flows
+  // added — the same simplification MultiFlowCcEnv trains against), the latency
+  // reference each flow's own propagation RTT.
+  const double steady_from = duration / 2;
+  const int total_flows =
+      static_cast<int>(agent_flows.size() + competitor_flows.size());
+  const double fair_share_bps =
+      link.bandwidth_bps / static_cast<double>(std::max(1, total_flows));
+  const double path_rtt_s =
+      static_cast<double>(agent_paths.path.size()) * link.BaseRttS();
+  if (total_flows > 1 || !agent_controllers.empty()) {
     std::vector<double> agent_throughputs;
-    for (int f : agent_flows) {
-      const double bps = net.record(f).AvgThroughputBps(duration / 2, duration);
-      agent_throughputs.push_back(bps);
-      std::fprintf(stderr, "agent flow %d: %.3f Mbps (steady state), avg_rtt=%.1fms\n", f,
-                   bps / 1e6, net.record(f).AvgRttS() * 1e3);
+    for (size_t i = 0; i < agent_flows.size(); ++i) {
+      const int f = agent_flows[i];
+      const WindowStats stats = MeasureWindow(net.record(f), steady_from, duration);
+      agent_throughputs.push_back(stats.throughput_bps);
+      if (scheme == "mocc") {
+        MonitorReport report;
+        report.throughput_bps = stats.throughput_bps;
+        report.avg_rtt_s = stats.avg_rtt_s;
+        report.loss_rate = stats.loss_rate;
+        const double base_rtt_s = path_rtt_s + 2.0 * agent_extra_delay[i];
+        const RewardComponents c =
+            ComputeRewardComponents(report, fair_share_bps, base_rtt_s);
+        const WeightVector& w = agent_weights[i];
+        std::fprintf(stderr,
+                     "agent flow %d w=%s: %.3f Mbps, avg_rtt=%.1fms, loss=%.4f | "
+                     "O_thr=%.3f O_lat=%.3f O_loss=%.3f reward=%.3f\n",
+                     f, w.ToString().c_str(), stats.throughput_bps / 1e6,
+                     stats.avg_rtt_s * 1e3, stats.loss_rate, c.o_thr, c.o_lat,
+                     c.o_loss, DynamicReward(w, c));
+      } else {
+        std::fprintf(stderr, "agent flow %d: %.3f Mbps (steady state), avg_rtt=%.1fms\n",
+                     f, stats.throughput_bps / 1e6, stats.avg_rtt_s * 1e3);
+      }
     }
     for (int f : competitor_flows) {
       std::fprintf(stderr, "competitor flow %d: %.3f Mbps (steady state)\n", f,
-                   net.record(f).AvgThroughputBps(duration / 2, duration) / 1e6);
+                   net.record(f).AvgThroughputBps(steady_from, duration) / 1e6);
     }
     if (agent_throughputs.size() > 1) {
       std::fprintf(stderr, "agent Jain fairness index (steady state): %.3f\n",
                    JainFairnessIndex(agent_throughputs));
+      // Fairness within objective classes: flows registered for the same trade-off
+      // should share fairly with each other even when the classes deliberately
+      // diverge (throughput-seekers vs latency-seekers).
+      if (scheme == "mocc") {
+        std::map<std::string, std::vector<double>> classes;
+        for (size_t i = 0; i < agent_flows.size(); ++i) {
+          classes[agent_weights[i].ToString()].push_back(agent_throughputs[i]);
+        }
+        if (classes.size() > 1) {
+          for (const auto& [key, throughputs] : classes) {
+            if (throughputs.size() > 1) {
+              std::fprintf(stderr,
+                           "objective class %s: %zu flows, Jain=%.3f\n", key.c_str(),
+                           throughputs.size(), JainFairnessIndex(throughputs));
+            } else {
+              std::fprintf(stderr, "objective class %s: 1 flow\n", key.c_str());
+            }
+          }
+        }
+      }
     }
   }
   return 0;

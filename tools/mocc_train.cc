@@ -13,6 +13,10 @@
 //   --scenario LIST    comma-separated scenario names (see --list-scenarios); env
 //                      slot i trains on LIST[i % |LIST|]. Multi-flow scenarios train
 //                      the shared policy on a shared-bottleneck PacketNetwork.
+//                      Heterogeneous-objective scenarios (mixed-objective,
+//                      sampled-objective, preference-switch, ...) assign per-agent
+//                      weights themselves — the trainer leaves their objectives
+//                      alone and their trajectories join the same joint update.
 //   --list-scenarios   print the scenario catalog and exit
 //   --individual       train each landmark independently instead (Fig 19 baseline)
 #include <cstdio>
