@@ -13,6 +13,7 @@
 #include "src/envs/mi_history.h"
 #include "src/netsim/cc_interface.h"
 #include "src/rl/actor_critic.h"
+#include "src/rl/guarded_policy.h"
 #include "src/rl/inference_policy.h"
 
 namespace mocc {
@@ -33,6 +34,14 @@ class RlRateController : public CongestionControl {
     // not provide a replica. The replica is per-controller, so flows sharing one
     // model do not share inference scratch state.
     bool float32_inference = false;
+    // Deployment guardrails: validate every per-MI decision through a GuardedPolicy
+    // circuit breaker and degrade to a warm-standby CUBIC fallback on violation
+    // (half-open probes restore the policy once its outputs are sane again). Off by
+    // default — the unguarded path is byte-identical to the historical controller.
+    bool guard = false;
+    // Breaker tuning; min/max_rate_bps inside are overwritten from the options
+    // above at construction so the two can never disagree.
+    GuardedPolicy::Options guard_options;
   };
 
   // `model` is shared so many flows (and the owning application) can reuse one policy;
@@ -42,6 +51,12 @@ class RlRateController : public CongestionControl {
   CcMode Mode() const override { return CcMode::kRateBased; }
   std::string Name() const override { return options_.name; }
 
+  // The per-packet hooks keep the guard's warm-standby fallback scheme fed, so a
+  // breaker trip hands the flow to a CUBIC whose window reflects the live path.
+  void OnFlowStart(double now_s) override;
+  void OnAck(const AckInfo& ack) override;
+  void OnPacketLost(const LossInfo& loss) override;
+  void OnTimeout(double now_s) override;
   void OnMonitorInterval(const MonitorReport& report) override;
   double PacingRateBps() const override { return rate_bps_; }
 
@@ -58,7 +73,14 @@ class RlRateController : public CongestionControl {
 
   const std::vector<double>& last_observation() const { return last_observation_; }
 
+  // The circuit breaker (null when the guard is disabled) — trip counts and state
+  // for simulate/eval reports and tests.
+  const GuardedPolicy* guard() const { return guard_.get(); }
+
  private:
+  // Rate equivalent of the fallback's congestion window over the reported RTT.
+  double FallbackRateBps(const MonitorReport& report) const;
+
   std::shared_ptr<ActorCritic> model_;
   std::unique_ptr<InferencePolicy> float32_policy_;  // null = double path
   Options options_;
@@ -66,6 +88,8 @@ class RlRateController : public CongestionControl {
   double rate_bps_;
   int64_t inference_count_ = 0;
   std::vector<double> last_observation_;
+  std::unique_ptr<GuardedPolicy> guard_;           // null = unguarded
+  std::unique_ptr<CongestionControl> fallback_;    // warm-standby CUBIC when guarded
 };
 
 }  // namespace mocc

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/common/serialization.h"
+
 namespace mocc {
 namespace {
 
@@ -96,5 +98,22 @@ double Rng::Exponential(double rate) {
 }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+void Rng::Serialize(BinaryWriter* w) const {
+  for (uint64_t s : state_) {
+    w->WriteU64(s);
+  }
+  w->WriteDouble(cached_normal_);
+  w->WriteU32(has_cached_normal_ ? 1 : 0);
+}
+
+bool Rng::Deserialize(BinaryReader* r) {
+  for (uint64_t& s : state_) {
+    s = r->ReadU64();
+  }
+  cached_normal_ = r->ReadDouble();
+  has_cached_normal_ = r->ReadU32() != 0;
+  return r->ok();
+}
 
 }  // namespace mocc

@@ -13,6 +13,9 @@
 
 namespace mocc {
 
+class BinaryWriter;
+class BinaryReader;
+
 // Deterministic random number generator. Copyable; copies evolve independently.
 class Rng {
  public:
@@ -56,6 +59,11 @@ class Rng {
       std::swap((*values)[i - 1], (*values)[j]);
     }
   }
+
+  // Persists / restores the full generator state (xoshiro words plus the cached
+  // Marsaglia normal), so a restored Rng continues the stream bit-identically.
+  void Serialize(BinaryWriter* w) const;
+  bool Deserialize(BinaryReader* r);
 
  private:
   uint64_t state_[4];

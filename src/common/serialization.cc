@@ -1,5 +1,6 @@
 #include "src/common/serialization.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -44,6 +45,18 @@ void BinaryWriter::WriteDoubleVector(const std::vector<double>& v) {
 BinaryReader::BinaryReader(std::istream& in, const std::string& expected_magic,
                            uint32_t expected_version)
     : in_(in) {
+  // Record the stream end so length-prefixed reads can reject sizes that exceed the
+  // bytes actually present (corrupt/truncated files) before allocating.
+  const std::istream::pos_type start = in_.tellg();
+  if (start != std::istream::pos_type(-1)) {
+    in_.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in_.tellg();
+    if (end != std::istream::pos_type(-1)) {
+      end_pos_ = static_cast<std::streamoff>(end);
+    }
+    in_.seekg(start);
+  }
+  in_.clear();
   std::string magic(expected_magic.size(), '\0');
   in_.read(magic.data(), static_cast<std::streamsize>(magic.size()));
   const uint32_t magic_len = ReadU32();
@@ -90,9 +103,21 @@ double BinaryReader::ReadDouble() {
   return v;
 }
 
+bool BinaryReader::FitsRemaining(uint64_t bytes) {
+  if (end_pos_ < 0) {
+    return true;
+  }
+  const std::istream::pos_type cur = in_.tellg();
+  if (cur == std::istream::pos_type(-1)) {
+    return true;
+  }
+  const std::streamoff remaining = end_pos_ - static_cast<std::streamoff>(cur);
+  return remaining >= 0 && bytes <= static_cast<uint64_t>(remaining);
+}
+
 std::string BinaryReader::ReadString() {
   const uint64_t size = ReadU64();
-  if (!ok_ || size > (1ULL << 32)) {
+  if (!ok_ || size > (1ULL << 32) || !FitsRemaining(size)) {
     ok_ = false;
     return {};
   }
@@ -106,7 +131,7 @@ std::string BinaryReader::ReadString() {
 
 std::vector<double> BinaryReader::ReadDoubleVector() {
   const uint64_t size = ReadU64();
-  if (!ok_ || size > (1ULL << 32)) {
+  if (!ok_ || size > (1ULL << 32) || !FitsRemaining(size * sizeof(double))) {
     ok_ = false;
     return {};
   }
@@ -128,6 +153,18 @@ bool WriteFile(const std::string& path, const std::string& contents) {
   }
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
   return out.good();
+}
+
+bool AtomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp_path = path + ".tmp";
+  if (!WriteFile(tmp_path, contents)) {
+    return false;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool ReadFile(const std::string& path, std::string* contents) {

@@ -33,6 +33,9 @@ class BinaryWriter {
 
 // Mirror of BinaryWriter. Constructor validates magic and version; all accessors return
 // false / report !ok() once any read fails, so callers can check once at the end.
+// Length-prefixed reads (strings, vectors) validate the declared size against the
+// bytes actually remaining in a seekable stream before allocating, so a truncated or
+// corrupt file fails cleanly instead of attempting a multi-gigabyte allocation.
 class BinaryReader {
  public:
   BinaryReader(std::istream& in, const std::string& expected_magic, uint32_t expected_version);
@@ -48,13 +51,22 @@ class BinaryReader {
   bool ok() const { return ok_ && in_.good(); }
 
  private:
+  // False iff the stream is seekable and holds fewer than `bytes` unread bytes.
+  bool FitsRemaining(uint64_t bytes);
+
   std::istream& in_;
   bool ok_ = true;
+  std::streamoff end_pos_ = -1;  // -1: non-seekable stream, bounds check disabled
 };
 
 // Convenience file helpers. Return false on I/O failure.
 bool WriteFile(const std::string& path, const std::string& contents);
 bool ReadFile(const std::string& path, std::string* contents);
+
+// Writes `contents` to `path` via a temporary file in the same directory followed by an
+// atomic rename, so readers (and a crash mid-write) only ever observe the old complete
+// file or the new complete file — never a torn one. Returns false on I/O failure.
+bool AtomicWriteFile(const std::string& path, const std::string& contents);
 
 }  // namespace mocc
 

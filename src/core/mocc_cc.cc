@@ -5,7 +5,7 @@ namespace mocc {
 std::unique_ptr<RlRateController> MakeMoccCc(std::shared_ptr<PreferenceActorCritic> model,
                                              const WeightVector& w, const std::string& name,
                                              double initial_rate_bps,
-                                             bool float32_inference) {
+                                             bool float32_inference, bool guarded) {
   const WeightVector sanitized = w.Sanitized();
   RlRateController::Options options;
   options.history_len = model->config().history_len_eta;
@@ -14,6 +14,7 @@ std::unique_ptr<RlRateController> MakeMoccCc(std::shared_ptr<PreferenceActorCrit
   options.observation_prefix = {sanitized.thr, sanitized.lat, sanitized.loss};
   options.name = name;
   options.float32_inference = float32_inference;
+  options.guard = guarded;
   return std::make_unique<RlRateController>(std::move(model), std::move(options));
 }
 

@@ -18,12 +18,16 @@ namespace mocc {
 // Creates a MOCC congestion controller for one flow with requirement `w`. With
 // `float32_inference`, the per-MI policy forward runs through the model's frozen
 // float32 deployment replica (see src/rl/inference_policy.h) instead of the
-// double-precision path; the replica is built per controller at call time.
+// double-precision path; the replica is built per controller at call time. With
+// `guarded`, every per-MI decision passes through the GuardedPolicy circuit
+// breaker and violations degrade the flow to a warm-standby CUBIC fallback (see
+// src/rl/guarded_policy.h).
 std::unique_ptr<RlRateController> MakeMoccCc(std::shared_ptr<PreferenceActorCritic> model,
                                              const WeightVector& w,
                                              const std::string& name = "MOCC",
                                              double initial_rate_bps = 2e6,
-                                             bool float32_inference = false);
+                                             bool float32_inference = false,
+                                             bool guarded = false);
 
 }  // namespace mocc
 

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/serialization.h"
 
 namespace mocc {
 namespace {
@@ -12,6 +16,9 @@ double NowSeconds() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+constexpr char kCheckpointMagic[] = "MOCCCKPT";
+constexpr uint32_t kCheckpointVersion = 1;
 
 }  // namespace
 
@@ -166,43 +173,287 @@ PpoStats OfflineTrainer::RunIteration(const std::vector<WeightVector>& objective
   return ppo_.Update(ptrs);
 }
 
+std::string OfflineTrainer::SerializeTrainerBlob(const OfflineTrainResult& result) const {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter w(out, kCheckpointMagic, kCheckpointVersion);
+  // Config fingerprint: a checkpoint only resumes the exact schedule it was taken
+  // from — anything that changes the iteration sequence or env/Rng streams.
+  w.WriteU64(config_.seed);
+  w.WriteI64(config_.bootstrap_iterations);
+  w.WriteI64(config_.traversal_iterations_per_objective);
+  w.WriteI64(config_.traversal_rounds);
+  w.WriteI64(config_.traversal_mix_objectives);
+  w.WriteI64(config_.parallel_envs);
+  w.WriteU64(landmarks_.size());
+  w.WriteU64(config_.scenarios.size());
+  for (const Scenario& scenario : config_.scenarios) {
+    w.WriteString(scenario.name);
+  }
+  w.WriteI64(result.total_iterations);
+  w.WriteI64(ppo_.iteration());
+  w.WriteDoubleVector(result.reward_curve);
+  w.WriteI64(result.watchdog_rollbacks);
+  ppo_.rng().Serialize(&w);
+  mix_rng_.Serialize(&w);
+  model_->Serialize(&w);
+  ppo_.optimizer().Serialize(&w);
+  SerializeEnvStates(&w);
+  return out.str();
+}
+
+bool OfflineTrainer::RestoreTrainerBlob(const std::string& blob, int* start_iteration,
+                                        OfflineTrainResult* result) {
+  std::istringstream in(blob, std::ios::binary);
+  BinaryReader r(in, kCheckpointMagic, kCheckpointVersion);
+  if (!r.ok()) {
+    return false;
+  }
+  bool fingerprint_ok = r.ReadU64() == config_.seed;
+  fingerprint_ok &= r.ReadI64() == config_.bootstrap_iterations;
+  fingerprint_ok &= r.ReadI64() == config_.traversal_iterations_per_objective;
+  fingerprint_ok &= r.ReadI64() == config_.traversal_rounds;
+  fingerprint_ok &= r.ReadI64() == config_.traversal_mix_objectives;
+  fingerprint_ok &= r.ReadI64() == config_.parallel_envs;
+  fingerprint_ok &= r.ReadU64() == landmarks_.size();
+  const uint64_t scenario_count = r.ReadU64();
+  if (!r.ok() || !fingerprint_ok || scenario_count != config_.scenarios.size()) {
+    return false;
+  }
+  for (const Scenario& scenario : config_.scenarios) {
+    if (r.ReadString() != scenario.name) {
+      return false;
+    }
+  }
+  const int64_t completed = r.ReadI64();
+  const int64_t ppo_iteration = r.ReadI64();
+  std::vector<double> curve = r.ReadDoubleVector();
+  const int64_t rollbacks = r.ReadI64();
+  if (!r.ok() || completed < 0 ||
+      curve.size() != static_cast<size_t>(completed)) {
+    return false;
+  }
+  if (!ppo_.mutable_rng()->Deserialize(&r) || !mix_rng_.Deserialize(&r) ||
+      !model_->Deserialize(&r) || !ppo_.mutable_optimizer()->Deserialize(&r) ||
+      !DeserializeEnvStates(&r) || !r.ok()) {
+    return false;
+  }
+  ppo_.set_iteration(static_cast<int>(ppo_iteration));
+  *start_iteration = static_cast<int>(completed);
+  result->reward_curve = std::move(curve);
+  result->total_iterations = static_cast<int>(completed);
+  result->watchdog_rollbacks = static_cast<int>(rollbacks);
+  return true;
+}
+
+bool OfflineTrainer::WriteCheckpoint(const OfflineTrainResult& result) const {
+  return AtomicWriteFile(config_.checkpoint_path, SerializeTrainerBlob(result));
+}
+
+void OfflineTrainer::SerializeEnvStates(BinaryWriter* w) const {
+  if (!slots_.empty()) {
+    w->WriteU64(slots_.size());
+    for (const EnvSlot& slot : slots_) {
+      if (slot.single != nullptr) {
+        slot.single->SerializeState(w);
+      } else {
+        slot.multi->SerializeState(w);
+      }
+    }
+    return;
+  }
+  w->WriteU64(envs_.size());
+  for (const auto& env : envs_) {
+    env->SerializeState(w);
+  }
+}
+
+bool OfflineTrainer::DeserializeEnvStates(BinaryReader* r) {
+  const uint64_t n = r->ReadU64();
+  if (!slots_.empty()) {
+    if (n != slots_.size()) {
+      return false;
+    }
+    for (EnvSlot& slot : slots_) {
+      const bool ok = slot.single != nullptr ? slot.single->DeserializeState(r)
+                                             : slot.multi->DeserializeState(r);
+      if (!ok) {
+        return false;
+      }
+    }
+    return r->ok();
+  }
+  if (n != envs_.size()) {
+    return false;
+  }
+  for (auto& env : envs_) {
+    if (!env->DeserializeState(r)) {
+      return false;
+    }
+  }
+  return r->ok();
+}
+
+bool OfflineTrainer::IterationHealthy(const PpoStats& stats) {
+  if (!std::isfinite(stats.mean_step_reward) || !std::isfinite(stats.policy_loss) ||
+      !std::isfinite(stats.value_loss) || !std::isfinite(stats.entropy) ||
+      !std::isfinite(stats.approx_kl)) {
+    return false;
+  }
+  if (std::abs(stats.approx_kl) > config_.watchdog_kl_limit) {
+    return false;
+  }
+  for (const ParamRef& param : model_->Params()) {
+    for (double v : param.value->storage()) {
+      if (!std::isfinite(v)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool OfflineTrainer::ExecuteIteration(const std::vector<WeightVector>& objectives,
+                                      OfflineTrainResult* result) {
+  // Snapshot taken after the caller's objective-mix draws: a rollback rewinds the
+  // attempt (model, optimizer, every Rng stream, env state) but not the batch.
+  const std::string snapshot = SerializeTrainerBlob(*result);
+  for (int attempt = 0;; ++attempt) {
+    PpoStats stats = RunIteration(objectives);
+    if (config_.iteration_hook) {
+      config_.iteration_hook(result->total_iterations, &stats);
+    }
+    if (IterationHealthy(stats)) {
+      result->reward_curve.push_back(stats.mean_step_reward);
+      ++result->total_iterations;
+      return true;
+    }
+    int ignored = 0;
+    OfflineTrainResult scratch;
+    const bool restored = RestoreTrainerBlob(snapshot, &ignored, &scratch);
+    assert(restored);
+    (void)restored;
+    ++result->watchdog_rollbacks;
+    if (attempt + 1 >= std::max(1, config_.max_watchdog_retries)) {
+      result->watchdog_failed = true;
+      return false;
+    }
+    // Retry at a compounding backed-off learning rate. The restored Rng streams
+    // replay the same rollouts, so the rate is the only knob that changes.
+    double lr = ppo_.optimizer().learning_rate();
+    for (int a = 0; a <= attempt; ++a) {
+      lr *= config_.watchdog_lr_backoff;
+    }
+    ppo_.set_learning_rate(lr);
+  }
+}
+
 OfflineTrainResult OfflineTrainer::TrainTwoPhase() {
   OfflineTrainResult result;
   const double t0 = NowSeconds();
 
+  // Resume: restore the checkpoint and replay the schedule's bookkeeping (loop
+  // structure, visited lists) without re-running the first start_iteration
+  // iterations — the restored Rng streams have already consumed their draws, so
+  // the continuation is bit-identical with an uninterrupted run.
+  int start_iteration = 0;
+  if (config_.resume && !config_.checkpoint_path.empty()) {
+    std::string blob;
+    if (ReadFile(config_.checkpoint_path, &blob)) {
+      if (!RestoreTrainerBlob(blob, &start_iteration, &result)) {
+        result.resume_failed = true;
+        result.wall_seconds = NowSeconds() - t0;
+        return result;
+      }
+    }
+    // Missing checkpoint file: start fresh.
+  }
+  result.start_iteration = start_iteration;
+  // Replaying the schedule re-executes phase-boundary learning-rate changes; put
+  // back the checkpointed rate (which may include a watchdog backoff) right
+  // before the first live iteration.
+  bool pending_lr_restore = start_iteration > 0;
+  const double restored_lr = ppo_.optimizer().learning_rate();
+
+  int k = 0;  // global iteration index across both phases
+  bool stopped = false;
+  auto run_one = [&](const std::vector<WeightVector>& batch) {
+    if (pending_lr_restore) {
+      ppo_.set_learning_rate(restored_lr);
+      pending_lr_restore = false;
+    }
+    if (!ExecuteIteration(batch, &result)) {
+      // Watchdog retries exhausted: state is the last healthy snapshot; persist
+      // it so nothing is lost, then stop.
+      stopped = true;
+      if (!config_.checkpoint_path.empty()) {
+        WriteCheckpoint(result);
+      }
+      return;
+    }
+    ++k;
+    if (config_.interrupt_flag != nullptr && *config_.interrupt_flag != 0) {
+      result.interrupted = true;
+      stopped = true;
+    } else if (config_.stop_after_iterations >= 0 &&
+               k >= config_.stop_after_iterations) {
+      stopped = true;
+    }
+    const bool periodic = config_.checkpoint_interval > 0 &&
+                          k % config_.checkpoint_interval == 0;
+    if (!config_.checkpoint_path.empty() && (periodic || stopped)) {
+      WriteCheckpoint(result);
+    }
+  };
+
   // Phase 1 — bootstrapping: the pivot objectives are trained jointly to convergence,
   // building the base correlation between requirements and policies.
-  for (int i = 0; i < config_.bootstrap_iterations; ++i) {
-    const PpoStats stats = RunIteration(config_.bootstrap_objectives);
-    result.reward_curve.push_back(stats.mean_step_reward);
-    ++result.total_iterations;
+  for (int i = 0; i < config_.bootstrap_iterations && !stopped; ++i) {
+    if (k < start_iteration) {
+      ++k;
+      continue;
+    }
+    run_one(config_.bootstrap_objectives);
   }
 
   // Phase 2 — fast traversing: visit the landmarks a few steps each in the Algorithm-1
   // neighborhood order; each visit transfers from neighboring (already trained)
   // objectives and mixes in previously visited ones to retain them. The phase refines
   // the base model, so it runs at a reduced learning rate.
-  ppo_.set_learning_rate(config_.mocc.learning_rate * config_.traversal_lr_factor);
+  if (!stopped) {
+    ppo_.set_learning_rate(config_.mocc.learning_rate * config_.traversal_lr_factor);
+  }
   result.traversal_order = graph_.SortForTraversal(config_.bootstrap_objectives);
   std::vector<WeightVector> visited = config_.bootstrap_objectives;
-  for (int round = 0; round < config_.traversal_rounds; ++round) {
+  for (int round = 0; round < config_.traversal_rounds && !stopped; ++round) {
     for (int idx : result.traversal_order) {
       const WeightVector& current = landmarks_[static_cast<size_t>(idx)];
       for (int i = 0; i < config_.traversal_iterations_per_objective; ++i) {
+        if (k < start_iteration) {
+          // Replayed iteration: the restored mix_rng_ already consumed its
+          // objective-mix draws, so skip without redrawing.
+          ++k;
+          continue;
+        }
         std::vector<WeightVector> batch = {current};
         for (int m = 0; m < config_.traversal_mix_objectives && !visited.empty(); ++m) {
           batch.push_back(visited[static_cast<size_t>(
               mix_rng_.UniformInt(0, static_cast<int64_t>(visited.size()) - 1))]);
         }
-        const PpoStats stats = RunIteration(batch);
-        result.reward_curve.push_back(stats.mean_step_reward);
-        ++result.total_iterations;
+        run_one(batch);
+        if (stopped) {
+          break;
+        }
       }
       visited.push_back(current);
+      if (stopped) {
+        break;
+      }
     }
   }
 
-  ppo_.set_learning_rate(config_.mocc.learning_rate);
+  if (!stopped) {
+    ppo_.set_learning_rate(config_.mocc.learning_rate);
+  }
   result.wall_seconds = NowSeconds() - t0;
   return result;
 }

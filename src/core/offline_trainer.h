@@ -15,7 +15,10 @@
 #ifndef MOCC_SRC_CORE_OFFLINE_TRAINER_H_
 #define MOCC_SRC_CORE_OFFLINE_TRAINER_H_
 
+#include <csignal>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/core/mocc_config.h"
@@ -66,17 +69,64 @@ struct OfflineTrainConfig {
   std::vector<Scenario> scenarios;
   uint64_t seed = 7;
 
+  // --- Crash safety & training watchdog (TrainTwoPhase only) ---
+  // When non-empty, a checkpoint (model + optimizer + every Rng stream + iteration
+  // counters + per-env cross-episode state) is written here every
+  // checkpoint_interval completed iterations and at every stop point, via
+  // temp-file + atomic rename (a crash mid-write never leaves a torn file).
+  std::string checkpoint_path;
+  int checkpoint_interval = 20;
+  // Resume from checkpoint_path: training continues bit-identically with an
+  // uninterrupted run of the same config. A missing file starts fresh; a corrupt
+  // or config-mismatched file fails cleanly (OfflineTrainResult::resume_failed).
+  bool resume = false;
+  // Watchdog: every iteration's stats (and the model parameters) are checked for
+  // non-finite values and |approx_kl| against this limit; a failure rolls model,
+  // optimizer, Rng streams and env state back to the pre-iteration snapshot and
+  // retries at a backed-off learning rate — up to max_watchdog_retries attempts,
+  // then the run stops cleanly with watchdog_failed and the last good state.
+  int max_watchdog_retries = 3;
+  double watchdog_lr_backoff = 0.5;
+  double watchdog_kl_limit = 5.0;
+  // Cooperative interruption: when non-null and set nonzero (e.g. by a SIGINT
+  // handler), training stops at the next iteration boundary, writes a final
+  // checkpoint and returns with OfflineTrainResult::interrupted.
+  const volatile std::sig_atomic_t* interrupt_flag = nullptr;
+  // Test hooks. stop_after_iterations (< 0 = disabled) stops cleanly — with a
+  // final checkpoint — once that many global iterations have completed.
+  int stop_after_iterations = -1;
+  // iteration_hook runs after each PPO iteration but before the watchdog health
+  // check, with the global iteration index and mutable stats — tests inject
+  // failures (poisoned parameters, forced-NaN stats) through it to exercise the
+  // rollback path. Note a rollback re-invokes the hook with the same index; hooks
+  // that should fire once must track that themselves.
+  std::function<void(int, PpoStats*)> iteration_hook;
+
   // Total PPO iterations this configuration will run.
   int PlannedIterations() const;
 };
 
 struct OfflineTrainResult {
-  // Mean per-step training reward of every PPO iteration, in order.
+  // Mean per-step training reward of every PPO iteration, in order. On resume the
+  // checkpointed prefix is restored, so a completed resumed run's curve equals the
+  // uninterrupted run's.
   std::vector<double> reward_curve;
   int total_iterations = 0;
   double wall_seconds = 0.0;
   // The traversal order actually used (indices into the landmark grid).
   std::vector<int> traversal_order;
+  // Iteration the run resumed from (0 = fresh start).
+  int start_iteration = 0;
+  // Watchdog rollbacks performed across the run (restored on resume).
+  int watchdog_rollbacks = 0;
+  // Watchdog retries exhausted: the run stopped early with the model at the last
+  // healthy state (checkpointed when checkpoint_path is set).
+  bool watchdog_failed = false;
+  // Stopped via interrupt_flag; a final checkpoint was written first.
+  bool interrupted = false;
+  // resume was requested but checkpoint_path held a corrupt or config-mismatched
+  // checkpoint; nothing was trained.
+  bool resume_failed = false;
 };
 
 class OfflineTrainer {
@@ -118,6 +168,22 @@ class OfflineTrainer {
   // The scenario-training iteration: every slot collects (in parallel, deterministic)
   // and all per-flow buffers join one update.
   PpoStats RunScenarioIteration(const std::vector<WeightVector>& objectives);
+
+  // Checkpoint payload ("MOCCCKPT"): config fingerprint + counters + reward curve +
+  // every Rng stream + model + optimizer + per-env cross-episode state. The same
+  // blob doubles as the watchdog's in-memory pre-iteration snapshot.
+  std::string SerializeTrainerBlob(const OfflineTrainResult& result) const;
+  bool RestoreTrainerBlob(const std::string& blob, int* start_iteration,
+                          OfflineTrainResult* result);
+  bool WriteCheckpoint(const OfflineTrainResult& result) const;
+  void SerializeEnvStates(BinaryWriter* w) const;
+  bool DeserializeEnvStates(BinaryReader* r);
+  // Non-finite stats/params or |approx_kl| beyond the limit = unhealthy.
+  bool IterationHealthy(const PpoStats& stats);
+  // One watchdog-supervised iteration: snapshot, run, health-check, roll back and
+  // retry at a backed-off learning rate. False = retries exhausted (run must stop).
+  bool ExecuteIteration(const std::vector<WeightVector>& objectives,
+                        OfflineTrainResult* result);
 
   PreferenceActorCritic* model_;
   OfflineTrainConfig config_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <fstream>
+#include <sstream>
 
 #include "src/rl/inference_policy.h"
 
@@ -208,13 +209,15 @@ bool PreferenceActorCritic::Deserialize(BinaryReader* r) {
 }
 
 bool PreferenceActorCritic::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return false;
-  }
+  // Serialize in memory and write atomically (temp file + rename) so a crash
+  // mid-save never leaves a torn model file behind.
+  std::ostringstream out(std::ios::binary);
   BinaryWriter writer(out, kModelMagic, kModelVersion);
   Serialize(&writer);
-  return writer.ok();
+  if (!writer.ok()) {
+    return false;
+  }
+  return AtomicWriteFile(path, out.str());
 }
 
 std::shared_ptr<PreferenceActorCritic> PreferenceActorCritic::LoadFromFile(

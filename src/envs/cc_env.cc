@@ -98,6 +98,21 @@ StepResult CcEnv::Step(double action) {
   return result;
 }
 
+void CcEnv::SerializeState(BinaryWriter* w) const {
+  rng_.Serialize(w);
+  link_.rng().Serialize(w);
+  w->WriteU32(cached_trace_valid_ ? 1 : 0);
+  cached_trace_.Serialize(w);
+}
+
+bool CcEnv::DeserializeState(BinaryReader* r) {
+  if (!rng_.Deserialize(r) || !link_.mutable_rng()->Deserialize(r)) {
+    return false;
+  }
+  cached_trace_valid_ = r->ReadU32() != 0;
+  return cached_trace_.Deserialize(r) && r->ok();
+}
+
 std::vector<double> CcEnv::BuildObservation() const {
   std::vector<double> obs;
   obs.reserve(ObservationDim());

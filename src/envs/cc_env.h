@@ -104,6 +104,13 @@ class CcEnv : public Env {
   // Applies Eq. (1): multiplicative rate update with damping factor α.
   static double ApplyRateAction(double rate_bps, double action, double alpha);
 
+  // Persists / restores the cross-episode state (env and link Rng streams plus the
+  // cached per-env trace), so a training run resumed from a checkpoint draws the
+  // same episode sequence it would have drawn uninterrupted. Per-episode state is
+  // excluded: rollout collection always begins with Reset.
+  void SerializeState(BinaryWriter* w) const;
+  bool DeserializeState(BinaryReader* r);
+
  private:
   std::vector<double> BuildObservation() const;
   double MiDurationS() const;

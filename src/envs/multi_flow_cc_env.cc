@@ -150,8 +150,15 @@ std::vector<std::vector<double>> MultiFlowCcEnv::Reset() {
                           &cached_trace_valid_, &cached_trace_, config_.trace, link_,
                           &rng_);
 
-  net_ = std::make_unique<PacketNetwork>(BuildTopology(config_.topology, link_),
-                                         rng_.NextU64());
+  NetworkTopology topology = BuildTopology(config_.topology, link_);
+  if (!config_.fault.empty()) {
+    FaultSpec fault = config_.fault;
+    if (fault.randomize_phase) {
+      fault.phase_s = rng_.Uniform(0.0, fault.MaxPeriodS());
+    }
+    topology.links[0].fault = fault;
+  }
+  net_ = std::make_unique<PacketNetwork>(topology, rng_.NextU64());
   if (!trace.empty()) {
     net_->SetBandwidthTrace(std::move(trace));
   }
@@ -335,6 +342,20 @@ std::vector<double> MultiFlowCcEnv::AgentAvgThroughputsBps(double from_s,
 
 double MultiFlowCcEnv::JainIndex(double from_s, double to_s) const {
   return JainFairnessIndex(AgentAvgThroughputsBps(from_s, to_s));
+}
+
+void MultiFlowCcEnv::SerializeState(BinaryWriter* w) const {
+  rng_.Serialize(w);
+  w->WriteU32(cached_trace_valid_ ? 1 : 0);
+  cached_trace_.Serialize(w);
+}
+
+bool MultiFlowCcEnv::DeserializeState(BinaryReader* r) {
+  if (!rng_.Deserialize(r)) {
+    return false;
+  }
+  cached_trace_valid_ = r->ReadU32() != 0;
+  return cached_trace_.Deserialize(r) && r->ok();
 }
 
 }  // namespace mocc

@@ -140,6 +140,12 @@ struct MultiFlowCcEnvConfig {
   // Run the generator once on the first Reset and reuse its schedule for every later
   // episode of this env (see CcEnv::SetTraceGenerator for the semantics/rationale).
   bool cache_trace_per_env = false;
+  // Injected fault schedule, applied to the bottleneck (link 0) of every episode
+  // topology. Empty = no faults — the historical behaviour, bit-identical. When
+  // fault.randomize_phase is set, Reset draws a fresh window phase per episode from
+  // the env's Rng; the draw happens only when a fault is configured, so fault-free
+  // configurations keep their existing per-episode draw streams untouched.
+  FaultSpec fault;
   std::vector<CompetitorFlow> competitors;
   // Agent i's flow starts at i * agent_stagger_s (snapped to the step grid), modelling
   // flow-arrival dynamics; 0 starts everyone together.
@@ -219,6 +225,12 @@ class MultiFlowCcEnv : public VectorEnv {
   std::vector<double> AgentAvgThroughputsBps(double from_s, double to_s) const;
   // Jain's index over AgentAvgThroughputsBps — the paper's Fig. 12 metric.
   double JainIndex(double from_s, double to_s) const;
+
+  // Persists / restores the cross-episode state (env Rng plus the cached per-env
+  // trace) for training checkpoints; see CcEnv::SerializeState. Per-episode state
+  // (weights, the network) is rebuilt by the trainer / Reset.
+  void SerializeState(BinaryWriter* w) const;
+  bool DeserializeState(BinaryReader* r);
 
  private:
   std::vector<double> BuildObservation(int agent) const;

@@ -235,6 +235,49 @@ std::vector<Scenario> BuildCatalog() {
                           BalancedObjective()};
     catalog.push_back(std::move(s));
   }
+  // --- Fault-injection scenarios: the bottleneck misbehaves on a deterministic
+  // schedule (blackouts, loss bursts), exercising the deployment guardrails and
+  // the policies' out-of-distribution behaviour (DeepCC's graceful-degradation
+  // requirement). Fault windows are pure functions of simulation time; the only
+  // randomness is the optional per-episode phase, drawn from the env's Rng.
+  {
+    Scenario s;
+    s.name = "blackout";
+    s.description =
+        "2 agents on a bottleneck that goes fully dark for 1.5 s out of every "
+        "10 s — link-outage recovery under contention";
+    s.num_agents = 2;
+    s.fault.blackout_period_s = 10.0;
+    s.fault.blackout_duration_s = 1.5;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "flaky-link";
+    s.description =
+        "2 agents on a flapping bottleneck: a 200 ms outage every 2 s with a "
+        "per-episode random phase, plus 50 ms delay spikes — rapid link flaps";
+    s.num_agents = 2;
+    s.fault.blackout_period_s = 2.0;
+    s.fault.blackout_duration_s = 0.2;
+    s.fault.delay_spike_period_s = 2.0;
+    s.fault.delay_spike_duration_s = 0.4;
+    s.fault.delay_spike_extra_s = 0.050;
+    s.fault.randomize_phase = true;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "loss-burst";
+    s.description =
+        "2 agents on a bottleneck whose wire loss jumps to 20% for 1 s out of "
+        "every 8 s — non-congestion loss bursts";
+    s.num_agents = 2;
+    s.fault.loss_burst_period_s = 8.0;
+    s.fault.loss_burst_duration_s = 1.0;
+    s.fault.loss_burst_rate = 0.20;
+    catalog.push_back(std::move(s));
+  }
   return catalog;
 }
 
@@ -301,6 +344,7 @@ std::unique_ptr<MultiFlowCcEnv> Scenario::MakeMultiFlowEnv(const CcEnvConfig& ba
   }
   config.agent_stagger_s = agent_stagger_s;
   config.objectives = objectives;
+  config.fault = fault;
   config.history_len = base.history_len;
   config.action_scale = base.action_scale;
   config.step_rtt_multiple = base.mi_rtt_multiple;

@@ -63,6 +63,9 @@ struct Scenario {
   // floored simplex, from the env's seed-deterministic Rng), and scheduled
   // mid-episode preference switches. See ObjectivePlan in multi_flow_cc_env.h.
   ObjectivePlan objectives;
+  // Injected fault schedule on the bottleneck link (multi-flow scenarios only);
+  // empty = clean link. See FaultSpec and MultiFlowCcEnvConfig::fault.
+  FaultSpec fault;
 
   bool IsMultiFlow() const { return num_agents > 1 || !competitor_schemes.empty(); }
   // True when the scenario assigns objectives itself (trainers then skip their

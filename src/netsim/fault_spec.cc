@@ -1,0 +1,43 @@
+#include "src/netsim/fault_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocc {
+namespace {
+
+// True iff `t` falls inside the leading `duration` of the period, shifted by `phase`.
+bool InWindow(double t, double period, double duration, double phase) {
+  if (period <= 0.0 || duration <= 0.0) {
+    return false;
+  }
+  double u = std::fmod(t - phase, period);
+  if (u < 0.0) {
+    u += period;
+  }
+  return u < duration;
+}
+
+}  // namespace
+
+double FaultSpec::MaxPeriodS() const {
+  return std::max({blackout_period_s, loss_burst_period_s, delay_spike_period_s, 0.0});
+}
+
+bool FaultSpec::BlackoutAt(double t) const {
+  return InWindow(t, blackout_period_s, blackout_duration_s, phase_s);
+}
+
+double FaultSpec::BurstLossRateAt(double t) const {
+  return InWindow(t, loss_burst_period_s, loss_burst_duration_s, phase_s)
+             ? loss_burst_rate
+             : 0.0;
+}
+
+double FaultSpec::ExtraDelayAt(double t) const {
+  return InWindow(t, delay_spike_period_s, delay_spike_duration_s, phase_s)
+             ? delay_spike_extra_s
+             : 0.0;
+}
+
+}  // namespace mocc

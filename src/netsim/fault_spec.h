@@ -1,0 +1,61 @@
+// Deterministic link-fault schedules for the packet-level simulator. A FaultSpec
+// describes periodic fault windows — total blackouts (link flaps), bursts of elevated
+// random loss, and delay spikes — purely as a function of simulation time, so a
+// fault-injected episode is exactly as reproducible as a clean one: the windows contain
+// no random draws, and the only randomness (the optional per-episode phase) comes from
+// the owning environment's seeded Rng stream. Scenarios attach a FaultSpec to a link via
+// LinkSpec::fault; the simulator consults it at the existing loss/delay decision points.
+#ifndef MOCC_SRC_NETSIM_FAULT_SPEC_H_
+#define MOCC_SRC_NETSIM_FAULT_SPEC_H_
+
+namespace mocc {
+
+// Periodic fault windows on one link. Each fault kind repeats every `*_period_s`
+// seconds and is active for the first `*_duration_s` seconds of its period, shifted by
+// the shared `phase_s`. A period or duration of zero disables that fault kind.
+struct FaultSpec {
+  // Blackout / link flap: every data packet touching the link inside the window is
+  // dropped (the link is down). ACKs are exempt, mirroring the simulator's existing
+  // wire-loss exemption, so in-flight accounting for already-delivered data survives.
+  double blackout_period_s = 0.0;
+  double blackout_duration_s = 0.0;
+
+  // Loss burst: inside the window the link's random wire-loss rate is raised to at
+  // least `loss_burst_rate` (the burst never lowers a link's configured loss).
+  double loss_burst_period_s = 0.0;
+  double loss_burst_duration_s = 0.0;
+  double loss_burst_rate = 0.0;
+
+  // Delay spike: packets finishing serialization inside the window incur
+  // `delay_spike_extra_s` of additional one-way propagation delay.
+  double delay_spike_period_s = 0.0;
+  double delay_spike_duration_s = 0.0;
+  double delay_spike_extra_s = 0.0;
+
+  // Shared phase offset for all windows. Environments that set `randomize_phase`
+  // draw a fresh phase per episode from their own Rng so fault onsets do not always
+  // align with episode starts; the draw happens only when a fault is configured, so
+  // fault-free configurations keep their existing random streams untouched.
+  double phase_s = 0.0;
+  bool randomize_phase = false;
+
+  // True iff no fault kind is configured; the simulator skips all fault checks.
+  bool empty() const {
+    return blackout_period_s <= 0.0 && loss_burst_period_s <= 0.0 &&
+           delay_spike_period_s <= 0.0;
+  }
+
+  // Longest configured period (used to bound the randomized phase draw).
+  double MaxPeriodS() const;
+
+  bool BlackoutAt(double t) const;
+
+  // Burst loss rate at time t: `loss_burst_rate` inside a burst window, 0 outside.
+  double BurstLossRateAt(double t) const;
+
+  double ExtraDelayAt(double t) const;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_NETSIM_FAULT_SPEC_H_

@@ -40,6 +40,11 @@ class FluidLink {
   double now_s() const { return now_s_; }
   double queue_bits() const { return queue_bits_; }
 
+  // The loss-process generator. Deliberately NOT reseeded by Reset (episodes share
+  // one stream); exposed so training checkpoints can persist and restore it.
+  Rng* mutable_rng() { return &rng_; }
+  const Rng& rng() const { return rng_; }
+
   // Current bandwidth, honouring the trace.
   double CurrentBandwidthBps() const;
 

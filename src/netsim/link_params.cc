@@ -100,6 +100,30 @@ BandwidthTrace BandwidthTrace::FromMahimahiTimestamps(
   return trace;
 }
 
+void BandwidthTrace::Serialize(BinaryWriter* w) const {
+  w->WriteU64(steps_.size());
+  for (const Step& step : steps_) {
+    w->WriteDouble(step.time_s);
+    w->WriteDouble(step.bandwidth_bps);
+  }
+}
+
+bool BandwidthTrace::Deserialize(BinaryReader* r) {
+  const uint64_t n = r->ReadU64();
+  if (!r->ok() || n > (1ULL << 24)) {
+    return false;
+  }
+  steps_.clear();
+  steps_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Step step;
+    step.time_s = r->ReadDouble();
+    step.bandwidth_bps = r->ReadDouble();
+    steps_.push_back(step);
+  }
+  return r->ok();
+}
+
 BandwidthTrace ResolveEpisodeTrace(
     const std::function<BandwidthTrace(const LinkParams&, Rng*)>& generator,
     bool cache_per_env, bool* cached_valid, BandwidthTrace* cached,

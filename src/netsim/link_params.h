@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/serialization.h"
 
 namespace mocc {
 
@@ -84,6 +85,11 @@ class BandwidthTrace {
   // Loads a mahimahi trace file (one integer millisecond timestamp per line).
   // Returns an empty trace if the file cannot be read or contains no samples.
   static BandwidthTrace FromMahimahiFile(const std::string& path, double window_s = 1.0);
+
+  // Persists / restores the step schedule (used by training checkpoints to carry the
+  // per-env cached episode trace across a resume).
+  void Serialize(BinaryWriter* w) const;
+  bool Deserialize(BinaryReader* r);
 
  private:
   struct Step {

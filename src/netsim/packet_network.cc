@@ -239,11 +239,26 @@ void PacketNetwork::SendPacket(int flow_id, double now_s) {
   if (flow.record.first_send_time_s < 0.0) {
     flow.record.first_send_time_s = now_s;
   }
-  // Random (non-congestion) wire loss at the first link.
+  // Random (non-congestion) wire loss at the first link, plus any injected fault
+  // window. With no fault configured the historical code path (and its Rng draw
+  // sequence) is untouched, keeping clean episodes bit-identical.
   const LinkSpec& first = links_[flow.path[0]].spec;
-  if (first.random_loss_rate > 0.0 && rng_.Bernoulli(first.random_loss_rate)) {
-    Schedule(now_s + LossDetectionDelay(flow), EvType::kLossNotice, flow_id, seq, now_s);
-    return;
+  if (first.fault.empty()) {
+    if (first.random_loss_rate > 0.0 && rng_.Bernoulli(first.random_loss_rate)) {
+      Schedule(now_s + LossDetectionDelay(flow), EvType::kLossNotice, flow_id, seq, now_s);
+      return;
+    }
+  } else {
+    if (first.fault.BlackoutAt(now_s)) {
+      Schedule(now_s + LossDetectionDelay(flow), EvType::kLossNotice, flow_id, seq, now_s);
+      return;
+    }
+    const double loss_rate =
+        std::max(first.random_loss_rate, first.fault.BurstLossRateAt(now_s));
+    if (loss_rate > 0.0 && rng_.Bernoulli(loss_rate)) {
+      Schedule(now_s + LossDetectionDelay(flow), EvType::kLossNotice, flow_id, seq, now_s);
+      return;
+    }
   }
   QueuedPacket pkt;
   pkt.send_time_s = now_s;
@@ -289,10 +304,16 @@ void PacketNetwork::HandleLinkDone(const SimEvent& ev) {
   Flow& flow = flows_[static_cast<size_t>(ev.flow_id)];
   const int link_id = ev.is_ack != 0 ? flow.ack_path[ev.hop] : flow.path[ev.hop];
   const LinkSpec& spec = links_[static_cast<size_t>(link_id)].spec;
+  // Injected delay spikes stretch this link's propagation for packets finishing
+  // serialization inside the window; a fault-free link adds exactly 0.0, keeping
+  // the historical delivery-time arithmetic bit-identical.
+  const double prop_delay_s =
+      spec.fault.empty() ? spec.prop_delay_s
+                         : spec.prop_delay_s + spec.fault.ExtraDelayAt(now_s_);
   if (ev.is_ack == 0) {
     if (ev.hop + 1 < flow.path_len) {
       // Mid-path: propagate to the next hop's queue.
-      Schedule(now_s_ + spec.prop_delay_s, EvType::kHopArrive, ev.flow_id, ev.seq,
+      Schedule(now_s_ + prop_delay_s, EvType::kHopArrive, ev.flow_id, ev.seq,
                ev.send_time_s, static_cast<uint8_t>(ev.hop + 1), 0);
     } else {
       // Last hop: the packet is delivered after this link's propagation (plus
@@ -303,7 +324,7 @@ void PacketNetwork::HandleLinkDone(const SimEvent& ev) {
       // ((t + delay) + extra at each stage), keeping single-bottleneck episodes
       // bit-identical (tests/golden_episode_test.cc).
       const double t_delivery =
-          now_s_ + spec.prop_delay_s + flow.options.extra_one_way_delay_s;
+          now_s_ + prop_delay_s + flow.options.extra_one_way_delay_s;
       flow.record.RecordDelivery(t_delivery);
       if (flow.ack_path_len == 0) {
         const double t_ack =
@@ -324,10 +345,10 @@ void PacketNetwork::HandleLinkDone(const SimEvent& ev) {
     }
   } else {
     if (ev.hop + 1 < flow.ack_path_len) {
-      Schedule(now_s_ + spec.prop_delay_s, EvType::kHopArrive, ev.flow_id, ev.seq,
+      Schedule(now_s_ + prop_delay_s, EvType::kHopArrive, ev.flow_id, ev.seq,
                ev.send_time_s, static_cast<uint8_t>(ev.hop + 1), 1);
     } else {
-      Schedule(now_s_ + spec.prop_delay_s + flow.options.extra_one_way_delay_s,
+      Schedule(now_s_ + prop_delay_s + flow.options.extra_one_way_delay_s,
                EvType::kAck, ev.flow_id, ev.seq, ev.send_time_s);
     }
   }
@@ -343,13 +364,29 @@ void PacketNetwork::HandleHopArrive(const SimEvent& ev) {
   Flow& flow = flows_[static_cast<size_t>(ev.flow_id)];
   const int link_id = ev.is_ack != 0 ? flow.ack_path[ev.hop] : flow.path[ev.hop];
   // Random wire loss applies per traversed link for data packets (hop 0 is
-  // checked at send time); ACKs are exempt.
+  // checked at send time); ACKs are exempt. Fault windows (blackouts, loss
+  // bursts) apply the same way, with the fault-free path left byte-identical.
   if (ev.is_ack == 0) {
     const LinkSpec& spec = links_[static_cast<size_t>(link_id)].spec;
-    if (spec.random_loss_rate > 0.0 && rng_.Bernoulli(spec.random_loss_rate)) {
-      Schedule(now_s_ + LossDetectionDelay(flow), EvType::kLossNotice, ev.flow_id,
-               ev.seq, ev.send_time_s);
-      return;
+    if (spec.fault.empty()) {
+      if (spec.random_loss_rate > 0.0 && rng_.Bernoulli(spec.random_loss_rate)) {
+        Schedule(now_s_ + LossDetectionDelay(flow), EvType::kLossNotice, ev.flow_id,
+                 ev.seq, ev.send_time_s);
+        return;
+      }
+    } else {
+      if (spec.fault.BlackoutAt(now_s_)) {
+        Schedule(now_s_ + LossDetectionDelay(flow), EvType::kLossNotice, ev.flow_id,
+                 ev.seq, ev.send_time_s);
+        return;
+      }
+      const double loss_rate =
+          std::max(spec.random_loss_rate, spec.fault.BurstLossRateAt(now_s_));
+      if (loss_rate > 0.0 && rng_.Bernoulli(loss_rate)) {
+        Schedule(now_s_ + LossDetectionDelay(flow), EvType::kLossNotice, ev.flow_id,
+                 ev.seq, ev.send_time_s);
+        return;
+      }
     }
   }
   QueuedPacket pkt;

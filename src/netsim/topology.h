@@ -24,6 +24,7 @@
 
 #include <vector>
 
+#include "src/netsim/fault_spec.h"
 #include "src/netsim/link_params.h"
 
 namespace mocc {
@@ -44,6 +45,7 @@ struct LinkSpec {
   int queue_capacity_pkts = 1000;
   double random_loss_rate = 0.0;  // iid per-packet wire loss at this link
   BandwidthTrace trace;           // empty = constant at bandwidth_bps
+  FaultSpec fault;                // empty = no injected faults
 
   // Effective bandwidth at time t, honouring the trace.
   double BandwidthAt(double t) const { return trace.BandwidthAt(t, bandwidth_bps); }

@@ -36,6 +36,36 @@ void AdamOptimizer::Step(const std::vector<ParamRef>& params) {
   }
 }
 
+void AdamOptimizer::Serialize(BinaryWriter* w) const {
+  w->WriteDouble(learning_rate_);
+  w->WriteI64(step_count_);
+  w->WriteU64(m_.size());
+  for (const auto& m : m_) {
+    w->WriteDoubleVector(m);
+  }
+  for (const auto& v : v_) {
+    w->WriteDoubleVector(v);
+  }
+}
+
+bool AdamOptimizer::Deserialize(BinaryReader* r) {
+  learning_rate_ = r->ReadDouble();
+  step_count_ = r->ReadI64();
+  const uint64_t slots = r->ReadU64();
+  if (!r->ok() || slots > (1ULL << 20)) {
+    return false;
+  }
+  m_.assign(slots, {});
+  v_.assign(slots, {});
+  for (auto& m : m_) {
+    m = r->ReadDoubleVector();
+  }
+  for (auto& v : v_) {
+    v = r->ReadDoubleVector();
+  }
+  return r->ok();
+}
+
 void SgdOptimizer::Step(const std::vector<ParamRef>& params) {
   for (const auto& p : params) {
     double* value = p.value->data();

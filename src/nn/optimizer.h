@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "src/common/serialization.h"
 #include "src/nn/matrix.h"
 #include "src/nn/mlp.h"
 
@@ -24,6 +25,13 @@ class AdamOptimizer {
   void set_learning_rate(double lr) { learning_rate_ = lr; }
   double learning_rate() const { return learning_rate_; }
   int64_t step_count() const { return step_count_; }
+
+  // Persists / restores the full optimizer state (learning rate, step count and the
+  // first/second moment accumulators), so a restored optimizer continues a training
+  // run bit-identically. The moment vectors are keyed by parameter order, exactly as
+  // in Step; restoring under a different parameter layout fails on the next Step.
+  void Serialize(BinaryWriter* w) const;
+  bool Deserialize(BinaryReader* r);
 
  private:
   double learning_rate_;

@@ -279,6 +279,7 @@ PpoStats PpoTrainer::Update(const std::vector<const RolloutBuffer*>& buffers) {
 
   double total_policy_loss = 0.0;
   double total_value_loss = 0.0;
+  double total_approx_kl = 0.0;
   int update_count = 0;
 
   const size_t obs_dim = all[0].observation.size();
@@ -307,6 +308,7 @@ PpoStats PpoTrainer::Update(const std::vector<const RolloutBuffer*>& buffers) {
       double log_std_grad = 0.0;
       double policy_loss = 0.0;
       double value_loss = 0.0;
+      double approx_kl = 0.0;
       const double inv_batch = 1.0 / static_cast<double>(batch);
       for (size_t b = 0; b < batch; ++b) {
         const size_t idx = order[begin + b];
@@ -315,6 +317,7 @@ PpoStats PpoTrainer::Update(const std::vector<const RolloutBuffer*>& buffers) {
         const double ret = returns[idx];
         const double mu = mean(b, 0);
         const double log_prob = GaussianLogProb(t.action, mu, std);
+        approx_kl += t.log_prob - log_prob;
         const double ratio = std::exp(std::clamp(log_prob - t.log_prob, -20.0, 20.0));
         const double clipped =
             std::clamp(ratio, 1.0 - config_.clip_epsilon, 1.0 + config_.clip_epsilon);
@@ -349,12 +352,14 @@ PpoStats PpoTrainer::Update(const std::vector<const RolloutBuffer*>& buffers) {
 
       total_policy_loss += policy_loss * inv_batch;
       total_value_loss += value_loss * inv_batch;
+      total_approx_kl += approx_kl * inv_batch;
       ++update_count;
     }
   }
   if (update_count > 0) {
     stats.policy_loss = total_policy_loss / update_count;
     stats.value_loss = total_value_loss / update_count;
+    stats.approx_kl = total_approx_kl / update_count;
   }
   stats.entropy = GaussianEntropy(std::exp(model_->log_std()));
   ++iteration_;

@@ -50,6 +50,9 @@ struct PpoStats {
   double policy_loss = 0.0;
   double value_loss = 0.0;
   double entropy = 0.0;
+  // Mean of (old_log_prob - new_log_prob) over the update — the standard PPO KL
+  // estimate. The training watchdog treats a blow-up here as divergence.
+  double approx_kl = 0.0;
   int iteration = 0;
 };
 
@@ -120,6 +123,14 @@ class PpoTrainer {
   void set_iteration(int it) { iteration_ = it; }
   ActorCritic* model() { return model_; }
   const PpoConfig& config() const { return config_; }
+
+  // Checkpointing hooks: the trainer's Rng stream (drives collection seeding and
+  // minibatch shuffling) and Adam state must survive a crash for resumed training
+  // to stay bit-identical with an uninterrupted run.
+  Rng* mutable_rng() { return &rng_; }
+  const Rng& rng() const { return rng_; }
+  AdamOptimizer* mutable_optimizer() { return &optimizer_; }
+  const AdamOptimizer& optimizer() const { return optimizer_; }
 
   // Samples a ~ N(mean(obs), std²) from the current policy.
   double SampleAction(const std::vector<double>& obs, double* log_prob, double* value);

@@ -242,6 +242,70 @@ TEST(SerializationTest, FileRoundTrip) {
   EXPECT_EQ(back.substr(0, 8), "contents");
 }
 
+TEST(SerializationTest, TruncatedHeaderFails) {
+  // A file cut off inside the magic/version header must fail cleanly.
+  std::stringstream ss;
+  ss << "MAGI";  // half a magic
+  BinaryReader r(ss, "MAGICAAA", 1);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializationTest, HugeDeclaredStringLengthRejected) {
+  // A corrupt length prefix claiming more bytes than the stream holds must not
+  // trigger a giant allocation — the reader checks the declared size against
+  // the remaining bytes first.
+  std::stringstream ss;
+  BinaryWriter w(ss, "MAGICAAA", 1);
+  w.WriteU64(1ULL << 60);  // absurd string length, no payload behind it
+  BinaryReader r(ss, "MAGICAAA", 1);
+  const std::string s = r.ReadString();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializationTest, HugeDeclaredVectorLengthRejected) {
+  std::stringstream ss;
+  BinaryWriter w(ss, "MAGICAAA", 1);
+  w.WriteU64(1ULL << 58);  // would be an exabyte of doubles
+  BinaryReader r(ss, "MAGICAAA", 1);
+  const std::vector<double> v = r.ReadDoubleVector();
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializationTest, ReadsAfterFailureStayFailed) {
+  // Once a reader trips, every later read returns a zero value and ok() stays
+  // false — callers can batch reads and check ok() once at the end.
+  std::stringstream ss;
+  BinaryWriter w(ss, "MAGICAAA", 1);
+  w.WriteU32(5);
+  BinaryReader r(ss, "MAGICAAA", 1);
+  r.ReadU32();
+  r.ReadDouble();  // past the end: trips the failure latch
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.ReadU32(), 0u);
+  EXPECT_EQ(r.ReadI64(), 0);
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_TRUE(r.ReadDoubleVector().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializationTest, AtomicWriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mocc_atomic_write_test.bin";
+  // Seed the destination with stale content; the atomic path must replace it.
+  ASSERT_TRUE(WriteFile(path, "stale"));
+  ASSERT_TRUE(AtomicWriteFile(path, "fresh contents"));
+  std::string back;
+  ASSERT_TRUE(ReadFile(path, &back));
+  EXPECT_EQ(back, "fresh contents");
+}
+
+TEST(SerializationTest, AtomicWriteFileFailsOnBadDirectory) {
+  // Destination directory does not exist: the temp-file create fails and the
+  // call reports it instead of leaving partial state.
+  EXPECT_FALSE(AtomicWriteFile("/nonexistent-mocc-dir/x/y.bin", "data"));
+}
+
 TEST(TableTest, AlignsAndCounts) {
   TablePrinter t({"name", "value"});
   t.AddRow({"alpha", TablePrinter::Num(1.5, 2)});

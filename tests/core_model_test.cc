@@ -4,6 +4,8 @@
 // adapter and the UDT/CCP datapath shims.
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -150,6 +152,69 @@ TEST(PreferenceModelTest, LoadRejectsArchitectureMismatch) {
 TEST(PreferenceModelTest, LoadMissingFileReturnsNull) {
   EXPECT_EQ(PreferenceActorCritic::LoadFromFile("/nonexistent/never.bin", SmallConfig()),
             nullptr);
+}
+
+TEST(PreferenceModelTest, LoadRejectsTruncatedFile) {
+  // Every truncation point of a valid model file must load as nullptr — never
+  // crash, never return a half-initialized model.
+  const MoccConfig config = SmallConfig();
+  Rng rng(18);
+  PreferenceActorCritic model(config, &rng);
+  const std::string path = ::testing::TempDir() + "/mocc_model_trunc.bin";
+  ASSERT_TRUE(model.SaveToFile(path));
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    full = buf.str();
+  }
+  ASSERT_GT(full.size(), 32u);
+  // Sample cut points across the file: inside the header, inside the config
+  // fingerprint, and mid-way through the parameter payload.
+  for (size_t cut : {size_t{4}, size_t{20}, full.size() / 4, full.size() / 2,
+                     full.size() - 1}) {
+    const std::string trunc_path = ::testing::TempDir() + "/mocc_model_trunc_cut.bin";
+    std::ofstream out(trunc_path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_EQ(PreferenceActorCritic::LoadFromFile(trunc_path, config), nullptr)
+        << "truncation at byte " << cut << " of " << full.size();
+  }
+}
+
+TEST(PreferenceModelTest, LoadRejectsCorruptLengthPrefix) {
+  // Flip a length prefix to an absurd value: the loader must reject it cleanly
+  // rather than attempt a multi-gigabyte allocation.
+  const MoccConfig config = SmallConfig();
+  Rng rng(19);
+  PreferenceActorCritic model(config, &rng);
+  const std::string path = ::testing::TempDir() + "/mocc_model_corrupt.bin";
+  ASSERT_TRUE(model.SaveToFile(path));
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    full = buf.str();
+  }
+  // Stamp 0xFF over a word in the middle of the payload; whichever field it
+  // lands in (count, dimension, or value), the result must not be a crash.
+  for (size_t i = full.size() / 2; i < full.size() / 2 + 8 && i < full.size(); ++i) {
+    full[i] = static_cast<char>(0xFF);
+  }
+  const std::string corrupt_path = ::testing::TempDir() + "/mocc_model_corrupt_out.bin";
+  {
+    std::ofstream out(corrupt_path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(full.size()));
+  }
+  auto loaded = PreferenceActorCritic::LoadFromFile(corrupt_path, config);
+  if (loaded != nullptr) {
+    // If the flipped bytes landed in a value field the load can still succeed;
+    // the model must at least be usable (finite action) — no torn state.
+    std::vector<double> obs(loaded->obs_dim(), 0.1);
+    (void)loaded->ActionMean(obs);
+  }
 }
 
 TEST(ModelZooTest, TrainsOnceThenLoads) {

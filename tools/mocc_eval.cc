@@ -3,14 +3,21 @@
 //
 // Usage:
 //   mocc_eval [--model PATH] [--bw MBPS] [--owd MS] [--queue PKTS] [--loss FRAC]
-//             [--intervals N]
+//             [--intervals N] [--guard]
+//
+//   --guard drives each sweep point through the guarded deployment controller
+//   (GuardedPolicy circuit breaker + warm-standby CUBIC fallback, the same wrapper
+//   --guard enables in mocc_simulate) and adds a guard_trips column to the report.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "src/common/table.h"
 #include "src/core/mocc_api.h"
+#include "src/core/mocc_cc.h"
 #include "src/core/preference_model.h"
 #include "src/netsim/fluid_link.h"
 
@@ -23,6 +30,7 @@ int main(int argc, char** argv) {
   link.queue_capacity_pkts = 700;
   link.random_loss_rate = 0.0;
   int intervals = 600;
+  bool guard = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -45,9 +53,11 @@ int main(int argc, char** argv) {
       link.random_loss_rate = std::atof(next());
     } else if (arg == "--intervals") {
       intervals = std::atoi(next());
+    } else if (arg == "--guard") {
+      guard = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: mocc_eval [--model PATH] [--bw MBPS] [--owd MS] [--queue PKTS]\n"
-                  "                 [--loss FRAC] [--intervals N]\n");
+                  "                 [--loss FRAC] [--intervals N] [--guard]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());
@@ -67,14 +77,29 @@ int main(int argc, char** argv) {
   std::printf("model: %s | link: %.0f Mbps, %.0f ms base RTT, %d pkt queue, %.2f%% loss\n",
               model_path.c_str(), link.bandwidth_bps / 1e6, link.BaseRttS() * 1e3,
               link.queue_capacity_pkts, link.random_loss_rate * 100);
-  TablePrinter t({"weight <thr,lat,loss>", "util", "avg_rtt_ms", "loss_%", "reward"});
+  std::vector<std::string> headers = {"weight <thr,lat,loss>", "util", "avg_rtt_ms",
+                                      "loss_%", "reward"};
+  if (guard) {
+    headers.push_back("guard_trips");
+  }
+  TablePrinter t(std::move(headers));
   const WeightVector sweep[] = {{0.8, 0.1, 0.1}, {0.6, 0.3, 0.1}, {1.0 / 3, 1.0 / 3, 1.0 / 3},
                                 {0.4, 0.5, 0.1}, {0.1, 0.8, 0.1}, {0.1, 0.1, 0.8}};
+  const double initial_rate_bps = std::max(2e6, 0.25 * link.bandwidth_bps);
+  int64_t total_trips = 0;
   for (const WeightVector& w : sweep) {
+    // Two equivalent drivers of the same per-MI loop: the raw library API, or the
+    // guarded deployment controller (circuit breaker + CUBIC fallback) when
+    // --guard is set.
     MoccApi::Options options;
-    options.initial_rate_bps = std::max(2e6, 0.25 * link.bandwidth_bps);
+    options.initial_rate_bps = initial_rate_bps;
     MoccApi api(model, options);
     api.Register(w);
+    std::unique_ptr<RlRateController> cc;
+    if (guard) {
+      cc = MakeMoccCc(model, w, "MOCC", initial_rate_bps,
+                      /*float32_inference=*/false, /*guarded=*/true);
+    }
     FluidLink sim(link, 42);
     double thr = 0.0;
     double rtt = 0.0;
@@ -82,8 +107,13 @@ int main(int argc, char** argv) {
     double reward = 0.0;
     int measured = 0;
     for (int i = 0; i < intervals; ++i) {
-      const MonitorReport report = sim.Step(api.GetSendingRate(), link.BaseRttS());
-      api.ReportStatus(report);
+      const double rate_bps = guard ? cc->PacingRateBps() : api.GetSendingRate();
+      const MonitorReport report = sim.Step(rate_bps, link.BaseRttS());
+      if (guard) {
+        cc->OnMonitorInterval(report);
+      } else {
+        api.ReportStatus(report);
+      }
       if (i >= intervals / 2) {
         thr += report.throughput_bps;
         rtt += report.avg_rtt_s;
@@ -92,11 +122,21 @@ int main(int argc, char** argv) {
         ++measured;
       }
     }
-    t.AddRow({w.ToString(), TablePrinter::Num(thr / measured / link.bandwidth_bps, 2),
-              TablePrinter::Num(rtt / measured * 1e3, 1),
-              TablePrinter::Num(loss / measured * 100, 2),
-              TablePrinter::Num(reward / measured, 3)});
+    std::vector<std::string> row = {
+        w.ToString(), TablePrinter::Num(thr / measured / link.bandwidth_bps, 2),
+        TablePrinter::Num(rtt / measured * 1e3, 1),
+        TablePrinter::Num(loss / measured * 100, 2),
+        TablePrinter::Num(reward / measured, 3)};
+    if (guard) {
+      row.push_back(std::to_string(cc->guard()->trip_count()));
+      total_trips += cc->guard()->trip_count();
+    }
+    t.AddRow(std::move(row));
   }
   t.Print(std::cout);
+  if (guard) {
+    std::fprintf(stderr, "guard: %lld breaker trips across the sweep\n",
+                 static_cast<long long>(total_trips));
+  }
   return 0;
 }

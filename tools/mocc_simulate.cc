@@ -29,6 +29,11 @@
 //   NAME in {mocc, cubic, newreno, vegas, bbr, copa, allegro, vivace}
 //   --precision float32 runs MOCC's per-MI inference through the frozen float32
 //   deployment replica (src/rl/inference_policy.h) instead of the double path.
+//   --guard wraps every MOCC flow's decisions in the GuardedPolicy circuit breaker
+//   (src/rl/guarded_policy.h): violations degrade the flow to a warm-standby CUBIC
+//   fallback with periodic half-open probes; trip/fallback/recovery counts are
+//   reported per flow. Fault-injection scenarios (blackout, flaky-link, loss-burst)
+//   apply their FaultSpec to the bottleneck link here exactly as in training.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -108,6 +113,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   bool link_flags_given = false;
   bool float32_inference = false;
+  bool guard = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -201,6 +207,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--precision expects double or float32\n");
         return 2;
       }
+    } else if (arg == "--guard") {
+      guard = true;
     } else if (arg == "--list-scenarios") {
       PrintScenarioCatalog(stdout);
       return 0;
@@ -210,7 +218,7 @@ int main(int argc, char** argv) {
           "                     [--bw MBPS] [--owd MS] [--queue PKTS] [--loss FRAC]\n"
           "                     [--duration S] [--seed N] [--mahimahi TRACE]\n"
           "                     [--scenario NAME] [--list-scenarios]\n"
-          "                     [--precision double|float32]\n"
+          "                     [--precision double|float32] [--guard]\n"
           "                     [--objectives T,L,S[;T,L,S...]] [--switch TIME:T,L,S]\n"
           "\n"
           "  --objectives assigns agent flow i the i%%N-th weight triple (MOCC only),\n"
@@ -268,6 +276,9 @@ int main(int argc, char** argv) {
   if (float32_inference && scheme != "mocc") {
     std::fprintf(stderr, "warning: --precision float32 only affects --scheme mocc\n");
   }
+  if (guard && scheme != "mocc") {
+    std::fprintf(stderr, "warning: --guard only affects --scheme mocc\n");
+  }
 
   const int num_agents = scenario.has_value() ? scenario->num_agents : 1;
 
@@ -315,7 +326,17 @@ int main(int argc, char** argv) {
   // assignment MultiFlowCcEnv uses in training.
   const TopologySpec topology_spec =
       scenario.has_value() ? scenario->topology : TopologySpec{};
-  PacketNetwork net(BuildTopology(topology_spec, link), seed);
+  NetworkTopology net_topology = BuildTopology(topology_spec, link);
+  if (scenario.has_value() && !scenario->fault.empty()) {
+    // The scenario's injected fault schedule on the bottleneck link, mirroring
+    // MultiFlowCcEnv::Reset (with the phase drawn from the same rng position).
+    FaultSpec fault = scenario->fault;
+    if (fault.randomize_phase) {
+      fault.phase_s = rng.Uniform(0.0, fault.MaxPeriodS());
+    }
+    net_topology.links[0].fault = fault;
+  }
+  PacketNetwork net(std::move(net_topology), seed);
   if (!mahimahi_path.empty()) {
     if (scenario.has_value() && scenario->trace_generator) {
       std::fprintf(stderr,
@@ -364,7 +385,7 @@ int main(int argc, char** argv) {
     std::unique_ptr<CongestionControl> cc;
     if (scheme == "mocc") {
       auto controller = MakeMoccCc(model, agent_weights[static_cast<size_t>(i)], "MOCC",
-                                   initial_rate_bps, float32_inference);
+                                   initial_rate_bps, float32_inference, guard);
       agent_controllers.push_back(controller.get());
       cc = std::move(controller);
     } else {
@@ -440,6 +461,22 @@ int main(int argc, char** argv) {
                static_cast<long long>(rec.total_sent),
                static_cast<long long>(rec.total_acked),
                static_cast<long long>(rec.total_lost), rec.AvgRttS() * 1e3);
+
+  // Guardrail report: per-flow circuit-breaker activity (only with --guard).
+  if (guard && scheme == "mocc") {
+    for (size_t i = 0; i < agent_controllers.size(); ++i) {
+      const GuardedPolicy* g = agent_controllers[i]->guard();
+      const char* state = g->state() == GuardedPolicy::State::kClosed ? "closed"
+                          : g->state() == GuardedPolicy::State::kOpen ? "open"
+                                                                      : "half-open";
+      std::fprintf(stderr,
+                   "guard flow %d: trips=%lld fallback_intervals=%lld "
+                   "recoveries=%lld state=%s\n",
+                   agent_flows[i], static_cast<long long>(g->trip_count()),
+                   static_cast<long long>(g->fallback_interval_count()),
+                   static_cast<long long>(g->recovery_count()), state);
+    }
+  }
 
   // Phase report (only when switches fired): per-flow throughput/RTT in each phase,
   // so a preference switch's rate/RTT movement is visible within one run.

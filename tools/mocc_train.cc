@@ -3,6 +3,8 @@
 // Usage:
 //   mocc_train [--out PATH] [--bootstrap N] [--rounds N] [--divisor D] [--seed S]
 //              [--parallel-envs K] [--scenario LIST] [--list-scenarios] [--individual]
+//              [--checkpoint PATH] [--checkpoint-interval N] [--resume]
+//              [--stop-after N]
 //
 //   --out PATH         output model file (default mocc_model.bin)
 //   --bootstrap N      bootstrap-phase iterations (default 100)
@@ -19,6 +21,23 @@
 //                      alone and their trajectories join the same joint update.
 //   --list-scenarios   print the scenario catalog and exit
 //   --individual       train each landmark independently instead (Fig 19 baseline)
+//
+// Crash safety (two-phase training only):
+//   --checkpoint PATH          write a training checkpoint (model + optimizer +
+//                              RNG streams + counters + env state) to PATH every
+//                              --checkpoint-interval iterations and on SIGINT/
+//                              SIGTERM, via atomic rename
+//   --checkpoint-interval N    iterations between checkpoints (default 20)
+//   --resume                   resume from --checkpoint PATH; the continued run is
+//                              bit-identical with an uninterrupted one. A missing
+//                              checkpoint starts fresh; a corrupt or mismatched
+//                              one fails with exit code 1
+//   --stop-after N             stop cleanly (with a final checkpoint) after N
+//                              global iterations — crash-drill / test hook
+//
+// Exit codes: 0 success, 1 I/O or resume failure, 2 bad usage, 3 interrupted by
+// signal (final checkpoint written), 4 training watchdog exhausted its retries.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +46,14 @@
 #include "src/core/offline_trainer.h"
 #include "src/core/presets.h"
 #include "src/envs/scenario.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void HandleSignal(int /*signum*/) { g_interrupted = 1; }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mocc;
@@ -68,17 +95,38 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--individual") {
       individual = true;
+    } else if (arg == "--checkpoint") {
+      config.checkpoint_path = next();
+    } else if (arg == "--checkpoint-interval") {
+      config.checkpoint_interval = std::atoi(next());
+    } else if (arg == "--resume") {
+      config.resume = true;
+    } else if (arg == "--stop-after") {
+      config.stop_after_iterations = std::atoi(next());
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: mocc_train [--out PATH] [--bootstrap N] [--rounds N]\n"
                   "                  [--divisor D] [--seed S] [--parallel-envs K]\n"
                   "                  [--scenario LIST] [--list-scenarios]\n"
-                  "                  [--individual]\n");
+                  "                  [--individual] [--checkpoint PATH]\n"
+                  "                  [--checkpoint-interval N] [--resume]\n"
+                  "                  [--stop-after N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());
       return 2;
     }
   }
+
+  if (individual && (config.resume || !config.checkpoint_path.empty())) {
+    std::fprintf(stderr, "--checkpoint/--resume only apply to two-phase training\n");
+    return 2;
+  }
+
+  // SIGINT/SIGTERM stop training at the next iteration boundary; the trainer
+  // writes a final checkpoint (when --checkpoint is set) before returning.
+  config.interrupt_flag = &g_interrupted;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
 
   const int omega = ObjectiveGridSize(config.mocc.landmark_step_divisor);
   std::printf("training MOCC: omega=%d landmarks, %d bootstrap iters, %d rounds, %s\n",
@@ -96,14 +144,37 @@ int main(int argc, char** argv) {
   }
   const OfflineTrainResult result =
       individual ? trainer.TrainIndividually() : trainer.TrainTwoPhase();
-  std::printf("done: %d iterations in %.1f s; training reward %.3f -> %.3f\n",
-              result.total_iterations, result.wall_seconds, result.reward_curve.front(),
-              result.reward_curve.back());
+  if (result.resume_failed) {
+    std::fprintf(stderr, "--resume: %s is corrupt or from a different config\n",
+                 config.checkpoint_path.c_str());
+    return 1;
+  }
+  if (result.start_iteration > 0) {
+    std::printf("resumed from iteration %d\n", result.start_iteration);
+  }
+  if (result.watchdog_rollbacks > 0) {
+    std::printf("watchdog rollbacks: %d\n", result.watchdog_rollbacks);
+  }
+  if (!result.reward_curve.empty()) {
+    std::printf("%s: %d iterations in %.1f s; training reward %.3f -> %.3f\n",
+                result.interrupted ? "interrupted" : "done", result.total_iterations,
+                result.wall_seconds, result.reward_curve.front(),
+                result.reward_curve.back());
+  }
   if (!model.SaveToFile(out_path)) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
     return 1;
   }
   std::printf("model saved to %s (%zu parameters)\n", out_path.c_str(),
               model.ParameterCount());
+  if (result.watchdog_failed) {
+    std::fprintf(stderr,
+                 "training watchdog exhausted its retries; model saved at the last "
+                 "healthy state\n");
+    return 4;
+  }
+  if (result.interrupted) {
+    return 3;
+  }
   return 0;
 }
