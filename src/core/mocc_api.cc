@@ -1,39 +1,127 @@
 #include "src/core/mocc_api.h"
 
-#include <algorithm>
 #include <cassert>
+#include <utility>
 
-#include "src/envs/cc_env.h"
+#include "src/serving/serving_engine.h"
 
 namespace mocc {
 
-MoccApi::MoccApi(std::shared_ptr<PreferenceActorCritic> model, const Options& options)
-    : model_(std::move(model)),
-      options_(options),
-      history_(options.config.history_len_eta),
-      rate_bps_(options.initial_rate_bps) {
-  assert(model_ != nullptr);
-  assert(model_->obs_dim() == options_.config.ObsDim());
+MoccServing::MoccServing(const PolicySpec& spec, const Options& options) {
+  std::shared_ptr<PreferenceActorCritic> model = spec.ResolveModel();
+  assert(model != nullptr && "use CreateService() to handle resolution failure");
+  engine_ = std::make_unique<ServingEngine>(spec, std::move(model), options);
 }
+
+MoccServing::~MoccServing() = default;
+
+ServingConnId MoccServing::AttachConnection(const WeightVector& w) {
+  return AttachConnection(w, ConnectionOptions{});
+}
+
+ServingConnId MoccServing::AttachConnection(const WeightVector& w,
+                                            const ConnectionOptions& options) {
+  return engine_->Attach(w, options);
+}
+
+bool MoccServing::DetachConnection(ServingConnId id) { return engine_->Detach(id); }
+
+bool MoccServing::SwitchObjective(ServingConnId id, const WeightVector& w) {
+  return engine_->SwitchObjective(id, w);
+}
+
+void MoccServing::OnFlowStart(ServingConnId id, double now_s) {
+  engine_->OnFlowStart(id, now_s);
+}
+
+void MoccServing::OnPacketSent(ServingConnId id, int64_t packets) {
+  engine_->OnPacketSent(id, packets);
+}
+
+void MoccServing::OnAck(ServingConnId id, const AckInfo& ack) { engine_->OnAck(id, ack); }
+
+void MoccServing::OnLoss(ServingConnId id, const LossInfo& loss) {
+  engine_->OnLoss(id, loss);
+}
+
+void MoccServing::OnTimeout(ServingConnId id, double now_s) {
+  engine_->OnTimeout(id, now_s);
+}
+
+bool MoccServing::SubmitReport(ServingConnId id, const MonitorReport& report) {
+  return engine_->SubmitReport(id, report);
+}
+
+size_t MoccServing::RatePoll() { return engine_->PollPending(); }
+
+size_t MoccServing::RatePoll(double now_s) { return engine_->PollAt(now_s); }
+
+double MoccServing::RateBps(ServingConnId id) const { return engine_->RateBps(id); }
+
+int64_t MoccServing::DecisionCount(ServingConnId id) const {
+  return engine_->DecisionCount(id);
+}
+
+const GuardedPolicy* MoccServing::Guard(ServingConnId id) const {
+  return engine_->Guard(id);
+}
+
+const MoccServing::Stats& MoccServing::stats() const { return engine_->stats(); }
+
+size_t MoccServing::attached() const { return engine_->attached(); }
+
+int64_t MoccServing::PnRecomputeCount() const { return engine_->PnRecomputeCount(); }
+
+std::unique_ptr<MoccServing> CreateService(const PolicySpec& spec,
+                                           const MoccServing::Options& options) {
+  if (spec.ResolveModel() == nullptr) {
+    return nullptr;  // ResolveModel already printed the diagnostic
+  }
+  return std::make_unique<MoccServing>(spec, options);
+}
+
+MoccApi::MoccApi(std::shared_ptr<PreferenceActorCritic> model, const Options& options)
+    : options_(options) {
+  assert(model != nullptr);
+  assert(model->obs_dim() == options_.config.ObsDim());
+  PolicySpec spec;
+  spec.WithModel(std::move(model))
+      .WithConfig(options_.config)
+      .WithPrecision(Precision::kDouble)
+      .WithInitialRate(options_.initial_rate_bps)
+      .WithRateBounds(options_.min_rate_bps, options_.max_rate_bps);
+  serving_ = std::make_unique<MoccServing>(spec, MoccServing::Options{});
+}
+
+MoccApi::~MoccApi() = default;
 
 void MoccApi::Register(const WeightVector& w) {
   weight_ = w.Sanitized();
-  registered_ = true;
+  if (!registered_) {
+    MoccServing::ConnectionOptions copts;
+    copts.initial_rate_bps = options_.initial_rate_bps;
+    conn_ = serving_->AttachConnection(weight_, copts);
+    registered_ = true;
+    return;
+  }
+  serving_->SwitchObjective(conn_, weight_);  // history and rate carry over
 }
 
 void MoccApi::ReportStatus(const MonitorReport& status) {
   assert(registered_ && "Register(w) must be called before ReportStatus");
-  history_.Push(status);
   estimator_.Observe(status);
   last_reward_ = DynamicReward(weight_, status, estimator_.CapacityBps(),
                                estimator_.BaseRttS());
+  serving_->SubmitReport(conn_, status);
+  serving_->RatePoll();
+}
 
-  std::vector<double> obs = {weight_.thr, weight_.lat, weight_.loss};
-  history_.AppendObservation(&obs);
-  const double action = model_->ActionMean(obs);
-  ++inference_count_;
-  rate_bps_ = CcEnv::ApplyRateAction(rate_bps_, action, options_.config.action_scale_alpha);
-  rate_bps_ = std::clamp(rate_bps_, options_.min_rate_bps, options_.max_rate_bps);
+double MoccApi::GetSendingRate() const {
+  return registered_ ? serving_->RateBps(conn_) : options_.initial_rate_bps;
+}
+
+int64_t MoccApi::inference_count() const {
+  return registered_ ? serving_->DecisionCount(conn_) : 0;
 }
 
 }  // namespace mocc

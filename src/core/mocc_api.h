@@ -1,25 +1,150 @@
-// The deployable MOCC library facade (§5). The paper encapsulates all of MOCC behind
-// three functions so any networking datapath (user-space UDT, kernel-space CCP, ...) can
-// adopt it:
-//   * Register(w)        — declare the application's requirement (weight vector);
-//   * ReportStatus(s_t)  — feed the latest monitor-interval network statistics;
-//   * GetSendingRate()   — read the sending rate MOCC computed for the next interval.
-// The facade runs pure inference on an offline-trained PreferenceActorCritic and uses
-// the online estimators of §4.1 for capacity/base-latency bookkeeping.
+// The deployable MOCC library facade (§5), at two scales.
+//
+// Connection scale — MoccServing: one service instance terminates many flows
+// behind a c4/picoquic-style registration surface:
+//
+//   PolicySpec spec; spec.WithCheckpoint("model.bin").WithPrecision(Precision::kFloat32);
+//   auto service = CreateService(spec);
+//   ServingConnId id = service->AttachConnection(w);       // per new connection
+//   service->OnAck(id, ack); service->OnLoss(id, loss);    // per-packet feedback
+//   service->SubmitReport(id, report);                     // external MI clocking, or
+//   service->RatePoll(now_s);                              // service-tick clocking
+//   double rate = service->RateBps(id);
+//
+// All attached connections share ONE model and ONE float32 inference replica;
+// per-connection state lives in a contiguous slab (src/serving/connection_slab.h)
+// and connections whose monitor intervals expire in the same service tick are
+// collected by a deadline wheel and decided in one batched forward pass
+// (src/serving/serving_engine.h) instead of N single-row calls.
+//
+// Single connection — MoccApi: the paper's three-function facade
+// (Register / ReportStatus / GetSendingRate), now a thin veneer over a private
+// one-connection MoccServing so embedders that start with the paper API are
+// already on the serving path when they scale out.
 #ifndef MOCC_SRC_CORE_MOCC_API_H_
 #define MOCC_SRC_CORE_MOCC_API_H_
 
+#include <array>
+#include <cstdint>
 #include <memory>
 
 #include "src/core/mocc_config.h"
+#include "src/core/policy_spec.h"
 #include "src/core/preference_model.h"
 #include "src/core/reward.h"
 #include "src/core/weight_vector.h"
-#include "src/envs/mi_history.h"
 #include "src/netsim/cc_interface.h"
+#include "src/rl/guarded_policy.h"
 
 namespace mocc {
 
+class ServingEngine;
+
+// Handle to one attached connection. Stale handles (detached, or a recycled slot)
+// are rejected by every MoccServing call — the slot's generation must match.
+struct ServingConnId {
+  int32_t slot = -1;
+  uint32_t generation = 0;
+  bool valid() const { return slot >= 0; }
+};
+
+class MoccServing {
+ public:
+  struct Options {
+    // Service tick length: the granularity at which self-timed monitor intervals
+    // expire (and therefore batch together).
+    double tick_s = 0.001;
+    // Deadline-wheel ring size (rounded up to a power of two).
+    size_t wheel_slots = 256;
+  };
+
+  struct ConnectionOptions {
+    double initial_rate_bps = 2e6;
+    // > 0: the service clocks this connection's monitor intervals itself on the
+    // tick wheel (rounded to whole ticks, minimum one) and synthesizes reports
+    // from the OnPacketSent/OnAck/OnLoss accumulators; SubmitReport is rejected.
+    // 0 (default): the embedder submits MonitorReports explicitly.
+    double mi_duration_s = 0.0;
+    // Wheel start time for self-timed connections (first deadline is
+    // start_time_s + mi_duration_s).
+    double start_time_s = 0.0;
+  };
+
+  struct Stats {
+    int64_t decisions = 0;   // policy inferences across all connections
+    int64_t polls = 0;       // RatePoll calls
+    int64_t max_batch = 0;   // largest single batched forward
+    // Histogram of batched-forward sizes: bucket i counts batches of size in
+    // [2^i, 2^(i+1)).
+    std::array<int64_t, 16> batch_size_log2_hist{};
+  };
+
+  MoccServing(const PolicySpec& spec, const Options& options);
+  ~MoccServing();
+  MoccServing(const MoccServing&) = delete;
+  MoccServing& operator=(const MoccServing&) = delete;
+
+  // Attaches a connection with requirement `w` (sanitized internally). The
+  // returned handle indexes slab state directly; slots are recycled after
+  // DetachConnection with a bumped generation.
+  ServingConnId AttachConnection(const WeightVector& w);
+  ServingConnId AttachConnection(const WeightVector& w,
+                                 const ConnectionOptions& options);
+  bool DetachConnection(ServingConnId id);
+
+  // Re-registers the connection's objective; rate control picks up the new
+  // preference at its next decision. History and rate carry over.
+  bool SwitchObjective(ServingConnId id, const WeightVector& w);
+
+  // Per-packet feedback. Feeds the guard's warm-standby fallback (when the spec
+  // is guarded) and, for self-timed connections, the MI accumulators.
+  void OnFlowStart(ServingConnId id, double now_s);
+  void OnPacketSent(ServingConnId id, int64_t packets = 1);
+  void OnAck(ServingConnId id, const AckInfo& ack);
+  void OnLoss(ServingConnId id, const LossInfo& loss);
+  void OnTimeout(ServingConnId id, double now_s);
+
+  // Queues one monitor interval's statistics for an externally clocked
+  // connection (at most one per RatePoll; self-timed connections reject it).
+  // The decision happens at the next RatePoll.
+  bool SubmitReport(ServingConnId id, const MonitorReport& report);
+
+  // Decides every queued report in one batched forward pass. Returns the number
+  // of decisions made.
+  size_t RatePoll();
+  // Advances the service clock to `now_s` first: self-timed connections whose
+  // intervals expired synthesize their reports and join the batch.
+  size_t RatePoll(double now_s);
+
+  // Sending rate (bits/second) for the next interval; 0 for stale handles.
+  double RateBps(ServingConnId id) const;
+  // Policy inferences for this connection (breaker-open intervals excluded).
+  int64_t DecisionCount(ServingConnId id) const;
+  // The connection's circuit breaker (nullptr when unguarded or stale). The
+  // pointer is invalidated by the next AttachConnection (slab growth) — read,
+  // don't hold.
+  const GuardedPolicy* Guard(ServingConnId id) const;
+
+  const Stats& stats() const;
+  size_t attached() const;
+  // The shared policy's PN recomputes (float32 specs only; -1 on the double
+  // path) — one per distinct weight prefix per batch when batches are sorted.
+  int64_t PnRecomputeCount() const;
+
+ private:
+  std::unique_ptr<ServingEngine> engine_;
+};
+
+// Builds a service from the spec (the one deployment surface — CLI tools, the
+// bench and MoccApi all go through here). Returns nullptr when the spec's model
+// cannot be resolved.
+std::unique_ptr<MoccServing> CreateService(const PolicySpec& spec,
+                                           const MoccServing::Options& options = {});
+
+// The paper's single-connection facade: Register(w) / ReportStatus(s_t) /
+// GetSendingRate(). Runs pure double-precision inference on the shared model
+// plus the §4.1 online estimators, exactly as before the serving layer existed —
+// internally it is connection 0 of a private MoccServing.
 class MoccApi {
  public:
   struct Options {
@@ -29,27 +154,29 @@ class MoccApi {
     double max_rate_bps = 400e6;
   };
 
-  // `model` must match options.config's architecture. The model is shared: many MoccApi
-  // instances (one per connection) can serve different applications from one model —
-  // the multi-objective property.
+  // `model` must match options.config's architecture. The model is shared: many
+  // MoccApi instances (one per connection) can serve different applications from
+  // one model — the multi-objective property.
   MoccApi(std::shared_ptr<PreferenceActorCritic> model, const Options& options);
   explicit MoccApi(std::shared_ptr<PreferenceActorCritic> model)
       : MoccApi(std::move(model), Options{}) {}
+  ~MoccApi();
 
-  // Registers the application requirement. May be called again at any time to switch
-  // objectives; rate control picks up the new preference at the next ReportStatus.
+  // Registers the application requirement. May be called again at any time to
+  // switch objectives; rate control picks up the new preference at the next
+  // ReportStatus (history carries over).
   void Register(const WeightVector& w);
 
   // Reports the latest network status; MOCC updates its rate decision (Eq. 1).
   void ReportStatus(const MonitorReport& status);
 
   // Sending rate (bits/second) for the next time interval.
-  double GetSendingRate() const { return rate_bps_; }
+  double GetSendingRate() const;
 
   const WeightVector& registered_weight() const { return weight_; }
   bool is_registered() const { return registered_; }
   // Policy inferences performed (one per ReportStatus) — overhead accounting (Fig 17).
-  int64_t inference_count() const { return inference_count_; }
+  int64_t inference_count() const;
   // Online estimates (§4.1): observed capacity and base latency.
   double EstimatedCapacityBps() const { return estimator_.CapacityBps(); }
   double EstimatedBaseRttS() const { return estimator_.BaseRttS(); }
@@ -58,15 +185,13 @@ class MoccApi {
   double LastReward() const { return last_reward_; }
 
  private:
-  std::shared_ptr<PreferenceActorCritic> model_;
   Options options_;
   WeightVector weight_;
   bool registered_ = false;
-  MiHistoryTracker history_;
   OnlineLinkEstimator estimator_;
-  double rate_bps_;
   double last_reward_ = 0.0;
-  int64_t inference_count_ = 0;
+  std::unique_ptr<MoccServing> serving_;
+  ServingConnId conn_;
 };
 
 }  // namespace mocc

@@ -1,21 +1,19 @@
 #include "src/core/mocc_cc.h"
 
+#include "src/core/policy_spec.h"
+
 namespace mocc {
 
 std::unique_ptr<RlRateController> MakeMoccCc(std::shared_ptr<PreferenceActorCritic> model,
                                              const WeightVector& w, const std::string& name,
                                              double initial_rate_bps,
                                              bool float32_inference, bool guarded) {
-  const WeightVector sanitized = w.Sanitized();
-  RlRateController::Options options;
-  options.history_len = model->config().history_len_eta;
-  options.action_scale = model->config().action_scale_alpha;
-  options.initial_rate_bps = initial_rate_bps;
-  options.observation_prefix = {sanitized.thr, sanitized.lat, sanitized.loss};
-  options.name = name;
-  options.float32_inference = float32_inference;
-  options.guard = guarded;
-  return std::make_unique<RlRateController>(std::move(model), std::move(options));
+  return PolicySpec()
+      .WithModel(std::move(model))
+      .WithPrecision(float32_inference ? Precision::kFloat32 : Precision::kDouble)
+      .WithGuard(guarded)
+      .WithName(name)
+      .MakeController(w, initial_rate_bps);
 }
 
 }  // namespace mocc

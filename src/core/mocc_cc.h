@@ -15,7 +15,9 @@
 
 namespace mocc {
 
-// Creates a MOCC congestion controller for one flow with requirement `w`. With
+// Creates a MOCC congestion controller for one flow with requirement `w`. A thin
+// source-compatibility wrapper over the PolicySpec builder (src/core/policy_spec.h),
+// which new code should use directly. With
 // `float32_inference`, the per-MI policy forward runs through the model's frozen
 // float32 deployment replica (see src/rl/inference_policy.h) instead of the
 // double-precision path; the replica is built per controller at call time. With

@@ -98,6 +98,24 @@ inline void RowMatVecTile(const T* x, const T* w, const T* b, T* y, size_t in,
   }
 }
 
+// Scalar tail for columns [j0, out) — one function shared by the single-row and
+// row-pair drivers so both paths run through identical code (FP contraction is
+// a codegen decision; two same-shaped source loops are not guaranteed to fuse
+// multiply-adds the same way, and the serving layer's batched-vs-sequential
+// bit-identity contract cannot tolerate that).
+template <typename T>
+inline void RowMatVecScalarTail(const T* x, const T* w, const T* b, T* y, size_t in,
+                                size_t out, size_t j0) {
+  for (; j0 < out; ++j0) {
+    T acc = T(0);
+    const T* wp = w + j0;
+    for (size_t k = 0; k < in; ++k, wp += out) {
+      acc += x[k] * *wp;
+    }
+    y[j0] = acc + b[j0];
+  }
+}
+
 }  // namespace
 
 template <typename T>
@@ -116,17 +134,40 @@ void RowMatVecBias(const T* x, const T* w, const T* b, T* y, size_t in, size_t o
   for (; j0 + 8 <= out; j0 += 8) {
     RowMatVecTile<8>(x, w, b, y, in, out, j0);
   }
-  for (; j0 < out; ++j0) {
-    T acc = T(0);
-    const T* wp = w + j0;
-    for (size_t k = 0; k < in; ++k, wp += out) {
-      acc += x[k] * *wp;
-    }
-    y[j0] = acc + b[j0];
-  }
+  RowMatVecScalarTail(x, w, b, y, in, out, j0);
 }
 
 namespace {
+
+// Two rows at once: y0 = x0·W + b, y1 = x1·W + b — the batch>1 serving path's
+// bandwidth saver. Each TILE-wide column block of W is streamed once and consumed
+// by both rows back-to-back while it is still L1-hot, instead of each row
+// re-fetching the whole of W. The per-row arithmetic is the *same template
+// instantiations* RowMatVecBias runs (RowMatVecTile / RowMatVecScalarTail, same
+// 32/16/8/scalar block sequence) — deliberately NOT a fused two-accumulator
+// kernel: an interleaved acc0/acc1 inner loop is contracted into FMAs
+// differently than the single-stream loop under -ffp-contract=fast, which
+// breaks the serving layer's batched-vs-sequential bit-identity contract in
+// float32 even though the two source loops are element-wise identical.
+template <typename T>
+void RowPairMatVecBias(const T* x0, const T* x1, const T* w, const T* b, T* y0, T* y1,
+                       size_t in, size_t out) {
+  size_t j0 = 0;
+  for (; j0 + 32 <= out; j0 += 32) {
+    RowMatVecTile<32>(x0, w, b, y0, in, out, j0);
+    RowMatVecTile<32>(x1, w, b, y1, in, out, j0);
+  }
+  for (; j0 + 16 <= out; j0 += 16) {
+    RowMatVecTile<16>(x0, w, b, y0, in, out, j0);
+    RowMatVecTile<16>(x1, w, b, y1, in, out, j0);
+  }
+  for (; j0 + 8 <= out; j0 += 8) {
+    RowMatVecTile<8>(x0, w, b, y0, in, out, j0);
+    RowMatVecTile<8>(x1, w, b, y1, in, out, j0);
+  }
+  RowMatVecScalarTail(x0, w, b, y0, in, out, j0);
+  RowMatVecScalarTail(x1, w, b, y1, in, out, j0);
+}
 
 // Shared inner kernel for MatMulInto/MatMulBiasInto: C (already initialized)
 // += A * B, cache-blocked over the reduction dimension.
@@ -152,22 +193,31 @@ void MatMulAccumulateRaw(const T* ad, const T* bd, T* cd, size_t m, size_t k_dim
 }  // namespace
 
 template <typename T>
+void MatMulBiasRowsInto(const T* a, size_t m, const MatrixT<T>& b,
+                        const MatrixT<T>& bias, T* c) {
+  assert(bias.rows() == 1 && bias.cols() == b.cols());
+  const size_t k_dim = b.rows();
+  const size_t n = b.cols();
+  const T* bd = b.data();
+  const T* biasd = bias.data();
+  size_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    RowPairMatVecBias(a + i * k_dim, a + (i + 1) * k_dim, bd, biasd, c + i * n,
+                      c + (i + 1) * n, k_dim, n);
+  }
+  if (i < m) {
+    RowMatVecBias(a + i * k_dim, bd, biasd, c + i * n, k_dim, n);
+  }
+}
+
+template <typename T>
 void MatMulBiasInto(const MatrixT<T>& a, const MatrixT<T>& b, const MatrixT<T>& bias,
                     MatrixT<T>* c) {
   assert(a.cols() == b.rows());
   assert(bias.rows() == 1 && bias.cols() == b.cols());
   assert(c != &a && c != &b && c != &bias);
-  const size_t m = a.rows();
-  const size_t k_dim = a.cols();
-  const size_t n = b.cols();
-  c->Resize(m, n);
-  const T* ad = a.data();
-  const T* bd = b.data();
-  const T* biasd = bias.data();
-  T* cd = c->data();
-  for (size_t i = 0; i < m; ++i) {
-    RowMatVecBias(ad + i * k_dim, bd, biasd, cd + i * n, k_dim, n);
-  }
+  c->Resize(a.rows(), b.cols());
+  MatMulBiasRowsInto(a.data(), a.rows(), b, bias, c->data());
 }
 
 template <typename T>
@@ -350,6 +400,8 @@ double FrobeniusNorm(const MatrixT<T>& m) {
   template void MatMulInto<T>(const MatrixT<T>&, const MatrixT<T>&, MatrixT<T>*);      \
   template void MatMulBiasInto<T>(const MatrixT<T>&, const MatrixT<T>&,                \
                                   const MatrixT<T>&, MatrixT<T>*);                     \
+  template void MatMulBiasRowsInto<T>(const T*, size_t, const MatrixT<T>&,             \
+                                      const MatrixT<T>&, T*);                          \
   template void RowMatVecBias<T>(const T*, const T*, const T*, T*, size_t, size_t);    \
   template void MatMulTransposeBInto<T>(const MatrixT<T>&, const MatrixT<T>&,          \
                                         MatrixT<T>*);                                  \

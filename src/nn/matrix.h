@@ -118,13 +118,22 @@ void MatMulInto(const MatrixT<T>& a, const MatrixT<T>& b, MatrixT<T>* c);
 
 // C = A * B + 1·bias (every output row is initialized with the 1 x B.cols() row
 // vector `bias`, then accumulated): the fused dense-layer kernel, saving a
-// separate bias pass over C. Implemented as RowMatVecBias over every row of A, so
-// batched and single-row forwards run the exact same compiled kernel and produce
-// bit-identical values (FMA contraction is a per-loop compiler choice; sharing
-// the kernel removes it as a divergence source).
+// separate bias pass over C. Rows of A are processed in register-tiled pairs
+// whose column blocks of B are consumed back-to-back while L1-hot (the
+// batched-serving path's bandwidth saver); every row runs through the same tile
+// instantiations as RowMatVecBias, so batched and single-row forwards produce
+// bit-identical values per row.
 template <typename T>
 void MatMulBiasInto(const MatrixT<T>& a, const MatrixT<T>& b, const MatrixT<T>& bias,
                     MatrixT<T>* c);
+
+// Raw-pointer variant of MatMulBiasInto for caller-owned row-major buffers:
+// C[m x B.cols()] = A[m x B.rows()] · B + 1·bias. This is the allocation- and
+// copy-free core MatMulBiasInto forwards to; MlpT::ForwardBatchRows feeds each
+// layer's input buffer to it directly instead of staging a MatrixT copy.
+template <typename T>
+void MatMulBiasRowsInto(const T* a, size_t m, const MatrixT<T>& b,
+                        const MatrixT<T>& bias, T* c);
 
 // y[0..out) = x[0..in) · w (in x out, row-major) + b[0..out), register-tiled:
 // fixed-size accumulator blocks stay in SIMD registers across the reduction.

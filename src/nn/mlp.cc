@@ -272,6 +272,37 @@ void MlpT<T>::ForwardRow(const std::vector<T>& in, std::vector<T>* out) const {
 }
 
 template <typename T>
+void MlpT<T>::ForwardBatchRows(const T* in, size_t n, T* out) const {
+  assert(!layers_.empty());
+  if (n == 0) {
+    return;
+  }
+  // Copy-free pipeline: the first layer reads `in` directly, the last writes
+  // `out` directly, and only the interior layers ping-pong through the batch
+  // scratch matrices.
+  const T* cur = in;
+  MatrixT<T>* ping = &batch_ping_;
+  MatrixT<T>* pong = &batch_pong_;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const DenseLayerT<T>& layer = layers_[i];
+    const size_t layer_out = layer.weights().cols();
+    T* dst;
+    if (i + 1 == layers_.size()) {
+      dst = out;
+    } else {
+      ping->Resize(n, layer_out);
+      dst = ping->data();
+    }
+    MatMulBiasRowsInto(cur, n, layer.weights(), layer.bias(), dst);
+    // Elementwise, so applying it over the flattened batch matches the per-row
+    // application bit-for-bit.
+    ApplyActivation(layer.activation(), dst, n * layer_out);
+    cur = dst;
+    std::swap(ping, pong);
+  }
+}
+
+template <typename T>
 MatrixT<T> MlpT<T>::Forward(const MatrixT<T>& x) {
   MatrixT<T> y;
   ForwardInto(x, &y);

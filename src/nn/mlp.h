@@ -151,6 +151,8 @@ class MlpT {
     acts_.clear();
     row_ping_.clear();
     row_pong_.clear();
+    batch_ping_.Resize(0, 0);
+    batch_pong_.Resize(0, 0);
   }
 
   // Allocation-free batched forward pass (rows = samples, cols = in_dim) into `y`.
@@ -167,6 +169,15 @@ class MlpT {
   // to a 1-row batched forward. Does NOT cache activations for BackwardInto.
   void ForwardRow(const T* in, T* out) const;
   void ForwardRow(const std::vector<T>& in, std::vector<T>* out) const;
+
+  // Inference over n packed rows (in = n x in_dim(), out = n x out_dim(), both
+  // row-major, caller-owned): the serving batch path. One MatMulBiasInto per layer
+  // amortizes the weight-matrix reads across the batch; every output row is
+  // bit-for-bit equal to ForwardRow on the same input row (the kernels share the
+  // per-element accumulation recipe — see matrix.h). Uses per-network scratch
+  // matrices (zero allocation in steady state); does NOT cache activations for
+  // BackwardInto. Same single-thread contract as ForwardRow.
+  void ForwardBatchRows(const T* in, size_t n, T* out) const;
 
   // Legacy allocating wrappers around the Into paths.
   MatrixT<T> Forward(const MatrixT<T>& x);
@@ -204,6 +215,8 @@ class MlpT {
   MatrixT<T> grad_pong_;
   mutable std::vector<T> row_ping_;
   mutable std::vector<T> row_pong_;
+  mutable MatrixT<T> batch_ping_;  // ForwardBatchRows staging
+  mutable MatrixT<T> batch_pong_;
 };
 
 // The historical names: the double-precision training network.

@@ -26,9 +26,12 @@ EvalResult EvaluatePolicy(ActorCritic* model, Env* env, int episodes);
 // Evaluates the deterministic policy of a float32 deployment replica.
 EvalResult EvaluatePolicy(InferencePolicy* policy, Env* env, int episodes);
 
-// Builds `model`'s frozen float32 replica and evaluates it — the deployment-
-// precision counterpart of EvaluatePolicy(model, ...). Requires the model to
-// provide a float32 path (MakeFloat32Policy() != nullptr).
+// DEPRECATED: duplicate of the EvaluatePolicy(InferencePolicy*) entry point —
+// build the replica yourself (model.MakeFloat32Policy()) and call that overload.
+// Scheduled for hard removal; see the PR 7 note in CHANGES.md.
+[[deprecated(
+    "call EvaluatePolicy(model.MakeFloat32Policy().get(), ...) instead; "
+    "slated for removal — see CHANGES.md")]]
 EvalResult EvaluatePolicyFloat32(const ActorCritic& model, Env* env, int episodes);
 
 }  // namespace mocc

@@ -4,6 +4,33 @@
 #include <cassert>
 
 namespace mocc {
+namespace {
+
+// Debug enforcement of the single-thread scratch contract (see the header): every
+// public entry point flips the reentrancy flag for its duration; two overlapping
+// calls — concurrent threads, or reentry from a virtual override — trip the
+// assert. Release builds (NDEBUG) keep the flag but skip the exchange entirely.
+#ifndef NDEBUG
+class ScratchGuard {
+ public:
+  explicit ScratchGuard(std::atomic<bool>* flag) : flag_(flag) {
+    const bool was_in_use = flag_->exchange(true, std::memory_order_acquire);
+    assert(!was_in_use &&
+           "InferencePolicy scratch state entered concurrently: one instance must "
+           "not be used from two threads at once (clone a replica per thread)");
+    (void)was_in_use;
+  }
+  ~ScratchGuard() { flag_->store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool>* flag_;
+};
+#define MOCC_SCRATCH_GUARD(flag) ScratchGuard scratch_guard_(flag)
+#else
+#define MOCC_SCRATCH_GUARD(flag) (void)(flag)
+#endif
+
+}  // namespace
 
 const float* InferencePolicy::NarrowObs(const std::vector<double>& obs) {
   assert(obs.size() == obs_dim());
@@ -16,6 +43,7 @@ const float* InferencePolicy::NarrowObs(const std::vector<double>& obs) {
 
 void InferencePolicy::ForwardRow(const std::vector<double>& obs, double* mean,
                                  double* value) {
+  MOCC_SCRATCH_GUARD(&scratch_in_use_);
   float m = 0.0f;
   float v = 0.0f;
   ForwardRowF32(NarrowObs(obs), &m, &v);
@@ -24,9 +52,22 @@ void InferencePolicy::ForwardRow(const std::vector<double>& obs, double* mean,
 }
 
 double InferencePolicy::ActionMean(const std::vector<double>& obs) {
+  MOCC_SCRATCH_GUARD(&scratch_in_use_);
   float mean = 0.0f;
   ForwardRowF32Actor(NarrowObs(obs), &mean);
   return static_cast<double>(mean);
+}
+
+float InferencePolicy::ActionMeanF32(const float* obs) {
+  MOCC_SCRATCH_GUARD(&scratch_in_use_);
+  float mean = 0.0f;
+  ForwardRowF32Actor(obs, &mean);
+  return mean;
+}
+
+void InferencePolicy::ActionMeansF32(const float* obs, size_t n, float* means) {
+  MOCC_SCRATCH_GUARD(&scratch_in_use_);
+  ForwardBatchF32Actor(obs, n, means);
 }
 
 MlpFloat32Policy::MlpFloat32Policy(const MlpT<double>& actor, const MlpT<double>& critic,
@@ -43,6 +84,12 @@ void MlpFloat32Policy::ForwardRowF32(const float* obs, float* mean, float* value
 
 void MlpFloat32Policy::ForwardRowF32Actor(const float* obs, float* mean) {
   actor_.ForwardRow(obs, mean);
+}
+
+void MlpFloat32Policy::ForwardBatchF32Actor(const float* obs, size_t n, float* means) {
+  // actor out_dim is 1 (the scalar action mean), so the batch output lands
+  // directly in `means`.
+  actor_.ForwardBatchRows(obs, n, means);
 }
 
 PreferenceFloat32Policy::PreferenceFloat32Policy(
@@ -87,10 +134,44 @@ void PreferenceFloat32Policy::ForwardHeadRow(Head* head, const float* obs, float
     head->pn.ForwardRow(obs, concat);
     std::copy(obs, obs + weight_dim_, head->pn_cache_w.begin());
     head->pn_cache_valid = true;
+    if (head == &actor_) {
+      ++pn_recompute_count_;
+    }
   }
   std::copy(obs + weight_dim_, obs + weight_dim_ + hist_dim_,
             head->concat_row.begin() + static_cast<ptrdiff_t>(pn_out_));
   head->trunk.ForwardRow(concat, out);
+}
+
+void PreferenceFloat32Policy::ForwardBatchF32Actor(const float* obs, size_t n,
+                                                   float* means) {
+  // Batch counterpart of ForwardHeadRow on the actor head. The PN cache rolls
+  // through the batch exactly as it would across n sequential calls: a row whose
+  // leading weight vector matches the current cache reuses the concat prefix, a
+  // mismatch recomputes and re-keys it. Callers that sort rows by weight prefix
+  // therefore pay one PN pass per distinct prefix. The trunk then runs one
+  // batched forward over the staged concat rows (out_dim 1 → straight into
+  // `means`), bit-identical per row to the sequential trunk.ForwardRow.
+  Head* head = &actor_;
+  const size_t concat_dim = pn_out_ + hist_dim_;
+  const size_t dim = obs_dim();
+  batch_concat_.Resize(n, concat_dim);
+  float* staged = batch_concat_.data();
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = obs + i * dim;
+    const bool pn_hit = head->pn_cache_valid &&
+                        std::equal(row, row + weight_dim_, head->pn_cache_w.begin());
+    if (!pn_hit) {
+      head->pn.ForwardRow(row, head->concat_row.data());
+      std::copy(row, row + weight_dim_, head->pn_cache_w.begin());
+      head->pn_cache_valid = true;
+      ++pn_recompute_count_;
+    }
+    float* dst = staged + i * concat_dim;
+    std::copy(head->concat_row.data(), head->concat_row.data() + pn_out_, dst);
+    std::copy(row + weight_dim_, row + dim, dst + pn_out_);
+  }
+  head->trunk.ForwardBatchRows(staged, n, means);
 }
 
 void PreferenceFloat32Policy::ForwardRowF32(const float* obs, float* mean, float* value) {

@@ -15,13 +15,20 @@
 // only on the leading weight vector, which is constant across monitor intervals in
 // deployment). Models hand out their replica through ActorCritic::MakeFloat32Policy.
 //
-// Thread safety: one InferencePolicy must not be used from two threads at once
-// (scratch rows and the PN cache are per-instance); build one per flow/thread —
-// the replica conversion is cheap next to a single rollout.
+// Thread safety: one InferencePolicy must not be used from two threads at once,
+// even for const-looking queries (scratch rows, batch workspaces and the PN cache
+// are per-instance). Sequential use from different threads with external ordering
+// is fine. The serving layer shares one replica across every attached connection
+// and serializes all calls through its poll loop; anything else must clone its
+// own replica (the conversion is cheap next to a single rollout). Debug builds
+// enforce the contract with an assert on a reentrancy flag; release builds carry
+// the flag but skip the check.
 #ifndef MOCC_SRC_RL_INFERENCE_POLICY_H_
 #define MOCC_SRC_RL_INFERENCE_POLICY_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -46,6 +53,17 @@ class InferencePolicy {
   // the per-step cost; the mean is bit-identical to ForwardRow's.
   double ActionMean(const std::vector<double>& obs);
 
+  // Actor-only mean for one already-narrowed float32 observation row (the
+  // serving layer narrows straight out of its slab, skipping the double vector).
+  float ActionMeanF32(const float* obs);
+
+  // Batched actor-only means: `obs` is n packed rows of obs_dim() floats, `means`
+  // receives n values. Every output is bit-identical to n sequential
+  // ActionMeanF32 calls on the same rows starting from the same cache state (the
+  // contract tests/serving_test.cc pins down); backends override to amortize
+  // weight reads across the batch.
+  void ActionMeansF32(const float* obs, size_t n, float* means);
+
   virtual size_t obs_dim() const = 0;
 
   // The trained global log standard deviation, carried over for consumers that
@@ -63,6 +81,19 @@ class InferencePolicy {
     float value = 0.0f;
     ForwardRowF32(obs, mean, &value);
   }
+
+  // Batched actor-only fast path; the default loops the single-row kernel so
+  // every backend satisfies the bit-identity contract by construction.
+  virtual void ForwardBatchF32Actor(const float* obs, size_t n, float* means) {
+    for (size_t i = 0; i < n; ++i) {
+      ForwardRowF32Actor(obs + i * obs_dim(), means + i);
+    }
+  }
+
+  // Reentrancy flag behind the debug single-thread assert. Present in all builds
+  // (a release/debug ABI split on a virtual class invites ODR trouble); only
+  // checked when NDEBUG is off.
+  std::atomic<bool> scratch_in_use_{false};
 
  private:
   // Narrows `obs` into the per-instance scratch row and returns it.
@@ -83,6 +114,7 @@ class MlpFloat32Policy : public InferencePolicy {
  protected:
   void ForwardRowF32(const float* obs, float* mean, float* value) override;
   void ForwardRowF32Actor(const float* obs, float* mean) override;
+  void ForwardBatchF32Actor(const float* obs, size_t n, float* means) override;
 
  private:
   MlpT<float> actor_;
@@ -107,9 +139,15 @@ class PreferenceFloat32Policy : public InferencePolicy {
   // Drops the cached PN features (testing hook; deployment never needs it).
   void InvalidatePnCache();
 
+  // How many times the actor PN ran because the leading weight vector changed
+  // (cache misses). The serving layer sorts its batch by weight prefix so this
+  // counts distinct prefixes per batch; the serving tests assert on it.
+  int64_t pn_recompute_count() const { return pn_recompute_count_; }
+
  protected:
   void ForwardRowF32(const float* obs, float* mean, float* value) override;
   void ForwardRowF32Actor(const float* obs, float* mean) override;
+  void ForwardBatchF32Actor(const float* obs, size_t n, float* means) override;
 
  private:
   struct Head {
@@ -129,6 +167,8 @@ class PreferenceFloat32Policy : public InferencePolicy {
   size_t hist_dim_;
   Head actor_;
   Head critic_;
+  int64_t pn_recompute_count_ = 0;
+  MatrixT<float> batch_concat_;  // ForwardBatchF32Actor staging: n x (pn_out_+hist)
 };
 
 }  // namespace mocc

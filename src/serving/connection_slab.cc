@@ -1,0 +1,142 @@
+#include "src/serving/connection_slab.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/baselines/cubic.h"
+#include "src/envs/mi_history.h"
+
+namespace mocc {
+
+ConnectionSlab::ConnectionSlab(size_t weight_dim, size_t history_len, bool guarded,
+                               const GuardedPolicy::Options& guard_options)
+    : weight_dim_(weight_dim),
+      history_len_(history_len),
+      obs_dim_(weight_dim + 3 * history_len),
+      guarded_(guarded),
+      guard_options_(guard_options) {}
+
+void ConnectionSlab::GrowTo(size_t capacity) {
+  obs.resize(capacity * obs_dim_, 0.0);
+  rate_bps.resize(capacity, 0.0);
+  prefix_id.resize(capacity, -1);
+  prev_avg_rtt_s.resize(capacity, 0.0);
+  min_rtt_hist_s.resize(capacity, 0.0);
+  last_avg_rtt_s.resize(capacity, 0.0);
+  last_min_rtt_s.resize(capacity, 0.0);
+  decision_count.resize(capacity, 0);
+  generation.resize(capacity, 0);
+  in_use.resize(capacity, 0);
+  report_pending.resize(capacity, 0);
+  self_timed.resize(capacity, 0);
+  mi_sent.resize(capacity, 0);
+  mi_acked.resize(capacity, 0);
+  mi_lost.resize(capacity, 0);
+  mi_rtt_sum_s.resize(capacity, 0.0);
+  conn_min_rtt_s.resize(capacity, 0.0);
+  mi_start_s.resize(capacity, 0.0);
+  mi_ticks.resize(capacity, 0);
+  if (guarded_) {
+    guards.resize(capacity, GuardedPolicy(guard_options_));
+    fallbacks.resize(capacity);
+  }
+}
+
+int32_t ConnectionSlab::Attach(const double* weights, double initial_rate_bps) {
+  int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<int32_t>(in_use.size());
+    GrowTo(in_use.size() + 1);
+  }
+  double* row = ObsRow(slot);
+  std::copy(weights, weights + weight_dim_, row);
+  // Neutral history <1,1,0> — what AppendObservation pads with before η
+  // intervals have been observed.
+  for (size_t i = 0; i < history_len_; ++i) {
+    row[weight_dim_ + 3 * i + 0] = 1.0;
+    row[weight_dim_ + 3 * i + 1] = 1.0;
+    row[weight_dim_ + 3 * i + 2] = 0.0;
+  }
+  rate_bps[slot] = initial_rate_bps;
+  prefix_id[slot] = -1;  // the engine interns the prefix right after Attach
+  prev_avg_rtt_s[slot] = 0.0;
+  min_rtt_hist_s[slot] = 0.0;
+  last_avg_rtt_s[slot] = 0.0;
+  last_min_rtt_s[slot] = 0.0;
+  decision_count[slot] = 0;
+  in_use[slot] = 1;
+  report_pending[slot] = 0;
+  self_timed[slot] = 0;
+  mi_sent[slot] = 0;
+  mi_acked[slot] = 0;
+  mi_lost[slot] = 0;
+  mi_rtt_sum_s[slot] = 0.0;
+  conn_min_rtt_s[slot] = 0.0;
+  mi_start_s[slot] = 0.0;
+  mi_ticks[slot] = 0;
+  if (guarded_) {
+    guards[slot] = GuardedPolicy(guard_options_);
+    fallbacks[slot] = std::make_unique<CubicCc>();
+  }
+  ++attached_;
+  return slot;
+}
+
+void ConnectionSlab::Detach(int32_t slot) {
+  assert(slot >= 0 && static_cast<size_t>(slot) < in_use.size() && in_use[slot] != 0);
+  in_use[slot] = 0;
+  ++generation[slot];  // kills stale ServingConnIds and wheel entries
+  if (guarded_) {
+    fallbacks[slot].reset();
+  }
+  free_slots_.push_back(slot);
+  --attached_;
+}
+
+void ConnectionSlab::SetWeightPrefix(int32_t slot, const double* weights) {
+  std::copy(weights, weights + weight_dim_, ObsRow(slot));
+}
+
+void ConnectionSlab::ApplyReport(int32_t slot, const MonitorReport& report) {
+  // MiHistoryTracker::Push, operating on the slab's in-place fixed-length row.
+  const double acked =
+      static_cast<double>(std::max<int64_t>(1, report.packets_acked));
+  const double sent = static_cast<double>(report.packets_sent);
+  const double send_ratio =
+      std::clamp(sent / acked, 0.0, MiHistoryTracker::kMaxSendRatio);
+
+  if (min_rtt_hist_s[slot] <= 0.0 ||
+      (report.avg_rtt_s > 0.0 && report.avg_rtt_s < min_rtt_hist_s[slot])) {
+    min_rtt_hist_s[slot] = report.avg_rtt_s;
+  }
+  const double latency_ratio =
+      min_rtt_hist_s[slot] > 0.0 && report.avg_rtt_s > 0.0
+          ? std::clamp(report.avg_rtt_s / min_rtt_hist_s[slot], 1.0,
+                       MiHistoryTracker::kMaxLatencyRatio)
+          : 1.0;
+
+  double gradient = 0.0;
+  if (prev_avg_rtt_s[slot] > 0.0 && report.duration_s > 0.0 && report.avg_rtt_s > 0.0) {
+    gradient = std::clamp((report.avg_rtt_s - prev_avg_rtt_s[slot]) / report.duration_s,
+                          -MiHistoryTracker::kMaxLatencyGradient,
+                          MiHistoryTracker::kMaxLatencyGradient);
+  }
+  if (report.avg_rtt_s > 0.0) {
+    prev_avg_rtt_s[slot] = report.avg_rtt_s;
+  }
+
+  double* hist = ObsRow(slot) + weight_dim_;
+  std::memmove(hist, hist + 3, (3 * history_len_ - 3) * sizeof(double));
+  hist[3 * history_len_ - 3] = send_ratio;
+  hist[3 * history_len_ - 2] = latency_ratio;
+  hist[3 * history_len_ - 1] = gradient;
+
+  last_avg_rtt_s[slot] = report.avg_rtt_s;
+  last_min_rtt_s[slot] = report.min_rtt_s;
+}
+
+}  // namespace mocc

@@ -1,0 +1,113 @@
+// Per-connection state for the serving layer, packed structure-of-arrays style:
+// one contiguous array per field, indexed by slot. The hot path (batch assembly
+// in ServingEngine::DecideBatch) streams the observation rows of the due
+// connections out of one flat double array instead of chasing N controller
+// objects, and every non-obs field a decision touches (rate, RTT state,
+// counters) lives in its own contiguous run.
+//
+// Observation rows replicate the RlRateController layout exactly:
+//   [w_thr, w_lat, w_loss | g(t-η+1) ... g(t)]   (3 + 3η doubles)
+// with the history maintained in place — shift left by three, append the newest
+// <send ratio, latency ratio, latency gradient> triple — which is value-for-value
+// identical to MiHistoryTracker::Push + AppendObservation (neutral <1,1,0>
+// padding at the front while fewer than η intervals have been seen).
+//
+// Slots are recycled through a free list; every detach bumps the slot's
+// generation so stale ServingConnId handles (and stale deadline-wheel entries)
+// are rejected instead of touching the new occupant.
+#ifndef MOCC_SRC_SERVING_CONNECTION_SLAB_H_
+#define MOCC_SRC_SERVING_CONNECTION_SLAB_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/netsim/cc_interface.h"
+#include "src/rl/guarded_policy.h"
+
+namespace mocc {
+
+class ConnectionSlab {
+ public:
+  // `obs_dim` = weight_dim + 3 * history_len. When `guarded`, every attach
+  // provisions a GuardedPolicy (from `guard_options`) and a warm-standby CUBIC
+  // fallback for the slot.
+  ConnectionSlab(size_t weight_dim, size_t history_len, bool guarded,
+                 const GuardedPolicy::Options& guard_options);
+
+  // Claims a slot (free list first, then growth), initializes its observation row
+  // (weight prefix + neutral history), rate and MI state, and returns the slot
+  // index. `weights` must already be sanitized, `weights[0..weight_dim)`.
+  int32_t Attach(const double* weights, double initial_rate_bps);
+
+  // Releases the slot back to the free list and bumps its generation.
+  void Detach(int32_t slot);
+
+  // Overwrites the observation prefix (objective switch; history untouched).
+  void SetWeightPrefix(int32_t slot, const double* weights);
+
+  // Ingests one monitor interval: updates the RTT trackers, shifts the history
+  // left and appends the new triple — MiHistoryTracker::Push, slab edition —
+  // and records the report's RTT fields for fallback-rate computation.
+  void ApplyReport(int32_t slot, const MonitorReport& report);
+
+  double* ObsRow(int32_t slot) { return obs.data() + static_cast<size_t>(slot) * obs_dim_; }
+  const double* ObsRow(int32_t slot) const {
+    return obs.data() + static_cast<size_t>(slot) * obs_dim_;
+  }
+
+  bool Live(int32_t slot, uint32_t gen) const {
+    return slot >= 0 && static_cast<size_t>(slot) < in_use.size() &&
+           in_use[slot] != 0 && generation[slot] == gen;
+  }
+
+  size_t obs_dim() const { return obs_dim_; }
+  size_t weight_dim() const { return weight_dim_; }
+  size_t capacity() const { return in_use.size(); }
+  size_t attached() const { return attached_; }
+
+  // Parallel per-slot arrays (public by design: the engine is the only consumer
+  // and indexes them on its hot path).
+  std::vector<double> obs;             // capacity x obs_dim, row-major
+  std::vector<double> rate_bps;
+  // Interned weight-prefix id, assigned by the engine (ServingEngine::InternPrefix)
+  // on attach and objective switch. Lets the decision batch group equal prefixes
+  // with an O(n) counting pass instead of a comparison sort over double triples.
+  std::vector<int32_t> prefix_id;
+  std::vector<double> prev_avg_rtt_s;  // MiHistoryTracker: last nonzero avg RTT
+  std::vector<double> min_rtt_hist_s;  // MiHistoryTracker: running min of avg RTTs
+  std::vector<double> last_avg_rtt_s;  // most recent report, for FallbackRate
+  std::vector<double> last_min_rtt_s;
+  std::vector<int64_t> decision_count;
+  std::vector<uint32_t> generation;
+  std::vector<uint8_t> in_use;
+  std::vector<uint8_t> report_pending;  // submitted, not yet decided
+  std::vector<uint8_t> self_timed;      // driven by the deadline wheel
+  // MI accumulators for self-timed connections (reset after each synthesized
+  // report).
+  std::vector<int64_t> mi_sent;
+  std::vector<int64_t> mi_acked;
+  std::vector<int64_t> mi_lost;
+  std::vector<double> mi_rtt_sum_s;
+  std::vector<double> conn_min_rtt_s;  // historical min ACK RTT (report.min_rtt_s)
+  std::vector<double> mi_start_s;
+  std::vector<uint32_t> mi_ticks;      // interval length in service ticks
+  // Guard state (sized only when guarded).
+  std::vector<GuardedPolicy> guards;
+  std::vector<std::unique_ptr<CongestionControl>> fallbacks;
+
+ private:
+  void GrowTo(size_t capacity);
+
+  size_t weight_dim_;
+  size_t history_len_;
+  size_t obs_dim_;
+  bool guarded_;
+  GuardedPolicy::Options guard_options_;
+  size_t attached_ = 0;
+  std::vector<int32_t> free_slots_;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_SERVING_CONNECTION_SLAB_H_

@@ -1,0 +1,42 @@
+#include "src/serving/deadline_wheel.h"
+
+#include <utility>
+
+namespace mocc {
+
+DeadlineWheel::DeadlineWheel(size_t slots) {
+  size_t rounded = 1;
+  while (rounded < slots) {
+    rounded <<= 1;
+  }
+  buckets_.resize(rounded);
+  mask_ = static_cast<uint64_t>(rounded) - 1;
+}
+
+void DeadlineWheel::Schedule(int32_t conn, uint32_t generation, uint64_t deadline_tick) {
+  if (deadline_tick <= current_tick_) {
+    deadline_tick = current_tick_ + 1;
+  }
+  buckets_[deadline_tick & mask_].push_back({conn, generation, deadline_tick});
+}
+
+void DeadlineWheel::ExpireUpTo(uint64_t tick, std::vector<Entry>* due) {
+  while (current_tick_ < tick) {
+    ++current_tick_;
+    std::vector<Entry>& bucket = buckets_[current_tick_ & mask_];
+    if (bucket.empty()) {
+      continue;
+    }
+    carry_.clear();
+    for (const Entry& e : bucket) {
+      if (e.deadline_tick <= current_tick_) {
+        due->push_back(e);
+      } else {
+        carry_.push_back(e);  // a revolution (or more) ahead: not yet
+      }
+    }
+    bucket.swap(carry_);
+  }
+}
+
+}  // namespace mocc

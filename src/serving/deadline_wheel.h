@@ -1,0 +1,50 @@
+// Deadline wheel for the serving layer: a power-of-two ring of tick buckets that
+// collects the connections whose monitor intervals expire in the same service
+// tick, so one RatePoll() turns N coincident deadlines into one batched forward
+// pass. Deadlines beyond one revolution stay in their bucket and are skipped
+// until the wheel comes around again (classic hashed timing wheel). Entries are
+// validated by the caller against the slab's generation counters, so a detached
+// or reattached connection's stale entries expire harmlessly — no removal
+// operation is needed.
+#ifndef MOCC_SRC_SERVING_DEADLINE_WHEEL_H_
+#define MOCC_SRC_SERVING_DEADLINE_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mocc {
+
+class DeadlineWheel {
+ public:
+  struct Entry {
+    int32_t conn = -1;
+    uint32_t generation = 0;
+    uint64_t deadline_tick = 0;
+  };
+
+  // `slots` is rounded up to a power of two (bucket = deadline & mask).
+  explicit DeadlineWheel(size_t slots = 256);
+
+  // Queues `conn` to expire at `deadline_tick`. Deadlines at or before the
+  // current tick are clamped to the next tick (a deadline can never be missed).
+  void Schedule(int32_t conn, uint32_t generation, uint64_t deadline_tick);
+
+  // Advances the wheel tick-by-tick through `tick` (inclusive), appending every
+  // expired entry to *due in deadline order (FIFO within a tick). Entries whose
+  // deadline lies a full revolution ahead are kept for a later pass.
+  void ExpireUpTo(uint64_t tick, std::vector<Entry>* due);
+
+  uint64_t current_tick() const { return current_tick_; }
+  size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  std::vector<std::vector<Entry>> buckets_;
+  std::vector<Entry> carry_;  // scratch for the keep-in-bucket pass
+  uint64_t current_tick_ = 0;
+  uint64_t mask_ = 0;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_SERVING_DEADLINE_WHEEL_H_

@@ -1,0 +1,49 @@
+// CongestionControl adapter over one MoccServing connection: lets the packet
+// simulator (and any other CongestionControl consumer) drive flows that are
+// actually served — batched inference, shared replica — instead of owning a
+// per-flow RlRateController. Each adapter forwards its event hooks to the
+// service and polls the service for its rate; the MI hook submits the report and
+// polls immediately, so flows clocked by the simulator still decide one at a
+// time (batching comes from coincident deadlines when the embedder uses
+// RatePoll(now_s), or from submitting many reports before one RatePoll()).
+#ifndef MOCC_SRC_SERVING_SERVING_CC_H_
+#define MOCC_SRC_SERVING_SERVING_CC_H_
+
+#include <string>
+
+#include "src/core/mocc_api.h"
+#include "src/netsim/cc_interface.h"
+
+namespace mocc {
+
+class ServingCc : public CongestionControl {
+ public:
+  // `service` must outlive the adapter; the connection is already attached (the
+  // adapter does not detach on destruction — lifetime stays with the embedder).
+  ServingCc(MoccServing* service, ServingConnId id, std::string name = "MOCC-serving")
+      : service_(service), id_(id), name_(std::move(name)) {}
+
+  CcMode Mode() const override { return CcMode::kRateBased; }
+  std::string Name() const override { return name_; }
+
+  void OnFlowStart(double now_s) override { service_->OnFlowStart(id_, now_s); }
+  void OnAck(const AckInfo& ack) override { service_->OnAck(id_, ack); }
+  void OnPacketLost(const LossInfo& loss) override { service_->OnLoss(id_, loss); }
+  void OnTimeout(double now_s) override { service_->OnTimeout(id_, now_s); }
+  void OnMonitorInterval(const MonitorReport& report) override {
+    service_->SubmitReport(id_, report);
+    service_->RatePoll();
+  }
+  double PacingRateBps() const override { return service_->RateBps(id_); }
+
+  ServingConnId conn_id() const { return id_; }
+
+ private:
+  MoccServing* service_;
+  ServingConnId id_;
+  std::string name_;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_SERVING_SERVING_CC_H_

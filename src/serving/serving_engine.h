@@ -1,0 +1,120 @@
+// The implementation behind MoccServing (src/core/mocc_api.h): connection slab +
+// deadline wheel + batched forward passes over ONE shared model/replica.
+//
+// Decision pipeline per RatePoll:
+//   1. (timed polls) advance the wheel; every due self-timed connection
+//      synthesizes a MonitorReport from its packet accumulators and is ingested
+//      like a submitted one (history push, guard fallback feed), then its next
+//      deadline is scheduled.
+//   2. Guard pre-pass: breaker-open connections take the fallback rate and skip
+//      inference (exactly RlRateController's BeginInterval short-circuit).
+//   3. The remaining connections are grouped by weight prefix — an O(n) counting
+//      pass over interned prefix ids, not a comparison sort — and decided in
+//      batched forwards of at most kMaxBatchRows rows (float32: ActionMeansF32
+//      over rows narrowed straight out of the slab; double: sequential
+//      ActionMean on the shared model). Grouping costs nothing semantically —
+//      PN features are a pure function of the prefix — and makes the replica's
+//      rolling PN cache recompute once per distinct prefix instead of once per
+//      row (the cache carries across chunk boundaries, so a group split over
+//      two chunks still pays one recompute).
+//   4. Eq. (1) rate update + clamp (guard-validated when the spec is guarded),
+//      bit-identical per connection to a dedicated RlRateController fed the same
+//      reports (tests/serving_test.cc pins this down).
+//
+// Single-threaded by design, like the rest of the datapath-facing code: all
+// calls must come from one thread (or be externally serialized).
+#ifndef MOCC_SRC_SERVING_SERVING_ENGINE_H_
+#define MOCC_SRC_SERVING_SERVING_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/mocc_api.h"
+#include "src/core/policy_spec.h"
+#include "src/rl/inference_policy.h"
+#include "src/serving/connection_slab.h"
+#include "src/serving/deadline_wheel.h"
+
+namespace mocc {
+
+class ServingEngine {
+ public:
+  // Rows per batched forward. Caps the staging matrices (narrowed obs, concat
+  // rows, layer ping/pong) at a footprint that stays cache-resident however many
+  // connections expire in one tick, and bounds the stall one RatePoll imposes on
+  // the datapath thread. 256 rows x ~30 floats is ~30 KB per staging buffer.
+  static constexpr size_t kMaxBatchRows = 256;
+
+  // `model` is the spec's resolved model (the caller checked it is non-null).
+  ServingEngine(const PolicySpec& spec, std::shared_ptr<PreferenceActorCritic> model,
+                const MoccServing::Options& options);
+
+  ServingConnId Attach(const WeightVector& w,
+                       const MoccServing::ConnectionOptions& options);
+  bool Detach(ServingConnId id);
+  bool SwitchObjective(ServingConnId id, const WeightVector& w);
+
+  void OnFlowStart(ServingConnId id, double now_s);
+  void OnPacketSent(ServingConnId id, int64_t packets);
+  void OnAck(ServingConnId id, const AckInfo& ack);
+  void OnLoss(ServingConnId id, const LossInfo& loss);
+  void OnTimeout(ServingConnId id, double now_s);
+
+  bool SubmitReport(ServingConnId id, const MonitorReport& report);
+  size_t PollPending();
+  size_t PollAt(double now_s);
+
+  double RateBps(ServingConnId id) const;
+  int64_t DecisionCount(ServingConnId id) const;
+  const GuardedPolicy* Guard(ServingConnId id) const;
+
+  const MoccServing::Stats& stats() const { return stats_; }
+  size_t attached() const { return slab_.attached(); }
+  int64_t PnRecomputeCount() const;
+
+ private:
+  // Ingests one report (guard fallback feed + slab history push) and queues the
+  // slot for the next decision batch.
+  void IngestReport(int32_t slot, const MonitorReport& report);
+  // Decides every queued slot (in forwards of at most kMaxBatchRows); clears the
+  // queue.
+  size_t DecideBatch();
+  double FallbackRate(int32_t slot) const;
+  uint64_t TickFor(double now_s) const;
+  // Returns the stable id of the weight prefix `w` (weight_dim doubles), adding
+  // it to the registry on first sight. Linear scan: services see a handful of
+  // distinct objectives in practice, and the scan runs once per attach/switch,
+  // never on the per-decision path.
+  int32_t InternPrefix(const double* w);
+
+  std::shared_ptr<PreferenceActorCritic> model_;
+  std::unique_ptr<InferencePolicy> policy_;  // shared float32 replica; null = double
+  bool guarded_;
+  double action_scale_;
+  double min_rate_bps_;
+  double max_rate_bps_;
+  size_t history_len_;
+  size_t obs_dim_;
+  double tick_s_;
+
+  ConnectionSlab slab_;
+  DeadlineWheel wheel_;
+  MoccServing::Stats stats_;
+
+  std::vector<int32_t> queued_;  // slots with an ingested, undecided report
+  // Distinct weight prefixes ever seen, weight_dim doubles each (index = id).
+  std::vector<double> prefix_registry_;
+  // Batch scratch (capacity reused across polls).
+  std::vector<DeadlineWheel::Entry> due_;
+  std::vector<int32_t> infer_slots_;
+  std::vector<int32_t> sorted_slots_;   // infer_slots_ grouped by prefix id
+  std::vector<int32_t> prefix_counts_;  // counting-pass scratch
+  std::vector<float> batch_obs_f32_;
+  std::vector<float> means_f32_;
+  std::vector<double> obs_scratch_;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_SERVING_SERVING_ENGINE_H_

@@ -459,14 +459,16 @@ TEST(Float32ParityTest, PreferencePolicyPnCacheIsCoherent) {
   }
 }
 
-TEST(Float32ParityTest, EvaluatePolicyFloat32MatchesDoubleEvaluationClosely) {
+TEST(Float32ParityTest, Float32PolicyEvaluationMatchesDoubleEvaluationClosely) {
   // End-to-end episode divergence bound: on the deterministic QuadEnv the f32
   // and double policies must earn nearly identical returns.
   Rng rng(35);
   MlpActorCritic model(2, &rng, {16, 16});
   QuadEnv env(0.5);
   const EvalResult d = EvaluatePolicy(&model, &env, 3);
-  const EvalResult f = EvaluatePolicyFloat32(model, &env, 3);
+  std::unique_ptr<InferencePolicy> policy = model.MakeFloat32Policy();
+  ASSERT_NE(policy, nullptr);
+  const EvalResult f = EvaluatePolicy(policy.get(), &env, 3);
   EXPECT_EQ(f.episodes, d.episodes);
   EXPECT_NEAR(f.mean_episode_return, d.mean_episode_return, 1e-4);
   EXPECT_NEAR(f.mean_step_reward, d.mean_step_reward, 1e-6);

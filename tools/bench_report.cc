@@ -12,8 +12,8 @@
 #include "bench/bench_support.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
-#include "src/core/mocc_cc.h"
 #include "src/core/mocc_config.h"
+#include "src/core/policy_spec.h"
 #include "src/core/preference_model.h"
 #include "src/envs/cc_env.h"
 #include "src/nn/mlp.h"
@@ -134,12 +134,12 @@ int main() {
   guard_report.avg_rtt_s = 0.05;
   guard_report.min_rtt_s = 0.04;
   guard_report.loss_rate = 0.01;
-  auto cc_plain = MakeMoccCc(guard_model, BalancedObjective(), "MOCC",
-                             /*initial_rate_bps=*/2e6,
-                             /*float32_inference=*/true, /*guarded=*/false);
-  auto cc_guarded = MakeMoccCc(guard_model, BalancedObjective(), "MOCC",
-                               /*initial_rate_bps=*/2e6,
-                               /*float32_inference=*/true, /*guarded=*/true);
+  PolicySpec guard_spec;
+  guard_spec.WithModel(guard_model).WithPrecision(Precision::kFloat32).WithName("MOCC");
+  auto cc_plain =
+      guard_spec.WithGuard(false).MakeController(BalancedObjective(), /*initial_rate_bps=*/2e6);
+  auto cc_guarded =
+      guard_spec.WithGuard(true).MakeController(BalancedObjective(), /*initial_rate_bps=*/2e6);
   double ungated_ops = 0.0;
   double guarded_ops = 0.0;
   double guarded_policy_overhead = 1.0;

@@ -3,11 +3,13 @@
 //
 // Usage:
 //   mocc_eval [--model PATH] [--bw MBPS] [--owd MS] [--queue PKTS] [--loss FRAC]
-//             [--intervals N] [--guard]
+//             [--intervals N] [--precision double|float32] [--guard]
 //
-//   --guard drives each sweep point through the guarded deployment controller
-//   (GuardedPolicy circuit breaker + warm-standby CUBIC fallback, the same wrapper
-//   --guard enables in mocc_simulate) and adds a guard_trips column to the report.
+//   All sweep points run as connections of ONE MoccServing instance (the
+//   deployment surface from src/core/mocc_api.h), sharing the model and — with
+//   --precision float32 — one inference replica. --guard arms each connection's
+//   GuardedPolicy circuit breaker (warm-standby CUBIC fallback, the same wrapper
+//   --guard enables in mocc_simulate) and adds a guard_trips column.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -17,7 +19,7 @@
 
 #include "src/common/table.h"
 #include "src/core/mocc_api.h"
-#include "src/core/mocc_cc.h"
+#include "src/core/policy_spec.h"
 #include "src/core/preference_model.h"
 #include "src/netsim/fluid_link.h"
 
@@ -30,6 +32,7 @@ int main(int argc, char** argv) {
   link.queue_capacity_pkts = 700;
   link.random_loss_rate = 0.0;
   int intervals = 600;
+  Precision precision = Precision::kDouble;
   bool guard = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -53,11 +56,18 @@ int main(int argc, char** argv) {
       link.random_loss_rate = std::atof(next());
     } else if (arg == "--intervals") {
       intervals = std::atoi(next());
+    } else if (arg == "--precision") {
+      const char* value = next();
+      if (!ParsePrecision(value, &precision)) {
+        std::fprintf(stderr, "bad --precision %s (double|float32)\n", value);
+        return 2;
+      }
     } else if (arg == "--guard") {
       guard = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: mocc_eval [--model PATH] [--bw MBPS] [--owd MS] [--queue PKTS]\n"
-                  "                 [--loss FRAC] [--intervals N] [--guard]\n");
+                  "                 [--loss FRAC] [--intervals N]\n"
+                  "                 [--precision double|float32] [--guard]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());
@@ -74,9 +84,18 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("model: %s | link: %.0f Mbps, %.0f ms base RTT, %d pkt queue, %.2f%% loss\n",
-              model_path.c_str(), link.bandwidth_bps / 1e6, link.BaseRttS() * 1e3,
-              link.queue_capacity_pkts, link.random_loss_rate * 100);
+  const double initial_rate_bps = std::max(2e6, 0.25 * link.bandwidth_bps);
+  PolicySpec spec;
+  spec.WithModel(model).WithPrecision(precision).WithGuard(guard).WithInitialRate(
+      initial_rate_bps);
+  std::unique_ptr<MoccServing> service = CreateService(spec);
+  if (service == nullptr) {
+    return 1;
+  }
+
+  std::printf("model: %s (%s) | link: %.0f Mbps, %.0f ms base RTT, %d pkt queue, %.2f%% loss\n",
+              model_path.c_str(), PrecisionName(precision), link.bandwidth_bps / 1e6,
+              link.BaseRttS() * 1e3, link.queue_capacity_pkts, link.random_loss_rate * 100);
   std::vector<std::string> headers = {"weight <thr,lat,loss>", "util", "avg_rtt_ms",
                                       "loss_%", "reward"};
   if (guard) {
@@ -85,21 +104,11 @@ int main(int argc, char** argv) {
   TablePrinter t(std::move(headers));
   const WeightVector sweep[] = {{0.8, 0.1, 0.1}, {0.6, 0.3, 0.1}, {1.0 / 3, 1.0 / 3, 1.0 / 3},
                                 {0.4, 0.5, 0.1}, {0.1, 0.8, 0.1}, {0.1, 0.1, 0.8}};
-  const double initial_rate_bps = std::max(2e6, 0.25 * link.bandwidth_bps);
   int64_t total_trips = 0;
   for (const WeightVector& w : sweep) {
-    // Two equivalent drivers of the same per-MI loop: the raw library API, or the
-    // guarded deployment controller (circuit breaker + CUBIC fallback) when
-    // --guard is set.
-    MoccApi::Options options;
-    options.initial_rate_bps = initial_rate_bps;
-    MoccApi api(model, options);
-    api.Register(w);
-    std::unique_ptr<RlRateController> cc;
-    if (guard) {
-      cc = MakeMoccCc(model, w, "MOCC", initial_rate_bps,
-                      /*float32_inference=*/false, /*guarded=*/true);
-    }
+    MoccServing::ConnectionOptions copts;
+    copts.initial_rate_bps = initial_rate_bps;
+    const ServingConnId conn = service->AttachConnection(w, copts);
     FluidLink sim(link, 42);
     double thr = 0.0;
     double rtt = 0.0;
@@ -107,13 +116,10 @@ int main(int argc, char** argv) {
     double reward = 0.0;
     int measured = 0;
     for (int i = 0; i < intervals; ++i) {
-      const double rate_bps = guard ? cc->PacingRateBps() : api.GetSendingRate();
+      const double rate_bps = service->RateBps(conn);
       const MonitorReport report = sim.Step(rate_bps, link.BaseRttS());
-      if (guard) {
-        cc->OnMonitorInterval(report);
-      } else {
-        api.ReportStatus(report);
-      }
+      service->SubmitReport(conn, report);
+      service->RatePoll();
       if (i >= intervals / 2) {
         thr += report.throughput_bps;
         rtt += report.avg_rtt_s;
@@ -128,10 +134,13 @@ int main(int argc, char** argv) {
         TablePrinter::Num(loss / measured * 100, 2),
         TablePrinter::Num(reward / measured, 3)};
     if (guard) {
-      row.push_back(std::to_string(cc->guard()->trip_count()));
-      total_trips += cc->guard()->trip_count();
+      const GuardedPolicy* g = service->Guard(conn);
+      const int64_t trips = g != nullptr ? g->trip_count() : 0;
+      row.push_back(std::to_string(trips));
+      total_trips += trips;
     }
     t.AddRow(std::move(row));
+    service->DetachConnection(conn);
   }
   t.Print(std::cout);
   if (guard) {

@@ -23,8 +23,8 @@
 //   mocc_simulate --scheme NAME [--model PATH] [--weights T,L,S] [--bw MBPS] [--owd MS]
 //                 [--queue PKTS] [--loss FRAC] [--duration S] [--seed N]
 //                 [--mahimahi TRACE] [--scenario NAME] [--list-scenarios]
-//                 [--precision double|float32] [--objectives T,L,S[;T,L,S...]]
-//                 [--switch TIME:T,L,S]...
+//                 [--precision double|float32] [--guard] [--serving]
+//                 [--objectives T,L,S[;T,L,S...]] [--switch TIME:T,L,S]...
 //
 //   NAME in {mocc, cubic, newreno, vegas, bbr, copa, allegro, vivace}
 //   --precision float32 runs MOCC's per-MI inference through the frozen float32
@@ -32,8 +32,14 @@
 //   --guard wraps every MOCC flow's decisions in the GuardedPolicy circuit breaker
 //   (src/rl/guarded_policy.h): violations degrade the flow to a warm-standby CUBIC
 //   fallback with periodic half-open probes; trip/fallback/recovery counts are
-//   reported per flow. Fault-injection scenarios (blackout, flaky-link, loss-burst)
-//   apply their FaultSpec to the bottleneck link here exactly as in training.
+//   reported per flow. All MOCC knobs flow through one PolicySpec
+//   (src/core/policy_spec.h) — the same spec the serving layer consumes.
+//   --serving drives the agent flows through one shared MoccServing instance
+//   (connection slab + batched inference, src/core/mocc_api.h) instead of
+//   per-flow controllers; decisions are bit-identical, so timelines match the
+//   per-flow path exactly. Fault-injection scenarios (blackout, flaky-link,
+//   loss-burst) apply their FaultSpec to the bottleneck link here exactly as in
+//   training.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -45,11 +51,13 @@
 #include <vector>
 
 #include "src/common/stats.h"
-#include "src/core/mocc_cc.h"
+#include "src/core/mocc_api.h"
+#include "src/core/policy_spec.h"
 #include "src/core/preference_model.h"
 #include "src/core/reward.h"
 #include "src/envs/scenario.h"
 #include "src/netsim/packet_network.h"
+#include "src/serving/serving_cc.h"
 
 namespace {
 
@@ -112,8 +120,9 @@ int main(int argc, char** argv) {
   double duration = 60.0;
   uint64_t seed = 1;
   bool link_flags_given = false;
-  bool float32_inference = false;
+  Precision precision = Precision::kDouble;
   bool guard = false;
+  bool serving = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -200,15 +209,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--scenario") {
       scenario_name = next();
     } else if (arg == "--precision") {
-      const std::string precision = next();
-      if (precision == "float32") {
-        float32_inference = true;
-      } else if (precision != "double") {
+      if (!ParsePrecision(next(), &precision)) {
         std::fprintf(stderr, "--precision expects double or float32\n");
         return 2;
       }
     } else if (arg == "--guard") {
       guard = true;
+    } else if (arg == "--serving") {
+      serving = true;
     } else if (arg == "--list-scenarios") {
       PrintScenarioCatalog(stdout);
       return 0;
@@ -218,9 +226,12 @@ int main(int argc, char** argv) {
           "                     [--bw MBPS] [--owd MS] [--queue PKTS] [--loss FRAC]\n"
           "                     [--duration S] [--seed N] [--mahimahi TRACE]\n"
           "                     [--scenario NAME] [--list-scenarios]\n"
-          "                     [--precision double|float32] [--guard]\n"
+          "                     [--precision double|float32] [--guard] [--serving]\n"
           "                     [--objectives T,L,S[;T,L,S...]] [--switch TIME:T,L,S]\n"
           "\n"
+          "  --serving drives MOCC agent flows through one shared serving instance\n"
+          "  (connection slab + batched inference) instead of per-flow controllers;\n"
+          "  decisions are bit-identical to the per-flow path.\n"
           "  --objectives assigns agent flow i the i%%N-th weight triple (MOCC only),\n"
           "  overriding the scenario's objective plan; --switch (repeatable)\n"
           "  schedules an online preference change for every agent flow at TIME s.\n"
@@ -273,12 +284,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
     return 2;
   }
-  if (float32_inference && scheme != "mocc") {
+  if (precision == Precision::kFloat32 && scheme != "mocc") {
     std::fprintf(stderr, "warning: --precision float32 only affects --scheme mocc\n");
   }
   if (guard && scheme != "mocc") {
     std::fprintf(stderr, "warning: --guard only affects --scheme mocc\n");
   }
+  if (serving && scheme != "mocc") {
+    std::fprintf(stderr, "warning: --serving only affects --scheme mocc\n");
+    serving = false;
+  }
+
+  // All MOCC deployment knobs in one spec: the controller factory and the serving
+  // service are built from the same description.
+  PolicySpec spec;
+  spec.WithModel(model).WithPrecision(precision).WithGuard(guard).WithName("MOCC");
 
   const int num_agents = scenario.has_value() ? scenario->num_agents : 1;
 
@@ -356,6 +376,15 @@ int main(int argc, char** argv) {
   std::vector<int> competitor_flows;
   // MOCC controllers stay addressable for online preference switching (owned by net).
   std::vector<RlRateController*> agent_controllers;
+  // --serving: the shared service and each agent flow's connection handle.
+  std::unique_ptr<MoccServing> service;
+  std::vector<ServingConnId> agent_conns;
+  if (serving && scheme == "mocc") {
+    service = CreateService(spec);
+    if (service == nullptr) {
+      return 1;
+    }
+  }
   std::vector<double> agent_extra_delay(static_cast<size_t>(num_agents), 0.0);
   const FlowPathSpec agent_paths = AgentPath(topology_spec);
   // Initial rate, the Eq. (1) update's slow-start analogue: a quarter of the pipe for
@@ -383,9 +412,16 @@ int main(int argc, char** argv) {
       agent_extra_delay[static_cast<size_t>(i)] = options.extra_one_way_delay_s;
     }
     std::unique_ptr<CongestionControl> cc;
-    if (scheme == "mocc") {
-      auto controller = MakeMoccCc(model, agent_weights[static_cast<size_t>(i)], "MOCC",
-                                   initial_rate_bps, float32_inference, guard);
+    if (scheme == "mocc" && serving) {
+      MoccServing::ConnectionOptions copts;
+      copts.initial_rate_bps = initial_rate_bps;
+      const ServingConnId conn =
+          service->AttachConnection(agent_weights[static_cast<size_t>(i)], copts);
+      agent_conns.push_back(conn);
+      cc = std::make_unique<ServingCc>(service.get(), conn, "MOCC");
+    } else if (scheme == "mocc") {
+      auto controller =
+          spec.MakeController(agent_weights[static_cast<size_t>(i)], initial_rate_bps);
       agent_controllers.push_back(controller.get());
       cc = std::move(controller);
     } else {
@@ -425,8 +461,12 @@ int main(int argc, char** argv) {
         continue;
       }
       const WeightVector to = sw.to.Sanitized();
-      agent_controllers[static_cast<size_t>(i)]->SetObservationPrefix(
-          {to.thr, to.lat, to.loss});
+      if (serving) {
+        service->SwitchObjective(agent_conns[static_cast<size_t>(i)], to);
+      } else {
+        agent_controllers[static_cast<size_t>(i)]->SetObservationPrefix(
+            {to.thr, to.lat, to.loss});
+      }
       agent_weights[static_cast<size_t>(i)] = to;
     }
     std::fprintf(stderr, "switch @ %.1fs: %s -> %s\n", sw.time_s,
@@ -464,8 +504,10 @@ int main(int argc, char** argv) {
 
   // Guardrail report: per-flow circuit-breaker activity (only with --guard).
   if (guard && scheme == "mocc") {
-    for (size_t i = 0; i < agent_controllers.size(); ++i) {
-      const GuardedPolicy* g = agent_controllers[i]->guard();
+    const size_t guarded_agents = serving ? agent_conns.size() : agent_controllers.size();
+    for (size_t i = 0; i < guarded_agents; ++i) {
+      const GuardedPolicy* g =
+          serving ? service->Guard(agent_conns[i]) : agent_controllers[i]->guard();
       const char* state = g->state() == GuardedPolicy::State::kClosed ? "closed"
                           : g->state() == GuardedPolicy::State::kOpen ? "open"
                                                                       : "half-open";
