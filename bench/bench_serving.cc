@@ -240,6 +240,24 @@ int main() {
   json.Add("small_scale_speedup",
            perflow_small_dps > 0.0 ? serving_small_dps / perflow_small_dps : 0.0);
 
+  // --- 2b. Int8 quantized serving -------------------------------------------
+  // The same engine with --precision int8 connections: per-row quantized
+  // inference instead of the batched f32 staging. Recorded at the 1024-flow
+  // scale next to the f32 sample so the JSON trajectory carries the quantized
+  // serving rate (and its ratio) across PRs.
+  {
+    PolicySpec int8_spec = spec;
+    int8_spec.WithPrecision(Precision::kInt8);
+    const double int8_small_dps =
+        MeasureServing(int8_spec, kSmallFlows, /*window_s=*/0.2);
+    json.Add("small_scale_int8_serving_decisions_per_sec", int8_small_dps);
+    json.Add("small_scale_int8_speedup_vs_f32",
+             serving_small_dps > 0.0 ? int8_small_dps / serving_small_dps : 0.0);
+    std::printf("int8 serving (%d flows): %.0f dec/s (%.2fx vs f32 serving)\n",
+                kSmallFlows, int8_small_dps,
+                serving_small_dps > 0.0 ? int8_small_dps / serving_small_dps : 0.0);
+  }
+
   // --- 3. Wheel-driven self-timed flows: p99 poll latency + batch sizes -----
   {
     constexpr int kTimedFlows = 512;

@@ -133,16 +133,21 @@ struct SeedModelReplica {
   size_t pn_out;
 };
 
-// Single-observation inference throughput of the four policy-inference paths:
-// the emulated seed batched path, the current allocation-free batched path, the
-// fused single-row fast path, and the float32 deployment replica of the same
-// single-row pass (src/rl/inference_policy.h). Used by bench_fig17_overhead and
+// Single-observation inference throughput of the policy-inference paths: the
+// emulated seed batched path, the current allocation-free batched path, the
+// fused single-row fast path, the float32 deployment replica of the same
+// single-row pass (src/rl/inference_policy.h), and the PR-7-era auto-vectorized
+// float32 row rebuilt in-binary (the explicit-SIMD speedup gate's denominator —
+// see the replica in bench_support.cc). Used by bench_fig17_overhead and
 // bench_report so the cross-PR JSON metrics stay comparable.
 struct InferencePathRates {
   double seed_batched_ops_per_sec = 0.0;
   double batched_ops_per_sec = 0.0;
   double fast_row_ops_per_sec = 0.0;
   double fast_row_f32_ops_per_sec = 0.0;
+  double autovec_row_f32_ops_per_sec = 0.0;
+  // The int8 quantized replica of the same single-row pass (--precision int8).
+  double int8_row_ops_per_sec = 0.0;
 };
 InferencePathRates MeasureInferencePaths(const MoccConfig& config);
 

@@ -16,8 +16,10 @@ RlRateController::RlRateController(std::shared_ptr<ActorCritic> model, Options o
       rate_bps_(options_.initial_rate_bps) {
   assert(model_ != nullptr);
   assert(model_->obs_dim() == options_.observation_prefix.size() + 3 * options_.history_len);
-  if (options_.float32_inference) {
+  if (options_.precision == Precision::kFloat32) {
     float32_policy_ = model_->MakeFloat32Policy();
+  } else if (options_.precision == Precision::kInt8) {
+    float32_policy_ = model_->MakeInt8Policy();
   }
   if (options_.guard) {
     GuardedPolicy::Options guard_options = options_.guard_options;

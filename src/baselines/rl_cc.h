@@ -28,12 +28,13 @@ class RlRateController : public CongestionControl {
     double max_rate_bps = 400e6;
     std::vector<double> observation_prefix;  // MOCC's weight vector; empty for Aurora
     std::string name = "RL";
-    // Run per-MI inference through the model's frozen float32 replica
-    // (ActorCritic::MakeFloat32Policy) instead of the double-precision path —
-    // the deployment fast path. Ignored (double path kept) when the model does
-    // not provide a replica. The replica is per-controller, so flows sharing one
-    // model do not share inference scratch state.
-    bool float32_inference = false;
+    // Per-MI inference precision: kFloat32 runs the model's frozen float32
+    // replica (ActorCritic::MakeFloat32Policy), kInt8 the quantized replica
+    // (MakeInt8Policy) — the deployment fast paths. Ignored (double path kept)
+    // when the model does not provide the requested replica. The replica is
+    // per-controller, so flows sharing one model do not share inference
+    // scratch state.
+    Precision precision = Precision::kDouble;
     // Deployment guardrails: validate every per-MI decision through a GuardedPolicy
     // circuit breaker and degrade to a warm-standby CUBIC fallback on violation
     // (half-open probes restore the policy once its outputs are sane again). Off by

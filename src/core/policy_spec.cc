@@ -14,6 +14,10 @@ bool ParsePrecision(const std::string& text, Precision* out) {
     *out = Precision::kFloat32;
     return true;
   }
+  if (text == "int8") {
+    *out = Precision::kInt8;
+    return true;
+  }
   return false;
 }
 
@@ -23,6 +27,8 @@ const char* PrecisionName(Precision p) {
       return "double";
     case Precision::kFloat32:
       return "float32";
+    case Precision::kInt8:
+      return "int8";
   }
   return "double";
 }
@@ -125,7 +131,7 @@ std::unique_ptr<RlRateController> PolicySpec::MakeController(
   options.max_rate_bps = max_rate_bps_;
   options.observation_prefix = {sanitized.thr, sanitized.lat, sanitized.loss};
   options.name = name_;
-  options.float32_inference = (precision_ == Precision::kFloat32);
+  options.precision = precision_;
   options.guard = guard_;
   options.guard_options = guard_options_;
   return std::make_unique<RlRateController>(std::move(model), std::move(options));

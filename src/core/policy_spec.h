@@ -30,19 +30,15 @@
 
 namespace mocc {
 
-// Inference precision of the deployed policy. kFloat32 runs per-MI decisions
-// through the frozen float32 replica (src/rl/inference_policy.h); kDouble keeps
-// the training-precision path.
-enum class Precision {
-  kDouble,
-  kFloat32,
-};
+// Precision itself (kDouble / kFloat32 / kInt8) lives in
+// src/rl/inference_policy.h (re-exported here through the rl_cc.h include
+// chain) so the controller layer can carry it without an include cycle.
 
-// Parses "double" / "float32" (the CLI --precision vocabulary). Returns false on
-// anything else, leaving *out untouched.
+// Parses "double" / "float32" / "int8" (the CLI --precision vocabulary).
+// Returns false on anything else, leaving *out untouched.
 bool ParsePrecision(const std::string& text, Precision* out);
 
-// The CLI name of a precision ("double" / "float32").
+// The CLI name of a precision ("double" / "float32" / "int8").
 const char* PrecisionName(Precision p);
 
 class PolicySpec {

@@ -146,6 +146,12 @@ std::unique_ptr<InferencePolicy> PreferenceActorCritic::MakeFloat32Policy() cons
       kWeightDim, config_.HistoryDim(), log_std_(0, 0));
 }
 
+std::unique_ptr<InferencePolicy> PreferenceActorCritic::MakeInt8Policy() const {
+  return std::make_unique<PreferenceFloat32Policy>(
+      actor_.preference_net, actor_.trunk, critic_.preference_net, critic_.trunk,
+      kWeightDim, config_.HistoryDim(), log_std_(0, 0), /*int8=*/true);
+}
+
 void PreferenceActorCritic::InvalidatePnCache() {
   actor_.pn_cache_valid = false;
   critic_.pn_cache_valid = false;

@@ -46,6 +46,10 @@ class PreferenceActorCritic : public ActorCritic {
   // PN feature cache). See ActorCritic::MakeFloat32Policy.
   std::unique_ptr<InferencePolicy> MakeFloat32Policy() const override;
 
+  // Int8-quantized replica: the trunks run quantized (src/nn/qmlp.h), the tiny
+  // preference nets stay float32 behind their cache. See ActorCritic::MakeInt8Policy.
+  std::unique_ptr<InferencePolicy> MakeInt8Policy() const override;
+
   double log_std() const override { return log_std_(0, 0); }
   void set_log_std(double v) override { log_std_(0, 0) = v; }
   void AccumulateLogStdGrad(double g) override { log_std_grad_(0, 0) += g; }

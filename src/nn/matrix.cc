@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/nn/simd/dispatch.h"
+
 namespace mocc {
 namespace {
 
@@ -74,100 +76,16 @@ void MatrixT<T>::SetRow(size_t r, const T* values) {
   std::copy(values, values + cols_, data_.begin() + static_cast<ptrdiff_t>(r * cols_));
 }
 
-namespace {
-
-// One register-tiled column block of y = x·W + b: TILE accumulators live in SIMD
-// registers across the whole k loop (a runtime-bound accumulator block would be
-// stored and reloaded every iteration).
-template <size_t TILE, typename T>
-inline void RowMatVecTile(const T* x, const T* w, const T* b, T* y, size_t in,
-                          size_t out, size_t j0) {
-  // Zero-init then bias after the reduction: the seed's MatMul + AddRowBias
-  // summation order, kept so results stay reproducible against it; the bias add
-  // happens while the accumulators are still in registers, so it costs nothing.
-  T acc[TILE] = {T(0)};
-  const T* wp = w + j0;
-  for (size_t k = 0; k < in; ++k, wp += out) {
-    const T xk = x[k];
-    for (size_t t = 0; t < TILE; ++t) {
-      acc[t] += xk * wp[t];
-    }
-  }
-  for (size_t t = 0; t < TILE; ++t) {
-    y[j0 + t] = acc[t] + b[j0 + t];
-  }
-}
-
-// Scalar tail for columns [j0, out) — one function shared by the single-row and
-// row-pair drivers so both paths run through identical code (FP contraction is
-// a codegen decision; two same-shaped source loops are not guaranteed to fuse
-// multiply-adds the same way, and the serving layer's batched-vs-sequential
-// bit-identity contract cannot tolerate that).
-template <typename T>
-inline void RowMatVecScalarTail(const T* x, const T* w, const T* b, T* y, size_t in,
-                                size_t out, size_t j0) {
-  for (; j0 < out; ++j0) {
-    T acc = T(0);
-    const T* wp = w + j0;
-    for (size_t k = 0; k < in; ++k, wp += out) {
-      acc += x[k] * *wp;
-    }
-    y[j0] = acc + b[j0];
-  }
-}
-
-}  // namespace
-
 template <typename T>
 void RowMatVecBias(const T* x, const T* w, const T* b, T* y, size_t in, size_t out) {
-  size_t j0 = 0;
-  // 32 is the widest tile: gcc keeps its SIMD accumulators in registers and
-  // unrolls the reduction; a 64-wide tile spills and scalarizes for doubles.
-  // The same tiling is kept for float so both precisions run structurally
-  // identical kernels (float simply packs twice the lanes per register).
-  for (; j0 + 32 <= out; j0 += 32) {
-    RowMatVecTile<32>(x, w, b, y, in, out, j0);
-  }
-  for (; j0 + 16 <= out; j0 += 16) {
-    RowMatVecTile<16>(x, w, b, y, in, out, j0);
-  }
-  for (; j0 + 8 <= out; j0 += 8) {
-    RowMatVecTile<8>(x, w, b, y, in, out, j0);
-  }
-  RowMatVecScalarTail(x, w, b, y, in, out, j0);
+  // Runtime-dispatched (src/nn/simd/dispatch.h): AVX2+FMA / NEON when the CPU
+  // has them, the bit-identical scalar reference otherwise. Every tier returns
+  // the same bits (the dispatch layer's determinism contract), so callers'
+  // reproducibility guarantees don't depend on which host runs the binary.
+  simd::RowMatVecBias(x, w, b, y, in, out);
 }
 
 namespace {
-
-// Two rows at once: y0 = x0·W + b, y1 = x1·W + b — the batch>1 serving path's
-// bandwidth saver. Each TILE-wide column block of W is streamed once and consumed
-// by both rows back-to-back while it is still L1-hot, instead of each row
-// re-fetching the whole of W. The per-row arithmetic is the *same template
-// instantiations* RowMatVecBias runs (RowMatVecTile / RowMatVecScalarTail, same
-// 32/16/8/scalar block sequence) — deliberately NOT a fused two-accumulator
-// kernel: an interleaved acc0/acc1 inner loop is contracted into FMAs
-// differently than the single-stream loop under -ffp-contract=fast, which
-// breaks the serving layer's batched-vs-sequential bit-identity contract in
-// float32 even though the two source loops are element-wise identical.
-template <typename T>
-void RowPairMatVecBias(const T* x0, const T* x1, const T* w, const T* b, T* y0, T* y1,
-                       size_t in, size_t out) {
-  size_t j0 = 0;
-  for (; j0 + 32 <= out; j0 += 32) {
-    RowMatVecTile<32>(x0, w, b, y0, in, out, j0);
-    RowMatVecTile<32>(x1, w, b, y1, in, out, j0);
-  }
-  for (; j0 + 16 <= out; j0 += 16) {
-    RowMatVecTile<16>(x0, w, b, y0, in, out, j0);
-    RowMatVecTile<16>(x1, w, b, y1, in, out, j0);
-  }
-  for (; j0 + 8 <= out; j0 += 8) {
-    RowMatVecTile<8>(x0, w, b, y0, in, out, j0);
-    RowMatVecTile<8>(x1, w, b, y1, in, out, j0);
-  }
-  RowMatVecScalarTail(x0, w, b, y0, in, out, j0);
-  RowMatVecScalarTail(x1, w, b, y1, in, out, j0);
-}
 
 // Shared inner kernel for MatMulInto/MatMulBiasInto: C (already initialized)
 // += A * B, cache-blocked over the reduction dimension.
@@ -200,13 +118,14 @@ void MatMulBiasRowsInto(const T* a, size_t m, const MatrixT<T>& b,
   const size_t n = b.cols();
   const T* bd = b.data();
   const T* biasd = bias.data();
-  size_t i = 0;
-  for (; i + 2 <= m; i += 2) {
-    RowPairMatVecBias(a + i * k_dim, a + (i + 1) * k_dim, bd, biasd, c + i * n,
-                      c + (i + 1) * n, k_dim, n);
-  }
-  if (i < m) {
-    RowMatVecBias(a + i * k_dim, bd, biasd, c + i * n, k_dim, n);
+  // The batch driver IS a loop of the single-row dispatched kernel, so the
+  // serving layer's batched-vs-sequential bit-identity contract holds by
+  // construction (no separately-compiled pair kernel whose FMA contraction
+  // could drift from the single-row path). W stays L1-resident across rows for
+  // every deployed layer shape, so there is nothing left for a fused
+  // multi-row kernel to save.
+  for (size_t i = 0; i < m; ++i) {
+    simd::RowMatVecBias(a + i * k_dim, bd, biasd, c + i * n, k_dim, n);
   }
 }
 

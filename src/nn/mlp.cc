@@ -5,7 +5,7 @@
 #include <cmath>
 #include <type_traits>
 
-#include "src/nn/fast_math.h"
+#include "src/nn/simd/dispatch.h"
 
 namespace mocc {
 namespace {
@@ -25,39 +25,18 @@ T ActivationDerivativeFromOutput(Activation a, T y) {
 
 }  // namespace
 
-namespace {
-
-// Fixed-width tanh block: both the bulk loop and the padded tail run this one
-// compiled loop, so every element goes through identical instructions (FMA
-// contraction is per-loop; two differently-shaped loops could round differently).
-template <typename T>
-inline void Tanh8(T* data) {
-  for (size_t t = 0; t < 8; ++t) {
-    data[t] = FastTanh(data[t]);
-  }
-}
-
-}  // namespace
-
 template <typename T>
 void ApplyActivation(Activation a, T* data, size_t n) {
   switch (a) {
+    case Activation::kTanh:
+      // Runtime-dispatched FmaTanh sweep (src/nn/simd/dispatch.h): AVX2 lanes
+      // on capable hosts, the bit-identical scalar reference elsewhere. The
+      // kernel is elementwise with a per-element-identical tail, so batched and
+      // per-row applications still match bit-for-bit at any length.
+      simd::TanhArray(data, n);
+      return;
     case Activation::kIdentity:
       return;
-    case Activation::kTanh: {
-      // FastTanh is branch-free, so Tanh8 auto-vectorizes (libm tanh doesn't).
-      size_t i = 0;
-      for (; i + 8 <= n; i += 8) {
-        Tanh8(data + i);
-      }
-      if (i < n) {
-        T tail[8] = {T(0)};
-        std::copy(data + i, data + n, tail);
-        Tanh8(tail);
-        std::copy(tail, tail + (n - i), data + i);
-      }
-      return;
-    }
     case Activation::kRelu:
       for (size_t i = 0; i < n; ++i) {
         if (data[i] < T(0)) {

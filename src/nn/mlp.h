@@ -193,6 +193,12 @@ class MlpT {
   // Widest layer boundary (max over in/out dims); sizes ForwardRow scratch.
   size_t MaxDim() const;
 
+  // Read-only per-layer access for deployment-side specializations that walk
+  // the stack themselves (the float32 policy's cached-prefix trunk forward,
+  // the int8 quantizer's freeze pass).
+  size_t layer_count() const { return layers_.size(); }
+  const DenseLayerT<T>& layer(size_t i) const { return layers_[i]; }
+
   // Copies all weights from `other`; shapes must match.
   void CopyWeightsFrom(const MlpT& other);
 

@@ -1,0 +1,204 @@
+#include "src/nn/qmlp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/nn/simd/dispatch.h"
+
+namespace mocc {
+namespace {
+
+constexpr float kCodeStep = 1.0f / 127.0f;  // hidden-activation / prefix step
+
+// Quantizes one weight column entry to the [-63, 63] grid.
+int8_t QuantWeight(float w, float inv_scale) {
+  long v = std::lrintf(w * inv_scale);
+  v = std::min<long>(63, std::max<long>(-63, v));
+  return static_cast<int8_t>(v);
+}
+
+// Offset-128 code of `v` at step `1/inv_step`, clamped to [0, 255].
+uint8_t QuantCode(float v, float inv_step) {
+  long c = 128 + std::lrintf(v * inv_step);
+  c = std::min<long>(255, std::max<long>(0, c));
+  return static_cast<uint8_t>(c);
+}
+
+}  // namespace
+
+void QuantizedMlp::FreezeFrom(const MlpT<float>& src, size_t split) {
+  qlayers_.clear();
+  flayers_.clear();
+  prefix_packed_.clear();
+  prefix_col_sums_.clear();
+  prefix_in_pad_ = 0;
+  in_dim_ = src.in_dim();
+  out_dim_ = src.out_dim();
+  split_ = split;
+
+  size_t max_in_pad = 0;
+  size_t max_out_pad = 0;
+  size_t max_fdim = 0;
+  size_t li = 0;
+  for (; li < src.layer_count(); ++li) {
+    const DenseLayerT<float>& l = src.layer(li);
+    if (l.activation() != Activation::kTanh) {
+      break;  // float suffix starts here
+    }
+    const size_t prefix = li == 0 ? split_ : 0;
+    assert(prefix < l.in_dim());
+    QuantLayer q;
+    q.in = l.in_dim() - prefix;
+    q.out = l.out_dim();
+    q.in_pad = (q.in + 7) & ~size_t{7};
+    q.out_pad = (q.out + 7) & ~size_t{7};
+    const float* wd = l.weights().data();
+    // Per-output-channel scale over the WHOLE column (prefix rows included:
+    // layer 0's two blocks must dequantize with one scale per channel).
+    q.scales.assign(q.out_pad, 1.0f);
+    for (size_t j = 0; j < q.out; ++j) {
+      float maxw = 0.0f;
+      for (size_t k = 0; k < l.in_dim(); ++k) {
+        maxw = std::max(maxw, std::fabs(wd[k * q.out + j]));
+      }
+      q.scales[j] = maxw > 0.0f ? maxw / 63.0f : 1.0f;
+    }
+    q.packed.assign((q.in_pad / 4) * (q.out_pad / 8) * 32, 0);
+    q.col_sums.assign(q.out_pad, 0);
+    for (size_t k = 0; k < q.in; ++k) {
+      for (size_t j = 0; j < q.out; ++j) {
+        const int8_t v =
+            QuantWeight(wd[(prefix + k) * q.out + j], 1.0f / q.scales[j]);
+        q.packed[simd::Int8PackedIndex(k, j, q.out_pad)] = v;
+        q.col_sums[j] += v;
+      }
+    }
+    q.bias.assign(l.bias().data(), l.bias().data() + q.out);
+    if (prefix > 0) {
+      prefix_in_pad_ = (prefix + 7) & ~size_t{7};
+      prefix_packed_.assign((prefix_in_pad_ / 4) * (q.out_pad / 8) * 32, 0);
+      prefix_col_sums_.assign(q.out_pad, 0);
+      for (size_t k = 0; k < prefix; ++k) {
+        for (size_t j = 0; j < q.out; ++j) {
+          const int8_t v = QuantWeight(wd[k * q.out + j], 1.0f / q.scales[j]);
+          prefix_packed_[simd::Int8PackedIndex(k, j, q.out_pad)] = v;
+          prefix_col_sums_[j] += v;
+        }
+      }
+      max_in_pad = std::max(max_in_pad, prefix_in_pad_);
+    }
+    max_in_pad = std::max(max_in_pad, q.in_pad);
+    max_out_pad = std::max(max_out_pad, q.out_pad);
+    qlayers_.push_back(std::move(q));
+  }
+  for (; li < src.layer_count(); ++li) {
+    const DenseLayerT<float>& l = src.layer(li);
+    FloatLayer f;
+    f.in = l.in_dim();
+    f.out = l.out_dim();
+    f.act = l.activation();
+    f.w.assign(l.weights().data(), l.weights().data() + f.in * f.out);
+    f.b.assign(l.bias().data(), l.bias().data() + f.out);
+    max_fdim = std::max({max_fdim, f.in, f.out});
+    flayers_.push_back(std::move(f));
+  }
+
+  if (qlayers_.empty()) {
+    split_ = 0;  // nothing to seed; ForwardRow degenerates to the float path
+  }
+  // One code buffer serves the whole quantized chain: the epilogue only writes
+  // the next layer's codes after the GEMV consumed the current ones.
+  codes_.assign(std::max(max_in_pad, max_out_pad), 128);
+  acc_.assign(max_out_pad, 0);
+  if (!qlayers_.empty()) {
+    // seed_bias_ starts as layer 0's real bias; SeedPrefix re-folds on demand.
+    seed_bias_.assign(qlayers_[0].bias.begin(), qlayers_[0].bias.end());
+    fbuf_.assign(qlayers_.back().out, 0.0f);
+  }
+  scratch0_.assign(max_fdim, 0.0f);
+  scratch1_.assign(max_fdim, 0.0f);
+}
+
+void QuantizedMlp::SeedPrefix(const float* x_prefix) {
+  assert(split_ > 0 && !qlayers_.empty());
+  const QuantLayer& q0 = qlayers_[0];
+  // Prefix values are tanh features in [-1,1]: fixed 1/127 step, codes exact
+  // to the grid (the clamp only defends against out-of-contract inputs).
+  for (size_t k = 0; k < split_; ++k) {
+    codes_[k] = QuantCode(x_prefix[k], 127.0f);
+  }
+  for (size_t k = split_; k < prefix_in_pad_; ++k) {
+    codes_[k] = 128;  // pad codes meet zero pad weights; value is moot
+  }
+  simd::Int8RowGemv(codes_.data(), prefix_packed_.data(), prefix_in_pad_,
+                    q0.out_pad, acc_.data());
+  // Fold the prefix contribution into the effective bias. One shared scalar
+  // loop (not a dispatched kernel): it must be tier-independent, and it only
+  // runs on prefix change — off the per-row path.
+  for (size_t j = 0; j < q0.out; ++j) {
+    const float d = static_cast<float>(acc_[j] - 128 * prefix_col_sums_[j]);
+    seed_bias_[j] = std::fma(kCodeStep * q0.scales[j], d, q0.bias[j]);
+  }
+}
+
+void QuantizedMlp::ForwardRowSuffix(const float* x_suffix, float* y) {
+  const float* fcur = x_suffix;
+  if (!qlayers_.empty()) {
+    // Quantize the input row: dynamic symmetric scale off the max magnitude.
+    // max|x| -> code 255, -max|x| -> 1, 0 -> 128; an all-zero row degenerates
+    // to sx = 0 (every code 128, so the layer output is tanh(seed+bias)
+    // exactly).
+    const QuantLayer& q0 = qlayers_[0];
+    float sx = simd::Int8QuantizeRow(x_suffix, q0.in, q0.in_pad, codes_.data());
+    for (size_t qi = 0; qi < qlayers_.size(); ++qi) {
+      const QuantLayer& q = qlayers_[qi];
+      simd::Int8RowGemv(codes_.data(), q.packed.data(), q.in_pad, q.out_pad,
+                        acc_.data());
+      const bool last_q = qi + 1 == qlayers_.size();
+      // Hidden layers requantize through QTanh (q_out); the last quantized
+      // layer hands the full-precision QTanh activation (f_out) to the float
+      // head — no separate accurate tanh pass, QTanh's error is already an
+      // order below the activation-coding error.
+      float* f_out = last_q ? (flayers_.empty() ? y : fbuf_.data()) : nullptr;
+      uint8_t* q_out = last_q ? nullptr : codes_.data();
+      const float* bias = qi == 0 ? seed_bias_.data() : q.bias.data();
+      simd::Int8PostTanh(acc_.data(), q.col_sums.data(), q.scales.data(), sx,
+                         bias, q.out, f_out, q_out);
+      if (!last_q) {
+        const QuantLayer& qn = qlayers_[qi + 1];
+        assert(qn.in == q.out);
+        for (size_t k = qn.in; k < qn.in_pad; ++k) {
+          codes_[k] = 128;
+        }
+        // Hidden inputs are tanh outputs re-coded at the fixed 1/127 step.
+        sx = kCodeStep;
+      }
+    }
+    if (flayers_.empty()) {
+      return;
+    }
+    fcur = fbuf_.data();
+  }
+  // Float suffix through the dispatched kernels.
+  for (size_t fi = 0; fi < flayers_.size(); ++fi) {
+    const FloatLayer& f = flayers_[fi];
+    float* dst = fi + 1 == flayers_.size()
+                     ? y
+                     : (fi % 2 == 0 ? scratch0_.data() : scratch1_.data());
+    simd::RowMatVecBias(fcur, f.w.data(), f.b.data(), dst, f.in, f.out);
+    ApplyActivation(f.act, dst, f.out);
+    fcur = dst;
+  }
+}
+
+void QuantizedMlp::ForwardRow(const float* x, float* y) {
+  if (split_ > 0) {
+    SeedPrefix(x);
+    ForwardRowSuffix(x + split_, y);
+    return;
+  }
+  ForwardRowSuffix(x, y);
+}
+
+}  // namespace mocc

@@ -1,0 +1,130 @@
+// Int8 quantized deployment inference for a frozen float32 MLP.
+//
+// A QuantizedMlp is a further-frozen snapshot of an MlpT<float>: at freeze
+// time every tanh-activated prefix layer gets per-OUTPUT-CHANNEL symmetric
+// weight quantization (scales[j] = max_k|w[k][j]|/63, w_q = round(w/scales[j])
+// clamped to [-63,63]) with the weights repacked into the vpmaddubsw-friendly
+// layout of simd::Int8PackedIndex; any remaining suffix layers (in practice
+// the 32->1 identity head) stay float32 and run through the dispatched float
+// kernels. Weights get 6 bits (not 7) on purpose: the spare bit is what keeps
+// vpmaddubsw EXACT against full-range 8-bit activation codes (one pair product
+// is <= 2*255*63 = 32130 < 32767, so int16 saturation never fires — see
+// scalar_kernels.inc).
+//
+// Activation coding: a layer input value v is carried as the uint8 offset-128
+// code q = 128 + round(v/s_x), q in [0,255], v = s_x*(q-128). The first layer
+// derives s_x per row from the input's max magnitude (s_x = max|x|/127 —
+// observation histories are NOT bounded by 1, send/latency ratios reach 10);
+// hidden layers use the fixed s_x = 1/127 because their inputs are tanh
+// outputs in [-1,1]. The per-layer epilogue (simd::Int8PostTanh) compensates
+// the +128 code offset with precomputed signed column sums, dequantizes with
+// sx*scales[j], adds the float bias, applies the cheap division-free QTanh
+// polynomial (error 9.9e-4, an order below the coding error), and either
+// requantizes (hidden layers) or hands the full-precision activation to the
+// float head layers. Skipping FmaTanh's exp + divide entirely is a deliberate
+// part of the int8 speed win.
+//
+// Layer-0 prefix caching: FreezeFrom(src, split) packs the first `split`
+// input rows of layer 0 into a separate block. SeedPrefix(x_prefix) then
+// folds that block's contribution (at the fixed 1/127 step — the prefix is
+// tanh features) into a cached per-output seed bias, and ForwardRowSuffix
+// only quantizes + multiplies the remaining in-split inputs per row. This is
+// the int8 mirror of the float32 policy's cached-l0_partial trick: the
+// PreferenceFloat32Policy seeds on PN-cache refresh and pays only the history
+// slice per MI.
+//
+// Determinism: the integer GEMV is exact, input quantization is one shared
+// scalar routine in qmlp.cc, and the float epilogue runs the dispatched
+// kernels with their scalar<->vector bit-identity contract — so int8
+// inference results are bit-identical across ISA tiers, and the
+// float32-vs-int8 gap is a pure quantization error that tests/rl_test.cc's
+// parity harness bounds on trained checkpoints.
+#ifndef MOCC_SRC_NN_QMLP_H_
+#define MOCC_SRC_NN_QMLP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/mlp.h"
+
+namespace mocc {
+
+class QuantizedMlp {
+ public:
+  QuantizedMlp() = default;
+
+  // Freezes `src` into the quantized form described above. Layers are
+  // quantized from the front while their activation is kTanh; the first
+  // non-tanh layer and everything after it stay float32. `split` > 0 carves
+  // the first `split` inputs of layer 0 into the SeedPrefix block (ignored —
+  // reset to 0 — when no layer quantizes).
+  void FreezeFrom(const MlpT<float>& src, size_t split = 0);
+
+  // Recomputes the cached layer-0 seed from `split` prefix values (tanh
+  // features in [-1,1], coded at the fixed 1/127 step). Only valid when
+  // split() > 0; must run before the first ForwardRowSuffix and after every
+  // prefix change.
+  void SeedPrefix(const float* x_prefix);
+
+  // Single-row inference over the non-prefix inputs: y[0..out_dim()) from
+  // x_suffix[0..in_dim()-split()). Uses per-instance scratch (zero allocation
+  // in steady state; same single-thread contract as MlpT::ForwardRow).
+  void ForwardRowSuffix(const float* x_suffix, float* y);
+
+  // Whole-row convenience: SeedPrefix + suffix when split() > 0, plain
+  // suffix-only pass otherwise.
+  void ForwardRow(const float* x, float* y);
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+  size_t split() const { return split_; }
+  size_t quantized_layer_count() const { return qlayers_.size(); }
+  size_t float_layer_count() const { return flayers_.size(); }
+  // Per-output-channel weight scale of quantized layer `li` (test hook).
+  float weight_scale(size_t li, size_t j) const { return qlayers_[li].scales[j]; }
+
+ private:
+  struct QuantLayer {
+    std::vector<int8_t> packed;     // Int8PackedIndex layout, zero-padded
+    std::vector<int32_t> col_sums;  // per padded output: sum_k w_q[k][j]
+    std::vector<float> scales;      // per padded output channel (pad: 1.0)
+    std::vector<float> bias;
+    size_t in = 0;       // layer 0: the suffix count (in_dim - split)
+    size_t out = 0;
+    size_t in_pad = 0;   // in rounded up to a multiple of 8
+    size_t out_pad = 0;  // out rounded up to a multiple of 8
+  };
+  struct FloatLayer {
+    std::vector<float> w;  // in x out row-major
+    std::vector<float> b;
+    size_t in = 0;
+    size_t out = 0;
+    Activation act = Activation::kIdentity;
+  };
+
+  size_t in_dim_ = 0;
+  size_t out_dim_ = 0;
+  size_t split_ = 0;
+  std::vector<QuantLayer> qlayers_;
+  std::vector<FloatLayer> flayers_;
+
+  // Layer-0 prefix block (split_ > 0 only) + the folded seed. seed_bias_ is
+  // layer 0's effective bias vector: the real bias when split_ == 0, bias +
+  // prefix contribution after SeedPrefix otherwise.
+  std::vector<int8_t> prefix_packed_;
+  std::vector<int32_t> prefix_col_sums_;
+  size_t prefix_in_pad_ = 0;
+  std::vector<float> seed_bias_;
+
+  // Scratch (sized at freeze).
+  std::vector<uint8_t> codes_;
+  std::vector<int32_t> acc_;
+  std::vector<float> fbuf_;
+  std::vector<float> scratch0_;
+  std::vector<float> scratch1_;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_NN_QMLP_H_

@@ -36,6 +36,8 @@ double ActorCritic::Value(const std::vector<double>& obs) {
 
 std::unique_ptr<InferencePolicy> ActorCritic::MakeFloat32Policy() const { return nullptr; }
 
+std::unique_ptr<InferencePolicy> ActorCritic::MakeInt8Policy() const { return nullptr; }
+
 MlpActorCritic::MlpActorCritic(size_t obs_dim, Rng* rng, std::vector<size_t> hidden,
                                double init_log_std)
     : obs_dim_(obs_dim), hidden_(std::move(hidden)) {
@@ -89,6 +91,11 @@ void MlpActorCritic::ZeroGrad() {
 
 std::unique_ptr<InferencePolicy> MlpActorCritic::MakeFloat32Policy() const {
   return std::make_unique<MlpFloat32Policy>(actor_, critic_, log_std_(0, 0));
+}
+
+std::unique_ptr<InferencePolicy> MlpActorCritic::MakeInt8Policy() const {
+  return std::make_unique<MlpFloat32Policy>(actor_, critic_, log_std_(0, 0),
+                                            /*int8=*/true);
 }
 
 std::unique_ptr<ActorCritic> MlpActorCritic::Clone() const {

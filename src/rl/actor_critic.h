@@ -68,6 +68,11 @@ class ActorCritic {
   // without a reduced-precision path; concrete models override. The replica is
   // independent, so callers may build one per flow/thread.
   virtual std::unique_ptr<InferencePolicy> MakeFloat32Policy() const;
+
+  // Builds an int8-quantized deployment replica (src/nn/qmlp.h): float32
+  // freeze plus per-layer symmetric weight quantization of the tanh layers.
+  // Same nullability and independence contract as MakeFloat32Policy.
+  virtual std::unique_ptr<InferencePolicy> MakeInt8Policy() const;
 };
 
 // Aurora-style model: two independent MLPs (actor, critic), two hidden layers of 64 and
@@ -82,6 +87,7 @@ class MlpActorCritic : public ActorCritic {
   void ForwardRow(const std::vector<double>& obs, double* mean, double* value) override;
   void ForwardRowActor(const std::vector<double>& obs, double* mean) override;
   std::unique_ptr<InferencePolicy> MakeFloat32Policy() const override;
+  std::unique_ptr<InferencePolicy> MakeInt8Policy() const override;
 
   double log_std() const override { return log_std_(0, 0); }
   void set_log_std(double v) override { log_std_(0, 0) = v; }

@@ -1,8 +1,6 @@
 #include "src/rl/evaluate.h"
 
-#include <cstdio>
-#include <cstdlib>
-#include <memory>
+#include <cstdint>
 
 namespace mocc {
 
@@ -41,18 +39,6 @@ EvalResult EvaluatePolicy(InferencePolicy* policy, Env* env, int episodes) {
   return EvaluateActionFn(
       [policy](const std::vector<double>& obs) { return policy->ActionMean(obs); }, env,
       episodes);
-}
-
-EvalResult EvaluatePolicyFloat32(const ActorCritic& model, Env* env, int episodes) {
-  std::unique_ptr<InferencePolicy> policy = model.MakeFloat32Policy();
-  if (policy == nullptr) {
-    // MakeFloat32Policy is documented-nullable; fail loudly in every build type
-    // rather than dereferencing null in NDEBUG.
-    std::fprintf(stderr,
-                 "EvaluatePolicyFloat32: model provides no float32 inference path\n");
-    std::abort();
-  }
-  return EvaluatePolicy(policy.get(), env, episodes);
 }
 
 }  // namespace mocc

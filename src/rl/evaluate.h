@@ -26,14 +26,6 @@ EvalResult EvaluatePolicy(ActorCritic* model, Env* env, int episodes);
 // Evaluates the deterministic policy of a float32 deployment replica.
 EvalResult EvaluatePolicy(InferencePolicy* policy, Env* env, int episodes);
 
-// DEPRECATED: duplicate of the EvaluatePolicy(InferencePolicy*) entry point —
-// build the replica yourself (model.MakeFloat32Policy()) and call that overload.
-// Scheduled for hard removal; see the PR 7 note in CHANGES.md.
-[[deprecated(
-    "call EvaluatePolicy(model.MakeFloat32Policy().get(), ...) instead; "
-    "slated for removal — see CHANGES.md")]]
-EvalResult EvaluatePolicyFloat32(const ActorCritic& model, Env* env, int episodes);
-
 }  // namespace mocc
 
 #endif  // MOCC_SRC_RL_EVALUATE_H_

@@ -33,8 +33,21 @@
 #include <vector>
 
 #include "src/nn/mlp.h"
+#include "src/nn/qmlp.h"
 
 namespace mocc {
+
+// Inference precision of a deployed policy. kFloat32 runs per-MI decisions
+// through the frozen float32 replica below; kInt8 additionally quantizes the
+// replica's tanh layers to offset-64 int8 codes (src/nn/qmlp.h) and runs the
+// maddubs-style integer GEMV; kDouble keeps the training-precision path.
+// Defined here (not in core/policy_spec.h, which re-exports it) so the
+// controller layer can carry it without an include cycle.
+enum class Precision {
+  kDouble,
+  kFloat32,
+  kInt8,
+};
 
 // A frozen float32 single-observation policy: the deployment counterpart of
 // ActorCritic::ForwardRow. Observations arrive as double (the env/controller
@@ -104,10 +117,14 @@ class InferencePolicy {
 };
 
 // Float32 replica of MlpActorCritic: two independent MLPs (actor, critic).
+// With int8 = true, both networks are additionally frozen into QuantizedMlp
+// form and every forward runs the int8 path (same bit-stable-across-tiers
+// guarantee, quantization error bounded by the rl_test parity harness).
 class MlpFloat32Policy : public InferencePolicy {
  public:
   // Builds the replica by casting the trained double networks.
-  MlpFloat32Policy(const MlpT<double>& actor, const MlpT<double>& critic, double log_std);
+  MlpFloat32Policy(const MlpT<double>& actor, const MlpT<double>& critic, double log_std,
+                   bool int8 = false);
 
   size_t obs_dim() const override { return actor_.in_dim(); }
 
@@ -119,6 +136,9 @@ class MlpFloat32Policy : public InferencePolicy {
  private:
   MlpT<float> actor_;
   MlpT<float> critic_;
+  bool int8_ = false;
+  QuantizedMlp qactor_;
+  QuantizedMlp qcritic_;
 };
 
 // Float32 replica of the Figure-3 preference model: per head a PN + trunk pair
@@ -130,9 +150,12 @@ class PreferenceFloat32Policy : public InferencePolicy {
  public:
   // (pn, trunk) per head, cast from the trained double networks. `weight_dim` is
   // the w⃗ prefix length of the observation; `hist_dim` the g⃗(t,η) suffix length.
+  // With int8 = true the trunks run quantized (src/nn/qmlp.h); the tiny PNs
+  // stay float32 behind their cache, where quantization would only add error.
   PreferenceFloat32Policy(const MlpT<double>& actor_pn, const MlpT<double>& actor_trunk,
                           const MlpT<double>& critic_pn, const MlpT<double>& critic_trunk,
-                          size_t weight_dim, size_t hist_dim, double log_std);
+                          size_t weight_dim, size_t hist_dim, double log_std,
+                          bool int8 = false);
 
   size_t obs_dim() const override { return weight_dim_ + hist_dim_; }
 
@@ -154,17 +177,34 @@ class PreferenceFloat32Policy : public InferencePolicy {
     MlpT<float> pn;
     MlpT<float> trunk;
     // Single-row workspace: [PN features | history]. The PN-feature prefix
-    // doubles as the cache for pn_cache_w.
+    // doubles as the cache for pn_cache_w (the batch path stages from it; the
+    // row path only writes the prefix on a PN recompute).
     std::vector<float> concat_row;
     std::vector<float> pn_cache_w;
     bool pn_cache_valid = false;
+    // Trunk layer-0 accumulators over the PN feature slice, cached alongside
+    // the PN features: the per-step row forward resumes these chains over the
+    // history slice only (simd::RowMatVecSeeded), skipping weight_dim columns'
+    // worth of first-layer multiplies. Bit-identical to the full evaluation
+    // because a seeded resume executes the same per-output fma sequence.
+    std::vector<float> l0_partial;
+    // Ping/pong rows for the policy-owned trunk walk (sized trunk.MaxDim()).
+    std::vector<float> scratch0;
+    std::vector<float> scratch1;
+    // Int8-mode quantized trunk (unused in float32 mode).
+    QuantizedMlp qtrunk;
   };
 
   void ForwardHeadRow(Head* head, const float* obs, float* out);
 
+  // Recomputes head->concat_row's PN prefix and the cached l0_partial from the
+  // weight prefix of `obs`, and re-keys pn_cache_w.
+  void RefreshPnCache(Head* head, const float* obs);
+
   size_t weight_dim_;
   size_t pn_out_;
   size_t hist_dim_;
+  bool int8_ = false;
   Head actor_;
   Head critic_;
   int64_t pn_recompute_count_ = 0;

@@ -39,6 +39,8 @@ ServingEngine::ServingEngine(const PolicySpec& spec,
   assert(model_->obs_dim() == obs_dim_);
   if (spec.precision() == Precision::kFloat32) {
     policy_ = model_->MakeFloat32Policy();
+  } else if (spec.precision() == Precision::kInt8) {
+    policy_ = model_->MakeInt8Policy();
   }
 }
 

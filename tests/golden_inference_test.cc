@@ -43,6 +43,17 @@ constexpr uint64_t kObsSeed = 123;
 constexpr int kNumObservations = 16;
 constexpr double kDoubleTol = 1e-9;
 constexpr double kFloat32Tol = 1e-4;
+// The int8 path is exact integer arithmetic plus a fixed sequence of explicit
+// std::fma / correctly rounded single ops (see src/nn/simd/dispatch.h), so the
+// committed values reproduce bit-for-bit on every tier of one binary —
+// including under MOCC_FORCE_SCALAR=1, which is how CI proves the scalar
+// fallback computes the SAME quantized network. The tolerance only covers
+// cross-compiler libm drift in the float head layer.
+constexpr double kInt8Tol = 1e-6;
+// How far quantization itself may move the action mean / value vs the double
+// reference on these synthetic rows. Matches the trained-checkpoint drift caps
+// in rl_test.cc.
+constexpr double kInt8VsDoubleTol = 1e-1;
 
 std::string DataPath(const std::string& file) {
   return std::string(MOCC_TEST_DATA_DIR) + "/" + file;
@@ -121,6 +132,61 @@ bool ReadGoldenOutputs(const std::string& path, std::vector<GoldenRow>* rows) {
   return !rows->empty();
 }
 
+// The int8 rows are kept in a separate file (golden_forward_int8.txt) so the
+// float goldens stay byte-stable across quantization-scheme revisions.
+struct Int8Row {
+  double mean_q, value_q;
+};
+
+std::vector<Int8Row> ComputeInt8Rows(PreferenceActorCritic* model) {
+  std::unique_ptr<InferencePolicy> policy = model->MakeInt8Policy();
+  std::vector<Int8Row> rows;
+  if (policy == nullptr) {
+    return rows;
+  }
+  for (const auto& obs : GoldenObservations(model->config())) {
+    Int8Row row;
+    policy->ForwardRow(obs, &row.mean_q, &row.value_q);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+bool WriteInt8Outputs(const std::string& path, const std::vector<Int8Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f, "# Int8 ForwardRow goldens: index mean_int8 value_int8 "
+                  "(hex floats)\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "%zu %a %a\n", i, rows[i].mean_q, rows[i].value_q);
+  }
+  const bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool ReadInt8Outputs(const std::string& path, std::vector<Int8Row>* rows) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return false;
+  }
+  char header[256];
+  if (std::fgets(header, sizeof(header), f) == nullptr) {
+    std::fclose(f);
+    return false;
+  }
+  rows->clear();
+  size_t index = 0;
+  Int8Row row;
+  while (std::fscanf(f, "%zu %la %la", &index, &row.mean_q, &row.value_q) == 3) {
+    rows->push_back(row);
+  }
+  std::fclose(f);
+  return !rows->empty();
+}
+
 TEST(GoldenInferenceTest, ForwardRowMatchesCommittedGoldens) {
   MoccConfig config;
   const std::string model_path = DataPath("golden_model.bin");
@@ -131,6 +197,8 @@ TEST(GoldenInferenceTest, ForwardRowMatchesCommittedGoldens) {
     PreferenceActorCritic model(config, &rng);
     ASSERT_TRUE(model.SaveToFile(model_path)) << model_path;
     ASSERT_TRUE(WriteGoldenOutputs(outputs_path, ComputeRows(&model))) << outputs_path;
+    ASSERT_TRUE(WriteInt8Outputs(DataPath("golden_forward_int8.txt"),
+                                 ComputeInt8Rows(&model)));
     GTEST_SKIP() << "regenerated goldens in " << MOCC_TEST_DATA_DIR;
   }
 
@@ -152,6 +220,40 @@ TEST(GoldenInferenceTest, ForwardRowMatchesCommittedGoldens) {
     EXPECT_NEAR(actual[i].value_f, expected[i].value_f, kFloat32Tol) << "obs " << i;
     // The committed goldens themselves certify the two precisions agree.
     EXPECT_NEAR(expected[i].mean_f, expected[i].mean_d, 1e-3) << "obs " << i;
+  }
+}
+
+// The int8 deployment path against its committed goldens. Registered twice in
+// ctest: once normally (the host's best tier, AVX2 on CI) and once under
+// MOCC_FORCE_SCALAR=1 (golden_inference_test_scalar) — both runs must land on
+// the same committed values, which is the end-to-end form of the scalar<->SIMD
+// bit-identity contract.
+TEST(GoldenInferenceTest, Int8ForwardRowMatchesCommittedGoldens) {
+  if (std::getenv("MOCC_REGEN_GOLDENS") != nullptr) {
+    GTEST_SKIP() << "regenerated by ForwardRowMatchesCommittedGoldens";
+  }
+  MoccConfig config;
+  std::shared_ptr<PreferenceActorCritic> model =
+      PreferenceActorCritic::LoadFromFile(DataPath("golden_model.bin"), config);
+  ASSERT_NE(model, nullptr);
+  std::vector<Int8Row> expected;
+  ASSERT_TRUE(ReadInt8Outputs(DataPath("golden_forward_int8.txt"), &expected))
+      << "regenerate with MOCC_REGEN_GOLDENS=1";
+  ASSERT_EQ(expected.size(), static_cast<size_t>(kNumObservations));
+
+  const std::vector<Int8Row> actual = ComputeInt8Rows(model.get());
+  ASSERT_EQ(actual.size(), expected.size());
+  std::vector<GoldenRow> reference;
+  ASSERT_TRUE(ReadGoldenOutputs(DataPath("golden_forward.txt"), &reference));
+  ASSERT_EQ(reference.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual[i].mean_q, expected[i].mean_q, kInt8Tol) << "obs " << i;
+    EXPECT_NEAR(actual[i].value_q, expected[i].value_q, kInt8Tol) << "obs " << i;
+    // And quantization drift vs the double reference stays control-irrelevant.
+    EXPECT_NEAR(expected[i].mean_q, reference[i].mean_d, kInt8VsDoubleTol)
+        << "obs " << i;
+    EXPECT_NEAR(expected[i].value_q, reference[i].value_d, kInt8VsDoubleTol)
+        << "obs " << i;
   }
 }
 

@@ -17,6 +17,7 @@
 #include "src/core/preference_model.h"
 #include "src/envs/cc_env.h"
 #include "src/nn/mlp.h"
+#include "src/nn/simd/dispatch.h"
 #include "src/rl/actor_critic.h"
 #include "src/rl/ppo.h"
 
@@ -68,27 +69,84 @@ int main() {
   json.Add("hardware_concurrency",
            static_cast<double>(ThreadPool::Shared().size()));
 
+  // Which kernel tier CPUID picked for this run — the denominator/numerator
+  // rates below are only comparable across hosts with the tier attached.
+  json.AddString("simd_tier", simd::TierName(simd::ActiveTier()));
+  std::printf("simd tier: %s%s\n", simd::TierName(simd::ActiveTier()),
+              simd::ForcedScalar() ? " (forced)" : "");
+
   // --- Single-observation inference throughput (Figure 17's budget). ---
-  const InferencePathRates rates = MeasureInferencePaths(config);
+  // The two explicit-SIMD speedup gates ride on ratios of adjacent
+  // measurements, so a frequency shift on a shared vCPU can sink them
+  // spuriously; per the repo-wide remeasure rule a failing verdict gets
+  // remeasured (whole path set, per-field max) before it counts.
+  InferencePathRates rates = MeasureInferencePaths(config);
+  constexpr double kF32VsAutovecGate = 1.3;   // explicit AVX2 vs -march=native autovec
+  constexpr double kInt8VsF32Gate = 1.5;      // quantized row vs f32 row
+  const bool scalar_tier = simd::ActiveTier() == simd::Tier::kScalar;
+  for (int retry = 0; retry < 2 && !scalar_tier; ++retry) {
+    const bool f32_ok = rates.fast_row_f32_ops_per_sec >=
+                        kF32VsAutovecGate * rates.autovec_row_f32_ops_per_sec;
+    const bool int8_ok = rates.int8_row_ops_per_sec >=
+                         kInt8VsF32Gate * rates.fast_row_f32_ops_per_sec;
+    if (f32_ok && int8_ok) {
+      break;
+    }
+    std::fprintf(stderr, "[bench] simd speedup gate remeasuring (attempt %d)\n",
+                 retry + 1);
+    const InferencePathRates again = MeasureInferencePaths(config);
+    rates.seed_batched_ops_per_sec =
+        std::max(rates.seed_batched_ops_per_sec, again.seed_batched_ops_per_sec);
+    rates.batched_ops_per_sec = std::max(rates.batched_ops_per_sec, again.batched_ops_per_sec);
+    rates.fast_row_ops_per_sec = std::max(rates.fast_row_ops_per_sec, again.fast_row_ops_per_sec);
+    rates.fast_row_f32_ops_per_sec =
+        std::max(rates.fast_row_f32_ops_per_sec, again.fast_row_f32_ops_per_sec);
+    rates.autovec_row_f32_ops_per_sec =
+        std::max(rates.autovec_row_f32_ops_per_sec, again.autovec_row_f32_ops_per_sec);
+    rates.int8_row_ops_per_sec = std::max(rates.int8_row_ops_per_sec, again.int8_row_ops_per_sec);
+  }
   const double seed_ops = rates.seed_batched_ops_per_sec;
   const double batched_ops = rates.batched_ops_per_sec;
   const double row_ops = rates.fast_row_ops_per_sec;
   const double f32_ops = rates.fast_row_f32_ops_per_sec;
+  const double autovec_ops = rates.autovec_row_f32_ops_per_sec;
+  const double int8_ops = rates.int8_row_ops_per_sec;
 
   json.Add("inference_seed_batched_ops_per_sec", seed_ops);
   json.Add("inference_batched_ops_per_sec", batched_ops);
   json.Add("inference_fast_row_ops_per_sec", row_ops);
   json.Add("inference_fast_row_f32_ops_per_sec", f32_ops);
+  json.Add("inference_autovec_row_f32_ops_per_sec", autovec_ops);
+  json.Add("inference_int8_row_ops_per_sec", int8_ops);
   json.Add("fast_row_speedup_vs_seed_batched", seed_ops > 0.0 ? row_ops / seed_ops : 0.0);
   json.Add("fast_row_speedup_vs_batched", batched_ops > 0.0 ? row_ops / batched_ops : 0.0);
   json.Add("f32_row_speedup_vs_double_row", row_ops > 0.0 ? f32_ops / row_ops : 0.0);
+  json.Add("f32_row_speedup_vs_autovec", autovec_ops > 0.0 ? f32_ops / autovec_ops : 0.0);
+  json.Add("int8_row_speedup_vs_f32", f32_ops > 0.0 ? int8_ops / f32_ops : 0.0);
   std::printf("single-obs inference ops/sec:\n");
   std::printf("  seed batched path      %12.0f\n", seed_ops);
   std::printf("  batched (alloc-free)   %12.0f\n", batched_ops);
   std::printf("  fused single-row       %12.0f  (%.1fx vs seed batched)\n", row_ops,
               seed_ops > 0.0 ? row_ops / seed_ops : 0.0);
-  std::printf("  fused single-row f32   %12.0f  (%.2fx vs double row)\n", f32_ops,
-              row_ops > 0.0 ? f32_ops / row_ops : 0.0);
+  std::printf("  autovec f32 row (ref)  %12.0f\n", autovec_ops);
+  std::printf("  fused single-row f32   %12.0f  (%.2fx vs double row, %.2fx vs autovec)\n",
+              f32_ops, row_ops > 0.0 ? f32_ops / row_ops : 0.0,
+              autovec_ops > 0.0 ? f32_ops / autovec_ops : 0.0);
+  std::printf("  int8 single-row        %12.0f  (%.2fx vs f32 row)\n", int8_ops,
+              f32_ops > 0.0 ? int8_ops / f32_ops : 0.0);
+  if (!scalar_tier) {
+    if (f32_ops < kF32VsAutovecGate * autovec_ops) {
+      std::fprintf(stderr,
+                   "WARN: explicit-SIMD f32 row is only %.2fx the autovec "
+                   "reference (gate %.1fx)\n",
+                   autovec_ops > 0.0 ? f32_ops / autovec_ops : 0.0, kF32VsAutovecGate);
+    }
+    if (int8_ops < kInt8VsF32Gate * f32_ops) {
+      std::fprintf(stderr,
+                   "WARN: int8 row is only %.2fx the f32 row (gate %.1fx)\n",
+                   f32_ops > 0.0 ? int8_ops / f32_ops : 0.0, kInt8VsF32Gate);
+    }
+  }
 
   // --- Rollout collection scaling (Figure 19's mechanism). ---
   const int total_steps = 4096;
@@ -122,6 +180,13 @@ int main() {
   // vCPU; adjacent windows see the same frequency regime, and the cleanest of
   // three pairs bounds the true cost from above. A failing first verdict is
   // remeasured once with doubled windows (repo-wide remeasure rule).
+  //
+  // The reported overhead is SIGNED: a guarded window that measures faster
+  // than its unguarded partner (pure scheduling noise) yields a negative
+  // value. The old clamp-to-0 silently converted that noise into a perfect
+  // "0.00% overhead" report, which made the metric look stable across PRs
+  // while actually discarding the information that the measurement was at the
+  // noise floor. A small negative number is the honest reading.
   Rng guard_rng(23);
   auto guard_model = std::make_shared<PreferenceActorCritic>(config, &guard_rng);
   MonitorReport guard_report;
@@ -152,8 +217,7 @@ int main() {
       ungated_ops = std::max(ungated_ops, u);
       guarded_ops = std::max(guarded_ops, g);
       if (u > 0.0) {
-        guarded_policy_overhead =
-            std::min(guarded_policy_overhead, std::max(0.0, 1.0 - g / u));
+        guarded_policy_overhead = std::min(guarded_policy_overhead, 1.0 - g / u);
       }
     }
   };

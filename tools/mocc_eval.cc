@@ -3,7 +3,7 @@
 //
 // Usage:
 //   mocc_eval [--model PATH] [--bw MBPS] [--owd MS] [--queue PKTS] [--loss FRAC]
-//             [--intervals N] [--precision double|float32] [--guard]
+//             [--intervals N] [--precision double|float32|int8] [--guard]
 //
 //   All sweep points run as connections of ONE MoccServing instance (the
 //   deployment surface from src/core/mocc_api.h), sharing the model and — with
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--precision") {
       const char* value = next();
       if (!ParsePrecision(value, &precision)) {
-        std::fprintf(stderr, "bad --precision %s (double|float32)\n", value);
+        std::fprintf(stderr, "bad --precision %s (double|float32|int8)\n", value);
         return 2;
       }
     } else if (arg == "--guard") {
@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: mocc_eval [--model PATH] [--bw MBPS] [--owd MS] [--queue PKTS]\n"
                   "                 [--loss FRAC] [--intervals N]\n"
-                  "                 [--precision double|float32] [--guard]\n");
+                  "                 [--precision double|float32|int8] [--guard]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());

@@ -23,7 +23,7 @@
 //   mocc_simulate --scheme NAME [--model PATH] [--weights T,L,S] [--bw MBPS] [--owd MS]
 //                 [--queue PKTS] [--loss FRAC] [--duration S] [--seed N]
 //                 [--mahimahi TRACE] [--scenario NAME] [--list-scenarios]
-//                 [--precision double|float32] [--guard] [--serving]
+//                 [--precision double|float32|int8] [--guard] [--serving]
 //                 [--objectives T,L,S[;T,L,S...]] [--switch TIME:T,L,S]...
 //
 //   NAME in {mocc, cubic, newreno, vegas, bbr, copa, allegro, vivace}
@@ -210,7 +210,7 @@ int main(int argc, char** argv) {
       scenario_name = next();
     } else if (arg == "--precision") {
       if (!ParsePrecision(next(), &precision)) {
-        std::fprintf(stderr, "--precision expects double or float32\n");
+        std::fprintf(stderr, "--precision expects double, float32 or int8\n");
         return 2;
       }
     } else if (arg == "--guard") {
@@ -226,7 +226,7 @@ int main(int argc, char** argv) {
           "                     [--bw MBPS] [--owd MS] [--queue PKTS] [--loss FRAC]\n"
           "                     [--duration S] [--seed N] [--mahimahi TRACE]\n"
           "                     [--scenario NAME] [--list-scenarios]\n"
-          "                     [--precision double|float32] [--guard] [--serving]\n"
+          "                     [--precision double|float32|int8] [--guard] [--serving]\n"
           "                     [--objectives T,L,S[;T,L,S...]] [--switch TIME:T,L,S]\n"
           "\n"
           "  --serving drives MOCC agent flows through one shared serving instance\n"
@@ -284,8 +284,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
     return 2;
   }
-  if (precision == Precision::kFloat32 && scheme != "mocc") {
-    std::fprintf(stderr, "warning: --precision float32 only affects --scheme mocc\n");
+  if (precision != Precision::kDouble && scheme != "mocc") {
+    std::fprintf(stderr, "warning: --precision %s only affects --scheme mocc\n",
+                 PrecisionName(precision));
   }
   if (guard && scheme != "mocc") {
     std::fprintf(stderr, "warning: --guard only affects --scheme mocc\n");
