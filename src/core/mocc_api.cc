@@ -52,6 +52,10 @@ bool MoccServing::SubmitReport(ServingConnId id, const MonitorReport& report) {
   return engine_->SubmitReport(id, report);
 }
 
+bool MoccServing::PostReport(ServingConnId id, const MonitorReport& report) {
+  return engine_->PostReport(id, report);
+}
+
 size_t MoccServing::RatePoll() { return engine_->PollPending(); }
 
 size_t MoccServing::RatePoll(double now_s) { return engine_->PollAt(now_s); }

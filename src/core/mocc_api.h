@@ -8,6 +8,7 @@
 //   ServingConnId id = service->AttachConnection(w);       // per new connection
 //   service->OnAck(id, ack); service->OnLoss(id, loss);    // per-packet feedback
 //   service->SubmitReport(id, report);                     // external MI clocking, or
+//   service->PostReport(id, report);                       // ...from another thread, or
 //   service->RatePoll(now_s);                              // service-tick clocking
 //   double rate = service->RateBps(id);
 //
@@ -56,6 +57,10 @@ class MoccServing {
     double tick_s = 0.001;
     // Deadline-wheel ring size (rounded up to a power of two).
     size_t wheel_slots = 256;
+    // Capacity of the lock-free MPSC report ring behind PostReport (rounded up
+    // to a power of two). A full ring fails PostReport — size it to cover the
+    // producers' burst between two RatePoll calls.
+    size_t report_ring_capacity = 1024;
   };
 
   struct ConnectionOptions {
@@ -77,6 +82,10 @@ class MoccServing {
     // Histogram of batched-forward sizes: bucket i counts batches of size in
     // [2^i, 2^(i+1)).
     std::array<int64_t, 16> batch_size_log2_hist{};
+    // PostReport ring traffic: entries drained and ingested, and entries
+    // dropped at drain time (stale handle, self-timed, duplicate pending).
+    int64_t ring_reports = 0;
+    int64_t ring_dropped = 0;
   };
 
   MoccServing(const PolicySpec& spec, const Options& options);
@@ -106,8 +115,24 @@ class MoccServing {
 
   // Queues one monitor interval's statistics for an externally clocked
   // connection (at most one per RatePoll; self-timed connections reject it).
-  // The decision happens at the next RatePoll.
+  // The decision happens at the next RatePoll. Consumer thread only — this is
+  // the single-producer form of PostReport, validated synchronously.
   bool SubmitReport(ServingConnId id, const MonitorReport& report);
+
+  // Thread-safe report submission: enqueues through a lock-free bounded MPSC
+  // ring and returns immediately. Callable from any number of producer threads
+  // concurrently with each other (all other MoccServing calls stay on the one
+  // consumer thread). Validation is deferred to the next RatePoll, which
+  // drains the ring on the consumer thread: stale handles, self-timed
+  // connections and duplicate pending reports are dropped there (counted in
+  // stats().ring_dropped), exactly the submissions SubmitReport rejects
+  // synchronously. Returns false only when the ring is full — backpressure;
+  // the caller may retry after the consumer's next poll, or drop the report
+  // (monitor intervals are periodic, the next one carries fresher data).
+  // Decisions are bit-identical to the same reports fed through SubmitReport:
+  // each connection has one producer, so its report order is preserved, and
+  // per-connection decisions are independent of batch composition.
+  bool PostReport(ServingConnId id, const MonitorReport& report);
 
   // Decides every queued report in one batched forward pass. Returns the number
   // of decisions made.

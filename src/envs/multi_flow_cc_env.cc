@@ -164,18 +164,29 @@ std::vector<std::vector<double>> MultiFlowCcEnv::Reset() {
   }
 
   // Per-agent propagation RTT: path hops both ways plus the agent's extra
-  // delay. (hops * BaseRttS() and + 0.0 are exact for the dumbbell default, so
-  // homogeneous scenarios are bit-identical to the pre-topology env.)
-  const FlowPathSpec agent_paths = AgentPath(config_.topology);
-  const double path_rtt_s =
-      static_cast<double>(agent_paths.path.size()) * link_.BaseRttS();
+  // delay. Homogeneous topologies keep the historical hops * BaseRttS() form
+  // (bit-identical to the pre-topology env — per-hop summation rounds
+  // differently for >=4 hops); heterogeneous ones (N-leaf, per-link scales)
+  // sum their own path's propagation delays.
+  const bool heterogeneous = config_.topology.Heterogeneous();
+  const FlowPathSpec shared_path = AgentPath(config_.topology, 0);
+  const double shared_path_rtt_s =
+      heterogeneous ? PathPropRttS(topology, shared_path.path)
+                    : static_cast<double>(shared_path.path.size()) * link_.BaseRttS();
   // One cyclic expansion of the configured extra-delay ladder, reused for both
   // the reward's RTT reference and the wire's FlowOptions so they cannot
   // disagree.
   std::vector<double> agent_extras(static_cast<size_t>(config_.num_agents), 0.0);
+  std::vector<FlowPathSpec> agent_paths;
+  agent_paths.reserve(static_cast<size_t>(config_.num_agents));
   agent_base_rtt_s_.clear();
   double max_agent_rtt_s = 0.0;
   for (int i = 0; i < config_.num_agents; ++i) {
+    agent_paths.push_back(i == 0 ? shared_path : AgentPath(config_.topology, i));
+    const FlowPathSpec& paths = agent_paths.back();
+    const double path_rtt_s = (heterogeneous && i != 0)
+                                  ? PathPropRttS(topology, paths.path)
+                                  : shared_path_rtt_s;
     if (!config_.agent_extra_delay_s.empty()) {
       agent_extras[static_cast<size_t>(i)] =
           config_.agent_extra_delay_s[static_cast<size_t>(i) %
@@ -219,8 +230,8 @@ std::vector<std::vector<double>> MultiFlowCcEnv::Reset() {
     options.start_time_s = start_s;
     options.mi_fixed_duration_s = step_s_;
     options.initial_rate_bps = initial_rate;
-    options.path = agent_paths.path;
-    options.ack_path = agent_paths.ack_path;
+    options.path = agent_paths[static_cast<size_t>(i)].path;
+    options.ack_path = agent_paths[static_cast<size_t>(i)].ack_path;
     options.extra_one_way_delay_s = agent_extras[static_cast<size_t>(i)];
     agent_flow_ids_.push_back(net_->AddFlow(std::move(cc), options));
     agent_start_s_.push_back(start_s);

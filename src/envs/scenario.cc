@@ -171,6 +171,32 @@ std::vector<Scenario> BuildCatalog() {
     s.competitor_schemes = {"cubic", "cubic"};
     catalog.push_back(std::move(s));
   }
+  {
+    Scenario s;
+    s.name = "n-leaf-dumbbell";
+    s.description =
+        "10 agents entering through 5 fast leaf-in links (4x bandwidth, 1/4 "
+        "delay), crossing one shared bottleneck, exiting through matching "
+        "leaf-out links — the ns-3 N-leaf dumbbell at fleet flow counts";
+    s.num_agents = 10;
+    s.topology.kind = TopologyKind::kNLeafDumbbell;
+    s.topology.leaf_pairs = 5;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "asym-parking-lot";
+    s.description =
+        "3 agents crossing a 3-hop parking lot whose middle hop has half the "
+        "bandwidth, 1.5x the delay and half the queue — one true bottleneck "
+        "among equals, with a CUBIC cross flow per hop";
+    s.num_agents = 3;
+    s.topology.kind = TopologyKind::kParkingLot;
+    s.topology.hops = 3;
+    s.topology.link_scales = {{1.0, 1.0, 1.0}, {0.5, 1.5, 0.5}, {1.0, 1.0, 1.0}};
+    s.competitor_schemes = {"cubic", "cubic", "cubic"};
+    catalog.push_back(std::move(s));
+  }
   // --- Heterogeneous-objective scenarios: different agents on ONE bottleneck want
   // different throughput/latency/loss trade-offs, and preferences can change
   // mid-episode — the multi-objective training counterpart of the paper's online

@@ -1,0 +1,106 @@
+// Fleet-scale parallel simulation: shard whole topology instances across the
+// process thread pool. Each shard owns a complete, isolated simulation stack —
+// its own MultiFlowCcEnv (PacketNetwork, flows, traces, faults), its own Rng
+// stream, and its own frozen replica of the shared policy (a double-precision
+// clone, or a float32/int8 inference replica per the PolicySpec) — so thousands
+// of bottlenecks evaluate concurrently with ZERO cross-shard synchronization
+// inside an epoch. Aggregation (per-objective reward rollups, Jain's index,
+// throughput/latency/loss) happens after the barrier, in shard order.
+//
+// Determinism contract (src/common/thread_pool.h, applied at fleet scale):
+//  1. Shard seeds are drawn from the root seed ON THE CALLER THREAD in shard
+//     order, before dispatch — shard i's episode stream is a pure function of
+//     (spec.seed, i).
+//  2. Each shard's env + policy replica are private; the shared model is only
+//     read while building the replicas, on the caller thread.
+//  3. Shard i writes only ShardResult slot i.
+// Therefore RunFleet is bit-identical for ANY thread count and ANY shard→worker
+// assignment, including the serial threads=1 path — bench_fleet enforces this
+// as a hard gate, tests/fleet_test.cc pins it per shard.
+#ifndef MOCC_SRC_FLEET_FLEET_H_
+#define MOCC_SRC_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/policy_spec.h"
+
+namespace mocc {
+
+// One fleet run: `num_shards` isolated instances of `scenario`, every shard
+// running `episodes_per_shard` episodes under the spec's policy.
+struct FleetSpec {
+  // Catalog scenario name (ScenarioRegistry::Resolve vocabulary, including
+  // "mahimahi:<path>"). Every shard instantiates its own copy.
+  std::string scenario = "many-flow";
+  int num_shards = 8;
+  int episodes_per_shard = 1;
+  // > 0 truncates every episode at this many env steps; 0 runs each episode to
+  // the
+  // scenario's own end (max_steps_per_episode).
+  int steps_per_episode = 0;
+  // Root seed. Shard i's seed is the i-th NextU64 draw of Rng(seed).
+  uint64_t seed = 1;
+  // The frozen policy every shard replicates (model + precision; double clones
+  // the model, float32/int8 build per-shard inference replicas).
+  PolicySpec policy;
+  // 0 = the process-wide shared pool (hardware concurrency); 1 = serial
+  // reference execution on the caller thread; n > 1 = a dedicated pool of n.
+  int threads = 0;
+};
+
+// Everything one shard measured, in deterministic (seed-derived) form. Sums are
+// over started-agent monitor intervals; divide by agent_steps for means.
+struct ShardResult {
+  int shard = 0;
+  uint64_t seed = 0;
+  int episodes = 0;
+  int64_t env_steps = 0;
+  int64_t agent_steps = 0;  // started-agent transitions (inactive agents excluded)
+  double reward_sum = 0.0;  // Eq. (2) scalarized rewards, as the env scored them
+  // Per-objective components (Eq. 2's O_thr/O_lat/O_loss), recomputed from each
+  // started agent's monitor report against its own capacity share and base RTT.
+  double o_thr_sum = 0.0;
+  double o_lat_sum = 0.0;
+  double o_loss_sum = 0.0;
+  double throughput_sum_bps = 0.0;
+  double avg_rtt_sum_s = 0.0;
+  double loss_rate_sum = 0.0;
+  double jain_sum = 0.0;  // one end-of-episode Jain's index sample per episode
+  // Order-sensitive digest of every per-step reward and rate this shard
+  // produced — the bit-identity witness bench_fleet and fleet_test compare
+  // across thread counts.
+  uint64_t checksum = 0;
+};
+
+// The epoch-batched aggregate: per-shard results plus shard-order rollups.
+struct FleetResult {
+  bool ok = false;
+  std::string error;  // set when !ok (unknown scenario, unresolvable model)
+  std::vector<ShardResult> shards;
+  int64_t env_steps = 0;
+  int64_t agent_steps = 0;
+  int episodes = 0;
+  double mean_reward = 0.0;
+  double mean_o_thr = 0.0;
+  double mean_o_lat = 0.0;
+  double mean_o_loss = 0.0;
+  double mean_throughput_bps = 0.0;
+  double mean_avg_rtt_s = 0.0;
+  double mean_loss_rate = 0.0;
+  double mean_jain = 0.0;  // per-episode mean
+  // Shard-order combination of the shard checksums — equal across two runs iff
+  // every shard's full decision/reward stream was bit-identical.
+  uint64_t checksum = 0;
+};
+
+// Runs the fleet. Blocking; returns after every shard has finished and the
+// aggregation pass is done. Thread-safe with respect to itself only through
+// the shared pool's internal serialization — the spec's model is the one
+// shared input, and it is only read.
+FleetResult RunFleet(const FleetSpec& spec);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_FLEET_FLEET_H_

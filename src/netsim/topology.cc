@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace mocc {
 namespace {
@@ -15,7 +16,28 @@ LinkSpec FromParams(const LinkParams& params) {
   return link;
 }
 
+// Scale for link `index` of a shape built from `spec`; identity when the spec
+// carries no overrides (so the base link replicates verbatim, bit-identical to
+// the historical builders).
+LinkScale ScaleFor(const TopologySpec& spec, int index) {
+  if (spec.link_scales.empty()) return LinkScale{};
+  return spec.link_scales[static_cast<size_t>(index) % spec.link_scales.size()];
+}
+
+int ClampedLeafPairs(const TopologySpec& spec) {
+  return std::max(1, spec.leaf_pairs);
+}
+
 }  // namespace
+
+LinkSpec ScaledLink(const LinkParams& base, const LinkScale& scale) {
+  LinkSpec link = FromParams(base);
+  link.bandwidth_bps *= scale.bandwidth;
+  link.prop_delay_s *= scale.delay;
+  link.queue_capacity_pkts = std::max<int>(
+      1, static_cast<int>(std::llround(link.queue_capacity_pkts * scale.queue)));
+  return link;
+}
 
 NetworkTopology NetworkTopology::SingleBottleneck(const LinkParams& params) {
   NetworkTopology topology;
@@ -40,18 +62,37 @@ NetworkTopology NetworkTopology::WithReversePath(const LinkParams& params) {
 }
 
 NetworkTopology BuildTopology(const TopologySpec& spec, const LinkParams& base) {
+  NetworkTopology topology;
   switch (spec.kind) {
     case TopologyKind::kDumbbell:
-      return NetworkTopology::SingleBottleneck(base);
+      topology.links.push_back(ScaledLink(base, ScaleFor(spec, 0)));
+      return topology;
     case TopologyKind::kParkingLot:
-      return NetworkTopology::ParkingLot(base, spec.hops);
+      for (int i = 0; i < std::clamp(spec.hops, 1, kMaxPathHops); ++i) {
+        topology.links.push_back(ScaledLink(base, ScaleFor(spec, i)));
+      }
+      return topology;
     case TopologyKind::kReversePath:
-      return NetworkTopology::WithReversePath(base);
+      topology.links.push_back(ScaledLink(base, ScaleFor(spec, 0)));  // forward
+      topology.links.push_back(ScaledLink(base, ScaleFor(spec, 1)));  // reverse
+      return topology;
+    case TopologyKind::kNLeafDumbbell: {
+      const int pairs = ClampedLeafPairs(spec);
+      topology.links.push_back(ScaledLink(base, ScaleFor(spec, 0)));  // bottleneck
+      for (int i = 0; i < pairs; ++i) {  // leaf-in links 1..P
+        topology.links.push_back(ScaledLink(base, spec.leaf_scale));
+      }
+      for (int i = 0; i < pairs; ++i) {  // leaf-out links P+1..2P
+        topology.links.push_back(ScaledLink(base, spec.leaf_scale));
+      }
+      return topology;
+    }
   }
-  return NetworkTopology::SingleBottleneck(base);
+  topology.links.push_back(ScaledLink(base, ScaleFor(spec, 0)));
+  return topology;
 }
 
-FlowPathSpec AgentPath(const TopologySpec& spec) {
+FlowPathSpec AgentPath(const TopologySpec& spec, int agent_index) {
   FlowPathSpec paths;
   switch (spec.kind) {
     case TopologyKind::kDumbbell:
@@ -66,9 +107,17 @@ FlowPathSpec AgentPath(const TopologySpec& spec) {
       paths.path = {0};
       paths.ack_path = {1};
       break;
+    case TopologyKind::kNLeafDumbbell: {
+      const int pairs = ClampedLeafPairs(spec);
+      const int pair = ((agent_index % pairs) + pairs) % pairs;
+      paths.path = {1 + pair, 0, 1 + pairs + pair};
+      break;
+    }
   }
   return paths;
 }
+
+FlowPathSpec AgentPath(const TopologySpec& spec) { return AgentPath(spec, 0); }
 
 FlowPathSpec CompetitorPath(const TopologySpec& spec, int competitor_index) {
   FlowPathSpec paths;
@@ -85,8 +134,25 @@ FlowPathSpec CompetitorPath(const TopologySpec& spec, int competitor_index) {
       // ACKs behind data packets.
       paths.path = {1};
       break;
+    case TopologyKind::kNLeafDumbbell: {
+      // End-to-end cross traffic through leaf pair i%P: shares both leaves
+      // with the same-index agents, and the bottleneck with everyone.
+      const int pairs = ClampedLeafPairs(spec);
+      const int pair = ((competitor_index % pairs) + pairs) % pairs;
+      paths.path = {1 + pair, 0, 1 + pairs + pair};
+      break;
+    }
   }
   return paths;
+}
+
+double PathPropRttS(const NetworkTopology& topology, const std::vector<int>& path) {
+  double one_way = 0.0;
+  for (int link : path) {
+    assert(link >= 0 && static_cast<size_t>(link) < topology.links.size());
+    one_way += topology.links[static_cast<size_t>(link)].prop_delay_s;
+  }
+  return 2.0 * one_way;
 }
 
 }  // namespace mocc

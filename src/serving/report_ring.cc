@@ -1,0 +1,65 @@
+#include "src/serving/report_ring.h"
+
+namespace mocc {
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 2;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+ReportRing::ReportRing(size_t capacity)
+    : mask_(RoundUpPow2(capacity < 2 ? 2 : capacity) - 1),
+      cells_(new Cell[mask_ + 1]),
+      enqueue_pos_(0),
+      dequeue_pos_(0) {
+  for (size_t i = 0; i <= mask_; ++i) {
+    cells_[i].seq.store(static_cast<uint64_t>(i), std::memory_order_relaxed);
+  }
+}
+
+bool ReportRing::TryPush(const ServingConnId& id, const MonitorReport& report) {
+  uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+    if (dif == 0) {
+      // The cell is free for lap `pos`; claim it. A failed CAS reloads the
+      // position another producer just took and retries on the next cell.
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        cell.entry.id = id;
+        cell.entry.report = report;
+        cell.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+    } else if (dif < 0) {
+      // The cell still holds an unconsumed entry from the previous lap: full.
+      return false;
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool ReportRing::TryPop(Entry* out) {
+  const uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  Cell& cell = cells_[pos & mask_];
+  const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+  if (static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1) < 0) {
+    return false;  // the next cell has not been published yet: empty
+  }
+  *out = cell.entry;
+  // Retire the cell for the next lap so producers can reuse it.
+  cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+  dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace mocc

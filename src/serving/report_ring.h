@@ -1,0 +1,90 @@
+// Lock-free bounded MPSC ring carrying monitor reports from concurrent
+// producer threads into one single-threaded ServingEngine — the remaining item
+// from the serving PR, and what lets fleet shard threads (or any future
+// multi-threaded datapath) feed one MoccServing instance without a mutex on
+// the per-report path.
+//
+// The design is the classic bounded queue of Dmitry Vyukov: a power-of-two
+// array of cells, each carrying a sequence counter. A producer claims a cell
+// by CAS on the enqueue position, writes its payload, and publishes it by
+// bumping the cell's sequence; the single consumer reads cells in order and
+// retires them by advancing the sequence a full lap. Producers never wait on
+// the consumer or on each other beyond the one CAS — a full ring fails the
+// push immediately (backpressure is the caller's policy), and the consumer's
+// pop is wait-free.
+//
+// Ordering guarantees (what tests/report_ring_test.cc pins down):
+//   - Per producer: two TryPush calls from the same thread are dequeued in
+//     call order (each claims a strictly increasing position).
+//   - Across producers: dequeue order is the claim order, some interleaving of
+//     the producers' sequences. The serving layer tolerates any interleaving —
+//     per-connection decisions are order-independent, and each connection has
+//     one producer — which is exactly why the ring needs no stronger promise.
+//   - No report is lost or duplicated: a successful TryPush is dequeued
+//     exactly once.
+//
+// Consumer contract: TryPop must only ever be called from one thread at a time
+// (the ServingEngine drains it at the top of every RatePoll). Producers may be
+// any number of threads, including the consumer thread itself.
+#ifndef MOCC_SRC_SERVING_REPORT_RING_H_
+#define MOCC_SRC_SERVING_REPORT_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "src/core/mocc_api.h"
+#include "src/netsim/cc_interface.h"
+
+namespace mocc {
+
+class ReportRing {
+ public:
+  struct Entry {
+    ServingConnId id;
+    MonitorReport report;
+  };
+
+  // Capacity is rounded up to a power of two (minimum 2).
+  explicit ReportRing(size_t capacity);
+
+  ReportRing(const ReportRing&) = delete;
+  ReportRing& operator=(const ReportRing&) = delete;
+
+  // Enqueues one report. Callable from any thread, concurrently. Returns false
+  // when the ring is full — nothing is written, the caller decides whether to
+  // retry, drop, or throttle (backpressure).
+  bool TryPush(const ServingConnId& id, const MonitorReport& report);
+
+  // Dequeues the oldest report into *out. Single consumer only. Returns false
+  // when the ring is empty.
+  bool TryPop(Entry* out);
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // Snapshot of the current occupancy (racy by nature; exact only when no
+  // producer is mid-push). For stats/tests, never for control flow.
+  size_t SizeApprox() const {
+    const uint64_t tail = dequeue_pos_.load(std::memory_order_relaxed);
+    const uint64_t head = enqueue_pos_.load(std::memory_order_relaxed);
+    return head >= tail ? static_cast<size_t>(head - tail) : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> seq;
+    Entry entry;
+  };
+
+  size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  // Producers contend on enqueue_pos_; the consumer owns dequeue_pos_. Separate
+  // cache lines so producer CAS traffic does not invalidate the consumer's line.
+  alignas(64) std::atomic<uint64_t> enqueue_pos_;
+  alignas(64) std::atomic<uint64_t> dequeue_pos_;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_SERVING_REPORT_RING_H_

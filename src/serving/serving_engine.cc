@@ -30,7 +30,8 @@ ServingEngine::ServingEngine(const PolicySpec& spec,
               guard_options.max_rate_bps = spec.max_rate_bps();
               return guard_options;
             }()),
-      wheel_(options.wheel_slots) {
+      wheel_(options.wheel_slots),
+      ring_(options.report_ring_capacity) {
   assert(model_ != nullptr);
   assert(tick_s_ > 0.0);
   action_scale_ = model_->config().action_scale_alpha;
@@ -165,6 +166,8 @@ void ServingEngine::IngestReport(int32_t slot, const MonitorReport& report) {
 }
 
 bool ServingEngine::SubmitReport(ServingConnId id, const MonitorReport& report) {
+  // The single-producer form: same validation and ingest the ring drain runs,
+  // executed synchronously because the caller IS the consumer thread.
   if (!slab_.Live(id.slot, id.generation)) {
     return false;
   }
@@ -173,6 +176,32 @@ bool ServingEngine::SubmitReport(ServingConnId id, const MonitorReport& report) 
   }
   IngestReport(id.slot, report);
   return true;
+}
+
+bool ServingEngine::PostReport(ServingConnId id, const MonitorReport& report) {
+  // Producer side: no slab access — the handle may already be stale, and racing
+  // a validation here against the consumer would be meaningless anyway. All
+  // checks run at drain time on the consumer thread.
+  return ring_.TryPush(id, report);
+}
+
+size_t ServingEngine::DrainReportRing() {
+  size_t ingested = 0;
+  ReportRing::Entry entry;
+  while (ring_.TryPop(&entry)) {
+    const int32_t slot = entry.id.slot;
+    if (!slab_.Live(slot, entry.id.generation) || slab_.self_timed[slot] != 0 ||
+        slab_.report_pending[slot] != 0) {
+      // Detached/recycled since the post, service-clocked, or a second report
+      // before the poll — the same rejections SubmitReport makes synchronously.
+      ++stats_.ring_dropped;
+      continue;
+    }
+    IngestReport(slot, entry.report);
+    ++ingested;
+  }
+  stats_.ring_reports += static_cast<int64_t>(ingested);
+  return ingested;
 }
 
 double ServingEngine::FallbackRate(int32_t slot) const {
@@ -278,9 +307,13 @@ size_t ServingEngine::DecideBatch() {
   return processed;
 }
 
-size_t ServingEngine::PollPending() { return DecideBatch(); }
+size_t ServingEngine::PollPending() {
+  DrainReportRing();
+  return DecideBatch();
+}
 
 size_t ServingEngine::PollAt(double now_s) {
+  DrainReportRing();
   due_.clear();
   wheel_.ExpireUpTo(TickFor(now_s), &due_);
   for (const DeadlineWheel::Entry& e : due_) {

@@ -21,8 +21,15 @@
 //      bit-identical per connection to a dedicated RlRateController fed the same
 //      reports (tests/serving_test.cc pins this down).
 //
-// Single-threaded by design, like the rest of the datapath-facing code: all
-// calls must come from one thread (or be externally serialized).
+// Threading: the engine itself stays single-threaded — slab, wheel, guards and
+// the batched forwards all run on the one consumer thread that calls
+// RatePoll/Attach/Detach. The ONE cross-thread surface is PostReport, which
+// enqueues into a lock-free bounded MPSC ring (src/serving/report_ring.h);
+// every poll drains the ring on the consumer thread and validates each entry
+// there (stale handle, self-timed, duplicate pending → dropped, counted in
+// stats). SubmitReport keeps its historical synchronous semantics — it is the
+// single-producer degenerate form, calling the same IngestReport the ring
+// drain uses, and must only be called from the consumer thread.
 #ifndef MOCC_SRC_SERVING_SERVING_ENGINE_H_
 #define MOCC_SRC_SERVING_SERVING_ENGINE_H_
 
@@ -35,6 +42,7 @@
 #include "src/rl/inference_policy.h"
 #include "src/serving/connection_slab.h"
 #include "src/serving/deadline_wheel.h"
+#include "src/serving/report_ring.h"
 
 namespace mocc {
 
@@ -62,6 +70,7 @@ class ServingEngine {
   void OnTimeout(ServingConnId id, double now_s);
 
   bool SubmitReport(ServingConnId id, const MonitorReport& report);
+  bool PostReport(ServingConnId id, const MonitorReport& report);
   size_t PollPending();
   size_t PollAt(double now_s);
 
@@ -77,6 +86,10 @@ class ServingEngine {
   // Ingests one report (guard fallback feed + slab history push) and queues the
   // slot for the next decision batch.
   void IngestReport(int32_t slot, const MonitorReport& report);
+  // Drains every ring entry on the consumer thread: validates (live handle, not
+  // self-timed, no report already pending) and ingests, dropping the rest.
+  // Returns the number ingested. Runs at the top of every poll.
+  size_t DrainReportRing();
   // Decides every queued slot (in forwards of at most kMaxBatchRows); clears the
   // queue.
   size_t DecideBatch();
@@ -100,6 +113,7 @@ class ServingEngine {
 
   ConnectionSlab slab_;
   DeadlineWheel wheel_;
+  ReportRing ring_;
   MoccServing::Stats stats_;
 
   std::vector<int32_t> queued_;  // slots with an ingested, undecided report

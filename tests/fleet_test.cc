@@ -1,0 +1,185 @@
+// The fleet-sharding contract suite (`ctest -L fleet`): RunFleet must be
+// BIT-IDENTICAL for any thread count and any shard→worker assignment — the
+// serial threads=1 reference, the shared pool and dedicated pools all produce
+// the same per-shard checksums and the same shard-order aggregates. Per-shard
+// Rng streams derive from the root seed on the caller thread in shard order,
+// so a shard's results are a pure function of (seed, shard index), independent
+// of how many other shards run beside it.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/mocc_config.h"
+#include "src/core/preference_model.h"
+#include "src/fleet/fleet.h"
+
+namespace mocc {
+namespace {
+
+std::shared_ptr<PreferenceActorCritic> TestModel() {
+  MoccConfig config;
+  Rng rng(91);
+  return std::make_shared<PreferenceActorCritic>(config, &rng);
+}
+
+FleetSpec SmallFleet(const std::shared_ptr<PreferenceActorCritic>& model,
+                     const std::string& scenario, Precision precision) {
+  FleetSpec spec;
+  spec.scenario = scenario;
+  spec.num_shards = 4;
+  spec.episodes_per_shard = 1;
+  spec.steps_per_episode = 6;
+  spec.seed = 42;
+  spec.policy.WithModel(model).WithPrecision(precision);
+  return spec;
+}
+
+void ExpectShardEqual(const ShardResult& a, const ShardResult& b) {
+  EXPECT_EQ(a.shard, b.shard);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.episodes, b.episodes);
+  EXPECT_EQ(a.env_steps, b.env_steps);
+  EXPECT_EQ(a.agent_steps, b.agent_steps);
+  // Bitwise FP equality is the contract, not a tolerance.
+  EXPECT_EQ(a.reward_sum, b.reward_sum);
+  EXPECT_EQ(a.o_thr_sum, b.o_thr_sum);
+  EXPECT_EQ(a.o_lat_sum, b.o_lat_sum);
+  EXPECT_EQ(a.o_loss_sum, b.o_loss_sum);
+  EXPECT_EQ(a.throughput_sum_bps, b.throughput_sum_bps);
+  EXPECT_EQ(a.avg_rtt_sum_s, b.avg_rtt_sum_s);
+  EXPECT_EQ(a.loss_rate_sum, b.loss_rate_sum);
+  EXPECT_EQ(a.jain_sum, b.jain_sum);
+  EXPECT_EQ(a.checksum, b.checksum);
+}
+
+void ExpectFleetEqual(const FleetResult& a, const FleetResult& b) {
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (size_t i = 0; i < a.shards.size(); ++i) {
+    ExpectShardEqual(a.shards[i], b.shards[i]);
+  }
+  EXPECT_EQ(a.env_steps, b.env_steps);
+  EXPECT_EQ(a.agent_steps, b.agent_steps);
+  EXPECT_EQ(a.episodes, b.episodes);
+  EXPECT_EQ(a.mean_reward, b.mean_reward);
+  EXPECT_EQ(a.mean_o_thr, b.mean_o_thr);
+  EXPECT_EQ(a.mean_o_lat, b.mean_o_lat);
+  EXPECT_EQ(a.mean_o_loss, b.mean_o_loss);
+  EXPECT_EQ(a.mean_throughput_bps, b.mean_throughput_bps);
+  EXPECT_EQ(a.mean_avg_rtt_s, b.mean_avg_rtt_s);
+  EXPECT_EQ(a.mean_loss_rate, b.mean_loss_rate);
+  EXPECT_EQ(a.mean_jain, b.mean_jain);
+  EXPECT_EQ(a.checksum, b.checksum);
+}
+
+// The core gate: serial reference (threads=1) vs oversubscribed dedicated
+// pools. Thread counts above the shard count force worker reuse and idle
+// workers; results must not care.
+TEST(FleetTest, BitIdenticalAcrossThreadCounts) {
+  auto model = TestModel();
+  const FleetSpec base = SmallFleet(model, "vs-cubic", Precision::kFloat32);
+  FleetSpec serial = base;
+  serial.threads = 1;
+  const FleetResult reference = RunFleet(serial);
+  ASSERT_TRUE(reference.ok) << reference.error;
+  ASSERT_EQ(reference.shards.size(), 4u);
+  EXPECT_GT(reference.env_steps, 0);
+  EXPECT_GT(reference.agent_steps, 0);
+  EXPECT_NE(reference.checksum, 0u);
+
+  for (const int threads : {2, 5}) {
+    FleetSpec parallel = base;
+    parallel.threads = threads;
+    const FleetResult result = RunFleet(parallel);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectFleetEqual(reference, result);
+  }
+}
+
+// The double-precision path runs per-shard model clones (the shared model's
+// ActionMean scratch is single-thread state); it must meet the same gate.
+TEST(FleetTest, DoublePrecisionClonesBitIdenticalAcrossThreadCounts) {
+  auto model = TestModel();
+  const FleetSpec base = SmallFleet(model, "many-flow", Precision::kDouble);
+  FleetSpec serial = base;
+  serial.threads = 1;
+  FleetSpec parallel = base;
+  parallel.threads = 3;
+  const FleetResult a = RunFleet(serial);
+  ASSERT_TRUE(a.ok) << a.error;
+  ExpectFleetEqual(a, RunFleet(parallel));
+}
+
+// Heterogeneous topologies (per-agent leaf paths, per-hop RTTs) go through the
+// same contract — the n-leaf dumbbell is the fleet's signature scenario.
+TEST(FleetTest, NLeafDumbbellShardsBitIdentical) {
+  auto model = TestModel();
+  FleetSpec base = SmallFleet(model, "n-leaf-dumbbell", Precision::kFloat32);
+  base.num_shards = 2;
+  base.steps_per_episode = 4;
+  FleetSpec serial = base;
+  serial.threads = 1;
+  FleetSpec parallel = base;
+  parallel.threads = 2;
+  const FleetResult a = RunFleet(serial);
+  ASSERT_TRUE(a.ok) << a.error;
+  EXPECT_GT(a.agent_steps, 0);
+  ExpectFleetEqual(a, RunFleet(parallel));
+}
+
+// Shard i's stream depends only on (root seed, i): growing the fleet appends
+// shards without disturbing the existing ones. This pins the caller-thread
+// shard-order seed derivation — seeding inside the tasks would break it.
+TEST(FleetTest, ShardStreamsIndependentOfFleetSize) {
+  auto model = TestModel();
+  FleetSpec small = SmallFleet(model, "vs-cubic", Precision::kFloat32);
+  small.num_shards = 2;
+  FleetSpec large = SmallFleet(model, "vs-cubic", Precision::kFloat32);
+  large.num_shards = 4;
+  const FleetResult a = RunFleet(small);
+  const FleetResult b = RunFleet(large);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  ASSERT_EQ(a.shards.size(), 2u);
+  ASSERT_EQ(b.shards.size(), 4u);
+  for (size_t i = 0; i < 2; ++i) {
+    ExpectShardEqual(a.shards[i], b.shards[i]);
+  }
+  // Distinct shards are distinct simulations (different seeds, different runs).
+  EXPECT_NE(b.shards[2].checksum, b.shards[0].checksum);
+}
+
+// Different root seeds give different fleets; the same root seed reproduces
+// the aggregation exactly on a rerun.
+TEST(FleetTest, ReproducibleAggregationAcrossRuns) {
+  auto model = TestModel();
+  const FleetSpec spec = SmallFleet(model, "many-flow", Precision::kFloat32);
+  const FleetResult a = RunFleet(spec);
+  const FleetResult b = RunFleet(spec);
+  ASSERT_TRUE(a.ok) << a.error;
+  ExpectFleetEqual(a, b);
+  EXPECT_GT(a.mean_jain, 0.0);
+  EXPECT_LE(a.mean_jain, 1.0);
+
+  FleetSpec reseeded = spec;
+  reseeded.seed = 43;
+  const FleetResult c = RunFleet(reseeded);
+  ASSERT_TRUE(c.ok);
+  EXPECT_NE(a.checksum, c.checksum);
+}
+
+TEST(FleetTest, UnknownScenarioFailsCleanly) {
+  auto model = TestModel();
+  FleetSpec spec = SmallFleet(model, "no-such-scenario", Precision::kFloat32);
+  const FleetResult result = RunFleet(spec);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+}  // namespace
+}  // namespace mocc

@@ -1,0 +1,237 @@
+// The lock-free MPSC report ring (`ctest -L serving`, and the ThreadSanitizer
+// CI job): multi-producer stress — per-producer FIFO ordering, exactly-once
+// delivery, full-ring backpressure — plus the serving-level contract that
+// PostReport-fed decisions are bit-identical to the same reports fed through
+// the synchronous single-producer SubmitReport path.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/mocc_api.h"
+#include "src/core/mocc_config.h"
+#include "src/core/policy_spec.h"
+#include "src/core/preference_model.h"
+#include "src/serving/report_ring.h"
+
+namespace mocc {
+namespace {
+
+MonitorReport TaggedReport(int producer, int seq) {
+  MonitorReport r;
+  // The tag: producer in start_time_s, per-producer sequence in duration_s.
+  r.start_time_s = static_cast<double>(producer);
+  r.duration_s = static_cast<double>(seq);
+  r.packets_sent = 100;
+  r.packets_acked = 99;
+  r.packets_lost = 1;
+  r.send_rate_bps = 2e6;
+  r.throughput_bps = 1.9e6;
+  r.avg_rtt_s = 0.045;
+  r.min_rtt_s = 0.040;
+  r.loss_rate = 0.01;
+  return r;
+}
+
+TEST(ReportRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ReportRing(0).capacity(), 2u);
+  EXPECT_EQ(ReportRing(2).capacity(), 2u);
+  EXPECT_EQ(ReportRing(3).capacity(), 4u);
+  EXPECT_EQ(ReportRing(1000).capacity(), 1024u);
+  EXPECT_EQ(ReportRing(1024).capacity(), 1024u);
+}
+
+TEST(ReportRingTest, SingleThreadFifoAndBackpressure) {
+  ReportRing ring(4);
+  ServingConnId id;
+  id.slot = 7;
+  id.generation = 3;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.TryPush(id, TaggedReport(0, i))) << i;
+  }
+  // Full: backpressure, not overwrite.
+  EXPECT_FALSE(ring.TryPush(id, TaggedReport(0, 99)));
+  EXPECT_EQ(ring.SizeApprox(), 4u);
+  ReportRing::Entry entry;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.TryPop(&entry)) << i;
+    EXPECT_EQ(entry.id.slot, 7);
+    EXPECT_EQ(entry.id.generation, 3u);
+    EXPECT_EQ(entry.report.duration_s, static_cast<double>(i)) << "FIFO order";
+  }
+  EXPECT_FALSE(ring.TryPop(&entry));
+  // Freed capacity is reusable (wrap-around).
+  EXPECT_TRUE(ring.TryPush(id, TaggedReport(0, 4)));
+  ASSERT_TRUE(ring.TryPop(&entry));
+  EXPECT_EQ(entry.report.duration_s, 4.0);
+}
+
+// The stress test: P producers race thousands of tagged reports through a
+// small ring against one concurrent consumer. Exactly-once delivery (no lost,
+// no duplicated entries) and per-producer FIFO ordering must survive the
+// contention; the small capacity forces constant wrap-around and backpressure
+// retries.
+TEST(ReportRingStressTest, MultiProducerExactlyOnceWithPerProducerOrdering) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  ReportRing ring(64);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      ServingConnId id;
+      id.slot = p;
+      id.generation = 1;
+      for (int seq = 0; seq < kPerProducer; ++seq) {
+        while (!ring.TryPush(id, TaggedReport(p, seq))) {
+          std::this_thread::yield();  // full ring = backpressure, retry
+        }
+      }
+    });
+  }
+
+  std::vector<int> next_seq(kProducers, 0);  // per-producer expected sequence
+  int popped = 0;
+  ReportRing::Entry entry;
+  while (popped < kProducers * kPerProducer) {
+    if (!ring.TryPop(&entry)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const int producer = entry.id.slot;
+    ASSERT_GE(producer, 0);
+    ASSERT_LT(producer, kProducers);
+    EXPECT_EQ(entry.report.start_time_s, static_cast<double>(producer));
+    // Per-producer FIFO: each producer's reports surface in sequence order.
+    ASSERT_EQ(entry.report.duration_s,
+              static_cast<double>(next_seq[static_cast<size_t>(producer)]))
+        << "producer " << producer << " out of order after " << popped << " pops";
+    ++next_seq[static_cast<size_t>(producer)];
+    ++popped;
+  }
+  for (std::thread& t : producers) {
+    t.join();
+  }
+  // Exactly once: every sequence consumed, ring empty.
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_seq[static_cast<size_t>(p)], kPerProducer) << "producer " << p;
+  }
+  EXPECT_FALSE(ring.TryPop(&entry));
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+}
+
+// --- Serving integration: PostReport == SubmitReport, bit for bit -----------
+
+MonitorReport FlowReport(int flow, int round) {
+  MonitorReport r;
+  r.duration_s = 0.05;
+  r.packets_sent = 100 + flow % 7;
+  r.packets_lost = (round + flow) % 3 == 0 ? 1 : 0;
+  r.packets_acked = r.packets_sent - r.packets_lost;
+  r.send_rate_bps = 2e6 + 1e4 * (flow % 13);
+  r.throughput_bps = r.send_rate_bps * 0.95;
+  r.avg_rtt_s = 0.045 + 1e-4 * ((round + flow) % 5);
+  r.min_rtt_s = 0.040;
+  r.loss_rate = static_cast<double>(r.packets_lost) / r.packets_sent;
+  return r;
+}
+
+TEST(ReportRingServingTest, ConcurrentPostReportBitIdenticalToSubmitReport) {
+  MoccConfig config;
+  Rng rng(29);
+  auto model = std::make_shared<PreferenceActorCritic>(config, &rng);
+  PolicySpec spec;
+  spec.WithModel(model).WithPrecision(Precision::kFloat32);
+
+  constexpr int kFlows = 8;
+  constexpr int kRounds = 25;
+  auto ring_service = CreateService(spec);
+  auto sync_service = CreateService(spec);
+  ASSERT_NE(ring_service, nullptr);
+  ASSERT_NE(sync_service, nullptr);
+  std::vector<ServingConnId> ring_ids, sync_ids;
+  for (int f = 0; f < kFlows; ++f) {
+    const WeightVector w{0.1 + 0.1 * (f % 3), 0.5 - 0.1 * (f % 3), 0.4};
+    ring_ids.push_back(ring_service->AttachConnection(w));
+    sync_ids.push_back(sync_service->AttachConnection(w));
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    // Ring path: one producer thread per connection posts concurrently...
+    std::vector<std::thread> producers;
+    for (int f = 0; f < kFlows; ++f) {
+      producers.emplace_back([&, f] {
+        while (!ring_service->PostReport(ring_ids[static_cast<size_t>(f)],
+                                         FlowReport(f, round))) {
+          std::this_thread::yield();
+        }
+      });
+    }
+    for (std::thread& t : producers) {
+      t.join();
+    }
+    // ...and the consumer's next poll drains + decides the whole batch.
+    EXPECT_EQ(ring_service->RatePoll(), static_cast<size_t>(kFlows));
+
+    // Reference path: the same reports through synchronous SubmitReport.
+    for (int f = 0; f < kFlows; ++f) {
+      ASSERT_TRUE(sync_service->SubmitReport(sync_ids[static_cast<size_t>(f)],
+                                             FlowReport(f, round)));
+    }
+    EXPECT_EQ(sync_service->RatePoll(), static_cast<size_t>(kFlows));
+
+    for (int f = 0; f < kFlows; ++f) {
+      ASSERT_EQ(ring_service->RateBps(ring_ids[static_cast<size_t>(f)]),
+                sync_service->RateBps(sync_ids[static_cast<size_t>(f)]))
+          << "flow " << f << " round " << round;
+    }
+  }
+  EXPECT_EQ(ring_service->stats().ring_reports,
+            static_cast<int64_t>(kFlows) * kRounds);
+  EXPECT_EQ(ring_service->stats().ring_dropped, 0);
+}
+
+TEST(ReportRingServingTest, FullRingBackpressuresAndStaleEntriesDropAtDrain) {
+  MoccConfig config;
+  Rng rng(31);
+  auto model = std::make_shared<PreferenceActorCritic>(config, &rng);
+  PolicySpec spec;
+  spec.WithModel(model).WithPrecision(Precision::kFloat32);
+  MoccServing::Options options;
+  options.report_ring_capacity = 4;
+  auto service = CreateService(spec, options);
+  ASSERT_NE(service, nullptr);
+
+  const ServingConnId live = service->AttachConnection(BalancedObjective());
+  ServingConnId stale = service->AttachConnection(BalancedObjective());
+  ASSERT_TRUE(service->DetachConnection(stale));
+
+  // Fill the ring (one live + three stale entries), then hit backpressure.
+  ASSERT_TRUE(service->PostReport(live, FlowReport(0, 0)));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service->PostReport(stale, FlowReport(1, i)));
+  }
+  EXPECT_FALSE(service->PostReport(live, FlowReport(0, 1))) << "ring full";
+
+  // The drain ingests the live report, drops the stale ones, and frees the ring.
+  EXPECT_EQ(service->RatePoll(), 1u);
+  EXPECT_EQ(service->stats().ring_reports, 1);
+  EXPECT_EQ(service->stats().ring_dropped, 3);
+  EXPECT_TRUE(service->PostReport(live, FlowReport(0, 2)));
+  EXPECT_EQ(service->RatePoll(), 1u);
+
+  // Duplicate-pending submissions drop at drain time too (one decision per poll
+  // per connection, exactly the SubmitReport rule).
+  ASSERT_TRUE(service->PostReport(live, FlowReport(0, 3)));
+  ASSERT_TRUE(service->PostReport(live, FlowReport(0, 4)));
+  EXPECT_EQ(service->RatePoll(), 1u);
+  EXPECT_EQ(service->stats().ring_dropped, 4);
+}
+
+}  // namespace
+}  // namespace mocc

@@ -25,6 +25,12 @@
 //                 [--mahimahi TRACE] [--scenario NAME] [--list-scenarios]
 //                 [--precision double|float32|int8] [--guard] [--serving]
 //                 [--objectives T,L,S[;T,L,S...]] [--switch TIME:T,L,S]...
+//                 [--fleet] [--shards N] [--episodes N] [--steps N] [--threads N]
+//
+//   --fleet runs shards of isolated scenario instances across the thread pool
+//   (src/fleet/fleet.h) instead of one timeline: per-shard CSV on stdout,
+//   aggregate rollups + the bit-identity checksum on stderr. Results are
+//   bit-identical for any --threads value (1 = the serial reference).
 //
 //   NAME in {mocc, cubic, newreno, vegas, bbr, copa, allegro, vivace}
 //   --precision float32 runs MOCC's per-MI inference through the frozen float32
@@ -56,6 +62,7 @@
 #include "src/core/preference_model.h"
 #include "src/core/reward.h"
 #include "src/envs/scenario.h"
+#include "src/fleet/fleet.h"
 #include "src/netsim/packet_network.h"
 #include "src/serving/serving_cc.h"
 
@@ -123,6 +130,11 @@ int main(int argc, char** argv) {
   Precision precision = Precision::kDouble;
   bool guard = false;
   bool serving = false;
+  bool fleet = false;
+  int fleet_shards = 8;
+  int fleet_episodes = 1;
+  int fleet_steps = 0;
+  int fleet_threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -217,6 +229,16 @@ int main(int argc, char** argv) {
       guard = true;
     } else if (arg == "--serving") {
       serving = true;
+    } else if (arg == "--fleet") {
+      fleet = true;
+    } else if (arg == "--shards") {
+      fleet_shards = std::atoi(next());
+    } else if (arg == "--episodes") {
+      fleet_episodes = std::atoi(next());
+    } else if (arg == "--steps") {
+      fleet_steps = std::atoi(next());
+    } else if (arg == "--threads") {
+      fleet_threads = std::atoi(next());
     } else if (arg == "--list-scenarios") {
       PrintScenarioCatalog(stdout);
       return 0;
@@ -228,7 +250,13 @@ int main(int argc, char** argv) {
           "                     [--scenario NAME] [--list-scenarios]\n"
           "                     [--precision double|float32|int8] [--guard] [--serving]\n"
           "                     [--objectives T,L,S[;T,L,S...]] [--switch TIME:T,L,S]\n"
+          "                     [--fleet] [--shards N] [--episodes N] [--steps N]\n"
+          "                     [--threads N]\n"
           "\n"
+          "  --fleet shards N isolated instances of the scenario across the thread\n"
+          "  pool (src/fleet/fleet.h) and prints per-shard and aggregate rollups;\n"
+          "  results are bit-identical for any --threads (0 = all cores, 1 =\n"
+          "  serial reference). MOCC only; the scenario defaults to many-flow.\n"
           "  --serving drives MOCC agent flows through one shared serving instance\n"
           "  (connection slab + batched inference) instead of per-flow controllers;\n"
           "  decisions are bit-identical to the per-flow path.\n"
@@ -301,6 +329,53 @@ int main(int argc, char** argv) {
   PolicySpec spec;
   spec.WithModel(model).WithPrecision(precision).WithGuard(guard).WithName("MOCC");
 
+  // Fleet mode: shard isolated scenario instances across the pool and report
+  // the epoch aggregate instead of one timeline.
+  if (fleet) {
+    if (scheme != "mocc") {
+      std::fprintf(stderr, "--fleet requires --scheme mocc\n");
+      return 2;
+    }
+    FleetSpec fleet_spec;
+    fleet_spec.scenario = scenario_name.empty() ? "many-flow" : scenario_name;
+    fleet_spec.num_shards = fleet_shards;
+    fleet_spec.episodes_per_shard = fleet_episodes;
+    fleet_spec.steps_per_episode = fleet_steps;
+    fleet_spec.seed = seed;
+    fleet_spec.policy = spec;
+    fleet_spec.threads = fleet_threads;
+    const FleetResult result = RunFleet(fleet_spec);
+    if (!result.ok) {
+      std::fprintf(stderr, "--fleet: %s\n", result.error.c_str());
+      return 1;
+    }
+    std::printf("shard,seed,episodes,env_steps,agent_steps,mean_reward,mean_jain\n");
+    for (const ShardResult& s : result.shards) {
+      const double steps = static_cast<double>(std::max<int64_t>(1, s.agent_steps));
+      std::printf("%d,%llu,%d,%lld,%lld,%.6f,%.4f\n", s.shard,
+                  static_cast<unsigned long long>(s.seed), s.episodes,
+                  static_cast<long long>(s.env_steps),
+                  static_cast<long long>(s.agent_steps), s.reward_sum / steps,
+                  s.jain_sum / static_cast<double>(std::max(1, s.episodes)));
+    }
+    std::fprintf(stderr,
+                 "fleet %s: %d shards, %d episodes, %lld env steps, %lld agent "
+                 "steps\n",
+                 fleet_spec.scenario.c_str(), fleet_spec.num_shards, result.episodes,
+                 static_cast<long long>(result.env_steps),
+                 static_cast<long long>(result.agent_steps));
+    std::fprintf(stderr,
+                 "mean reward %.6f (O_thr %.4f O_lat %.4f O_loss %.4f), "
+                 "throughput %.3f Mbps, rtt %.1f ms, loss %.4f, Jain %.4f\n",
+                 result.mean_reward, result.mean_o_thr, result.mean_o_lat,
+                 result.mean_o_loss, result.mean_throughput_bps / 1e6,
+                 result.mean_avg_rtt_s * 1e3, result.mean_loss_rate,
+                 result.mean_jain);
+    std::fprintf(stderr, "checksum %016llx\n",
+                 static_cast<unsigned long long>(result.checksum));
+    return 0;
+  }
+
   const int num_agents = scenario.has_value() ? scenario->num_agents : 1;
 
   // Per-agent objective assignment, in override order: --weights for everyone, then
@@ -357,6 +432,21 @@ int main(int argc, char** argv) {
     }
     net_topology.links[0].fault = fault;
   }
+  // Per-agent data/ACK paths and propagation RTTs, mirroring MultiFlowCcEnv:
+  // heterogeneous topologies (N-leaf, per-link scales) give each agent its own
+  // leaf pair and per-hop-summed RTT; homogeneous ones keep the historical
+  // shared path and hops x base-RTT form (bit-identical).
+  const bool heterogeneous_topology = topology_spec.Heterogeneous();
+  std::vector<FlowPathSpec> agent_paths(static_cast<size_t>(num_agents));
+  std::vector<double> agent_path_rtt_s(static_cast<size_t>(num_agents), 0.0);
+  for (int i = 0; i < num_agents; ++i) {
+    agent_paths[static_cast<size_t>(i)] = AgentPath(topology_spec, i);
+    agent_path_rtt_s[static_cast<size_t>(i)] =
+        heterogeneous_topology
+            ? PathPropRttS(net_topology, agent_paths[static_cast<size_t>(i)].path)
+            : static_cast<double>(agent_paths[static_cast<size_t>(i)].path.size()) *
+                  link.BaseRttS();
+  }
   PacketNetwork net(std::move(net_topology), seed);
   if (!mahimahi_path.empty()) {
     if (scenario.has_value() && scenario->trace_generator) {
@@ -387,7 +477,6 @@ int main(int argc, char** argv) {
     }
   }
   std::vector<double> agent_extra_delay(static_cast<size_t>(num_agents), 0.0);
-  const FlowPathSpec agent_paths = AgentPath(topology_spec);
   // Initial rate, the Eq. (1) update's slow-start analogue: a quarter of the pipe for
   // a lone flow (the historical heuristic), but a conservative half of the per-flow
   // fair share under contention — N flows each starting at 0.25x of a slow training
@@ -404,8 +493,8 @@ int main(int argc, char** argv) {
     FlowOptions options;
     options.start_time_s =
         scenario.has_value() ? static_cast<double>(i) * scenario->agent_stagger_s : 0.0;
-    options.path = agent_paths.path;
-    options.ack_path = agent_paths.ack_path;
+    options.path = agent_paths[static_cast<size_t>(i)].path;
+    options.ack_path = agent_paths[static_cast<size_t>(i)].ack_path;
     if (scenario.has_value() && !scenario->agent_extra_delay_s.empty()) {
       options.extra_one_way_delay_s =
           scenario->agent_extra_delay_s[static_cast<size_t>(i) %
@@ -549,8 +638,6 @@ int main(int argc, char** argv) {
       static_cast<int>(agent_flows.size() + competitor_flows.size());
   const double fair_share_bps =
       link.bandwidth_bps / static_cast<double>(std::max(1, total_flows));
-  const double path_rtt_s =
-      static_cast<double>(agent_paths.path.size()) * link.BaseRttS();
   if (total_flows > 1 || !agent_controllers.empty()) {
     std::vector<double> agent_throughputs;
     for (size_t i = 0; i < agent_flows.size(); ++i) {
@@ -562,7 +649,7 @@ int main(int argc, char** argv) {
         report.throughput_bps = stats.throughput_bps;
         report.avg_rtt_s = stats.avg_rtt_s;
         report.loss_rate = stats.loss_rate;
-        const double base_rtt_s = path_rtt_s + 2.0 * agent_extra_delay[i];
+        const double base_rtt_s = agent_path_rtt_s[i] + 2.0 * agent_extra_delay[i];
         const RewardComponents c =
             ComputeRewardComponents(report, fair_share_bps, base_rtt_s);
         const WeightVector& w = agent_weights[i];
