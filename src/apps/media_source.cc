@@ -1,0 +1,80 @@
+#include "src/apps/media_source.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mocc {
+
+RtcSourceCc::RtcSourceCc(const Options& options)
+    : options_(options),
+      rate_bps_(std::clamp(options.initial_rate_bps, options.min_rate_bps,
+                           options.max_rate_bps)) {}
+
+void RtcSourceCc::OnMonitorInterval(const MonitorReport& report) {
+  // Queueing delay is measured against the flow's own historical floor, so the
+  // encoder reacts to standing queue it (and its competitors) built, not to the
+  // path's propagation delay.
+  const double queueing_s =
+      report.avg_rtt_s > 0.0 && report.min_rtt_s > 0.0
+          ? std::max(0.0, report.avg_rtt_s - report.min_rtt_s)
+          : 0.0;
+  const bool congested = queueing_s > options_.delay_threshold_s ||
+                         report.loss_rate > options_.loss_threshold;
+  rate_bps_ *= congested ? options_.backoff : options_.ramp;
+  rate_bps_ = std::clamp(rate_bps_, options_.min_rate_bps, options_.max_rate_bps);
+}
+
+VideoSourceCc::VideoSourceCc(const Options& options)
+    : options_(options),
+      rate_bps_(options.ladder_kbps.empty()
+                    ? options.idle_rate_bps
+                    : options.ladder_kbps.front() * 1e3 * options.download_multiple) {
+  assert(!options_.ladder_kbps.empty());
+}
+
+void VideoSourceCc::OnMonitorInterval(const MonitorReport& report) {
+  // Conservative delivered-throughput estimate (EWMA stands in for VideoSession's
+  // harmonic mean over recent chunks; both damp one-interval spikes). Only
+  // intervals spent actually downloading count — a real ABR estimates from
+  // chunk deliveries, and folding idle keepalive trickle into the estimate
+  // would drag the budget to the idle rate and pin the client at the bottom
+  // rung forever.
+  const bool downloading = rate_bps_ > options_.idle_rate_bps;
+  if (downloading && report.throughput_bps > 0.0) {
+    estimate_bps_ = estimate_bps_ <= 0.0
+                        ? report.throughput_bps
+                        : (1.0 - options_.estimate_gain) * estimate_bps_ +
+                              options_.estimate_gain * report.throughput_bps;
+  }
+
+  // Buffer model: downloading at `bitrate` nets one second of video per second of
+  // real time; delivered bits above/below the chosen bitrate grow/shrink the
+  // buffer, and playback drains it in real time.
+  const double bitrate_bps =
+      options_.ladder_kbps[static_cast<size_t>(quality_level_)] * 1e3;
+  if (report.duration_s > 0.0) {
+    buffer_s_ += report.duration_s *
+                 (report.throughput_bps / std::max(1.0, bitrate_bps) - 1.0);
+    buffer_s_ = std::clamp(buffer_s_, 0.0, options_.max_buffer_s);
+  }
+
+  // ABR rule: the highest ladder level fitting the safety-discounted estimate
+  // (VideoSession::PickQuality against the live estimate instead of chunk history).
+  const double budget_bps = options_.safety * estimate_bps_;
+  int level = 0;
+  for (int i = static_cast<int>(options_.ladder_kbps.size()) - 1; i >= 0; --i) {
+    if (options_.ladder_kbps[static_cast<size_t>(i)] * 1e3 <= budget_bps) {
+      level = i;
+      break;
+    }
+  }
+  quality_level_ = level;
+
+  const bool buffer_full = buffer_s_ >= options_.max_buffer_s - 1e-9;
+  rate_bps_ = buffer_full
+                  ? options_.idle_rate_bps
+                  : options_.ladder_kbps[static_cast<size_t>(quality_level_)] * 1e3 *
+                        options_.download_multiple;
+}
+
+}  // namespace mocc

@@ -1,0 +1,96 @@
+// App-limited media traffic sources as first-class congestion controllers — the
+// scenario-side promotion of the rtc/video application harnesses. Unlike the bulk
+// baselines (CUBIC, BBR, ...), these never try to fill the pipe: an RTC encoder is
+// capped at its top encoding bitrate and a video client goes idle once its playback
+// buffer is full, so competing flows see realistic on/off and rate-capped cross
+// traffic instead of another greedy elephant. Both sources are deterministic pure
+// functions of their monitor-interval feedback (no internal randomness), keeping
+// every scenario that uses them seed-reproducible and pool-vs-serial bit-identical.
+#ifndef MOCC_SRC_APPS_MEDIA_SOURCE_H_
+#define MOCC_SRC_APPS_MEDIA_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/netsim/cc_interface.h"
+
+namespace mocc {
+
+// A real-time conferencing sender in the GCC/Salsify mold: the encoder's target
+// bitrate follows a delay- and loss-based AIMD between a floor and the top encoding
+// rate. Queueing delay above the threshold, or loss, backs the encoder off
+// multiplicatively; clean intervals ramp it up toward the cap. The source is
+// app-limited by construction — PacingRateBps never exceeds max_rate_bps however
+// much capacity the path has.
+class RtcSourceCc : public CongestionControl {
+ public:
+  struct Options {
+    double min_rate_bps = 150e3;   // lowest encoder operating point
+    double max_rate_bps = 2.5e6;   // top encoding bitrate (the app limit)
+    double initial_rate_bps = 600e3;
+    // Queueing delay (avg RTT minus the historical min) that counts as congestion.
+    double delay_threshold_s = 0.030;
+    double loss_threshold = 0.02;
+    double backoff = 0.85;         // multiplicative decrease on congestion
+    double ramp = 1.08;            // multiplicative ramp on clean intervals
+  };
+
+  RtcSourceCc() : RtcSourceCc(Options{}) {}
+  explicit RtcSourceCc(const Options& options);
+
+  CcMode Mode() const override { return CcMode::kRateBased; }
+  std::string Name() const override { return "rtc-source"; }
+  bool NeedsPerAckEvents() const override { return false; }
+  void OnMonitorInterval(const MonitorReport& report) override;
+  double PacingRateBps() const override { return rate_bps_; }
+
+  double rate_bps() const { return rate_bps_; }
+
+ private:
+  Options options_;
+  double rate_bps_;
+};
+
+// A chunked adaptive-bitrate video client (the VideoSession ABR rule recast as a
+// self-driving source): it picks the highest ladder bitrate fitting a conservative
+// throughput estimate, downloads ahead at a fixed multiple of that bitrate while
+// the modelled playback buffer has room, and goes (nearly) idle once the buffer is
+// full — the classic on/off burst pattern competing transports must live with.
+class VideoSourceCc : public CongestionControl {
+ public:
+  struct Options {
+    std::vector<double> ladder_kbps = {300, 750, 1200, 1850, 2850, 4300};
+    double max_buffer_s = 30.0;    // stop downloading ahead beyond this
+    // Burst rate = multiple x chosen bitrate. Must exceed the largest ladder
+    // step ratio (2.5x at 300->750) x 1/safety, or the app-limited download
+    // caps the observable throughput below the budget the next rung needs and
+    // the client can never climb.
+    double download_multiple = 4.0;
+    double idle_rate_bps = 50e3;   // keepalive trickle while the buffer is full
+    double safety = 0.8;           // use at most this fraction of the estimate
+    double estimate_gain = 0.25;   // EWMA gain of the throughput estimate
+  };
+
+  VideoSourceCc() : VideoSourceCc(Options{}) {}
+  explicit VideoSourceCc(const Options& options);
+
+  CcMode Mode() const override { return CcMode::kRateBased; }
+  std::string Name() const override { return "video-source"; }
+  bool NeedsPerAckEvents() const override { return false; }
+  void OnMonitorInterval(const MonitorReport& report) override;
+  double PacingRateBps() const override { return rate_bps_; }
+
+  int quality_level() const { return quality_level_; }
+  double buffer_s() const { return buffer_s_; }
+
+ private:
+  Options options_;
+  double rate_bps_;
+  double estimate_bps_ = 0.0;  // EWMA of delivered throughput
+  double buffer_s_ = 0.0;      // downloaded-but-unplayed seconds of video
+  int quality_level_ = 0;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_APPS_MEDIA_SOURCE_H_

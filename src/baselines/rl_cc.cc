@@ -12,10 +12,11 @@ namespace mocc {
 RlRateController::RlRateController(std::shared_ptr<ActorCritic> model, Options options)
     : model_(std::move(model)),
       options_(std::move(options)),
-      history_(options_.history_len),
+      history_(options_.history_len, options_.include_ecn),
       rate_bps_(options_.initial_rate_bps) {
   assert(model_ != nullptr);
-  assert(model_->obs_dim() == options_.observation_prefix.size() + 3 * options_.history_len);
+  assert(model_->obs_dim() ==
+         options_.observation_prefix.size() + history_.entry_width() * options_.history_len);
   if (options_.precision == Precision::kFloat32) {
     float32_policy_ = model_->MakeFloat32Policy();
   } else if (options_.precision == Precision::kInt8) {
@@ -31,7 +32,7 @@ RlRateController::RlRateController(std::shared_ptr<ActorCritic> model, Options o
 }
 
 void RlRateController::SetObservationPrefix(std::vector<double> prefix) {
-  assert(model_->obs_dim() == prefix.size() + 3 * options_.history_len);
+  assert(model_->obs_dim() == prefix.size() + history_.entry_width() * options_.history_len);
   options_.observation_prefix = std::move(prefix);
 }
 

@@ -23,6 +23,9 @@ class RlRateController : public CongestionControl {
   struct Options {
     size_t history_len = 10;       // η (Table 2)
     double action_scale = 0.025;   // α (Table 2)
+    // 4-wide history entries carrying the ECN-mark fraction; must match the
+    // model's MoccConfig::ecn_signal (the obs_dim assert enforces it).
+    bool include_ecn = false;
     double initial_rate_bps = 2e6;
     double min_rate_bps = 0.1e6;
     double max_rate_bps = 400e6;

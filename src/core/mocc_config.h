@@ -28,8 +28,17 @@ struct MoccConfig {
   size_t pn_out = 16;                  // preference feature width fed to the trunk
   std::vector<size_t> trunk_hidden = {64, 32};
 
+  // Widen each per-MI history entry from 3 to 4 values by appending the ECN
+  // mark fraction observed on that interval's ACKs (AQM/ECN bottlenecks). Off
+  // by default: the historical observation layout — and thus every existing
+  // checkpoint's dimensions — is unchanged. Models trained with this flag have
+  // a different ObsDim, so the two kinds of checkpoints can never be confused
+  // (PreferenceActorCritic::LoadFromFile detects the layout from the file).
+  bool ecn_signal = false;
+
   // Derived dimensions.
-  size_t HistoryDim() const { return 3 * history_len_eta; }
+  size_t HistoryEntryWidth() const { return ecn_signal ? 4 : 3; }
+  size_t HistoryDim() const { return HistoryEntryWidth() * history_len_eta; }
   size_t ObsDim() const { return 3 + HistoryDim(); }
 
   // PPO configuration consistent with this MoccConfig (Table 2 + §5 defaults).
@@ -46,6 +55,7 @@ struct MoccConfig {
     CcEnvConfig env;
     env.link_range = TrainingRange();
     env.history_len = history_len_eta;
+    env.include_ecn_in_obs = ecn_signal;
     env.action_scale = action_scale_alpha;
     env.include_weight_in_obs = true;
     // Expected-value loss keeps the reward's loss term noise-free: random-loss noise is

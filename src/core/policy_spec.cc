@@ -126,6 +126,10 @@ std::unique_ptr<RlRateController> PolicySpec::MakeController(
   RlRateController::Options options;
   options.history_len = model->config().history_len_eta;
   options.action_scale = model->config().action_scale_alpha;
+  // The controller's history width follows the model, not the caller: LoadFromFile
+  // detects the checkpoint's ECN-observation layout, so a deployed ECN-aware model
+  // automatically gets the 4-wide entries it was trained on.
+  options.include_ecn = model->config().ecn_signal;
   options.initial_rate_bps = initial_rate_bps;
   options.min_rate_bps = min_rate_bps_;
   options.max_rate_bps = max_rate_bps_;

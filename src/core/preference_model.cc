@@ -228,20 +228,32 @@ bool PreferenceActorCritic::SaveToFile(const std::string& path) const {
 
 std::shared_ptr<PreferenceActorCritic> PreferenceActorCritic::LoadFromFile(
     const std::string& path, const MoccConfig& config) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return nullptr;
+  auto attempt = [&path](const MoccConfig& cfg) -> std::shared_ptr<PreferenceActorCritic> {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return nullptr;
+    }
+    BinaryReader reader(in, kModelMagic, kModelVersion);
+    if (!reader.ok()) {
+      return nullptr;
+    }
+    Rng scratch(1);
+    auto model = std::make_shared<PreferenceActorCritic>(cfg, &scratch);
+    if (!model->Deserialize(&reader)) {
+      return nullptr;
+    }
+    return model;
+  };
+  if (auto model = attempt(config)) {
+    return model;
   }
-  BinaryReader reader(in, kModelMagic, kModelVersion);
-  if (!reader.ok()) {
-    return nullptr;
-  }
-  Rng scratch(1);
-  auto model = std::make_shared<PreferenceActorCritic>(config, &scratch);
-  if (!model->Deserialize(&reader)) {
-    return nullptr;
-  }
-  return model;
+  // A checkpoint trained with the other ECN-observation layout has a different
+  // obs_dim, which Deserialize rejects; retry with the flag toggled so the
+  // deployment tools do not need to be told how a model was trained. Every
+  // other architecture mismatch still fails both attempts.
+  MoccConfig toggled = config;
+  toggled.ecn_signal = !toggled.ecn_signal;
+  return attempt(toggled);
 }
 
 }  // namespace mocc

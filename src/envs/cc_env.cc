@@ -10,7 +10,7 @@ CcEnv::CcEnv(const CcEnvConfig& config, uint64_t seed)
     : config_(config),
       rng_(seed),
       link_(LinkParams{}, rng_.NextU64(), config.stochastic_loss),
-      history_(config.history_len) {
+      history_(config.history_len, config.include_ecn_in_obs) {
   assert(config_.history_len > 0);
 }
 
@@ -126,7 +126,8 @@ std::vector<double> CcEnv::BuildObservation() const {
 }
 
 size_t CcEnv::ObservationDim() const {
-  return (config_.include_weight_in_obs ? 3 : 0) + 3 * config_.history_len;
+  return (config_.include_weight_in_obs ? 3 : 0) +
+         history_.entry_width() * config_.history_len;
 }
 
 }  // namespace mocc

@@ -32,6 +32,10 @@ struct CcEnvConfig {
   double mi_min_duration_s = 0.01;
   int max_steps_per_episode = 400;
   bool include_weight_in_obs = true;  // false reproduces single-objective Aurora
+  // Widens each history entry with the MI's ECN-mark fraction (MiHistoryTracker).
+  // The fluid link never marks, so on this env the component is always 0 — the
+  // flag only keeps the observation layout consistent with an ECN-aware model.
+  bool include_ecn_in_obs = false;
   // true: reward uses the simulator's ground-truth capacity/base latency (offline
   // training); false: uses OnlineLinkEstimator (the paper's online phase).
   bool ground_truth_reward = true;

@@ -18,7 +18,12 @@ namespace mocc {
 
 class MiHistoryTracker {
  public:
-  explicit MiHistoryTracker(size_t history_len) : history_len_(history_len) {}
+  // With include_ecn the per-interval entry widens from 3 to 4 values by
+  // appending the MI's ECN-mark fraction (marked/acked, clamped to [0,1]); the
+  // neutral padding value for it is 0. Off by default: the 3-wide layout (and
+  // thus every existing checkpoint's observation dimension) is unchanged.
+  explicit MiHistoryTracker(size_t history_len, bool include_ecn = false)
+      : history_len_(history_len), include_ecn_(include_ecn) {}
 
   void Reset() {
     history_.clear();
@@ -50,29 +55,38 @@ class MiHistoryTracker {
       prev_avg_rtt_s_ = report.avg_rtt_s;
     }
 
-    history_.push_back({send_ratio, latency_ratio, gradient});
+    const double ecn = std::clamp(report.ecn_rate, 0.0, 1.0);
+    history_.push_back({send_ratio, latency_ratio, gradient, ecn});
     while (history_.size() > history_len_) {
       history_.pop_front();
     }
   }
 
-  // Appends the flattened history (3η values, oldest first, padded with the neutral
-  // observation <1,1,0>) to `obs`.
+  // Appends the flattened history (entry_width() x η values, oldest first,
+  // padded with the neutral observation <1,1,0[,0]>) to `obs`.
   void AppendObservation(std::vector<double>* obs) const {
     const size_t missing = history_len_ - history_.size();
     for (size_t i = 0; i < missing; ++i) {
       obs->push_back(1.0);
       obs->push_back(1.0);
       obs->push_back(0.0);
+      if (include_ecn_) {
+        obs->push_back(0.0);
+      }
     }
     for (const auto& g : history_) {
       obs->push_back(g[0]);
       obs->push_back(g[1]);
       obs->push_back(g[2]);
+      if (include_ecn_) {
+        obs->push_back(g[3]);
+      }
     }
   }
 
   size_t history_len() const { return history_len_; }
+  size_t entry_width() const { return include_ecn_ ? 4 : 3; }
+  bool include_ecn() const { return include_ecn_; }
   double min_rtt_hist_s() const { return min_rtt_hist_s_; }
 
   static constexpr double kMaxSendRatio = 10.0;
@@ -81,7 +95,8 @@ class MiHistoryTracker {
 
  private:
   size_t history_len_;
-  std::deque<std::array<double, 3>> history_;
+  bool include_ecn_ = false;
+  std::deque<std::array<double, 4>> history_;
   double prev_avg_rtt_s_ = 0.0;
   double min_rtt_hist_s_ = 0.0;
 };

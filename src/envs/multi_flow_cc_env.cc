@@ -16,6 +16,13 @@ namespace {
 // the boundary keeps every boundary-aligned event inside its intended step.
 constexpr double kBoundarySlopS = 1e-9;
 
+// An ECN mark is a congestion signal the sender was asked to react to before the
+// queue overflows; folding a fraction of the mark rate into the reward's loss term
+// (DCTCP-style) makes backing off on marks pay. Half-weight: a mark costs less than
+// a real loss (the packet was still delivered). Mark-free reports are untouched, so
+// non-ECN scenarios score bit-identically.
+constexpr double kEcnMarkLossFrac = 0.5;
+
 }  // namespace
 
 MultiFlowCcEnv::MultiFlowCcEnv(const MultiFlowCcEnvConfig& config, uint64_t seed)
@@ -24,7 +31,7 @@ MultiFlowCcEnv::MultiFlowCcEnv(const MultiFlowCcEnvConfig& config, uint64_t seed
   assert(config_.history_len > 0);
   for (int i = 0; i < config_.num_agents; ++i) {
     weights_.emplace_back();
-    histories_.emplace_back(config_.history_len);
+    histories_.emplace_back(config_.history_len, config_.include_ecn_in_obs);
   }
   // Plan-fixed mixes seed the weights so the heterogeneous assignment holds even
   // before the first Reset (e.g. for agent_objective probes). No rng: sampling
@@ -96,7 +103,8 @@ void MultiFlowCcEnv::ApplyDuePreferenceSwitches() {
 }
 
 size_t MultiFlowCcEnv::ObservationDim() const {
-  return (config_.include_weight_in_obs ? 3 : 0) + 3 * config_.history_len;
+  return (config_.include_weight_in_obs ? 3 : 0) +
+         (config_.include_ecn_in_obs ? 4 : 3) * config_.history_len;
 }
 
 double MultiFlowCcEnv::current_bandwidth_bps() const {
@@ -157,6 +165,16 @@ std::vector<std::vector<double>> MultiFlowCcEnv::Reset() {
       fault.phase_s = rng_.Uniform(0.0, fault.MaxPeriodS());
     }
     topology.links[0].fault = fault;
+  }
+  if (!config_.wifi_jitter.empty()) {
+    WifiJitterSpec jitter = config_.wifi_jitter;
+    if (jitter.randomize_phase) {
+      jitter.phase_s = rng_.Uniform(0.0, jitter.MaxPeriodS());
+    }
+    topology.links[0].wifi_jitter = jitter;
+  }
+  if (!config_.aqm.empty()) {
+    topology.links[0].aqm = config_.aqm;
   }
   net_ = std::make_unique<PacketNetwork>(topology, rng_.NextU64());
   if (!trace.empty()) {
@@ -233,6 +251,7 @@ std::vector<std::vector<double>> MultiFlowCcEnv::Reset() {
     options.path = agent_paths[static_cast<size_t>(i)].path;
     options.ack_path = agent_paths[static_cast<size_t>(i)].ack_path;
     options.extra_one_way_delay_s = agent_extras[static_cast<size_t>(i)];
+    options.ecn_capable = config_.aqm.ecn;
     agent_flow_ids_.push_back(net_->AddFlow(std::move(cc), options));
     agent_start_s_.push_back(start_s);
   }
@@ -303,8 +322,13 @@ VectorStepResult MultiFlowCcEnv::Step(const std::vector<double>& actions) {
     ExternalRateCc* cc = agent_ccs_[static_cast<size_t>(i)];
     if (AgentStarted(i) && cc->has_report()) {
       histories_[static_cast<size_t>(i)].Push(cc->last_report());
+      MonitorReport scored = cc->last_report();
+      if (scored.ecn_rate > 0.0) {
+        scored.loss_rate =
+            std::min(1.0, scored.loss_rate + kEcnMarkLossFrac * scored.ecn_rate);
+      }
       result.rewards[static_cast<size_t>(i)] =
-          DynamicReward(weights_[static_cast<size_t>(i)], cc->last_report(), capacity,
+          DynamicReward(weights_[static_cast<size_t>(i)], scored, capacity,
                         AgentBaseRttS(i));
     }
     result.observations.push_back(BuildObservation(i));

@@ -146,6 +146,16 @@ struct MultiFlowCcEnvConfig {
   // the env's Rng; the draw happens only when a fault is configured, so fault-free
   // configurations keep their existing per-episode draw streams untouched.
   FaultSpec fault;
+  // Active queue management on the bottleneck (link 0) of every episode topology.
+  // Droptail = no AQM, the historical behaviour, bit-identical. With aqm.ecn, the
+  // agents' flows are ECN-capable (marked instead of dropped) while competitors
+  // stay non-ECT and keep taking drops — the standard mixed-deployment setup.
+  AqmSpec aqm;
+  // Bursty wifi-style service-time variation on the bottleneck (link 0). Empty =
+  // none, bit-identical. When wifi_jitter.randomize_phase is set, Reset draws a
+  // fresh burst phase per episode from the env's Rng; as with `fault`, the draw
+  // happens only when a jitter model is configured.
+  WifiJitterSpec wifi_jitter;
   std::vector<CompetitorFlow> competitors;
   // Agent i's flow starts at i * agent_stagger_s (snapped to the step grid), modelling
   // flow-arrival dynamics; 0 starts everyone together.
@@ -158,6 +168,10 @@ struct MultiFlowCcEnvConfig {
   double step_min_duration_s = 0.010;
   int max_steps_per_episode = 400;
   bool include_weight_in_obs = true;
+  // Widens each history entry with the MI's ECN-mark fraction (see
+  // MiHistoryTracker); changes ObservationDim, so it must match the model's
+  // MoccConfig::ecn_signal.
+  bool include_ecn_in_obs = false;
   // true: the reward's capacity term is the fair share (bandwidth / active flows), so
   // each agent is rewarded for regulating around its share rather than the whole pipe;
   // false: full bandwidth, as in the single-flow CcEnv.

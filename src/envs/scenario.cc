@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/apps/media_source.h"
 #include "src/baselines/allegro.h"
 #include "src/baselines/bbr.h"
 #include "src/baselines/copa.h"
@@ -304,6 +305,116 @@ std::vector<Scenario> BuildCatalog() {
     s.fault.loss_burst_rate = 0.20;
     catalog.push_back(std::move(s));
   }
+  // --- Real-world link corpus: iid wire loss, AQM/ECN bottlenecks, wifi-style
+  // service jitter, and app-limited media cross traffic. All are packet-level
+  // (the fluid model has no queue to manage, no wire loss to survive and no
+  // packets to mark), so even the single-agent entries run on MultiFlowCcEnv.
+  {
+    Scenario s;
+    s.name = "lossy-link";
+    s.description =
+        "single agent on a 12 Mbps / 40 ms RTT link with 1% iid wire loss — "
+        "loss-based schemes collapse here (the paper's wifi story)";
+    s.packet_level = true;
+    LinkParams link;
+    link.bandwidth_bps = 12e6;
+    link.one_way_delay_s = 0.020;
+    link.queue_capacity_pkts = 500;
+    link.random_loss_rate = 0.01;
+    s.fixed_link = link;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "red-ecn";
+    s.description =
+        "single agent behind a RED bottleneck that ECN-marks instead of dropping "
+        "— early congestion signals on the observation's ECN channel";
+    s.fixed_link = StaticTrainingLink();
+    s.aqm.kind = AqmKind::kRed;
+    s.aqm.ecn = true;
+    // Thresholds sized to this link's ~10-packet BDP (the classic 50/150
+    // defaults would never fire at 3 Mbps): the band starts right at a
+    // well-behaved policy's standing queue, so marks are a genuinely early
+    // signal, and the fast EWMA keeps the marking responsive at ~250 pkt/s.
+    s.aqm.red_min_pkts = 5.0;
+    s.aqm.red_max_pkts = 40.0;
+    s.aqm.red_weight = 0.01;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "codel";
+    s.description =
+        "single agent behind a CoDel bottleneck (5 ms target, 100 ms interval) "
+        "— sojourn-time dropping punishes standing queues";
+    s.fixed_link = StaticTrainingLink();
+    s.aqm.kind = AqmKind::kCodel;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "wifi-jitter";
+    s.description =
+        "single agent on a link whose service time burst-degrades 3x for 100 ms "
+        "out of every 500 ms (random phase) — wifi-style jittery capacity";
+    s.fixed_link = StaticTrainingLink();
+    s.wifi_jitter.burst_period_s = 0.5;
+    s.wifi_jitter.burst_duration_s = 0.1;
+    s.wifi_jitter.service_slowdown = 3.0;
+    s.wifi_jitter.randomize_phase = true;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "wifi-jitter-compete";
+    s.description =
+        "2 agents and a CUBIC flow contending on the wifi-jitter link — jittery "
+        "capacity under contention";
+    s.num_agents = 2;
+    s.competitor_schemes = {"cubic"};
+    s.wifi_jitter.burst_period_s = 0.5;
+    s.wifi_jitter.burst_duration_s = 0.1;
+    s.wifi_jitter.service_slowdown = 3.0;
+    s.wifi_jitter.randomize_phase = true;
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "rtc-compete";
+    s.description =
+        "2 agents sharing the bottleneck with an app-limited RTC source (delay-"
+        "adaptive encoder capped at 2.5 Mbps) — live-media cross traffic";
+    s.num_agents = 2;
+    s.competitor_schemes = {"rtc"};
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "video-compete";
+    s.description =
+        "2 agents sharing the bottleneck with an on/off ABR video client that "
+        "bursts chunks and idles on a full buffer — bursty cross traffic";
+    s.num_agents = 2;
+    s.competitor_schemes = {"video"};
+    catalog.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "lossy-vs-cubic";
+    s.description =
+        "2 agents and 1 CUBIC flow on the 1% iid wire-loss link — friendliness "
+        "where the competitor is loss-collapsed";
+    s.num_agents = 2;
+    s.competitor_schemes = {"cubic"};
+    LinkParams link;
+    link.bandwidth_bps = 12e6;
+    link.one_way_delay_s = 0.020;
+    link.queue_capacity_pkts = 500;
+    link.random_loss_rate = 0.01;
+    s.fixed_link = link;
+    catalog.push_back(std::move(s));
+  }
   return catalog;
 }
 
@@ -330,6 +441,12 @@ std::unique_ptr<CongestionControl> MakeBaselineCc(const std::string& scheme) {
   }
   if (scheme == "vivace") {
     return std::make_unique<VivaceCc>();
+  }
+  if (scheme == "rtc") {
+    return std::make_unique<RtcSourceCc>();
+  }
+  if (scheme == "video") {
+    return std::make_unique<VideoSourceCc>();
   }
   return nullptr;
 }
@@ -371,6 +488,9 @@ std::unique_ptr<MultiFlowCcEnv> Scenario::MakeMultiFlowEnv(const CcEnvConfig& ba
   config.agent_stagger_s = agent_stagger_s;
   config.objectives = objectives;
   config.fault = fault;
+  config.aqm = aqm;
+  config.wifi_jitter = wifi_jitter;
+  config.include_ecn_in_obs = base.include_ecn_in_obs;
   config.history_len = base.history_len;
   config.action_scale = base.action_scale;
   config.step_rtt_multiple = base.mi_rtt_multiple;

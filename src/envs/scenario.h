@@ -66,8 +66,21 @@ struct Scenario {
   // Injected fault schedule on the bottleneck link (multi-flow scenarios only);
   // empty = clean link. See FaultSpec and MultiFlowCcEnvConfig::fault.
   FaultSpec fault;
+  // AQM (RED/CoDel, optionally ECN-marking) on the bottleneck link; droptail =
+  // none. Forces the packet-level environment — the fluid link cannot mark.
+  AqmSpec aqm;
+  // Bursty wifi-style service-time jitter on the bottleneck; empty = none.
+  // Forces the packet-level environment.
+  WifiJitterSpec wifi_jitter;
+  // Route even a lone agent through the packet-level MultiFlowCcEnv (per-packet
+  // wire loss, queue dynamics). Scenarios whose point is a link-layer behaviour
+  // the fluid model does not simulate set this.
+  bool packet_level = false;
 
-  bool IsMultiFlow() const { return num_agents > 1 || !competitor_schemes.empty(); }
+  bool IsMultiFlow() const {
+    return num_agents > 1 || !competitor_schemes.empty() || packet_level ||
+           !aqm.empty() || !wifi_jitter.empty();
+  }
   // True when the scenario assigns objectives itself (trainers then skip their
   // per-iteration SetObjective for its environments — the plan wins at Reset).
   bool HasObjectivePlan() const { return !objectives.Empty(); }
@@ -81,7 +94,8 @@ struct Scenario {
 };
 
 // Creates a handcrafted/online-learning baseline congestion controller by name:
-// cubic, newreno, vegas, bbr, copa, allegro, vivace. Returns nullptr for unknown
+// cubic, newreno, vegas, bbr, copa, allegro, vivace, plus the app-limited media
+// sources rtc and video (src/apps/media_source.h). Returns nullptr for unknown
 // names.
 std::unique_ptr<CongestionControl> MakeBaselineCc(const std::string& scheme);
 

@@ -1,0 +1,82 @@
+#include "src/netsim/aqm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocc {
+
+double RedMarkProbability(const AqmSpec& spec, double avg_queue_pkts) {
+  if (avg_queue_pkts < spec.red_min_pkts) {
+    return 0.0;
+  }
+  if (avg_queue_pkts >= spec.red_max_pkts) {
+    return 1.0;
+  }
+  const double span = std::max(1e-9, spec.red_max_pkts - spec.red_min_pkts);
+  return spec.red_max_prob * (avg_queue_pkts - spec.red_min_pkts) / span;
+}
+
+double CodelControlLawS(double t, double interval_s, int count) {
+  return t + interval_s / std::sqrt(static_cast<double>(std::max(1, count)));
+}
+
+AqmAction RedOnEnqueue(const AqmSpec& spec, AqmState* state, int inst_queue_pkts,
+                       bool ecn_capable, Rng* rng) {
+  state->avg_queue_pkts +=
+      spec.red_weight * (static_cast<double>(inst_queue_pkts) - state->avg_queue_pkts);
+  const double p = RedMarkProbability(spec, state->avg_queue_pkts);
+  if (p <= 0.0) {
+    return AqmAction::kForward;
+  }
+  if (p >= 1.0) {
+    // At or above the max threshold RED drops unconditionally, ECN or not
+    // (gentle-RED's forced-drop region) — and consumes no randomness.
+    return AqmAction::kDrop;
+  }
+  if (!rng->Bernoulli(p)) {
+    return AqmAction::kForward;
+  }
+  return spec.ecn && ecn_capable ? AqmAction::kMark : AqmAction::kDrop;
+}
+
+AqmAction CodelOnDequeue(const AqmSpec& spec, AqmState* state, double now_s,
+                         double sojourn_s, int backlog_pkts, bool ecn_capable) {
+  // Below target (or the queue is effectively empty behind this packet): leave
+  // the dropping state and restart the above-target clock.
+  if (sojourn_s < spec.codel_target_s || backlog_pkts <= 1) {
+    state->first_above_time_s = 0.0;
+    if (state->dropping) {
+      state->dropping = false;
+      state->last_count = state->count;
+    }
+    return AqmAction::kForward;
+  }
+  if (!state->dropping) {
+    if (state->first_above_time_s <= 0.0) {
+      // Start the grace interval: sojourn must stay above target this long.
+      state->first_above_time_s = now_s + spec.codel_interval_s;
+      return AqmAction::kForward;
+    }
+    if (now_s < state->first_above_time_s) {
+      return AqmAction::kForward;
+    }
+    // Enter the dropping state. Re-entering soon after leaving resumes at a
+    // reduced count instead of 1, so persistent overload ramps up quickly.
+    state->dropping = true;
+    state->count = (state->last_count > 2 &&
+                    now_s - state->drop_next_s < 8.0 * spec.codel_interval_s)
+                       ? state->last_count - 2
+                       : 1;
+    state->drop_next_s = CodelControlLawS(now_s, spec.codel_interval_s, state->count);
+    return spec.ecn && ecn_capable ? AqmAction::kMark : AqmAction::kDrop;
+  }
+  if (now_s >= state->drop_next_s) {
+    ++state->count;
+    state->drop_next_s =
+        CodelControlLawS(state->drop_next_s, spec.codel_interval_s, state->count);
+    return spec.ecn && ecn_capable ? AqmAction::kMark : AqmAction::kDrop;
+  }
+  return AqmAction::kForward;
+}
+
+}  // namespace mocc

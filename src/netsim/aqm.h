@@ -1,0 +1,100 @@
+// Active queue management disciplines for the packet-level simulator's
+// bottleneck links: RED (random early detection over an EWMA of the queue
+// depth) and CoDel (sojourn-time control with the interval/sqrt(count) control
+// law), both with optional ECN marking of ECN-capable flows instead of
+// dropping. The default is the historical droptail (AqmSpec::empty() true), in
+// which case the simulator takes no AQM branch, consumes no Rng draws, and
+// stays bit-identical to pre-AQM builds (tests/golden_episode_test.cc pins
+// this).
+//
+// The decision logic is factored into free functions over an explicit AqmState
+// so the property tests (RED mark-probability monotonicity, CoDel control-law
+// invariants, mark-vs-drop exclusivity) can exercise it without running the
+// simulator. RED is the only discipline that draws randomness, and only when
+// the marking probability is strictly inside (0, 1); CoDel is fully
+// deterministic.
+#ifndef MOCC_SRC_NETSIM_AQM_H_
+#define MOCC_SRC_NETSIM_AQM_H_
+
+#include "src/common/rng.h"
+
+namespace mocc {
+
+enum class AqmKind {
+  kDroptail,  // historical behaviour: drop only on buffer overflow
+  kRed,
+  kCodel,
+};
+
+// What the discipline decided for one data packet. A packet receives exactly
+// one verdict — marking and dropping are mutually exclusive by construction.
+enum class AqmAction {
+  kForward,
+  kDrop,
+  kMark,  // ECN congestion-experienced; only for ECN-capable flows under ecn
+};
+
+// Per-link AQM configuration, carried on LinkSpec. ACK packets are exempt from
+// every discipline (they are exempt from droptail overflow too).
+struct AqmSpec {
+  AqmKind kind = AqmKind::kDroptail;
+  // Mark ECN-capable flows instead of dropping (RED: inside the min/max band;
+  // CoDel: in the dropping state). Hard overflow at the buffer capacity and
+  // RED's above-max-threshold region still drop regardless.
+  bool ecn = false;
+
+  // RED (acts at enqueue): EWMA avg queue below min -> forward; between min and
+  // max -> mark/drop with probability rising linearly to max_prob; at or above
+  // max -> drop.
+  double red_min_pkts = 50.0;
+  double red_max_pkts = 150.0;
+  double red_max_prob = 0.10;
+  double red_weight = 0.002;  // EWMA weight of the instantaneous queue depth
+
+  // CoDel (acts at dequeue): once the packet sojourn time has exceeded
+  // `target` continuously for `interval`, enter the dropping state and
+  // drop/mark at times spaced interval/sqrt(count) apart until the sojourn
+  // falls back below target.
+  double codel_target_s = 0.005;
+  double codel_interval_s = 0.100;
+
+  // True iff the link keeps the historical droptail behaviour.
+  bool empty() const { return kind == AqmKind::kDroptail; }
+};
+
+// Mutable per-link discipline state, owned by the simulator's LinkState.
+struct AqmState {
+  // RED.
+  double avg_queue_pkts = 0.0;
+  // CoDel.
+  bool dropping = false;
+  double first_above_time_s = 0.0;  // 0 = sojourn not continuously above target
+  double drop_next_s = 0.0;
+  int count = 0;       // drops/marks in the current dropping state
+  int last_count = 0;  // count when the previous dropping state ended
+};
+
+// RED's marking probability as a function of the EWMA queue depth: 0 below
+// min_pkts, linear up to max_prob at max_pkts, 1 at or above max_pkts.
+// Monotone non-decreasing in avg_queue_pkts for any valid spec.
+double RedMarkProbability(const AqmSpec& spec, double avg_queue_pkts);
+
+// CoDel's control law: the next drop time after `t`, spaced
+// interval/sqrt(count) — the spacing shrinks as the drop count grows.
+double CodelControlLawS(double t, double interval_s, int count);
+
+// RED decision for one data packet arriving to a queue currently
+// `inst_queue_pkts` deep. Updates the EWMA; draws from `rng` only when the
+// marking probability is strictly between 0 and 1.
+AqmAction RedOnEnqueue(const AqmSpec& spec, AqmState* state, int inst_queue_pkts,
+                       bool ecn_capable, Rng* rng);
+
+// CoDel decision for one data packet dequeued at `now_s` after spending
+// `sojourn_s` in the queue, with `backlog_pkts` packets still behind it.
+// Deterministic: no randomness anywhere in CoDel.
+AqmAction CodelOnDequeue(const AqmSpec& spec, AqmState* state, double now_s,
+                         double sojourn_s, int backlog_pkts, bool ecn_capable);
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_NETSIM_AQM_H_

@@ -17,6 +17,9 @@ struct AckInfo {
   double rtt_s = 0.0;
   int64_t size_bits = 0;
   int64_t seq = 0;
+  // The delivered packet carried an ECN congestion-experienced mark (set by an
+  // AQM bottleneck for ECN-capable flows instead of dropping the packet).
+  bool ecn_marked = false;
 };
 
 // Per-loss feedback (delivered after the simulated detection delay).
@@ -39,6 +42,8 @@ struct MonitorReport {
   double avg_rtt_s = 0.0;        // mean RTT of ACKs in the MI (0 if none)
   double min_rtt_s = 0.0;        // historical minimum RTT seen by this flow
   double loss_rate = 0.0;        // lost / (acked + lost) within the MI
+  int64_t packets_marked = 0;    // ACKs carrying an ECN mark within the MI
+  double ecn_rate = 0.0;         // marked / acked within the MI (0 if no ACKs)
 };
 
 // Whether the sender paces packets at PacingRateBps() or is clocked by CwndPackets().

@@ -38,6 +38,7 @@ struct SimEvent {
   uint8_t type;    // PacketNetwork::EvType
   uint8_t hop;     // index into the flow's (data or ACK) path for packet events
   uint8_t is_ack;  // 1 when this packet event travels the reverse (ACK) path
+  uint8_t ecn;     // 1 when the packet carries an ECN congestion mark
 };
 
 // Min-heap of scheduled events ordered by (time_s, order), with 4 children per
@@ -79,6 +80,7 @@ class EventQueue {
     payload.type = ev.type;
     payload.hop = ev.hop;
     payload.is_ack = ev.is_ack;
+    payload.ecn = ev.ecn;
 
     Key key;
     key.time_s = ev.time_s;
@@ -110,6 +112,7 @@ class EventQueue {
     ev.type = payload.type;
     ev.hop = payload.hop;
     ev.is_ack = payload.is_ack;
+    ev.ecn = payload.ecn;
     free_.push_back(top.slot);
 
     const size_t last = heap_.size() - 1;
@@ -136,6 +139,7 @@ class EventQueue {
     uint8_t type;
     uint8_t hop;
     uint8_t is_ack;
+    uint8_t ecn;
   };
 
   static bool Before(const Key& a, const Key& b) {

@@ -13,6 +13,7 @@ void FlowRecord::RecordMi(const MonitorReport& report) {
   s.throughput_bps = report.throughput_bps;
   s.avg_rtt_s = report.avg_rtt_s;
   s.loss_rate = report.loss_rate;
+  s.ecn_rate = report.ecn_rate;
   mi_samples_.push_back(s);
 }
 

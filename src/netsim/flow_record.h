@@ -18,6 +18,7 @@ struct MiSample {
   double throughput_bps = 0.0;
   double avg_rtt_s = 0.0;
   double loss_rate = 0.0;
+  double ecn_rate = 0.0;  // ECN-marked / acked within the MI
 };
 
 class FlowRecord {
@@ -33,6 +34,7 @@ class FlowRecord {
   int64_t total_sent = 0;
   int64_t total_acked = 0;
   int64_t total_lost = 0;
+  int64_t total_marked = 0;  // ACKs that carried an ECN congestion mark
   int64_t bits_acked = 0;
   double first_send_time_s = -1.0;
   double last_ack_time_s = 0.0;

@@ -139,7 +139,8 @@ int PacketNetwork::QueueLengthPkts(int link_id) const {
 }
 
 void PacketNetwork::Schedule(double time_s, EvType type, int flow_id, int64_t seq,
-                             double send_time_s, uint8_t hop, uint8_t is_ack) {
+                             double send_time_s, uint8_t hop, uint8_t is_ack,
+                             uint8_t ecn) {
   SimEvent ev;
   ev.time_s = time_s;
   ev.order = next_order_++;
@@ -149,7 +150,15 @@ void PacketNetwork::Schedule(double time_s, EvType type, int flow_id, int64_t se
   ev.type = static_cast<uint8_t>(type);
   ev.hop = hop;
   ev.is_ack = is_ack;
+  ev.ecn = ecn;
   events_.push(ev);
+}
+
+void PacketNetwork::ScheduleLoss(int flow_id, int64_t seq, double send_time_s,
+                                 double now_s) {
+  const Flow& flow = flows_[static_cast<size_t>(flow_id)];
+  Schedule(now_s + LossDetectionDelay(flow), EvType::kLossNotice, flow_id, seq,
+           send_time_s);
 }
 
 void PacketNetwork::Dispatch(const SimEvent& ev) {
@@ -262,10 +271,12 @@ void PacketNetwork::SendPacket(int flow_id, double now_s) {
   }
   QueuedPacket pkt;
   pkt.send_time_s = now_s;
+  pkt.enqueue_time_s = now_s;
   pkt.seq = seq;
   pkt.flow_id = flow_id;
   pkt.hop = 0;
   pkt.is_ack = 0;
+  pkt.ecn = 0;
   EnqueueOnLink(flow.path[0], pkt, now_s);
 }
 
@@ -276,12 +287,27 @@ void PacketNetwork::EnqueueOnLink(int link_id, const QueuedPacket& pkt, double n
   // loaded reverse path delays them, which is the effect under study).
   if (pkt.is_ack == 0 && link.busy &&
       static_cast<int>(link.queue.size()) >= link.spec.queue_capacity_pkts) {
-    Flow& flow = flows_[static_cast<size_t>(pkt.flow_id)];
-    Schedule(now_s + LossDetectionDelay(flow), EvType::kLossNotice, pkt.flow_id,
-             pkt.seq, pkt.send_time_s);
+    ScheduleLoss(pkt.flow_id, pkt.seq, pkt.send_time_s, now_s);
     return;
   }
-  link.queue.push_back(pkt);
+  QueuedPacket entry = pkt;
+  entry.enqueue_time_s = now_s;
+  // RED acts at enqueue on data packets: early-drop (or ECN-mark) with a
+  // probability driven by the EWMA queue depth. Droptail links (the default)
+  // skip this branch entirely and consume no Rng draws.
+  if (entry.is_ack == 0 && link.spec.aqm.kind == AqmKind::kRed) {
+    const bool ect = flows_[static_cast<size_t>(entry.flow_id)].options.ecn_capable;
+    const AqmAction action =
+        RedOnEnqueue(link.spec.aqm, &link.aqm, QueueLengthPkts(link_id), ect, &rng_);
+    if (action == AqmAction::kDrop) {
+      ScheduleLoss(entry.flow_id, entry.seq, entry.send_time_s, now_s);
+      return;
+    }
+    if (action == AqmAction::kMark) {
+      entry.ecn = 1;
+    }
+  }
+  link.queue.push_back(entry);
   if (!link.busy) {
     StartService(link_id, now_s);
   }
@@ -290,14 +316,47 @@ void PacketNetwork::EnqueueOnLink(int link_id, const QueuedPacket& pkt, double n
 void PacketNetwork::StartService(int link_id, double now_s) {
   LinkState& link = links_[static_cast<size_t>(link_id)];
   assert(!link.queue.empty());
-  const QueuedPacket pkt = link.queue.front();
+  QueuedPacket pkt = link.queue.front();
   link.queue.pop_front();
+  // CoDel acts at dequeue on data packets, on the sojourn time the head packet
+  // spent queued: in the dropping state it drops (or ECN-marks) heads at
+  // control-law-spaced times until the sojourn falls below target. Fully
+  // deterministic — no Rng draws, so disabled links are untouched.
+  if (link.spec.aqm.kind == AqmKind::kCodel) {
+    while (pkt.is_ack == 0) {
+      const bool ect = flows_[static_cast<size_t>(pkt.flow_id)].options.ecn_capable;
+      const AqmAction action = CodelOnDequeue(
+          link.spec.aqm, &link.aqm, now_s, now_s - pkt.enqueue_time_s,
+          static_cast<int>(link.queue.size()) + 1, ect);
+      if (action == AqmAction::kMark) {
+        pkt.ecn = 1;
+        break;
+      }
+      if (action == AqmAction::kForward) {
+        break;
+      }
+      ScheduleLoss(pkt.flow_id, pkt.seq, pkt.send_time_s, now_s);
+      if (link.queue.empty()) {
+        link.busy = false;
+        return;
+      }
+      pkt = link.queue.front();
+      link.queue.pop_front();
+    }
+  }
   link.busy = true;
   const double bw = std::max(1.0, link.spec.BandwidthAt(now_s));
   const int64_t bits = pkt.is_ack != 0 ? kAckPacketSizeBits : kDefaultPacketSizeBits;
-  const double txn_s = static_cast<double>(bits) / bw;
+  double txn_s = static_cast<double>(bits) / bw;
+  // Wifi jitter stretches serialization inside burst windows; the per-packet
+  // draw happens only for packets serviced inside a configured window.
+  const WifiJitterSpec& jitter = link.spec.wifi_jitter;
+  if (!jitter.empty() && jitter.BurstAt(now_s)) {
+    txn_s *= jitter.service_slowdown *
+             rng_.Uniform(1.0 - jitter.jitter_frac, 1.0 + jitter.jitter_frac);
+  }
   Schedule(now_s + txn_s, EvType::kLinkDone, pkt.flow_id, pkt.seq, pkt.send_time_s,
-           pkt.hop, pkt.is_ack);
+           pkt.hop, pkt.is_ack, pkt.ecn);
 }
 
 void PacketNetwork::HandleLinkDone(const SimEvent& ev) {
@@ -314,7 +373,7 @@ void PacketNetwork::HandleLinkDone(const SimEvent& ev) {
     if (ev.hop + 1 < flow.path_len) {
       // Mid-path: propagate to the next hop's queue.
       Schedule(now_s_ + prop_delay_s, EvType::kHopArrive, ev.flow_id, ev.seq,
-               ev.send_time_s, static_cast<uint8_t>(ev.hop + 1), 0);
+               ev.send_time_s, static_cast<uint8_t>(ev.hop + 1), 0, ev.ecn);
     } else {
       // Last hop: the packet is delivered after this link's propagation (plus
       // the flow's extra endpoint delay), and the ACK departs immediately.
@@ -334,22 +393,26 @@ void PacketNetwork::HandleLinkDone(const SimEvent& ev) {
           pending.ack_time_s = t_ack;
           pending.send_time_s = ev.send_time_s;
           pending.seq = ev.seq;
+          pending.ecn = ev.ecn;
           flow.pending_acks.push_back(pending);
         } else {
-          Schedule(t_ack, EvType::kAck, ev.flow_id, ev.seq, ev.send_time_s);
+          Schedule(t_ack, EvType::kAck, ev.flow_id, ev.seq, ev.send_time_s, 0, 0,
+                   ev.ecn);
         }
       } else {
+        // The ACK echoes the data packet's congestion mark back to the sender
+        // through the reverse path (the ACK itself is never AQM-processed).
         Schedule(t_delivery, EvType::kHopArrive, ev.flow_id, ev.seq, ev.send_time_s,
-                 0, 1);
+                 0, 1, ev.ecn);
       }
     }
   } else {
     if (ev.hop + 1 < flow.ack_path_len) {
       Schedule(now_s_ + prop_delay_s, EvType::kHopArrive, ev.flow_id, ev.seq,
-               ev.send_time_s, static_cast<uint8_t>(ev.hop + 1), 1);
+               ev.send_time_s, static_cast<uint8_t>(ev.hop + 1), 1, ev.ecn);
     } else {
       Schedule(now_s_ + prop_delay_s + flow.options.extra_one_way_delay_s,
-               EvType::kAck, ev.flow_id, ev.seq, ev.send_time_s);
+               EvType::kAck, ev.flow_id, ev.seq, ev.send_time_s, 0, 0, ev.ecn);
     }
   }
   LinkState& link = links_[static_cast<size_t>(link_id)];
@@ -391,15 +454,17 @@ void PacketNetwork::HandleHopArrive(const SimEvent& ev) {
   }
   QueuedPacket pkt;
   pkt.send_time_s = ev.send_time_s;
+  pkt.enqueue_time_s = now_s_;
   pkt.seq = ev.seq;
   pkt.flow_id = ev.flow_id;
   pkt.hop = ev.hop;
   pkt.is_ack = ev.is_ack;
+  pkt.ecn = ev.ecn;
   EnqueueOnLink(link_id, pkt, now_s_);
 }
 
 void PacketNetwork::ProcessAck(Flow* flow, double ack_time_s, double send_time_s,
-                               int64_t seq) {
+                               int64_t seq, bool ecn_marked) {
   flow->inflight = std::max<int64_t>(0, flow->inflight - 1);
   const double rtt = ack_time_s - send_time_s;
   flow->srtt_s = flow->srtt_s <= 0.0 ? rtt : 0.875 * flow->srtt_s + 0.125 * rtt;
@@ -410,6 +475,10 @@ void PacketNetwork::ProcessAck(Flow* flow, double ack_time_s, double send_time_s
   ++flow->mi_acked;
   flow->mi_rtt_sum_s += rtt;
   ++flow->mi_rtt_count;
+  if (ecn_marked) {
+    ++flow->mi_marked;
+    ++flow->record.total_marked;
+  }
   flow->record.RecordAck(ack_time_s, kDefaultPacketSizeBits);
   AckInfo ack;
   ack.send_time_s = send_time_s;
@@ -417,6 +486,7 @@ void PacketNetwork::ProcessAck(Flow* flow, double ack_time_s, double send_time_s
   ack.rtt_s = rtt;
   ack.size_bits = kDefaultPacketSizeBits;
   ack.seq = seq;
+  ack.ecn_marked = ecn_marked;
   flow->cc->OnAck(ack);
 }
 
@@ -425,7 +495,8 @@ void PacketNetwork::DrainPendingAcks(Flow* flow, double up_to_s) {
          flow->pending_acks.front().ack_time_s <= up_to_s) {
     const PendingAck pending = flow->pending_acks.front();
     flow->pending_acks.pop_front();
-    ProcessAck(flow, pending.ack_time_s, pending.send_time_s, pending.seq);
+    ProcessAck(flow, pending.ack_time_s, pending.send_time_s, pending.seq,
+               pending.ecn != 0);
   }
 }
 
@@ -439,7 +510,7 @@ void PacketNetwork::DrainAllPendingAcks(double up_to_s) {
 
 void PacketNetwork::HandleAck(const SimEvent& ev) {
   Flow& flow = flows_[static_cast<size_t>(ev.flow_id)];
-  ProcessAck(&flow, now_s_, ev.send_time_s, ev.seq);
+  ProcessAck(&flow, now_s_, ev.send_time_s, ev.seq, ev.ecn != 0);
   if (flow.mode == CcMode::kWindowBased && FlowMaySend(flow)) {
     TrySendWindowed(ev.flow_id, now_s_);
   }
@@ -494,6 +565,10 @@ void PacketNetwork::HandleMonitor(const SimEvent& ev) {
     const int64_t denom = flow.mi_acked + flow.mi_lost;
     report.loss_rate =
         denom > 0 ? static_cast<double>(flow.mi_lost) / static_cast<double>(denom) : 0.0;
+    report.packets_marked = flow.mi_marked;
+    report.ecn_rate = flow.mi_acked > 0 ? static_cast<double>(flow.mi_marked) /
+                                              static_cast<double>(flow.mi_acked)
+                                        : 0.0;
     flow.cc->OnMonitorInterval(report);
     flow.record.RecordMi(report);
   }
@@ -503,6 +578,7 @@ void PacketNetwork::HandleMonitor(const SimEvent& ev) {
   flow.mi_lost = 0;
   flow.mi_rtt_sum_s = 0.0;
   flow.mi_rtt_count = 0;
+  flow.mi_marked = 0;
   if (flow.active) {
     Schedule(now_s_ + MiDuration(flow), EvType::kMonitor, ev.flow_id);
   }

@@ -57,6 +57,10 @@ struct FlowOptions {
   double extra_one_way_delay_s = 0.0;
   // Record per-packet delivery timestamps (needed for inter-packet delay analysis).
   bool keep_delivery_times = false;
+  // ECN-capable (ECT) flow: AQM bottlenecks with ecn enabled mark this flow's
+  // packets instead of dropping them; the marks come back on the ACKs
+  // (AckInfo::ecn_marked, MonitorReport::packets_marked).
+  bool ecn_capable = false;
   // Forward path as link indices into the topology; empty means {0} (the
   // dumbbell bottleneck). At most kMaxPathHops entries.
   std::vector<int> path;
@@ -140,10 +144,12 @@ class PacketNetwork {
 
   struct QueuedPacket {
     double send_time_s;
+    double enqueue_time_s;  // arrival at this link's queue (CoDel sojourn base)
     int64_t seq;
     int32_t flow_id;
     uint8_t hop;
     uint8_t is_ack;
+    uint8_t ecn;  // 1 once an AQM bottleneck has marked the packet
   };
 
   // A coalesced ACK arrival awaiting lazy application (defer_acks flows).
@@ -151,11 +157,13 @@ class PacketNetwork {
     double ack_time_s;
     double send_time_s;
     int64_t seq;
+    uint8_t ecn;
   };
 
   struct LinkState {
     LinkSpec spec;
     RingBuffer<QueuedPacket> queue;
+    AqmState aqm;
     bool busy = false;
   };
 
@@ -195,10 +203,12 @@ class PacketNetwork {
     int64_t mi_lost = 0;
     double mi_rtt_sum_s = 0.0;
     int64_t mi_rtt_count = 0;
+    int64_t mi_marked = 0;
   };
 
   void Schedule(double time_s, EvType type, int flow_id, int64_t seq = 0,
-                double send_time_s = 0.0, uint8_t hop = 0, uint8_t is_ack = 0);
+                double send_time_s = 0.0, uint8_t hop = 0, uint8_t is_ack = 0,
+                uint8_t ecn = 0);
   void Dispatch(const SimEvent& ev);
 
   void HandleFlowStart(const SimEvent& ev);
@@ -212,7 +222,8 @@ class PacketNetwork {
 
   // Applies one ACK's bookkeeping (counters, RTT filters, record, OnAck) at
   // `ack_time_s` — shared by the per-event path and the lazy drain.
-  void ProcessAck(Flow* flow, double ack_time_s, double send_time_s, int64_t seq);
+  void ProcessAck(Flow* flow, double ack_time_s, double send_time_s, int64_t seq,
+                  bool ecn_marked);
   // Applies every pending coalesced ACK with arrival time <= up_to_s.
   void DrainPendingAcks(Flow* flow, double up_to_s);
   void DrainAllPendingAcks(double up_to_s);
@@ -221,10 +232,17 @@ class PacketNetwork {
   void SendPacket(int flow_id, double now_s);
   // Ack-clocked transmission for window-based flows.
   void TrySendWindowed(int flow_id, double now_s);
-  // Droptail admission of a (data or ACK) packet at `link_id`; data packets
-  // that find the buffer full become loss notices, ACKs are always admitted.
+  // Admission of a (data or ACK) packet at `link_id`: droptail overflow first,
+  // then the link's AQM discipline (RED acts here, at enqueue). Data packets
+  // that are dropped become loss notices, ACKs are always admitted and never
+  // AQM-processed.
   void EnqueueOnLink(int link_id, const QueuedPacket& pkt, double now_s);
+  // Begins serializing the head-of-line packet. CoDel acts here (at dequeue,
+  // on the packet's queue sojourn time); a configured wifi-jitter model
+  // stretches the serialization time inside its burst windows.
   void StartService(int link_id, double now_s);
+  // Shared loss-notice scheduling for every AQM/droptail/wire-loss drop.
+  void ScheduleLoss(int flow_id, int64_t seq, double send_time_s, double now_s);
 
   double MiDuration(const Flow& flow) const;
   double LossDetectionDelay(const Flow& flow) const;

@@ -31,8 +31,10 @@
 
 #include <vector>
 
+#include "src/netsim/aqm.h"
 #include "src/netsim/fault_spec.h"
 #include "src/netsim/link_params.h"
+#include "src/netsim/wifi_jitter.h"
 
 namespace mocc {
 
@@ -53,6 +55,8 @@ struct LinkSpec {
   double random_loss_rate = 0.0;  // iid per-packet wire loss at this link
   BandwidthTrace trace;           // empty = constant at bandwidth_bps
   FaultSpec fault;                // empty = no injected faults
+  AqmSpec aqm;                    // empty = historical droptail
+  WifiJitterSpec wifi_jitter;     // empty = clean constant-rate serialization
 
   // Effective bandwidth at time t, honouring the trace.
   double BandwidthAt(double t) const { return trace.BandwidthAt(t, bandwidth_bps); }

@@ -1,0 +1,18 @@
+#include "src/netsim/wifi_jitter.h"
+
+#include <cmath>
+
+namespace mocc {
+
+bool WifiJitterSpec::BurstAt(double t) const {
+  if (empty()) {
+    return false;
+  }
+  double u = std::fmod(t - phase_s, burst_period_s);
+  if (u < 0.0) {
+    u += burst_period_s;
+  }
+  return u < burst_duration_s;
+}
+
+}  // namespace mocc

@@ -1,0 +1,44 @@
+// Deterministic wifi-style jitter model for the packet-level simulator: inside
+// periodic burst windows (contention / interference episodes) a link's
+// per-packet serialization time is stretched by a multiplier with uniform
+// variation around it; outside the windows the link behaves exactly as before.
+// The window schedule is a pure function of simulation time, mirroring
+// FaultSpec: the only randomness is (a) the optional per-episode phase, drawn
+// from the owning environment's Rng only when a jitter spec is configured, and
+// (b) the per-packet service variation, drawn from the simulator's Rng only for
+// packets serviced inside a window. Jitter-free links take no branch and
+// consume no draws, so their episodes stay byte-identical
+// (tests/golden_episode_test.cc pins this).
+#ifndef MOCC_SRC_NETSIM_WIFI_JITTER_H_
+#define MOCC_SRC_NETSIM_WIFI_JITTER_H_
+
+namespace mocc {
+
+struct WifiJitterSpec {
+  // Burst windows repeat every `burst_period_s` and last `burst_duration_s`,
+  // shifted by `phase_s`. Either being zero disables the model entirely.
+  double burst_period_s = 0.0;
+  double burst_duration_s = 0.0;
+
+  // Inside a burst a packet's serialization time is multiplied by
+  // service_slowdown * Uniform(1 - jitter_frac, 1 + jitter_frac).
+  double service_slowdown = 3.0;
+  double jitter_frac = 0.5;
+
+  // Environments that set `randomize_phase` draw a fresh phase per episode from
+  // their own Rng (bounded by MaxPeriodS), exactly like FaultSpec — and only
+  // when a spec is configured, so jitter-free streams stay untouched.
+  double phase_s = 0.0;
+  bool randomize_phase = false;
+
+  bool empty() const { return burst_period_s <= 0.0 || burst_duration_s <= 0.0; }
+
+  double MaxPeriodS() const { return burst_period_s > 0.0 ? burst_period_s : 0.0; }
+
+  // True iff `t` falls inside a burst window.
+  bool BurstAt(double t) const;
+};
+
+}  // namespace mocc
+
+#endif  // MOCC_SRC_NETSIM_WIFI_JITTER_H_

@@ -10,10 +10,12 @@
 namespace mocc {
 
 ConnectionSlab::ConnectionSlab(size_t weight_dim, size_t history_len, bool guarded,
-                               const GuardedPolicy::Options& guard_options)
+                               const GuardedPolicy::Options& guard_options,
+                               bool include_ecn)
     : weight_dim_(weight_dim),
       history_len_(history_len),
-      obs_dim_(weight_dim + 3 * history_len),
+      entry_width_(include_ecn ? 4 : 3),
+      obs_dim_(weight_dim + entry_width_ * history_len),
       guarded_(guarded),
       guard_options_(guard_options) {}
 
@@ -54,12 +56,14 @@ int32_t ConnectionSlab::Attach(const double* weights, double initial_rate_bps) {
   }
   double* row = ObsRow(slot);
   std::copy(weights, weights + weight_dim_, row);
-  // Neutral history <1,1,0> — what AppendObservation pads with before η
+  // Neutral history <1,1,0[,0]> — what AppendObservation pads with before η
   // intervals have been observed.
   for (size_t i = 0; i < history_len_; ++i) {
-    row[weight_dim_ + 3 * i + 0] = 1.0;
-    row[weight_dim_ + 3 * i + 1] = 1.0;
-    row[weight_dim_ + 3 * i + 2] = 0.0;
+    row[weight_dim_ + entry_width_ * i + 0] = 1.0;
+    row[weight_dim_ + entry_width_ * i + 1] = 1.0;
+    for (size_t c = 2; c < entry_width_; ++c) {
+      row[weight_dim_ + entry_width_ * i + c] = 0.0;
+    }
   }
   rate_bps[slot] = initial_rate_bps;
   prefix_id[slot] = -1;  // the engine interns the prefix right after Attach
@@ -130,10 +134,15 @@ void ConnectionSlab::ApplyReport(int32_t slot, const MonitorReport& report) {
   }
 
   double* hist = ObsRow(slot) + weight_dim_;
-  std::memmove(hist, hist + 3, (3 * history_len_ - 3) * sizeof(double));
-  hist[3 * history_len_ - 3] = send_ratio;
-  hist[3 * history_len_ - 2] = latency_ratio;
-  hist[3 * history_len_ - 1] = gradient;
+  std::memmove(hist, hist + entry_width_,
+               (entry_width_ * history_len_ - entry_width_) * sizeof(double));
+  double* newest = hist + entry_width_ * (history_len_ - 1);
+  newest[0] = send_ratio;
+  newest[1] = latency_ratio;
+  newest[2] = gradient;
+  if (entry_width_ == 4) {
+    newest[3] = std::clamp(report.ecn_rate, 0.0, 1.0);
+  }
 
   last_avg_rtt_s[slot] = report.avg_rtt_s;
   last_min_rtt_s[slot] = report.min_rtt_s;

@@ -6,11 +6,13 @@
 // counters) lives in its own contiguous run.
 //
 // Observation rows replicate the RlRateController layout exactly:
-//   [w_thr, w_lat, w_loss | g(t-η+1) ... g(t)]   (3 + 3η doubles)
-// with the history maintained in place — shift left by three, append the newest
-// <send ratio, latency ratio, latency gradient> triple — which is value-for-value
-// identical to MiHistoryTracker::Push + AppendObservation (neutral <1,1,0>
-// padding at the front while fewer than η intervals have been seen).
+//   [w_thr, w_lat, w_loss | g(t-η+1) ... g(t)]   (3 + 3η doubles; 3 + 4η with
+//   the ECN-mark component for ECN-aware models)
+// with the history maintained in place — shift left by one entry, append the
+// newest <send ratio, latency ratio, latency gradient[, ecn rate]> entry —
+// which is value-for-value identical to MiHistoryTracker::Push +
+// AppendObservation (neutral <1,1,0[,0]> padding at the front while fewer than
+// η intervals have been seen).
 //
 // Slots are recycled through a free list; every detach bumps the slot's
 // generation so stale ServingConnId handles (and stale deadline-wheel entries)
@@ -29,11 +31,13 @@ namespace mocc {
 
 class ConnectionSlab {
  public:
-  // `obs_dim` = weight_dim + 3 * history_len. When `guarded`, every attach
-  // provisions a GuardedPolicy (from `guard_options`) and a warm-standby CUBIC
-  // fallback for the slot.
+  // `obs_dim` = weight_dim + (include_ecn ? 4 : 3) * history_len; include_ecn
+  // must match the served model's MoccConfig::ecn_signal. When `guarded`, every
+  // attach provisions a GuardedPolicy (from `guard_options`) and a warm-standby
+  // CUBIC fallback for the slot.
   ConnectionSlab(size_t weight_dim, size_t history_len, bool guarded,
-                 const GuardedPolicy::Options& guard_options);
+                 const GuardedPolicy::Options& guard_options,
+                 bool include_ecn = false);
 
   // Claims a slot (free list first, then growth), initializes its observation row
   // (weight prefix + neutral history), rate and MI state, and returns the slot
@@ -101,6 +105,7 @@ class ConnectionSlab {
 
   size_t weight_dim_;
   size_t history_len_;
+  size_t entry_width_;  // 3, or 4 with the ECN-mark component
   size_t obs_dim_;
   bool guarded_;
   GuardedPolicy::Options guard_options_;

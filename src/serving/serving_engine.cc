@@ -29,7 +29,8 @@ ServingEngine::ServingEngine(const PolicySpec& spec,
               guard_options.min_rate_bps = spec.min_rate_bps();
               guard_options.max_rate_bps = spec.max_rate_bps();
               return guard_options;
-            }()),
+            }(),
+            model_->config().ecn_signal),
       wheel_(options.wheel_slots),
       ring_(options.report_ring_capacity) {
   assert(model_ != nullptr);

@@ -400,6 +400,97 @@ TEST(GoldenEpisodeTest, EnginesReproduceCommittedEpisodes) {
   }
 }
 
+// Off-by-default contract of the real-world link corpus (iid wire loss on
+// LinkSpec, RED/CoDel AQM, ECN marking, wifi jitter): compiled into the engine
+// but disabled, the new code must not perturb the packet stream at all. Two
+// guards carry this. EnginesReproduceCommittedEpisodes above already runs with
+// the corpus compiled in and pins the committed file (exact packet counts,
+// documented ULP tolerances on the FMA-contraction-sensitive floats — the
+// committed bytes carry one toolchain's codegen, so a literal byte compare
+// would fail on every MOCC_NATIVE_ARCH=OFF CI leg for reasons unrelated to
+// the corpus). The test below adds the strict byte-level form WITHIN one
+// binary, where codegen is held fixed and any stray Rng draw, branch or event
+// reordering from a disabled spec is the only thing that can flip a byte:
+// explicitly constructing DISABLED AQM/jitter specs (droptail kind with ECN
+// and RED thresholds set; a jitter spec with zero period but non-default
+// slowdown and randomize_phase) must be byte-indistinguishable from never
+// touching the specs at all — the empty() gates, not the field defaults, are
+// what keep the stream untouched.
+TEST(GoldenEpisodeTest, ExplicitlyDisabledRealWorldSpecsAreByteInvisible) {
+  auto capture = [](bool decorate) {
+    MultiFlowCcEnvConfig config;
+    config.num_agents = 4;
+    LinkParams link;
+    link.bandwidth_bps = 4e6;
+    link.one_way_delay_s = 0.020;
+    link.queue_capacity_pkts = 300;
+    config.fixed_link = link;
+    config.agent_stagger_s = 1.0;
+    config.max_steps_per_episode = 150;
+    if (decorate) {
+      config.aqm.kind = AqmKind::kDroptail;  // empty() => disabled
+      config.aqm.ecn = true;
+      config.aqm.red_min_pkts = 1.0;
+      config.aqm.red_max_pkts = 2.0;
+      config.wifi_jitter.burst_period_s = 0.0;  // empty() => disabled
+      config.wifi_jitter.burst_duration_s = 5.0;
+      config.wifi_jitter.service_slowdown = 9.0;
+      config.wifi_jitter.randomize_phase = true;
+    }
+    MultiFlowCcEnv env(config, /*seed=*/3131);
+    env.SetObjective(WeightVector(0.4, 0.4, 0.2));
+    env.Reset();
+    EpisodeGold gold;
+    gold.name = "disabled_specs";
+    gold.reward_sums.assign(4, 0.0);
+    std::vector<double> actions(4, 0.0);
+    int steps = 0;
+    for (bool done = false; !done; ++steps) {
+      for (int i = 0; i < 4; ++i) {
+        actions[static_cast<size_t>(i)] = GoldenAction(steps, i);
+      }
+      VectorStepResult r = env.Step(actions);
+      for (int i = 0; i < 4; ++i) {
+        gold.reward_sums[static_cast<size_t>(i)] += r.rewards[static_cast<size_t>(i)];
+      }
+      done = r.done;
+    }
+    const std::vector<double> throughputs =
+        env.AgentAvgThroughputsBps(0.0, env.now_s());
+    for (int i = 0; i < 4; ++i) {
+      FlowGold g;
+      g.thr_early_bps = throughputs[static_cast<size_t>(i)];
+      g.sent = steps;
+      gold.flows.push_back(g);
+    }
+    gold.jain = env.JainIndex(env.now_s() / 2, env.now_s());
+    return std::vector<EpisodeGold>{gold};
+  };
+  const std::string plain_path = ::testing::TempDir() + "/golden_disabled_plain.txt";
+  const std::string decorated_path =
+      ::testing::TempDir() + "/golden_disabled_decorated.txt";
+  ASSERT_TRUE(WriteGoldens(plain_path, capture(false)));
+  ASSERT_TRUE(WriteGoldens(decorated_path, capture(true)));
+  auto slurp = [](const std::string& path) {
+    std::string bytes;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f != nullptr) {
+      char buf[4096];
+      size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        bytes.append(buf, n);
+      }
+      std::fclose(f);
+    }
+    return bytes;
+  };
+  const std::string plain = slurp(plain_path);
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(slurp(decorated_path), plain)
+      << "disabled-but-explicitly-constructed AQM/jitter specs must not perturb "
+         "the episode stream";
+}
+
 // Same binary, same seeds: two captures must agree to the bit — the event engine
 // has no run-to-run nondeterminism (unordered containers, address-dependent
 // ordering, uninitialised reads would all show up here).

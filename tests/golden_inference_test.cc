@@ -257,5 +257,46 @@ TEST(GoldenInferenceTest, Int8ForwardRowMatchesCommittedGoldens) {
   }
 }
 
+// Byte-level guard for the off-by-default contract of the ECN observation
+// channel: with MoccConfig::ecn_signal left at its default (false), the
+// observation layout, the forward pass and therefore the regenerated golden
+// files must reproduce the committed golden_forward*.txt hex-for-hex on the
+// capture toolchain. Regeneration happens in TempDir — nothing is written into
+// the source tree.
+TEST(GoldenInferenceTest, CommittedForwardGoldensByteIdenticalWithEcnSignalOff) {
+  if (std::getenv("MOCC_REGEN_GOLDENS") != nullptr) {
+    GTEST_SKIP() << "regeneration run";
+  }
+  MoccConfig config;
+  ASSERT_FALSE(config.ecn_signal) << "the ECN channel must be off by default";
+  std::shared_ptr<PreferenceActorCritic> model =
+      PreferenceActorCritic::LoadFromFile(DataPath("golden_model.bin"), config);
+  ASSERT_NE(model, nullptr);
+  auto slurp = [](const std::string& path) {
+    std::string bytes;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f != nullptr) {
+      char buf[4096];
+      size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        bytes.append(buf, n);
+      }
+      std::fclose(f);
+    }
+    return bytes;
+  };
+  const std::string regen_f = ::testing::TempDir() + "/golden_forward_regen.txt";
+  ASSERT_TRUE(WriteGoldenOutputs(regen_f, ComputeRows(model.get())));
+  const std::string committed_f = slurp(DataPath("golden_forward.txt"));
+  ASSERT_FALSE(committed_f.empty());
+  EXPECT_EQ(slurp(regen_f), committed_f) << "golden_forward.txt";
+
+  const std::string regen_q = ::testing::TempDir() + "/golden_forward_int8_regen.txt";
+  ASSERT_TRUE(WriteInt8Outputs(regen_q, ComputeInt8Rows(model.get())));
+  const std::string committed_q = slurp(DataPath("golden_forward_int8.txt"));
+  ASSERT_FALSE(committed_q.empty());
+  EXPECT_EQ(slurp(regen_q), committed_q) << "golden_forward_int8.txt";
+}
+
 }  // namespace
 }  // namespace mocc

@@ -1,5 +1,6 @@
 // Cross-cutting property tests: randomized packet-simulator invariants, fluid-link
 // latency monotonicity, Algorithm-1/trainer consistency, and serialization fuzzing.
+#include <cmath>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -7,8 +8,10 @@
 #include "src/common/rng.h"
 #include "src/core/objective_space.h"
 #include "src/core/offline_trainer.h"
+#include "src/netsim/aqm.h"
 #include "src/netsim/fluid_link.h"
 #include "src/netsim/packet_network.h"
+#include "src/netsim/wifi_jitter.h"
 
 namespace mocc {
 namespace {
@@ -150,6 +153,173 @@ TEST(SerializationFuzzTest, CorruptedModelFilesFailCleanly) {
     const std::string trunc_path = ::testing::TempDir() + "/mocc_fuzz_trunc.bin";
     ASSERT_TRUE(WriteFile(trunc_path, blob.substr(0, keep)));
     EXPECT_EQ(PreferenceActorCritic::LoadFromFile(trunc_path, config), nullptr);
+  }
+}
+
+// --- AQM discipline properties (src/netsim/aqm.h) ---------------------------
+
+// Property: RED's marking probability is monotone non-decreasing in the EWMA
+// queue depth, exactly 0 below min, exactly 1 at/above max, and bounded by
+// max_prob inside the band.
+TEST(AqmProperty, RedMarkProbabilityMonotoneInQueueDepth) {
+  AqmSpec spec;
+  spec.kind = AqmKind::kRed;
+  double prev = 0.0;
+  for (double avg = 0.0; avg <= 2.0 * spec.red_max_pkts; avg += 0.25) {
+    const double p = RedMarkProbability(spec, avg);
+    EXPECT_GE(p, prev) << "avg " << avg;
+    prev = p;
+    if (avg < spec.red_min_pkts) {
+      EXPECT_EQ(p, 0.0) << "avg " << avg;
+    } else if (avg >= spec.red_max_pkts) {
+      EXPECT_EQ(p, 1.0) << "avg " << avg;
+    } else {
+      EXPECT_LE(p, spec.red_max_prob + 1e-12) << "avg " << avg;
+    }
+  }
+}
+
+// Property: the CoDel control law spaces drops interval/sqrt(count) apart —
+// the spacing shrinks monotonically as the drop count grows, and a
+// non-positive count clamps to 1.
+TEST(AqmProperty, CodelControlLawSpacing) {
+  const double interval = 0.1;
+  double prev_spacing = interval + 1.0;
+  for (int count = 1; count <= 64; ++count) {
+    const double spacing = CodelControlLawS(3.0, interval, count) - 3.0;
+    EXPECT_NEAR(spacing, interval / std::sqrt(static_cast<double>(count)), 1e-12);
+    EXPECT_LT(spacing, prev_spacing) << "count " << count;
+    prev_spacing = spacing;
+  }
+  EXPECT_EQ(CodelControlLawS(0.0, interval, 0), CodelControlLawS(0.0, interval, 1));
+  EXPECT_EQ(CodelControlLawS(0.0, interval, -5), CodelControlLawS(0.0, interval, 1));
+}
+
+// Property: CoDel never acts while the sojourn time stays below target — no
+// drops, no marks, and the dropping state is never entered.
+TEST(AqmProperty, CodelNeverActsBelowTarget) {
+  AqmSpec spec;
+  spec.kind = AqmKind::kCodel;
+  AqmState state;
+  Rng rng(123);
+  for (int i = 0; i < 2000; ++i) {
+    const double now = 0.01 * i;
+    const double sojourn = rng.Uniform(0.0, spec.codel_target_s * 0.999);
+    const int backlog = static_cast<int>(rng.UniformInt(0, 50));
+    EXPECT_EQ(CodelOnDequeue(spec, &state, now, sojourn, backlog, false),
+              AqmAction::kForward);
+    EXPECT_FALSE(state.dropping);
+  }
+}
+
+// Property: CoDel tolerates above-target sojourns for one full interval before
+// its first action, and with ECN on an ECN-capable flow every action is a mark
+// (never a drop); without ECN, every action is a drop (never a mark).
+TEST(AqmProperty, CodelActsOnlyAfterIntervalAndRespectsEcn) {
+  for (const bool ecn : {false, true}) {
+    AqmSpec spec;
+    spec.kind = AqmKind::kCodel;
+    spec.ecn = ecn;
+    AqmState state;
+    double first_action_s = -1.0;
+    int actions = 0;
+    for (int i = 0; i < 1000; ++i) {
+      const double now = 0.001 * i;
+      const AqmAction action =
+          CodelOnDequeue(spec, &state, now, 2.0 * spec.codel_target_s, 20, ecn);
+      if (action != AqmAction::kForward) {
+        EXPECT_EQ(action, ecn ? AqmAction::kMark : AqmAction::kDrop);
+        if (first_action_s < 0.0) {
+          first_action_s = now;
+        }
+        ++actions;
+      }
+    }
+    EXPECT_GE(first_action_s, spec.codel_interval_s)
+        << "CoDel must wait out one interval of sustained above-target sojourn";
+    EXPECT_GT(actions, 1) << "persistent overload must keep the control law firing";
+  }
+}
+
+// Property: marking and dropping are mutually exclusive per packet and gated
+// exactly on spec.ecn && ecn_capable. Inside RED's band an ECN-capable flow is
+// only ever marked; a non-capable (or non-ECN-spec) flow only ever dropped;
+// and the forced-drop region at/above max drops even ECN-capable flows.
+TEST(AqmProperty, RedMarkVsDropMutuallyExclusive) {
+  for (const bool ecn : {false, true}) {
+    for (const bool capable : {false, true}) {
+      AqmSpec spec;
+      spec.kind = AqmKind::kRed;
+      spec.ecn = ecn;
+      spec.red_weight = 1.0;  // EWMA follows the instantaneous depth exactly
+      AqmState state;
+      Rng rng(7);
+      int marks = 0;
+      int drops = 0;
+      for (int i = 0; i < 4000; ++i) {
+        const int depth = static_cast<int>(
+            rng.UniformInt(static_cast<int64_t>(spec.red_min_pkts) + 1,
+                           static_cast<int64_t>(spec.red_max_pkts) - 1));
+        const AqmAction action = RedOnEnqueue(spec, &state, depth, capable, &rng);
+        marks += action == AqmAction::kMark ? 1 : 0;
+        drops += action == AqmAction::kDrop ? 1 : 0;
+      }
+      if (ecn && capable) {
+        EXPECT_GT(marks, 0);
+        EXPECT_EQ(drops, 0) << "in-band ECN-capable packets are marked, never dropped";
+      } else {
+        EXPECT_EQ(marks, 0) << "marks require spec.ecn AND an ECN-capable flow";
+        EXPECT_GT(drops, 0);
+      }
+      // Forced-drop region: at/above max threshold even ECN-capable flows drop.
+      state.avg_queue_pkts = spec.red_max_pkts;
+      EXPECT_EQ(RedOnEnqueue(spec, &state,
+                             static_cast<int>(spec.red_max_pkts) + 50, capable, &rng),
+                AqmAction::kDrop);
+    }
+  }
+}
+
+// Property: RED consumes randomness ONLY when the marking probability is
+// strictly inside (0, 1) — below the min threshold (and in the forced-drop
+// region) the Rng stream is untouched, which is what keeps AQM-free and
+// below-band episodes bit-identical.
+TEST(AqmProperty, RedDrawsNoRandomnessOutsideTheBand) {
+  AqmSpec spec;
+  spec.kind = AqmKind::kRed;
+  Rng used(99);
+  Rng untouched(99);
+  AqmState state;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(RedOnEnqueue(spec, &state, 0, true, &used), AqmAction::kForward);
+  }
+  state.avg_queue_pkts = 10.0 * spec.red_max_pkts;
+  spec.red_weight = 0.0;  // hold the EWMA in the forced-drop region
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(RedOnEnqueue(spec, &state, 1000, true, &used), AqmAction::kDrop);
+  }
+  EXPECT_EQ(used.NextU64(), untouched.NextU64())
+      << "RED must not consume Rng draws outside the (0,1) probability band";
+}
+
+// Property: wifi-jitter burst windows are a pure periodic function of
+// simulation time — period-shifted times agree, windows are exactly
+// burst_duration_s long, and an empty spec never bursts.
+TEST(AqmProperty, WifiJitterBurstWindowsArePeriodicAndPhaseShifted) {
+  WifiJitterSpec spec;
+  spec.burst_period_s = 0.5;
+  spec.burst_duration_s = 0.1;
+  spec.phase_s = 0.2;
+  for (double t = 0.0; t < 3.0; t += 0.013) {
+    EXPECT_EQ(spec.BurstAt(t), spec.BurstAt(t + 4 * spec.burst_period_s)) << t;
+    const double u = std::fmod(t - spec.phase_s + 10 * spec.burst_period_s,
+                               spec.burst_period_s);
+    EXPECT_EQ(spec.BurstAt(t), u < spec.burst_duration_s) << t;
+  }
+  WifiJitterSpec off;
+  EXPECT_TRUE(off.empty());
+  for (double t = 0.0; t < 2.0; t += 0.1) {
+    EXPECT_FALSE(off.BurstAt(t));
   }
 }
 

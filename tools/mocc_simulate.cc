@@ -45,7 +45,9 @@
 //   per-flow controllers; decisions are bit-identical, so timelines match the
 //   per-flow path exactly. Fault-injection scenarios (blackout, flaky-link,
 //   loss-burst) apply their FaultSpec to the bottleneck link here exactly as in
-//   training.
+//   training; AQM/ECN and wifi-jitter scenarios (red-ecn, codel, wifi-jitter,
+//   ...) mirror their bottleneck link models the same way, and MOCC agent flows
+//   become ECN-capable whenever the scenario's AQM marks.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -432,6 +434,18 @@ int main(int argc, char** argv) {
     }
     net_topology.links[0].fault = fault;
   }
+  if (scenario.has_value() && !scenario->wifi_jitter.empty()) {
+    // Same idiom as the fault schedule: the jitter phase draw mirrors
+    // MultiFlowCcEnv::Reset's rng position.
+    WifiJitterSpec jitter = scenario->wifi_jitter;
+    if (jitter.randomize_phase) {
+      jitter.phase_s = rng.Uniform(0.0, jitter.MaxPeriodS());
+    }
+    net_topology.links[0].wifi_jitter = jitter;
+  }
+  if (scenario.has_value() && !scenario->aqm.empty()) {
+    net_topology.links[0].aqm = scenario->aqm;
+  }
   // Per-agent data/ACK paths and propagation RTTs, mirroring MultiFlowCcEnv:
   // heterogeneous topologies (N-leaf, per-link scales) give each agent its own
   // leaf pair and per-hop-summed RTT; homogeneous ones keep the historical
@@ -493,6 +507,7 @@ int main(int argc, char** argv) {
     FlowOptions options;
     options.start_time_s =
         scenario.has_value() ? static_cast<double>(i) * scenario->agent_stagger_s : 0.0;
+    options.ecn_capable = scenario.has_value() && scenario->aqm.ecn;
     options.path = agent_paths[static_cast<size_t>(i)].path;
     options.ack_path = agent_paths[static_cast<size_t>(i)].ack_path;
     if (scenario.has_value() && !scenario->agent_extra_delay_s.empty()) {

@@ -20,6 +20,10 @@
 //                      weights themselves — the trainer leaves their objectives
 //                      alone and their trajectories join the same joint update.
 //   --list-scenarios   print the scenario catalog and exit
+//   --ecn              train with the ECN observation channel: history entries
+//                      widen to <l, p, q, ecn> and the saved model's obs_dim
+//                      changes accordingly (pair with an ECN-marking scenario,
+//                      e.g. red-ecn, for the channel to carry signal)
 //   --individual       train each landmark independently instead (Fig 19 baseline)
 //
 // Crash safety (two-phase training only):
@@ -93,6 +97,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-scenarios") {
       PrintScenarioCatalog(stdout);
       return 0;
+    } else if (arg == "--ecn") {
+      config.mocc.ecn_signal = true;
     } else if (arg == "--individual") {
       individual = true;
     } else if (arg == "--checkpoint") {
@@ -106,7 +112,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: mocc_train [--out PATH] [--bootstrap N] [--rounds N]\n"
                   "                  [--divisor D] [--seed S] [--parallel-envs K]\n"
-                  "                  [--scenario LIST] [--list-scenarios]\n"
+                  "                  [--scenario LIST] [--list-scenarios] [--ecn]\n"
                   "                  [--individual] [--checkpoint PATH]\n"
                   "                  [--checkpoint-interval N] [--resume]\n"
                   "                  [--stop-after N]\n");
